@@ -1,0 +1,255 @@
+//! Attacker intelligence gathering: probe runs, memory scanning, and
+//! the pseudo-PRNG prediction oracle.
+//!
+//! These helpers model the capabilities the paper grants its adversary
+//! (§III-B): static analysis of the binary (here: the module and its
+//! public P-BOX), memory-disclosure probes of *prior* runs of the same
+//! build, live read access to all writable memory during the exploited
+//! run, and replication of any PRNG whose state lives in that memory.
+
+use smokestack_core::HardenReport;
+use smokestack_srng::XorShift64;
+use smokestack_vm::{layout, AllocaRecord, Memory, RunOutcome, ScriptedInput, Vm, VmConfig};
+
+use crate::Build;
+
+/// Layout knowledge extracted from a memory-disclosure probe of one run.
+#[derive(Debug, Clone)]
+pub struct ProbeIntel {
+    /// Every stack allocation observed, in allocation order.
+    pub records: Vec<AllocaRecord>,
+    /// The probe run itself (output, exit) for behavioral fingerprints.
+    pub outcome: RunOutcome,
+}
+
+impl ProbeIntel {
+    /// Address of the `n`-th allocation of `var` in `func` (n counts
+    /// separate invocations).
+    pub fn nth_addr(&self, func: &str, var: &str, n: usize) -> Option<u64> {
+        self.records
+            .iter()
+            .filter(|r| r.func == func && r.var == var)
+            .nth(n)
+            .map(|r| r.addr)
+    }
+
+    /// Address of the first allocation of `var` in `func`.
+    pub fn addr_of(&self, func: &str, var: &str) -> Option<u64> {
+        self.nth_addr(func, var, 0)
+    }
+
+    /// Signed distance `to - from` between two locals of `func` (first
+    /// invocation) — the relative-offset knowledge DOP attacks need.
+    pub fn offset_between(&self, func: &str, from: &str, to: &str) -> Option<i64> {
+        Some(self.addr_of(func, to)? as i64 - self.addr_of(func, from)? as i64)
+    }
+}
+
+/// Probe one run of `build` with scripted input, recording every stack
+/// allocation — the model of a read-primitive disclosure attack against
+/// a *previous* run of the same binary.
+pub fn probe(build: &Build, probe_seed: u64, input: Vec<Vec<u8>>) -> ProbeIntel {
+    let cfg = VmConfig {
+        record_allocas: true,
+        ..build.vm_config(probe_seed)
+    };
+    let mut vm = Vm::new(build.module.clone(), cfg);
+    let outcome = vm.run_main(ScriptedInput::new(input));
+    ProbeIntel {
+        records: outcome.alloca_trace.clone(),
+        outcome,
+    }
+}
+
+/// Scan the live stack (top `span` bytes) for an 8-byte marker the
+/// attacker previously injected; returns its address. This is how the
+/// adversary re-locates its buffer when ASLR moves the stack.
+pub fn scan_stack(mem: &Memory, marker: u64, span: u64) -> Option<u64> {
+    let top = layout::STACK_TOP;
+    let mut addr = top - 8;
+    let stop = top.saturating_sub(span);
+    while addr >= stop {
+        if let Ok(v) = mem.read_uint(addr, 8) {
+            if v == marker {
+                return Some(addr);
+            }
+        }
+        addr -= 8;
+    }
+    None
+}
+
+/// Read the memory-resident state of the insecure pseudo PRNG (always
+/// the first 8 bytes of the data segment; see `smokestack-vm`).
+pub fn read_pseudo_state(mem: &Memory) -> u64 {
+    mem.read_uint(layout::DATA_BASE, 8)
+        .expect("pseudo state slot always mapped")
+}
+
+/// Prediction oracle for Smokestack running on the insecure `pseudo`
+/// scheme: combines the disclosed PRNG state with the public P-BOX to
+/// reconstruct the layout of recent (or upcoming) invocations.
+pub struct PseudoOracle<'a> {
+    report: &'a HardenReport,
+}
+
+impl<'a> PseudoOracle<'a> {
+    /// Build from the hardening report (equivalently: from reading the
+    /// binary's read-only P-BOX).
+    pub fn new(report: &'a HardenReport) -> PseudoOracle<'a> {
+        PseudoOracle { report }
+    }
+
+    /// The draw produced by the step that led to `state` — i.e. the most
+    /// recent `stack_rng()` output.
+    pub fn last_draw(state: u64) -> u64 {
+        XorShift64::output_of_state(state)
+    }
+
+    /// The draw made `back` steps before the one that produced `state`
+    /// (`back = 0` is the most recent).
+    pub fn draw_back(state: u64, back: u32) -> u64 {
+        let mut s = state;
+        for _ in 0..back {
+            s = XorShift64::unstep(s);
+        }
+        XorShift64::output_of_state(s)
+    }
+
+    /// Slab-relative offsets of `func`'s original slots for a given
+    /// draw, in original allocation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` was not instrumented.
+    pub fn offsets_for_draw(&self, func: &str, draw: u64) -> Vec<u64> {
+        let p = &self.report.placements[func];
+        let t = &self.report.pbox.tables[p.table];
+        let row = &t.rows[(draw & p.mask) as usize];
+        p.columns.iter().map(|&c| row.offsets[c]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_defenses::DefenseKind;
+    use smokestack_srng::SchemeKind;
+    use smokestack_vm::ScriptedInput;
+
+    const SRC: &str = r#"
+        int victim() {
+            long a = 11;
+            char buf[32];
+            long c = 22;
+            get_input(buf, 32);
+            print_int(&a);
+            print_int(buf);
+            return a + c;
+        }
+        int main() { return victim() + victim(); }
+    "#;
+
+    /// Printed (a, buf) address pairs per invocation.
+    fn printed_addrs(out: &RunOutcome) -> Vec<(u64, u64)> {
+        let ints: Vec<i64> = out
+            .output
+            .iter()
+            .filter_map(|e| match e {
+                smokestack_vm::OutputEvent::Int(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        ints.chunks(2).map(|c| (c[0] as u64, c[1] as u64)).collect()
+    }
+
+    #[test]
+    fn probe_extracts_layout() {
+        let build = Build::new(SRC, DefenseKind::None, 1);
+        let intel = probe(&build, 5, vec![vec![], vec![]]);
+        let a = intel.addr_of("victim", "a").unwrap();
+        let buf = intel.addr_of("victim", "buf").unwrap();
+        assert!(a > buf, "a allocated before buf, so higher on the stack");
+        assert_eq!(intel.offset_between("victim", "buf", "a").unwrap(), a as i64 - buf as i64);
+        // Two invocations recorded.
+        assert!(intel.nth_addr("victim", "buf", 1).is_some());
+        assert!(intel.nth_addr("victim", "buf", 2).is_none());
+    }
+
+    #[test]
+    fn baseline_layout_stable_across_runs() {
+        let build = Build::new(SRC, DefenseKind::None, 1);
+        let p1 = probe(&build, 5, vec![vec![], vec![]]);
+        let p2 = probe(&build, 99, vec![vec![], vec![]]);
+        assert_eq!(
+            p1.addr_of("victim", "a"),
+            p2.addr_of("victim", "a"),
+            "unprotected layout must be deterministic"
+        );
+    }
+
+    #[test]
+    fn smokestack_layout_varies_across_invocations() {
+        let build = Build::new(SRC, DefenseKind::Smokestack(SchemeKind::Aes10), 1);
+        // The a/buf distance differs between the two victim()
+        // invocations for at least one of a handful of seeds.
+        let mut varied = false;
+        for seed in 0..10 {
+            let mut vm = build.vm(seed);
+            let out = vm.run_main(ScriptedInput::new(vec![vec![], vec![]]));
+            let pairs = printed_addrs(&out);
+            let d0 = pairs[0].0 as i64 - pairs[0].1 as i64;
+            let d1 = pairs[1].0 as i64 - pairs[1].1 as i64;
+            if d0 != d1 {
+                varied = true;
+                break;
+            }
+        }
+        assert!(varied, "per-invocation randomization not observed");
+    }
+
+    #[test]
+    fn scan_finds_marker() {
+        let build = Build::new(SRC, DefenseKind::StackBase, 1);
+        let marker = 0xdeadbeefcafef00du64;
+        let mut vm = build.vm(3);
+        let found = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        let found_ref = found.clone();
+        let input = smokestack_vm::FnInput(move |mem: &mut Memory, i, _max| {
+            if i == 0 {
+                return marker.to_le_bytes().to_vec();
+            }
+            if let Some(addr) = scan_stack(mem, marker, 4 << 20) {
+                found_ref.set(addr);
+            }
+            vec![]
+        });
+        vm.run_main(input);
+        assert_ne!(found.get(), 0, "marker not found on stack");
+    }
+
+    #[test]
+    fn pseudo_oracle_predicts_current_layout() {
+        let build = Build::new(SRC, DefenseKind::Smokestack(SchemeKind::Pseudo), 1);
+        let report = build.deployment.smokestack.as_ref().unwrap().clone();
+        let mut vm = build.vm(7);
+        let states = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let states_c = states.clone();
+        let out = vm.run_main(smokestack_vm::FnInput(move |mem: &mut Memory, _i, _max| {
+            states_c.borrow_mut().push(read_pseudo_state(mem));
+            vec![]
+        }));
+        let oracle = PseudoOracle::new(&report);
+        for (inv, (a_addr, buf_addr)) in printed_addrs(&out).into_iter().enumerate() {
+            // At each input, the most recent draw is the current victim
+            // invocation's slab permutation.
+            let draw = PseudoOracle::last_draw(states.borrow()[inv]);
+            let offsets = oracle.offsets_for_draw("victim", draw);
+            // Slots are (a, buf, c) in declaration order (the spilled
+            // parameterless function has no extra slots).
+            let predicted_gap = offsets[0] as i64 - offsets[1] as i64;
+            let actual_gap = a_addr as i64 - buf_addr as i64;
+            assert_eq!(predicted_gap, actual_gap, "invocation {inv} mispredicted");
+        }
+    }
+}

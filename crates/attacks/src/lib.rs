@@ -1,0 +1,399 @@
+//! # smokestack-attacks
+//!
+//! The data-oriented programming (DOP) attack framework used for the
+//! paper's security evaluation (§II-C, §V-C): synthetic RIPE-style
+//! overflows, the paper's Listing 1 gadget/dispatcher program, and
+//! analogs of the three real-world exploits (librelp CVE-2018-1000140,
+//! Wireshark CVE-2014-2299, ProFTPD CVE-2006-5815).
+//!
+//! Every attack is an [`Attack`]: a vulnerable MiniC program plus an
+//! adversary strategy implemented as a VM input hook. The adversary
+//! follows the paper's threat model — full read/write access to
+//! writable memory at every input point, knowledge of the binary
+//! (including the public, read-only P-BOX), ability to probe prior runs
+//! of the same build, and a finite brute-force budget of restarts.
+//!
+//! [`evaluate`] runs an attack against a [`DefenseKind`] for a number of
+//! independent trials and tallies successes, defense detections,
+//! crashes, and silent failures — the data behind the paper's
+//! penetration-test table.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod intel;
+pub mod librelp;
+pub mod listing1;
+pub mod proftpd;
+pub mod synthetic;
+pub mod wireshark;
+
+use std::fmt;
+
+use smokestack_defenses::{deploy, DefenseKind, Deployment};
+use smokestack_ir::Module;
+use smokestack_minic::compile;
+use smokestack_vm::{Exit, FaultKind, RunOutcome, Vm, VmConfig};
+
+/// Outcome of one exploit attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The attack achieved its goal (malicious computation / leak).
+    Success(String),
+    /// A deployed defense terminated the program (guard / canary).
+    Detected(FaultKind),
+    /// The program crashed without achieving the goal (a failed attempt
+    /// the operator would notice as a service crash).
+    Crashed(FaultKind),
+    /// The program ran to completion but the goal was not achieved.
+    Failed(String),
+    /// The adversary reconnoitered and chose not to fire (stealthy: no
+    /// corrupted input was ever sent, so the operator sees a normal
+    /// session). Campaigns may retry after an abort.
+    Aborted,
+}
+
+impl AttackOutcome {
+    /// Whether this attempt achieved the attack goal.
+    pub fn is_success(&self) -> bool {
+        matches!(self, AttackOutcome::Success(_))
+    }
+}
+
+impl fmt::Display for AttackOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackOutcome::Success(e) => write!(f, "SUCCESS ({e})"),
+            AttackOutcome::Detected(k) => write!(f, "DETECTED ({k})"),
+            AttackOutcome::Crashed(k) => write!(f, "CRASHED ({k})"),
+            AttackOutcome::Failed(r) => write!(f, "failed ({r})"),
+            AttackOutcome::Aborted => write!(f, "aborted (stealthy)"),
+        }
+    }
+}
+
+/// A deployed build of a vulnerable program under some defense.
+pub struct Build {
+    /// The hardened (or baseline) module.
+    pub module: Module,
+    /// Which defense was applied.
+    pub defense: DefenseKind,
+    /// Deployment metadata (Smokestack placements, etc.).
+    pub deployment: Deployment,
+    /// Compile-time seed used (drives static permutations/padding).
+    pub build_seed: u64,
+}
+
+impl Build {
+    /// Compile `src` and deploy `defense` over it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not compile (the attack corpus is
+    /// fixed) or the deployed module fails verification.
+    pub fn new(src: &str, defense: DefenseKind, build_seed: u64) -> Build {
+        let mut module = compile(src).unwrap_or_else(|e| panic!("attack program: {e}"));
+        // The run_seed argument only matters for DefenseKind::StackBase,
+        // whose offset is recomputed per trial in `vm_config`.
+        let deployment = deploy(defense, &mut module, build_seed, 0);
+        smokestack_ir::verify_module(&module).expect("deployed module verifies");
+        Build {
+            module,
+            defense,
+            deployment,
+            build_seed,
+        }
+    }
+
+    /// VM configuration for one run of this build. Per-run randomness
+    /// (TRNG seed, ASLR offset) is derived from `run_seed`.
+    pub fn vm_config(&self, run_seed: u64) -> VmConfig {
+        let stack_base_offset = match self.defense {
+            DefenseKind::StackBase => smokestack_defenses::stack_base_offset(run_seed, 1 << 20),
+            _ => 0,
+        };
+        VmConfig {
+            scheme: self.defense.scheme(),
+            trng_seed: run_seed,
+            stack_base_offset,
+            ..VmConfig::default()
+        }
+    }
+
+    /// A fresh VM for one run.
+    pub fn vm(&self, run_seed: u64) -> Vm {
+        Vm::new(self.module.clone(), self.vm_config(run_seed))
+    }
+}
+
+/// Classify a finished run against a goal predicate.
+pub fn classify(out: &RunOutcome, goal_met: bool, goal_desc: &str) -> AttackOutcome {
+    if goal_met {
+        return AttackOutcome::Success(goal_desc.to_string());
+    }
+    match &out.exit {
+        Exit::Fault(k @ (FaultKind::GuardViolation { .. } | FaultKind::CanarySmashed { .. })) => {
+            AttackOutcome::Detected(k.clone())
+        }
+        Exit::Fault(k) => AttackOutcome::Crashed(k.clone()),
+        _ => AttackOutcome::Failed("goal not achieved".into()),
+    }
+}
+
+/// One attack: program + adversary.
+pub trait Attack {
+    /// Short identifier used in report rows.
+    fn name(&self) -> &str;
+
+    /// The vulnerable MiniC program.
+    fn source(&self) -> &str;
+
+    /// Run one exploit attempt against `build` with per-trial entropy
+    /// `trial_seed` (the paper's brute-force model: the service restarts
+    /// with fresh randomness after every crash).
+    fn attempt(&self, build: &Build, trial_seed: u64) -> AttackOutcome;
+}
+
+/// Aggregate result of `trials` independent attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackEval {
+    /// Attack name.
+    pub attack: String,
+    /// Defense evaluated.
+    pub defense: DefenseKind,
+    /// Number of attempts.
+    pub trials: u32,
+    /// Attempts that achieved the goal.
+    pub successes: u32,
+    /// Attempts terminated by a defense check.
+    pub detections: u32,
+    /// Attempts that crashed the service.
+    pub crashes: u32,
+    /// Attempts that ran clean but achieved nothing.
+    pub failures: u32,
+}
+
+impl AttackEval {
+    /// The paper's binary verdict: did the defense stop the attack?
+    pub fn stopped(&self) -> bool {
+        self.successes == 0
+    }
+}
+
+impl fmt::Display for AttackEval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<24} vs {:<22} {:>3}/{} success, {} detected, {} crashed, {} failed -> {}",
+            self.attack,
+            self.defense.label(),
+            self.successes,
+            self.trials,
+            self.detections,
+            self.crashes,
+            self.failures,
+            if self.stopped() { "STOPPED" } else { "BYPASSED" }
+        )
+    }
+}
+
+/// Restart budget per campaign (the paper's "finite number of attempts"
+/// brute-force model): the adversary may stealthily reconnoiter and
+/// restart, but the campaign ends at the first *noisy* attempt — a
+/// success, a crash, or a defense detection.
+pub const CAMPAIGN_BUDGET: u32 = 48;
+
+/// One attack campaign: repeated runs of the service, retried only
+/// while the adversary stays stealthy (aborts before corrupting
+/// anything). The first committed attempt decides the campaign.
+pub fn campaign(attack: &dyn Attack, build: &Build, campaign_seed: u64) -> AttackOutcome {
+    for r in 0..CAMPAIGN_BUDGET {
+        let run_seed = campaign_seed
+            .wrapping_mul(0xd1b54a32d192ed03)
+            .wrapping_add(r as u64);
+        match attack.attempt(build, run_seed) {
+            AttackOutcome::Aborted => continue,
+            decided => return decided,
+        }
+    }
+    AttackOutcome::Failed("campaign budget exhausted without a favorable layout".into())
+}
+
+/// Run `attack` against `defense` for `trials` independent campaigns.
+pub fn evaluate(attack: &dyn Attack, defense: DefenseKind, trials: u32) -> AttackEval {
+    evaluate_seeded(attack, defense, trials, 0xa77a)
+}
+
+/// [`evaluate`] with an explicit base seed.
+pub fn evaluate_seeded(
+    attack: &dyn Attack,
+    defense: DefenseKind,
+    trials: u32,
+    base_seed: u64,
+) -> AttackEval {
+    let build = Build::new(attack.source(), defense, base_seed ^ 0xb11d);
+    let mut eval = AttackEval {
+        attack: attack.name().to_string(),
+        defense,
+        trials,
+        successes: 0,
+        detections: 0,
+        crashes: 0,
+        failures: 0,
+    };
+    for t in 0..trials {
+        let campaign_seed = base_seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(t as u64 + 1);
+        match campaign(attack, &build, campaign_seed) {
+            AttackOutcome::Success(_) => eval.successes += 1,
+            AttackOutcome::Detected(_) => eval.detections += 1,
+            AttackOutcome::Crashed(_) => eval.crashes += 1,
+            AttackOutcome::Failed(_) | AttackOutcome::Aborted => eval.failures += 1,
+        }
+    }
+    eval
+}
+
+/// The standard attack suite in report order.
+pub fn standard_suite() -> Vec<Box<dyn Attack>> {
+    let mut suite: Vec<Box<dyn Attack>> = vec![Box::new(listing1::Listing1Attack)];
+    for a in synthetic::all() {
+        suite.push(a);
+    }
+    suite.push(Box::new(librelp::LibrelpAttack));
+    suite.push(Box::new(wireshark::WiresharkAttack));
+    suite.push(Box::new(proftpd::ProftpdAttack));
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// A scripted attack whose per-run outcomes we control, to pin the
+    /// campaign semantics (retry on abort; stop on anything noisy).
+    struct Scripted {
+        outcomes: Rc<RefCell<Vec<AttackOutcome>>>,
+        calls: Rc<RefCell<u32>>,
+    }
+
+    impl Attack for Scripted {
+        fn name(&self) -> &str {
+            "scripted"
+        }
+        fn source(&self) -> &str {
+            "int main() { return 0; }"
+        }
+        fn attempt(&self, _build: &Build, _seed: u64) -> AttackOutcome {
+            *self.calls.borrow_mut() += 1;
+            self.outcomes
+                .borrow_mut()
+                .pop()
+                .unwrap_or(AttackOutcome::Aborted)
+        }
+    }
+
+    fn scripted(mut seq: Vec<AttackOutcome>) -> Scripted {
+        seq.reverse(); // popped from the back
+        Scripted {
+            outcomes: Rc::new(RefCell::new(seq)),
+            calls: Rc::new(RefCell::new(0)),
+        }
+    }
+
+    #[test]
+    fn campaign_retries_through_aborts() {
+        let a = scripted(vec![
+            AttackOutcome::Aborted,
+            AttackOutcome::Aborted,
+            AttackOutcome::Success("got it".into()),
+        ]);
+        let build = Build::new(a.source(), DefenseKind::None, 1);
+        let out = campaign(&a, &build, 42);
+        assert!(out.is_success());
+        assert_eq!(*a.calls.borrow(), 3);
+    }
+
+    #[test]
+    fn campaign_stops_at_first_noisy_attempt() {
+        let a = scripted(vec![
+            AttackOutcome::Aborted,
+            AttackOutcome::Detected(FaultKind::StackOverflow),
+            AttackOutcome::Success("never reached".into()),
+        ]);
+        let build = Build::new(a.source(), DefenseKind::None, 1);
+        let out = campaign(&a, &build, 42);
+        assert!(matches!(out, AttackOutcome::Detected(_)));
+        assert_eq!(*a.calls.borrow(), 2);
+    }
+
+    #[test]
+    fn campaign_budget_bounds_aborts() {
+        let a = scripted(vec![]); // aborts forever
+        let build = Build::new(a.source(), DefenseKind::None, 1);
+        let out = campaign(&a, &build, 42);
+        assert!(matches!(out, AttackOutcome::Failed(_)));
+        assert_eq!(*a.calls.borrow(), CAMPAIGN_BUDGET);
+    }
+
+    #[test]
+    fn classify_priorities() {
+        let clean = RunOutcome {
+            exit: Exit::Return(0),
+            decicycles: 0,
+            insts: 0,
+            output: vec![],
+            peak_rss: 0,
+            max_call_depth: 0,
+            rng_invocations: 0,
+            breakdown: Default::default(),
+            alloca_trace: vec![],
+        };
+        // Goal met always wins, even over faults.
+        let mut faulted = clean.clone();
+        faulted.exit = Exit::Fault(FaultKind::GuardViolation { func: "f".into() });
+        assert!(classify(&faulted, true, "done").is_success());
+        // Guard/canary faults classify as Detected; others as Crashed.
+        assert!(matches!(
+            classify(&faulted, false, ""),
+            AttackOutcome::Detected(_)
+        ));
+        let mut crashed = clean.clone();
+        crashed.exit = Exit::Fault(FaultKind::DivByZero);
+        assert!(matches!(
+            classify(&crashed, false, ""),
+            AttackOutcome::Crashed(_)
+        ));
+        assert!(matches!(
+            classify(&clean, false, ""),
+            AttackOutcome::Failed(_)
+        ));
+    }
+
+    #[test]
+    fn standard_suite_is_complete() {
+        let names: Vec<String> = standard_suite()
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect();
+        assert_eq!(names.len(), 8);
+        assert!(names.iter().any(|n| n.contains("listing1")));
+        assert!(names.iter().filter(|n| n.contains("synthetic")).count() == 4);
+        assert!(names.iter().any(|n| n.contains("librelp")));
+        assert!(names.iter().any(|n| n.contains("wireshark")));
+        assert!(names.iter().any(|n| n.contains("proftpd")));
+    }
+
+    #[test]
+    fn build_vm_config_honors_defense() {
+        let b = Build::new("int main() { return 0; }", DefenseKind::StackBase, 1);
+        let c1 = b.vm_config(1);
+        let c2 = b.vm_config(2);
+        assert_ne!(c1.stack_base_offset, c2.stack_base_offset);
+        let b2 = Build::new("int main() { return 0; }", DefenseKind::None, 1);
+        assert_eq!(b2.vm_config(1).stack_base_offset, 0);
+    }
+}

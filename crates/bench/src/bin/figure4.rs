@@ -1,0 +1,23 @@
+//! Regenerates paper Figure 4: percentage increase in maximum resident
+//! set size of the Smokestack-hardened SPEC builds (the P-BOX lives in
+//! the read-only data section).
+
+use smokestack_bench::{bar, figure4_data};
+
+fn main() {
+    println!("FIGURE 4: % MEMORY OVERHEAD OF SMOKESTACK (peak RSS)\n");
+    println!("{:<12} {:>9} {:>12}", "benchmark", "overhead", "P-BOX bytes");
+    println!("{}", "-".repeat(60));
+    for r in figure4_data() {
+        println!(
+            "{:<12} {:>8.1}% {:>12}   |{}",
+            r.name,
+            r.overhead_pct,
+            r.pbox_bytes,
+            bar(r.overhead_pct, 1.0)
+        );
+    }
+    println!("\npaper reference: benchmarks with many distinct frame signatures");
+    println!("(perlbench, h264ref) show the highest memory overhead; the P-BOX");
+    println!("is read-only data, so it does not strongly affect runtime.");
+}

@@ -1,0 +1,18 @@
+//! Regenerates paper Table I: the rate at which each randomness scheme
+//! produces values, with its security classification.
+
+use smokestack_bench::table1_rows;
+
+fn main() {
+    println!("TABLE I: SOURCE OF RANDOMNESS");
+    println!("(modeled per-invocation cost; run `cargo bench --bench rng_sources`");
+    println!(" for host wall-clock measurements of the actual implementations)\n");
+    println!("{:<8} {:<10} {:>24}", "source", "Security", "Rate (cycles/Invocation)");
+    println!("{}", "-".repeat(46));
+    for row in table1_rows() {
+        println!(
+            "{:<8} {:<10} {:>24.1}",
+            row.source, row.security, row.rate_cycles
+        );
+    }
+}

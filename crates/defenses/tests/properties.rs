@@ -1,0 +1,138 @@
+//! Behavioral properties of the baseline defenses.
+
+use smokestack_defenses::{
+    apply_entry_padding, apply_stack_canary, apply_static_permutation, deploy, DefenseKind,
+    ENTRY_PAD_NAME,
+};
+use smokestack_ir::{Inst, Terminator};
+use smokestack_minic::compile;
+use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+
+const PROG: &str = r#"
+    int f(int a) {
+        long x = a;
+        char buf[40];
+        short y = 2;
+        int z = 3;
+        buf[0] = 1;
+        return x + y + z;
+    }
+    int main() { return f(1); }
+"#;
+
+#[test]
+fn deployments_are_reproducible() {
+    for kind in DefenseKind::MATRIX {
+        let build = |build_seed: u64| {
+            let mut m = compile(PROG).unwrap();
+            deploy(kind, &mut m, build_seed, 0);
+            m.to_string()
+        };
+        assert_eq!(build(9), build(9), "{kind} not reproducible");
+    }
+}
+
+#[test]
+fn entry_padding_sizes_follow_forrest() {
+    // Across many builds, all paddings are multiples of 8 in 8..=64 and
+    // more than one size occurs (one of eight possible paddings).
+    let mut sizes = std::collections::HashSet::new();
+    for seed in 0..40 {
+        let mut m = compile(PROG).unwrap();
+        apply_entry_padding(&mut m, seed);
+        let f = m.func(m.func_by_name("f").unwrap());
+        for (_, inst) in f.iter_insts() {
+            if let Inst::Alloca { name, ty, .. } = inst {
+                if name == ENTRY_PAD_NAME {
+                    let sz = ty.size();
+                    assert!(sz % 8 == 0 && (8..=64).contains(&sz));
+                    sizes.insert(sz);
+                }
+            }
+        }
+    }
+    assert!(sizes.len() >= 4, "padding variety too low: {sizes:?}");
+}
+
+#[test]
+fn static_permutation_preserves_alloca_multiset() {
+    let mut base = compile(PROG).unwrap();
+    let mut perm = compile(PROG).unwrap();
+    apply_static_permutation(&mut perm, 123);
+    let multiset = |m: &smokestack_ir::Module| {
+        let f = m.func(m.func_by_name("f").unwrap());
+        let mut v: Vec<(String, u64)> = f
+            .iter_insts()
+            .filter_map(|(_, i)| match i {
+                Inst::Alloca { name, ty, .. } => Some((name.clone(), ty.size())),
+                _ => None,
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(multiset(&base), multiset(&perm));
+    let _ = &mut base;
+}
+
+#[test]
+fn canary_checks_every_return_path() {
+    let src = r#"
+        int g(int a) {
+            char b[24];
+            b[0] = a;
+            if (a > 0) { return 1; }
+            if (a < -5) { return 2; }
+            return 3;
+        }
+        int main() { return g(1) + g(-10) + g(0); }
+    "#;
+    let mut m = compile(src).unwrap();
+    apply_stack_canary(&mut m);
+    smokestack_ir::verify_module(&m).unwrap();
+    let f = m.func(m.func_by_name("g").unwrap());
+    // No block may end in a bare Ret without a preceding canary check:
+    // every original Ret was rewritten into CondBr(fail, ret_bb) where
+    // ret_bb contains only the Ret.
+    let mut checked_rets = 0;
+    for (_, b) in f.iter_blocks() {
+        if let Terminator::CondBr { .. } = b.term {
+            if b.insts.iter().any(
+                |i| matches!(i, Inst::Call { callee: smokestack_ir::Callee::Intrinsic(smokestack_ir::Intrinsic::Canary), .. }),
+            ) {
+                checked_rets += 1;
+            }
+        }
+    }
+    assert!(checked_rets >= 3, "expected 3 guarded returns, saw {checked_rets}");
+    // And the program still works.
+    let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+    assert_eq!(out.exit, Exit::Return(6));
+}
+
+#[test]
+fn stack_base_offsets_spread_widely() {
+    let mut offsets = std::collections::HashSet::new();
+    for seed in 0..64 {
+        offsets.insert(smokestack_defenses::stack_base_offset(seed, 1 << 20));
+    }
+    assert!(offsets.len() > 60, "offsets collide too much");
+    assert!(offsets.iter().all(|o| o % 16 == 0 && *o < (1 << 20)));
+}
+
+#[test]
+fn smokestack_deployment_reports_placements() {
+    let mut m = compile(PROG).unwrap();
+    let dep = deploy(
+        DefenseKind::Smokestack(smokestack_srng::SchemeKind::Aes10),
+        &mut m,
+        1,
+        2,
+    );
+    let report = dep.smokestack.expect("report present");
+    assert!(report.placements.contains_key("f"));
+    let p = &report.placements["f"];
+    // Slots: spilled a, x, buf, y, z.
+    assert_eq!(p.slot_names, vec!["a", "x", "buf", "y", "z"]);
+    assert!(p.entropy_bits > 3.0, "5 slots should exceed 3 bits");
+}

@@ -1,0 +1,282 @@
+//! A convenience builder for constructing function bodies.
+
+use crate::function::Function;
+use crate::inst::{BinOp, Callee, CastKind, CmpPred, Inst, Intrinsic, Terminator};
+use crate::types::{IntWidth, Type};
+use crate::value::{BlockId, FuncId, RegId, Value};
+
+/// Builds instructions into a [`Function`], tracking a current insertion
+/// block.
+///
+/// # Examples
+///
+/// ```
+/// use smokestack_ir::{Builder, Function, Type, Value};
+///
+/// let mut f = Function::new("answer", vec![], Type::I32);
+/// let mut b = Builder::new(&mut f);
+/// let slot = b.alloca(Type::I32, "x");
+/// b.store(Type::I32, Value::i32(42), slot.into());
+/// let v = b.load(Type::I32, slot.into());
+/// b.ret(Some(v.into()));
+/// assert_eq!(f.blocks.len(), 1);
+/// ```
+pub struct Builder<'f> {
+    func: &'f mut Function,
+    cur: BlockId,
+}
+
+impl<'f> Builder<'f> {
+    /// Start building at the entry block of `func`.
+    pub fn new(func: &'f mut Function) -> Builder<'f> {
+        Builder {
+            func,
+            cur: Function::ENTRY,
+        }
+    }
+
+    /// The block instructions are currently appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Create a new (empty, unterminated) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.add_block()
+    }
+
+    /// Move the insertion point to `bb`.
+    pub fn switch_to(&mut self, bb: BlockId) {
+        self.cur = bb;
+    }
+
+    /// Access the function being built.
+    pub fn func(&mut self) -> &mut Function {
+        self.func
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.func.block_mut(self.cur).insts.push(inst);
+    }
+
+    /// Emit a fixed-size stack allocation; returns the address register.
+    pub fn alloca(&mut self, ty: Type, name: impl Into<String>) -> RegId {
+        let align = ty.align();
+        self.alloca_aligned(ty, align, name)
+    }
+
+    /// Emit a stack allocation with an explicit alignment.
+    pub fn alloca_aligned(&mut self, ty: Type, align: u64, name: impl Into<String>) -> RegId {
+        let result = self.func.new_reg(Type::Ptr);
+        self.push(Inst::Alloca {
+            result,
+            ty,
+            count: None,
+            align,
+            name: name.into(),
+            randomizable: true,
+        });
+        result
+    }
+
+    /// Emit a variable-length stack allocation of `count` elements.
+    pub fn alloca_vla(&mut self, elem: Type, count: Value, name: impl Into<String>) -> RegId {
+        let result = self.func.new_reg(Type::Ptr);
+        let align = elem.align();
+        self.push(Inst::Alloca {
+            result,
+            ty: elem,
+            count: Some(count),
+            align,
+            name: name.into(),
+            randomizable: true,
+        });
+        result
+    }
+
+    /// Emit a load.
+    pub fn load(&mut self, ty: Type, ptr: Value) -> RegId {
+        let result = self.func.new_reg(ty.clone());
+        self.push(Inst::Load { result, ty, ptr });
+        result
+    }
+
+    /// Emit a store.
+    pub fn store(&mut self, ty: Type, val: Value, ptr: Value) {
+        self.push(Inst::Store { ty, val, ptr });
+    }
+
+    /// Emit byte-granular pointer arithmetic.
+    pub fn gep(&mut self, base: Value, offset: Value) -> RegId {
+        let result = self.func.new_reg(Type::Ptr);
+        self.push(Inst::Gep {
+            result,
+            base,
+            offset,
+        });
+        result
+    }
+
+    /// Emit a binary operation.
+    pub fn bin(&mut self, op: BinOp, width: IntWidth, lhs: Value, rhs: Value) -> RegId {
+        let result = self.func.new_reg(Type::Int(width));
+        self.push(Inst::Bin {
+            result,
+            op,
+            width,
+            lhs,
+            rhs,
+        });
+        result
+    }
+
+    /// Emit an `i64` addition (the most common case).
+    pub fn add64(&mut self, lhs: Value, rhs: Value) -> RegId {
+        self.bin(BinOp::Add, IntWidth::W64, lhs, rhs)
+    }
+
+    /// Emit a comparison; the `i8` result is 0 or 1.
+    pub fn icmp(&mut self, pred: CmpPred, width: IntWidth, lhs: Value, rhs: Value) -> RegId {
+        let result = self.func.new_reg(Type::I8);
+        self.push(Inst::Icmp {
+            result,
+            pred,
+            width,
+            lhs,
+            rhs,
+        });
+        result
+    }
+
+    /// Emit a cast.
+    pub fn cast(&mut self, kind: CastKind, to: Type, val: Value) -> RegId {
+        let result = self.func.new_reg(to.clone());
+        self.push(Inst::Cast {
+            result,
+            kind,
+            to,
+            val,
+        });
+        result
+    }
+
+    /// Emit a direct call.
+    pub fn call(&mut self, callee: FuncId, ret: Type, args: Vec<Value>) -> Option<RegId> {
+        let result = if ret == Type::Void {
+            None
+        } else {
+            Some(self.func.new_reg(ret))
+        };
+        self.push(Inst::Call {
+            result,
+            callee: Callee::Direct(callee),
+            args,
+        });
+        result
+    }
+
+    /// Emit an intrinsic call. The result register is `i64` when the
+    /// intrinsic returns a value (`Malloc` returns `ptr`).
+    pub fn call_intrinsic(&mut self, which: Intrinsic, args: Vec<Value>) -> Option<RegId> {
+        let (_, returns) = which.signature();
+        let result = if returns {
+            let ty = if which == Intrinsic::Malloc {
+                Type::Ptr
+            } else {
+                Type::I64
+            };
+            Some(self.func.new_reg(ty))
+        } else {
+            None
+        };
+        self.push(Inst::Call {
+            result,
+            callee: Callee::Intrinsic(which),
+            args,
+        });
+        result
+    }
+
+    /// Emit an indirect call through a function pointer.
+    pub fn call_indirect(&mut self, target: Value, ret: Type, args: Vec<Value>) -> Option<RegId> {
+        let result = if ret == Type::Void {
+            None
+        } else {
+            Some(self.func.new_reg(ret))
+        };
+        self.push(Inst::Call {
+            result,
+            callee: Callee::Indirect(target),
+            args,
+        });
+        result
+    }
+
+    /// Terminate the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::Br(target);
+    }
+
+    /// Terminate the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: Value, then_bb: BlockId, else_bb: BlockId) {
+        self.func.block_mut(self.cur).term = Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+        };
+    }
+
+    /// Terminate the current block with a return.
+    pub fn ret(&mut self, val: Option<Value>) {
+        self.func.block_mut(self.cur).term = Terminator::Ret(val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_loop_cfg() {
+        // for (i = 0; i < 10; i++) {}
+        let mut f = Function::new("loop10", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let i = b.alloca(Type::I64, "i");
+        b.store(Type::I64, Value::i64(0), i.into());
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let iv = b.load(Type::I64, i.into());
+        let c = b.icmp(CmpPred::Slt, IntWidth::W64, iv.into(), Value::i64(10));
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        let iv2 = b.load(Type::I64, i.into());
+        let inc = b.add64(iv2.into(), Value::i64(1));
+        b.store(Type::I64, inc.into(), i.into());
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(
+            f.block(header).term.successors(),
+            vec![BlockId(2), BlockId(3)]
+        );
+        assert_eq!(f.alloca_sites().len(), 1);
+    }
+
+    #[test]
+    fn intrinsic_result_types() {
+        let mut f = Function::new("g", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let p = b.call_intrinsic(Intrinsic::Malloc, vec![Value::i64(16)]).unwrap();
+        let n = b
+            .call_intrinsic(Intrinsic::Strlen, vec![p.into()])
+            .unwrap();
+        b.ret(None);
+        assert_eq!(f.reg_type(p), &Type::Ptr);
+        assert_eq!(f.reg_type(n), &Type::I64);
+    }
+}

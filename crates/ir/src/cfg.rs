@@ -1,0 +1,268 @@
+//! Control-flow-graph utilities: predecessors, reverse postorder, and
+//! dominator computation (Cooper–Harvey–Kennedy).
+
+use crate::function::Function;
+use crate::value::BlockId;
+
+/// Predecessor lists for every block.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Compute the CFG of `f`.
+    pub fn compute(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (bid, b) in f.iter_blocks() {
+            let ss = b.term.successors();
+            for s in &ss {
+                preds[s.0 as usize].push(bid);
+            }
+            succs[bid.0 as usize] = ss;
+        }
+        Cfg { preds, succs }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.0 as usize]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.0 as usize]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// omitted.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let n = self.len();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        if n == 0 {
+            return post;
+        }
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        visited[0] = true;
+        loop {
+            let (b, next) = match stack.last() {
+                Some(&t) => t,
+                None => break,
+            };
+            let ss = self.succs(b);
+            if next < ss.len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let s = ss[next];
+                if !visited[s.0 as usize] {
+                    visited[s.0 as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+/// Immediate-dominator tree.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of `b`; entry's idom is itself.
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Compute dominators with the Cooper–Harvey–Kennedy algorithm.
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let rpo = cfg.reverse_postorder();
+        let n = cfg.len();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.0 as usize] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom };
+        }
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// Immediate dominator of `b` (`None` for unreachable blocks; the
+    /// entry dominates itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.0 as usize]
+    }
+
+    /// Whether `a` dominates `b`. Every block dominates itself.
+    /// Returns `false` if either block is unreachable.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.0 as usize].is_none() || self.idom[a.0 as usize].is_none() {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let up = self.idom[cur.0 as usize].expect("reachable chain");
+            if up == cur {
+                return false; // reached entry
+            }
+            cur = up;
+        }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.idom[b.0 as usize].is_some()
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    /// Build the classic diamond: entry -> {l, r} -> join.
+    fn diamond() -> Function {
+        let mut f = Function::new("d", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let l = b.new_block();
+        let r = b.new_block();
+        let j = b.new_block();
+        b.cond_br(Value::i8(1), l, r);
+        b.switch_to(l);
+        b.br(j);
+        b.switch_to(r);
+        b.br(j);
+        b.switch_to(j);
+        b.ret(None);
+        f
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&cfg);
+        let (e, l, r, j) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dom.idom(l), Some(e));
+        assert_eq!(dom.idom(r), Some(e));
+        assert_eq!(dom.idom(j), Some(e));
+        assert!(dom.dominates(e, j));
+        assert!(!dom.dominates(l, j));
+        assert!(dom.dominates(j, j));
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+
+    #[test]
+    fn unreachable_block_excluded() {
+        let mut f = diamond();
+        let dead = f.add_block(); // never branched to
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&cfg);
+        assert!(!dom.is_reachable(dead));
+        assert_eq!(cfg.reverse_postorder().len(), 4);
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // entry -> header <-> body, header -> exit
+        let mut f = Function::new("l", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        b.cond_br(Value::i8(1), body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        assert!(dom.dominates(header, body));
+        assert!(!dom.dominates(body, exit));
+    }
+}

@@ -1,0 +1,191 @@
+//! Functions and basic blocks.
+
+use crate::inst::{Inst, Terminator};
+use crate::types::Type;
+use crate::value::{BlockId, RegId};
+
+/// A basic block: a straight-line instruction sequence ending in a
+/// terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The instructions of the block, in execution order.
+    pub insts: Vec<Inst>,
+    /// The terminator. Freshly created blocks start as
+    /// [`Terminator::Unreachable`] until the builder seals them.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// An empty, unterminated block.
+    pub fn new() -> Block {
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Unreachable,
+        }
+    }
+}
+
+impl Default for Block {
+    fn default() -> Self {
+        Block::new()
+    }
+}
+
+/// A function: parameters, return type, and a CFG of basic blocks.
+///
+/// Registers `%0 .. %(params.len()-1)` hold the incoming arguments; the
+/// entry block is always [`Function::ENTRY`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter types (bound to the first registers).
+    pub params: Vec<Type>,
+    /// Return type ([`Type::Void`] for none).
+    pub ret: Type,
+    /// Basic blocks; index = `BlockId.0`.
+    pub blocks: Vec<Block>,
+    reg_types: Vec<Type>,
+}
+
+impl Function {
+    /// The entry block of every function.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// Create a function with the given signature and an empty entry block.
+    pub fn new(name: impl Into<String>, params: Vec<Type>, ret: Type) -> Function {
+        let reg_types = params.clone();
+        Function {
+            name: name.into(),
+            params,
+            ret,
+            blocks: vec![Block::new()],
+            reg_types,
+        }
+    }
+
+    /// Allocate a fresh virtual register of the given type.
+    pub fn new_reg(&mut self, ty: Type) -> RegId {
+        let id = RegId(self.reg_types.len() as u32);
+        self.reg_types.push(ty);
+        id
+    }
+
+    /// Number of virtual registers (including parameters).
+    pub fn reg_count(&self) -> usize {
+        self.reg_types.len()
+    }
+
+    /// The type of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register does not belong to this function.
+    pub fn reg_type(&self, r: RegId) -> &Type {
+        &self.reg_types[r.0 as usize]
+    }
+
+    /// Overwrite the recorded type of a register (used by the textual
+    /// parser, which discovers result types as definitions are read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register does not belong to this function.
+    pub fn retype_reg(&mut self, r: RegId, ty: Type) {
+        self.reg_types[r.0 as usize] = ty;
+    }
+
+    /// Append a new empty block and return its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new());
+        id
+    }
+
+    /// Shared access to a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Iterate over `(BlockId, &Block)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// All instructions of the function with their block ids, in block
+    /// index order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, &Inst)> {
+        self.iter_blocks()
+            .flat_map(|(id, b)| b.insts.iter().map(move |i| (id, i)))
+    }
+
+    /// Collect every `alloca` instruction (any block — VLAs may be
+    /// allocated mid-function) as `(block, index-within-block)`.
+    pub fn alloca_sites(&self) -> Vec<(BlockId, usize)> {
+        let mut out = Vec::new();
+        for (bid, b) in self.iter_blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if matches!(inst, Inst::Alloca { .. }) {
+                    out.push((bid, i));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+    use crate::value::Value;
+
+    #[test]
+    fn params_bind_first_registers() {
+        let f = Function::new("f", vec![Type::I32, Type::Ptr], Type::Void);
+        assert_eq!(f.reg_count(), 2);
+        assert_eq!(f.reg_type(RegId(0)), &Type::I32);
+        assert_eq!(f.reg_type(RegId(1)), &Type::Ptr);
+    }
+
+    #[test]
+    fn new_reg_extends_types() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let r = f.new_reg(Type::Ptr);
+        assert_eq!(r, RegId(0));
+        assert_eq!(f.reg_type(r), &Type::Ptr);
+    }
+
+    #[test]
+    fn alloca_sites_span_blocks() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let r0 = f.new_reg(Type::Ptr);
+        let r1 = f.new_reg(Type::Ptr);
+        let b1 = f.add_block();
+        let mk = |result, name: &str| Inst::Alloca {
+            result,
+            ty: Type::I32,
+            count: None,
+            align: 4,
+            name: name.into(),
+            randomizable: true,
+        };
+        f.block_mut(Function::ENTRY).insts.push(mk(r0, "a"));
+        f.block_mut(b1).insts.push(Inst::Store {
+            ty: Type::I32,
+            val: Value::i32(0),
+            ptr: Value::Reg(r0),
+        });
+        f.block_mut(b1).insts.push(mk(r1, "b"));
+        let sites = f.alloca_sites();
+        assert_eq!(sites, vec![(Function::ENTRY, 0), (b1, 1)]);
+    }
+}

@@ -1,0 +1,513 @@
+//! Instructions, terminators, and intrinsics.
+
+use std::fmt;
+
+use crate::types::{IntWidth, Type};
+use crate::value::{BlockId, FuncId, RegId, Value};
+
+/// Integer binary operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division (traps on division by zero in the VM).
+    SDiv,
+    /// Unsigned division.
+    UDiv,
+    /// Signed remainder.
+    SRem,
+    /// Unsigned remainder.
+    URem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Logical (zero-filling) shift right.
+    LShr,
+    /// Arithmetic (sign-filling) shift right.
+    AShr,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::SDiv => "sdiv",
+            BinOp::UDiv => "udiv",
+            BinOp::SRem => "srem",
+            BinOp::URem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Integer comparison predicate. The result is an `i8` holding 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+}
+
+impl fmt::Display for CmpPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Slt => "slt",
+            CmpPred::Sle => "sle",
+            CmpPred::Sgt => "sgt",
+            CmpPred::Sge => "sge",
+            CmpPred::Ult => "ult",
+            CmpPred::Ule => "ule",
+            CmpPred::Ugt => "ugt",
+            CmpPred::Uge => "uge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Kind of a cast instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CastKind {
+    /// Zero-extend or truncate an integer to the target width.
+    ZextOrTrunc,
+    /// Sign-extend from the given *source* width (then truncate to the
+    /// target width if narrower).
+    SextFrom(IntWidth),
+    /// Reinterpret a pointer as an `i64`.
+    PtrToInt,
+    /// Reinterpret an `i64` as a pointer.
+    IntToPtr,
+}
+
+impl fmt::Display for CastKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CastKind::ZextOrTrunc => f.write_str("zext"),
+            CastKind::SextFrom(w) => write!(f, "sext.{w}"),
+            CastKind::PtrToInt => f.write_str("ptrtoint"),
+            CastKind::IntToPtr => f.write_str("inttoptr"),
+        }
+    }
+}
+
+/// Built-in runtime services the VM provides, mirroring the libc-level
+/// functions the paper's target programs use plus the instrumentation
+/// helpers Smokestack links in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `get_input(ptr, max) -> i64`: copy up to `max` bytes from the
+    /// attacker-controlled input stream into memory at `ptr`. Returns the
+    /// number of bytes copied. Deliberately performs **no** bounds check
+    /// against the destination object — this is the vulnerable primitive.
+    GetInput,
+    /// `read_line(ptr, max) -> i64`: like `GetInput` but stops at a
+    /// newline; also unchecked.
+    ReadLine,
+    /// `print_int(i64)`: append a decimal integer to program output.
+    PrintInt,
+    /// `print_str(ptr)`: append a NUL-terminated string to program output.
+    PrintStr,
+    /// `memcpy(dst, src, n)`: raw unchecked copy.
+    Memcpy,
+    /// `memset(dst, byte, n)`: raw unchecked fill.
+    Memset,
+    /// `strlen(ptr) -> i64`.
+    Strlen,
+    /// `snprintf_cat(dst, cap, fmt, arg) -> i64`: formats `fmt` (a string
+    /// supporting `%s` and `%d`) with a single argument into `dst`,
+    /// writing at most `cap - 1` bytes plus a NUL **when `cap > 0`**, and
+    /// returns the number of bytes that *would* have been written. This is
+    /// the exact contract whose misuse creates CVE-2018-1000140.
+    SnprintfCat,
+    /// `malloc(n) -> ptr`: bump/free-list heap allocation.
+    Malloc,
+    /// `free(ptr)`.
+    Free,
+    /// `io_wait(cycles)`: model an I/O stall of the given duration.
+    IoWait,
+    /// `stack_rng() -> i64`: draw from the configured stack-randomization
+    /// entropy source, charging the per-invocation cycle cost of the
+    /// active scheme (paper Table I).
+    StackRng,
+    /// `guard_key() -> i64`: the process-wide random guard key used by the
+    /// function-identifier checks. Lives in the protected register file.
+    GuardKey,
+    /// `guard_fail(id)`: report a Smokestack guard violation and abort.
+    GuardFail,
+    /// `canary() -> i64`: the process-wide stack canary value.
+    Canary,
+    /// `canary_fail()`: report a smashed canary and abort.
+    CanaryFail,
+    /// `exit(code)`: terminate the program normally.
+    Exit,
+}
+
+impl Intrinsic {
+    /// The canonical source-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::GetInput => "get_input",
+            Intrinsic::ReadLine => "read_line",
+            Intrinsic::PrintInt => "print_int",
+            Intrinsic::PrintStr => "print_str",
+            Intrinsic::Memcpy => "memcpy",
+            Intrinsic::Memset => "memset",
+            Intrinsic::Strlen => "strlen",
+            Intrinsic::SnprintfCat => "snprintf_cat",
+            Intrinsic::Malloc => "malloc",
+            Intrinsic::Free => "free",
+            Intrinsic::IoWait => "io_wait",
+            Intrinsic::StackRng => "stack_rng",
+            Intrinsic::GuardKey => "guard_key",
+            Intrinsic::GuardFail => "guard_fail",
+            Intrinsic::Canary => "canary",
+            Intrinsic::CanaryFail => "canary_fail",
+            Intrinsic::Exit => "exit",
+        }
+    }
+
+    /// Parse an intrinsic from its source-level name.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        use Intrinsic::*;
+        Some(match name {
+            "get_input" => GetInput,
+            "read_line" => ReadLine,
+            "print_int" => PrintInt,
+            "print_str" => PrintStr,
+            "memcpy" => Memcpy,
+            "memset" => Memset,
+            "strlen" => Strlen,
+            "snprintf_cat" => SnprintfCat,
+            "malloc" => Malloc,
+            "free" => Free,
+            "io_wait" => IoWait,
+            "stack_rng" => StackRng,
+            "guard_key" => GuardKey,
+            "guard_fail" => GuardFail,
+            "canary" => Canary,
+            "canary_fail" => CanaryFail,
+            "exit" => Exit,
+            _ => return None,
+        })
+    }
+
+    /// (parameter count, returns a value?)
+    pub fn signature(self) -> (usize, bool) {
+        use Intrinsic::*;
+        match self {
+            GetInput | ReadLine => (2, true),
+            PrintInt | PrintStr => (1, false),
+            Memcpy | Memset => (3, false),
+            Strlen => (1, true),
+            SnprintfCat => (4, true),
+            Malloc => (1, true),
+            Free => (1, false),
+            IoWait => (1, false),
+            StackRng | GuardKey | Canary => (0, true),
+            GuardFail => (1, false),
+            CanaryFail => (0, false),
+            Exit => (1, false),
+        }
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The target of a call.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Callee {
+    /// Direct call to a function in the module.
+    Direct(FuncId),
+    /// Call to a VM-provided intrinsic.
+    Intrinsic(Intrinsic),
+    /// Indirect call through a function-pointer value.
+    Indirect(Value),
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// Reserve stack storage for a value of type `ty` (times `count`
+    /// elements when present — `count` makes this a variable-length
+    /// array). The result register holds the address.
+    Alloca {
+        /// Register receiving the address of the allocation.
+        result: RegId,
+        /// Element type of the allocation.
+        ty: Type,
+        /// Dynamic element count, for C99 VLAs. `None` means 1.
+        count: Option<Value>,
+        /// Required alignment (power of two).
+        align: u64,
+        /// Source-level variable name, for diagnostics and analyses.
+        name: String,
+        /// Whether layout-randomization passes may move this allocation.
+        /// `false` for instrumentation-owned slots (Smokestack slab,
+        /// padding allocas, canary slots).
+        randomizable: bool,
+    },
+    /// Load a value of type `ty` from `ptr`.
+    Load {
+        /// Destination register.
+        result: RegId,
+        /// Loaded type (must be `Int` or `Ptr`).
+        ty: Type,
+        /// Address operand.
+        ptr: Value,
+    },
+    /// Store `val` (of type `ty`) to `ptr`.
+    Store {
+        /// Stored type (must be `Int` or `Ptr`).
+        ty: Type,
+        /// Value operand.
+        val: Value,
+        /// Address operand.
+        ptr: Value,
+    },
+    /// Compute `base + offset` (byte-granular pointer arithmetic; the
+    /// analog of LLVM's `getelementptr` after offset folding).
+    Gep {
+        /// Destination register (of pointer type).
+        result: RegId,
+        /// Base pointer.
+        base: Value,
+        /// Byte offset (i64).
+        offset: Value,
+    },
+    /// Integer arithmetic/logic at width `width`.
+    Bin {
+        /// Destination register.
+        result: RegId,
+        /// Operation.
+        op: BinOp,
+        /// Operand width.
+        width: IntWidth,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Integer comparison at width `width`; result is `i8` 0/1.
+    Icmp {
+        /// Destination register.
+        result: RegId,
+        /// Predicate.
+        pred: CmpPred,
+        /// Operand width.
+        width: IntWidth,
+        /// Left operand.
+        lhs: Value,
+        /// Right operand.
+        rhs: Value,
+    },
+    /// Width/representation cast.
+    Cast {
+        /// Destination register.
+        result: RegId,
+        /// What kind of cast.
+        kind: CastKind,
+        /// Target type.
+        to: Type,
+        /// Source value.
+        val: Value,
+    },
+    /// Function or intrinsic call.
+    Call {
+        /// Destination register, when the callee returns a value.
+        result: Option<RegId>,
+        /// Call target.
+        callee: Callee,
+        /// Argument values.
+        args: Vec<Value>,
+    },
+}
+
+impl Inst {
+    /// The register this instruction defines, if any.
+    pub fn result(&self) -> Option<RegId> {
+        match self {
+            Inst::Alloca { result, .. }
+            | Inst::Load { result, .. }
+            | Inst::Gep { result, .. }
+            | Inst::Bin { result, .. }
+            | Inst::Icmp { result, .. }
+            | Inst::Cast { result, .. } => Some(*result),
+            Inst::Call { result, .. } => *result,
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// All value operands of this instruction.
+    pub fn operands(&self) -> Vec<Value> {
+        match self {
+            Inst::Alloca { count, .. } => count.iter().copied().collect(),
+            Inst::Load { ptr, .. } => vec![*ptr],
+            Inst::Store { val, ptr, .. } => vec![*val, *ptr],
+            Inst::Gep { base, offset, .. } => vec![*base, *offset],
+            Inst::Bin { lhs, rhs, .. } | Inst::Icmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::Cast { val, .. } => vec![*val],
+            Inst::Call { callee, args, .. } => {
+                let mut ops = args.clone();
+                if let Callee::Indirect(v) = callee {
+                    ops.push(*v);
+                }
+                ops
+            }
+        }
+    }
+
+    /// Whether this is an `alloca` eligible for layout randomization.
+    pub fn is_randomizable_alloca(&self) -> bool {
+        matches!(
+            self,
+            Inst::Alloca {
+                randomizable: true,
+                ..
+            }
+        )
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br(BlockId),
+    /// Two-way conditional branch on an `i8` condition.
+    CondBr {
+        /// Condition value (nonzero means taken).
+        cond: Value,
+        /// Target when the condition is nonzero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Return from the function.
+    Ret(Option<Value>),
+    /// Marks unreachable control flow (e.g. after a noreturn call).
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br(b) => vec![*b],
+            Terminator::CondBr {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Ret(_) | Terminator::Unreachable => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_roundtrip() {
+        for i in [
+            Intrinsic::GetInput,
+            Intrinsic::SnprintfCat,
+            Intrinsic::StackRng,
+            Intrinsic::Exit,
+            Intrinsic::Malloc,
+            Intrinsic::GuardFail,
+        ] {
+            assert_eq!(Intrinsic::from_name(i.name()), Some(i));
+        }
+        assert_eq!(Intrinsic::from_name("no_such_builtin"), None);
+    }
+
+    #[test]
+    fn inst_results_and_operands() {
+        let store = Inst::Store {
+            ty: Type::I32,
+            val: Value::i32(1),
+            ptr: Value::Reg(RegId(0)),
+        };
+        assert_eq!(store.result(), None);
+        assert_eq!(store.operands().len(), 2);
+
+        let gep = Inst::Gep {
+            result: RegId(1),
+            base: Value::Reg(RegId(0)),
+            offset: Value::i64(8),
+        };
+        assert_eq!(gep.result(), Some(RegId(1)));
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert_eq!(Terminator::Br(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert_eq!(Terminator::Ret(None).successors(), vec![]);
+        let c = Terminator::CondBr {
+            cond: Value::i8(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(c.successors(), vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn randomizable_alloca_flag() {
+        let a = Inst::Alloca {
+            result: RegId(0),
+            ty: Type::I32,
+            count: None,
+            align: 4,
+            name: "x".into(),
+            randomizable: true,
+        };
+        assert!(a.is_randomizable_alloca());
+        let slab = Inst::Alloca {
+            result: RegId(1),
+            ty: Type::array(Type::I8, 64),
+            count: None,
+            align: 16,
+            name: "__smokestack_slab".into(),
+            randomizable: false,
+        };
+        assert!(!slab.is_randomizable_alloca());
+    }
+}

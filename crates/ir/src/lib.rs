@@ -1,0 +1,62 @@
+//! # smokestack-ir
+//!
+//! The typed, SSA-like intermediate representation used throughout the
+//! Smokestack reproduction. It deliberately mirrors the slice of LLVM IR
+//! the paper's passes operate on:
+//!
+//! * mutable locals are [`Inst::Alloca`] slots accessed through
+//!   [`Inst::Load`]/[`Inst::Store`] (the `clang -O0` shape);
+//! * pointer arithmetic is byte-granular [`Inst::Gep`];
+//! * functions are CFGs of basic blocks with explicit terminators;
+//! * passes are [`ModulePass`] objects sequenced by a [`PassManager`]
+//!   with a [`verify`](verify_module) safety net between passes.
+//!
+//! The Smokestack instrumentation (crate `smokestack-core`) rewrites
+//! allocas into dynamically-indexed slices of one slab allocation; the
+//! baseline defenses (crate `smokestack-defenses`) are also expressed as
+//! passes over this IR; the VM (crate `smokestack-vm`) executes it with a
+//! flat memory so data-oriented attacks behave exactly as they do against
+//! native stacks.
+//!
+//! # Examples
+//!
+//! ```
+//! use smokestack_ir::{Builder, Function, Module, Type, Value, verify_module};
+//!
+//! let mut m = Module::new();
+//! let mut f = Function::new("main", vec![], Type::I32);
+//! let mut b = Builder::new(&mut f);
+//! let x = b.alloca(Type::I32, "x");
+//! b.store(Type::I32, Value::i32(7), x.into());
+//! let v = b.load(Type::I32, x.into());
+//! b.ret(Some(v.into()));
+//! m.add_func(f);
+//! verify_module(&m).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+mod cfg;
+mod function;
+mod inst;
+mod module;
+pub mod opt;
+mod pass;
+mod printer;
+pub mod textual;
+mod types;
+mod value;
+pub mod verify;
+
+pub use builder::Builder;
+pub use cfg::{Cfg, Dominators};
+pub use function::{Block, Function};
+pub use inst::{BinOp, Callee, CastKind, CmpPred, Inst, Intrinsic, Terminator};
+pub use module::{Global, GlobalInit, Module};
+pub use opt::{eliminate_dead_code, fold_constants, replace_uses, OptStats, Optimize};
+pub use pass::{ModulePass, PassManager, PipelineError, PipelineReport};
+pub use types::{align_to, IntWidth, Type};
+pub use textual::{parse_module as parse_ir, TextError};
+pub use value::{BlockId, FuncId, GlobalId, RegId, Value};
+pub use verify::{assert_verified, verify_function, verify_module, VerifyError};

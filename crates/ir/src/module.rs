@@ -1,0 +1,142 @@
+//! Modules: the unit of compilation (functions + globals).
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::types::Type;
+use crate::value::{FuncId, GlobalId};
+
+/// Initial contents of a global variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalInit {
+    /// Zero-initialized storage.
+    Zero,
+    /// Explicit bytes (padded with zeros to the type size by the loader).
+    Bytes(Vec<u8>),
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Value type (determines size/alignment of the storage).
+    pub ty: Type,
+    /// Initializer.
+    pub init: GlobalInit,
+    /// Whether the loader places this in the read-only segment.
+    /// Read-only globals cannot be written — by the program *or* by the
+    /// attacker (paper threat model §III-B). The P-BOX lives here.
+    pub readonly: bool,
+}
+
+/// A compilation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Functions; index = `FuncId.0`.
+    pub funcs: Vec<Function>,
+    /// Globals; index = `GlobalId.0`.
+    pub globals: Vec<Global>,
+    name_to_func: HashMap<String, FuncId>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Add a function, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name already exists.
+    pub fn add_func(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        let prev = self.name_to_func.insert(f.name.clone(), id);
+        assert!(prev.is_none(), "duplicate function name {}", f.name);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Look up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.name_to_func.get(name).copied()
+    }
+
+    /// Shared access to a function.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Mutable access to a function.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.0 as usize]
+    }
+
+    /// Shared access to a global.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.0 as usize]
+    }
+
+    /// Iterate over `(FuncId, &Function)` pairs.
+    pub fn iter_funcs(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Convenience: add a read-only NUL-terminated string global and
+    /// return its id.
+    pub fn add_cstring(&mut self, name: impl Into<String>, s: &str) -> GlobalId {
+        let mut bytes = s.as_bytes().to_vec();
+        bytes.push(0);
+        let len = bytes.len() as u64;
+        self.push_global(Global {
+            name: name.into(),
+            ty: Type::array(Type::I8, len),
+            init: GlobalInit::Bytes(bytes),
+            readonly: true,
+        })
+    }
+
+    /// Add a global, returning its id.
+    pub fn push_global(&mut self, g: Global) -> GlobalId {
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(g);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn func_registry() {
+        let mut m = Module::new();
+        let f = m.add_func(Function::new("main", vec![], Type::I32));
+        assert_eq!(m.func_by_name("main"), Some(f));
+        assert_eq!(m.func_by_name("missing"), None);
+        assert_eq!(m.func(f).name, "main");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_names_rejected() {
+        let mut m = Module::new();
+        m.add_func(Function::new("f", vec![], Type::Void));
+        m.add_func(Function::new("f", vec![], Type::Void));
+    }
+
+    #[test]
+    fn cstring_global() {
+        let mut m = Module::new();
+        let g = m.add_cstring("s", "hi");
+        let global = m.global(g);
+        assert!(global.readonly);
+        assert_eq!(global.ty, Type::array(Type::I8, 3));
+        assert_eq!(global.init, GlobalInit::Bytes(vec![b'h', b'i', 0]));
+    }
+}

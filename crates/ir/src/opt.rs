@@ -1,0 +1,416 @@
+//! Scalar optimization passes: constant folding and dead-code
+//! elimination.
+//!
+//! The paper's pipeline runs its instrumentation over `-O2` output; in
+//! this reproduction the front-end emits naive (`-O0`-shaped) code and
+//! these passes model the "subsequent phases of the compilation" the
+//! paper notes may reorder and clean up what instrumentation leaves
+//! behind. They are deliberately conservative: they never remove or
+//! reorder memory operations, calls, or allocas that an instrumentation
+//! pass could later care about — so they can run either before or after
+//! Smokestack hardening.
+
+use std::collections::HashSet;
+
+use crate::function::Function;
+use crate::inst::{BinOp, CastKind, CmpPred, Inst, Terminator};
+use crate::module::Module;
+use crate::pass::ModulePass;
+use crate::types::IntWidth;
+#[cfg(test)]
+use crate::types::Type;
+use crate::value::{RegId, Value};
+
+/// Replace every use of register `r` with `v` (operands and
+/// terminators; definitions are untouched).
+pub fn replace_uses(f: &mut Function, r: RegId, v: Value) {
+    let subst = |val: &mut Value| {
+        if *val == Value::Reg(r) {
+            *val = v;
+        }
+    };
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            match inst {
+                Inst::Alloca { count, .. } => {
+                    if let Some(c) = count {
+                        subst(c);
+                    }
+                }
+                Inst::Load { ptr, .. } => subst(ptr),
+                Inst::Store { val, ptr, .. } => {
+                    subst(val);
+                    subst(ptr);
+                }
+                Inst::Gep { base, offset, .. } => {
+                    subst(base);
+                    subst(offset);
+                }
+                Inst::Bin { lhs, rhs, .. } | Inst::Icmp { lhs, rhs, .. } => {
+                    subst(lhs);
+                    subst(rhs);
+                }
+                Inst::Cast { val, .. } => subst(val),
+                Inst::Call { callee, args, .. } => {
+                    if let crate::inst::Callee::Indirect(t) = callee {
+                        subst(t);
+                    }
+                    for a in args {
+                        subst(a);
+                    }
+                }
+            }
+        }
+        match &mut b.term {
+            Terminator::CondBr { cond, .. } => subst(cond),
+            Terminator::Ret(Some(val)) => subst(val),
+            _ => {}
+        }
+    }
+}
+
+fn const_of(v: &Value) -> Option<(i64, IntWidth)> {
+    match v {
+        Value::ConstInt(c, w) => Some((*c, *w)),
+        _ => None,
+    }
+}
+
+/// Fold one binary operation over constants, mirroring VM semantics.
+fn fold_bin(op: BinOp, w: IntWidth, a: i64, b: i64) -> Option<i64> {
+    let ua = w.truncate(a as u64);
+    let ub = w.truncate(b as u64);
+    let sa = w.sext(ua);
+    let shift_mask = (w.bits() - 1) as u64;
+    let v = match op {
+        BinOp::Add => ua.wrapping_add(ub),
+        BinOp::Sub => ua.wrapping_sub(ub),
+        BinOp::Mul => ua.wrapping_mul(ub),
+        // Division folds are skipped: folding a trap away would change
+        // behavior.
+        BinOp::SDiv | BinOp::UDiv | BinOp::SRem | BinOp::URem => return None,
+        BinOp::And => ua & ub,
+        BinOp::Or => ua | ub,
+        BinOp::Xor => ua ^ ub,
+        BinOp::Shl => ua << (ub & shift_mask),
+        BinOp::LShr => ua >> (ub & shift_mask),
+        BinOp::AShr => (sa >> (ub & shift_mask)) as u64,
+    };
+    Some(w.sext(w.truncate(v)))
+}
+
+fn fold_icmp(pred: CmpPred, w: IntWidth, a: i64, b: i64) -> i64 {
+    let ua = w.truncate(a as u64);
+    let ub = w.truncate(b as u64);
+    let sa = w.sext(ua);
+    let sb = w.sext(ub);
+    (match pred {
+        CmpPred::Eq => ua == ub,
+        CmpPred::Ne => ua != ub,
+        CmpPred::Slt => sa < sb,
+        CmpPred::Sle => sa <= sb,
+        CmpPred::Sgt => sa > sb,
+        CmpPred::Sge => sa >= sb,
+        CmpPred::Ult => ua < ub,
+        CmpPred::Ule => ua <= ub,
+        CmpPred::Ugt => ua > ub,
+        CmpPred::Uge => ua >= ub,
+    }) as i64
+}
+
+/// Fold constant arithmetic in one function; returns folds performed.
+pub fn fold_constants(f: &mut Function) -> usize {
+    let mut folded = 0;
+    loop {
+        // Find one foldable instruction per iteration (substitution may
+        // enable more).
+        let mut replacement: Option<(usize, usize, RegId, Value)> = None;
+        'search: for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                let (r, val) = match inst {
+                    Inst::Bin {
+                        result,
+                        op,
+                        width,
+                        lhs,
+                        rhs,
+                    } => match (const_of(lhs), const_of(rhs)) {
+                        (Some((a, _)), Some((b2, _))) => {
+                            match fold_bin(*op, *width, a, b2) {
+                                Some(v) => (*result, Value::ConstInt(v, *width)),
+                                None => continue,
+                            }
+                        }
+                        _ => continue,
+                    },
+                    Inst::Icmp {
+                        result,
+                        pred,
+                        width,
+                        lhs,
+                        rhs,
+                    } => match (const_of(lhs), const_of(rhs)) {
+                        (Some((a, _)), Some((b2, _))) => (
+                            *result,
+                            Value::ConstInt(fold_icmp(*pred, *width, a, b2), IntWidth::W8),
+                        ),
+                        _ => continue,
+                    },
+                    Inst::Cast {
+                        result,
+                        kind,
+                        to,
+                        val,
+                    } => match (const_of(val), to.int_width()) {
+                        (Some((c, _)), Some(tw)) => {
+                            let out = match kind {
+                                CastKind::ZextOrTrunc => tw.sext(tw.truncate(c as u64)),
+                                CastKind::SextFrom(sw) => {
+                                    tw.sext(tw.truncate(sw.sext(sw.truncate(c as u64)) as u64))
+                                }
+                                _ => continue,
+                            };
+                            (*result, Value::ConstInt(out, tw))
+                        }
+                        _ => continue,
+                    },
+                    _ => continue,
+                };
+                replacement = Some((bi, ii, r, val));
+                break 'search;
+            }
+        }
+        match replacement {
+            None => break,
+            Some((bi, ii, r, val)) => {
+                f.blocks[bi].insts.remove(ii);
+                replace_uses(f, r, val);
+                folded += 1;
+            }
+        }
+    }
+    folded
+}
+
+/// Remove pure instructions whose results are never used; returns the
+/// number removed. Loads, stores, calls, and allocas are never removed
+/// (loads can fault; allocas carry layout semantics the Smokestack
+/// passes own).
+pub fn eliminate_dead_code(f: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut used: HashSet<RegId> = HashSet::new();
+        for (_, inst) in f.iter_insts() {
+            for op in inst.operands() {
+                if let Some(r) = op.as_reg() {
+                    used.insert(r);
+                }
+            }
+        }
+        for b in &f.blocks {
+            match &b.term {
+                Terminator::CondBr { cond, .. } => {
+                    if let Some(r) = cond.as_reg() {
+                        used.insert(r);
+                    }
+                }
+                Terminator::Ret(Some(v)) => {
+                    if let Some(r) = v.as_reg() {
+                        used.insert(r);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut changed = false;
+        for b in &mut f.blocks {
+            let before = b.insts.len();
+            b.insts.retain(|inst| match inst {
+                Inst::Bin { result, .. }
+                | Inst::Icmp { result, .. }
+                | Inst::Cast { result, .. }
+                | Inst::Gep { result, .. } => used.contains(result),
+                _ => true,
+            });
+            removed += before - b.insts.len();
+            changed |= before != b.insts.len();
+        }
+        if !changed {
+            break;
+        }
+    }
+    removed
+}
+
+/// Statistics from one [`Optimize`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Constants folded.
+    pub folded: usize,
+    /// Dead instructions removed.
+    pub removed: usize,
+}
+
+/// The combined scalar-optimization module pass (fold, then DCE, to a
+/// fixpoint per function).
+#[derive(Default)]
+pub struct Optimize {
+    /// Filled by `run`.
+    pub stats: OptStats,
+}
+
+impl Optimize {
+    /// Create the pass.
+    pub fn new() -> Optimize {
+        Optimize::default()
+    }
+
+    /// Optimize one module directly, returning statistics.
+    pub fn optimize(module: &mut Module) -> OptStats {
+        let mut stats = OptStats::default();
+        for f in &mut module.funcs {
+            loop {
+                let folded = fold_constants(f);
+                let removed = eliminate_dead_code(f);
+                stats.folded += folded;
+                stats.removed += removed;
+                if folded == 0 && removed == 0 {
+                    break;
+                }
+            }
+        }
+        stats
+    }
+}
+
+impl ModulePass for Optimize {
+    fn name(&self) -> &str {
+        "optimize"
+    }
+
+    fn run(&mut self, module: &mut Module) {
+        self.stats = Self::optimize(module);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn folds_constant_chain() {
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let a = b.bin(BinOp::Add, IntWidth::W64, Value::i64(40), Value::i64(1));
+        let c = b.bin(BinOp::Add, IntWidth::W64, a.into(), Value::i64(1));
+        b.ret(Some(c.into()));
+        let folded = fold_constants(&mut f);
+        assert_eq!(folded, 2);
+        assert_eq!(f.block(Function::ENTRY).insts.len(), 0);
+        assert_eq!(
+            f.block(Function::ENTRY).term,
+            Terminator::Ret(Some(Value::i64(42)))
+        );
+    }
+
+    #[test]
+    fn folding_matches_wrapping_semantics() {
+        let mut f = Function::new("f", vec![], Type::I32);
+        let mut b = Builder::new(&mut f);
+        let v = b.bin(
+            BinOp::Add,
+            IntWidth::W32,
+            Value::i32(i32::MAX),
+            Value::i32(1),
+        );
+        b.ret(Some(v.into()));
+        fold_constants(&mut f);
+        assert_eq!(
+            f.block(Function::ENTRY).term,
+            Terminator::Ret(Some(Value::ConstInt(i32::MIN as i64, IntWidth::W32)))
+        );
+    }
+
+    #[test]
+    fn never_folds_division() {
+        // Folding 1/0 away would erase a trap.
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let v = b.bin(BinOp::SDiv, IntWidth::W64, Value::i64(1), Value::i64(0));
+        b.ret(Some(v.into()));
+        assert_eq!(fold_constants(&mut f), 0);
+        assert_eq!(f.block(Function::ENTRY).insts.len(), 1);
+    }
+
+    #[test]
+    fn folds_comparisons_and_casts() {
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let c = b.icmp(CmpPred::Slt, IntWidth::W32, Value::i32(-1), Value::i32(0));
+        let wide = b.cast(CastKind::SextFrom(IntWidth::W8), Type::I64, c.into());
+        b.ret(Some(wide.into()));
+        let n = fold_constants(&mut f);
+        assert_eq!(n, 2);
+        assert_eq!(
+            f.block(Function::ENTRY).term,
+            Terminator::Ret(Some(Value::i64(1)))
+        );
+    }
+
+    #[test]
+    fn dce_removes_unused_pure_ops_only() {
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let dead = b.bin(BinOp::Mul, IntWidth::W64, Value::i64(3), Value::i64(4));
+        let _ = dead;
+        let slot = b.alloca(Type::I64, "kept"); // allocas never removed
+        b.store(Type::I64, Value::i64(7), slot.into());
+        let live = b.load(Type::I64, slot.into());
+        b.ret(Some(live.into()));
+        let removed = eliminate_dead_code(&mut f);
+        assert_eq!(removed, 1);
+        let kinds: Vec<bool> = f
+            .block(Function::ENTRY)
+            .insts
+            .iter()
+            .map(|i| matches!(i, Inst::Bin { .. }))
+            .collect();
+        assert!(!kinds.contains(&true));
+    }
+
+    #[test]
+    fn dce_cascades_through_chains() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let a = b.bin(BinOp::Add, IntWidth::W64, Value::i64(1), Value::i64(2));
+        let c = b.bin(BinOp::Add, IntWidth::W64, a.into(), Value::i64(3));
+        let _ = c; // entire chain dead
+        b.ret(None);
+        assert_eq!(eliminate_dead_code(&mut f), 2);
+        assert!(f.block(Function::ENTRY).insts.is_empty());
+    }
+
+    #[test]
+    fn optimize_pass_runs_in_pipeline_and_verifies() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let x = b.bin(BinOp::Mul, IntWidth::W64, Value::i64(6), Value::i64(7));
+        let dead = b.bin(BinOp::Xor, IntWidth::W64, x.into(), Value::i64(0));
+        let _ = dead;
+        b.ret(Some(x.into()));
+        m.add_func(f);
+        let mut pm = crate::pass::PassManager::new();
+        pm.add(Optimize::new());
+        pm.run(&mut m).unwrap();
+        verify_module(&m).unwrap();
+        // x folded into the return; dead xor eliminated.
+        assert_eq!(
+            m.funcs[0].block(Function::ENTRY).term,
+            Terminator::Ret(Some(Value::i64(42)))
+        );
+        assert!(m.funcs[0].block(Function::ENTRY).insts.is_empty());
+    }
+}

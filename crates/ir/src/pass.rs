@@ -1,0 +1,172 @@
+//! A minimal pass framework: module passes run in sequence, with
+//! verification between passes when enabled.
+
+use crate::module::Module;
+use crate::verify::{verify_module, VerifyError};
+
+/// A transformation or analysis over a whole [`Module`].
+pub trait ModulePass {
+    /// Short identifier used in pipeline reports.
+    fn name(&self) -> &str;
+
+    /// Run the pass, mutating the module in place.
+    fn run(&mut self, module: &mut Module);
+}
+
+/// Outcome of running a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Names of the passes that ran, in order.
+    pub passes_run: Vec<String>,
+}
+
+/// Error produced when inter-pass verification fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineError {
+    /// The pass after which verification failed.
+    pub after_pass: String,
+    /// The verifier diagnostics.
+    pub errors: Vec<VerifyError>,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "verification failed after pass `{}`:", self.after_pass)?;
+        for e in &self.errors {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// An ordered sequence of module passes.
+///
+/// # Examples
+///
+/// ```
+/// use smokestack_ir::{Module, ModulePass, PassManager};
+///
+/// struct Nop;
+/// impl ModulePass for Nop {
+///     fn name(&self) -> &str { "nop" }
+///     fn run(&mut self, _m: &mut Module) {}
+/// }
+///
+/// let mut pm = PassManager::new();
+/// pm.add(Nop);
+/// let mut m = Module::new();
+/// let report = pm.run(&mut m).unwrap();
+/// assert_eq!(report.passes_run, vec!["nop"]);
+/// ```
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn ModulePass>>,
+    verify_between: bool,
+}
+
+impl PassManager {
+    /// An empty pipeline with inter-pass verification enabled.
+    pub fn new() -> PassManager {
+        PassManager {
+            passes: Vec::new(),
+            verify_between: true,
+        }
+    }
+
+    /// Disable verification between passes (for perf experiments).
+    pub fn without_verification(mut self) -> PassManager {
+        self.verify_between = false;
+        self
+    }
+
+    /// Append a pass.
+    pub fn add(&mut self, pass: impl ModulePass + 'static) -> &mut PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Run every pass in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] if inter-pass verification fails.
+    pub fn run(&mut self, module: &mut Module) -> Result<PipelineReport, PipelineError> {
+        let mut passes_run = Vec::new();
+        for pass in &mut self.passes {
+            pass.run(module);
+            passes_run.push(pass.name().to_string());
+            if self.verify_between {
+                if let Err(errors) = verify_module(module) {
+                    return Err(PipelineError {
+                        after_pass: pass.name().to_string(),
+                        errors,
+                    });
+                }
+            }
+        }
+        Ok(PipelineReport { passes_run })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::Function;
+    use crate::inst::Terminator;
+    use crate::types::Type;
+
+    struct AddFunc;
+    impl ModulePass for AddFunc {
+        fn name(&self) -> &str {
+            "add-func"
+        }
+        fn run(&mut self, m: &mut Module) {
+            let mut f = Function::new("added", vec![], Type::Void);
+            f.block_mut(Function::ENTRY).term = Terminator::Ret(None);
+            m.add_func(f);
+        }
+    }
+
+    struct Corrupt;
+    impl ModulePass for Corrupt {
+        fn name(&self) -> &str {
+            "corrupt"
+        }
+        fn run(&mut self, m: &mut Module) {
+            // Break the module: non-void function with a bare ret.
+            let mut f = Function::new("broken", vec![], Type::I32);
+            f.block_mut(Function::ENTRY).term = Terminator::Ret(None);
+            m.add_func(f);
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_in_order() {
+        let mut pm = PassManager::new();
+        pm.add(AddFunc);
+        let mut m = Module::new();
+        let rep = pm.run(&mut m).unwrap();
+        assert_eq!(rep.passes_run, vec!["add-func"]);
+        assert!(m.func_by_name("added").is_some());
+    }
+
+    #[test]
+    fn verification_catches_bad_pass() {
+        let mut pm = PassManager::new();
+        pm.add(AddFunc).add(Corrupt);
+        let mut m = Module::new();
+        let err = pm.run(&mut m).unwrap_err();
+        assert_eq!(err.after_pass, "corrupt");
+        assert!(!err.errors.is_empty());
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let mut pm = PassManager::new().without_verification();
+        pm.add(Corrupt);
+        let mut m = Module::new();
+        assert!(pm.run(&mut m).is_ok());
+    }
+}

@@ -1,0 +1,187 @@
+//! Textual rendering of IR for debugging and golden tests.
+
+use std::fmt;
+
+use crate::function::Function;
+use crate::inst::{Callee, Inst, Terminator};
+use crate::module::{GlobalInit, Module};
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Alloca {
+                result,
+                ty,
+                count,
+                align,
+                name,
+                randomizable,
+            } => {
+                write!(f, "{result} = alloca {ty}")?;
+                if let Some(c) = count {
+                    write!(f, ", count {c}")?;
+                }
+                write!(f, ", align {align} ; \"{name}\"")?;
+                if !randomizable {
+                    write!(f, " [pinned]")?;
+                }
+                Ok(())
+            }
+            Inst::Load { result, ty, ptr } => write!(f, "{result} = load {ty}, {ptr}"),
+            Inst::Store { ty, val, ptr } => write!(f, "store {ty} {val}, {ptr}"),
+            Inst::Gep {
+                result,
+                base,
+                offset,
+            } => write!(f, "{result} = gep {base}, {offset}"),
+            Inst::Bin {
+                result,
+                op,
+                width,
+                lhs,
+                rhs,
+            } => write!(f, "{result} = {op} {width} {lhs}, {rhs}"),
+            Inst::Icmp {
+                result,
+                pred,
+                width,
+                lhs,
+                rhs,
+            } => write!(f, "{result} = icmp {pred} {width} {lhs}, {rhs}"),
+            Inst::Cast {
+                result,
+                kind,
+                to,
+                val,
+            } => write!(f, "{result} = {kind} {val} to {to}"),
+            Inst::Call {
+                result,
+                callee,
+                args,
+            } => {
+                if let Some(r) = result {
+                    write!(f, "{r} = ")?;
+                }
+                match callee {
+                    Callee::Direct(id) => write!(f, "call @f{}(", id.0)?,
+                    Callee::Intrinsic(i) => write!(f, "call {i}(")?,
+                    Callee::Indirect(v) => write!(f, "call *{v}(")?,
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Br(b) => write!(f, "br {b}"),
+            Terminator::CondBr {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(f, "br {cond}, {then_bb}, {else_bb}"),
+            Terminator::Ret(Some(v)) => write!(f, "ret {v}"),
+            Terminator::Ret(None) => write!(f, "ret void"),
+            Terminator::Unreachable => write!(f, "unreachable"),
+        }
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "func @{}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "%{i}: {p}")?;
+        }
+        writeln!(f, ") -> {} {{", self.ret)?;
+        for (bid, b) in self.iter_blocks() {
+            writeln!(f, "{bid}:")?;
+            for inst in &b.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", b.term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, g) in self.globals.iter().enumerate() {
+            let kind = if g.readonly { "const" } else { "global" };
+            let init = match &g.init {
+                GlobalInit::Zero => "zeroinit".to_string(),
+                GlobalInit::Bytes(b) => {
+                    let hex: String = b.iter().map(|x| format!("{x:02x}")).collect();
+                    format!("#{hex}")
+                }
+            };
+            writeln!(f, "@g{i} = {kind} {} \"{}\" {init}", g.ty, g.name)?;
+        }
+        for (_, func) in self.iter_funcs() {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::inst::Intrinsic;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    #[test]
+    fn prints_function() {
+        let mut f = Function::new("demo", vec![Type::I64], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::array(Type::I8, 16), "buf");
+        b.call_intrinsic(
+            Intrinsic::GetInput,
+            vec![x.into(), Value::i64(16)],
+        );
+        b.ret(None);
+        let text = f.to_string();
+        assert!(text.contains("func @demo(%0: i64) -> void"));
+        assert!(text.contains("alloca [16 x i8]"));
+        assert!(text.contains("call get_input"));
+        assert!(text.contains("ret void"));
+    }
+
+    #[test]
+    fn prints_module_globals() {
+        let mut m = Module::new();
+        m.add_cstring("greeting", "hey");
+        let text = m.to_string();
+        assert!(text.contains("const [4 x i8] \"greeting\" #68657900"));
+    }
+
+    #[test]
+    fn pinned_alloca_marked() {
+        let mut f = Function::new("p", vec![], Type::Void);
+        let r = f.new_reg(Type::Ptr);
+        f.block_mut(Function::ENTRY).insts.push(Inst::Alloca {
+            result: r,
+            ty: Type::I64,
+            count: None,
+            align: 8,
+            name: "slab".into(),
+            randomizable: false,
+        });
+        f.block_mut(Function::ENTRY).term = Terminator::Ret(None);
+        assert!(f.to_string().contains("[pinned]"));
+    }
+}

@@ -1,0 +1,767 @@
+//! Parser for the textual IR form produced by the [`Display`]
+//! implementations — enabling round-trip golden tests and hand-written
+//! IR fixtures.
+//!
+//! The grammar is exactly what the printer emits:
+//!
+//! ```text
+//! @g0 = const [4 x i8] "name" #68657900
+//! @g1 = global i64 "counter" zeroinit
+//! func @main() -> i32 {
+//! bb0:
+//!   %0 = alloca [16 x i8], align 1 ; "buf"
+//!   %1 = load i64, %0
+//!   store i64 5:i64, %0
+//!   br 1:i8, bb1, bb2
+//! ...
+//! }
+//! ```
+//!
+//! [`Display`]: std::fmt::Display
+
+use std::fmt;
+
+use crate::function::Function;
+use crate::inst::{BinOp, Callee, CastKind, CmpPred, Inst, Intrinsic, Terminator};
+use crate::module::{Global, GlobalInit, Module};
+use crate::types::{IntWidth, Type};
+use crate::value::{BlockId, FuncId, GlobalId, RegId, Value};
+
+/// A textual-IR parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, TextError> {
+    Err(TextError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parse a whole module from its printed form.
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn parse_module(text: &str) -> Result<Module, TextError> {
+    let mut m = Module::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some(&(ln, line)) = lines.peek() {
+        let line = line.trim();
+        if line.is_empty() {
+            lines.next();
+            continue;
+        }
+        if line.starts_with("@g") {
+            m.push_global(parse_global(ln + 1, line)?);
+            lines.next();
+        } else if line.starts_with("func @") {
+            let f = parse_function(&mut lines)?;
+            m.add_func(f);
+        } else {
+            return err(ln + 1, format!("unexpected top-level line `{line}`"));
+        }
+    }
+    // Post-pass: direct-call results take the callee's return type
+    // (calls may reference functions defined later in the file).
+    let rets: Vec<Type> = m.funcs.iter().map(|f| f.ret.clone()).collect();
+    for f in &mut m.funcs {
+        let mut fixes: Vec<(RegId, Type)> = Vec::new();
+        for (_, inst) in f.iter_insts() {
+            if let Inst::Call {
+                result: Some(r),
+                callee: Callee::Direct(fid),
+                ..
+            } = inst
+            {
+                if let Some(ret) = rets.get(fid.0 as usize) {
+                    if *ret != Type::Void {
+                        fixes.push((*r, ret.clone()));
+                    }
+                }
+            }
+        }
+        for (r, ty) in fixes {
+            f.retype_reg(r, ty);
+        }
+    }
+    Ok(m)
+}
+
+fn parse_global(ln: usize, line: &str) -> Result<Global, TextError> {
+    // @g0 = const [4 x i8] "name" #hex | zeroinit
+    let rest = line
+        .split_once('=')
+        .ok_or_else(|| TextError {
+            line: ln,
+            message: "missing `=` in global".into(),
+        })?
+        .1
+        .trim();
+    let (kind, rest) = rest.split_once(' ').ok_or_else(|| TextError {
+        line: ln,
+        message: "missing storage kind".into(),
+    })?;
+    let readonly = match kind {
+        "const" => true,
+        "global" => false,
+        other => return err(ln, format!("bad storage kind `{other}`")),
+    };
+    // Type runs until the opening quote of the name.
+    let qstart = rest.find('"').ok_or_else(|| TextError {
+        line: ln,
+        message: "missing global name".into(),
+    })?;
+    let (ty_text, rest2) = rest.split_at(qstart);
+    let ty = parse_type(ln, ty_text.trim())?;
+    let rest2 = &rest2[1..];
+    let qend = rest2.find('"').ok_or_else(|| TextError {
+        line: ln,
+        message: "unterminated global name".into(),
+    })?;
+    let name = rest2[..qend].to_string();
+    let init_text = rest2[qend + 1..].trim();
+    let init = if init_text == "zeroinit" {
+        GlobalInit::Zero
+    } else if let Some(hex) = init_text.strip_prefix('#') {
+        if hex.len() % 2 != 0 {
+            return err(ln, "odd-length hex initializer");
+        }
+        let bytes: Result<Vec<u8>, _> = (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16))
+            .collect();
+        GlobalInit::Bytes(bytes.map_err(|_| TextError {
+            line: ln,
+            message: "bad hex initializer".into(),
+        })?)
+    } else {
+        return err(ln, format!("bad initializer `{init_text}`"));
+    };
+    Ok(Global {
+        name,
+        ty,
+        init,
+        readonly,
+    })
+}
+
+fn parse_type(ln: usize, t: &str) -> Result<Type, TextError> {
+    let t = t.trim();
+    match t {
+        "void" => return Ok(Type::Void),
+        "ptr" => return Ok(Type::Ptr),
+        "i8" => return Ok(Type::I8),
+        "i16" => return Ok(Type::I16),
+        "i32" => return Ok(Type::I32),
+        "i64" => return Ok(Type::I64),
+        _ => {}
+    }
+    if let Some(body) = t.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let (len, elem) = body.split_once(" x ").ok_or_else(|| TextError {
+            line: ln,
+            message: format!("bad array type `{t}`"),
+        })?;
+        let len: u64 = len.trim().parse().map_err(|_| TextError {
+            line: ln,
+            message: format!("bad array length in `{t}`"),
+        })?;
+        return Ok(Type::array(parse_type(ln, elem)?, len));
+    }
+    if let Some(body) = t.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+        let mut fields = Vec::new();
+        if !body.trim().is_empty() {
+            // Split on top-level commas.
+            let mut depth = 0usize;
+            let mut start = 0usize;
+            for (i, c) in body.char_indices() {
+                match c {
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    ',' if depth == 0 => {
+                        fields.push(parse_type(ln, &body[start..i])?);
+                        start = i + 1;
+                    }
+                    _ => {}
+                }
+            }
+            fields.push(parse_type(ln, &body[start..])?);
+        }
+        return Ok(Type::Struct(fields));
+    }
+    err(ln, format!("unknown type `{t}`"))
+}
+
+fn parse_width(ln: usize, t: &str) -> Result<IntWidth, TextError> {
+    match t {
+        "i8" => Ok(IntWidth::W8),
+        "i16" => Ok(IntWidth::W16),
+        "i32" => Ok(IntWidth::W32),
+        "i64" => Ok(IntWidth::W64),
+        other => err(ln, format!("bad integer width `{other}`")),
+    }
+}
+
+fn parse_value(ln: usize, t: &str) -> Result<Value, TextError> {
+    let t = t.trim();
+    if t == "null" {
+        return Ok(Value::NullPtr);
+    }
+    if let Some(r) = t.strip_prefix('%') {
+        let id: u32 = r.parse().map_err(|_| TextError {
+            line: ln,
+            message: format!("bad register `{t}`"),
+        })?;
+        return Ok(Value::Reg(RegId(id)));
+    }
+    if let Some(g) = t.strip_prefix("@g") {
+        let id: u32 = g.parse().map_err(|_| TextError {
+            line: ln,
+            message: format!("bad global ref `{t}`"),
+        })?;
+        return Ok(Value::Global(GlobalId(id)));
+    }
+    if let Some(fid) = t.strip_prefix("@f") {
+        let id: u32 = fid.parse().map_err(|_| TextError {
+            line: ln,
+            message: format!("bad function ref `{t}`"),
+        })?;
+        return Ok(Value::Func(FuncId(id)));
+    }
+    if let Some((v, w)) = t.split_once(':') {
+        let value: i64 = v.parse().map_err(|_| TextError {
+            line: ln,
+            message: format!("bad immediate `{t}`"),
+        })?;
+        return Ok(Value::ConstInt(value, parse_width(ln, w)?));
+    }
+    err(ln, format!("bad value `{t}`"))
+}
+
+fn parse_block_id(ln: usize, t: &str) -> Result<BlockId, TextError> {
+    t.trim()
+        .strip_prefix("bb")
+        .and_then(|s| s.parse().ok())
+        .map(BlockId)
+        .ok_or_else(|| TextError {
+            line: ln,
+            message: format!("bad block id `{t}`"),
+        })
+}
+
+/// Split a comma-separated argument list (no nesting in values).
+fn split_args(t: &str) -> Vec<&str> {
+    let t = t.trim();
+    if t.is_empty() {
+        Vec::new()
+    } else {
+        t.split(',').map(str::trim).collect()
+    }
+}
+
+fn parse_function<'a, I>(lines: &mut std::iter::Peekable<I>) -> Result<Function, TextError>
+where
+    I: Iterator<Item = (usize, &'a str)>,
+{
+    let (ln0, header) = lines.next().expect("caller peeked");
+    let ln = ln0 + 1;
+    // func @name(%0: T, ...) -> R {
+    let header = header.trim();
+    let name_start = header.find("@").ok_or_else(|| TextError {
+        line: ln,
+        message: "missing function name".into(),
+    })?;
+    let paren = header.find('(').ok_or_else(|| TextError {
+        line: ln,
+        message: "missing parameter list".into(),
+    })?;
+    let name = header[name_start + 1..paren].to_string();
+    let close = header.rfind(')').ok_or_else(|| TextError {
+        line: ln,
+        message: "missing `)`".into(),
+    })?;
+    let params_text = &header[paren + 1..close];
+    let mut params = Vec::new();
+    for p in split_args(params_text) {
+        let (_, ty) = p.split_once(':').ok_or_else(|| TextError {
+            line: ln,
+            message: format!("bad parameter `{p}`"),
+        })?;
+        params.push(parse_type(ln, ty)?);
+    }
+    let arrow = header.find("->").ok_or_else(|| TextError {
+        line: ln,
+        message: "missing return type".into(),
+    })?;
+    let ret_text = header[arrow + 2..]
+        .trim()
+        .trim_end_matches('{')
+        .trim();
+    let ret = parse_type(ln, ret_text)?;
+
+    let mut f = Function::new(name, params, ret);
+    let mut cur: Option<BlockId> = None;
+    let mut first_block = true;
+
+    loop {
+        let Some((lni, raw)) = lines.next() else {
+            return err(ln, "unterminated function body");
+        };
+        let ln = lni + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            break;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let id = parse_block_id(ln, label)?;
+            if first_block {
+                if id != Function::ENTRY {
+                    return err(ln, "first block must be bb0");
+                }
+                first_block = false;
+            } else {
+                let created = f.add_block();
+                if created != id {
+                    return err(ln, format!("non-sequential block id {label}"));
+                }
+            }
+            cur = Some(id);
+            continue;
+        }
+        let bb = cur.ok_or_else(|| TextError {
+            line: ln,
+            message: "instruction before first block label".into(),
+        })?;
+        if let Some(term) = try_parse_terminator(ln, line)? {
+            f.block_mut(bb).term = term;
+            continue;
+        }
+        let inst = parse_inst(ln, line, &mut f)?;
+        f.block_mut(bb).insts.push(inst);
+    }
+    Ok(f)
+}
+
+fn try_parse_terminator(ln: usize, line: &str) -> Result<Option<Terminator>, TextError> {
+    if line == "unreachable" {
+        return Ok(Some(Terminator::Unreachable));
+    }
+    if line == "ret void" {
+        return Ok(Some(Terminator::Ret(None)));
+    }
+    if let Some(v) = line.strip_prefix("ret ") {
+        return Ok(Some(Terminator::Ret(Some(parse_value(ln, v)?))));
+    }
+    if let Some(rest) = line.strip_prefix("br ") {
+        let parts = split_args(rest);
+        return match parts.len() {
+            1 => Ok(Some(Terminator::Br(parse_block_id(ln, parts[0])?))),
+            3 => Ok(Some(Terminator::CondBr {
+                cond: parse_value(ln, parts[0])?,
+                then_bb: parse_block_id(ln, parts[1])?,
+                else_bb: parse_block_id(ln, parts[2])?,
+            })),
+            _ => err(ln, "bad branch"),
+        };
+    }
+    Ok(None)
+}
+
+/// Ensure register `r` exists in `f`, creating intermediates typed as
+/// placeholders (`i64`); the definition below fixes the real type.
+fn ensure_reg(f: &mut Function, r: RegId, ty: Type) {
+    while f.reg_count() <= r.0 as usize {
+        f.new_reg(Type::I64);
+    }
+    // Re-type the destination register: reconstructing exact result
+    // types keeps the verifier happy after a round-trip.
+    f.retype_reg(r, ty);
+}
+
+fn parse_inst(ln: usize, line: &str, f: &mut Function) -> Result<Inst, TextError> {
+    // Split an optional "%N = " prefix.
+    let (result, body) = if line.starts_with('%') {
+        let (lhs, rhs) = line.split_once('=').ok_or_else(|| TextError {
+            line: ln,
+            message: "missing `=`".into(),
+        })?;
+        let r = match parse_value(ln, lhs.trim())? {
+            Value::Reg(r) => r,
+            _ => return err(ln, "result must be a register"),
+        };
+        (Some(r), rhs.trim())
+    } else {
+        (None, line)
+    };
+
+    // store TY VAL, PTR
+    if let Some(rest) = body.strip_prefix("store ") {
+        let (ty_and_val, ptr) = rest.rsplit_once(',').ok_or_else(|| TextError {
+            line: ln,
+            message: "bad store".into(),
+        })?;
+        let (ty_text, val_text) = ty_and_val.trim().split_once(' ').ok_or_else(|| {
+            TextError {
+                line: ln,
+                message: "bad store operands".into(),
+            }
+        })?;
+        return Ok(Inst::Store {
+            ty: parse_type(ln, ty_text)?,
+            val: parse_value(ln, val_text)?,
+            ptr: parse_value(ln, ptr)?,
+        });
+    }
+
+    // call ...
+    if let Some(rest) = body.strip_prefix("call ") {
+        let paren = rest.find('(').ok_or_else(|| TextError {
+            line: ln,
+            message: "bad call".into(),
+        })?;
+        let callee_text = rest[..paren].trim();
+        let args_text = rest[paren + 1..].trim_end_matches(')');
+        let args: Result<Vec<Value>, _> = split_args(args_text)
+            .into_iter()
+            .map(|a| parse_value(ln, a))
+            .collect();
+        let callee = if let Some(fref) = callee_text.strip_prefix("@f") {
+            Callee::Direct(FuncId(fref.parse().map_err(|_| TextError {
+                line: ln,
+                message: "bad callee".into(),
+            })?))
+        } else if let Some(ind) = callee_text.strip_prefix('*') {
+            Callee::Indirect(parse_value(ln, ind)?)
+        } else if let Some(i) = Intrinsic::from_name(callee_text) {
+            Callee::Intrinsic(i)
+        } else {
+            return err(ln, format!("unknown callee `{callee_text}`"));
+        };
+        if let Some(r) = result {
+            let ty = if callee == Callee::Intrinsic(Intrinsic::Malloc) {
+                Type::Ptr
+            } else {
+                Type::I64
+            };
+            ensure_reg(f, r, ty);
+        }
+        return Ok(Inst::Call {
+            result,
+            callee,
+            args: args?,
+        });
+    }
+
+    let result = result.ok_or_else(|| TextError {
+        line: ln,
+        message: format!("instruction `{body}` must define a register"),
+    })?;
+
+    // alloca TY[, count V], align N ; "name" [pinned]
+    if let Some(rest) = body.strip_prefix("alloca ") {
+        let (spec, comment) = rest.split_once(';').ok_or_else(|| TextError {
+            line: ln,
+            message: "alloca missing name comment".into(),
+        })?;
+        let randomizable = !comment.contains("[pinned]");
+        let name = comment
+            .trim()
+            .trim_end_matches("[pinned]")
+            .trim()
+            .trim_matches('"')
+            .to_string();
+        let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+        let ty = parse_type(ln, parts[0])?;
+        let mut count = None;
+        let mut align = None;
+        for p in &parts[1..] {
+            if let Some(c) = p.strip_prefix("count ") {
+                count = Some(parse_value(ln, c)?);
+            } else if let Some(a) = p.strip_prefix("align ") {
+                align = Some(a.parse::<u64>().map_err(|_| TextError {
+                    line: ln,
+                    message: "bad alignment".into(),
+                })?);
+            }
+        }
+        let align = align.ok_or_else(|| TextError {
+            line: ln,
+            message: "alloca missing alignment".into(),
+        })?;
+        ensure_reg(f, result, Type::Ptr);
+        return Ok(Inst::Alloca {
+            result,
+            ty,
+            count,
+            align,
+            name,
+            randomizable,
+        });
+    }
+
+    // load TY, PTR
+    if let Some(rest) = body.strip_prefix("load ") {
+        let (ty_text, ptr) = rest.split_once(',').ok_or_else(|| TextError {
+            line: ln,
+            message: "bad load".into(),
+        })?;
+        let ty = parse_type(ln, ty_text)?;
+        ensure_reg(f, result, ty.clone());
+        return Ok(Inst::Load {
+            result,
+            ty,
+            ptr: parse_value(ln, ptr)?,
+        });
+    }
+
+    // gep BASE, OFFSET
+    if let Some(rest) = body.strip_prefix("gep ") {
+        let (base, off) = rest.split_once(',').ok_or_else(|| TextError {
+            line: ln,
+            message: "bad gep".into(),
+        })?;
+        ensure_reg(f, result, Type::Ptr);
+        return Ok(Inst::Gep {
+            result,
+            base: parse_value(ln, base)?,
+            offset: parse_value(ln, off)?,
+        });
+    }
+
+    // icmp PRED WIDTH LHS, RHS
+    if let Some(rest) = body.strip_prefix("icmp ") {
+        let mut it = rest.splitn(3, ' ');
+        let pred_text = it.next().unwrap_or_default();
+        let width_text = it.next().unwrap_or_default();
+        let ops = it.next().unwrap_or_default();
+        let pred = match pred_text {
+            "eq" => CmpPred::Eq,
+            "ne" => CmpPred::Ne,
+            "slt" => CmpPred::Slt,
+            "sle" => CmpPred::Sle,
+            "sgt" => CmpPred::Sgt,
+            "sge" => CmpPred::Sge,
+            "ult" => CmpPred::Ult,
+            "ule" => CmpPred::Ule,
+            "ugt" => CmpPred::Ugt,
+            "uge" => CmpPred::Uge,
+            other => return err(ln, format!("bad predicate `{other}`")),
+        };
+        let (lhs, rhs) = ops.split_once(',').ok_or_else(|| TextError {
+            line: ln,
+            message: "bad icmp operands".into(),
+        })?;
+        ensure_reg(f, result, Type::I8);
+        return Ok(Inst::Icmp {
+            result,
+            pred,
+            width: parse_width(ln, width_text)?,
+            lhs: parse_value(ln, lhs)?,
+            rhs: parse_value(ln, rhs)?,
+        });
+    }
+
+    // casts: zext V to T | sext.iN V to T | ptrtoint V to T | inttoptr V to T
+    for (prefix, kindf) in [
+        ("zext ", None),
+        ("ptrtoint ", Some(CastKind::PtrToInt)),
+        ("inttoptr ", Some(CastKind::IntToPtr)),
+    ] {
+        if let Some(rest) = body.strip_prefix(prefix) {
+            let (val, to) = rest.split_once(" to ").ok_or_else(|| TextError {
+                line: ln,
+                message: "bad cast".into(),
+            })?;
+            let to = parse_type(ln, to)?;
+            let kind = kindf.unwrap_or(CastKind::ZextOrTrunc);
+            ensure_reg(f, result, to.clone());
+            return Ok(Inst::Cast {
+                result,
+                kind,
+                to,
+                val: parse_value(ln, val)?,
+            });
+        }
+    }
+    if let Some(rest) = body.strip_prefix("sext.") {
+        let (w, rest) = rest.split_once(' ').ok_or_else(|| TextError {
+            line: ln,
+            message: "bad sext".into(),
+        })?;
+        let (val, to) = rest.split_once(" to ").ok_or_else(|| TextError {
+            line: ln,
+            message: "bad sext".into(),
+        })?;
+        let to = parse_type(ln, to)?;
+        ensure_reg(f, result, to.clone());
+        return Ok(Inst::Cast {
+            result,
+            kind: CastKind::SextFrom(parse_width(ln, w)?),
+            to,
+            val: parse_value(ln, val)?,
+        });
+    }
+
+    // binop: OP WIDTH LHS, RHS
+    let mut it = body.splitn(3, ' ');
+    let op_text = it.next().unwrap_or_default();
+    let width_text = it.next().unwrap_or_default();
+    let ops = it.next().unwrap_or_default();
+    let op = match op_text {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "sdiv" => BinOp::SDiv,
+        "udiv" => BinOp::UDiv,
+        "srem" => BinOp::SRem,
+        "urem" => BinOp::URem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "lshr" => BinOp::LShr,
+        "ashr" => BinOp::AShr,
+        other => return err(ln, format!("unknown instruction `{other}`")),
+    };
+    let width = parse_width(ln, width_text)?;
+    let (lhs, rhs) = ops.split_once(',').ok_or_else(|| TextError {
+        line: ln,
+        message: "bad binop operands".into(),
+    })?;
+    ensure_reg(f, result, Type::Int(width));
+    Ok(Inst::Bin {
+        result,
+        op,
+        width,
+        lhs: parse_value(ln, lhs)?,
+        rhs: parse_value(ln, rhs)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::verify::verify_module;
+
+    fn roundtrip(m: &Module) -> Module {
+        let text = m.to_string();
+        parse_module(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"))
+    }
+
+    #[test]
+    fn roundtrips_simple_function() {
+        let mut m = Module::new();
+        m.add_cstring("msg", "hi");
+        let mut f = Function::new("main", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        b.store(Type::I64, Value::i64(41), x.into());
+        let v = b.load(Type::I64, x.into());
+        let s = b.add64(v.into(), Value::i64(1));
+        b.ret(Some(s.into()));
+        m.add_func(f);
+        let back = roundtrip(&m);
+        assert_eq!(m.to_string(), back.to_string(), "round trip not stable");
+        verify_module(&back).unwrap();
+    }
+
+    #[test]
+    fn roundtrips_control_flow_and_calls() {
+        let mut m = Module::new();
+        let mut callee = Function::new("cb", vec![Type::I64], Type::I64);
+        {
+            let mut b = Builder::new(&mut callee);
+            b.ret(Some(Value::Reg(RegId(0))));
+        }
+        let cid = m.add_func(callee);
+        let mut f = Function::new("main", vec![], Type::I64);
+        {
+            let mut b = Builder::new(&mut f);
+            let t = b.new_block();
+            let e = b.new_block();
+            let c = b.icmp(CmpPred::Slt, IntWidth::W64, Value::i64(1), Value::i64(2));
+            b.cond_br(c.into(), t, e);
+            b.switch_to(t);
+            let r = b.call(cid, Type::I64, vec![Value::i64(9)]).unwrap();
+            b.ret(Some(r.into()));
+            b.switch_to(e);
+            b.call_intrinsic(Intrinsic::Exit, vec![Value::i64(1)]);
+            b.ret(Some(Value::i64(0)));
+        }
+        m.add_func(f);
+        let back = roundtrip(&m);
+        assert_eq!(m.to_string(), back.to_string());
+        verify_module(&back).unwrap();
+    }
+
+    #[test]
+    fn roundtrips_compiled_and_hardened_programs() {
+        // The strongest test: a front-end-produced module (with casts,
+        // VLAs, geps) survives print -> parse -> print unchanged.
+        // (Uses IR constructed to mimic the front-end shapes without a
+        // dependency cycle.)
+        let mut m = Module::new();
+        let mut f = Function::new("vla_fn", vec![Type::I64], Type::Void);
+        {
+            let mut b = Builder::new(&mut f);
+            let slot = b.alloca(Type::Ptr, "p");
+            let data = b.alloca_vla(Type::I8, Value::Reg(RegId(0)), "buf.vla");
+            b.store(Type::Ptr, data.into(), slot.into());
+            let w = b.cast(CastKind::SextFrom(IntWidth::W32), Type::I64, Value::i32(-5));
+            let g = b.gep(data.into(), w.into());
+            b.store(Type::I8, Value::i8(1), g.into());
+            b.ret(None);
+        }
+        m.add_func(f);
+        let back = roundtrip(&m);
+        assert_eq!(m.to_string(), back.to_string());
+    }
+
+    #[test]
+    fn parses_zero_and_bytes_globals() {
+        let text = "@g0 = global i64 \"ctr\" zeroinit\n@g1 = const [3 x i8] \"s\" #616200\n";
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.globals.len(), 2);
+        assert_eq!(m.globals[0].init, GlobalInit::Zero);
+        assert!(!m.globals[0].readonly);
+        assert_eq!(
+            m.globals[1].init,
+            GlobalInit::Bytes(vec![0x61, 0x62, 0x00])
+        );
+        assert!(m.globals[1].readonly);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_module("nonsense").is_err());
+        assert!(parse_module("@g0 = const i64 \"x\" #6").is_err()); // odd hex
+        let bad_fn = "func @f() -> void {\nbb0:\n  %0 = frobnicate 1:i64\n  ret void\n}";
+        let e = parse_module(bad_fn).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "@g0 = const i64 \"x\" zeroinit\nfunc @f() -> void {\nbb0:\n  br bb9x\n}";
+        let e = parse_module(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.message.contains("bad block id"));
+    }
+}

@@ -1,0 +1,286 @@
+//! The type system of the Smokestack IR.
+//!
+//! The IR is byte-oriented in the same way LLVM's is: every first-class
+//! type has a size and an ABI alignment, and aggregate layout is computed
+//! with the usual C struct rules (fields padded to their alignment, the
+//! aggregate padded to the largest field alignment). Pointers are 64-bit.
+
+use std::fmt;
+
+/// Width of an integer type in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntWidth {
+    /// 8-bit integer (also used for booleans and `char`).
+    W8,
+    /// 16-bit integer.
+    W16,
+    /// 32-bit integer.
+    W32,
+    /// 64-bit integer.
+    W64,
+}
+
+impl IntWidth {
+    /// Size of the integer in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            IntWidth::W8 => 1,
+            IntWidth::W16 => 2,
+            IntWidth::W32 => 4,
+            IntWidth::W64 => 8,
+        }
+    }
+
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        (self.bytes() * 8) as u32
+    }
+
+    /// Mask covering exactly this width.
+    pub fn mask(self) -> u64 {
+        match self {
+            IntWidth::W64 => u64::MAX,
+            w => (1u64 << w.bits()) - 1,
+        }
+    }
+
+    /// Sign-extend `v` (interpreted at this width) to 64 bits.
+    pub fn sext(self, v: u64) -> i64 {
+        let bits = self.bits();
+        if bits == 64 {
+            v as i64
+        } else {
+            let shift = 64 - bits;
+            (((v << shift) as i64) >> shift) as i64
+        }
+    }
+
+    /// Truncate a 64-bit value to this width (zero upper bits).
+    pub fn truncate(self, v: u64) -> u64 {
+        v & self.mask()
+    }
+}
+
+impl fmt::Display for IntWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.bits())
+    }
+}
+
+/// A first-class IR type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// No value. Only valid as a function return type.
+    Void,
+    /// Integer of a given width.
+    Int(IntWidth),
+    /// 64-bit untyped pointer into the flat VM address space.
+    Ptr,
+    /// Fixed-length array `[len x elem]`.
+    Array(Box<Type>, u64),
+    /// Struct with the given field types, laid out with C rules.
+    Struct(Vec<Type>),
+}
+
+impl Type {
+    /// 8-bit integer type.
+    pub const I8: Type = Type::Int(IntWidth::W8);
+    /// 16-bit integer type.
+    pub const I16: Type = Type::Int(IntWidth::W16);
+    /// 32-bit integer type.
+    pub const I32: Type = Type::Int(IntWidth::W32);
+    /// 64-bit integer type.
+    pub const I64: Type = Type::Int(IntWidth::W64);
+
+    /// Construct an array type.
+    pub fn array(elem: Type, len: u64) -> Type {
+        Type::Array(Box::new(elem), len)
+    }
+
+    /// Size of a value of this type in bytes, including interior padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Type::Void`], which has no size.
+    pub fn size(&self) -> u64 {
+        match self {
+            Type::Void => panic!("void has no size"),
+            Type::Int(w) => w.bytes(),
+            Type::Ptr => 8,
+            Type::Array(elem, len) => elem.size() * len,
+            Type::Struct(fields) => {
+                let mut off = 0u64;
+                for f in fields {
+                    off = align_to(off, f.align());
+                    off += f.size();
+                }
+                align_to(off, self.align())
+            }
+        }
+    }
+
+    /// ABI alignment of this type in bytes (always a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`Type::Void`].
+    pub fn align(&self) -> u64 {
+        match self {
+            Type::Void => panic!("void has no alignment"),
+            Type::Int(w) => w.bytes(),
+            Type::Ptr => 8,
+            Type::Array(elem, _) => elem.align(),
+            Type::Struct(fields) => fields.iter().map(|f| f.align()).max().unwrap_or(1),
+        }
+    }
+
+    /// Byte offset of struct field `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a struct or `idx` is out of range.
+    pub fn field_offset(&self, idx: usize) -> u64 {
+        match self {
+            Type::Struct(fields) => {
+                assert!(idx < fields.len(), "field index {idx} out of range");
+                let mut off = 0u64;
+                for (i, f) in fields.iter().enumerate() {
+                    off = align_to(off, f.align());
+                    if i == idx {
+                        return off;
+                    }
+                    off += f.size();
+                }
+                unreachable!()
+            }
+            other => panic!("field_offset on non-struct type {other}"),
+        }
+    }
+
+    /// Whether this is an integer type.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::Int(_))
+    }
+
+    /// Whether this is the pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr)
+    }
+
+    /// Whether this type is an aggregate (array or struct).
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, Type::Array(..) | Type::Struct(..))
+    }
+
+    /// Integer width, if this is an integer type.
+    pub fn int_width(&self) -> Option<IntWidth> {
+        match self {
+            Type::Int(w) => Some(*w),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => write!(f, "void"),
+            Type::Int(w) => write!(f, "{w}"),
+            Type::Ptr => write!(f, "ptr"),
+            Type::Array(elem, len) => write!(f, "[{len} x {elem}]"),
+            Type::Struct(fields) => {
+                write!(f, "{{")?;
+                for (i, t) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Round `off` up to the next multiple of `align` (which must be a power
+/// of two greater than zero).
+pub fn align_to(off: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+    (off + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_sizes() {
+        assert_eq!(Type::I8.size(), 1);
+        assert_eq!(Type::I16.size(), 2);
+        assert_eq!(Type::I32.size(), 4);
+        assert_eq!(Type::I64.size(), 8);
+        assert_eq!(Type::Ptr.size(), 8);
+    }
+
+    #[test]
+    fn array_layout() {
+        let a = Type::array(Type::I32, 10);
+        assert_eq!(a.size(), 40);
+        assert_eq!(a.align(), 4);
+    }
+
+    #[test]
+    fn struct_layout_padding() {
+        // { i8, i64, i16 } -> offsets 0, 8, 16; size 24 (tail padded to 8).
+        let s = Type::Struct(vec![Type::I8, Type::I64, Type::I16]);
+        assert_eq!(s.field_offset(0), 0);
+        assert_eq!(s.field_offset(1), 8);
+        assert_eq!(s.field_offset(2), 16);
+        assert_eq!(s.size(), 24);
+        assert_eq!(s.align(), 8);
+    }
+
+    #[test]
+    fn nested_struct_layout() {
+        let inner = Type::Struct(vec![Type::I8, Type::I32]);
+        assert_eq!(inner.size(), 8);
+        let outer = Type::Struct(vec![Type::I8, inner.clone(), Type::I8]);
+        assert_eq!(outer.field_offset(1), 4);
+        assert_eq!(outer.size(), 16);
+        assert_eq!(outer.align(), 4);
+    }
+
+    #[test]
+    fn empty_struct() {
+        let s = Type::Struct(vec![]);
+        assert_eq!(s.size(), 0);
+        assert_eq!(s.align(), 1);
+    }
+
+    #[test]
+    fn align_to_rounds_up() {
+        assert_eq!(align_to(0, 8), 0);
+        assert_eq!(align_to(1, 8), 8);
+        assert_eq!(align_to(8, 8), 8);
+        assert_eq!(align_to(9, 4), 12);
+    }
+
+    #[test]
+    fn width_masks_and_sext() {
+        assert_eq!(IntWidth::W8.mask(), 0xff);
+        assert_eq!(IntWidth::W8.sext(0x80), -128);
+        assert_eq!(IntWidth::W16.sext(0x7fff), 32767);
+        assert_eq!(IntWidth::W32.truncate(0x1_0000_0001), 1);
+        assert_eq!(IntWidth::W64.sext(u64::MAX), -1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::I32.to_string(), "i32");
+        assert_eq!(Type::array(Type::I8, 4).to_string(), "[4 x i8]");
+        assert_eq!(
+            Type::Struct(vec![Type::Ptr, Type::I64]).to_string(),
+            "{ptr, i64}"
+        );
+    }
+}

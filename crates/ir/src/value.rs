@@ -1,0 +1,133 @@
+//! Values and identifiers used as instruction operands.
+
+use std::fmt;
+
+use crate::types::{IntWidth, Type};
+
+/// Identifier of a virtual register inside a function.
+///
+/// Registers are defined once, by the instruction whose result they hold
+/// (the IR is SSA-like for register values; mutable locals live in memory
+/// through `alloca`/`load`/`store`, exactly the shape `clang -O0` emits
+/// and the shape the Smokestack passes operate on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub u32);
+
+/// Identifier of a basic block inside a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifier of a function inside a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Identifier of a global variable inside a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// An operand: either a virtual register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A virtual register defined by some instruction or parameter.
+    Reg(RegId),
+    /// An integer immediate with an explicit width.
+    ConstInt(i64, IntWidth),
+    /// The address of a global variable.
+    Global(GlobalId),
+    /// The address of a function (for indirect calls / fn pointers).
+    Func(FuncId),
+    /// The null pointer.
+    NullPtr,
+}
+
+impl Value {
+    /// Convenience constructor for an `i64` immediate.
+    pub fn i64(v: i64) -> Value {
+        Value::ConstInt(v, IntWidth::W64)
+    }
+
+    /// Convenience constructor for an `i32` immediate.
+    pub fn i32(v: i32) -> Value {
+        Value::ConstInt(v as i64, IntWidth::W32)
+    }
+
+    /// Convenience constructor for an `i8` immediate.
+    pub fn i8(v: i8) -> Value {
+        Value::ConstInt(v as i64, IntWidth::W8)
+    }
+
+    /// The register, if this value is one.
+    pub fn as_reg(&self) -> Option<RegId> {
+        match self {
+            Value::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The type of this value given a register-type lookup.
+    pub fn type_with(&self, reg_ty: impl Fn(RegId) -> Type) -> Type {
+        match self {
+            Value::Reg(r) => reg_ty(*r),
+            Value::ConstInt(_, w) => Type::Int(*w),
+            Value::Global(_) | Value::Func(_) | Value::NullPtr => Type::Ptr,
+        }
+    }
+}
+
+impl From<RegId> for Value {
+    fn from(r: RegId) -> Value {
+        Value::Reg(r)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Reg(r) => write!(f, "{r}"),
+            Value::ConstInt(v, w) => write!(f, "{v}:{w}"),
+            Value::Global(g) => write!(f, "@g{}", g.0),
+            Value::Func(id) => write!(f, "@f{}", id.0),
+            Value::NullPtr => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_constructors() {
+        assert_eq!(Value::i64(5), Value::ConstInt(5, IntWidth::W64));
+        assert_eq!(Value::i32(-1), Value::ConstInt(-1, IntWidth::W32));
+        assert_eq!(Value::from(RegId(3)).as_reg(), Some(RegId(3)));
+        assert_eq!(Value::NullPtr.as_reg(), None);
+    }
+
+    #[test]
+    fn value_types() {
+        let ty = |_| Type::Ptr;
+        assert_eq!(Value::i32(0).type_with(ty), Type::I32);
+        assert_eq!(Value::NullPtr.type_with(ty), Type::Ptr);
+        assert_eq!(Value::Reg(RegId(0)).type_with(ty), Type::Ptr);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Reg(RegId(7)).to_string(), "%7");
+        assert_eq!(Value::i8(1).to_string(), "1:i8");
+        assert_eq!(BlockId(2).to_string(), "bb2");
+    }
+}

@@ -1,0 +1,488 @@
+//! The IR verifier: structural and type well-formedness checks.
+//!
+//! The instrumentation passes in this project rewrite function bodies
+//! aggressively; the verifier is the safety net that keeps a buggy pass
+//! from silently producing nonsense the VM would misexecute.
+
+use std::fmt;
+
+use crate::cfg::{Cfg, Dominators};
+use crate::function::Function;
+use crate::inst::{Callee, CastKind, Inst, Terminator};
+use crate::module::Module;
+use crate::types::Type;
+use crate::value::{BlockId, RegId, Value};
+
+/// A verifier diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the problem was found.
+    pub func: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in function `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole module.
+///
+/// # Errors
+///
+/// Returns every problem found, or `Ok(())` for a well-formed module.
+pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    for (_, f) in m.iter_funcs() {
+        if let Err(mut e) = verify_function(f, Some(m)) {
+            errs.append(&mut e);
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Verify a single function. When `module` is given, call signatures are
+/// checked against their callees.
+///
+/// # Errors
+///
+/// Returns every problem found, or `Ok(())` for a well-formed function.
+pub fn verify_function(f: &Function, module: Option<&Module>) -> Result<(), Vec<VerifyError>> {
+    let mut v = Verifier {
+        f,
+        module,
+        errs: Vec::new(),
+    };
+    v.run();
+    if v.errs.is_empty() {
+        Ok(())
+    } else {
+        Err(v.errs)
+    }
+}
+
+struct Verifier<'a> {
+    f: &'a Function,
+    module: Option<&'a Module>,
+    errs: Vec<VerifyError>,
+}
+
+impl Verifier<'_> {
+    fn err(&mut self, message: impl Into<String>) {
+        self.errs.push(VerifyError {
+            func: self.f.name.clone(),
+            message: message.into(),
+        });
+    }
+
+    fn run(&mut self) {
+        if self.f.blocks.is_empty() {
+            self.err("function has no blocks");
+            return;
+        }
+        self.check_unique_defs();
+        let targets_ok = self.check_targets();
+        if targets_ok {
+            // Dominance is only well-defined when every branch target
+            // exists; a bad target is already reported above.
+            self.check_defs_dominate_uses();
+        }
+        self.check_types();
+    }
+
+    /// Every register is defined at most once, and never redefines a
+    /// parameter.
+    fn check_unique_defs(&mut self) {
+        let mut defined = vec![false; self.f.reg_count()];
+        for d in defined.iter_mut().take(self.f.params.len()) {
+            *d = true;
+        }
+        let mut dups = Vec::new();
+        let mut oob = Vec::new();
+        for (_, inst) in self.f.iter_insts() {
+            if let Some(r) = inst.result() {
+                match defined.get(r.0 as usize) {
+                    None => oob.push(r),
+                    Some(true) => dups.push(r),
+                    Some(false) => defined[r.0 as usize] = true,
+                }
+            }
+        }
+        for r in dups {
+            self.err(format!("register {r} defined more than once"));
+        }
+        for r in oob {
+            self.err(format!("register {r} not allocated via new_reg"));
+        }
+    }
+
+    /// Branch targets must be valid block ids. Returns whether all were.
+    fn check_targets(&mut self) -> bool {
+        let n = self.f.blocks.len() as u32;
+        let mut bad = Vec::new();
+        for (bid, b) in self.f.iter_blocks() {
+            for s in b.term.successors() {
+                if s.0 >= n {
+                    bad.push((bid, s));
+                }
+            }
+        }
+        let ok = bad.is_empty();
+        for (bid, s) in bad {
+            self.err(format!("block {bid} branches to nonexistent {s}"));
+        }
+        ok
+    }
+
+    /// Each register use must be dominated by its definition (parameters
+    /// dominate everything).
+    fn check_defs_dominate_uses(&mut self) {
+        let cfg = Cfg::compute(self.f);
+        let dom = Dominators::compute(&cfg);
+        // Where is each register defined?
+        let mut def_site: Vec<Option<(BlockId, usize)>> = vec![None; self.f.reg_count()];
+        for (bid, b) in self.f.iter_blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if let Some(r) = inst.result() {
+                    if (r.0 as usize) < def_site.len() && def_site[r.0 as usize].is_none() {
+                        def_site[r.0 as usize] = Some((bid, i));
+                    }
+                }
+            }
+        }
+        let param_count = self.f.params.len() as u32;
+        let check_use = |this: &mut Self, r: RegId, at: (BlockId, usize)| {
+            if r.0 < param_count {
+                return; // parameters dominate all uses
+            }
+            match def_site.get(r.0 as usize).and_then(|d| *d) {
+                None => this.err(format!("register {r} used but never defined")),
+                Some((dbid, di)) => {
+                    let ok = if dbid == at.0 {
+                        di < at.1
+                    } else {
+                        dom.dominates(dbid, at.0)
+                    };
+                    // Uses in unreachable blocks are tolerated (dead code).
+                    if !ok && dom.is_reachable(at.0) {
+                        this.err(format!(
+                            "use of {r} in {} not dominated by its definition in {dbid}",
+                            at.0
+                        ));
+                    }
+                }
+            }
+        };
+        let blocks: Vec<(BlockId, Vec<(usize, Vec<Value>)>)> = self
+            .f
+            .iter_blocks()
+            .map(|(bid, b)| {
+                let uses = b
+                    .insts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, inst)| (i, inst.operands()))
+                    .collect();
+                (bid, uses)
+            })
+            .collect();
+        for (bid, insts) in &blocks {
+            for (i, ops) in insts {
+                for op in ops {
+                    if let Some(r) = op.as_reg() {
+                        check_use(self, r, (*bid, *i));
+                    }
+                }
+            }
+            // Terminator operands count as uses at the end of the block.
+            let b = self.f.block(*bid);
+            if let Terminator::CondBr { cond, .. } = &b.term {
+                if let Some(r) = cond.as_reg() {
+                    check_use(self, r, (*bid, b.insts.len()));
+                }
+            }
+            if let Terminator::Ret(Some(v)) = &b.term {
+                if let Some(r) = v.as_reg() {
+                    check_use(self, r, (*bid, b.insts.len()));
+                }
+            }
+        }
+    }
+
+    fn value_type(&self, v: &Value) -> Type {
+        v.type_with(|r| self.f.reg_type(r).clone())
+    }
+
+    fn check_types(&mut self) {
+        let mut problems = Vec::new();
+        for (bid, inst) in self.f.iter_insts() {
+            match inst {
+                Inst::Alloca {
+                    ty, align, count, ..
+                } => {
+                    if *ty == Type::Void {
+                        problems.push(format!("{bid}: alloca of void"));
+                    }
+                    if !align.is_power_of_two() {
+                        problems.push(format!("{bid}: alloca alignment {align} not a power of 2"));
+                    }
+                    if let Some(c) = count {
+                        if !self.value_type(c).is_int() {
+                            problems.push(format!("{bid}: VLA count must be an integer"));
+                        }
+                    }
+                }
+                Inst::Load { ty, ptr, .. } => {
+                    if ty.is_aggregate() || *ty == Type::Void {
+                        problems.push(format!("{bid}: load of non-first-class type {ty}"));
+                    }
+                    if !self.value_type(ptr).is_ptr() {
+                        problems.push(format!("{bid}: load address is not a pointer"));
+                    }
+                }
+                Inst::Store { ty, val, ptr } => {
+                    if ty.is_aggregate() || *ty == Type::Void {
+                        problems.push(format!("{bid}: store of non-first-class type {ty}"));
+                    }
+                    if !self.value_type(ptr).is_ptr() {
+                        problems.push(format!("{bid}: store address is not a pointer"));
+                    }
+                    let vt = self.value_type(val);
+                    if &vt != ty && !(vt.is_ptr() && ty.is_ptr()) {
+                        problems.push(format!("{bid}: store of {vt} as {ty}"));
+                    }
+                }
+                Inst::Gep { base, offset, .. } => {
+                    if !self.value_type(base).is_ptr() {
+                        problems.push(format!("{bid}: gep base is not a pointer"));
+                    }
+                    if !self.value_type(offset).is_int() {
+                        problems.push(format!("{bid}: gep offset is not an integer"));
+                    }
+                }
+                Inst::Bin {
+                    width, lhs, rhs, ..
+                }
+                | Inst::Icmp {
+                    width, lhs, rhs, ..
+                } => {
+                    for (side, v) in [("lhs", lhs), ("rhs", rhs)] {
+                        let t = self.value_type(v);
+                        // Pointers may participate in 64-bit arithmetic
+                        // (they are just addresses in this IR).
+                        let ok = t == Type::Int(*width) || (t.is_ptr() && width.bytes() == 8);
+                        if !ok {
+                            problems.push(format!("{bid}: {side} has type {t}, expected i{}", width.bits()));
+                        }
+                    }
+                }
+                Inst::Cast { kind, to, val, .. } => {
+                    let from = self.value_type(val);
+                    let ok = match kind {
+                        CastKind::ZextOrTrunc | CastKind::SextFrom(_) => from.is_int() && to.is_int(),
+                        CastKind::PtrToInt => from.is_ptr() && *to == Type::I64,
+                        CastKind::IntToPtr => from.is_int() && to.is_ptr(),
+                    };
+                    if !ok {
+                        problems.push(format!("{bid}: invalid {kind} cast {from} -> {to}"));
+                    }
+                }
+                Inst::Call {
+                    result,
+                    callee,
+                    args,
+                } => match callee {
+                    Callee::Intrinsic(i) => {
+                        let (argc, returns) = i.signature();
+                        if args.len() != argc {
+                            problems.push(format!(
+                                "{bid}: intrinsic {i} takes {argc} args, got {}",
+                                args.len()
+                            ));
+                        }
+                        if returns != result.is_some() {
+                            problems.push(format!("{bid}: intrinsic {i} result mismatch"));
+                        }
+                    }
+                    Callee::Direct(fid) => {
+                        if let Some(m) = self.module {
+                            if (fid.0 as usize) >= m.funcs.len() {
+                                problems.push(format!("{bid}: call to nonexistent function"));
+                            } else {
+                                let callee_f = m.func(*fid);
+                                if callee_f.params.len() != args.len() {
+                                    problems.push(format!(
+                                        "{bid}: call to {} with {} args, expected {}",
+                                        callee_f.name,
+                                        args.len(),
+                                        callee_f.params.len()
+                                    ));
+                                }
+                                if (callee_f.ret == Type::Void) == result.is_some() {
+                                    problems.push(format!(
+                                        "{bid}: call to {} result mismatch",
+                                        callee_f.name
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Callee::Indirect(v) => {
+                        if !self.value_type(v).is_ptr() {
+                            problems.push(format!("{bid}: indirect call target is not a pointer"));
+                        }
+                    }
+                },
+            }
+        }
+        // Return types.
+        for (bid, b) in self.f.iter_blocks() {
+            if let Terminator::Ret(v) = &b.term {
+                match (v, &self.f.ret) {
+                    (None, t) if *t != Type::Void => {
+                        problems.push(format!("{bid}: missing return value"))
+                    }
+                    (Some(_), Type::Void) => {
+                        problems.push(format!("{bid}: return value in void function"))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for p in problems {
+            self.err(p);
+        }
+    }
+}
+
+/// Verify and panic with a readable message on failure. Convenience for
+/// tests and pass pipelines.
+///
+/// # Panics
+///
+/// Panics if verification fails.
+pub fn assert_verified(m: &Module) {
+    if let Err(errs) = verify_module(m) {
+        let joined: Vec<String> = errs.iter().map(|e| e.to_string()).collect();
+        panic!("IR verification failed:\n{}", joined.join("\n"));
+    }
+}
+
+#[allow(unused_imports)]
+mod test_support {
+    pub use super::*;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::inst::{BinOp, Intrinsic};
+    use crate::types::IntWidth;
+
+    fn ok_function() -> Function {
+        let mut f = Function::new("ok", vec![Type::I64], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let slot = b.alloca(Type::I64, "x");
+        b.store(Type::I64, Value::Reg(RegId(0)), slot.into());
+        let v = b.load(Type::I64, slot.into());
+        let two = b.bin(BinOp::Add, IntWidth::W64, v.into(), Value::i64(2));
+        b.ret(Some(two.into()));
+        f
+    }
+
+    #[test]
+    fn accepts_well_formed() {
+        assert!(verify_function(&ok_function(), None).is_ok());
+    }
+
+    #[test]
+    fn rejects_use_before_def() {
+        let mut f = Function::new("bad", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        // Manually use a register that is defined later.
+        let later = b.func().new_reg(Type::I64);
+        let dst = b.alloca(Type::I64, "d");
+        b.store(Type::I64, Value::Reg(later), dst.into());
+        b.ret(None);
+        let errs = verify_function(&f, None).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("not dominated")
+            || e.message.contains("never defined")));
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut f = Function::new("bad", vec![], Type::Void);
+        f.block_mut(Function::ENTRY).term = Terminator::Br(BlockId(9));
+        let errs = verify_function(&f, None).unwrap_err();
+        assert!(errs[0].message.contains("nonexistent"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch_store() {
+        let mut f = Function::new("bad", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let slot = b.alloca(Type::I64, "x");
+        b.store(Type::I64, Value::i32(1), slot.into()); // i32 stored as i64
+        b.ret(None);
+        let errs = verify_function(&f, None).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("store of i32 as i64")));
+    }
+
+    #[test]
+    fn rejects_intrinsic_arity() {
+        let mut f = Function::new("bad", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        // memcpy takes 3 args.
+        b.func().new_reg(Type::I64);
+        f.block_mut(Function::ENTRY).insts.push(Inst::Call {
+            result: None,
+            callee: Callee::Intrinsic(Intrinsic::Memcpy),
+            args: vec![Value::NullPtr],
+        });
+        f.block_mut(Function::ENTRY).term = Terminator::Ret(None);
+        let errs = verify_function(&f, None).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("takes 3 args")));
+    }
+
+    #[test]
+    fn rejects_call_arity_against_module() {
+        let mut m = Module::new();
+        let callee = m.add_func(Function::new("callee", vec![Type::I64], Type::Void));
+        let mut f = Function::new("caller", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        b.call(callee, Type::Void, vec![]); // missing arg
+        b.ret(None);
+        m.add_func(f);
+        let errs = verify_module(&m).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expected 1")));
+    }
+
+    #[test]
+    fn rejects_ret_mismatch() {
+        let mut f = Function::new("bad", vec![], Type::I32);
+        f.block_mut(Function::ENTRY).term = Terminator::Ret(None);
+        let errs = verify_function(&f, None).unwrap_err();
+        assert!(errs[0].message.contains("missing return value"));
+    }
+
+    #[test]
+    fn module_verify_collects_all() {
+        let mut m = Module::new();
+        m.add_func(ok_function());
+        let mut bad = Function::new("bad", vec![], Type::I32);
+        bad.block_mut(Function::ENTRY).term = Terminator::Ret(None);
+        m.add_func(bad);
+        let errs = verify_module(&m).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].func, "bad");
+    }
+}

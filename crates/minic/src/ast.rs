@@ -1,0 +1,239 @@
+//! The MiniC abstract syntax tree.
+
+use crate::lexer::Pos;
+
+/// A surface type as written in source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `void`
+    Void,
+    /// `char` (8-bit)
+    Char,
+    /// `short` (16-bit)
+    Short,
+    /// `int` (32-bit)
+    Int,
+    /// `long` (64-bit)
+    Long,
+    /// `struct name`
+    Struct(String),
+    /// `T*`
+    Ptr(Box<TypeExpr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOpKind {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+    /// `~`
+    BitNot,
+    /// `*` (dereference)
+    Deref,
+    /// `&` (address-of)
+    Addr,
+}
+
+/// Expressions. Every node carries its source position for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Pos),
+    /// String literal (becomes a rodata global; type `char*`).
+    Str(Vec<u8>, Pos),
+    /// Variable reference.
+    Var(String, Pos),
+    /// Binary operation.
+    Bin(BinOpKind, Box<Expr>, Box<Expr>, Pos),
+    /// Unary operation.
+    Un(UnOpKind, Box<Expr>, Pos),
+    /// Assignment `lhs = rhs` (an expression, value is `rhs`).
+    Assign(Box<Expr>, Box<Expr>, Pos),
+    /// Array/pointer index `base[idx]`.
+    Index(Box<Expr>, Box<Expr>, Pos),
+    /// Struct member `base.field`.
+    Member(Box<Expr>, String, Pos),
+    /// Struct member through pointer `base->field`.
+    Arrow(Box<Expr>, String, Pos),
+    /// Function or intrinsic call.
+    Call(String, Vec<Expr>, Pos),
+    /// `sizeof(type)` or `sizeof(expr)`.
+    SizeofType(TypeExpr, Pos),
+    /// `sizeof(expr)` — size of the expression's type.
+    SizeofExpr(Box<Expr>, Pos),
+}
+
+impl Expr {
+    /// Source position of this expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::Int(_, p)
+            | Expr::Str(_, p)
+            | Expr::Var(_, p)
+            | Expr::Bin(_, _, _, p)
+            | Expr::Un(_, _, p)
+            | Expr::Assign(_, _, p)
+            | Expr::Index(_, _, p)
+            | Expr::Member(_, _, p)
+            | Expr::Arrow(_, _, p)
+            | Expr::Call(_, _, p)
+            | Expr::SizeofType(_, p)
+            | Expr::SizeofExpr(_, p) => *p,
+        }
+    }
+}
+
+/// A local declaration: `int x;`, `char buf[64];`, `char vla[n];`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDecl {
+    /// Element type as written.
+    pub ty: TypeExpr,
+    /// Variable name.
+    pub name: String,
+    /// Fixed array length (`Some(Ok(n))`), VLA length expression
+    /// (`Some(Err(expr))`), or scalar (`None`).
+    pub array: Option<Result<u64, Expr>>,
+    /// Optional initializer (scalars only).
+    pub init: Option<Expr>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration.
+    Decl(LocalDecl),
+    /// Expression evaluated for effect.
+    Expr(Expr),
+    /// `if (cond) then [else els]`
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) body`
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) body` (each part optional)
+    For(
+        Option<Box<Stmt>>,
+        Option<Expr>,
+        Option<Expr>,
+        Vec<Stmt>,
+    ),
+    /// `return [expr];`
+    Return(Option<Expr>, Pos),
+    /// `break;`
+    Break(Pos),
+    /// `continue;`
+    Continue(Pos),
+    /// Nested block.
+    Block(Vec<Stmt>),
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Type.
+    pub ty: TypeExpr,
+    /// Name.
+    pub name: String,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Return type.
+    pub ret: TypeExpr,
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// A struct definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Name.
+    pub name: String,
+    /// Fields in declaration order: (type, name, optional array length).
+    pub fields: Vec<(TypeExpr, String, Option<u64>)>,
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Element type.
+    pub ty: TypeExpr,
+    /// Name.
+    pub name: String,
+    /// Fixed array length, if an array.
+    pub array: Option<u64>,
+    /// Constant initializer: integer or string bytes.
+    pub init: Option<GlobalInitAst>,
+    /// Position.
+    pub pos: Pos,
+}
+
+/// Global initializers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalInitAst {
+    /// Integer constant.
+    Int(i64),
+    /// String literal (char arrays).
+    Str(Vec<u8>),
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Global variables.
+    pub globals: Vec<GlobalDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDef>,
+}

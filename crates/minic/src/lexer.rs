@@ -1,0 +1,423 @@
+//! The MiniC lexer.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number, starting at 1.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds of MiniC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (value already parsed; char literals land here).
+    Int(i64),
+    /// String literal (unescaped bytes, no NUL).
+    Str(Vec<u8>),
+    /// A keyword.
+    Kw(Kw),
+    /// Punctuation or operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// Keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kw {
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `short`
+    Short,
+    /// `char`
+    Char,
+    /// `void`
+    Void,
+    /// `struct`
+    Struct,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `sizeof`
+    Sizeof,
+}
+
+/// A token with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Description.
+    pub message: String,
+    /// Location.
+    pub pos: Pos,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const PUNCTS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "<<=", ">>=", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*",
+    "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", ".", "?", ":",
+];
+
+/// Tokenize MiniC source.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for malformed literals or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! pos {
+        () => {
+            Pos { line, col }
+        };
+    }
+
+    let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize, bytes: &[u8]| {
+        for _ in 0..n {
+            if *i < bytes.len() && bytes[*i] == b'\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        }
+    };
+
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            continue;
+        }
+        // Comments.
+        if c == b'/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == b'/' {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+                continue;
+            }
+            if bytes[i + 1] == b'*' {
+                let start = pos!();
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated block comment".into(),
+                            pos: start,
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        advance(&mut i, &mut line, &mut col, 2, bytes);
+                        continue 'outer;
+                    }
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                }
+            }
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let p = pos!();
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            let word = &src[start..i];
+            let tok = match word {
+                "int" => Tok::Kw(Kw::Int),
+                "long" => Tok::Kw(Kw::Long),
+                "short" => Tok::Kw(Kw::Short),
+                "char" => Tok::Kw(Kw::Char),
+                "void" => Tok::Kw(Kw::Void),
+                "struct" => Tok::Kw(Kw::Struct),
+                "if" => Tok::Kw(Kw::If),
+                "else" => Tok::Kw(Kw::Else),
+                "while" => Tok::Kw(Kw::While),
+                "for" => Tok::Kw(Kw::For),
+                "return" => Tok::Kw(Kw::Return),
+                "break" => Tok::Kw(Kw::Break),
+                "continue" => Tok::Kw(Kw::Continue),
+                "sizeof" => Tok::Kw(Kw::Sizeof),
+                _ => Tok::Ident(word.to_string()),
+            };
+            toks.push(Token { tok, pos: p });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let p = pos!();
+            let start = i;
+            let radix = if c == b'0'
+                && i + 1 < bytes.len()
+                && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X')
+            {
+                advance(&mut i, &mut line, &mut col, 2, bytes);
+                16
+            } else {
+                10
+            };
+            let digits_start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric())
+            {
+                advance(&mut i, &mut line, &mut col, 1, bytes);
+            }
+            let text = if radix == 16 {
+                &src[digits_start..i]
+            } else {
+                &src[start..i]
+            };
+            let v = i64::from_str_radix(text, radix).map_err(|_| LexError {
+                message: format!("bad integer literal `{}`", &src[start..i]),
+                pos: p,
+            })?;
+            toks.push(Token {
+                tok: Tok::Int(v),
+                pos: p,
+            });
+            continue;
+        }
+        // Char literal.
+        if c == b'\'' {
+            let p = pos!();
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            let (ch, consumed) = unescape_at(bytes, i).ok_or_else(|| LexError {
+                message: "bad character literal".into(),
+                pos: p,
+            })?;
+            advance(&mut i, &mut line, &mut col, consumed, bytes);
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(LexError {
+                    message: "unterminated character literal".into(),
+                    pos: p,
+                });
+            }
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            toks.push(Token {
+                tok: Tok::Int(ch as i64),
+                pos: p,
+            });
+            continue;
+        }
+        // String literal.
+        if c == b'"' {
+            let p = pos!();
+            advance(&mut i, &mut line, &mut col, 1, bytes);
+            let mut out = Vec::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        pos: p,
+                    });
+                }
+                if bytes[i] == b'"' {
+                    advance(&mut i, &mut line, &mut col, 1, bytes);
+                    break;
+                }
+                let (ch, consumed) = unescape_at(bytes, i).ok_or_else(|| LexError {
+                    message: "bad escape in string literal".into(),
+                    pos: p,
+                })?;
+                out.push(ch);
+                advance(&mut i, &mut line, &mut col, consumed, bytes);
+            }
+            toks.push(Token {
+                tok: Tok::Str(out),
+                pos: p,
+            });
+            continue;
+        }
+        // Punctuation.
+        let p = pos!();
+        for cand in PUNCTS {
+            if src[i..].starts_with(cand) {
+                advance(&mut i, &mut line, &mut col, cand.len(), bytes);
+                toks.push(Token {
+                    tok: Tok::Punct(cand),
+                    pos: p,
+                });
+                continue 'outer;
+            }
+        }
+        return Err(LexError {
+            message: format!("unexpected character `{}`", c as char),
+            pos: p,
+        });
+    }
+    toks.push(Token {
+        tok: Tok::Eof,
+        pos: pos!(),
+    });
+    Ok(toks)
+}
+
+/// Decode one (possibly escaped) character at `i`; returns (byte, bytes
+/// consumed).
+fn unescape_at(bytes: &[u8], i: usize) -> Option<(u8, usize)> {
+    if i >= bytes.len() {
+        return None;
+    }
+    if bytes[i] != b'\\' {
+        return Some((bytes[i], 1));
+    }
+    if i + 1 >= bytes.len() {
+        return None;
+    }
+    let c = match bytes[i + 1] {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'\'' => b'\'',
+        b'"' => b'"',
+        _ => return None,
+    };
+    Some((c, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("int foo"),
+            vec![Tok::Kw(Kw::Int), Tok::Ident("foo".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_dec_and_hex() {
+        assert_eq!(
+            kinds("42 0xff"),
+            vec![Tok::Int(42), Tok::Int(255), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\0""#),
+            vec![
+                Tok::Int(97),
+                Tok::Int(10),
+                Tok::Str(vec![b'h', b'i', 0]),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_operators() {
+        assert_eq!(
+            kinds("a<<=b<<c<=d<e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Punct("<<="),
+                Tok::Ident("b".into()),
+                Tok::Punct("<<"),
+                Tok::Ident("c".into()),
+                Tok::Punct("<="),
+                Tok::Ident("d".into()),
+                Tok::Punct("<"),
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a // line\n/* block\nstill */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn errors_on_bad_hex() {
+        assert!(lex("0xzz").is_err());
+    }
+
+    #[test]
+    fn arrow_and_dot() {
+        assert_eq!(
+            kinds("p->x.y"),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::Punct("->"),
+                Tok::Ident("x".into()),
+                Tok::Punct("."),
+                Tok::Ident("y".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

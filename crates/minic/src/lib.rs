@@ -1,0 +1,34 @@
+//! # smokestack-minic
+//!
+//! A from-scratch C-like front-end ("MiniC") producing Smokestack IR.
+//! The paper's target programs are C compiled by clang; MiniC covers the
+//! slice of C those programs exercise — scalar types (`char`/`short`/
+//! `int`/`long`), pointers, fixed arrays, C99 VLAs, structs, the usual
+//! operators with short-circuit `&&`/`||`, `sizeof`, and calls to the
+//! libc-like VM builtins (`get_input`, `snprintf_cat`, `memcpy`, …).
+//!
+//! Lowering follows `clang -O0`: every local and every spilled parameter
+//! is an entry-block `alloca` accessed by loads and stores — the exact
+//! shape the Smokestack instrumentation randomizes.
+//!
+//! # Examples
+//!
+//! ```
+//! use smokestack_minic::compile;
+//! use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+//!
+//! let m = compile("int main() { int x = 40; return x + 2; }").unwrap();
+//! let mut vm = Vm::new(m, VmConfig::default());
+//! assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(42));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod lexer;
+mod lower;
+mod parser;
+
+pub use lexer::{lex, Kw, LexError, Pos, Tok, Token};
+pub use lower::{compile, lower, CompileError};
+pub use parser::{parse, ParseError};

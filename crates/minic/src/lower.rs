@@ -1,0 +1,1575 @@
+//! Type checking and lowering from the MiniC AST to the Smokestack IR.
+//!
+//! The lowering follows the `clang -O0` discipline the paper's passes
+//! expect: every local (including parameters, which are spilled at
+//! entry) becomes an `alloca` in the **entry block**, accessed through
+//! loads and stores. Fixed-size allocas are hoisted to the entry block
+//! so loops do not leak stack; VLAs stay at their declaration site and
+//! are sized at runtime (§III-D.1 of the paper handles these with
+//! dynamic padding).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use smokestack_ir as ir;
+use smokestack_ir::{
+    BinOp, CastKind, CmpPred, Function, FuncId, GlobalId, IntWidth, Intrinsic, Module,
+    RegId, Type, Value,
+};
+
+use crate::ast::*;
+use crate::lexer::Pos;
+use crate::parser::{parse, ParseError};
+
+/// A front-end diagnostic (parse or type error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Description.
+    pub message: String,
+    /// Location.
+    pub pos: Pos,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> CompileError {
+        CompileError {
+            message: e.message,
+            pos: e.pos,
+        }
+    }
+}
+
+/// Compile MiniC source into a verified IR module.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or type error.
+///
+/// # Examples
+///
+/// ```
+/// let m = smokestack_minic::compile("int main() { return 40 + 2; }").unwrap();
+/// assert!(m.func_by_name("main").is_some());
+/// ```
+pub fn compile(src: &str) -> Result<Module, CompileError> {
+    let prog = parse(src)?;
+    lower(&prog)
+}
+
+/// Lower a parsed program.
+///
+/// # Errors
+///
+/// Returns the first type error.
+pub fn lower(prog: &Program) -> Result<Module, CompileError> {
+    let mut lw = Lowering::new(prog)?;
+    lw.run(prog)?;
+    let module = lw.module;
+    debug_assert!(ir::verify_module(&module).is_ok());
+    Ok(module)
+}
+
+/// Semantic type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CTy {
+    Void,
+    Int(IntWidth),
+    Ptr(Box<CTy>),
+    Array(Box<CTy>, u64),
+    Struct(usize),
+}
+
+impl CTy {
+    const CHAR: CTy = CTy::Int(IntWidth::W8);
+    const INT: CTy = CTy::Int(IntWidth::W32);
+    const LONG: CTy = CTy::Int(IntWidth::W64);
+
+    fn is_int(&self) -> bool {
+        matches!(self, CTy::Int(_))
+    }
+
+    fn is_ptr(&self) -> bool {
+        matches!(self, CTy::Ptr(_))
+    }
+}
+
+struct StructInfo {
+    #[allow(dead_code)]
+    name: String,
+    field_names: Vec<String>,
+    field_tys: Vec<CTy>,
+    ir_ty: Type,
+}
+
+struct FuncSig {
+    id: FuncId,
+    params: Vec<CTy>,
+    ret: CTy,
+}
+
+struct Lowering {
+    module: Module,
+    structs: Vec<StructInfo>,
+    struct_ids: HashMap<String, usize>,
+    funcs: HashMap<String, FuncSig>,
+    globals: HashMap<String, (GlobalId, CTy)>,
+    strings: HashMap<Vec<u8>, GlobalId>,
+}
+
+struct FnCx {
+    f: Function,
+    scopes: Vec<HashMap<String, (RegId, CTy)>>,
+    ret: CTy,
+    cur: ir::BlockId,
+    /// Number of allocas emitted into the entry block so far; new
+    /// fixed-size allocas are inserted at this index to stay hoisted.
+    entry_allocas: usize,
+    /// Lazily created scratch slot for short-circuit evaluation.
+    cc_slot: Option<RegId>,
+    /// (continue target, break target) stack.
+    loops: Vec<(ir::BlockId, ir::BlockId)>,
+    terminated: bool,
+}
+
+fn err<T>(msg: impl Into<String>, pos: Pos) -> Result<T, CompileError> {
+    Err(CompileError {
+        message: msg.into(),
+        pos,
+    })
+}
+
+impl Lowering {
+    fn new(prog: &Program) -> Result<Lowering, CompileError> {
+        let mut lw = Lowering {
+            module: Module::new(),
+            structs: Vec::new(),
+            struct_ids: HashMap::new(),
+            funcs: HashMap::new(),
+            globals: HashMap::new(),
+            strings: HashMap::new(),
+        };
+        // Structs first (fields may reference earlier structs).
+        for s in &prog.structs {
+            let mut field_names = Vec::new();
+            let mut field_tys = Vec::new();
+            let mut ir_fields = Vec::new();
+            for (fty, fname, arr) in &s.fields {
+                let mut cty = lw.resolve_type(fty, Pos { line: 0, col: 0 })?;
+                if let Some(n) = arr {
+                    cty = CTy::Array(Box::new(cty), *n);
+                }
+                ir_fields.push(lw.ir_type(&cty));
+                field_names.push(fname.clone());
+                field_tys.push(cty);
+            }
+            let idx = lw.structs.len();
+            if lw.struct_ids.insert(s.name.clone(), idx).is_some() {
+                return err(
+                    format!("duplicate struct `{}`", s.name),
+                    Pos { line: 0, col: 0 },
+                );
+            }
+            lw.structs.push(StructInfo {
+                name: s.name.clone(),
+                field_names,
+                field_tys,
+                ir_ty: Type::Struct(ir_fields),
+            });
+        }
+        Ok(lw)
+    }
+
+    fn run(&mut self, prog: &Program) -> Result<(), CompileError> {
+        // Globals.
+        for g in &prog.globals {
+            let mut cty = self.resolve_type(&g.ty, g.pos)?;
+            if let Some(n) = g.array {
+                cty = CTy::Array(Box::new(cty), n);
+            }
+            let ir_ty = self.ir_type(&cty);
+            let init = match &g.init {
+                None => ir::GlobalInit::Zero,
+                Some(GlobalInitAst::Int(v)) => {
+                    let size = ir_ty.size().min(8);
+                    ir::GlobalInit::Bytes((*v as u64).to_le_bytes()[..size as usize].to_vec())
+                }
+                Some(GlobalInitAst::Str(s)) => {
+                    let mut bytes = s.clone();
+                    bytes.push(0);
+                    if bytes.len() as u64 > ir_ty.size() {
+                        return err(
+                            format!("string initializer too long for `{}`", g.name),
+                            g.pos,
+                        );
+                    }
+                    ir::GlobalInit::Bytes(bytes)
+                }
+            };
+            let gid = self.module.push_global(ir::Global {
+                name: g.name.clone(),
+                ty: ir_ty,
+                init,
+                readonly: false,
+            });
+            if self
+                .globals
+                .insert(g.name.clone(), (gid, cty))
+                .is_some()
+            {
+                return err(format!("duplicate global `{}`", g.name), g.pos);
+            }
+        }
+        // Declare all functions (so calls can be forward).
+        for fd in &prog.funcs {
+            let ret = self.resolve_type(&fd.ret, fd.pos)?;
+            let mut params = Vec::new();
+            let mut ir_params = Vec::new();
+            for p in &fd.params {
+                let ty = self.resolve_type(&p.ty, fd.pos)?;
+                if ty == CTy::Void {
+                    return err("void parameter", fd.pos);
+                }
+                ir_params.push(self.ir_type(&ty));
+                params.push(ty);
+            }
+            let ir_ret = if ret == CTy::Void {
+                Type::Void
+            } else {
+                self.ir_type(&ret)
+            };
+            let id = self
+                .module
+                .add_func(Function::new(fd.name.clone(), ir_params, ir_ret));
+            self.funcs.insert(
+                fd.name.clone(),
+                FuncSig {
+                    id,
+                    params,
+                    ret,
+                },
+            );
+        }
+        // Lower bodies.
+        for fd in &prog.funcs {
+            self.lower_func(fd)?;
+        }
+        Ok(())
+    }
+
+    fn resolve_type(&self, t: &TypeExpr, pos: Pos) -> Result<CTy, CompileError> {
+        Ok(match t {
+            TypeExpr::Void => CTy::Void,
+            TypeExpr::Char => CTy::CHAR,
+            TypeExpr::Short => CTy::Int(IntWidth::W16),
+            TypeExpr::Int => CTy::INT,
+            TypeExpr::Long => CTy::LONG,
+            TypeExpr::Struct(name) => match self.struct_ids.get(name) {
+                Some(i) => CTy::Struct(*i),
+                None => return err(format!("unknown struct `{name}`"), pos),
+            },
+            TypeExpr::Ptr(inner) => CTy::Ptr(Box::new(self.resolve_type(inner, pos)?)),
+        })
+    }
+
+    fn ir_type(&self, t: &CTy) -> Type {
+        match t {
+            CTy::Void => Type::Void,
+            CTy::Int(w) => Type::Int(*w),
+            CTy::Ptr(_) => Type::Ptr,
+            CTy::Array(e, n) => Type::array(self.ir_type(e), *n),
+            CTy::Struct(i) => self.structs[*i].ir_ty.clone(),
+        }
+    }
+
+    fn sizeof(&self, t: &CTy) -> u64 {
+        self.ir_type(t).size()
+    }
+
+    fn intern_string(&mut self, bytes: &[u8]) -> GlobalId {
+        if let Some(g) = self.strings.get(bytes) {
+            return *g;
+        }
+        let mut data = bytes.to_vec();
+        data.push(0);
+        let n = self.strings.len();
+        let gid = self.module.push_global(ir::Global {
+            name: format!("__str{n}"),
+            ty: Type::array(Type::I8, data.len() as u64),
+            init: ir::GlobalInit::Bytes(data),
+            readonly: true,
+        });
+        self.strings.insert(bytes.to_vec(), gid);
+        gid
+    }
+
+    fn lower_func(&mut self, fd: &FuncDef) -> Result<(), CompileError> {
+        let sig = &self.funcs[&fd.name];
+        let fid = sig.id;
+        let ret = sig.ret.clone();
+        let param_tys = sig.params.clone();
+        // Build into a detached clone, then write back.
+        let mut cx = FnCx {
+            f: self.module.func(fid).clone(),
+            scopes: vec![HashMap::new()],
+            ret,
+            cur: Function::ENTRY,
+            entry_allocas: 0,
+            cc_slot: None,
+            loops: Vec::new(),
+            terminated: false,
+        };
+        // Spill parameters to allocas (the paper randomizes spilled
+        // parameter slots along with locals).
+        for (i, p) in fd.params.iter().enumerate() {
+            let cty = param_tys[i].clone();
+            let slot = self.emit_alloca(&mut cx, self.ir_type(&cty), &p.name);
+            self.emit_store_typed(&mut cx, &cty, Value::Reg(RegId(i as u32)), slot);
+            cx.scopes
+                .last_mut()
+                .expect("scope")
+                .insert(p.name.clone(), (slot, cty));
+        }
+        self.lower_stmts(&mut cx, &fd.body)?;
+        // Implicit return.
+        if !cx.terminated {
+            let term = match &cx.ret {
+                CTy::Void => ir::Terminator::Ret(None),
+                CTy::Int(w) => ir::Terminator::Ret(Some(Value::ConstInt(0, *w))),
+                _ => ir::Terminator::Ret(Some(Value::NullPtr)),
+            };
+            cx.f.block_mut(cx.cur).term = term;
+        }
+        *self.module.func_mut(fid) = cx.f;
+        Ok(())
+    }
+
+    /// Emit a fixed-size alloca hoisted into the entry block.
+    fn emit_alloca(&self, cx: &mut FnCx, ty: Type, name: &str) -> RegId {
+        let align = ty.align();
+        let reg = cx.f.new_reg(Type::Ptr);
+        let inst = ir::Inst::Alloca {
+            result: reg,
+            ty,
+            count: None,
+            align,
+            name: name.to_string(),
+            randomizable: true,
+        };
+        let at = cx.entry_allocas;
+        cx.f.block_mut(Function::ENTRY).insts.insert(at, inst);
+        cx.entry_allocas += 1;
+        reg
+    }
+
+    fn emit(&self, cx: &mut FnCx, inst: ir::Inst) {
+        cx.f.block_mut(cx.cur).insts.push(inst);
+    }
+
+    fn emit_store_typed(&self, cx: &mut FnCx, cty: &CTy, val: Value, addr: RegId) {
+        let ty = self.ir_type(cty);
+        self.emit(
+            cx,
+            ir::Inst::Store {
+                ty,
+                val,
+                ptr: Value::Reg(addr),
+            },
+        );
+    }
+
+    fn new_block(&self, cx: &mut FnCx) -> ir::BlockId {
+        cx.f.add_block()
+    }
+
+    fn set_term(&self, cx: &mut FnCx, term: ir::Terminator) {
+        cx.f.block_mut(cx.cur).term = term;
+    }
+
+    fn switch_to(&self, cx: &mut FnCx, bb: ir::BlockId) {
+        cx.cur = bb;
+        cx.terminated = false;
+    }
+
+    fn lower_stmts(&mut self, cx: &mut FnCx, stmts: &[Stmt]) -> Result<(), CompileError> {
+        cx.scopes.push(HashMap::new());
+        for s in stmts {
+            if cx.terminated {
+                // Dead code after return/break: lower into a fresh
+                // unreachable block to keep the IR well-formed.
+                let dead = self.new_block(cx);
+                self.switch_to(cx, dead);
+            }
+            self.lower_stmt(cx, s)?;
+        }
+        cx.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, cx: &mut FnCx, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::Decl(d) => self.lower_decl(cx, d),
+            Stmt::Expr(e) => {
+                self.rvalue(cx, e)?;
+                Ok(())
+            }
+            Stmt::Block(body) => self.lower_stmts(cx, body),
+            Stmt::If(cond, then, els) => {
+                let c = self.cond_value(cx, cond)?;
+                let then_bb = self.new_block(cx);
+                let else_bb = self.new_block(cx);
+                let join = self.new_block(cx);
+                self.set_term(
+                    cx,
+                    ir::Terminator::CondBr {
+                        cond: c,
+                        then_bb,
+                        else_bb,
+                    },
+                );
+                self.switch_to(cx, then_bb);
+                self.lower_stmts(cx, then)?;
+                if !cx.terminated {
+                    self.set_term(cx, ir::Terminator::Br(join));
+                }
+                self.switch_to(cx, else_bb);
+                self.lower_stmts(cx, els)?;
+                if !cx.terminated {
+                    self.set_term(cx, ir::Terminator::Br(join));
+                }
+                self.switch_to(cx, join);
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let header = self.new_block(cx);
+                let body_bb = self.new_block(cx);
+                let exit = self.new_block(cx);
+                self.set_term(cx, ir::Terminator::Br(header));
+                self.switch_to(cx, header);
+                let c = self.cond_value(cx, cond)?;
+                self.set_term(
+                    cx,
+                    ir::Terminator::CondBr {
+                        cond: c,
+                        then_bb: body_bb,
+                        else_bb: exit,
+                    },
+                );
+                self.switch_to(cx, body_bb);
+                cx.loops.push((header, exit));
+                self.lower_stmts(cx, body)?;
+                cx.loops.pop();
+                if !cx.terminated {
+                    self.set_term(cx, ir::Terminator::Br(header));
+                }
+                self.switch_to(cx, exit);
+                Ok(())
+            }
+            Stmt::For(init, cond, step, body) => {
+                cx.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.lower_stmt(cx, i)?;
+                }
+                let header = self.new_block(cx);
+                let body_bb = self.new_block(cx);
+                let step_bb = self.new_block(cx);
+                let exit = self.new_block(cx);
+                self.set_term(cx, ir::Terminator::Br(header));
+                self.switch_to(cx, header);
+                match cond {
+                    Some(c) => {
+                        let cv = self.cond_value(cx, c)?;
+                        self.set_term(
+                            cx,
+                            ir::Terminator::CondBr {
+                                cond: cv,
+                                then_bb: body_bb,
+                                else_bb: exit,
+                            },
+                        );
+                    }
+                    None => self.set_term(cx, ir::Terminator::Br(body_bb)),
+                }
+                self.switch_to(cx, body_bb);
+                cx.loops.push((step_bb, exit));
+                self.lower_stmts(cx, body)?;
+                cx.loops.pop();
+                if !cx.terminated {
+                    self.set_term(cx, ir::Terminator::Br(step_bb));
+                }
+                self.switch_to(cx, step_bb);
+                if let Some(st) = step {
+                    self.rvalue(cx, st)?;
+                }
+                self.set_term(cx, ir::Terminator::Br(header));
+                let mut dummy = false;
+                std::mem::swap(&mut dummy, &mut cx.terminated);
+                self.switch_to(cx, exit);
+                cx.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(v, pos) => {
+                let term = match (v, cx.ret.clone()) {
+                    (None, CTy::Void) => ir::Terminator::Ret(None),
+                    (None, _) => return err("missing return value", *pos),
+                    (Some(_), CTy::Void) => {
+                        return err("return with value in void function", *pos)
+                    }
+                    (Some(e), ret_ty) => {
+                        let (val, ty) = self.rvalue(cx, e)?;
+                        let coerced = self.coerce(cx, val, &ty, &ret_ty, *pos)?;
+                        ir::Terminator::Ret(Some(coerced))
+                    }
+                };
+                self.set_term(cx, term);
+                cx.terminated = true;
+                Ok(())
+            }
+            Stmt::Break(pos) => {
+                let (_, exit) = *cx
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError {
+                        message: "break outside loop".into(),
+                        pos: *pos,
+                    })?;
+                self.set_term(cx, ir::Terminator::Br(exit));
+                cx.terminated = true;
+                Ok(())
+            }
+            Stmt::Continue(pos) => {
+                let (cont, _) = *cx
+                    .loops
+                    .last()
+                    .ok_or_else(|| CompileError {
+                        message: "continue outside loop".into(),
+                        pos: *pos,
+                    })?;
+                self.set_term(cx, ir::Terminator::Br(cont));
+                cx.terminated = true;
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_decl(&mut self, cx: &mut FnCx, d: &LocalDecl) -> Result<(), CompileError> {
+        let base = self.resolve_type(&d.ty, d.pos)?;
+        if base == CTy::Void {
+            return err("void variable", d.pos);
+        }
+        let (slot, cty) = match &d.array {
+            None => {
+                let slot = self.emit_alloca(cx, self.ir_type(&base), &d.name);
+                (slot, base)
+            }
+            Some(Ok(n)) => {
+                let cty = CTy::Array(Box::new(base.clone()), *n);
+                let slot = self.emit_alloca(cx, self.ir_type(&cty), &d.name);
+                (slot, cty)
+            }
+            Some(Err(len_expr)) => {
+                if d.init.is_some() {
+                    return err("VLAs cannot have initializers", d.pos);
+                }
+                // VLA: data alloca at the declaration site, sized at
+                // runtime; the variable itself is a hoisted pointer slot
+                // holding the data address (the clang representation).
+                let (len_v, len_t) = self.rvalue(cx, len_expr)?;
+                let len64 = self.coerce(cx, len_v, &len_t, &CTy::LONG, d.pos)?;
+                let elem_ty = self.ir_type(&base);
+                let align = elem_ty.align();
+                let data = cx.f.new_reg(Type::Ptr);
+                self.emit(
+                    cx,
+                    ir::Inst::Alloca {
+                        result: data,
+                        ty: elem_ty,
+                        count: Some(len64),
+                        align,
+                        name: format!("{}.vla", d.name),
+                        randomizable: true,
+                    },
+                );
+                let cty = CTy::Ptr(Box::new(base));
+                let slot = self.emit_alloca(cx, Type::Ptr, &d.name);
+                self.emit_store_typed(cx, &cty, Value::Reg(data), slot);
+                cx.scopes
+                    .last_mut()
+                    .expect("scope")
+                    .insert(d.name.clone(), (slot, cty));
+                return Ok(());
+            }
+        };
+        if let Some(init) = &d.init {
+            if matches!(cty, CTy::Array(..)) {
+                return err("array initializers are not supported", d.pos);
+            }
+            let (v, vt) = self.rvalue(cx, init)?;
+            let coerced = self.coerce(cx, v, &vt, &cty, d.pos)?;
+            self.emit_store_typed(cx, &cty, coerced, slot);
+        }
+        cx.scopes
+            .last_mut()
+            .expect("scope")
+            .insert(d.name.clone(), (slot, cty));
+        Ok(())
+    }
+
+    fn lookup(&self, cx: &FnCx, name: &str) -> Option<(Value, CTy, bool)> {
+        for scope in cx.scopes.iter().rev() {
+            if let Some((reg, ty)) = scope.get(name) {
+                return Some((Value::Reg(*reg), ty.clone(), true));
+            }
+        }
+        self.globals
+            .get(name)
+            .map(|(gid, ty)| (Value::Global(*gid), ty.clone(), false))
+    }
+
+    /// Lower an expression as an lvalue: returns (address value, type).
+    fn lvalue(&mut self, cx: &mut FnCx, e: &Expr) -> Result<(Value, CTy), CompileError> {
+        match e {
+            Expr::Var(name, pos) => match self.lookup(cx, name) {
+                Some((addr, ty, _)) => Ok((addr, ty)),
+                None => err(format!("unknown variable `{name}`"), *pos),
+            },
+            Expr::Un(UnOpKind::Deref, inner, pos) => {
+                let (v, t) = self.rvalue(cx, inner)?;
+                match t {
+                    CTy::Ptr(inner_ty) => Ok((v, *inner_ty)),
+                    other => err(format!("cannot dereference non-pointer {other:?}"), *pos),
+                }
+            }
+            Expr::Index(base, idx, pos) => {
+                let (bv, bt) = self.rvalue(cx, base)?;
+                let elem = match bt {
+                    CTy::Ptr(e) => *e,
+                    other => {
+                        return err(format!("cannot index non-pointer {other:?}"), *pos);
+                    }
+                };
+                let (iv, it) = self.rvalue(cx, idx)?;
+                let idx64 = self.coerce(cx, iv, &it, &CTy::LONG, *pos)?;
+                let size = self.sizeof(&elem);
+                let scaled = cx.f.new_reg(Type::I64);
+                self.emit(
+                    cx,
+                    ir::Inst::Bin {
+                        result: scaled,
+                        op: BinOp::Mul,
+                        width: IntWidth::W64,
+                        lhs: idx64,
+                        rhs: Value::i64(size as i64),
+                    },
+                );
+                let addr = cx.f.new_reg(Type::Ptr);
+                self.emit(
+                    cx,
+                    ir::Inst::Gep {
+                        result: addr,
+                        base: bv,
+                        offset: Value::Reg(scaled),
+                    },
+                );
+                Ok((Value::Reg(addr), elem))
+            }
+            Expr::Member(base, field, pos) => {
+                let (addr, bt) = self.lvalue(cx, base)?;
+                let sidx = match bt {
+                    CTy::Struct(i) => i,
+                    other => return err(format!("`.` on non-struct {other:?}"), *pos),
+                };
+                self.field_addr(cx, addr, sidx, field, *pos)
+            }
+            Expr::Arrow(base, field, pos) => {
+                let (pv, pt) = self.rvalue(cx, base)?;
+                let sidx = match pt {
+                    CTy::Ptr(inner) => match *inner {
+                        CTy::Struct(i) => i,
+                        other => {
+                            return err(format!("`->` on non-struct pointer {other:?}"), *pos)
+                        }
+                    },
+                    other => return err(format!("`->` on non-pointer {other:?}"), *pos),
+                };
+                self.field_addr(cx, pv, sidx, field, *pos)
+            }
+            other => err("expression is not an lvalue", other.pos()),
+        }
+    }
+
+    fn field_addr(
+        &mut self,
+        cx: &mut FnCx,
+        base: Value,
+        sidx: usize,
+        field: &str,
+        pos: Pos,
+    ) -> Result<(Value, CTy), CompileError> {
+        let info = &self.structs[sidx];
+        let fi = match info.field_names.iter().position(|n| n == field) {
+            Some(i) => i,
+            None => return err(format!("no field `{field}`"), pos),
+        };
+        let fty = info.field_tys[fi].clone();
+        let off = info.ir_ty.field_offset(fi);
+        let addr = cx.f.new_reg(Type::Ptr);
+        self.emit(
+            cx,
+            ir::Inst::Gep {
+                result: addr,
+                base,
+                offset: Value::i64(off as i64),
+            },
+        );
+        Ok((Value::Reg(addr), fty))
+    }
+
+    /// Lower an expression as an rvalue: returns (value, type). Arrays
+    /// decay to pointers.
+    fn rvalue(&mut self, cx: &mut FnCx, e: &Expr) -> Result<(Value, CTy), CompileError> {
+        match e {
+            Expr::Int(v, _) => {
+                // Literals that fit in i32 are ints; larger are longs.
+                if *v >= i32::MIN as i64 && *v <= i32::MAX as i64 {
+                    Ok((Value::ConstInt(*v, IntWidth::W32), CTy::INT))
+                } else {
+                    Ok((Value::i64(*v), CTy::LONG))
+                }
+            }
+            Expr::Str(bytes, _) => {
+                let gid = self.intern_string(bytes);
+                Ok((Value::Global(gid), CTy::Ptr(Box::new(CTy::CHAR))))
+            }
+            Expr::Var(..) | Expr::Index(..) | Expr::Member(..) | Expr::Arrow(..) => {
+                let (addr, ty) = self.lvalue(cx, e)?;
+                self.load_or_decay(cx, addr, ty)
+            }
+            Expr::Un(UnOpKind::Deref, ..) => {
+                let (addr, ty) = self.lvalue(cx, e)?;
+                self.load_or_decay(cx, addr, ty)
+            }
+            Expr::Un(UnOpKind::Addr, inner, _) => {
+                let (addr, ty) = self.lvalue(cx, inner)?;
+                Ok((addr, CTy::Ptr(Box::new(ty))))
+            }
+            Expr::Un(op, inner, pos) => {
+                let (v, t) = self.rvalue(cx, inner)?;
+                match op {
+                    UnOpKind::Neg => {
+                        let w = self.arith_width(&t, *pos)?;
+                        let v = self.coerce(cx, v, &t, &CTy::Int(w), *pos)?;
+                        let r = cx.f.new_reg(Type::Int(w));
+                        self.emit(
+                            cx,
+                            ir::Inst::Bin {
+                                result: r,
+                                op: BinOp::Sub,
+                                width: w,
+                                lhs: Value::ConstInt(0, w),
+                                rhs: v,
+                            },
+                        );
+                        Ok((Value::Reg(r), CTy::Int(w)))
+                    }
+                    UnOpKind::BitNot => {
+                        let w = self.arith_width(&t, *pos)?;
+                        let v = self.coerce(cx, v, &t, &CTy::Int(w), *pos)?;
+                        let r = cx.f.new_reg(Type::Int(w));
+                        self.emit(
+                            cx,
+                            ir::Inst::Bin {
+                                result: r,
+                                op: BinOp::Xor,
+                                width: w,
+                                lhs: v,
+                                rhs: Value::ConstInt(-1, w),
+                            },
+                        );
+                        Ok((Value::Reg(r), CTy::Int(w)))
+                    }
+                    UnOpKind::Not => {
+                        let nz = self.nonzero(cx, v, &t, *pos)?;
+                        // !x = (x == 0)
+                        let r = cx.f.new_reg(Type::I8);
+                        self.emit(
+                            cx,
+                            ir::Inst::Icmp {
+                                result: r,
+                                pred: CmpPred::Eq,
+                                width: IntWidth::W8,
+                                lhs: nz,
+                                rhs: Value::ConstInt(0, IntWidth::W8),
+                            },
+                        );
+                        let z = cx.f.new_reg(Type::I32);
+                        self.emit(
+                            cx,
+                            ir::Inst::Cast {
+                                result: z,
+                                kind: CastKind::ZextOrTrunc,
+                                to: Type::I32,
+                                val: Value::Reg(r),
+                            },
+                        );
+                        Ok((Value::Reg(z), CTy::INT))
+                    }
+                    UnOpKind::Deref | UnOpKind::Addr => unreachable!("handled above"),
+                }
+            }
+            Expr::Assign(lhs, rhs, pos) => {
+                let (addr, lty) = self.lvalue(cx, lhs)?;
+                let (rv, rt) = self.rvalue(cx, rhs)?;
+                let coerced = self.coerce(cx, rv, &rt, &lty, *pos)?;
+                let ir_ty = self.ir_type(&lty);
+                self.emit(
+                    cx,
+                    ir::Inst::Store {
+                        ty: ir_ty,
+                        val: coerced,
+                        ptr: addr,
+                    },
+                );
+                Ok((coerced, lty))
+            }
+            Expr::Bin(BinOpKind::LogAnd, lhs, rhs, pos) => {
+                self.short_circuit(cx, lhs, rhs, true, *pos)
+            }
+            Expr::Bin(BinOpKind::LogOr, lhs, rhs, pos) => {
+                self.short_circuit(cx, lhs, rhs, false, *pos)
+            }
+            Expr::Bin(op, lhs, rhs, pos) => self.lower_binop(cx, *op, lhs, rhs, *pos),
+            Expr::Call(name, args, pos) => self.lower_call(cx, name, args, *pos),
+            Expr::SizeofType(t, pos) => {
+                let cty = self.resolve_type(t, *pos)?;
+                Ok((Value::i64(self.sizeof(&cty) as i64), CTy::LONG))
+            }
+            Expr::SizeofExpr(inner, pos) => {
+                let cty = self.infer_type(cx, inner, *pos)?;
+                Ok((Value::i64(self.sizeof(&cty) as i64), CTy::LONG))
+            }
+        }
+    }
+
+    /// Load a scalar from `addr`, or decay arrays/structs to their
+    /// address.
+    fn load_or_decay(
+        &mut self,
+        cx: &mut FnCx,
+        addr: Value,
+        ty: CTy,
+    ) -> Result<(Value, CTy), CompileError> {
+        match ty {
+            CTy::Array(elem, _) => Ok((addr, CTy::Ptr(elem))),
+            CTy::Struct(_) => Ok((addr, ty)), // structs used via members
+            scalar => {
+                let ir_ty = self.ir_type(&scalar);
+                let r = cx.f.new_reg(ir_ty.clone());
+                self.emit(
+                    cx,
+                    ir::Inst::Load {
+                        result: r,
+                        ty: ir_ty,
+                        ptr: addr,
+                    },
+                );
+                Ok((Value::Reg(r), scalar))
+            }
+        }
+    }
+
+    fn arith_width(&self, t: &CTy, pos: Pos) -> Result<IntWidth, CompileError> {
+        match t {
+            // C integer promotion: everything below int promotes to int.
+            CTy::Int(w) => Ok((*w).max(IntWidth::W32)),
+            other => err(format!("expected integer, found {other:?}"), pos),
+        }
+    }
+
+    fn nonzero(
+        &mut self,
+        cx: &mut FnCx,
+        v: Value,
+        t: &CTy,
+        pos: Pos,
+    ) -> Result<Value, CompileError> {
+        let (v, w) = match t {
+            CTy::Int(w) => (v, *w),
+            CTy::Ptr(_) => (v, IntWidth::W64),
+            other => return err(format!("expected scalar, found {other:?}"), pos),
+        };
+        let r = cx.f.new_reg(Type::I8);
+        self.emit(
+            cx,
+            ir::Inst::Icmp {
+                result: r,
+                pred: CmpPred::Ne,
+                width: w,
+                lhs: v,
+                rhs: Value::ConstInt(0, w),
+            },
+        );
+        Ok(Value::Reg(r))
+    }
+
+    /// Lower a condition to an `i8` 0/1 value.
+    fn cond_value(&mut self, cx: &mut FnCx, e: &Expr) -> Result<Value, CompileError> {
+        let (v, t) = self.rvalue(cx, e)?;
+        self.nonzero(cx, v, &t, e.pos())
+    }
+
+    fn cc_slot(&mut self, cx: &mut FnCx) -> RegId {
+        if let Some(s) = cx.cc_slot {
+            return s;
+        }
+        let s = self.emit_alloca(cx, Type::I8, "__cc");
+        cx.cc_slot = Some(s);
+        s
+    }
+
+    fn short_circuit(
+        &mut self,
+        cx: &mut FnCx,
+        lhs: &Expr,
+        rhs: &Expr,
+        is_and: bool,
+        _pos: Pos,
+    ) -> Result<(Value, CTy), CompileError> {
+        let slot = self.cc_slot(cx);
+        let lv = self.cond_value(cx, lhs)?;
+        self.emit(
+            cx,
+            ir::Inst::Store {
+                ty: Type::I8,
+                val: lv,
+                ptr: Value::Reg(slot),
+            },
+        );
+        let rhs_bb = self.new_block(cx);
+        let join = self.new_block(cx);
+        if is_and {
+            self.set_term(
+                cx,
+                ir::Terminator::CondBr {
+                    cond: lv,
+                    then_bb: rhs_bb,
+                    else_bb: join,
+                },
+            );
+        } else {
+            self.set_term(
+                cx,
+                ir::Terminator::CondBr {
+                    cond: lv,
+                    then_bb: join,
+                    else_bb: rhs_bb,
+                },
+            );
+        }
+        self.switch_to(cx, rhs_bb);
+        let rv = self.cond_value(cx, rhs)?;
+        self.emit(
+            cx,
+            ir::Inst::Store {
+                ty: Type::I8,
+                val: rv,
+                ptr: Value::Reg(slot),
+            },
+        );
+        self.set_term(cx, ir::Terminator::Br(join));
+        self.switch_to(cx, join);
+        let out = cx.f.new_reg(Type::I8);
+        self.emit(
+            cx,
+            ir::Inst::Load {
+                result: out,
+                ty: Type::I8,
+                ptr: Value::Reg(slot),
+            },
+        );
+        let wide = cx.f.new_reg(Type::I32);
+        self.emit(
+            cx,
+            ir::Inst::Cast {
+                result: wide,
+                kind: CastKind::ZextOrTrunc,
+                to: Type::I32,
+                val: Value::Reg(out),
+            },
+        );
+        Ok((Value::Reg(wide), CTy::INT))
+    }
+
+    fn lower_binop(
+        &mut self,
+        cx: &mut FnCx,
+        op: BinOpKind,
+        lhs: &Expr,
+        rhs: &Expr,
+        pos: Pos,
+    ) -> Result<(Value, CTy), CompileError> {
+        let (lv, lt) = self.rvalue(cx, lhs)?;
+        let (rv, rt) = self.rvalue(cx, rhs)?;
+
+        // Pointer arithmetic.
+        if lt.is_ptr() && rt.is_int() && matches!(op, BinOpKind::Add | BinOpKind::Sub) {
+            let elem = match &lt {
+                CTy::Ptr(e) => (**e).clone(),
+                _ => unreachable!(),
+            };
+            let idx = self.coerce(cx, rv, &rt, &CTy::LONG, pos)?;
+            let size = self.sizeof(&elem).max(1);
+            let scaled = cx.f.new_reg(Type::I64);
+            self.emit(
+                cx,
+                ir::Inst::Bin {
+                    result: scaled,
+                    op: BinOp::Mul,
+                    width: IntWidth::W64,
+                    lhs: idx,
+                    rhs: Value::i64(size as i64),
+                },
+            );
+            let off = if op == BinOpKind::Sub {
+                let neg = cx.f.new_reg(Type::I64);
+                self.emit(
+                    cx,
+                    ir::Inst::Bin {
+                        result: neg,
+                        op: BinOp::Sub,
+                        width: IntWidth::W64,
+                        lhs: Value::i64(0),
+                        rhs: Value::Reg(scaled),
+                    },
+                );
+                Value::Reg(neg)
+            } else {
+                Value::Reg(scaled)
+            };
+            let out = cx.f.new_reg(Type::Ptr);
+            self.emit(
+                cx,
+                ir::Inst::Gep {
+                    result: out,
+                    base: lv,
+                    offset: off,
+                },
+            );
+            return Ok((Value::Reg(out), lt));
+        }
+        // Pointer difference.
+        if lt.is_ptr() && rt.is_ptr() && op == BinOpKind::Sub {
+            let elem_size = match &lt {
+                CTy::Ptr(e) => self.sizeof(e).max(1),
+                _ => unreachable!(),
+            };
+            let li = self.ptr_to_int(cx, lv);
+            let ri = self.ptr_to_int(cx, rv);
+            let diff = cx.f.new_reg(Type::I64);
+            self.emit(
+                cx,
+                ir::Inst::Bin {
+                    result: diff,
+                    op: BinOp::Sub,
+                    width: IntWidth::W64,
+                    lhs: li,
+                    rhs: ri,
+                },
+            );
+            let out = cx.f.new_reg(Type::I64);
+            self.emit(
+                cx,
+                ir::Inst::Bin {
+                    result: out,
+                    op: BinOp::SDiv,
+                    width: IntWidth::W64,
+                    lhs: Value::Reg(diff),
+                    rhs: Value::i64(elem_size as i64),
+                },
+            );
+            return Ok((Value::Reg(out), CTy::LONG));
+        }
+        // Comparisons (int/int or ptr/ptr).
+        if let Some(pred) = match op {
+            BinOpKind::Lt => Some(CmpPred::Slt),
+            BinOpKind::Le => Some(CmpPred::Sle),
+            BinOpKind::Gt => Some(CmpPred::Sgt),
+            BinOpKind::Ge => Some(CmpPred::Sge),
+            BinOpKind::Eq => Some(CmpPred::Eq),
+            BinOpKind::Ne => Some(CmpPred::Ne),
+            _ => None,
+        } {
+            let (a, b, w) = if lt.is_ptr() || rt.is_ptr() {
+                let a = if lt.is_ptr() {
+                    self.ptr_to_int(cx, lv)
+                } else {
+                    self.coerce(cx, lv, &lt, &CTy::LONG, pos)?
+                };
+                let b = if rt.is_ptr() {
+                    self.ptr_to_int(cx, rv)
+                } else {
+                    self.coerce(cx, rv, &rt, &CTy::LONG, pos)?
+                };
+                (a, b, IntWidth::W64)
+            } else {
+                let w = self
+                    .arith_width(&lt, pos)?
+                    .max(self.arith_width(&rt, pos)?);
+                let a = self.coerce(cx, lv, &lt, &CTy::Int(w), pos)?;
+                let b = self.coerce(cx, rv, &rt, &CTy::Int(w), pos)?;
+                (a, b, w)
+            };
+            let r = cx.f.new_reg(Type::I8);
+            self.emit(
+                cx,
+                ir::Inst::Icmp {
+                    result: r,
+                    pred,
+                    width: w,
+                    lhs: a,
+                    rhs: b,
+                },
+            );
+            let wide = cx.f.new_reg(Type::I32);
+            self.emit(
+                cx,
+                ir::Inst::Cast {
+                    result: wide,
+                    kind: CastKind::ZextOrTrunc,
+                    to: Type::I32,
+                    val: Value::Reg(r),
+                },
+            );
+            return Ok((Value::Reg(wide), CTy::INT));
+        }
+        // Plain integer arithmetic.
+        let ir_op = match op {
+            BinOpKind::Add => BinOp::Add,
+            BinOpKind::Sub => BinOp::Sub,
+            BinOpKind::Mul => BinOp::Mul,
+            BinOpKind::Div => BinOp::SDiv,
+            BinOpKind::Rem => BinOp::SRem,
+            BinOpKind::And => BinOp::And,
+            BinOpKind::Or => BinOp::Or,
+            BinOpKind::Xor => BinOp::Xor,
+            BinOpKind::Shl => BinOp::Shl,
+            BinOpKind::Shr => BinOp::AShr,
+            _ => return err("unsupported operator on these operands", pos),
+        };
+        let w = self
+            .arith_width(&lt, pos)?
+            .max(self.arith_width(&rt, pos)?);
+        let a = self.coerce(cx, lv, &lt, &CTy::Int(w), pos)?;
+        let b = self.coerce(cx, rv, &rt, &CTy::Int(w), pos)?;
+        let r = cx.f.new_reg(Type::Int(w));
+        self.emit(
+            cx,
+            ir::Inst::Bin {
+                result: r,
+                op: ir_op,
+                width: w,
+                lhs: a,
+                rhs: b,
+            },
+        );
+        Ok((Value::Reg(r), CTy::Int(w)))
+    }
+
+    fn ptr_to_int(&mut self, cx: &mut FnCx, v: Value) -> Value {
+        let r = cx.f.new_reg(Type::I64);
+        self.emit(
+            cx,
+            ir::Inst::Cast {
+                result: r,
+                kind: CastKind::PtrToInt,
+                to: Type::I64,
+                val: v,
+            },
+        );
+        Value::Reg(r)
+    }
+
+    /// Convert `v: from` to type `to`, inserting casts as needed.
+    fn coerce(
+        &mut self,
+        cx: &mut FnCx,
+        v: Value,
+        from: &CTy,
+        to: &CTy,
+        pos: Pos,
+    ) -> Result<Value, CompileError> {
+        if from == to {
+            return Ok(v);
+        }
+        match (from, to) {
+            (CTy::Int(fw), CTy::Int(tw)) => {
+                if fw == tw {
+                    Ok(v)
+                } else if tw > fw {
+                    // Widen with sign extension (all MiniC ints signed).
+                    let r = cx.f.new_reg(Type::Int(*tw));
+                    self.emit(
+                        cx,
+                        ir::Inst::Cast {
+                            result: r,
+                            kind: CastKind::SextFrom(*fw),
+                            to: Type::Int(*tw),
+                            val: v,
+                        },
+                    );
+                    Ok(Value::Reg(r))
+                } else {
+                    let r = cx.f.new_reg(Type::Int(*tw));
+                    self.emit(
+                        cx,
+                        ir::Inst::Cast {
+                            result: r,
+                            kind: CastKind::ZextOrTrunc,
+                            to: Type::Int(*tw),
+                            val: v,
+                        },
+                    );
+                    Ok(Value::Reg(r))
+                }
+            }
+            (CTy::Ptr(_), CTy::Ptr(_)) => Ok(v),
+            (CTy::Int(fw), CTy::Ptr(_)) => {
+                let wide = self.coerce(cx, v, &CTy::Int(*fw), &CTy::LONG, pos)?;
+                let r = cx.f.new_reg(Type::Ptr);
+                self.emit(
+                    cx,
+                    ir::Inst::Cast {
+                        result: r,
+                        kind: CastKind::IntToPtr,
+                        to: Type::Ptr,
+                        val: wide,
+                    },
+                );
+                Ok(Value::Reg(r))
+            }
+            (CTy::Ptr(_), CTy::Int(tw)) => {
+                let i = self.ptr_to_int(cx, v);
+                self.coerce(cx, i, &CTy::LONG, &CTy::Int(*tw), pos)
+            }
+            (f, t) => err(format!("cannot convert {f:?} to {t:?}"), pos),
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        cx: &mut FnCx,
+        name: &str,
+        args: &[Expr],
+        pos: Pos,
+    ) -> Result<(Value, CTy), CompileError> {
+        // Intrinsics (the libc-like builtins); instrumentation-only
+        // intrinsics are not callable from source.
+        if let Some(intr) = Intrinsic::from_name(name) {
+            let reserved = matches!(
+                intr,
+                Intrinsic::StackRng
+                    | Intrinsic::GuardKey
+                    | Intrinsic::GuardFail
+                    | Intrinsic::Canary
+                    | Intrinsic::CanaryFail
+            );
+            if !reserved {
+                let (argc, returns) = intr.signature();
+                if args.len() != argc {
+                    return err(
+                        format!("`{name}` takes {argc} arguments, got {}", args.len()),
+                        pos,
+                    );
+                }
+                let mut argv = Vec::new();
+                for a in args {
+                    let (v, t) = self.rvalue(cx, a)?;
+                    // Pointers pass through; integers widen to i64.
+                    let v = match t {
+                        CTy::Ptr(_) => v,
+                        CTy::Int(_) => self.coerce(cx, v, &t, &CTy::LONG, pos)?,
+                        other => {
+                            return err(format!("bad argument type {other:?}"), pos);
+                        }
+                    };
+                    argv.push(v);
+                }
+                let result = if returns {
+                    let ty = if intr == Intrinsic::Malloc {
+                        Type::Ptr
+                    } else {
+                        Type::I64
+                    };
+                    Some(cx.f.new_reg(ty))
+                } else {
+                    None
+                };
+                self.emit(
+                    cx,
+                    ir::Inst::Call {
+                        result,
+                        callee: ir::Callee::Intrinsic(intr),
+                        args: argv,
+                    },
+                );
+                let out_ty = if intr == Intrinsic::Malloc {
+                    CTy::Ptr(Box::new(CTy::CHAR))
+                } else {
+                    CTy::LONG
+                };
+                return Ok(match result {
+                    Some(r) => (Value::Reg(r), out_ty),
+                    None => (Value::ConstInt(0, IntWidth::W32), CTy::Void),
+                });
+            }
+        }
+        let sig = match self.funcs.get(name) {
+            Some(s) => s,
+            None => return err(format!("unknown function `{name}`"), pos),
+        };
+        let fid = sig.id;
+        let ret = sig.ret.clone();
+        let params = sig.params.clone();
+        if args.len() != params.len() {
+            return err(
+                format!(
+                    "`{name}` takes {} arguments, got {}",
+                    params.len(),
+                    args.len()
+                ),
+                pos,
+            );
+        }
+        let mut argv = Vec::new();
+        for (a, pty) in args.iter().zip(&params) {
+            let (v, t) = self.rvalue(cx, a)?;
+            argv.push(self.coerce(cx, v, &t, pty, pos)?);
+        }
+        let result = if ret == CTy::Void {
+            None
+        } else {
+            Some(cx.f.new_reg(self.ir_type(&ret)))
+        };
+        self.emit(
+            cx,
+            ir::Inst::Call {
+                result,
+                callee: ir::Callee::Direct(fid),
+                args: argv,
+            },
+        );
+        Ok(match result {
+            Some(r) => (Value::Reg(r), ret),
+            None => (Value::ConstInt(0, IntWidth::W32), CTy::Void),
+        })
+    }
+
+    /// Type of an expression without evaluating it (for `sizeof`).
+    fn infer_type(&mut self, cx: &FnCx, e: &Expr, pos: Pos) -> Result<CTy, CompileError> {
+        Ok(match e {
+            Expr::Int(v, _) => {
+                if *v >= i32::MIN as i64 && *v <= i32::MAX as i64 {
+                    CTy::INT
+                } else {
+                    CTy::LONG
+                }
+            }
+            Expr::Str(..) => CTy::Ptr(Box::new(CTy::CHAR)),
+            Expr::Var(name, p) => match self.lookup(cx, name) {
+                Some((_, ty, _)) => ty,
+                None => return err(format!("unknown variable `{name}`"), *p),
+            },
+            Expr::Un(UnOpKind::Deref, inner, p) => {
+                match self.infer_type(cx, inner, *p)? {
+                    CTy::Ptr(t) => *t,
+                    CTy::Array(t, _) => *t,
+                    other => return err(format!("cannot deref {other:?}"), *p),
+                }
+            }
+            Expr::Un(UnOpKind::Addr, inner, p) => {
+                CTy::Ptr(Box::new(self.infer_type(cx, inner, *p)?))
+            }
+            Expr::Index(base, _, p) => match self.infer_type(cx, base, *p)? {
+                CTy::Ptr(t) => *t,
+                CTy::Array(t, _) => *t,
+                other => return err(format!("cannot index {other:?}"), *p),
+            },
+            Expr::Member(base, field, p) | Expr::Arrow(base, field, p) => {
+                let bt = self.infer_type(cx, base, *p)?;
+                let sidx = match bt {
+                    CTy::Struct(i) => i,
+                    CTy::Ptr(inner) => match *inner {
+                        CTy::Struct(i) => i,
+                        other => return err(format!("no fields on {other:?}"), *p),
+                    },
+                    other => return err(format!("no fields on {other:?}"), *p),
+                };
+                let info = &self.structs[sidx];
+                match info.field_names.iter().position(|n| n == field) {
+                    Some(i) => info.field_tys[i].clone(),
+                    None => return err(format!("no field `{field}`"), *p),
+                }
+            }
+            _ => return err("unsupported sizeof operand", pos),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile_ok(src: &str) -> Module {
+        let m = compile(src).unwrap();
+        ir::assert_verified(&m);
+        m
+    }
+
+    #[test]
+    fn minimal_main() {
+        let m = compile_ok("int main() { return 7; }");
+        assert!(m.func_by_name("main").is_some());
+    }
+
+    #[test]
+    fn params_are_spilled_to_allocas() {
+        let m = compile_ok("int f(int a, long b) { return a; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        // Two parameter spill slots.
+        assert_eq!(f.alloca_sites().len(), 2);
+    }
+
+    #[test]
+    fn locals_hoisted_to_entry_block() {
+        let m = compile_ok(
+            "void f(int n) { for (int i = 0; i < n; i++) { int x = i; long y = x; } }",
+        );
+        let f = m.func(m.func_by_name("f").unwrap());
+        for (bid, _) in f.alloca_sites() {
+            assert_eq!(bid, Function::ENTRY, "alloca not hoisted");
+        }
+    }
+
+    #[test]
+    fn vla_stays_at_site() {
+        let m = compile_ok("void f(int n) { char buf[n]; buf[0] = 1; }");
+        let f = m.func(m.func_by_name("f").unwrap());
+        let has_vla = f
+            .iter_insts()
+            .any(|(_, i)| matches!(i, ir::Inst::Alloca { count: Some(_), .. }));
+        assert!(has_vla);
+    }
+
+    #[test]
+    fn type_error_unknown_variable() {
+        let e = compile("int main() { return nope; }").unwrap_err();
+        assert!(e.message.contains("unknown variable"));
+    }
+
+    #[test]
+    fn type_error_bad_call_arity() {
+        let e = compile("int f(int a) { return a; } int main() { return f(); }").unwrap_err();
+        assert!(e.message.contains("takes 1 arguments"));
+    }
+
+    #[test]
+    fn type_error_deref_int() {
+        let e = compile("int main() { int x; return *x; }").unwrap_err();
+        assert!(e.message.contains("dereference"));
+    }
+
+    #[test]
+    fn sizeof_values() {
+        // Checked via VM execution in the integration tests; here just
+        // confirm it compiles and verifies.
+        compile_ok(
+            "long main() { char b[100]; long s = sizeof(b) + sizeof(long); return s; }",
+        );
+    }
+
+    #[test]
+    fn struct_member_access_compiles() {
+        compile_ok(
+            r#"
+            struct pt { int x; int y; };
+            int main() {
+                struct pt p;
+                struct pt *q;
+                p.x = 3;
+                q = &p;
+                q->y = 4;
+                return p.x + p.y;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn string_literals_are_rodata() {
+        let m = compile_ok(r#"void main() { print_str("hello"); }"#);
+        assert!(m.globals.iter().any(|g| g.readonly
+            && matches!(&g.init, ir::GlobalInit::Bytes(b) if b.starts_with(b"hello"))));
+    }
+
+    #[test]
+    fn string_literals_deduped() {
+        let m = compile_ok(r#"void main() { print_str("x"); print_str("x"); }"#);
+        let count = m
+            .globals
+            .iter()
+            .filter(|g| matches!(&g.init, ir::GlobalInit::Bytes(b) if b == &vec![b'x', 0]))
+            .count();
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn reserved_intrinsics_not_callable() {
+        let e = compile("int main() { return stack_rng(); }").unwrap_err();
+        assert!(e.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn globals_with_initializers() {
+        let m = compile_ok("int g = 5; char msg[6] = \"hey\"; int main() { return g; }");
+        assert_eq!(m.globals.len(), 2);
+    }
+
+    #[test]
+    fn break_continue_in_loops() {
+        compile_ok(
+            r#"
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 10; i++) {
+                    if (i == 2) { continue; }
+                    if (i == 5) { break; }
+                    s += i;
+                }
+                return s;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn short_circuit_compiles_single_scratch_slot() {
+        let m = compile_ok(
+            "int f(int a, int b, int c) { if (a && b || c && a) { return 1; } return 0; }",
+        );
+        let f = m.func(m.func_by_name("f").unwrap());
+        let cc_count = f
+            .iter_insts()
+            .filter(
+                |(_, i)| matches!(i, ir::Inst::Alloca { name, .. } if name == "__cc"),
+            )
+            .count();
+        assert_eq!(cc_count, 1);
+    }
+}

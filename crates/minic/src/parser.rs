@@ -1,0 +1,777 @@
+//! Recursive-descent parser for MiniC.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{lex, Kw, LexError, Pos, Tok, Token};
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Location.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
+    }
+}
+
+/// Parse a MiniC translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic problem found.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, idx: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.idx].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.idx + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.idx].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.idx].clone();
+        if self.idx + 1 < self.toks.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            pos: self.pos(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), ParseError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{p}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Kw(Kw::Int | Kw::Long | Kw::Short | Kw::Char | Kw::Void | Kw::Struct)
+        )
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr, ParseError> {
+        let base = match self.peek().clone() {
+            Tok::Kw(Kw::Void) => {
+                self.bump();
+                TypeExpr::Void
+            }
+            Tok::Kw(Kw::Char) => {
+                self.bump();
+                TypeExpr::Char
+            }
+            Tok::Kw(Kw::Short) => {
+                self.bump();
+                TypeExpr::Short
+            }
+            Tok::Kw(Kw::Int) => {
+                self.bump();
+                TypeExpr::Int
+            }
+            Tok::Kw(Kw::Long) => {
+                self.bump();
+                TypeExpr::Long
+            }
+            Tok::Kw(Kw::Struct) => {
+                self.bump();
+                let name = self.expect_ident()?;
+                TypeExpr::Struct(name)
+            }
+            other => return self.err(format!("expected type, found {other:?}")),
+        };
+        let mut t = base;
+        while self.eat_punct("*") {
+            t = TypeExpr::Ptr(Box::new(t));
+        }
+        Ok(t)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while !matches!(self.peek(), Tok::Eof) {
+            if matches!(self.peek(), Tok::Kw(Kw::Struct))
+                && matches!(self.peek2(), Tok::Ident(_))
+                && matches!(
+                    self.toks
+                        .get(self.idx + 2)
+                        .map(|t| &t.tok),
+                    Some(Tok::Punct("{"))
+                )
+            {
+                prog.structs.push(self.struct_def()?);
+                continue;
+            }
+            // type name ... : function or global.
+            let pos = self.pos();
+            let ty = self.type_expr()?;
+            let name = self.expect_ident()?;
+            if matches!(self.peek(), Tok::Punct("(")) {
+                prog.funcs.push(self.func_def(ty, name, pos)?);
+            } else {
+                prog.globals.push(self.global_def(ty, name, pos)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn struct_def(&mut self) -> Result<StructDef, ParseError> {
+        self.bump(); // struct
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_punct("}") {
+            let fty = self.type_expr()?;
+            let fname = self.expect_ident()?;
+            let arr = if self.eat_punct("[") {
+                let n = match self.peek().clone() {
+                    Tok::Int(v) if v >= 0 => {
+                        self.bump();
+                        v as u64
+                    }
+                    _ => return self.err("struct field array length must be a constant"),
+                };
+                self.expect_punct("]")?;
+                Some(n)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            fields.push((fty, fname, arr));
+        }
+        self.expect_punct(";")?;
+        Ok(StructDef { name, fields })
+    }
+
+    fn global_def(
+        &mut self,
+        ty: TypeExpr,
+        name: String,
+        pos: Pos,
+    ) -> Result<GlobalDef, ParseError> {
+        let array = if self.eat_punct("[") {
+            let n = match self.peek().clone() {
+                Tok::Int(v) if v >= 0 => {
+                    self.bump();
+                    v as u64
+                }
+                _ => return self.err("global array length must be a constant"),
+            };
+            self.expect_punct("]")?;
+            Some(n)
+        } else {
+            None
+        };
+        let init = if self.eat_punct("=") {
+            match self.peek().clone() {
+                Tok::Int(v) => {
+                    self.bump();
+                    Some(GlobalInitAst::Int(v))
+                }
+                Tok::Punct("-") => {
+                    self.bump();
+                    match self.peek().clone() {
+                        Tok::Int(v) => {
+                            self.bump();
+                            Some(GlobalInitAst::Int(-v))
+                        }
+                        _ => return self.err("expected integer after `-`"),
+                    }
+                }
+                Tok::Str(s) => {
+                    self.bump();
+                    Some(GlobalInitAst::Str(s))
+                }
+                _ => return self.err("global initializer must be a constant"),
+            }
+        } else {
+            None
+        };
+        self.expect_punct(";")?;
+        Ok(GlobalDef {
+            ty,
+            name,
+            array,
+            init,
+            pos,
+        })
+    }
+
+    fn func_def(
+        &mut self,
+        ret: TypeExpr,
+        name: String,
+        pos: Pos,
+    ) -> Result<FuncDef, ParseError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            // `void` alone means no parameters.
+            if matches!(self.peek(), Tok::Kw(Kw::Void))
+                && matches!(self.peek2(), Tok::Punct(")"))
+            {
+                self.bump();
+                self.expect_punct(")")?;
+            } else {
+                loop {
+                    let pty = self.type_expr()?;
+                    let pname = self.expect_ident()?;
+                    params.push(Param {
+                        ty: pty,
+                        name: pname,
+                    });
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+        }
+        let body = self.block()?;
+        Ok(FuncDef {
+            ret,
+            name,
+            params,
+            body,
+            pos,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return self.err("unexpected end of input in block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Punct("{") => Ok(Stmt::Block(self.block()?)),
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then = self.stmt_as_block()?;
+                let els = if matches!(self.peek(), Tok::Kw(Kw::Else)) {
+                    self.bump();
+                    self.stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While(cond, body))
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let init = if self.eat_punct(";") {
+                    None
+                } else if self.is_type_start() {
+                    Some(Box::new(self.decl_stmt()?))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(";")?;
+                let step = if matches!(self.peek(), Tok::Punct(")")) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(")")?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For(init, cond, step, body))
+            }
+            Tok::Kw(Kw::Return) => {
+                let pos = self.pos();
+                self.bump();
+                let v = if matches!(self.peek(), Tok::Punct(";")) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(";")?;
+                Ok(Stmt::Return(v, pos))
+            }
+            Tok::Kw(Kw::Break) => {
+                let pos = self.pos();
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Break(pos))
+            }
+            Tok::Kw(Kw::Continue) => {
+                let pos = self.pos();
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue(pos))
+            }
+            _ if self.is_type_start() => self.decl_stmt(),
+            _ => {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if matches!(self.peek(), Tok::Punct("{")) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let pos = self.pos();
+        let ty = self.type_expr()?;
+        let name = self.expect_ident()?;
+        let array = if self.eat_punct("[") {
+            let a = match self.peek().clone() {
+                Tok::Int(v) if v >= 0 => {
+                    self.bump();
+                    Ok(v as u64)
+                }
+                _ => Err(self.expr()?), // VLA
+            };
+            self.expect_punct("]")?;
+            Some(a)
+        } else {
+            None
+        };
+        let init = if self.eat_punct("=") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_punct(";")?;
+        Ok(Stmt::Decl(LocalDecl {
+            ty,
+            name,
+            array,
+            init,
+            pos,
+        }))
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.binary(0)?;
+        let pos = self.pos();
+        let compound = |op: BinOpKind, lhs: Expr, rhs: Expr, pos: Pos| {
+            Expr::Assign(
+                Box::new(lhs.clone()),
+                Box::new(Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos)),
+                pos,
+            )
+        };
+        if self.eat_punct("=") {
+            let rhs = self.assignment()?;
+            return Ok(Expr::Assign(Box::new(lhs), Box::new(rhs), pos));
+        }
+        for (p, op) in [
+            ("+=", BinOpKind::Add),
+            ("-=", BinOpKind::Sub),
+            ("*=", BinOpKind::Mul),
+            ("/=", BinOpKind::Div),
+            ("%=", BinOpKind::Rem),
+            ("&=", BinOpKind::And),
+            ("|=", BinOpKind::Or),
+            ("^=", BinOpKind::Xor),
+            ("<<=", BinOpKind::Shl),
+            (">>=", BinOpKind::Shr),
+        ] {
+            if self.eat_punct(p) {
+                let rhs = self.assignment()?;
+                return Ok(compound(op, lhs, rhs, pos));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn bin_level(tok: &Tok) -> Option<(u8, BinOpKind)> {
+        let p = match tok {
+            Tok::Punct(p) => *p,
+            _ => return None,
+        };
+        Some(match p {
+            "||" => (1, BinOpKind::LogOr),
+            "&&" => (2, BinOpKind::LogAnd),
+            "|" => (3, BinOpKind::Or),
+            "^" => (4, BinOpKind::Xor),
+            "&" => (5, BinOpKind::And),
+            "==" => (6, BinOpKind::Eq),
+            "!=" => (6, BinOpKind::Ne),
+            "<" => (7, BinOpKind::Lt),
+            "<=" => (7, BinOpKind::Le),
+            ">" => (7, BinOpKind::Gt),
+            ">=" => (7, BinOpKind::Ge),
+            "<<" => (8, BinOpKind::Shl),
+            ">>" => (8, BinOpKind::Shr),
+            "+" => (9, BinOpKind::Add),
+            "-" => (9, BinOpKind::Sub),
+            "*" => (10, BinOpKind::Mul),
+            "/" => (10, BinOpKind::Div),
+            "%" => (10, BinOpKind::Rem),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_level: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        while let Some((level, op)) = Self::bin_level(self.peek()) {
+            if level < min_level {
+                break;
+            }
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        if self.eat_punct("-") {
+            return Ok(Expr::Un(UnOpKind::Neg, Box::new(self.unary()?), pos));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Un(UnOpKind::Not, Box::new(self.unary()?), pos));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Un(UnOpKind::BitNot, Box::new(self.unary()?), pos));
+        }
+        if self.eat_punct("*") {
+            return Ok(Expr::Un(UnOpKind::Deref, Box::new(self.unary()?), pos));
+        }
+        if self.eat_punct("&") {
+            return Ok(Expr::Un(UnOpKind::Addr, Box::new(self.unary()?), pos));
+        }
+        if self.eat_punct("++") {
+            // ++x  =>  x = x + 1
+            let e = self.unary()?;
+            return Ok(Expr::Assign(
+                Box::new(e.clone()),
+                Box::new(Expr::Bin(
+                    BinOpKind::Add,
+                    Box::new(e),
+                    Box::new(Expr::Int(1, pos)),
+                    pos,
+                )),
+                pos,
+            ));
+        }
+        if self.eat_punct("--") {
+            let e = self.unary()?;
+            return Ok(Expr::Assign(
+                Box::new(e.clone()),
+                Box::new(Expr::Bin(
+                    BinOpKind::Sub,
+                    Box::new(e),
+                    Box::new(Expr::Int(1, pos)),
+                    pos,
+                )),
+                pos,
+            ));
+        }
+        if matches!(self.peek(), Tok::Kw(Kw::Sizeof)) {
+            self.bump();
+            self.expect_punct("(")?;
+            let out = if self.is_type_start() {
+                let t = self.type_expr()?;
+                Expr::SizeofType(t, pos)
+            } else {
+                let e = self.expr()?;
+                Expr::SizeofExpr(Box::new(e), pos)
+            };
+            self.expect_punct(")")?;
+            return Ok(out);
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            let pos = self.pos();
+            if self.eat_punct("[") {
+                let idx = self.expr()?;
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), Box::new(idx), pos);
+            } else if self.eat_punct(".") {
+                let f = self.expect_ident()?;
+                e = Expr::Member(Box::new(e), f, pos);
+            } else if self.eat_punct("->") {
+                let f = self.expect_ident()?;
+                e = Expr::Arrow(Box::new(e), f, pos);
+            } else if self.eat_punct("++") {
+                // x++  =>  x = x + 1 (value semantics simplified; used in
+                // statement/step position throughout the corpus).
+                e = Expr::Assign(
+                    Box::new(e.clone()),
+                    Box::new(Expr::Bin(
+                        BinOpKind::Add,
+                        Box::new(e),
+                        Box::new(Expr::Int(1, pos)),
+                        pos,
+                    )),
+                    pos,
+                );
+            } else if self.eat_punct("--") {
+                e = Expr::Assign(
+                    Box::new(e.clone()),
+                    Box::new(Expr::Bin(
+                        BinOpKind::Sub,
+                        Box::new(e),
+                        Box::new(Expr::Int(1, pos)),
+                        pos,
+                    )),
+                    pos,
+                );
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, pos))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s, pos))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args, pos))
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_locals() {
+        let p = parse("int main() { int x = 1; char buf[8]; return x; }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+        assert_eq!(p.funcs[0].body.len(), 3);
+    }
+
+    #[test]
+    fn parses_struct_and_global() {
+        let p = parse("struct pt { int x; int y; }; int g = 5; char msg[4] = \"hi\";").unwrap();
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[1].array, Some(4));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            void f(int n) {
+                for (int i = 0; i < n; i++) {
+                    if (i == 3) { continue; }
+                    while (n > 0) { n--; break; }
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(matches!(p.funcs[0].body[0], Stmt::For(..)));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("int f() { return 1 + 2 * 3; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Bin(BinOpKind::Add, _, rhs, _)), _) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOpKind::Mul, ..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vla_declaration() {
+        let p = parse("void f(int n) { char buf[n]; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Decl(d) => assert!(matches!(d.array, Some(Err(_)))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let p = parse("void f() { int x; x += 2; }").unwrap();
+        match &p.funcs[0].body[1] {
+            Stmt::Expr(Expr::Assign(_, rhs, _)) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOpKind::Add, ..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointer_types_and_deref() {
+        let p = parse("void f(int *p) { *p = 1; int **q; }").unwrap();
+        assert_eq!(
+            p.funcs[0].params[0].ty,
+            TypeExpr::Ptr(Box::new(TypeExpr::Int))
+        );
+    }
+
+    #[test]
+    fn member_and_arrow() {
+        let p = parse("struct s { int a; }; void f(struct s *p) { p->a = 1; }").unwrap();
+        assert!(matches!(
+            p.funcs[0].body[0],
+            Stmt::Expr(Expr::Assign(..))
+        ));
+    }
+
+    #[test]
+    fn sizeof_forms() {
+        let p = parse("long f() { long a; return sizeof(long) + sizeof(a); }").unwrap();
+        match &p.funcs[0].body[1] {
+            Stmt::Return(Some(Expr::Bin(_, l, r, _)), _) => {
+                assert!(matches!(**l, Expr::SizeofType(..)));
+                assert!(matches!(**r, Expr::SizeofExpr(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let e = parse("int f() { return ; ").unwrap_err();
+        assert!(e.pos.line >= 1);
+    }
+
+    #[test]
+    fn short_circuit_ops_parse() {
+        let p = parse("int f(int a, int b) { return a && b || !a; }").unwrap();
+        match &p.funcs[0].body[0] {
+            Stmt::Return(Some(Expr::Bin(BinOpKind::LogOr, ..)), _) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn void_param_list() {
+        let p = parse("int f(void) { return 0; }").unwrap();
+        assert!(p.funcs[0].params.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Security analysis of a hardened build: per-function entropy and
+//! brute-force economics (the quantitative side of the paper's §V-C
+//! argument that an attacker must "reverse engineer a function frame
+//! and deliver a payload in the same invocation").
+
+use crate::instrument::HardenReport;
+
+/// Entropy and attack-cost summary for one instrumented function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionEntropy {
+    /// Function name.
+    pub func: String,
+    /// Number of randomizable slots.
+    pub slots: usize,
+    /// Distinct permutations represented in its P-BOX table.
+    pub permutations: u64,
+    /// Per-invocation entropy in bits.
+    pub bits: f64,
+    /// Expected number of blind exploit attempts before one lands on
+    /// the live permutation (geometric mean: `permutations`).
+    pub expected_attempts: u64,
+}
+
+/// Whole-build entropy report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyReport {
+    /// Per-function rows, sorted by ascending entropy (weakest first).
+    pub functions: Vec<FunctionEntropy>,
+}
+
+impl EntropyReport {
+    /// Build from a hardening report.
+    pub fn from_harden(report: &HardenReport) -> EntropyReport {
+        let mut functions: Vec<FunctionEntropy> = report
+            .placements
+            .iter()
+            .map(|(name, p)| {
+                let t = &report.pbox.tables[p.table];
+                FunctionEntropy {
+                    func: name.clone(),
+                    slots: p.columns.len(),
+                    permutations: t.logical_len,
+                    bits: t.entropy_bits(),
+                    expected_attempts: t.logical_len,
+                }
+            })
+            .collect();
+        functions.sort_by(|a, b| {
+            a.bits
+                .partial_cmp(&b.bits)
+                .expect("entropy is finite")
+                .then(a.func.cmp(&b.func))
+        });
+        EntropyReport { functions }
+    }
+
+    /// The weakest (lowest-entropy) instrumented function, if any.
+    pub fn weakest(&self) -> Option<&FunctionEntropy> {
+        self.functions.first()
+    }
+
+    /// Minimum entropy across all instrumented functions (bits).
+    /// `None` when nothing was instrumented.
+    pub fn min_bits(&self) -> Option<f64> {
+        self.weakest().map(|f| f.bits)
+    }
+
+    /// Probability that a brute-force campaign of `attempts` blind
+    /// tries compromises a function with `bits` of entropy, assuming
+    /// the service restarts after each failed try (the paper's model).
+    pub fn breach_probability(bits: f64, attempts: u64) -> f64 {
+        let p = 2f64.powf(-bits);
+        1.0 - (1.0 - p).powi(attempts.min(i32::MAX as u64) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::{harden, SmokestackConfig};
+    use smokestack_minic::compile;
+
+    fn report_for(src: &str) -> EntropyReport {
+        let mut m = compile(src).unwrap();
+        let hr = harden(&mut m, &SmokestackConfig::default());
+        EntropyReport::from_harden(&hr)
+    }
+
+    #[test]
+    fn entropy_grows_with_slot_count() {
+        let r = report_for(
+            r#"
+            int two() { int a = 0; int b = 0; return a + b; }
+            int five() { int a = 0; int b = 0; int c = 0; int d = 0; int e = 0; return a; }
+            int main() { return two() + five(); }
+            "#,
+        );
+        let two = r.functions.iter().find(|f| f.func == "two").unwrap();
+        let five = r.functions.iter().find(|f| f.func == "five").unwrap();
+        assert_eq!(two.permutations, 2);
+        assert_eq!(five.permutations, 120);
+        assert!(five.bits > two.bits);
+    }
+
+    #[test]
+    fn weakest_function_identified() {
+        let r = report_for(
+            r#"
+            int solo() { long x = 1; return x; }
+            int rich() { long a = 0; long b = 0; long c = 0; long d = 0; return 0; }
+            int main() { return solo() + rich(); }
+            "#,
+        );
+        // `solo` has one slot: a single permutation, zero bits.
+        assert_eq!(r.weakest().unwrap().func, "solo");
+        assert_eq!(r.min_bits(), Some(0.0));
+    }
+
+    #[test]
+    fn breach_probability_sane() {
+        // Zero entropy: certain breach in one attempt.
+        assert!((EntropyReport::breach_probability(0.0, 1) - 1.0).abs() < 1e-9);
+        // 10 bits (1024 permutations): ~1/1024 per attempt.
+        let p1 = EntropyReport::breach_probability(10.0, 1);
+        assert!((p1 - 1.0 / 1024.0).abs() < 1e-6);
+        // More attempts, higher probability; monotone.
+        let p64 = EntropyReport::breach_probability(10.0, 64);
+        assert!(p64 > p1 && p64 < 0.1);
+    }
+
+    #[test]
+    fn report_sorted_weakest_first() {
+        let r = report_for(
+            r#"
+            int f1() { long a = 0; return a; }
+            int f2() { long a = 0; long b = 0; long c = 0; return a; }
+            int main() { return f1() + f2(); }
+            "#,
+        );
+        let bits: Vec<f64> = r.functions.iter().map(|f| f.bits).collect();
+        assert!(bits.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

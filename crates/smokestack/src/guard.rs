@@ -1,0 +1,237 @@
+//! Function-identifier guard checks (paper §III-D.2, "Protecting
+//! Smokestack Defenses").
+//!
+//! Each instrumented function gets a stack slot holding its unique
+//! identifier XOR'ed with a process-wide random key (the key lives in
+//! the VM register file, outside attacker-readable memory). The
+//! epilogue re-derives the identifier and aborts on mismatch. Combined
+//! with per-invocation layout randomization this both detects overflows
+//! that stray outside the slab and blocks control-flow tricks that jump
+//! past the prologue.
+
+use smokestack_ir::{
+    BinOp, Callee, CmpPred, Function, Inst, IntWidth, Intrinsic, Terminator, Type, Value,
+};
+
+/// Name of the guard slot alloca.
+pub const GUARD_NAME: &str = "__ss_guard";
+
+/// Derive the compile-time unique identifier for function `func_index`.
+///
+/// The identifier itself need not be secret (the paper embeds it in the
+/// binary); secrecy comes from the XOR key.
+pub fn function_identifier(func_index: u64) -> u64 {
+    // SplitMix64 of the index: well-distributed, deterministic.
+    let mut z = func_index.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Add the guard to `f`. Must run after the slab rewrite so the guard
+/// slot lands *above* the slab (allocated first ⇒ higher address ⇒ hit
+/// by upward overflows escaping the frame).
+pub fn add_guard(f: &mut Function, func_index: u64) {
+    let ident = function_identifier(func_index);
+
+    // Prologue: slot = alloca; store guard_key() ^ ident.
+    let slot = f.new_reg(Type::Ptr);
+    let key = f.new_reg(Type::I64);
+    let masked = f.new_reg(Type::I64);
+    let prologue = [
+        Inst::Alloca {
+            result: slot,
+            ty: Type::I64,
+            count: None,
+            align: 8,
+            name: GUARD_NAME.into(),
+            randomizable: false,
+        },
+        Inst::Call {
+            result: Some(key),
+            callee: Callee::Intrinsic(Intrinsic::GuardKey),
+            args: vec![],
+        },
+        Inst::Bin {
+            result: masked,
+            op: BinOp::Xor,
+            width: IntWidth::W64,
+            lhs: Value::Reg(key),
+            rhs: Value::i64(ident as i64),
+        },
+        Inst::Store {
+            ty: Type::I64,
+            val: Value::Reg(masked),
+            ptr: Value::Reg(slot),
+        },
+    ];
+    for (i, inst) in prologue.into_iter().enumerate() {
+        f.block_mut(Function::ENTRY).insts.insert(i, inst);
+    }
+
+    // One shared fail block.
+    let fail_bb = f.add_block();
+    f.block_mut(fail_bb).insts.push(Inst::Call {
+        result: None,
+        callee: Callee::Intrinsic(Intrinsic::GuardFail),
+        args: vec![Value::i64(ident as i64)],
+    });
+    f.block_mut(fail_bb).term = Terminator::Unreachable;
+
+    // Epilogue check before every return.
+    let ret_blocks: Vec<_> = f
+        .iter_blocks()
+        .filter(|(_, b)| matches!(b.term, Terminator::Ret(_)))
+        .map(|(id, _)| id)
+        .collect();
+    for bb in ret_blocks {
+        if bb == fail_bb {
+            continue;
+        }
+        let original_ret = f.block(bb).term.clone();
+        let ret_bb = f.add_block();
+        f.block_mut(ret_bb).term = original_ret;
+
+        let loaded = f.new_reg(Type::I64);
+        let key2 = f.new_reg(Type::I64);
+        let unmasked = f.new_reg(Type::I64);
+        let bad = f.new_reg(Type::I8);
+        let check = [
+            Inst::Load {
+                result: loaded,
+                ty: Type::I64,
+                ptr: Value::Reg(slot),
+            },
+            Inst::Call {
+                result: Some(key2),
+                callee: Callee::Intrinsic(Intrinsic::GuardKey),
+                args: vec![],
+            },
+            Inst::Bin {
+                result: unmasked,
+                op: BinOp::Xor,
+                width: IntWidth::W64,
+                lhs: Value::Reg(loaded),
+                rhs: Value::Reg(key2),
+            },
+            Inst::Icmp {
+                result: bad,
+                pred: CmpPred::Ne,
+                width: IntWidth::W64,
+                lhs: Value::Reg(unmasked),
+                rhs: Value::i64(ident as i64),
+            },
+        ];
+        let b = f.block_mut(bb);
+        b.insts.extend(check);
+        b.term = Terminator::CondBr {
+            cond: Value::Reg(bad),
+            then_bb: fail_bb,
+            else_bb: ret_bb,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_ir::{verify_module, Module};
+    use smokestack_minic::compile;
+    use smokestack_vm::{Exit, FaultKind, FnInput, Memory, ScriptedInput, Vm, VmConfig};
+
+    fn guarded_module(src: &str) -> Module {
+        let mut m = compile(src).unwrap();
+        let n = m.funcs.len();
+        for i in 0..n {
+            add_guard(&mut m.funcs[i], i as u64);
+        }
+        verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn identifiers_unique() {
+        let ids: std::collections::HashSet<u64> =
+            (0..10_000).map(function_identifier).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn benign_run_passes_guard() {
+        let m = guarded_module("int main() { int x = 3; return x; }");
+        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        assert_eq!(out.exit, Exit::Return(3));
+    }
+
+    #[test]
+    fn guard_fires_when_slot_corrupted() {
+        // The attacker (input hook) scribbles over the whole upper stack
+        // region, which includes the guard slot.
+        let m = guarded_module(
+            r#"
+            int main() {
+                char buf[8];
+                get_input(buf, 8);
+                return 0;
+            }
+            "#,
+        );
+        let mut vm = Vm::new(m, VmConfig::default());
+        let smash = FnInput(|mem: &mut Memory, _i, _max| {
+            let first_frame =
+                smokestack_vm::layout::STACK_TOP - smokestack_vm::layout::STACK_START_GAP;
+            for a in ((first_frame - 256)..first_frame).step_by(8) {
+                let _ = mem.write_uint(a, 0x4141414141414141, 8);
+            }
+            vec![0x42]
+        });
+        let out = vm.run_main(smash);
+        assert!(
+            matches!(out.exit, Exit::Fault(FaultKind::GuardViolation { .. })),
+            "expected guard violation, got {:?}",
+            out.exit
+        );
+    }
+
+    #[test]
+    fn guard_checked_on_every_return_path() {
+        let m = guarded_module(
+            r#"
+            int f(int a) {
+                if (a > 0) { return 1; }
+                return 2;
+            }
+            int main() { return f(1) + f(-1); }
+            "#,
+        );
+        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        assert_eq!(out.exit, Exit::Return(3));
+    }
+
+    #[test]
+    fn guard_key_differs_per_seed() {
+        // The same corruption value cannot be replayed across restarts:
+        // forging the slot requires guard_key, which changes per seed.
+        let src = "int main() { int x = 1; return x; }";
+        let m1 = guarded_module(src);
+        let m2 = guarded_module(src);
+        let o1 = Vm::new(
+            m1,
+            VmConfig {
+                trng_seed: 1,
+                ..VmConfig::default()
+            },
+        )
+        .run_main(ScriptedInput::empty());
+        let o2 = Vm::new(
+            m2,
+            VmConfig {
+                trng_seed: 2,
+                ..VmConfig::default()
+            },
+        )
+        .run_main(ScriptedInput::empty());
+        assert_eq!(o1.exit, Exit::Return(1));
+        assert_eq!(o2.exit, Exit::Return(1));
+    }
+}

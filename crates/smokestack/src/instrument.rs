@@ -1,0 +1,554 @@
+//! The Smokestack instrumentation pass (paper §III-D.1 / §IV-B).
+//!
+//! For every function with at least one randomizable fixed-size alloca:
+//!
+//! 1. the original allocas are deleted and replaced by **one slab
+//!    allocation** of the table's maximum frame size;
+//! 2. a `stack_rng()` call draws a fresh value at every invocation;
+//! 3. the value, masked to the table's power-of-two length, selects a
+//!    row of the function's P-BOX table;
+//! 4. each original alloca's address becomes `gep(slab, row[column])` —
+//!    LLVM's `getelementptr` in the paper's Figure 2 — so both the
+//!    absolute address *and* every relative distance between locals
+//!    change per call.
+//!
+//! VLAs are handled dynamically (§III-D.1): a random-sized pad alloca is
+//! inserted immediately before each VLA.
+
+use std::collections::HashMap;
+
+use smokestack_ir::{
+    BinOp, Callee, Function, Global, GlobalId, GlobalInit, Inst, IntWidth, Intrinsic, Module,
+    ModulePass, Type, Value,
+};
+
+use crate::pbox::{FuncPlacement, PBox, PBoxBuilder, PBoxConfig};
+use crate::slots::discover_frame;
+
+/// Name of the slab alloca; the VM's cost model recognizes it to apply
+/// the slab-locality discount.
+pub const SLAB_NAME: &str = "__ss_slab";
+
+/// Name of VLA padding allocas.
+pub const VLA_PAD_NAME: &str = "__ss_vla_pad";
+
+/// Name of the P-BOX global.
+pub const PBOX_GLOBAL: &str = "__pbox";
+
+/// Configuration for the whole Smokestack pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct SmokestackConfig {
+    /// P-BOX sizing/sharing parameters.
+    pub pbox: PBoxConfig,
+    /// Mask applied to the random pad inserted before each VLA
+    /// (default `0xF8`: 0–248 bytes in 8-byte steps).
+    pub vla_pad_mask: u64,
+    /// Insert the function-identifier guard checks (§III-D.2).
+    pub guards: bool,
+}
+
+impl Default for SmokestackConfig {
+    fn default() -> SmokestackConfig {
+        SmokestackConfig {
+            pbox: PBoxConfig::default(),
+            vla_pad_mask: 0xF8,
+            guards: true,
+        }
+    }
+}
+
+/// What the hardening produced — used by experiments and attacks.
+#[derive(Debug, Clone)]
+pub struct HardenReport {
+    /// Bytes added to the read-only segment (the serialized P-BOX).
+    pub pbox_bytes: u64,
+    /// Number of functions instrumented.
+    pub functions_instrumented: usize,
+    /// Per-function placement metadata, by function name. Attack code
+    /// reads this the way a real attacker reads the (public, read-only)
+    /// P-BOX out of the binary.
+    pub placements: HashMap<String, FuncPlacement>,
+    /// The P-BOX global's id, when any function was instrumented.
+    pub pbox_global: Option<GlobalId>,
+    /// Table metadata.
+    pub pbox: PBox,
+}
+
+/// Harden every function of `module` in place.
+pub fn harden(module: &mut Module, cfg: &SmokestackConfig) -> HardenReport {
+    // Phase 1: discovery (paper's analysis passes).
+    let mut frames = Vec::new(); // (func index, FrameInfo, builder key)
+    let mut builder = PBoxBuilder::new(cfg.pbox);
+    for (i, f) in module.funcs.iter().enumerate() {
+        let info = discover_frame(f);
+        if !info.slots.is_empty() {
+            let key = builder.add(&info.slot_list());
+            frames.push((i, info, Some(key)));
+        } else if info.has_vla {
+            frames.push((i, info, None));
+        }
+    }
+    let (pbox, placements) = builder.finish();
+
+    // Phase 2: install the P-BOX as a read-only global.
+    let pbox_global = if pbox.image.is_empty() {
+        None
+    } else {
+        Some(module.push_global(Global {
+            name: PBOX_GLOBAL.into(),
+            ty: Type::array(Type::I8, pbox.image.len() as u64),
+            init: GlobalInit::Bytes(pbox.image.clone()),
+            readonly: true,
+        }))
+    };
+
+    // Phase 3: rewrite function bodies.
+    let mut by_name = HashMap::new();
+    let mut instrumented = 0;
+    for (fi, info, key) in &frames {
+        let f = &mut module.funcs[*fi];
+        if let Some(k) = key {
+            let p = &placements[*k];
+            rewrite_fixed_allocas(f, info, p, pbox_global.expect("pbox exists"));
+            let mut named = p.clone();
+            named.slot_names = info.slots.iter().map(|(_, s)| s.name.clone()).collect();
+            by_name.insert(f.name.clone(), named);
+            instrumented += 1;
+        }
+        if info.has_vla {
+            pad_vlas(f, cfg.vla_pad_mask);
+        }
+        if cfg.guards && key.is_some() {
+            crate::guard::add_guard(f, *fi as u64);
+        }
+    }
+    HardenReport {
+        pbox_bytes: pbox.image.len() as u64,
+        functions_instrumented: instrumented,
+        placements: by_name,
+        pbox_global,
+        pbox,
+    }
+}
+
+fn rewrite_fixed_allocas(
+    f: &mut Function,
+    info: &crate::slots::FrameInfo,
+    p: &FuncPlacement,
+    pbox_global: GlobalId,
+) {
+    // Collect the result register of each original alloca.
+    let entry = f.block(Function::ENTRY).clone();
+    let alloca_positions: Vec<usize> = info.slots.iter().map(|(i, _)| *i).collect();
+    let orig_regs: Vec<_> = alloca_positions
+        .iter()
+        .map(|&i| match &entry.insts[i] {
+            Inst::Alloca { result, .. } => *result,
+            other => panic!("expected alloca at recorded position, found {other:?}"),
+        })
+        .collect();
+
+    // Build the prologue.
+    let mut prologue = Vec::new();
+    let slab = f.new_reg(Type::Ptr);
+    prologue.push(Inst::Alloca {
+        result: slab,
+        ty: Type::array(Type::I8, p.slab_size.max(1)),
+        count: None,
+        align: 16,
+        name: SLAB_NAME.into(),
+        randomizable: false,
+    });
+    let rnd = f.new_reg(Type::I64);
+    prologue.push(Inst::Call {
+        result: Some(rnd),
+        callee: Callee::Intrinsic(Intrinsic::StackRng),
+        args: vec![],
+    });
+    let idx = f.new_reg(Type::I64);
+    prologue.push(Inst::Bin {
+        result: idx,
+        op: BinOp::And,
+        width: IntWidth::W64,
+        lhs: Value::Reg(rnd),
+        rhs: Value::i64(p.mask as i64),
+    });
+    let row_off = f.new_reg(Type::I64);
+    prologue.push(Inst::Bin {
+        result: row_off,
+        op: BinOp::Mul,
+        width: IntWidth::W64,
+        lhs: Value::Reg(idx),
+        rhs: Value::i64(p.row_bytes as i64),
+    });
+    let table_off = f.new_reg(Type::I64);
+    prologue.push(Inst::Bin {
+        result: table_off,
+        op: BinOp::Add,
+        width: IntWidth::W64,
+        lhs: Value::Reg(row_off),
+        rhs: Value::i64(p.table_offset as i64),
+    });
+    let row_ptr = f.new_reg(Type::Ptr);
+    prologue.push(Inst::Gep {
+        result: row_ptr,
+        base: Value::Global(pbox_global),
+        offset: Value::Reg(table_off),
+    });
+    // One (load offset; gep slab) pair per original alloca, reusing the
+    // original result registers so no other instruction needs rewriting.
+    for (k, reg) in orig_regs.iter().enumerate() {
+        let col = p.columns[k];
+        let cell = f.new_reg(Type::Ptr);
+        prologue.push(Inst::Gep {
+            result: cell,
+            base: Value::Reg(row_ptr),
+            offset: Value::i64((col as i64) * 8),
+        });
+        let off = f.new_reg(Type::I64);
+        prologue.push(Inst::Load {
+            result: off,
+            ty: Type::I64,
+            ptr: Value::Reg(cell),
+        });
+        prologue.push(Inst::Gep {
+            result: *reg,
+            base: Value::Reg(slab),
+            offset: Value::Reg(off),
+        });
+    }
+    // Entry block = prologue ++ (original insts minus the allocas).
+    let mut rest: Vec<Inst> = Vec::with_capacity(entry.insts.len());
+    for (i, inst) in entry.insts.into_iter().enumerate() {
+        if !alloca_positions.contains(&i) {
+            rest.push(inst);
+        }
+    }
+    let eb = f.block_mut(Function::ENTRY);
+    prologue.extend(rest);
+    eb.insts = prologue;
+}
+
+/// Insert a random-sized pad alloca before every randomizable VLA.
+fn pad_vlas(f: &mut Function, pad_mask: u64) {
+    let nblocks = f.blocks.len();
+    for bi in 0..nblocks {
+        let mut i = 0;
+        while i < f.blocks[bi].insts.len() {
+            let is_vla = matches!(
+                &f.blocks[bi].insts[i],
+                Inst::Alloca {
+                    count: Some(_),
+                    randomizable: true,
+                    ..
+                }
+            );
+            if is_vla {
+                let rnd = f.new_reg(Type::I64);
+                let pad = f.new_reg(Type::I64);
+                let dummy = f.new_reg(Type::Ptr);
+                let seq = [
+                    Inst::Call {
+                        result: Some(rnd),
+                        callee: Callee::Intrinsic(Intrinsic::StackRng),
+                        args: vec![],
+                    },
+                    Inst::Bin {
+                        result: pad,
+                        op: BinOp::And,
+                        width: IntWidth::W64,
+                        lhs: Value::Reg(rnd),
+                        rhs: Value::i64(pad_mask as i64),
+                    },
+                    Inst::Alloca {
+                        result: dummy,
+                        ty: Type::I8,
+                        count: Some(Value::Reg(pad)),
+                        align: 1,
+                        name: VLA_PAD_NAME.into(),
+                        randomizable: false,
+                    },
+                ];
+                for (k, inst) in seq.into_iter().enumerate() {
+                    f.blocks[bi].insts.insert(i + k, inst);
+                }
+                i += 4; // skip the three inserted plus the VLA itself
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// [`ModulePass`] wrapper so hardening can run in a pass pipeline.
+pub struct SmokestackPass {
+    cfg: SmokestackConfig,
+    /// Filled in by `run`.
+    pub report: Option<HardenReport>,
+}
+
+impl SmokestackPass {
+    /// Create the pass.
+    pub fn new(cfg: SmokestackConfig) -> SmokestackPass {
+        SmokestackPass { cfg, report: None }
+    }
+}
+
+impl ModulePass for SmokestackPass {
+    fn name(&self) -> &str {
+        "smokestack"
+    }
+
+    fn run(&mut self, module: &mut Module) {
+        self.report = Some(harden(module, &self.cfg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_ir::verify_module;
+    use smokestack_minic::compile;
+    use smokestack_srng::SchemeKind;
+    use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+
+    const PROG: &str = r#"
+        int helper(int a) {
+            int x = a + 1;
+            char buf[32];
+            long y = x * 2;
+            buf[0] = 1;
+            return x + y;
+        }
+        int main() {
+            int acc = 0;
+            for (int i = 0; i < 5; i++) { acc += helper(i); }
+            return acc;
+        }
+    "#;
+
+    fn hardened(src: &str) -> (Module, HardenReport) {
+        let mut m = compile(src).unwrap();
+        let report = harden(&mut m, &SmokestackConfig::default());
+        verify_module(&m).expect("hardened module verifies");
+        (m, report)
+    }
+
+    #[test]
+    fn hardened_module_verifies_and_reports() {
+        let (_, report) = hardened(PROG);
+        assert!(report.functions_instrumented >= 2);
+        assert!(report.pbox_bytes > 0);
+        assert!(report.placements.contains_key("helper"));
+    }
+
+    #[test]
+    fn single_slab_alloca_per_function() {
+        let (m, _) = hardened(PROG);
+        let f = m.func(m.func_by_name("helper").unwrap());
+        // No randomizable fixed alloca survives; what remains is the
+        // pinned slab plus the pinned guard slot.
+        let randomizable = f
+            .iter_insts()
+            .filter(|(_, i)| i.is_randomizable_alloca())
+            .count();
+        assert_eq!(randomizable, 0);
+        let slabs = f
+            .iter_insts()
+            .filter(
+                |(_, i)| matches!(i, Inst::Alloca { name, .. } if name == SLAB_NAME),
+            )
+            .count();
+        assert_eq!(slabs, 1, "exactly one slab");
+    }
+
+    #[test]
+    fn behavior_preserved_under_hardening() {
+        let mut base = compile(PROG).unwrap();
+        let mut hard = compile(PROG).unwrap();
+        harden(&mut hard, &SmokestackConfig::default());
+        let b = Vm::new(std::mem::take(&mut base), VmConfig::default())
+            .run_main(ScriptedInput::empty());
+        for seed in [1u64, 2, 3, 99] {
+            let out = Vm::new(
+                hard.clone(),
+                VmConfig {
+                    trng_seed: seed,
+                    ..VmConfig::default()
+                },
+            )
+            .run_main(ScriptedInput::empty());
+            assert_eq!(out.exit, b.exit, "seed {seed} changed behavior");
+        }
+    }
+
+    #[test]
+    fn layout_changes_across_invocations() {
+        let src = r#"
+            long probe() {
+                long a;
+                char buf[16];
+                long c;
+                return &a - &c;
+            }
+            long main() {
+                long d1 = probe();
+                long d2 = probe();
+                long d3 = probe();
+                long d4 = probe();
+                if (d1 != d2) { return 1; }
+                if (d2 != d3) { return 1; }
+                if (d3 != d4) { return 1; }
+                return 0;
+            }
+        "#;
+        let mut m = compile(src).unwrap();
+        harden(&mut m, &SmokestackConfig::default());
+        // With 3 slots (plus __cc-free code) some pair of 4 invocations
+        // almost surely differs; check across several seeds to avoid a
+        // flaky 1-in-many chance that all four draws matched.
+        let mut changed = false;
+        for seed in 0..8u64 {
+            let out = Vm::new(
+                m.clone(),
+                VmConfig {
+                    trng_seed: seed,
+                    ..VmConfig::default()
+                },
+            )
+            .run_main(ScriptedInput::empty());
+            if out.exit == Exit::Return(1) {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "stack layout never changed across invocations");
+    }
+
+    #[test]
+    fn rng_called_once_per_invocation() {
+        let (m, _) = hardened(PROG);
+        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        // main once + helper five times (+ guard draws none: guard uses
+        // guard_key, not stack_rng).
+        assert_eq!(out.rng_invocations, 6);
+    }
+
+    #[test]
+    fn vla_gets_random_pad() {
+        let src = "void f(int n) { char buf[n]; buf[0] = 1; } int main() { f(9); return 0; }";
+        let mut m = compile(src).unwrap();
+        harden(&mut m, &SmokestackConfig::default());
+        verify_module(&m).unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let has_pad = f
+            .iter_insts()
+            .any(|(_, i)| matches!(i, Inst::Alloca { name, .. } if name == VLA_PAD_NAME));
+        assert!(has_pad);
+        // Still runs fine.
+        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        assert_eq!(out.exit, Exit::Return(0));
+    }
+
+    #[test]
+    fn pbox_is_readonly() {
+        let (m, report) = hardened(PROG);
+        let gid = report.pbox_global.unwrap();
+        assert!(m.global(gid).readonly);
+    }
+
+    #[test]
+    fn hardening_across_all_schemes_preserves_behavior() {
+        for scheme in SchemeKind::ALL {
+            let mut m = compile(PROG).unwrap();
+            harden(&mut m, &SmokestackConfig::default());
+            let out = Vm::new(
+                m,
+                VmConfig {
+                    scheme,
+                    ..VmConfig::default()
+                },
+            )
+            .run_main(ScriptedInput::empty());
+            let mut base = Vm::new(compile(PROG).unwrap(), VmConfig::default());
+            assert_eq!(out.exit, base.run_main(ScriptedInput::empty()).exit);
+        }
+    }
+
+    #[test]
+    fn guards_can_be_disabled() {
+        let mut m = compile(PROG).unwrap();
+        let cfg = SmokestackConfig {
+            guards: false,
+            ..SmokestackConfig::default()
+        };
+        harden(&mut m, &cfg);
+        verify_module(&m).unwrap();
+        let f = m.func(m.func_by_name("helper").unwrap());
+        let has_guard = f.iter_insts().any(|(_, i)| {
+            matches!(i, Inst::Alloca { name, .. } if name == crate::guard::GUARD_NAME)
+        });
+        assert!(!has_guard);
+        // Still behaves.
+        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        assert!(out.exit.is_clean());
+    }
+
+    #[test]
+    fn table_length_bounds_entropy() {
+        for len in [4u64, 64, 1024] {
+            let mut m = compile(PROG).unwrap();
+            let cfg = SmokestackConfig {
+                pbox: crate::pbox::PBoxConfig {
+                    max_table_len: len,
+                    ..crate::pbox::PBoxConfig::default()
+                },
+                ..SmokestackConfig::default()
+            };
+            let report = harden(&mut m, &cfg);
+            for p in report.placements.values() {
+                assert!(
+                    p.entropy_bits <= (len as f64).log2() + 1e-9,
+                    "entropy {} exceeds cap for len {len}",
+                    p.entropy_bits
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slab_alignment_is_16() {
+        let (m, _) = hardened(PROG);
+        let f = m.func(m.func_by_name("helper").unwrap());
+        let align = f
+            .iter_insts()
+            .find_map(|(_, i)| match i {
+                Inst::Alloca { name, align, .. } if name == SLAB_NAME => Some(*align),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(align, 16);
+    }
+
+    #[test]
+    fn functions_without_locals_left_alone() {
+        let src = "int id(int x) { return x; } int main() { int v = id(4); return v; }";
+        // id() spills its parameter, so it IS instrumented; a function
+        // with truly no allocas is main-with-no-locals:
+        let src2 = "int main() { return 3; }";
+        let mut m = compile(src2).unwrap();
+        let report = harden(&mut m, &SmokestackConfig::default());
+        assert_eq!(report.functions_instrumented, 0);
+        assert!(report.pbox_global.is_none());
+        let _ = src;
+    }
+
+    #[test]
+    fn pass_manager_integration() {
+        let mut m = compile(PROG).unwrap();
+        let mut pm = smokestack_ir::PassManager::new();
+        pm.add(SmokestackPass::new(SmokestackConfig::default()));
+        let rep = pm.run(&mut m).unwrap();
+        assert_eq!(rep.passes_run, vec!["smokestack"]);
+    }
+}

@@ -1,0 +1,56 @@
+//! # smokestack-core
+//!
+//! The paper's primary contribution: **runtime stack-layout
+//! randomization**. Every function invocation gets a freshly permuted
+//! ordering (and, through alignment padding, freshly varied spacing) of
+//! its stack locals, selected by a disclosure-resistant random draw from
+//! a precomputed, read-only permutation box (P-BOX).
+//!
+//! Pipeline (paper §III/§IV):
+//!
+//! 1. [`discover_frame`] gathers every randomizable `alloca` with size
+//!    and alignment (analysis passes).
+//! 2. [`layout_for_rank`] is Algorithm 1: the factorial-number-system
+//!    decode of a lexical permutation rank into aligned slot offsets.
+//! 3. [`PBoxBuilder`] builds per-signature tables with the §III-E
+//!    optimizations: power-of-two table lengths (mask instead of
+//!    modulo), table sharing between same-signature functions, and
+//!    round-up sharing for signatures differing by one primitive slot.
+//! 4. [`harden`] rewrites each function: one slab `alloca`, a
+//!    `stack_rng()` draw, a masked P-BOX row select, and a
+//!    `getelementptr` per original local; VLAs get random padding.
+//! 5. [`add_guard`] installs the function-identifier XOR checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use smokestack_core::{harden, SmokestackConfig};
+//! use smokestack_minic::compile;
+//! use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+//!
+//! let src = "int main() { int a = 1; char buf[16]; long c = 2; return a; }";
+//! let mut module = compile(src).unwrap();
+//! let report = harden(&mut module, &SmokestackConfig::default());
+//! assert_eq!(report.functions_instrumented, 1);
+//!
+//! let mut vm = Vm::new(module, VmConfig::default());
+//! assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod guard;
+mod instrument;
+mod pbox;
+mod permute;
+mod slots;
+
+pub use analysis::{EntropyReport, FunctionEntropy};
+pub use guard::{add_guard, function_identifier, GUARD_NAME};
+pub use instrument::{
+    harden, HardenReport, SmokestackConfig, SmokestackPass, PBOX_GLOBAL, SLAB_NAME, VLA_PAD_NAME,
+};
+pub use pbox::{FuncPlacement, PBox, PBoxBuilder, PBoxConfig, Signature, Table};
+pub use permute::{factorial, layout_for_rank, order_for_rank, PermutedLayout};
+pub use slots::{discover_frame, frame_size_in_order, AllocSlot, FrameInfo};

@@ -1,0 +1,517 @@
+//! P-BOX construction (paper §III-D/E): per-signature permutation
+//! tables, stored read-only, with the paper's three optimizations —
+//! power-of-two table lengths, table sharing between functions with the
+//! same allocation multiset ("rearranging"), and round-up sharing
+//! between signatures that differ by one primitive allocation.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::permute::{factorial, layout_for_rank, PermutedLayout};
+use crate::slots::AllocSlot;
+
+/// P-BOX construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PBoxConfig {
+    /// Maximum *logical* rows per table (tables for frames with many
+    /// allocations sample `n!` at a fixed stride). Must be a power of
+    /// two.
+    pub max_table_len: u64,
+    /// Seed for compile-time row shuffling (the paper permutes rows "to
+    /// avoid the lexical correlation between consecutive rows").
+    pub build_seed: u64,
+    /// Enable table sharing by canonical signature (§III-E,
+    /// "Rearranging Stack Allocations").
+    pub share_tables: bool,
+    /// Enable round-up sharing for signatures differing by one primitive
+    /// allocation (§III-E, "Rounding up Allocations").
+    pub round_up_sharing: bool,
+}
+
+impl Default for PBoxConfig {
+    fn default() -> PBoxConfig {
+        PBoxConfig {
+            max_table_len: 4096,
+            build_seed: 0xB0B,
+            share_tables: true,
+            round_up_sharing: true,
+        }
+    }
+}
+
+/// Canonical signature: multiset of (size, align), sorted descending.
+pub type Signature = Vec<(u64, u64)>;
+
+fn signature_of(slots: &[AllocSlot]) -> Signature {
+    let mut sig: Signature = slots.iter().map(|s| (s.size, s.align)).collect();
+    sig.sort_unstable_by(|a, b| b.cmp(a));
+    sig
+}
+
+/// One permutation table in the P-BOX.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Canonical signature this table serves.
+    pub signature: Signature,
+    /// Physical rows (power-of-two count; tail rows wrap logical rows).
+    pub rows: Vec<PermutedLayout>,
+    /// Distinct permutations represented.
+    pub logical_len: u64,
+    /// Index mask (`rows.len() - 1`).
+    pub mask: u64,
+    /// Bytes per row in the serialized image (`columns * 8`).
+    pub row_bytes: u64,
+    /// Largest `total` over all rows — the slab size functions allocate.
+    pub max_total: u64,
+    /// Byte offset of this table in the serialized image.
+    pub image_offset: u64,
+}
+
+impl Table {
+    /// Shannon entropy contributed by the table index, in bits.
+    pub fn entropy_bits(&self) -> f64 {
+        (self.logical_len as f64).log2()
+    }
+}
+
+/// Where one function's frame lives in the P-BOX.
+#[derive(Debug, Clone)]
+pub struct FuncPlacement {
+    /// Which table.
+    pub table: usize,
+    /// Canonical column for each original slot, in original slot order.
+    pub columns: Vec<usize>,
+    /// Copied from the table: index mask.
+    pub mask: u64,
+    /// Copied from the table: row stride in bytes.
+    pub row_bytes: u64,
+    /// Copied from the table: byte offset of the table in the image.
+    pub table_offset: u64,
+    /// Slab size the function must allocate (table `max_total`).
+    pub slab_size: u64,
+    /// Per-invocation entropy in bits.
+    pub entropy_bits: f64,
+    /// Source-level names of the original slots, in slot order (filled
+    /// by the instrumentation pass; the builder itself is name-blind).
+    pub slot_names: Vec<String>,
+}
+
+/// Accumulates function frames, then builds the shared P-BOX image.
+#[derive(Debug)]
+pub struct PBoxBuilder {
+    cfg: PBoxConfig,
+    frames: Vec<Vec<AllocSlot>>,
+}
+
+/// The finished P-BOX: serialized image plus table metadata.
+#[derive(Debug, Clone)]
+pub struct PBox {
+    /// Raw bytes destined for a read-only global.
+    pub image: Vec<u8>,
+    /// Table metadata (offsets resolved).
+    pub tables: Vec<Table>,
+}
+
+impl PBoxBuilder {
+    /// Start building with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_table_len` is not a power of two.
+    pub fn new(cfg: PBoxConfig) -> PBoxBuilder {
+        assert!(
+            cfg.max_table_len.is_power_of_two(),
+            "max_table_len must be a power of two"
+        );
+        PBoxBuilder {
+            cfg,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Register one function's randomizable slots; returns a key to
+    /// retrieve its placement from [`PBoxBuilder::finish`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slot list.
+    pub fn add(&mut self, slots: &[AllocSlot]) -> usize {
+        assert!(!slots.is_empty(), "cannot register an empty frame");
+        self.frames.push(slots.to_vec());
+        self.frames.len() - 1
+    }
+
+    /// Build all tables, apply sharing optimizations, serialize.
+    pub fn finish(self) -> (PBox, Vec<FuncPlacement>) {
+        let cfg = self.cfg;
+        if !cfg.share_tables {
+            // Ablation mode: one table per function, no sharing at all.
+            let mut tables: Vec<Table> = self
+                .frames
+                .iter()
+                .map(|slots| build_table(&signature_of(slots), &cfg))
+                .collect();
+            let mut image = Vec::new();
+            for t in &mut tables {
+                t.image_offset = image.len() as u64;
+                for row in &t.rows {
+                    for off in &row.offsets {
+                        image.extend_from_slice(&off.to_le_bytes());
+                    }
+                }
+            }
+            let placements = self
+                .frames
+                .iter()
+                .enumerate()
+                .map(|(i, slots)| {
+                    let t = &tables[i];
+                    FuncPlacement {
+                        table: i,
+                        columns: assign_columns(slots, &t.signature),
+                        mask: t.mask,
+                        row_bytes: t.row_bytes,
+                        table_offset: t.image_offset,
+                        slab_size: t.max_total,
+                        entropy_bits: t.entropy_bits(),
+                        slot_names: Vec::new(),
+                    }
+                })
+                .collect();
+            return (PBox { image, tables }, placements);
+        }
+        // 1. Group frames by canonical signature.
+        let sig_of_frame: Vec<Signature> = self.frames.iter().map(|s| signature_of(s)).collect();
+        let mut sig_set: Vec<Signature> = sig_of_frame.clone();
+        sig_set.sort();
+        sig_set.dedup();
+
+        // 2. Round-up sharing: a signature is *absorbed* by another that
+        //    equals it plus exactly one primitive (<= 8 byte) slot.
+        let mut absorbed_into: HashMap<Signature, Signature> = HashMap::new();
+        if cfg.round_up_sharing {
+            for small in &sig_set {
+                for big in &sig_set {
+                    if big.len() == small.len() + 1 && is_superset_by_one(big, small, 8) {
+                        absorbed_into.insert(small.clone(), big.clone());
+                        break;
+                    }
+                }
+            }
+        }
+        // Absorption may chain (A into B into C); resolve transitively.
+        let final_sig = |sig: &Signature| -> Signature {
+            let mut cur = sig.clone();
+            while let Some(next) = absorbed_into.get(&cur) {
+                cur = next.clone();
+            }
+            cur
+        };
+
+        // 3. Build one table per surviving signature.
+        let mut table_index: HashMap<Signature, usize> = HashMap::new();
+        let mut tables: Vec<Table> = Vec::new();
+        let mut surviving: Vec<Signature> = sig_set
+            .iter()
+            .filter(|s| !absorbed_into.contains_key(*s))
+            .cloned()
+            .collect();
+        surviving.sort();
+        for sig in surviving {
+            let idx = tables.len();
+            tables.push(build_table(&sig, &cfg));
+            table_index.insert(sig, idx);
+        }
+
+        // 4. Serialize the image, resolving offsets.
+        let mut image = Vec::new();
+        for t in &mut tables {
+            t.image_offset = image.len() as u64;
+            for row in &t.rows {
+                for off in &row.offsets {
+                    image.extend_from_slice(&off.to_le_bytes());
+                }
+            }
+        }
+
+        // 5. Compute placements.
+        let mut placements = Vec::with_capacity(self.frames.len());
+        for (slots, sig) in self.frames.iter().zip(&sig_of_frame) {
+            let fsig = final_sig(sig);
+            let ti = table_index[&fsig];
+            let t = &tables[ti];
+            let columns = assign_columns(slots, &fsig);
+            placements.push(FuncPlacement {
+                table: ti,
+                columns,
+                mask: t.mask,
+                row_bytes: t.row_bytes,
+                table_offset: t.image_offset,
+                slab_size: t.max_total,
+                entropy_bits: t.entropy_bits(),
+                slot_names: Vec::new(),
+            });
+        }
+        (PBox { image, tables }, placements)
+    }
+}
+
+/// Does `big` equal `small` plus exactly one slot of size <= `prim_max`?
+fn is_superset_by_one(big: &Signature, small: &Signature, prim_max: u64) -> bool {
+    let mut extra: Option<(u64, u64)> = None;
+    let mut i = 0;
+    for &b in big {
+        if i < small.len() && small[i] == b {
+            i += 1;
+        } else if extra.is_none() {
+            extra = Some(b);
+        } else {
+            return false;
+        }
+    }
+    i == small.len() && extra.is_some_and(|(size, _)| size <= prim_max)
+}
+
+/// Assign each original slot a distinct canonical column with matching
+/// (size, align). Columns belonging to a bigger (round-up) signature may
+/// be left unused — they become padding.
+fn assign_columns(slots: &[AllocSlot], sig: &Signature) -> Vec<usize> {
+    let mut used = vec![false; sig.len()];
+    slots
+        .iter()
+        .map(|s| {
+            let key = (s.size, s.align);
+            let col = sig
+                .iter()
+                .enumerate()
+                .position(|(i, &c)| !used[i] && c == key)
+                .or_else(|| {
+                    // Round-up: fall back to any unused column that can
+                    // hold the slot (same or larger size, compatible
+                    // alignment).
+                    sig.iter().enumerate().position(|(i, &(cs, ca))| {
+                        !used[i] && cs >= s.size && ca % s.align == 0
+                    })
+                })
+                .expect("signature covers slots");
+            used[col] = true;
+            col
+        })
+        .collect()
+}
+
+fn build_table(sig: &Signature, cfg: &PBoxConfig) -> Table {
+    let canonical: Vec<AllocSlot> = sig
+        .iter()
+        .enumerate()
+        .map(|(i, &(size, align))| AllocSlot::new(format!("c{i}"), size, align))
+        .collect();
+    let n = canonical.len();
+    let nfact = factorial(n).unwrap_or(u128::MAX);
+    let logical = (cfg.max_table_len as u128).min(nfact) as u64;
+    let stride = (nfact / logical as u128).max(1);
+    let mut rows: Vec<PermutedLayout> = (0..logical)
+        .map(|i| layout_for_rank(&canonical, (i as u128 * stride) % nfact))
+        .collect();
+    // Shuffle rows to break lexical correlation between neighbors.
+    let mut rng = StdRng::seed_from_u64(cfg.build_seed ^ hash_sig(sig));
+    rows.shuffle(&mut rng);
+    // Round up to a power of two with wraparound rows.
+    let phys = (logical.max(1)).next_power_of_two();
+    for i in logical..phys {
+        let dup = rows[(i % logical) as usize].clone();
+        rows.push(dup);
+    }
+    let max_total = rows.iter().map(|r| r.total).max().unwrap_or(0);
+    Table {
+        signature: sig.clone(),
+        logical_len: logical,
+        mask: phys - 1,
+        row_bytes: (n as u64) * 8,
+        max_total,
+        image_offset: 0,
+        rows,
+    }
+}
+
+fn hash_sig(sig: &Signature) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &(s, a) in sig {
+        for v in [s, a] {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slots(spec: &[(u64, u64)]) -> Vec<AllocSlot> {
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(s, a))| AllocSlot::new(format!("v{i}"), s, a))
+            .collect()
+    }
+
+    #[test]
+    fn table_rows_power_of_two() {
+        let mut b = PBoxBuilder::new(PBoxConfig::default());
+        b.add(&slots(&[(4, 4), (8, 8), (1, 1)])); // 3! = 6 -> 8 rows
+        let (pbox, places) = b.finish();
+        assert_eq!(pbox.tables[places[0].table].rows.len(), 8);
+        assert_eq!(places[0].mask, 7);
+    }
+
+    #[test]
+    fn same_signature_shares_table() {
+        let mut b = PBoxBuilder::new(PBoxConfig::default());
+        let k1 = b.add(&slots(&[(4, 4), (8, 8)])); // int, long
+        let k2 = b.add(&slots(&[(8, 8), (4, 4)])); // long, int (reordered)
+        let (pbox, places) = b.finish();
+        assert_eq!(places[k1].table, places[k2].table);
+        assert_eq!(pbox.tables.len(), 1);
+        // Columns differ to reflect the original orders.
+        assert_ne!(places[k1].columns, places[k2].columns);
+    }
+
+    #[test]
+    fn round_up_sharing_absorbs_smaller_signature() {
+        let mut b = PBoxBuilder::new(PBoxConfig::default());
+        let big = b.add(&slots(&[(8, 8), (8, 8), (4, 4)]));
+        let small = b.add(&slots(&[(8, 8), (8, 8)]));
+        let (pbox, places) = b.finish();
+        assert_eq!(pbox.tables.len(), 1, "small signature should be absorbed");
+        assert_eq!(places[big].table, places[small].table);
+        // The small frame pays extra slab bytes (padding).
+        assert_eq!(places[small].slab_size, places[big].slab_size);
+    }
+
+    #[test]
+    fn round_up_disabled_keeps_tables_separate() {
+        let cfg = PBoxConfig {
+            round_up_sharing: false,
+            ..PBoxConfig::default()
+        };
+        let mut b = PBoxBuilder::new(cfg);
+        b.add(&slots(&[(8, 8), (8, 8), (4, 4)]));
+        b.add(&slots(&[(8, 8), (8, 8)]));
+        let (pbox, _) = b.finish();
+        assert_eq!(pbox.tables.len(), 2);
+    }
+
+    #[test]
+    fn large_frames_sample_with_stride() {
+        let cfg = PBoxConfig {
+            max_table_len: 64,
+            ..PBoxConfig::default()
+        };
+        let mut b = PBoxBuilder::new(cfg);
+        // 8 slots -> 8! = 40320 > 64.
+        b.add(&slots(&[
+            (8, 8),
+            (4, 4),
+            (2, 2),
+            (1, 1),
+            (16, 8),
+            (32, 8),
+            (64, 16),
+            (128, 16),
+        ]));
+        let (pbox, places) = b.finish();
+        let t = &pbox.tables[places[0].table];
+        assert_eq!(t.logical_len, 64);
+        assert_eq!(t.rows.len(), 64);
+        assert_eq!(t.entropy_bits(), 6.0);
+    }
+
+    #[test]
+    fn image_serialization_layout() {
+        let mut b = PBoxBuilder::new(PBoxConfig::default());
+        b.add(&slots(&[(8, 8), (4, 4)])); // 2 cols, 2 rows -> 2 phys
+        let (pbox, places) = b.finish();
+        let t = &pbox.tables[places[0].table];
+        assert_eq!(pbox.image.len() as u64, t.rows.len() as u64 * t.row_bytes);
+        // Row 0, column 0 is the first u64.
+        let first = u64::from_le_bytes(pbox.image[..8].try_into().unwrap());
+        assert_eq!(first, t.rows[0].offsets[0]);
+    }
+
+    #[test]
+    fn placements_resolve_offsets_in_shared_image() {
+        let mut b = PBoxBuilder::new(PBoxConfig {
+            round_up_sharing: false,
+            ..PBoxConfig::default()
+        });
+        b.add(&slots(&[(4, 4)]));
+        b.add(&slots(&[(8, 8), (1, 1)]));
+        let (pbox, places) = b.finish();
+        assert_eq!(pbox.tables.len(), 2);
+        let offs: Vec<u64> = places.iter().map(|p| p.table_offset).collect();
+        assert_ne!(offs[0], offs[1]);
+        for p in &places {
+            assert!(p.table_offset < pbox.image.len() as u64);
+        }
+    }
+
+    #[test]
+    fn slab_size_covers_every_row() {
+        let mut b = PBoxBuilder::new(PBoxConfig::default());
+        b.add(&slots(&[(1, 1), (8, 8), (2, 2), (4, 4)]));
+        let (pbox, places) = b.finish();
+        let t = &pbox.tables[places[0].table];
+        for row in &t.rows {
+            assert!(row.total <= places[0].slab_size);
+        }
+    }
+
+    #[test]
+    fn rows_shuffled_away_from_lexical_order() {
+        // With 5 slots (120 logical rows) the shuffled order almost
+        // surely differs from sorted lexical order.
+        let mut b = PBoxBuilder::new(PBoxConfig::default());
+        b.add(&slots(&[(8, 8), (4, 4), (2, 2), (1, 1), (16, 8)]));
+        let (pbox, places) = b.finish();
+        let t = &pbox.tables[places[0].table];
+        let strictly_increasing_totals = t
+            .rows
+            .windows(2)
+            .all(|w| w[0].offsets <= w[1].offsets);
+        assert!(!strictly_increasing_totals, "rows appear unshuffled");
+    }
+
+    #[test]
+    fn single_slot_table_is_degenerate() {
+        let mut b = PBoxBuilder::new(PBoxConfig {
+            round_up_sharing: false,
+            ..PBoxConfig::default()
+        });
+        b.add(&slots(&[(64, 8)]));
+        let (pbox, places) = b.finish();
+        let t = &pbox.tables[places[0].table];
+        assert_eq!(t.logical_len, 1);
+        assert_eq!(places[0].entropy_bits, 0.0);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn columns_are_a_valid_assignment() {
+        let mut b = PBoxBuilder::new(PBoxConfig::default());
+        let specs = [(8, 8), (8, 8), (4, 4), (1, 1)];
+        let k = b.add(&slots(&specs));
+        let (pbox, places) = b.finish();
+        let p = &places[k];
+        let t = &pbox.tables[p.table];
+        // Distinct columns, each matching size/align.
+        let mut seen = std::collections::HashSet::new();
+        for (slot_i, &col) in p.columns.iter().enumerate() {
+            assert!(seen.insert(col));
+            assert_eq!(t.signature[col], specs[slot_i]);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The permutation engine (paper Algorithm 1).
+//!
+//! A permutation of `N` allocations is identified by its lexical rank
+//! `p_index ∈ [0, N!)`. The rank is decoded with the factorial number
+//! system: digit `k` (of weight `(N-1-k)!`) selects which of the
+//! remaining allocations is placed next. As each allocation is placed,
+//! the running byte index is aligned to the allocation's requirement —
+//! so different permutations produce different interior padding, an
+//! extra source of entropy the paper calls out.
+
+use crate::slots::AllocSlot;
+
+/// `n!` as `u128` (saturating; `None` above `34!` which overflows).
+pub fn factorial(n: usize) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for i in 2..=n as u128 {
+        acc = acc.checked_mul(i)?;
+    }
+    Some(acc)
+}
+
+/// Result of laying out one permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PermutedLayout {
+    /// `offsets[k]` = byte offset of the *k-th original* allocation
+    /// within the frame slab, for this permutation.
+    pub offsets: Vec<u64>,
+    /// Total bytes consumed by this permutation (with its padding).
+    pub total: u64,
+}
+
+/// Decode lexical rank `p_index` into a layout (paper Algorithm 1,
+/// `PERMUTE` + `ALIGN`).
+///
+/// # Panics
+///
+/// Panics if `p_index >= n!`.
+pub fn layout_for_rank(slots: &[AllocSlot], p_index: u128) -> PermutedLayout {
+    let n = slots.len();
+    let nfact = factorial(n).expect("slot count within factorial range");
+    assert!(p_index < nfact, "permutation rank out of range");
+    let mut temp = p_index;
+    let mut ind: u64 = 0;
+    let mut offsets = vec![0u64; n];
+    // Indexes of slots not yet placed, in original order.
+    let mut remaining: Vec<usize> = (0..n).collect();
+    for a_index in 0..n {
+        let curr_fact = factorial(n - 1 - a_index).expect("in range");
+        let e = (temp / curr_fact) as usize;
+        temp %= curr_fact;
+        let orig = remaining.remove(e);
+        let slot = &slots[orig];
+        ind = align(ind, slot.align);
+        offsets[orig] = ind;
+        ind += slot.size;
+    }
+    PermutedLayout {
+        offsets,
+        total: ind,
+    }
+}
+
+fn align(ind: u64, alignment: u64) -> u64 {
+    if ind % alignment == 0 {
+        ind
+    } else {
+        (ind / alignment + 1) * alignment
+    }
+}
+
+/// The order (original slot index per position) encoded by a rank —
+/// useful for tests and attack analyses.
+pub fn order_for_rank(n: usize, p_index: u128) -> Vec<usize> {
+    let nfact = factorial(n).expect("in range");
+    assert!(p_index < nfact);
+    let mut temp = p_index;
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    for a_index in 0..n {
+        let curr_fact = factorial(n - 1 - a_index).expect("in range");
+        let e = (temp / curr_fact) as usize;
+        temp %= curr_fact;
+        order.push(remaining.remove(e));
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn slots_abc() -> Vec<AllocSlot> {
+        vec![
+            AllocSlot::new("a", 4, 4),
+            AllocSlot::new("b", 8, 8),
+            AllocSlot::new("c", 1, 1),
+        ]
+    }
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), Some(1));
+        assert_eq!(factorial(1), Some(1));
+        assert_eq!(factorial(5), Some(120));
+        assert_eq!(factorial(10), Some(3_628_800));
+        assert!(factorial(40).is_none());
+    }
+
+    #[test]
+    fn rank_zero_is_original_order() {
+        assert_eq!(order_for_rank(4, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn last_rank_is_reversed_order() {
+        let n = 4;
+        let last = factorial(n).unwrap() - 1;
+        assert_eq!(order_for_rank(n, last), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn all_ranks_distinct_orders() {
+        let n = 4;
+        let mut seen = HashSet::new();
+        for r in 0..factorial(n).unwrap() {
+            assert!(seen.insert(order_for_rank(n, r)), "duplicate at rank {r}");
+        }
+        assert_eq!(seen.len(), 24);
+    }
+
+    #[test]
+    fn lexical_order_property() {
+        // Ranks enumerate permutations in lexicographic order.
+        let n = 3;
+        let orders: Vec<Vec<usize>> = (0..factorial(n).unwrap())
+            .map(|r| order_for_rank(n, r))
+            .collect();
+        let mut sorted = orders.clone();
+        sorted.sort();
+        assert_eq!(orders, sorted);
+    }
+
+    #[test]
+    fn layouts_respect_alignment() {
+        let slots = slots_abc();
+        for r in 0..factorial(3).unwrap() {
+            let l = layout_for_rank(&slots, r);
+            for (k, s) in slots.iter().enumerate() {
+                assert_eq!(
+                    l.offsets[k] % s.align,
+                    0,
+                    "rank {r}: slot {k} misaligned at {}",
+                    l.offsets[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layouts_never_overlap() {
+        let slots = slots_abc();
+        for r in 0..factorial(3).unwrap() {
+            let l = layout_for_rank(&slots, r);
+            let mut ranges: Vec<(u64, u64)> = slots
+                .iter()
+                .enumerate()
+                .map(|(k, s)| (l.offsets[k], l.offsets[k] + s.size))
+                .collect();
+            ranges.sort();
+            for w in ranges.windows(2) {
+                assert!(w[0].1 <= w[1].0, "overlap at rank {r}");
+            }
+            assert!(l.total >= ranges.last().unwrap().1);
+        }
+    }
+
+    #[test]
+    fn padding_varies_total_size() {
+        // (i8, i64): order a,b needs padding (1 -> align 8 -> 16 total);
+        // order b,a packs tighter (8 + 1 = 9).
+        let slots = vec![AllocSlot::new("a", 1, 1), AllocSlot::new("b", 8, 8)];
+        let l0 = layout_for_rank(&slots, 0);
+        let l1 = layout_for_rank(&slots, 1);
+        assert_eq!(l0.total, 16);
+        assert_eq!(l1.total, 9);
+    }
+
+    #[test]
+    fn relative_distances_change_across_ranks() {
+        let slots = slots_abc();
+        let dist = |r: u128| {
+            let l = layout_for_rank(&slots, r);
+            l.offsets[1] as i64 - l.offsets[0] as i64
+        };
+        let distances: HashSet<i64> = (0..6).map(dist).collect();
+        assert!(
+            distances.len() > 1,
+            "permutations must change relative distances"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rank out of range")]
+    fn out_of_range_rank_panics() {
+        layout_for_rank(&slots_abc(), 6);
+    }
+
+    #[test]
+    fn align_helper_matches_paper() {
+        assert_eq!(align(0, 8), 0);
+        assert_eq!(align(1, 8), 8);
+        assert_eq!(align(8, 8), 8);
+        assert_eq!(align(9, 4), 12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Discovery of stack allocations (paper §III-D, "Discovering Stack
+//! Allocations").
+
+use smokestack_ir::{Function, Inst};
+
+/// One fixed-size stack allocation eligible for layout randomization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocSlot {
+    /// Source-level variable name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Required alignment (power of two).
+    pub align: u64,
+}
+
+impl AllocSlot {
+    /// Construct a slot, normalizing a zero alignment to 1.
+    pub fn new(name: impl Into<String>, size: u64, align: u64) -> AllocSlot {
+        AllocSlot {
+            name: name.into(),
+            size,
+            align: align.max(1),
+        }
+    }
+}
+
+/// The randomizable stack frame of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameInfo {
+    /// Fixed-size randomizable slots, in original allocation order. The
+    /// `usize` is the instruction index of the alloca in the entry block.
+    pub slots: Vec<(usize, AllocSlot)>,
+    /// Whether the function also contains VLAs (randomized dynamically
+    /// with padding rather than through the P-BOX).
+    pub has_vla: bool,
+}
+
+impl FrameInfo {
+    /// Slots without their instruction indexes.
+    pub fn slot_list(&self) -> Vec<AllocSlot> {
+        self.slots.iter().map(|(_, s)| s.clone()).collect()
+    }
+}
+
+/// Collect the randomizable fixed-size allocas of `f`'s entry block,
+/// plus whether any VLAs exist anywhere in the function.
+///
+/// Only entry-block allocas participate in P-BOX permutation: the
+/// front-end hoists every fixed-size local there (the `clang -O0`
+/// shape), and anything else is either a VLA or instrumentation-owned.
+pub fn discover_frame(f: &Function) -> FrameInfo {
+    let mut slots = Vec::new();
+    for (i, inst) in f.block(Function::ENTRY).insts.iter().enumerate() {
+        if let Inst::Alloca {
+            ty,
+            count: None,
+            align,
+            name,
+            randomizable: true,
+            ..
+        } = inst
+        {
+            slots.push((i, AllocSlot::new(name.clone(), ty.size(), *align)));
+        }
+    }
+    let has_vla = f
+        .iter_insts()
+        .any(|(_, i)| matches!(i, Inst::Alloca { count: Some(_), randomizable: true, .. }));
+    FrameInfo { slots, has_vla }
+}
+
+/// Total frame bytes if the slots were laid out in order with alignment
+/// padding (the baseline layout).
+pub fn frame_size_in_order(slots: &[AllocSlot]) -> u64 {
+    let mut off = 0u64;
+    for s in slots {
+        off = smokestack_ir::align_to(off, s.align);
+        off += s.size;
+    }
+    off
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_ir::{Builder, Type, Value};
+
+    #[test]
+    fn discovers_entry_allocas_in_order() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        b.alloca(Type::I32, "a");
+        b.alloca(Type::array(Type::I8, 64), "buf");
+        b.alloca(Type::I64, "c");
+        b.ret(None);
+        let info = discover_frame(&f);
+        let names: Vec<&str> = info.slots.iter().map(|(_, s)| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "buf", "c"]);
+        assert!(!info.has_vla);
+    }
+
+    #[test]
+    fn skips_pinned_allocas() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let r = f.new_reg(Type::Ptr);
+        f.block_mut(Function::ENTRY).insts.push(Inst::Alloca {
+            result: r,
+            ty: Type::I64,
+            count: None,
+            align: 8,
+            name: "__ss_guard".into(),
+            randomizable: false,
+        });
+        let mut b = Builder::new(&mut f);
+        b.alloca(Type::I32, "x");
+        b.ret(None);
+        let info = discover_frame(&f);
+        assert_eq!(info.slots.len(), 1);
+        assert_eq!(info.slots[0].1.name, "x");
+    }
+
+    #[test]
+    fn detects_vla() {
+        let mut f = Function::new("f", vec![Type::I64], Type::Void);
+        let mut b = Builder::new(&mut f);
+        b.alloca_vla(Type::I8, Value::Reg(smokestack_ir::RegId(0)), "vla");
+        b.ret(None);
+        assert!(discover_frame(&f).has_vla);
+    }
+
+    #[test]
+    fn in_order_size_includes_padding() {
+        let slots = vec![
+            AllocSlot::new("a", 1, 1),
+            AllocSlot::new("b", 8, 8),
+            AllocSlot::new("c", 2, 2),
+        ];
+        // 0..1, pad to 8, 8..16, 16..18
+        assert_eq!(frame_size_in_order(&slots), 18);
+    }
+}

@@ -1,0 +1,85 @@
+//! Golden test: the exact instrumented IR shape for a small function,
+//! pinned via the textual printer. Guards against silent changes to the
+//! prologue the paper specifies (slab -> rng -> mask -> row fetch ->
+//! per-slot GEPs; see Figure 2).
+
+use smokestack_core::{harden, SmokestackConfig};
+use smokestack_minic::compile;
+
+#[test]
+fn instrumented_prologue_shape() {
+    let src = "int f(int a) { char buf[16]; buf[0] = a; return a; } int main() { return f(1); }";
+    let mut m = compile(src).unwrap();
+    harden(&mut m, &SmokestackConfig::default());
+    let f = m.func(m.func_by_name("f").unwrap());
+    let text = f.to_string();
+    let lines: Vec<&str> = text.lines().map(str::trim).collect();
+
+    // Guard slot first (inserted by the guard pass at the very top).
+    assert!(
+        lines[2].contains("alloca i64") && lines[2].contains("__ss_guard"),
+        "line: {}",
+        lines[2]
+    );
+    // Guard arming: key fetch, xor, store.
+    assert!(lines[3].contains("call guard_key"));
+    assert!(lines[4].contains("xor i64"));
+    assert!(lines[5].starts_with("store i64"));
+    // Slab allocation, pinned, 16-aligned.
+    assert!(
+        lines[6].contains("__ss_slab") && lines[6].contains("[pinned]"),
+        "line: {}",
+        lines[6]
+    );
+    assert!(lines[6].contains("align 16"));
+    // Per-invocation draw and row select.
+    assert!(lines[7].contains("call stack_rng"));
+    assert!(lines[8].contains("and i64"), "mask: {}", lines[8]);
+    assert!(lines[9].contains("mul i64"), "row stride: {}", lines[9]);
+    assert!(lines[10].contains("add i64"), "table offset: {}", lines[10]);
+    assert!(lines[11].contains("gep @g"), "row ptr into P-BOX: {}", lines[11]);
+    // Two original slots (spilled param `a`, then `buf`): gep/load/gep each.
+    assert!(lines[12].contains("= gep"));
+    assert!(lines[13].contains("= load i64"));
+    assert!(lines[14].contains("= gep"));
+    // Epilogue: every return is guarded by an identifier check.
+    assert!(text.contains("call guard_fail"));
+    assert!(text.contains("icmp ne i64"));
+}
+
+#[test]
+fn vla_pad_precedes_vla_in_ir() {
+    let src = "void f(int n) { char b[n]; b[0] = 1; } int main() { f(3); return 0; }";
+    let mut m = compile(src).unwrap();
+    harden(&mut m, &SmokestackConfig::default());
+    let f = m.func(m.func_by_name("f").unwrap());
+    let text = f.to_string();
+    let pad_pos = text.find("__ss_vla_pad").expect("pad present");
+    let vla_pos = text.find("\"b.vla\"").expect("vla present");
+    assert!(
+        pad_pos < vla_pos,
+        "pad must be allocated before the VLA:\n{text}"
+    );
+    // The pad draws fresh entropy.
+    let before_pad = &text[..pad_pos];
+    assert!(before_pad.matches("stack_rng").count() >= 1);
+}
+
+#[test]
+fn instrumentation_is_deterministic_per_build_seed() {
+    let src = "int main() { int a = 1; char b[32]; long c = 2; return a; }";
+    let build = |seed: u64| {
+        let mut m = compile(src).unwrap();
+        let cfg = SmokestackConfig {
+            pbox: smokestack_core::PBoxConfig {
+                build_seed: seed,
+                ..smokestack_core::PBoxConfig::default()
+            },
+            ..SmokestackConfig::default()
+        };
+        harden(&mut m, &cfg);
+        m.to_string()
+    };
+    assert_eq!(build(1), build(1), "same seed must give identical builds");
+    assert_ne!(build(1), build(2), "build seed must shuffle P-BOX rows");
+}

@@ -1,0 +1,381 @@
+//! Concrete random-source implementations: the insecure memory-based
+//! PRNG, AES-128 CTR (1 and 10 rounds), and simulated RDRAND.
+
+use crate::aes::Aes128;
+use crate::source::{RandomSource, SchemeKind};
+use crate::trng::TrueRandom;
+
+/// The insecure, memory-based PRNG ("pseudo" in the paper).
+///
+/// This is a plain xorshift64*; its entire state is one `u64` that the VM
+/// mirrors into attacker-readable data memory. An attacker who reads the
+/// state can predict every future permutation index — the ablation attack
+/// in `smokestack-attacks` does exactly that, reproducing the paper's
+/// argument for why memory-based PRNGs are unsafe under its threat model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Construct from a nonzero seed (zero is mapped to a fixed odd seed).
+    pub fn new(seed: u64) -> XorShift64 {
+        XorShift64 {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
+    }
+
+    /// Current state (what a memory-disclosure attack reads).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Overwrite the state (what a memory-corruption attack writes).
+    pub fn set_state(&mut self, s: u64) {
+        self.state = if s == 0 { 0x9e3779b97f4a7c15 } else { s };
+    }
+
+    /// Advance and return the next value. Public as a free function of
+    /// the state too (see [`XorShift64::step`]) so attack code can
+    /// replicate the generator from disclosed state.
+    pub fn next(&mut self) -> u64 {
+        let (next_state, out) = Self::step(self.state);
+        self.state = next_state;
+        out
+    }
+
+    /// The output multiplier (public — the algorithm is no secret).
+    pub const MULT: u64 = 0x2545f4914f6cdd1d;
+
+    /// One generator step from an arbitrary state: `(next_state, output)`.
+    ///
+    /// Attack code uses this to run the generator forward from a
+    /// disclosed state.
+    pub fn step(mut s: u64) -> (u64, u64) {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        (s, s.wrapping_mul(Self::MULT))
+    }
+
+    /// The output that was produced by the step that *led to* `state` —
+    /// i.e. the most recent draw an attacker can reconstruct after
+    /// disclosing the in-memory state (`output = state * MULT`).
+    pub fn output_of_state(state: u64) -> u64 {
+        state.wrapping_mul(Self::MULT)
+    }
+
+    /// Invert one generator step: given the state *after* a step,
+    /// recover the state before it. Lets an attacker walk the generator
+    /// backwards from a single disclosure.
+    pub fn unstep(state: u64) -> u64 {
+        // Invert s ^= s >> 27 (one application suffices: 27*2 > 64… use
+        // iterative refinement for each stage).
+        let mut s = state;
+        s = invert_xorshift_right(s, 27);
+        s = invert_xorshift_left(s, 25);
+        s = invert_xorshift_right(s, 12);
+        s
+    }
+}
+
+fn invert_xorshift_right(mut v: u64, shift: u32) -> u64 {
+    // y = x ^ (x >> s)  =>  recover x by repeated re-application.
+    let mut recovered = v;
+    for _ in 0..(64 / shift + 1) {
+        recovered = v ^ (recovered >> shift);
+    }
+    v = recovered;
+    v
+}
+
+fn invert_xorshift_left(mut v: u64, shift: u32) -> u64 {
+    let mut recovered = v;
+    for _ in 0..(64 / shift + 1) {
+        recovered = v ^ (recovered << shift);
+    }
+    v = recovered;
+    v
+}
+
+impl RandomSource for XorShift64 {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Pseudo
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn disclosable_state(&self) -> Option<u64> {
+        Some(self.state)
+    }
+}
+
+/// AES-128 counter-mode generator with a configurable round count.
+///
+/// Key and nonce are held **outside** the simulated data memory (the
+/// paper keeps them in registers via AES-NI); the universal call counter
+/// triggers a re-key from the true-random source every
+/// `rekey_interval` draws, mirroring §III-D.
+pub struct Aes128Ctr<T: TrueRandom> {
+    aes: Aes128,
+    nonce: u128,
+    counter: u32,
+    rounds: u32,
+    rekey_interval: u32,
+    draws: u32,
+    trng: T,
+    /// One encrypted block yields two u64 outputs; the spare is cached.
+    spare: Option<u64>,
+}
+
+impl<T: TrueRandom> Aes128Ctr<T> {
+    /// Default number of draws between re-keys.
+    pub const DEFAULT_REKEY_INTERVAL: u32 = 1 << 20;
+
+    /// Create a generator with `rounds` AES rounds (1 for "AES-1",
+    /// 10 for "AES-10"), keyed from `trng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= rounds <= 10`.
+    pub fn new(rounds: u32, mut trng: T) -> Aes128Ctr<T> {
+        assert!((1..=10).contains(&rounds), "rounds must be in 1..=10");
+        let mut key = [0u8; 16];
+        trng.fill(&mut key);
+        let mut nonce_bytes = [0u8; 16];
+        trng.fill(&mut nonce_bytes);
+        Aes128Ctr {
+            aes: Aes128::new(key),
+            nonce: u128::from_le_bytes(nonce_bytes) & !0xffff_ffff,
+            counter: 0,
+            rounds,
+            rekey_interval: Self::DEFAULT_REKEY_INTERVAL,
+            draws: 0,
+            trng,
+            spare: None,
+        }
+    }
+
+    /// Override the re-key interval (draws between fresh key/nonce).
+    pub fn with_rekey_interval(mut self, interval: u32) -> Aes128Ctr<T> {
+        assert!(interval > 0, "rekey interval must be positive");
+        self.rekey_interval = interval;
+        self
+    }
+
+    /// Number of AES rounds in use.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    fn rekey(&mut self) {
+        let mut key = [0u8; 16];
+        self.trng.fill(&mut key);
+        let mut nonce_bytes = [0u8; 16];
+        self.trng.fill(&mut nonce_bytes);
+        self.aes = Aes128::new(key);
+        self.nonce = u128::from_le_bytes(nonce_bytes) & !0xffff_ffff;
+        self.counter = 0;
+        self.spare = None;
+    }
+}
+
+impl<T: TrueRandom> RandomSource for Aes128Ctr<T> {
+    fn kind(&self) -> SchemeKind {
+        if self.rounds == 1 {
+            SchemeKind::Aes1
+        } else {
+            SchemeKind::Aes10
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        self.draws += 1;
+        if self.draws >= self.rekey_interval {
+            self.draws = 0;
+            self.rekey();
+        }
+        let block_in = (self.nonce | self.counter as u128).to_le_bytes();
+        self.counter = self.counter.wrapping_add(1);
+        let block = self.aes.encrypt_block_rounds(block_in, self.rounds);
+        let lo = u64::from_le_bytes(block[..8].try_into().expect("8 bytes"));
+        let hi = u64::from_le_bytes(block[8..].try_into().expect("8 bytes"));
+        self.spare = Some(hi);
+        lo
+    }
+}
+
+/// Simulated RDRAND: a fresh true-random value per invocation, at the
+/// modelled 265.6-cycle latency of the hardware instruction.
+pub struct Rdrand<T: TrueRandom> {
+    trng: T,
+}
+
+impl<T: TrueRandom> Rdrand<T> {
+    /// Wrap a true-random source.
+    pub fn new(trng: T) -> Rdrand<T> {
+        Rdrand { trng }
+    }
+}
+
+impl<T: TrueRandom> RandomSource for Rdrand<T> {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Rdrand
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.trng.next_u64()
+    }
+}
+
+/// Build the scheme named by `kind`, seeded from a [`TrueRandom`] source.
+pub fn build_source<T: TrueRandom + 'static>(
+    kind: SchemeKind,
+    mut trng: T,
+) -> Box<dyn RandomSource> {
+    match kind {
+        SchemeKind::Pseudo => Box::new(XorShift64::new(trng.next_u64())),
+        SchemeKind::Aes1 => Box::new(Aes128Ctr::new(1, trng)),
+        SchemeKind::Aes10 => Box::new(Aes128Ctr::new(10, trng)),
+        SchemeKind::Rdrand => Box::new(Rdrand::new(trng)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trng::SeededTrng;
+
+    #[test]
+    fn xorshift_predictable_from_state() {
+        let mut gen = XorShift64::new(1234);
+        let disclosed = gen.state();
+        // Attacker replicates the stream from the disclosed state.
+        let (s1, predicted) = XorShift64::step(disclosed);
+        assert_eq!(gen.next(), predicted);
+        let (_, predicted2) = XorShift64::step(s1);
+        assert_eq!(gen.next(), predicted2);
+    }
+
+    #[test]
+    fn xorshift_unstep_inverts_step() {
+        for seed in [1u64, 42, 0xdead_beef, u64::MAX] {
+            let (next, _) = XorShift64::step(seed);
+            assert_eq!(XorShift64::unstep(next), seed);
+        }
+    }
+
+    #[test]
+    fn xorshift_output_recoverable_from_state() {
+        let mut g = XorShift64::new(77);
+        let out = g.next();
+        // Attacker discloses the post-draw state and reconstructs the
+        // draw that produced it.
+        assert_eq!(XorShift64::output_of_state(g.state()), out);
+    }
+
+    #[test]
+    fn xorshift_zero_seed_handled() {
+        let mut g = XorShift64::new(0);
+        assert_ne!(g.next(), 0);
+    }
+
+    #[test]
+    fn aes_ctr_streams_differ_by_rounds() {
+        let a1: Vec<u64> = {
+            let mut g = Aes128Ctr::new(1, SeededTrng::new(9));
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        let a10: Vec<u64> = {
+            let mut g = Aes128Ctr::new(10, SeededTrng::new(9));
+            (0..8).map(|_| g.next_u64()).collect()
+        };
+        assert_ne!(a1, a10);
+    }
+
+    #[test]
+    fn aes_ctr_deterministic_under_seeded_trng() {
+        let mut a = Aes128Ctr::new(10, SeededTrng::new(5));
+        let mut b = Aes128Ctr::new(10, SeededTrng::new(5));
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn aes_ctr_no_short_cycles() {
+        let mut g = Aes128Ctr::new(10, SeededTrng::new(1));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            assert!(seen.insert(g.next_u64()), "keystream repeated");
+        }
+    }
+
+    #[test]
+    fn rekey_changes_stream() {
+        let mut g = Aes128Ctr::new(10, SeededTrng::new(3)).with_rekey_interval(4);
+        let vals: Vec<u64> = (0..64).map(|_| g.next_u64()).collect();
+        let unique: std::collections::HashSet<_> = vals.iter().collect();
+        assert_eq!(unique.len(), vals.len());
+    }
+
+    #[test]
+    fn rdrand_draws_fresh_values() {
+        let mut r = Rdrand::new(SeededTrng::new(7));
+        assert_ne!(r.next_u64(), r.next_u64());
+        assert_eq!(r.kind(), SchemeKind::Rdrand);
+        assert_eq!(r.disclosable_state(), None);
+    }
+
+    #[test]
+    fn aes_ctr_bits_roughly_balanced() {
+        // Not a randomness test suite — just a sanity check that the
+        // keystream is not obviously biased.
+        let mut g = Aes128Ctr::new(10, SeededTrng::new(31));
+        let mut ones = 0u64;
+        const N: u64 = 4096;
+        for _ in 0..N {
+            ones += g.next_u64().count_ones() as u64;
+        }
+        let expected = N * 32;
+        let dev = ones.abs_diff(expected);
+        assert!(dev < expected / 50, "bit bias too large: {ones} vs {expected}");
+    }
+
+    #[test]
+    fn masked_draws_cover_table_indices() {
+        // Draw & mask must hit every row of a small table eventually —
+        // the property the instrumentation's pow2 indexing relies on.
+        let mut g = Aes128Ctr::new(10, SeededTrng::new(5));
+        let mask = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..512 {
+            seen.insert(g.next_u64() & mask);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn build_source_kinds() {
+        for kind in SchemeKind::ALL {
+            let src = build_source(kind, SeededTrng::new(11));
+            assert_eq!(src.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn only_pseudo_discloses_state() {
+        for kind in SchemeKind::ALL {
+            let src = build_source(kind, SeededTrng::new(2));
+            assert_eq!(
+                src.disclosable_state().is_some(),
+                kind == SchemeKind::Pseudo
+            );
+        }
+    }
+}

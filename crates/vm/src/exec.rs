@@ -1,0 +1,1383 @@
+//! The interpreter: executes IR over the flat memory with cycle
+//! accounting.
+
+use std::collections::HashMap;
+
+use smokestack_ir::{
+    BinOp, BlockId, Callee, CastKind, CmpPred, FuncId, Function, GlobalInit, Inst, IntWidth,
+    Intrinsic, Module, RegId, Terminator, Value,
+};
+#[cfg(test)]
+use smokestack_ir::Type;
+use smokestack_srng::{build_source, RandomSource, SchemeKind, SeededTrng, XorShift64};
+
+use crate::cycles::{CostModel, CycleBreakdown};
+use crate::io::{InputSource, OutputEvent};
+use crate::mem::{layout, MemConfig, MemFault, Memory};
+
+/// Why a run stopped abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Memory access outside every segment or a write to rodata — the
+    /// simulated SIGSEGV.
+    Mem(MemFault),
+    /// Stack segment exhausted (or unpayable VLA size).
+    StackOverflow,
+    /// Integer division by zero.
+    DivByZero,
+    /// Instruction budget exhausted (runaway loop).
+    OutOfFuel,
+    /// Indirect call through a value that is not a function address.
+    BadIndirectCall(u64),
+    /// A Smokestack function-identifier check failed (§III-D.2).
+    GuardViolation {
+        /// Function whose epilogue check fired.
+        func: String,
+    },
+    /// A stack canary check failed (baseline defense).
+    CanarySmashed {
+        /// Function whose canary check fired.
+        func: String,
+    },
+    /// An `unreachable` terminator was executed.
+    UnreachableExecuted,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Mem(m) => write!(f, "memory fault: {m}"),
+            FaultKind::StackOverflow => write!(f, "stack overflow"),
+            FaultKind::DivByZero => write!(f, "division by zero"),
+            FaultKind::OutOfFuel => write!(f, "out of fuel"),
+            FaultKind::BadIndirectCall(a) => write!(f, "bad indirect call to {a:#x}"),
+            FaultKind::GuardViolation { func } => {
+                write!(f, "smokestack guard violation in `{func}`")
+            }
+            FaultKind::CanarySmashed { func } => write!(f, "stack canary smashed in `{func}`"),
+            FaultKind::UnreachableExecuted => write!(f, "unreachable executed"),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exit {
+    /// The entry function returned this value.
+    Return(u64),
+    /// The entry function (of void return type) returned.
+    ReturnVoid,
+    /// The program called `exit(code)`.
+    Exited(i64),
+    /// The program crashed or a defense fired.
+    Fault(FaultKind),
+}
+
+impl Exit {
+    /// Whether the program terminated without a fault.
+    pub fn is_clean(&self) -> bool {
+        !matches!(self, Exit::Fault(_))
+    }
+
+    /// Whether a *defense* (guard or canary) terminated the program.
+    pub fn is_defense_detection(&self) -> bool {
+        matches!(
+            self,
+            Exit::Fault(FaultKind::GuardViolation { .. })
+                | Exit::Fault(FaultKind::CanarySmashed { .. })
+        )
+    }
+}
+
+/// One recorded stack allocation (enabled by
+/// [`VmConfig::record_allocas`]); used by analyses and by attack code as
+/// the product of a memory-disclosure probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocaRecord {
+    /// Function name.
+    pub func: String,
+    /// Source-level variable name.
+    pub var: String,
+    /// Address handed to the program.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Call-depth at allocation time.
+    pub depth: usize,
+}
+
+/// Everything observable about a finished run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// How the program ended.
+    pub exit: Exit,
+    /// Simulated time in cost units ([`crate::cycles::DECI`] per cycle).
+    pub decicycles: u64,
+    /// Instructions executed.
+    pub insts: u64,
+    /// Program output events in order.
+    pub output: Vec<OutputEvent>,
+    /// Peak resident set (bytes) — the `ru_maxrss` analog.
+    pub peak_rss: u64,
+    /// Deepest call stack reached.
+    pub max_call_depth: usize,
+    /// Number of `stack_rng` draws (one per hardened invocation).
+    pub rng_invocations: u64,
+    /// Where the cycles went — the OProfile-style breakdown (§V-A).
+    pub breakdown: CycleBreakdown,
+    /// Recorded allocations, if enabled.
+    pub alloca_trace: Vec<AllocaRecord>,
+}
+
+impl RunOutcome {
+    /// Simulated cycles as the paper reports them.
+    pub fn cycles(&self) -> f64 {
+        self.decicycles as f64 / crate::cycles::DECI as f64
+    }
+
+    /// All output rendered as one string.
+    pub fn output_text(&self) -> String {
+        self.output.iter().map(|e| e.to_text()).collect()
+    }
+}
+
+/// VM configuration.
+pub struct VmConfig {
+    /// Which Table I randomness scheme services `stack_rng`.
+    pub scheme: SchemeKind,
+    /// Seed for the simulated true-random source (keys, guard key,
+    /// canary, defense randomness). Experiments vary this per trial.
+    pub trng_seed: u64,
+    /// Extra offset subtracted from the initial stack pointer (used by
+    /// the stack-base-randomization baseline defense).
+    pub stack_base_offset: u64,
+    /// Instruction budget.
+    pub fuel: u64,
+    /// Memory sizes.
+    pub mem: MemConfig,
+    /// Cycle-cost parameters.
+    pub cost: CostModel,
+    /// Record every stack allocation (address/size/name).
+    pub record_allocas: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> VmConfig {
+        VmConfig {
+            scheme: SchemeKind::Aes10,
+            trng_seed: 0x5eed,
+            stack_base_offset: 0,
+            fuel: 200_000_000,
+            mem: MemConfig::default(),
+            cost: CostModel::default(),
+            record_allocas: false,
+        }
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    regs: Vec<u64>,
+    block: BlockId,
+    idx: usize,
+    entry_sp: u64,
+    ret_reg: Option<RegId>,
+}
+
+/// The virtual machine: owns a loaded module image and executes it.
+pub struct Vm {
+    module: Module,
+    mem: Memory,
+    cost: CostModel,
+    scheme: SchemeKind,
+    rng: Box<dyn RandomSource>,
+    guard_key: u64,
+    canary: u64,
+    stack_base_offset: u64,
+    fuel: u64,
+    record_allocas: bool,
+    global_addrs: Vec<u64>,
+    slab_funcs: Vec<crate::cycles::SlabClass>,
+    // Heap allocator state.
+    heap_next: u64,
+    free_lists: HashMap<u64, Vec<u64>>,
+    block_sizes: HashMap<u64, u64>,
+    pending_exit: Option<i64>,
+    // Run accounting.
+    decicycles: u64,
+    breakdown: CycleBreakdown,
+    insts: u64,
+    input_requests: u64,
+    rng_invocations: u64,
+    output: Vec<OutputEvent>,
+    alloca_trace: Vec<AllocaRecord>,
+    max_depth: usize,
+    sp: u64,
+}
+
+impl Vm {
+    /// Load `module` into a fresh address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the globals do not fit the configured segments.
+    pub fn new(module: Module, cfg: VmConfig) -> Vm {
+        let mut trng = SeededTrng::new(cfg.trng_seed);
+        use smokestack_srng::TrueRandom;
+        let guard_key = trng.next_u64();
+        let canary = trng.next_u64() | 0xff; // never zero
+        let pseudo_seed = trng.next_u64();
+        let rng = build_source(cfg.scheme, trng);
+
+        let mut mem = Memory::new(cfg.mem);
+        // Lay out globals.
+        let mut ro_cursor = layout::RODATA_BASE;
+        // First 8 bytes of data hold the memory-resident pseudo-PRNG state.
+        let mut data_cursor = layout::DATA_BASE + 8;
+        let mut global_addrs = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            let (cursor, base) = if g.readonly {
+                (&mut ro_cursor, layout::RODATA_BASE)
+            } else {
+                (&mut data_cursor, layout::DATA_BASE)
+            };
+            let _ = base;
+            *cursor = smokestack_ir::align_to(*cursor, g.ty.align().max(1));
+            let addr = *cursor;
+            global_addrs.push(addr);
+            let size = g.ty.size();
+            if let GlobalInit::Bytes(b) = &g.init {
+                assert!(b.len() as u64 <= size, "initializer larger than global");
+                mem.write_init(addr, b).expect("global fits segment");
+            }
+            *cursor += size;
+        }
+        mem.set_rodata_used(ro_cursor - layout::RODATA_BASE);
+        mem.set_data_used(data_cursor - layout::DATA_BASE);
+        mem.write_init(layout::DATA_BASE, &pseudo_seed.to_le_bytes())
+            .expect("pseudo state slot");
+
+        let slab_funcs = module
+            .funcs
+            .iter()
+            .map(|f| {
+                let slab_size = f.iter_insts().find_map(|(_, i)| match i {
+                    Inst::Alloca {
+                        randomizable: false,
+                        name,
+                        ty,
+                        ..
+                    } if name == "__ss_slab" => Some(ty.size()),
+                    _ => None,
+                });
+                cfg.cost.classify_slab(slab_size)
+            })
+            .collect();
+
+        Vm {
+            module,
+            mem,
+            cost: cfg.cost,
+            scheme: cfg.scheme,
+            rng,
+            guard_key,
+            canary,
+            stack_base_offset: cfg.stack_base_offset,
+            fuel: cfg.fuel,
+            record_allocas: cfg.record_allocas,
+            global_addrs,
+            slab_funcs,
+            heap_next: 0,
+            free_lists: HashMap::new(),
+            block_sizes: HashMap::new(),
+            pending_exit: None,
+            decicycles: 0,
+            breakdown: CycleBreakdown::default(),
+            insts: 0,
+            input_requests: 0,
+            rng_invocations: 0,
+            output: Vec::new(),
+            alloca_trace: Vec::new(),
+            max_depth: 0,
+            sp: 0,
+        }
+    }
+
+    /// The randomness scheme in use.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// Post-mortem access to memory (attacker reads, assertions).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (attacker writes between runs).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Address of a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a global of the module.
+    pub fn global_addr(&self, name: &str) -> u64 {
+        let idx = self
+            .module
+            .globals
+            .iter()
+            .position(|g| g.name == name)
+            .unwrap_or_else(|| panic!("no global named {name}"));
+        self.global_addrs[idx]
+    }
+
+    /// Run `main` with no arguments and scripted (possibly empty) input.
+    pub fn run_main(&mut self, input: impl InputSource + 'static) -> RunOutcome {
+        self.run("main", &[], input)
+    }
+
+    /// Run the named entry function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function does not exist or the argument count is
+    /// wrong.
+    pub fn run(
+        &mut self,
+        entry: &str,
+        args: &[u64],
+        mut input: impl InputSource + 'static,
+    ) -> RunOutcome {
+        let fid = self
+            .module
+            .func_by_name(entry)
+            .unwrap_or_else(|| panic!("no function named {entry}"));
+        let f = self.module.func(fid);
+        assert_eq!(f.params.len(), args.len(), "entry argument count");
+        let mut regs = vec![0u64; f.reg_count()];
+        regs[..args.len()].copy_from_slice(args);
+        self.sp = layout::STACK_TOP - layout::STACK_START_GAP - self.stack_base_offset;
+        self.sp &= !0xf;
+        let mut frames = vec![Frame {
+            func: fid,
+            regs,
+            block: Function::ENTRY,
+            idx: 0,
+            entry_sp: self.sp,
+            ret_reg: None,
+        }];
+        self.max_depth = 1;
+        let exit = self.exec_loop(&mut frames, &mut input);
+        RunOutcome {
+            exit,
+            decicycles: self.decicycles,
+            insts: self.insts,
+            output: std::mem::take(&mut self.output),
+            peak_rss: self.mem.peak_rss(),
+            max_call_depth: self.max_depth,
+            rng_invocations: self.rng_invocations,
+            breakdown: self.breakdown,
+            alloca_trace: std::mem::take(&mut self.alloca_trace),
+        }
+    }
+
+    fn exec_loop(&mut self, frames: &mut Vec<Frame>, input: &mut dyn InputSource) -> Exit {
+        loop {
+            if self.insts >= self.fuel {
+                return Exit::Fault(FaultKind::OutOfFuel);
+            }
+            self.insts += 1;
+
+            let fr = frames.last().expect("nonempty call stack");
+            let func = &self.module.funcs[fr.func.0 as usize];
+            let block = func.block(fr.block);
+
+            if fr.idx >= block.insts.len() {
+                // Execute terminator.
+                let c = self.cost.term_cost(&block.term);
+                self.decicycles += c;
+                self.breakdown.control += c;
+                match block.term.clone() {
+                    Terminator::Br(b) => {
+                        let fr = frames.last_mut().expect("frame");
+                        fr.block = b;
+                        fr.idx = 0;
+                    }
+                    Terminator::CondBr {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        let v = self.eval(frames.last().expect("frame"), &cond);
+                        let fr = frames.last_mut().expect("frame");
+                        fr.block = if v != 0 { then_bb } else { else_bb };
+                        fr.idx = 0;
+                    }
+                    Terminator::Ret(v) => {
+                        let val = v.map(|v| self.eval(frames.last().expect("frame"), &v));
+                        let done = frames.last().expect("frame");
+                        self.sp = done.entry_sp;
+                        let ret_reg = done.ret_reg;
+                        frames.pop();
+                        match frames.last_mut() {
+                            None => {
+                                return match val {
+                                    Some(v) => Exit::Return(v),
+                                    None => Exit::ReturnVoid,
+                                };
+                            }
+                            Some(caller) => {
+                                if let (Some(r), Some(v)) = (ret_reg, val) {
+                                    caller.regs[r.0 as usize] = v;
+                                }
+                            }
+                        }
+                    }
+                    Terminator::Unreachable => {
+                        return Exit::Fault(FaultKind::UnreachableExecuted);
+                    }
+                }
+                continue;
+            }
+
+            let inst = block.insts[fr.idx].clone();
+            let c = self.cost.inst_cost(&inst);
+            self.decicycles += c;
+            match &inst {
+                Inst::Call { .. } => self.breakdown.control += c,
+                _ => self.breakdown.alu += c,
+            }
+
+            // Advance past this instruction *before* executing it so that
+            // calls resume correctly.
+            frames.last_mut().expect("frame").idx += 1;
+
+            if let Err(fault) = self.exec_inst(&inst, frames, input) {
+                return Exit::Fault(fault);
+            }
+            if let Some(code) = self.pending_exit.take() {
+                return Exit::Exited(code);
+            }
+        }
+    }
+
+    fn eval(&self, fr: &Frame, v: &Value) -> u64 {
+        match v {
+            Value::Reg(r) => fr.regs[r.0 as usize],
+            Value::ConstInt(c, w) => w.truncate(*c as u64),
+            Value::Global(g) => self.global_addrs[g.0 as usize],
+            Value::Func(f) => layout::CODE_BASE + 16 * f.0 as u64,
+            Value::NullPtr => 0,
+        }
+    }
+
+    fn charge_mem(&mut self, fr: &Frame, addr: u64) {
+        let slab = self.slab_funcs[fr.func.0 as usize];
+        let is_stack = addr >= self.mem.stack_base() && addr < layout::STACK_TOP;
+        let c = self.cost.mem_cost(slab, is_stack);
+        self.decicycles += c;
+        self.breakdown.mem += c;
+    }
+
+    fn set_reg(frames: &mut [Frame], r: RegId, v: u64) {
+        let fr = frames.last_mut().expect("frame");
+        fr.regs[r.0 as usize] = v;
+    }
+
+    fn exec_inst(
+        &mut self,
+        inst: &Inst,
+        frames: &mut Vec<Frame>,
+        input: &mut dyn InputSource,
+    ) -> Result<(), FaultKind> {
+        let fr = frames.last().expect("frame");
+        match inst {
+            Inst::Alloca {
+                result,
+                ty,
+                count,
+                align,
+                name,
+                ..
+            } => {
+                let n = count.as_ref().map(|c| self.eval(fr, c)).unwrap_or(1);
+                let size = ty
+                    .size()
+                    .checked_mul(n)
+                    .ok_or(FaultKind::StackOverflow)?;
+                let align = (*align).max(1);
+                let new_sp = self
+                    .sp
+                    .checked_sub(size)
+                    .ok_or(FaultKind::StackOverflow)?
+                    & !(align - 1);
+                if new_sp < self.mem.stack_base() {
+                    return Err(FaultKind::StackOverflow);
+                }
+                self.sp = new_sp;
+                self.mem.note_stack_pointer(new_sp);
+                if self.record_allocas {
+                    let func_name = self.module.funcs[fr.func.0 as usize].name.clone();
+                    self.alloca_trace.push(AllocaRecord {
+                        func: func_name,
+                        var: name.clone(),
+                        addr: new_sp,
+                        size,
+                        depth: frames.len(),
+                    });
+                }
+                Self::set_reg(frames, *result, new_sp);
+            }
+            Inst::Load { result, ty, ptr } => {
+                let addr = self.eval(fr, ptr);
+                self.charge_mem(fr, addr);
+                let v = self
+                    .mem
+                    .read_uint(addr, ty.size())
+                    .map_err(FaultKind::Mem)?;
+                Self::set_reg(frames, *result, v);
+            }
+            Inst::Store { ty, val, ptr } => {
+                let addr = self.eval(fr, ptr);
+                self.charge_mem(fr, addr);
+                let v = self.eval(fr, val);
+                self.mem
+                    .write_uint(addr, v, ty.size())
+                    .map_err(FaultKind::Mem)?;
+            }
+            Inst::Gep {
+                result,
+                base,
+                offset,
+            } => {
+                let b = self.eval(fr, base);
+                let o = self.eval(fr, offset);
+                Self::set_reg(frames, *result, b.wrapping_add(o));
+            }
+            Inst::Bin {
+                result,
+                op,
+                width,
+                lhs,
+                rhs,
+            } => {
+                let a = self.eval(fr, lhs);
+                let b = self.eval(fr, rhs);
+                let v = Self::binop(*op, *width, a, b)?;
+                Self::set_reg(frames, *result, v);
+            }
+            Inst::Icmp {
+                result,
+                pred,
+                width,
+                lhs,
+                rhs,
+            } => {
+                let a = self.eval(fr, lhs);
+                let b = self.eval(fr, rhs);
+                let v = Self::icmp(*pred, *width, a, b);
+                Self::set_reg(frames, *result, v as u64);
+            }
+            Inst::Cast {
+                result,
+                kind,
+                to,
+                val,
+            } => {
+                let v = self.eval(fr, val);
+                let out = match kind {
+                    CastKind::ZextOrTrunc => match to.int_width() {
+                        Some(w) => w.truncate(v),
+                        None => v,
+                    },
+                    CastKind::SextFrom(src) => {
+                        let wide = src.sext(src.truncate(v)) as u64;
+                        match to.int_width() {
+                            Some(w) => w.truncate(wide),
+                            None => wide,
+                        }
+                    }
+                    CastKind::PtrToInt | CastKind::IntToPtr => v,
+                };
+                Self::set_reg(frames, *result, out);
+            }
+            Inst::Call {
+                result,
+                callee,
+                args,
+            } => {
+                let argv: Vec<u64> = args.iter().map(|a| self.eval(fr, a)).collect();
+                match callee {
+                    Callee::Intrinsic(i) => {
+                        let ret = self.exec_intrinsic(*i, &argv, frames, input)?;
+                        if let (Some(r), Some(v)) = (result, ret) {
+                            Self::set_reg(frames, *r, v);
+                        }
+                    }
+                    Callee::Direct(fid) => {
+                        self.push_frame(frames, *fid, &argv, *result)?;
+                    }
+                    Callee::Indirect(target) => {
+                        let addr = self.eval(fr, target);
+                        let off = addr.wrapping_sub(layout::CODE_BASE);
+                        if off % 16 != 0 || (off / 16) as usize >= self.module.funcs.len() {
+                            return Err(FaultKind::BadIndirectCall(addr));
+                        }
+                        let fid = FuncId((off / 16) as u32);
+                        if self.module.func(fid).params.len() != argv.len() {
+                            return Err(FaultKind::BadIndirectCall(addr));
+                        }
+                        self.push_frame(frames, fid, &argv, *result)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn push_frame(
+        &mut self,
+        frames: &mut Vec<Frame>,
+        fid: FuncId,
+        argv: &[u64],
+        ret_reg: Option<RegId>,
+    ) -> Result<(), FaultKind> {
+        if frames.len() >= 100_000 {
+            return Err(FaultKind::StackOverflow);
+        }
+        let f = self.module.func(fid);
+        let mut regs = vec![0u64; f.reg_count()];
+        regs[..argv.len()].copy_from_slice(argv);
+        frames.push(Frame {
+            func: fid,
+            regs,
+            block: Function::ENTRY,
+            idx: 0,
+            entry_sp: self.sp,
+            ret_reg,
+        });
+        self.max_depth = self.max_depth.max(frames.len());
+        Ok(())
+    }
+
+    fn binop(op: BinOp, w: IntWidth, a: u64, b: u64) -> Result<u64, FaultKind> {
+        let ua = w.truncate(a);
+        let ub = w.truncate(b);
+        let sa = w.sext(ua);
+        let sb = w.sext(ub);
+        let shift_mask = (w.bits() - 1) as u64;
+        let v = match op {
+            BinOp::Add => ua.wrapping_add(ub),
+            BinOp::Sub => ua.wrapping_sub(ub),
+            BinOp::Mul => ua.wrapping_mul(ub),
+            BinOp::SDiv => {
+                if sb == 0 {
+                    return Err(FaultKind::DivByZero);
+                }
+                sa.wrapping_div(sb) as u64
+            }
+            BinOp::UDiv => {
+                if ub == 0 {
+                    return Err(FaultKind::DivByZero);
+                }
+                ua / ub
+            }
+            BinOp::SRem => {
+                if sb == 0 {
+                    return Err(FaultKind::DivByZero);
+                }
+                sa.wrapping_rem(sb) as u64
+            }
+            BinOp::URem => {
+                if ub == 0 {
+                    return Err(FaultKind::DivByZero);
+                }
+                ua % ub
+            }
+            BinOp::And => ua & ub,
+            BinOp::Or => ua | ub,
+            BinOp::Xor => ua ^ ub,
+            BinOp::Shl => ua << (ub & shift_mask),
+            BinOp::LShr => ua >> (ub & shift_mask),
+            BinOp::AShr => (sa >> (ub & shift_mask)) as u64,
+        };
+        Ok(w.truncate(v))
+    }
+
+    fn icmp(pred: CmpPred, w: IntWidth, a: u64, b: u64) -> bool {
+        let ua = w.truncate(a);
+        let ub = w.truncate(b);
+        let sa = w.sext(ua);
+        let sb = w.sext(ub);
+        match pred {
+            CmpPred::Eq => ua == ub,
+            CmpPred::Ne => ua != ub,
+            CmpPred::Slt => sa < sb,
+            CmpPred::Sle => sa <= sb,
+            CmpPred::Sgt => sa > sb,
+            CmpPred::Sge => sa >= sb,
+            CmpPred::Ult => ua < ub,
+            CmpPred::Ule => ua <= ub,
+            CmpPred::Ugt => ua > ub,
+            CmpPred::Uge => ua >= ub,
+        }
+    }
+
+    fn exec_intrinsic(
+        &mut self,
+        which: Intrinsic,
+        argv: &[u64],
+        frames: &mut [Frame],
+        input: &mut dyn InputSource,
+    ) -> Result<Option<u64>, FaultKind> {
+        match which {
+            Intrinsic::GetInput | Intrinsic::ReadLine => {
+                let (ptr, max) = (argv[0], argv[1]);
+                let idx = self.input_requests;
+                self.input_requests += 1;
+                let mut bytes = input.provide(&mut self.mem, idx, max);
+                bytes.truncate(max as usize);
+                if !bytes.is_empty() {
+                    self.mem.write(ptr, &bytes).map_err(FaultKind::Mem)?;
+                }
+                let c = self.cost.bulk_cost(which, bytes.len() as u64);
+                self.decicycles += c;
+                self.breakdown.bulk += c;
+                Ok(Some(bytes.len() as u64))
+            }
+            Intrinsic::PrintInt => {
+                self.output.push(OutputEvent::Int(argv[0] as i64));
+                Ok(None)
+            }
+            Intrinsic::PrintStr => {
+                let len = self.mem.strlen(argv[0]).map_err(FaultKind::Mem)?;
+                let bytes = self.mem.read(argv[0], len).map_err(FaultKind::Mem)?.to_vec();
+                let c = self.cost.bulk_cost(Intrinsic::Strlen, len);
+                self.decicycles += c;
+                self.breakdown.bulk += c;
+                self.output.push(OutputEvent::Str(bytes));
+                Ok(None)
+            }
+            Intrinsic::Memcpy => {
+                let (dst, src, n) = (argv[0], argv[1], argv[2]);
+                let bytes = self.mem.read(src, n).map_err(FaultKind::Mem)?.to_vec();
+                self.mem.write(dst, &bytes).map_err(FaultKind::Mem)?;
+                let c = self.cost.bulk_cost(which, n);
+                self.decicycles += c;
+                self.breakdown.bulk += c;
+                Ok(None)
+            }
+            Intrinsic::Memset => {
+                let (dst, byte, n) = (argv[0], argv[1] as u8, argv[2]);
+                self.mem
+                    .write(dst, &vec![byte; n as usize])
+                    .map_err(FaultKind::Mem)?;
+                let c = self.cost.bulk_cost(which, n);
+                self.decicycles += c;
+                self.breakdown.bulk += c;
+                Ok(None)
+            }
+            Intrinsic::Strlen => {
+                let n = self.mem.strlen(argv[0]).map_err(FaultKind::Mem)?;
+                let c = self.cost.bulk_cost(which, n);
+                self.decicycles += c;
+                self.breakdown.bulk += c;
+                Ok(Some(n))
+            }
+            Intrinsic::SnprintfCat => {
+                let (dst, cap, fmt, arg) = (argv[0], argv[1], argv[2], argv[3]);
+                let fmt_len = self.mem.strlen(fmt).map_err(FaultKind::Mem)?;
+                let fmt_bytes = self.mem.read(fmt, fmt_len).map_err(FaultKind::Mem)?.to_vec();
+                let mut out = Vec::new();
+                let mut i = 0usize;
+                while i < fmt_bytes.len() {
+                    if fmt_bytes[i] == b'%' && i + 1 < fmt_bytes.len() {
+                        match fmt_bytes[i + 1] {
+                            b's' => {
+                                let sl = self.mem.strlen(arg).map_err(FaultKind::Mem)?;
+                                let s = self.mem.read(arg, sl).map_err(FaultKind::Mem)?;
+                                out.extend_from_slice(s);
+                                i += 2;
+                                continue;
+                            }
+                            b'd' => {
+                                out.extend_from_slice((arg as i64).to_string().as_bytes());
+                                i += 2;
+                                continue;
+                            }
+                            b'%' => {
+                                out.push(b'%');
+                                i += 2;
+                                continue;
+                            }
+                            _ => {}
+                        }
+                    }
+                    out.push(fmt_bytes[i]);
+                    i += 1;
+                }
+                let would = out.len() as u64;
+                if cap > 0 {
+                    let n = would.min(cap - 1);
+                    self.mem
+                        .write(dst, &out[..n as usize])
+                        .map_err(FaultKind::Mem)?;
+                    self.mem.write(dst + n, &[0]).map_err(FaultKind::Mem)?;
+                }
+                let c = self.cost.bulk_cost(which, would);
+                self.decicycles += c;
+                self.breakdown.bulk += c;
+                Ok(Some(would))
+            }
+            Intrinsic::Malloc => {
+                let size = smokestack_ir::align_to(argv[0].max(1), 16);
+                let c = self.cost.bulk_cost(which, 0);
+                self.decicycles += c;
+                self.breakdown.bulk += c;
+                if let Some(addr) = self.free_lists.get_mut(&size).and_then(|v| v.pop()) {
+                    return Ok(Some(addr));
+                }
+                if self.heap_next + size > self.mem.heap_capacity() {
+                    return Ok(Some(0)); // out of memory -> NULL
+                }
+                let addr = layout::HEAP_BASE + self.heap_next;
+                self.heap_next += size;
+                self.mem.note_heap_used(self.heap_next);
+                // Remember block size for free().
+                self.block_sizes.insert(addr, size);
+                Ok(Some(addr))
+            }
+            Intrinsic::Free => {
+                let c = self.cost.bulk_cost(which, 0);
+                self.decicycles += c;
+                self.breakdown.bulk += c;
+                if argv[0] != 0 {
+                    if let Some(size) = self.block_sizes.remove(&argv[0]) {
+                        self.free_lists.entry(size).or_default().push(argv[0]);
+                    }
+                }
+                Ok(None)
+            }
+            Intrinsic::IoWait => {
+                let c = argv[0].saturating_mul(crate::cycles::DECI);
+                self.decicycles += c;
+                self.breakdown.io += c;
+                Ok(None)
+            }
+            Intrinsic::StackRng => {
+                self.rng_invocations += 1;
+                // Table I costs are in deci-cycles; the VM accounts in
+                // twentieths of a cycle.
+                let c = self.scheme.cost_decicycles() * (crate::cycles::DECI / 10);
+                self.decicycles += c;
+                self.breakdown.rng += c;
+                let v = if self.scheme == SchemeKind::Pseudo {
+                    // The insecure scheme's state lives in data memory,
+                    // where the attacker can read *and overwrite* it.
+                    let state = self
+                        .mem
+                        .read_uint(layout::DATA_BASE, 8)
+                        .map_err(FaultKind::Mem)?;
+                    let (next, out) = XorShift64::step(state);
+                    self.mem
+                        .write_uint(layout::DATA_BASE, next, 8)
+                        .map_err(FaultKind::Mem)?;
+                    out
+                } else {
+                    self.rng.next_u64()
+                };
+                Ok(Some(v))
+            }
+            Intrinsic::GuardKey => Ok(Some(self.guard_key)),
+            Intrinsic::Canary => Ok(Some(self.canary)),
+            Intrinsic::GuardFail => {
+                let func = self.current_func_name(frames);
+                Err(FaultKind::GuardViolation { func })
+            }
+            Intrinsic::CanaryFail => {
+                let func = self.current_func_name(frames);
+                Err(FaultKind::CanarySmashed { func })
+            }
+            Intrinsic::Exit => {
+                self.pending_exit = Some(argv[0] as i64);
+                Ok(None)
+            }
+        }
+    }
+
+    fn current_func_name(&self, frames: &[Frame]) -> String {
+        frames
+            .last()
+            .map(|f| self.module.funcs[f.func.0 as usize].name.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::ScriptedInput;
+    use smokestack_ir::Builder;
+
+    fn run_module(m: Module) -> RunOutcome {
+        let mut vm = Vm::new(m, VmConfig::default());
+        vm.run_main(ScriptedInput::empty())
+    }
+
+    fn simple_main(body: impl FnOnce(&mut Builder)) -> Module {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        body(&mut b);
+        m.add_func(f);
+        smokestack_ir::assert_verified(&m);
+        m
+    }
+
+    #[test]
+    fn returns_constant() {
+        let m = simple_main(|b| b.ret(Some(Value::i64(42))));
+        assert_eq!(run_module(m).exit, Exit::Return(42));
+    }
+
+    #[test]
+    fn alloca_load_store_roundtrip() {
+        let m = simple_main(|b| {
+            let x = b.alloca(Type::I64, "x");
+            b.store(Type::I64, Value::i64(7), x.into());
+            let v = b.load(Type::I64, x.into());
+            let y = b.add64(v.into(), Value::i64(35));
+            b.ret(Some(y.into()));
+        });
+        assert_eq!(run_module(m).exit, Exit::Return(42));
+    }
+
+    #[test]
+    fn loop_counts_to_ten() {
+        let m = simple_main(|b| {
+            let i = b.alloca(Type::I64, "i");
+            b.store(Type::I64, Value::i64(0), i.into());
+            let header = b.new_block();
+            let body = b.new_block();
+            let exit = b.new_block();
+            b.br(header);
+            b.switch_to(header);
+            let iv = b.load(Type::I64, i.into());
+            let c = b.icmp(CmpPred::Slt, IntWidth::W64, iv.into(), Value::i64(10));
+            b.cond_br(c.into(), body, exit);
+            b.switch_to(body);
+            let iv2 = b.load(Type::I64, i.into());
+            let inc = b.add64(iv2.into(), Value::i64(1));
+            b.store(Type::I64, inc.into(), i.into());
+            b.br(header);
+            b.switch_to(exit);
+            let fin = b.load(Type::I64, i.into());
+            b.ret(Some(fin.into()));
+        });
+        assert_eq!(run_module(m).exit, Exit::Return(10));
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let mut m = Module::new();
+        let mut callee = Function::new("double_it", vec![Type::I64], Type::I64);
+        {
+            let mut b = Builder::new(&mut callee);
+            let v = b.bin(
+                BinOp::Mul,
+                IntWidth::W64,
+                Value::Reg(RegId(0)),
+                Value::i64(2),
+            );
+            b.ret(Some(v.into()));
+        }
+        let callee_id = m.add_func(callee);
+        let mut f = Function::new("main", vec![], Type::I64);
+        {
+            let mut b = Builder::new(&mut f);
+            let r = b.call(callee_id, Type::I64, vec![Value::i64(21)]).unwrap();
+            b.ret(Some(r.into()));
+        }
+        m.add_func(f);
+        smokestack_ir::assert_verified(&m);
+        assert_eq!(run_module(m).exit, Exit::Return(42));
+    }
+
+    #[test]
+    fn indirect_call_through_function_pointer() {
+        let mut m = Module::new();
+        let mut callee = Function::new("cb", vec![], Type::I64);
+        Builder::new(&mut callee).ret(Some(Value::i64(5)));
+        let cid = m.add_func(callee);
+        let mut f = Function::new("main", vec![], Type::I64);
+        {
+            let mut b = Builder::new(&mut f);
+            let slot = b.alloca(Type::Ptr, "fp");
+            b.store(Type::Ptr, Value::Func(cid), slot.into());
+            let fp = b.load(Type::Ptr, slot.into());
+            let r = b.call_indirect(fp.into(), Type::I64, vec![]).unwrap();
+            b.ret(Some(r.into()));
+        }
+        m.add_func(f);
+        assert_eq!(run_module(m).exit, Exit::Return(5));
+    }
+
+    #[test]
+    fn bad_indirect_call_faults() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], Type::I64);
+        {
+            let mut b = Builder::new(&mut f);
+            let r = b
+                .call_indirect(Value::i64(0x1234567).into(), Type::I64, vec![])
+                .unwrap();
+            b.ret(Some(r.into()));
+        }
+        m.add_func(f);
+        let out = run_module(m);
+        assert!(matches!(
+            out.exit,
+            Exit::Fault(FaultKind::BadIndirectCall(_))
+        ));
+    }
+
+    #[test]
+    fn buffer_overflow_corrupts_neighbor_silently() {
+        // Two adjacent allocas; memset past the first corrupts the second
+        // without faulting — the property DOP attacks rely on.
+        let m = simple_main(|b| {
+            let victim = b.alloca(Type::I64, "victim");
+            let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+            b.store(Type::I64, Value::i64(1111), victim.into());
+            // Overflow: fill 24 bytes into a 16-byte buffer.
+            b.call_intrinsic(
+                Intrinsic::Memset,
+                vec![buf.into(), Value::i64(0), Value::i64(24)],
+            );
+            let v = b.load(Type::I64, victim.into());
+            b.ret(Some(v.into()));
+        });
+        let out = run_module(m);
+        // buf sits below victim? Allocas grow down: victim first (higher),
+        // buf second (lower). buf+16..24 overwrites victim.
+        assert_eq!(out.exit, Exit::Return(0));
+    }
+
+    #[test]
+    fn wild_pointer_faults() {
+        let m = simple_main(|b| {
+            let p = b.cast(CastKind::IntToPtr, Type::Ptr, Value::i64(0x99));
+            let v = b.load(Type::I64, p.into());
+            b.ret(Some(v.into()));
+        });
+        assert!(matches!(
+            run_module(m).exit,
+            Exit::Fault(FaultKind::Mem(_))
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let m = simple_main(|b| {
+            let v = b.bin(BinOp::SDiv, IntWidth::W64, Value::i64(1), Value::i64(0));
+            b.ret(Some(v.into()));
+        });
+        assert_eq!(run_module(m).exit, Exit::Fault(FaultKind::DivByZero));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let m = simple_main(|b| {
+            let l = b.new_block();
+            b.br(l);
+            b.switch_to(l);
+            b.br(l);
+        });
+        let mut vm = Vm::new(
+            m,
+            VmConfig {
+                fuel: 1000,
+                ..VmConfig::default()
+            },
+        );
+        let out = vm.run_main(ScriptedInput::empty());
+        assert_eq!(out.exit, Exit::Fault(FaultKind::OutOfFuel));
+    }
+
+    #[test]
+    fn get_input_writes_and_returns_len() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], Type::I64);
+        {
+            let mut b = Builder::new(&mut f);
+            let buf = b.alloca(Type::array(Type::I8, 8), "buf");
+            let n = b
+                .call_intrinsic(Intrinsic::GetInput, vec![buf.into(), Value::i64(8)])
+                .unwrap();
+            let first = b.load(Type::I8, buf.into());
+            let fz = b.cast(CastKind::ZextOrTrunc, Type::I64, first.into());
+            let sum = b.add64(n.into(), fz.into());
+            b.ret(Some(sum.into()));
+        }
+        m.add_func(f);
+        let mut vm = Vm::new(m, VmConfig::default());
+        let out = vm.run_main(ScriptedInput::new([vec![10u8, 20, 30]]));
+        // 3 bytes + first byte 10 = 13
+        assert_eq!(out.exit, Exit::Return(13));
+    }
+
+    #[test]
+    fn snprintf_cat_contract() {
+        // Returns would-be length even when truncated; writes NUL.
+        let mut m = Module::new();
+        let fmt = m.add_cstring("fmt", "name: %s;");
+        let arg = m.add_cstring("arg", "abcdef");
+        let mut f = Function::new("main", vec![], Type::I64);
+        {
+            let mut b = Builder::new(&mut f);
+            let buf = b.alloca(Type::array(Type::I8, 4), "buf");
+            let n = b
+                .call_intrinsic(
+                    Intrinsic::SnprintfCat,
+                    vec![
+                        buf.into(),
+                        Value::i64(4),
+                        Value::Global(fmt),
+                        Value::Global(arg),
+                    ],
+                )
+                .unwrap();
+            b.ret(Some(n.into()));
+        }
+        m.add_func(f);
+        // "name: abcdef;" is 13 bytes.
+        assert_eq!(run_module(m).exit, Exit::Return(13));
+    }
+
+    #[test]
+    fn malloc_free_reuse() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], Type::I64);
+        {
+            let mut b = Builder::new(&mut f);
+            let p1 = b
+                .call_intrinsic(Intrinsic::Malloc, vec![Value::i64(64)])
+                .unwrap();
+            b.call_intrinsic(Intrinsic::Free, vec![p1.into()]);
+            let p2 = b
+                .call_intrinsic(Intrinsic::Malloc, vec![Value::i64(64)])
+                .unwrap();
+            let p1i = b.cast(CastKind::PtrToInt, Type::I64, p1.into());
+            let p2i = b.cast(CastKind::PtrToInt, Type::I64, p2.into());
+            let same = b.icmp(CmpPred::Eq, IntWidth::W64, p1i.into(), p2i.into());
+            let samez = b.cast(CastKind::ZextOrTrunc, Type::I64, same.into());
+            b.ret(Some(samez.into()));
+        }
+        m.add_func(f);
+        assert_eq!(run_module(m).exit, Exit::Return(1));
+    }
+
+    #[test]
+    fn exit_intrinsic_stops_program() {
+        let m = simple_main(|b| {
+            b.call_intrinsic(Intrinsic::Exit, vec![Value::i64(3)]);
+            b.ret(Some(Value::i64(0)));
+        });
+        assert_eq!(run_module(m).exit, Exit::Exited(3));
+    }
+
+    #[test]
+    fn breakdown_accounts_for_all_cycles() {
+        let m = simple_main(|b| {
+            let x = b.alloca(Type::I64, "x");
+            b.store(Type::I64, Value::i64(5), x.into());
+            let v = b.load(Type::I64, x.into());
+            b.call_intrinsic(Intrinsic::IoWait, vec![Value::i64(100)]);
+            let r = b.call_intrinsic(Intrinsic::StackRng, vec![]).unwrap();
+            let s = b.add64(v.into(), r.into());
+            let masked = b.bin(BinOp::And, IntWidth::W64, s.into(), Value::i64(0));
+            b.ret(Some(masked.into()));
+        });
+        let out = run_module(m);
+        assert_eq!(out.exit, Exit::Return(0));
+        assert_eq!(out.breakdown.total(), out.decicycles);
+        assert!(out.breakdown.rng > 0);
+        assert!(out.breakdown.io >= 100 * crate::cycles::DECI);
+        assert!(out.breakdown.mem > 0);
+        assert!(out.breakdown.alu > 0);
+        assert!(out.breakdown.control > 0);
+    }
+
+    #[test]
+    fn io_wait_charges_cycles() {
+        let m = simple_main(|b| {
+            b.call_intrinsic(Intrinsic::IoWait, vec![Value::i64(1000)]);
+            b.ret(Some(Value::i64(0)));
+        });
+        let out = run_module(m);
+        assert!(out.cycles() >= 1000.0);
+    }
+
+    #[test]
+    fn stack_rng_pseudo_state_in_memory() {
+        let m = simple_main(|b| {
+            let r = b.call_intrinsic(Intrinsic::StackRng, vec![]).unwrap();
+            b.ret(Some(r.into()));
+        });
+        let mut vm = Vm::new(
+            m,
+            VmConfig {
+                scheme: SchemeKind::Pseudo,
+                ..VmConfig::default()
+            },
+        );
+        // Attacker reads the PRNG state *before* the program runs and
+        // predicts the draw.
+        let state = vm.mem().read_uint(layout::DATA_BASE, 8).unwrap();
+        let (_, predicted) = XorShift64::step(state);
+        let out = vm.run_main(ScriptedInput::empty());
+        assert_eq!(out.exit, Exit::Return(predicted));
+        assert_eq!(out.rng_invocations, 1);
+    }
+
+    #[test]
+    fn stack_rng_aes_not_predictable_from_memory() {
+        let m = simple_main(|b| {
+            let r = b.call_intrinsic(Intrinsic::StackRng, vec![]).unwrap();
+            b.ret(Some(r.into()));
+        });
+        let mut vm = Vm::new(
+            m,
+            VmConfig {
+                scheme: SchemeKind::Aes10,
+                ..VmConfig::default()
+            },
+        );
+        let state = vm.mem().read_uint(layout::DATA_BASE, 8).unwrap();
+        let (_, xs_prediction) = XorShift64::step(state);
+        let out = vm.run_main(ScriptedInput::empty());
+        match out.exit {
+            Exit::Return(v) => assert_ne!(v, xs_prediction),
+            other => panic!("unexpected exit {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rng_cost_matches_table1() {
+        for kind in SchemeKind::ALL {
+            let m = simple_main(|b| {
+                let r = b.call_intrinsic(Intrinsic::StackRng, vec![]).unwrap();
+                b.ret(Some(r.into()));
+            });
+            let mut vm = Vm::new(
+                m,
+                VmConfig {
+                    scheme: kind,
+                    ..VmConfig::default()
+                },
+            );
+            let out = vm.run_main(ScriptedInput::empty());
+            // decicycles includes the scheme cost plus small fixed costs.
+            assert!(out.decicycles >= kind.cost_decicycles());
+        }
+    }
+
+    #[test]
+    fn guard_fail_reports_function() {
+        let m = simple_main(|b| {
+            b.call_intrinsic(Intrinsic::GuardFail, vec![Value::i64(1)]);
+            b.ret(Some(Value::i64(0)));
+        });
+        let out = run_module(m);
+        assert_eq!(
+            out.exit,
+            Exit::Fault(FaultKind::GuardViolation {
+                func: "main".into()
+            })
+        );
+        assert!(out.exit.is_defense_detection());
+    }
+
+    #[test]
+    fn stack_base_offset_shifts_addresses() {
+        let build = || {
+            simple_main(|b| {
+                let x = b.alloca(Type::I64, "x");
+                let xi = b.cast(CastKind::PtrToInt, Type::I64, x.into());
+                b.ret(Some(xi.into()));
+            })
+        };
+        let addr_at = |off: u64| {
+            let mut vm = Vm::new(
+                build(),
+                VmConfig {
+                    stack_base_offset: off,
+                    ..VmConfig::default()
+                },
+            );
+            match vm.run_main(ScriptedInput::empty()).exit {
+                Exit::Return(a) => a,
+                other => panic!("{other:?}"),
+            }
+        };
+        let a0 = addr_at(0);
+        let a1 = addr_at(4096);
+        assert_eq!(a0 - a1, 4096);
+    }
+
+    #[test]
+    fn record_allocas_trace() {
+        let m = simple_main(|b| {
+            b.alloca(Type::I64, "x");
+            b.alloca(Type::array(Type::I8, 32), "buf");
+            b.ret(Some(Value::i64(0)));
+        });
+        let mut vm = Vm::new(
+            m,
+            VmConfig {
+                record_allocas: true,
+                ..VmConfig::default()
+            },
+        );
+        let out = vm.run_main(ScriptedInput::empty());
+        assert_eq!(out.alloca_trace.len(), 2);
+        assert_eq!(out.alloca_trace[0].var, "x");
+        assert_eq!(out.alloca_trace[1].var, "buf");
+        assert!(out.alloca_trace[0].addr > out.alloca_trace[1].addr);
+    }
+
+    #[test]
+    fn vla_alloca_sized_at_runtime() {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], Type::I64);
+        {
+            let mut b = Builder::new(&mut f);
+            let n = b.alloca(Type::I64, "n");
+            b.store(Type::I64, Value::i64(5), n.into());
+            let count = b.load(Type::I64, n.into());
+            let vla = b.alloca_vla(Type::I64, count.into(), "vla");
+            b.store(Type::I64, Value::i64(9), vla.into());
+            let v = b.load(Type::I64, vla.into());
+            b.ret(Some(v.into()));
+        }
+        m.add_func(f);
+        assert_eq!(run_module(m).exit, Exit::Return(9));
+    }
+
+    #[test]
+    fn peak_rss_grows_with_frame_size() {
+        let small = simple_main(|b| {
+            b.alloca(Type::array(Type::I8, 64), "b");
+            b.ret(Some(Value::i64(0)));
+        });
+        let big = simple_main(|b| {
+            b.alloca(Type::array(Type::I8, 65536), "b");
+            b.ret(Some(Value::i64(0)));
+        });
+        let r_small = run_module(small).peak_rss;
+        let r_big = run_module(big).peak_rss;
+        assert!(r_big > r_small + 60_000);
+    }
+}

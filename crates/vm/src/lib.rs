@@ -1,0 +1,50 @@
+//! # smokestack-vm
+//!
+//! A deterministic interpreter for the Smokestack IR with the properties
+//! the paper's evaluation needs:
+//!
+//! * **Native overflow semantics.** Memory is a flat address space of
+//!   rodata / data / heap / stack segments; loads and stores are checked
+//!   against segments, not objects, so a buffer overflow silently
+//!   corrupts adjacent data — the primitive every DOP attack builds on.
+//! * **Cycle model.** Every operation charges a deterministic cost (in
+//!   deci-cycles) and the `stack_rng` intrinsic charges the paper's
+//!   Table I per-invocation cost of the configured scheme, so Figure 3's
+//!   overhead curves can be regenerated.
+//! * **Threat-model fidelity.** The attacker interacts through
+//!   [`InputSource`], which hands it read/write access to all writable
+//!   memory at every input request (§III-B); rodata (the P-BOX) and the
+//!   VM register file (AES key/nonce, guard key, canary) stay out of
+//!   reach. The insecure *pseudo* scheme keeps its PRNG state in data
+//!   memory where the attacker can read and overwrite it.
+//! * **`ru_maxrss` analog.** Peak resident footprint is tracked for the
+//!   memory-overhead experiment (Figure 4).
+//!
+//! # Examples
+//!
+//! ```
+//! use smokestack_ir::{Builder, Function, Module, Type, Value};
+//! use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+//!
+//! let mut m = Module::new();
+//! let mut f = Function::new("main", vec![], Type::I64);
+//! let mut b = Builder::new(&mut f);
+//! b.ret(Some(Value::i64(7)));
+//! m.add_func(f);
+//!
+//! let mut vm = Vm::new(m, VmConfig::default());
+//! let out = vm.run_main(ScriptedInput::empty());
+//! assert_eq!(out.exit, Exit::Return(7));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cycles;
+mod exec;
+mod io;
+mod mem;
+
+pub use cycles::{CostModel, CycleBreakdown, SlabClass, DECI};
+pub use exec::{AllocaRecord, Exit, FaultKind, RunOutcome, Vm, VmConfig};
+pub use io::{FnInput, InputSource, OutputEvent, ScriptedInput};
+pub use mem::{layout, MemConfig, MemFault, Memory};

@@ -1,0 +1,427 @@
+//! The flat simulated memory: rodata / data / heap / stack segments.
+//!
+//! Loads and stores are bounds-checked against *segments*, never against
+//! individual objects — a store that runs past the end of a buffer but
+//! stays inside the stack segment silently corrupts whatever is adjacent,
+//! exactly like native code. That property is what makes the DOP attacks
+//! in `smokestack-attacks` (and their defeat by Smokestack) meaningful.
+
+use std::fmt;
+
+/// Address-space map. Segments are widely separated so that overflows
+/// within a segment behave natively while wild pointers fault.
+pub mod layout {
+    /// "Addresses" of functions, for indirect calls: `CODE_BASE + 16*id`.
+    pub const CODE_BASE: u64 = 0x0000_1000;
+    /// Read-only globals (string literals, the P-BOX).
+    pub const RODATA_BASE: u64 = 0x0010_0000;
+    /// Writable globals. The first 8 bytes are the memory-resident state
+    /// of the insecure "pseudo" PRNG (see `smokestack-srng`).
+    pub const DATA_BASE: u64 = 0x0100_0000;
+    /// Heap allocations.
+    pub const HEAP_BASE: u64 = 0x1000_0000;
+    /// The stack grows *down* from this address.
+    pub const STACK_TOP: u64 = 0x8000_0000;
+    /// Gap between `STACK_TOP` and the first frame (the analog of the
+    /// argv/env area a real process keeps above `main`), so that linear
+    /// overflows out of shallow frames corrupt memory instead of
+    /// instantly faulting at the segment edge.
+    pub const STACK_START_GAP: u64 = 4096;
+}
+
+/// A contiguous memory region.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    #[allow(dead_code)] // retained for Debug output readability
+    name: &'static str,
+    base: u64,
+    bytes: Vec<u8>,
+    writable: bool,
+}
+
+impl Segment {
+    /// Create a zero-filled segment.
+    pub fn new(name: &'static str, base: u64, size: usize, writable: bool) -> Segment {
+        Segment {
+            name,
+            base,
+            bytes: vec![0; size],
+            writable,
+        }
+    }
+
+    /// Lowest valid address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// One past the highest valid address.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Whether `addr..addr+len` lies inside this segment.
+    pub fn contains(&self, addr: u64, len: u64) -> bool {
+        addr >= self.base && addr.checked_add(len).is_some_and(|e| e <= self.end())
+    }
+
+    fn slice(&self, addr: u64, len: u64) -> &[u8] {
+        let off = (addr - self.base) as usize;
+        &self.bytes[off..off + len as usize]
+    }
+
+    fn slice_mut(&mut self, addr: u64, len: u64) -> &mut [u8] {
+        let off = (addr - self.base) as usize;
+        &mut self.bytes[off..off + len as usize]
+    }
+}
+
+/// A memory access fault (the simulated SIGSEGV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub len: u64,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fault at {:#x} ({} bytes)",
+            if self.write { "write" } else { "read" },
+            self.addr,
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// The whole simulated address space.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    rodata: Segment,
+    data: Segment,
+    heap: Segment,
+    stack: Segment,
+    /// Lowest stack address ever touched (for peak-RSS accounting).
+    stack_low_water: u64,
+    /// Highest heap offset ever handed out.
+    heap_high_water: u64,
+    /// Rodata bytes actually occupied by the loaded image.
+    rodata_used: u64,
+    /// Data bytes actually occupied by the loaded image.
+    data_used: u64,
+}
+
+/// Sizes for the writable segments.
+#[derive(Debug, Clone, Copy)]
+pub struct MemConfig {
+    /// Rodata capacity in bytes.
+    pub rodata_size: usize,
+    /// Data capacity in bytes.
+    pub data_size: usize,
+    /// Heap capacity in bytes.
+    pub heap_size: usize,
+    /// Stack capacity in bytes.
+    pub stack_size: usize,
+}
+
+impl Default for MemConfig {
+    fn default() -> MemConfig {
+        MemConfig {
+            rodata_size: 4 << 20,
+            data_size: 4 << 20,
+            heap_size: 64 << 20,
+            stack_size: 8 << 20,
+        }
+    }
+}
+
+impl Memory {
+    /// Allocate the address space.
+    pub fn new(cfg: MemConfig) -> Memory {
+        Memory {
+            rodata: Segment::new("rodata", layout::RODATA_BASE, cfg.rodata_size, false),
+            data: Segment::new("data", layout::DATA_BASE, cfg.data_size, true),
+            heap: Segment::new("heap", layout::HEAP_BASE, cfg.heap_size, true),
+            stack: Segment::new(
+                "stack",
+                layout::STACK_TOP - cfg.stack_size as u64,
+                cfg.stack_size,
+                true,
+            ),
+            stack_low_water: layout::STACK_TOP,
+            heap_high_water: 0,
+            rodata_used: 0,
+            data_used: 0,
+        }
+    }
+
+    fn segment_for(&self, addr: u64, len: u64) -> Option<&Segment> {
+        [&self.rodata, &self.data, &self.heap, &self.stack]
+            .into_iter()
+            .find(|s| s.contains(addr, len))
+    }
+
+    fn segment_for_mut(&mut self, addr: u64, len: u64) -> Option<&mut Segment> {
+        if self.rodata.contains(addr, len) {
+            Some(&mut self.rodata)
+        } else if self.data.contains(addr, len) {
+            Some(&mut self.data)
+        } else if self.heap.contains(addr, len) {
+            Some(&mut self.heap)
+        } else if self.stack.contains(addr, len) {
+            Some(&mut self.stack)
+        } else {
+            None
+        }
+    }
+
+    /// Read `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is not fully inside one segment.
+    pub fn read(&self, addr: u64, len: u64) -> Result<&[u8], MemFault> {
+        match self.segment_for(addr, len) {
+            Some(s) => Ok(s.slice(addr, len)),
+            None => Err(MemFault {
+                addr,
+                len,
+                write: false,
+            }),
+        }
+    }
+
+    /// Write bytes at `addr` (program access: respects read-only).
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is outside all segments or the segment is
+    /// read-only.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let len = bytes.len() as u64;
+        if self.stack.contains(addr, len) {
+            self.stack_low_water = self.stack_low_water.min(addr);
+        }
+        match self.segment_for_mut(addr, len) {
+            Some(s) if s.writable => {
+                s.slice_mut(addr, len).copy_from_slice(bytes);
+                Ok(())
+            }
+            _ => Err(MemFault {
+                addr,
+                len,
+                write: true,
+            }),
+        }
+    }
+
+    /// Loader-only write that may target read-only segments (used to
+    /// install global initializers and the P-BOX image).
+    ///
+    /// # Errors
+    ///
+    /// Faults if the range is outside all segments.
+    pub fn write_init(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let len = bytes.len() as u64;
+        match self.segment_for_mut(addr, len) {
+            Some(s) => {
+                s.slice_mut(addr, len).copy_from_slice(bytes);
+                Ok(())
+            }
+            None => Err(MemFault {
+                addr,
+                len,
+                write: true,
+            }),
+        }
+    }
+
+    /// Read an unsigned little-endian integer of `len` bytes (1/2/4/8).
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`Memory::read`].
+    pub fn read_uint(&self, addr: u64, len: u64) -> Result<u64, MemFault> {
+        let b = self.read(addr, len)?;
+        let mut v = 0u64;
+        for (i, byte) in b.iter().enumerate() {
+            v |= (*byte as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Write the low `len` bytes of `v` little-endian at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`Memory::write`].
+    pub fn write_uint(&mut self, addr: u64, v: u64, len: u64) -> Result<(), MemFault> {
+        let bytes = v.to_le_bytes();
+        self.write(addr, &bytes[..len as usize])
+    }
+
+    /// Length of the NUL-terminated string at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the scan runs off the end of the segment before a NUL.
+    pub fn strlen(&self, addr: u64) -> Result<u64, MemFault> {
+        let mut n = 0u64;
+        loop {
+            let b = self.read(addr + n, 1)?[0];
+            if b == 0 {
+                return Ok(n);
+            }
+            n += 1;
+        }
+    }
+
+    /// Record that the stack pointer reached `sp` (peak-RSS accounting).
+    pub fn note_stack_pointer(&mut self, sp: u64) {
+        self.stack_low_water = self.stack_low_water.min(sp);
+    }
+
+    /// Record a heap high-water offset (bytes from heap base).
+    pub fn note_heap_used(&mut self, used: u64) {
+        self.heap_high_water = self.heap_high_water.max(used);
+    }
+
+    /// Peak resident footprint in bytes: static segments plus the peak
+    /// dynamic stack and heap usage. The analog of `ru_maxrss` used for
+    /// the paper's Figure 4.
+    pub fn peak_rss(&self) -> u64 {
+        let stack_used = layout::STACK_TOP - self.stack_low_water;
+        self.rodata_used() + self.data_used() + self.heap_high_water + stack_used
+    }
+
+    /// Bytes of rodata capacity counted as resident. Tracked precisely
+    /// by the loader via [`Memory::set_rodata_used`].
+    pub fn rodata_used(&self) -> u64 {
+        self.rodata_used
+    }
+
+    /// Bytes of data counted as resident.
+    pub fn data_used(&self) -> u64 {
+        self.data_used
+    }
+
+    /// Loader: record how many rodata bytes are actually occupied.
+    pub fn set_rodata_used(&mut self, n: u64) {
+        self.rodata_used = n;
+    }
+
+    /// Loader: record how many data bytes are actually occupied.
+    pub fn set_data_used(&mut self, n: u64) {
+        self.data_used = n;
+    }
+
+    /// Base of the stack segment (lowest valid stack address).
+    pub fn stack_base(&self) -> u64 {
+        self.stack.base()
+    }
+
+    /// Capacity of the heap segment in bytes.
+    pub fn heap_capacity(&self) -> u64 {
+        self.heap.bytes.len() as u64
+    }
+
+    /// Whether `addr..addr+len` is in a *writable* segment — the memory
+    /// an attacker with full data-memory control may corrupt (§III-B).
+    pub fn attacker_writable(&self, addr: u64, len: u64) -> bool {
+        self.data.contains(addr, len)
+            || self.heap.contains(addr, len)
+            || self.stack.contains(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(MemConfig::default())
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = mem();
+        let addr = layout::DATA_BASE + 100;
+        m.write_uint(addr, 0xdead_beef_cafe, 8).unwrap();
+        assert_eq!(m.read_uint(addr, 8).unwrap(), 0xdead_beef_cafe);
+        assert_eq!(m.read_uint(addr, 4).unwrap(), 0xbeef_cafe);
+    }
+
+    #[test]
+    fn rodata_rejects_program_writes() {
+        let mut m = mem();
+        let addr = layout::RODATA_BASE + 8;
+        assert!(m.write(addr, &[1]).is_err());
+        // But the loader can initialize it.
+        m.write_init(addr, &[7]).unwrap();
+        assert_eq!(m.read(addr, 1).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn out_of_segment_faults() {
+        let m = mem();
+        let gap = layout::RODATA_BASE - 100;
+        let err = m.read(gap, 4).unwrap_err();
+        assert_eq!(err.addr, gap);
+        assert!(!err.write);
+    }
+
+    #[test]
+    fn cross_segment_boundary_faults() {
+        let mut m = mem();
+        // A write straddling the end of the data segment must fault even
+        // though it starts inside.
+        let end = layout::DATA_BASE + MemConfig::default().data_size as u64;
+        assert!(m.write(end - 4, &[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn stack_overflow_within_segment_allowed() {
+        // The crucial property: stores past an object's end but inside
+        // the stack segment succeed (silent corruption, not a fault).
+        let mut m = mem();
+        let sp = layout::STACK_TOP - 0x1000;
+        m.write(sp, &[0xaa; 128]).unwrap();
+        assert_eq!(m.read(sp + 64, 1).unwrap()[0], 0xaa);
+    }
+
+    #[test]
+    fn peak_rss_tracks_stack_low_water() {
+        let mut m = mem();
+        m.set_rodata_used(0);
+        m.set_data_used(0);
+        assert_eq!(m.peak_rss(), 0);
+        m.note_stack_pointer(layout::STACK_TOP - 4096);
+        assert_eq!(m.peak_rss(), 4096);
+        m.note_heap_used(100);
+        assert_eq!(m.peak_rss(), 4196);
+    }
+
+    #[test]
+    fn strlen_scans_to_nul() {
+        let mut m = mem();
+        let a = layout::DATA_BASE + 50;
+        m.write(a, b"hello\0").unwrap();
+        assert_eq!(m.strlen(a).unwrap(), 5);
+    }
+
+    #[test]
+    fn attacker_writable_excludes_rodata() {
+        let m = mem();
+        assert!(m.attacker_writable(layout::DATA_BASE, 8));
+        assert!(m.attacker_writable(layout::STACK_TOP - 64, 8));
+        assert!(m.attacker_writable(layout::HEAP_BASE, 8));
+        assert!(!m.attacker_writable(layout::RODATA_BASE, 8));
+    }
+}

@@ -1,0 +1,313 @@
+//! # smokestack-workloads
+//!
+//! The benchmark corpus for the performance evaluation (paper §V-A/B):
+//! sixteen synthetic programs named after the SPEC CPU2006 benchmarks
+//! the paper measures, each calibrated to the corresponding benchmark's
+//! *stack behaviour* (call frequency, call depth, frame size, allocation
+//! mix), plus two I/O-bound applications (ProFTPD- and Wireshark-style)
+//! whose runtime is dominated by simulated device waits.
+//!
+//! The absolute numbers are not meant to match the paper's testbed —
+//! the *shape* is: which benchmarks pay the most for per-invocation
+//! randomization (call-heavy, small-work functions), which pay nothing
+//! (loop kernels), and how the I/O-bound applications sit near zero.
+//!
+//! # Examples
+//!
+//! ```
+//! use smokestack_workloads::{all, by_name};
+//!
+//! assert!(all().len() >= 17);
+//! let w = by_name("perlbench").unwrap();
+//! let module = w.compile().unwrap();
+//! assert!(module.func_by_name("main").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+mod programs;
+
+use smokestack_ir::Module;
+use smokestack_minic::{compile, CompileError};
+
+/// How a workload spends its time — used to group Figure 3's bars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    /// CPU-bound SPEC-style benchmark.
+    Cpu,
+    /// I/O-bound real-world application analog.
+    Io,
+}
+
+/// One benchmark program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (SPEC-style).
+    pub name: &'static str,
+    /// MiniC source.
+    pub source: &'static str,
+    /// CPU- or I/O-bound.
+    pub class: WorkloadClass,
+    /// One-line description of the behaviour it models.
+    pub profile: &'static str,
+}
+
+impl Workload {
+    /// Compile the workload to IR.
+    ///
+    /// # Errors
+    ///
+    /// Returns the front-end error (the corpus is expected to compile).
+    pub fn compile(&self) -> Result<Module, CompileError> {
+        compile(self.source)
+    }
+}
+
+/// The full corpus in Figure 3 order.
+pub fn all() -> Vec<Workload> {
+    use programs::*;
+    use WorkloadClass::{Cpu, Io};
+    vec![
+        Workload {
+            name: "perlbench",
+            source: PERLBENCH,
+            class: Cpu,
+            profile: "interpreter: deep recursion (depth ~390), many small helpers",
+        },
+        Workload {
+            name: "bzip2",
+            source: BZIP2,
+            class: Cpu,
+            profile: "block compression: per-block helpers over loop-heavy kernels",
+        },
+        Workload {
+            name: "gcc",
+            source: GCC,
+            class: Cpu,
+            profile: "compiler: symbol interning, folding, register pressure",
+        },
+        Workload {
+            name: "mcf",
+            source: MCF,
+            class: Cpu,
+            profile: "network simplex: pointer-array sweeps, few calls",
+        },
+        Workload {
+            name: "gobmk",
+            source: GOBMK,
+            class: Cpu,
+            profile: "go engine: very large frames (multi-KB work arrays) per call",
+        },
+        Workload {
+            name: "hmmer",
+            source: HMMER,
+            class: Cpu,
+            profile: "profile HMM: one hot DP loop, almost no calls",
+        },
+        Workload {
+            name: "sjeng",
+            source: SJENG,
+            class: Cpu,
+            profile: "chess search: recursive alpha-beta, high call rate",
+        },
+        Workload {
+            name: "libquantum",
+            source: LIBQUANTUM,
+            class: Cpu,
+            profile: "quantum register: tight vector loop, fewest calls",
+        },
+        Workload {
+            name: "h264ref",
+            source: H264REF,
+            class: Cpu,
+            profile: "video encoder: buffer-heavy block helpers, many signatures",
+        },
+        Workload {
+            name: "omnetpp",
+            source: OMNETPP,
+            class: Cpu,
+            profile: "event simulation: malloc/free churn + handler calls",
+        },
+        Workload {
+            name: "astar",
+            source: ASTAR,
+            class: Cpu,
+            profile: "pathfinding: frontier relaxation with small helpers",
+        },
+        Workload {
+            name: "xalancbmk",
+            source: XALANCBMK,
+            class: Cpu,
+            profile: "XML transform: byte-level processing through tiny helpers",
+        },
+        Workload {
+            name: "milc",
+            source: MILC,
+            class: Cpu,
+            profile: "lattice QCD: fused multiply sweeps, compute-bound",
+        },
+        Workload {
+            name: "povray",
+            source: POVRAY,
+            class: Cpu,
+            profile: "ray tracer: per-ray recursion, call-heavy",
+        },
+        Workload {
+            name: "lbm",
+            source: LBM,
+            class: Cpu,
+            profile: "lattice Boltzmann: pure streaming kernel",
+        },
+        Workload {
+            name: "sphinx3",
+            source: SPHINX3,
+            class: Cpu,
+            profile: "speech decoding: Gaussian scoring per frame",
+        },
+        Workload {
+            name: "proftpd",
+            source: PROFTPD_APP,
+            class: Io,
+            profile: "FTP daemon: network waits dominate",
+        },
+        Workload {
+            name: "wireshark",
+            source: WIRESHARK_APP,
+            class: Io,
+            profile: "capture/dissect loop: device waits dominate",
+        },
+    ]
+}
+
+/// CPU-bound subset (the SPEC bars of Figure 3/4).
+pub fn spec_cpu() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.class == WorkloadClass::Cpu)
+        .collect()
+}
+
+/// I/O-bound subset.
+pub fn io_apps() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.class == WorkloadClass::Io)
+        .collect()
+}
+
+/// Look up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+
+    #[test]
+    fn corpus_compiles_and_verifies() {
+        for w in all() {
+            let m = w
+                .compile()
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name));
+            smokestack_ir::verify_module(&m)
+                .unwrap_or_else(|e| panic!("{} failed to verify: {e:?}", w.name));
+        }
+    }
+
+    #[test]
+    fn corpus_runs_clean_and_deterministic() {
+        for w in all() {
+            let run = |seed: u64| {
+                let m = w.compile().unwrap();
+                let mut vm = Vm::new(
+                    m,
+                    VmConfig {
+                        trng_seed: seed,
+                        ..VmConfig::default()
+                    },
+                );
+                vm.run_main(ScriptedInput::empty())
+            };
+            let a = run(1);
+            let b = run(2);
+            assert!(
+                matches!(a.exit, Exit::Return(_)),
+                "{}: {:?}",
+                w.name,
+                a.exit
+            );
+            assert_eq!(a.exit, b.exit, "{} output depends on seed", w.name);
+            let min_insts = match w.class {
+                WorkloadClass::Cpu => 20_000,
+                WorkloadClass::Io => 2_000, // compute is deliberately thin
+            };
+            assert!(
+                a.insts > min_insts,
+                "{} too small to be a meaningful benchmark ({} insts)",
+                w.name,
+                a.insts
+            );
+        }
+    }
+
+    #[test]
+    fn io_apps_are_io_dominated() {
+        for w in io_apps() {
+            let m = w.compile().unwrap();
+            let mut vm = Vm::new(m, VmConfig::default());
+            let out = vm.run_main(ScriptedInput::empty());
+            // Waits are charged in cycles; compute instructions are few.
+            let compute_decicycles = out.insts * 12; // upper-bound estimate
+            assert!(
+                out.decicycles > compute_decicycles * 3,
+                "{} is not I/O bound",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn perlbench_reaches_paper_call_depth() {
+        let m = by_name("perlbench").unwrap().compile().unwrap();
+        let mut vm = Vm::new(m, VmConfig::default());
+        let out = vm.run_main(ScriptedInput::empty());
+        assert!(
+            out.max_call_depth >= 300,
+            "expected deep recursion, got {}",
+            out.max_call_depth
+        );
+    }
+
+    #[test]
+    fn gobmk_has_large_frames() {
+        let m = by_name("gobmk").unwrap().compile().unwrap();
+        let f = m.func(m.func_by_name("eval_position").unwrap());
+        let info = smokestack_core::discover_frame(f);
+        let frame = smokestack_core::frame_size_in_order(&info.slot_list());
+        assert!(frame >= 4096, "gobmk frame too small: {frame}");
+    }
+
+    #[test]
+    fn hardened_corpus_preserves_behavior() {
+        for w in all() {
+            let base = {
+                let m = w.compile().unwrap();
+                Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+            };
+            let mut m = w.compile().unwrap();
+            smokestack_core::harden(&mut m, &smokestack_core::SmokestackConfig::default());
+            let hard = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+            assert_eq!(base.exit, hard.exit, "{} changed under hardening", w.name);
+        }
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all().len());
+    }
+}

@@ -1,0 +1,898 @@
+//! The synthetic SPEC-2006-style benchmark corpus.
+//!
+//! Each program is written to match the *stack behaviour* the paper
+//! identifies as the driver of Smokestack's overhead on the
+//! corresponding real benchmark: how often functions are called (each
+//! call pays one RNG draw plus the P-BOX row fetch), how deep the call
+//! tree goes (perlbench reaches depth 394 in the paper), how large the
+//! frames are (gobmk has an 85 KB frame), and how much of the work is
+//! loads/stores versus calls. Compute-bound loop kernels (lbm,
+//! libquantum, milc) barely call anything and see near-zero overhead;
+//! call-happy interpreters and game engines (perlbench, gobmk, sjeng,
+//! xalancbmk, povray) pay the most — the same ordering as Figure 3.
+
+/// PERLBENCH: interpreter-style workload — deep recursion over an
+/// expression tree, many small helper functions with varied locals
+/// (also a large, diverse P-BOX: one signature per helper).
+pub const PERLBENCH: &str = r#"
+    long opcount = 0;
+
+    int tiny_hash(int v) {
+        int a = v * 31;
+        int b = a ^ 61;
+        return b;
+    }
+
+    int scan_token(int pos, int kind) {
+        char lexbuf[24];
+        int cls = 0;
+        int acc = pos;
+        int w = 0;
+        lexbuf[0] = kind;
+        for (w = 0; w < 40; w++) {
+            acc = acc * 33 + w;
+            lexbuf[w & 23] = acc & 127;
+        }
+        cls = tiny_hash(acc) + lexbuf[0];
+        return cls;
+    }
+
+    int eval_node(int depth, int seed) {
+        int left = 0;
+        int right = 0;
+        int op = 0;
+        char pad[12];
+        pad[0] = 1;
+        opcount = opcount + 1;
+        if (depth <= 0) {
+            return scan_token(seed, seed & 3);
+        }
+        op = seed & 3;
+        for (left = 0; left < 60; left++) {
+            seed = seed * 1103515245 + 12345;
+            op = op ^ (seed >> 16);
+        }
+        op = op & 3;
+        left = eval_node(depth - 1, seed * 2 + 1);
+        right = eval_node(depth - 1, seed * 3 + 7);
+        if (op == 0) { return left + right; }
+        if (op == 1) { return left - right; }
+        if (op == 2) { return left ^ right; }
+        return left + right + op;
+    }
+
+    int deep_chain(int depth) {
+        int local = depth;
+        if (depth <= 0) { return local; }
+        return deep_chain(depth - 1) + 1;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(786432);
+        arena[0] = 1;
+        long sum = 0;
+        int round = 0;
+        for (round = 0; round < 6; round++) {
+            sum = sum + eval_node(7, round);
+        }
+        sum = sum + deep_chain(390);
+        return sum & 0xffff;
+    }
+"#;
+
+/// BZIP2: block transform — run-length encoding plus frequency
+/// counting; loops dominate but block helpers are called per block.
+pub const BZIP2: &str = r#"
+    char src[4096];
+    char dst[8192];
+    long freq[256];
+
+    int fill_block(int block, int len) {
+        int i = 0;
+        int v = block * 7 + 13;
+        for (i = 0; i < len; i++) {
+            v = v * 1103515245 + 12345;
+            src[i] = (v >> 16) & 63;
+        }
+        return v;
+    }
+
+    int rle_block(int len) {
+        int i = 0;
+        int o = 0;
+        int run = 1;
+        char prev = src[0];
+        for (i = 1; i < len; i++) {
+            if (src[i] == prev && run < 250) {
+                run = run + 1;
+            } else {
+                dst[o] = prev;
+                dst[o + 1] = run;
+                o = o + 2;
+                prev = src[i];
+                run = 1;
+            }
+        }
+        dst[o] = prev;
+        dst[o + 1] = run;
+        return o + 2;
+    }
+
+    int count_freq(int len) {
+        int i = 0;
+        int peak = 0;
+        for (i = 0; i < 256; i++) { freq[i] = 0; }
+        for (i = 0; i < len; i++) {
+            freq[src[i]] = freq[src[i]] + 1;
+        }
+        for (i = 0; i < 256; i++) {
+            if (freq[i] > peak) { peak = freq[i]; }
+        }
+        return peak;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(4194304);
+        arena[0] = 1;
+        long sum = 0;
+        int block = 0;
+        for (block = 0; block < 12; block++) {
+            fill_block(block, 4000);
+            sum = sum + rle_block(4000);
+            sum = sum + count_freq(4000);
+        }
+        return sum & 0xffff;
+    }
+"#;
+
+/// GCC: compiler-style mixed workload — symbol hashing, small-tree
+/// folding, register-allocation-flavoured bitmap juggling across many
+/// medium functions.
+pub const GCC: &str = r#"
+    long symtab[512];
+
+    int hash_sym(int id) {
+        int h = id * 2654435761;
+        char namebuf[32];
+        int w = 0;
+        namebuf[0] = id & 7;
+        for (w = 0; w < 12; w++) {
+            h = h ^ (h >> 13);
+            h = h * 5 + w;
+        }
+        return (h & 511) + namebuf[0] - namebuf[0];
+    }
+
+    int intern(int id) {
+        int slot = hash_sym(id);
+        int probes = 0;
+        while (symtab[slot] != 0 && symtab[slot] != id && probes < 64) {
+            slot = (slot + 1) & 511;
+            probes = probes + 1;
+        }
+        symtab[slot] = id;
+        return slot;
+    }
+
+    int fold_expr(int a, int b, int op) {
+        int t1 = a;
+        int t2 = b;
+        char spill[16];
+        int w = 0;
+        spill[0] = op;
+        for (w = 0; w < 18; w++) {
+            t1 = t1 + ((t2 + w) & 3);
+        }
+        if (op == 0) { return t1 + t2; }
+        if (op == 1) { return t1 * t2; }
+        if (op == 2) { return t1 & t2; }
+        return t1 - t2;
+    }
+
+    int alloc_regs(int pressure) {
+        long livemap = 0;
+        int reg = 0;
+        int spills = 0;
+        int i = 0;
+        for (i = 0; i < pressure; i++) {
+            reg = i & 15;
+            if ((livemap >> reg) & 1) {
+                spills = spills + 1;
+            }
+            livemap = livemap | (1 << reg);
+        }
+        return spills;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(8388608);
+        arena[0] = 1;
+        long sum = 0;
+        int fn = 0;
+        for (fn = 0; fn < 110; fn++) {
+            sum = sum + intern(fn * 17 + 3);
+            sum = sum + fold_expr(fn, fn * 3, fn & 3);
+            sum = sum + alloc_regs(100);
+        }
+        return sum & 0xffff;
+    }
+"#;
+
+/// MCF: network-simplex flavour — pointer-chasing over a preallocated
+/// arc array; very few calls, lots of memory traffic.
+pub const MCF: &str = r#"
+    long arc_cost[2048];
+    long arc_flow[2048];
+    long node_pot[256];
+
+    int update_basis(int node, int r) {
+        long delta = 0;
+        delta = node_pot[node & 255] + r;
+        node_pot[node & 255] = delta % 51;
+        return delta & 7;
+    }
+
+    int price_arcs(int rounds) {
+        int r = 0;
+        int i = 0;
+        long reduced = 0;
+        long pivots = 0;
+        for (r = 0; r < rounds; r++) {
+            pivots = pivots + update_basis(r * 3, r);
+            pivots = pivots + update_basis(r * 7, r);
+            pivots = pivots + update_basis(r * 11, r);
+            for (i = 0; i < 2048; i++) {
+                reduced = arc_cost[i] - node_pot[i & 255] + node_pot[(i * 7) & 255];
+                if (reduced < 0) {
+                    arc_flow[i] = arc_flow[i] + 1;
+                    pivots = pivots + 1;
+                }
+            }
+            node_pot[r & 255] = node_pot[r & 255] + 1;
+        }
+        return pivots & 0xffff;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(16777216);
+        arena[0] = 1;
+        int i = 0;
+        for (i = 0; i < 2048; i++) {
+            arc_cost[i] = (i * 37) % 101 - 50;
+            arc_flow[i] = 0;
+        }
+        for (i = 0; i < 256; i++) { node_pot[i] = i & 7; }
+        return price_arcs(28);
+    }
+"#;
+
+/// GOBMK: go engine — *very large frames* (the paper reports an 85 KB
+/// max frame) scanned per move evaluation, called often.
+pub const GOBMK: &str = r#"
+    char board[361];
+
+    int eval_position(int move) {
+        char work[4096];
+        char territory[2048];
+        char strings[1024];
+        int i = 0;
+        int score = 0;
+        for (i = 0; i < 361; i++) {
+            work[i] = board[i] + (move & 1);
+            strings[i] = (i * 5) & 15;
+        }
+        for (i = 0; i < 361; i++) {
+            territory[i & 2047] = work[i] ^ strings[i];
+            score = score + territory[i & 2047];
+        }
+        return score;
+    }
+
+    int try_move(int pos, int color) {
+        char shadow[2048];
+        int liberties = 0;
+        int i = 0;
+        shadow[0] = color;
+        for (i = 0; i < 128; i++) {
+            liberties = liberties + ((board[(pos + i) % 361] + shadow[0]) & 1);
+        }
+        return liberties;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(2097152);
+        arena[0] = 1;
+        long sum = 0;
+        int move = 0;
+        int i = 0;
+        for (i = 0; i < 361; i++) { board[i] = (i * 31) & 3; }
+        for (move = 0; move < 260; move++) {
+            sum = sum + eval_position(move);
+            sum = sum + try_move(move % 361, move & 1);
+        }
+        return sum & 0xffff;
+    }
+"#;
+
+/// HMMER: profile HMM dynamic programming — one hot doubly-nested
+/// loop, almost no calls.
+pub const HMMER: &str = r#"
+    long vit[64];
+    long trans[64];
+    long emit_sc[64];
+
+    int rescale(int i) {
+        long shift = 0;
+        shift = vit[i & 63] & 3;
+        vit[i & 63] = vit[i & 63] - shift;
+        return shift;
+    }
+
+    int viterbi(int seqlen) {
+        int i = 0;
+        int k = 0;
+        long best = 0;
+        long cand = 0;
+        for (i = 0; i < seqlen; i++) {
+            if ((i & 31) == 0) { best = best + rescale(i); }
+            for (k = 1; k < 64; k++) {
+                cand = vit[k - 1] + trans[k] + emit_sc[(i + k) & 63];
+                if (cand > vit[k]) { vit[k] = cand; }
+            }
+        }
+        for (k = 0; k < 64; k++) {
+            if (vit[k] > best) { best = vit[k]; }
+        }
+        return best & 0xffff;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(2097152);
+        arena[0] = 1;
+        int k = 0;
+        for (k = 0; k < 64; k++) {
+            trans[k] = (k * 13) % 17 - 8;
+            emit_sc[k] = (k * 7) % 23 - 11;
+        }
+        return viterbi(900);
+    }
+"#;
+
+/// SJENG: chess search — recursive alpha-beta skeleton with moderate
+/// frames and a high call rate.
+pub const SJENG: &str = r#"
+    long nodes = 0;
+
+    int eval_board(int ply, int hash) {
+        char pieces[64];
+        int material = 0;
+        int i = 0;
+        pieces[0] = ply & 7;
+        for (i = 0; i < 64; i++) {
+            material = material + ((hash >> (i & 15)) & 3) + pieces[0];
+        }
+        return material - pieces[0] * 64;
+    }
+
+    int search(int depth, int alpha, int beta, int hash) {
+        int best = alpha;
+        int mv = 0;
+        int score = 0;
+        char movelist[48];
+        int gen = 0;
+        movelist[0] = depth;
+        nodes = nodes + 1;
+        for (gen = 0; gen < 24; gen++) {
+            movelist[gen & 47] = (hash + gen) & 63;
+        }
+        if (depth == 0) {
+            return eval_board(depth, hash);
+        }
+        for (mv = 0; mv < 4; mv++) {
+            score = 0 - search(depth - 1, 0 - beta, 0 - best, hash * 5 + mv);
+            if (score > best) { best = score; }
+            if (best >= beta) { return best; }
+        }
+        return best;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(8388608);
+        arena[0] = 1;
+        long sum = 0;
+        int game = 0;
+        for (game = 0; game < 6; game++) {
+            sum = sum + search(6, -30000, 30000, game * 977 + 11);
+        }
+        return (sum + nodes) & 0xffff;
+    }
+"#;
+
+/// LIBQUANTUM: quantum register simulation — one tight vector loop;
+/// the fewest calls in the suite.
+pub const LIBQUANTUM: &str = r#"
+    long amp_re[1024];
+    long amp_im[1024];
+
+    int phase_kick(int q, int gate) {
+        long p = 0;
+        p = amp_im[q & 1023] + gate;
+        amp_im[q & 1023] = p % 97;
+        return p & 7;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(4194304);
+        arena[0] = 1;
+        int gate = 0;
+        int i = 0;
+        long t = 0;
+        long norm = 0;
+        for (i = 0; i < 1024; i++) {
+            amp_re[i] = i & 15;
+            amp_im[i] = (i * 3) & 15;
+        }
+        for (gate = 0; gate < 220; gate++) {
+            norm = norm + phase_kick(gate * 3, gate);
+            norm = norm + phase_kick(gate * 11, gate);
+            for (i = 0; i < 1024; i++) {
+                t = amp_re[i];
+                amp_re[i] = amp_re[i ^ (1 << (gate % 10))];
+                amp_im[i] = t - amp_im[i];
+            }
+        }
+        for (i = 0; i < 1024; i++) { norm = norm + amp_re[i] + amp_im[i]; }
+        return norm & 0xffff;
+    }
+"#;
+
+/// H264REF: video encoder — block helpers with several buffers and
+/// heavy load/store traffic per call (the slab-locality candidate) and
+/// many distinct signatures (a large P-BOX, as the paper's Figure 4
+/// shows for h264ref).
+pub const H264REF: &str = r#"
+    char frame[4096];
+    char refframe[4096];
+
+    int sad_block(int bx, int by) {
+        char cur[64];
+        char refb[64];
+        int dx = 0;
+        int acc = 0;
+        int base = (by * 64 + bx) & 4031;
+        for (dx = 0; dx < 64; dx++) {
+            cur[dx] = frame[base + dx];
+            refb[dx] = refframe[base + dx];
+        }
+        for (dx = 0; dx < 64; dx++) {
+            if (cur[dx] > refb[dx]) { acc = acc + cur[dx] - refb[dx]; }
+            else { acc = acc + refb[dx] - cur[dx]; }
+        }
+        return acc;
+    }
+
+    int dct_block(int seed) {
+        long coef[16];
+        long tmp[16];
+        int i = 0;
+        int j = 0;
+        long acc = 0;
+        for (i = 0; i < 16; i++) { coef[i] = (seed + i * 7) & 255; }
+        for (i = 0; i < 16; i++) {
+            tmp[i] = 0;
+            for (j = 0; j < 16; j++) {
+                tmp[i] = tmp[i] + coef[j] * ((i * j) % 7 - 3);
+            }
+        }
+        for (i = 0; i < 16; i++) { acc = acc + tmp[i]; }
+        return acc & 0xffff;
+    }
+
+    int quant_block(int q, int seed) {
+        long lev[16];
+        int i = 0;
+        int nz = 0;
+        for (i = 0; i < 16; i++) {
+            lev[i] = ((seed + i * 13) & 255) / (q + 1);
+            if (lev[i] != 0) { nz = nz + 1; }
+        }
+        return nz;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(2097152);
+        arena[0] = 1;
+        long sum = 0;
+        int mb = 0;
+        int i = 0;
+        for (i = 0; i < 4096; i++) {
+            frame[i] = (i * 31) & 127;
+            refframe[i] = (i * 29 + 5) & 127;
+        }
+        for (mb = 0; mb < 140; mb++) {
+            sum = sum + sad_block(mb & 63, mb >> 3);
+            sum = sum + dct_block(mb * 11);
+            sum = sum + quant_block(mb & 7, mb * 3);
+        }
+        return sum & 0xffff;
+    }
+"#;
+
+/// OMNETPP: discrete event simulation — malloc/free churn for event
+/// objects plus moderate per-event handler calls.
+pub const OMNETPP: &str = r#"
+    long now = 0;
+
+    int handle_event(long *ev) {
+        long kind = ev[0];
+        long t = ev[1];
+        int work = 0;
+        char ctx[40];
+        ctx[0] = kind;
+        now = t;
+        work = (kind * 17 + t) & 255;
+        for (kind = 0; kind < 50; kind++) {
+            work = (work * 29 + kind) & 4095;
+        }
+        return work + ctx[0] - ctx[0];
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(6291456);
+        arena[0] = 1;
+        long sum = 0;
+        int i = 0;
+        for (i = 0; i < 700; i++) {
+            long *ev = malloc(32);
+            ev[0] = i & 7;
+            ev[1] = now + (i % 13) + 1;
+            sum = sum + handle_event(ev);
+            free(ev);
+        }
+        return (sum + now) & 0xffff;
+    }
+"#;
+
+/// ASTAR: grid pathfinding — frontier scans with small helper calls.
+pub const ASTAR: &str = r#"
+    long gscore[1024];
+    char closed[1024];
+
+    int heuristic(int a, int b) {
+        int ax = a & 31;
+        int ay = a >> 5;
+        int bx = b & 31;
+        int by = b >> 5;
+        int dx = ax - bx;
+        int dy = ay - by;
+        int w = 0;
+        if (dx < 0) { dx = 0 - dx; }
+        if (dy < 0) { dy = 0 - dy; }
+        for (w = 0; w < 30; w++) {
+            dx = dx + ((dy + w) & 1);
+        }
+        return dx + dy - (dx & 0);
+    }
+
+    int relax(int node, int goal) {
+        int best = 1000000;
+        int n = 0;
+        int d = 0;
+        int cand = 0;
+        for (d = 0; d < 4; d++) {
+            n = (node + 1 + d * 31) & 1023;
+            if (closed[n] == 0) {
+                cand = gscore[n] + 1 + heuristic(n, goal);
+                if (cand < best) { best = cand; }
+            }
+        }
+        for (d = 0; d < 45; d++) {
+            best = best + ((node + d) & 1);
+        }
+        gscore[node] = best;
+        closed[node] = 1;
+        return best;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(8388608);
+        arena[0] = 1;
+        long sum = 0;
+        int step = 0;
+        int i = 0;
+        for (i = 0; i < 1024; i++) { gscore[i] = heuristic(i, 993); }
+        for (step = 0; step < 360; step++) {
+            sum = sum + relax((step * 37) & 1023, 993);
+        }
+        return sum & 0xffff;
+    }
+"#;
+
+/// XALANCBMK: XML transform — byte-level string processing through
+/// many tiny helpers; the highest call rate after perlbench.
+pub const XALANCBMK: &str = r#"
+    char doc[2048];
+    char outbuf[4096];
+
+    int classify(int c) {
+        int k = c & 127;
+        if (k == 60) { return 1; }
+        if (k == 62) { return 2; }
+        if (k == 38) { return 3; }
+        return 0;
+    }
+
+    int escape_char(int c, int pos) {
+        char tmp[8];
+        int n = classify(c);
+        int w = 0;
+        int acc = c;
+        for (w = 0; w < 55; w++) {
+            acc = acc * 31 + w;
+        }
+        n = n + (acc & 0);
+        tmp[0] = c;
+        if (n == 3) {
+            outbuf[pos] = 38;
+            outbuf[pos + 1] = 97;
+            outbuf[pos + 2] = 109;
+            return 3;
+        }
+        outbuf[pos] = tmp[0];
+        return 1;
+    }
+
+    int transform(int len) {
+        int i = 0;
+        int o = 0;
+        for (i = 0; i < len; i++) {
+            o = o + escape_char(doc[i], o & 4000);
+        }
+        return o;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(4194304);
+        arena[0] = 1;
+        long sum = 0;
+        int pass = 0;
+        int i = 0;
+        for (i = 0; i < 2048; i++) { doc[i] = 30 + ((i * 11) & 63); }
+        for (pass = 0; pass < 2; pass++) {
+            sum = sum + transform(2048);
+        }
+        return sum & 0xffff;
+    }
+"#;
+
+/// MILC: lattice QCD — SU(3)-flavoured fused multiply loops over a
+/// flat lattice; compute-bound.
+pub const MILC: &str = r#"
+    long lat_re[1536];
+    long lat_im[1536];
+
+    int gauge_fix(int site, int sweep) {
+        long phase = 0;
+        phase = lat_re[site & 1535] + sweep;
+        lat_im[site & 1535] = (lat_im[site & 1535] + (phase & 3)) % 89;
+        return phase & 15;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(12582912);
+        arena[0] = 1;
+        int sweep = 0;
+        int i = 0;
+        long tr = 0;
+        long ti = 0;
+        long sum = 0;
+        for (i = 0; i < 1536; i++) {
+            lat_re[i] = (i * 5) & 31;
+            lat_im[i] = (i * 3) & 31;
+        }
+        for (sweep = 0; sweep < 140; sweep++) {
+            sum = sum + gauge_fix(sweep * 7, sweep);
+            sum = sum + gauge_fix(sweep * 13, sweep);
+            sum = sum + gauge_fix(sweep * 29, sweep);
+            for (i = 0; i < 1536; i++) {
+                tr = lat_re[i] * 2 - lat_im[(i + 3) % 1536];
+                ti = lat_im[i] * 2 + lat_re[(i + 7) % 1536];
+                lat_re[i] = tr % 97;
+                lat_im[i] = ti % 89;
+            }
+        }
+        for (i = 0; i < 1536; i++) { sum = sum + lat_re[i] + lat_im[i]; }
+        return sum & 0xffff;
+    }
+"#;
+
+/// POVRAY: ray tracer — per-ray recursion with vector scratch buffers;
+/// call-heavy with mid-sized frames.
+pub const POVRAY: &str = r#"
+    long spheres[64];
+
+    int intersect(int ray, int depth) {
+        long ox = ray & 255;
+        long oy = (ray >> 4) & 255;
+        long best = 1000000;
+        long d = 0;
+        int i = 0;
+        char shade[32];
+        shade[0] = depth;
+        for (i = 0; i < 64; i++) {
+            d = (ox - spheres[i]) * (ox - spheres[i]) + (oy - i) * (oy - i);
+            if (d < best) { best = d; }
+        }
+        return best & 1023;
+    }
+
+    int trace_ray(int ray, int depth) {
+        int hit = 0;
+        int reflected = 0;
+        long color = 0;
+        if (depth <= 0) { return 0; }
+        hit = intersect(ray, depth);
+        color = hit & 255;
+        if ((hit & 3) == 0) {
+            reflected = trace_ray(ray * 7 + depth, depth - 1);
+        }
+        return (color + reflected / 2) & 0xffff;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(6291456);
+        arena[0] = 1;
+        long image = 0;
+        int px = 0;
+        int i = 0;
+        for (i = 0; i < 64; i++) { spheres[i] = (i * 23) & 255; }
+        for (px = 0; px < 700; px++) {
+            image = image + trace_ray(px, 3);
+        }
+        return image & 0xffff;
+    }
+"#;
+
+/// LBM: lattice Boltzmann — the purest streaming kernel; essentially
+/// zero call overhead, the paper's near-zero bar.
+pub const LBM: &str = r#"
+    long cells[2048];
+    long next[2048];
+
+    int boundary(int side, int t) {
+        long edge = 0;
+        edge = cells[side] + t;
+        cells[side] = edge & 63;
+        return edge & 7;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(16777216);
+        arena[0] = 1;
+        int t = 0;
+        int i = 0;
+        long sum = 0;
+        for (i = 0; i < 2048; i++) { cells[i] = i & 63; }
+        for (t = 0; t < 120; t++) {
+            sum = sum + boundary(0, t) + boundary(2047, t);
+            sum = sum + boundary(1, t) + boundary(2046, t);
+            for (i = 1; i < 2047; i++) {
+                next[i] = (cells[i - 1] + cells[i] * 2 + cells[i + 1]) / 4;
+            }
+            for (i = 1; i < 2047; i++) {
+                cells[i] = next[i] + ((t ^ i) & 1);
+            }
+        }
+        for (i = 0; i < 2048; i++) { sum = sum + cells[i]; }
+        return sum & 0xffff;
+    }
+"#;
+
+/// SPHINX3: speech decoding — Gaussian scoring loops with moderate
+/// per-frame helper calls.
+pub const SPHINX3: &str = r#"
+    long means[256];
+    long vars[256];
+
+    int score_frame(int frame) {
+        long feat[32];
+        long score = 0;
+        int d = 0;
+        int g = 0;
+        long diff = 0;
+        for (d = 0; d < 32; d++) { feat[d] = (frame * 7 + d * 3) & 63; }
+        for (g = 0; g < 8; g++) {
+            for (d = 0; d < 32; d++) {
+                diff = feat[d] - means[g * 32 + d];
+                score = score + diff * diff / (vars[g * 32 + d] + 1);
+            }
+        }
+        return score & 0xffff;
+    }
+
+    int main() {
+        /* resident working set of the real benchmark (arena) */
+        char *arena = malloc(4194304);
+        arena[0] = 1;
+        long total = 0;
+        int f = 0;
+        int i = 0;
+        for (i = 0; i < 256; i++) {
+            means[i] = (i * 13) & 63;
+            vars[i] = (i & 15) + 1;
+        }
+        for (f = 0; f < 420; f++) {
+            total = total + score_frame(f);
+        }
+        return total & 0xffff;
+    }
+"#;
+
+/// PROFTPD (I/O-bound): an FTP-ish command loop that spends nearly all
+/// of its time waiting for the network; compute is a sliver.
+pub const PROFTPD_APP: &str = r#"
+    long sessions = 0;
+
+    int parse_command(int raw) {
+        char cmdbuf[64];
+        int verb = raw & 7;
+        cmdbuf[0] = verb;
+        if (verb == 0) { return 1; }
+        if (verb == 1) { return 2; }
+        return 3 + cmdbuf[0] - cmdbuf[0];
+    }
+
+    int main() {
+        long served = 0;
+        int req = 0;
+        for (req = 0; req < 120; req++) {
+            io_wait(4000);
+            served = served + parse_command(req * 13);
+        }
+        sessions = served;
+        return served & 0xffff;
+    }
+"#;
+
+/// WIRESHARK (I/O-bound): capture-and-dissect loop dominated by
+/// waiting on the capture device.
+pub const WIRESHARK_APP: &str = r#"
+    long packets = 0;
+
+    int dissect(int pkt) {
+        char header[32];
+        int proto = 0;
+        int i = 0;
+        for (i = 0; i < 32; i++) { header[i] = (pkt * 7 + i) & 255; }
+        proto = header[0] & 3;
+        if (proto == 0) { return header[4]; }
+        if (proto == 1) { return header[8] + header[12]; }
+        return header[2];
+    }
+
+    int main() {
+        long sum = 0;
+        int pkt = 0;
+        for (pkt = 0; pkt < 150; pkt++) {
+            io_wait(3200);
+            sum = sum + dissect(pkt);
+            packets = packets + 1;
+        }
+        return sum & 0xffff;
+    }
+"#;

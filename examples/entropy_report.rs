@@ -1,0 +1,90 @@
+//! Entropy audit of a hardened build: per-function permutation entropy,
+//! the weakest link, and brute-force economics under the paper's
+//! restart model — the quantitative version of Section V-C's security
+//! argument.
+//!
+//! ```sh
+//! cargo run --release --example entropy_report
+//! ```
+
+use smokestack_repro::core::EntropyReport;
+use smokestack_repro::harden_source;
+
+const SERVICE: &str = r#"
+    long requests = 0;
+
+    int parse_header(long tag) {
+        char line[128];
+        int fields = 0;
+        long len = 0;
+        line[0] = tag;
+        return fields + len;
+    }
+
+    int route(long tag) {
+        char path[64];
+        int code = 200;
+        long handler = 0;
+        short flags = 0;
+        char query[96];
+        path[0] = tag;
+        query[0] = 2;
+        return code + handler + flags;
+    }
+
+    int respond(long tag) {
+        char body[256];
+        long written = 0;
+        body[0] = tag;
+        return written;
+    }
+
+    int log_line(long tag) {
+        long stamp = tag;
+        return stamp;
+    }
+
+    int main() {
+        long i = 0;
+        while (i < 4) {
+            requests = requests + parse_header(i) + route(i) + respond(i) + log_line(i);
+            i = i + 1;
+        }
+        return requests & 0xff;
+    }
+"#;
+
+fn main() {
+    let (_, report) = harden_source(SERVICE).expect("service compiles");
+    let audit = EntropyReport::from_harden(&report);
+
+    println!("ENTROPY AUDIT (per-invocation stack-layout entropy)\n");
+    println!(
+        "{:<14} {:>6} {:>14} {:>8} {:>18}",
+        "function", "slots", "permutations", "bits", "expected attempts"
+    );
+    println!("{}", "-".repeat(66));
+    for f in &audit.functions {
+        println!(
+            "{:<14} {:>6} {:>14} {:>8.1} {:>18}",
+            f.func, f.slots, f.permutations, f.bits, f.expected_attempts
+        );
+    }
+
+    let weakest = audit.weakest().expect("instrumented functions exist");
+    println!(
+        "\nweakest link: `{}` at {:.1} bits — a blind exploit against it",
+        weakest.func, weakest.bits
+    );
+    for attempts in [1u64, 16, 256] {
+        println!(
+            "  succeeds within {:>4} restart(s) with probability {:>6.2}%",
+            attempts,
+            100.0 * EntropyReport::breach_probability(weakest.bits, attempts)
+        );
+    }
+    println!("\nThe paper's Section V-C brute-force row assumes exactly this model:");
+    println!("each wrong guess crashes the service (or trips the guard), so the");
+    println!("defender sees every failed attempt while the attacker pays a full");
+    println!("restart per bit of entropy.");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: compile a C-like program, harden it with Smokestack, and
+//! watch the stack layout change on every function invocation.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use smokestack_repro::harden_source;
+use smokestack_repro::minic::compile;
+use smokestack_repro::vm::{ScriptedInput, Vm, VmConfig};
+
+// A function with three locals; it prints the distance between two of
+// them each time it runs. Under a conventional compiler that distance
+// is a constant; under Smokestack it is redrawn per invocation.
+const SRC: &str = r#"
+    void probe(long round) {
+        long a = 1;
+        char buf[32];
+        long c = 2;
+        print_int(round);
+        print_str(": &a - &c = ");
+        print_int(&a - &c);
+        print_str("\n");
+    }
+
+    int main() {
+        long i = 0;
+        while (i < 6) {
+            probe(i);
+            i = i + 1;
+        }
+        return 0;
+    }
+"#;
+
+fn main() {
+    println!("== baseline build (fixed layout) ==");
+    let module = compile(SRC).expect("source compiles");
+    let mut vm = Vm::new(module, VmConfig::default());
+    let out = vm.run_main(ScriptedInput::empty());
+    print!("{}", out.output_text());
+
+    println!("\n== smokestack build (layout redrawn every call) ==");
+    let (module, report) = harden_source(SRC).expect("source compiles");
+    println!(
+        "instrumented {} function(s); P-BOX = {} read-only bytes; probe entropy = {:.1} bits/call\n",
+        report.functions_instrumented,
+        report.pbox_bytes,
+        report.placements["probe"].entropy_bits,
+    );
+    let mut vm = Vm::new(module, VmConfig::default());
+    let out = vm.run_main(ScriptedInput::empty());
+    print!("{}", out.output_text());
+
+    println!("\nSame program, same inputs, same results - but every invocation of");
+    println!("`probe` drew a fresh permutation of its locals, so the relative");
+    println!("distances a DOP exploit needs are different every time.");
+}

@@ -1,0 +1,240 @@
+//! Cross-crate integration: front-end → defenses → instrumentation →
+//! VM, exercising the full pipeline the way the experiments do.
+
+use smokestack_repro::core::{self, SmokestackConfig};
+use smokestack_repro::defenses::{deploy, DefenseKind};
+use smokestack_repro::ir;
+use smokestack_repro::minic::compile;
+use smokestack_repro::srng::SchemeKind;
+use smokestack_repro::vm::{Exit, ScriptedInput, Vm, VmConfig};
+use smokestack_repro::workloads;
+
+/// Every defense build of every (subset) workload behaves identically
+/// to the unprotected build.
+#[test]
+fn defense_matrix_preserves_workload_behavior() {
+    let subset = ["perlbench", "gobmk", "omnetpp", "lbm", "wireshark"];
+    for name in subset {
+        let w = workloads::by_name(name).expect("workload exists");
+        let baseline = {
+            let m = w.compile().unwrap();
+            Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+        };
+        assert!(baseline.exit.is_clean(), "{name} baseline");
+        for kind in DefenseKind::MATRIX {
+            let mut m = w.compile().unwrap();
+            let dep = deploy(kind, &mut m, 3, 9);
+            ir::verify_module(&m).unwrap_or_else(|e| panic!("{name}/{kind}: {e:?}"));
+            let mut vm = Vm::new(
+                m,
+                VmConfig {
+                    scheme: kind.scheme(),
+                    stack_base_offset: dep.stack_base_offset,
+                    trng_seed: 1234,
+                    ..VmConfig::default()
+                },
+            );
+            let out = vm.run_main(ScriptedInput::empty());
+            assert_eq!(out.exit, baseline.exit, "{name} under {kind}");
+        }
+    }
+}
+
+/// The full pipeline through the facade crate.
+#[test]
+fn facade_harden_source_runs() {
+    let (m, report) = smokestack_repro::harden_source(
+        r#"
+        int square(int x) { int v = x * x; return v; }
+        int main() {
+            int acc = 0;
+            for (int i = 1; i <= 4; i++) { acc = acc + square(i); }
+            return acc;
+        }
+        "#,
+    )
+    .unwrap();
+    assert_eq!(report.functions_instrumented, 2);
+    let mut vm = Vm::new(m, VmConfig::default());
+    assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(30));
+}
+
+/// Layout entropy: the same function invoked repeatedly sees many
+/// distinct relative layouts across a run.
+#[test]
+fn per_invocation_entropy_is_observable() {
+    let src = r#"
+        void probe(long i) {
+            long a = 0;
+            char buf[24];
+            long c = 0;
+            short d = 0;
+            print_int(&a - &c);
+        }
+        int main() {
+            long i = 0;
+            while (i < 32) { probe(i); i = i + 1; }
+            return 0;
+        }
+    "#;
+    let mut m = compile(src).unwrap();
+    core::harden(&mut m, &SmokestackConfig::default());
+    let mut vm = Vm::new(m, VmConfig::default());
+    let out = vm.run_main(ScriptedInput::empty());
+    let distances: std::collections::HashSet<String> =
+        out.output.iter().map(|e| e.to_text()).collect();
+    assert!(
+        distances.len() >= 4,
+        "expected several distinct layouts, saw {}",
+        distances.len()
+    );
+}
+
+/// The RNG scheme changes performance but never results.
+#[test]
+fn schemes_change_cost_not_behavior() {
+    let w = workloads::by_name("sjeng").unwrap();
+    let mut results = Vec::new();
+    let mut cycles = Vec::new();
+    for scheme in SchemeKind::ALL {
+        let mut m = w.compile().unwrap();
+        core::harden(&mut m, &SmokestackConfig::default());
+        let mut vm = Vm::new(
+            m,
+            VmConfig {
+                scheme,
+                ..VmConfig::default()
+            },
+        );
+        let out = vm.run_main(ScriptedInput::empty());
+        results.push(out.exit.clone());
+        cycles.push(out.decicycles);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+    // Costs strictly increase with scheme cost (same draw count).
+    assert!(cycles.windows(2).all(|w| w[0] < w[1]), "{cycles:?}");
+}
+
+/// The P-BOX is installed read-only and the program cannot write it.
+#[test]
+fn pbox_immutable_at_runtime() {
+    let src = r#"
+        int main() {
+            int x = 1;
+            char buf[8];
+            buf[0] = x;
+            return x;
+        }
+    "#;
+    let mut m = compile(src).unwrap();
+    let report = core::harden(&mut m, &SmokestackConfig::default());
+    let gid = report.pbox_global.expect("instrumented");
+    assert!(m.global(gid).readonly);
+    let mut vm = Vm::new(m, VmConfig::default());
+    let out = vm.run_main(ScriptedInput::empty());
+    assert_eq!(out.exit, Exit::Return(1));
+    // Attacker write to the P-BOX faults (threat model: rodata is safe).
+    let addr = vm.global_addr(core::PBOX_GLOBAL);
+    assert!(vm.mem_mut().write(addr, &[0xFF]).is_err());
+}
+
+/// VLAs still work end to end under hardening (dynamic random padding).
+#[test]
+fn vla_programs_survive_hardening() {
+    let src = r#"
+        long sum_vla(int n) {
+            long total = 0;
+            long data[n];
+            for (int i = 0; i < n; i++) { data[i] = i; }
+            for (int i = 0; i < n; i++) { total = total + data[i]; }
+            return total;
+        }
+        long main() { return sum_vla(10) + sum_vla(4); }
+    "#;
+    let baseline = {
+        let m = compile(src).unwrap();
+        Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+    };
+    assert_eq!(baseline.exit, Exit::Return(45 + 6));
+    let mut m = compile(src).unwrap();
+    core::harden(&mut m, &SmokestackConfig::default());
+    for seed in 0..6 {
+        let mut vm = Vm::new(
+            m.clone(),
+            VmConfig {
+                trng_seed: seed,
+                ..VmConfig::default()
+            },
+        );
+        assert_eq!(vm.run_main(ScriptedInput::empty()).exit, baseline.exit);
+    }
+}
+
+/// Pass-manager pipeline: baseline defense passes compose with
+/// Smokestack when layered deliberately (stack-base + smokestack).
+#[test]
+fn layered_defenses_compose() {
+    let src = "int main() { int a = 1; char b[16]; return a; }";
+    let mut m = compile(src).unwrap();
+    core::harden(&mut m, &SmokestackConfig::default());
+    let mut vm = Vm::new(
+        m,
+        VmConfig {
+            stack_base_offset: 8192,
+            ..VmConfig::default()
+        },
+    );
+    assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(1));
+}
+
+/// Textual IR round trip: a front-end-compiled and Smokestack-hardened
+/// workload survives print → parse → print byte-identically, and the
+/// reparsed module runs to the same result.
+#[test]
+fn textual_ir_roundtrip_of_hardened_workload() {
+    let w = workloads::by_name("gcc").unwrap();
+    let mut m = w.compile().unwrap();
+    core::harden(&mut m, &SmokestackConfig::default());
+    let printed = m.to_string();
+    let back = ir::parse_ir(&printed).expect("parses back");
+    assert_eq!(printed, back.to_string(), "round trip not stable");
+    ir::verify_module(&back).expect("reparsed module verifies");
+    let a = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+    let b = Vm::new(back, VmConfig::default()).run_main(ScriptedInput::empty());
+    assert_eq!(a.exit, b.exit);
+}
+
+/// The scalar optimizer preserves behavior on the corpus and composes
+/// with Smokestack in either order.
+#[test]
+fn optimizer_preserves_behavior_and_composes() {
+    for name in ["gcc", "sjeng", "bzip2"] {
+        let w = workloads::by_name(name).unwrap();
+        let baseline = {
+            let m = w.compile().unwrap();
+            Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+        };
+        // Optimize only.
+        let mut m1 = w.compile().unwrap();
+        let stats = ir::Optimize::optimize(&mut m1);
+        ir::verify_module(&m1).unwrap();
+        assert!(stats.folded + stats.removed > 0, "{name}: nothing optimized");
+        let o1 = Vm::new(m1, VmConfig::default()).run_main(ScriptedInput::empty());
+        assert_eq!(o1.exit, baseline.exit, "{name} optimize-only");
+        // Optimize, then harden.
+        let mut m2 = w.compile().unwrap();
+        ir::Optimize::optimize(&mut m2);
+        core::harden(&mut m2, &SmokestackConfig::default());
+        ir::verify_module(&m2).unwrap();
+        let o2 = Vm::new(m2, VmConfig::default()).run_main(ScriptedInput::empty());
+        assert_eq!(o2.exit, baseline.exit, "{name} optimize-then-harden");
+        // Harden, then optimize (the instrumentation's index arithmetic
+        // must survive folding/DCE untouched in behavior).
+        let mut m3 = w.compile().unwrap();
+        core::harden(&mut m3, &SmokestackConfig::default());
+        ir::Optimize::optimize(&mut m3);
+        ir::verify_module(&m3).unwrap();
+        let o3 = Vm::new(m3, VmConfig::default()).run_main(ScriptedInput::empty());
+        assert_eq!(o3.exit, baseline.exit, "{name} harden-then-optimize");
+    }
+}

@@ -1,0 +1,269 @@
+//! Differential testing of the front-end + VM against a reference
+//! evaluator: randomly generated arithmetic programs must compute the
+//! same value through `minic → IR → VM` as through a direct Rust
+//! implementation of MiniC's C-style semantics (i32/i64 widths, integer
+//! promotion, wrapping arithmetic, masked shifts, 0/1 comparisons).
+
+use proptest::prelude::*;
+use smokestack_repro::minic::compile;
+use smokestack_repro::vm::{Exit, ScriptedInput, Vm, VmConfig};
+
+/// A typed value in the reference semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Val {
+    Int(i32),
+    Long(i64),
+}
+
+impl Val {
+    fn as_i64(self) -> i64 {
+        match self {
+            Val::Int(v) => v as i64,
+            Val::Long(v) => v,
+        }
+    }
+
+    fn is_long(self) -> bool {
+        matches!(self, Val::Long(_))
+    }
+}
+
+/// Expression AST mirrored by both the generator and the reference.
+#[derive(Debug, Clone)]
+enum E {
+    IntLit(i32),
+    LongLit(i64),
+    Var(usize),
+    Bin(Op, Box<E>, Box<E>),
+    Neg(Box<E>),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Eq,
+}
+
+impl Op {
+    fn c_token(self) -> &'static str {
+        match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+            Op::And => "&",
+            Op::Or => "|",
+            Op::Xor => "^",
+            Op::Shl => "<<",
+            Op::Shr => ">>",
+            Op::Lt => "<",
+            Op::Gt => ">",
+            Op::Eq => "==",
+        }
+    }
+}
+
+/// Variables available to expressions: (name, type-is-long, value).
+const VARS: [(&str, bool); 4] = [("a", false), ("b", true), ("c", false), ("d", true)];
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i32..1000).prop_map(E::IntLit),
+        (-100_000i64..100_000).prop_map(E::LongLit),
+        (0usize..VARS.len()).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(4, 48, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(Op::Add),
+                    Just(Op::Sub),
+                    Just(Op::Mul),
+                    Just(Op::And),
+                    Just(Op::Or),
+                    Just(Op::Xor),
+                    Just(Op::Lt),
+                    Just(Op::Gt),
+                    Just(Op::Eq),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r))),
+            // Shifts with small literal amounts only (C UB territory
+            // otherwise; MiniC masks, but keep the reference simple).
+            (prop_oneof![Just(Op::Shl), Just(Op::Shr)], inner.clone(), 0i32..8)
+                .prop_map(|(op, l, k)| E::Bin(op, Box::new(l), Box::new(E::IntLit(k)))),
+            inner.prop_map(|e| E::Neg(Box::new(e))),
+        ]
+    })
+}
+
+/// Render as MiniC source (fully parenthesized).
+fn render(e: &E) -> String {
+    match e {
+        E::IntLit(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -(*v as i64))
+            } else {
+                format!("{v}")
+            }
+        }
+        E::LongLit(v) => {
+            // Force long type by adding to a long zero variable `zl`.
+            if *v < 0 {
+                format!("(zl - {})", -(*v))
+            } else {
+                format!("(zl + {v})")
+            }
+        }
+        E::Var(i) => VARS[*i].0.to_string(),
+        E::Bin(op, l, r) => format!("({} {} {})", render(l), op.c_token(), render(r)),
+        E::Neg(inner) => format!("(0 - {})", render(inner)),
+    }
+}
+
+/// Reference evaluation mirroring MiniC's lowering rules.
+fn eval(e: &E, env: &[i64]) -> Val {
+    match e {
+        E::IntLit(v) => Val::Int(*v),
+        E::LongLit(v) => Val::Long(*v),
+        E::Var(i) => {
+            if VARS[*i].1 {
+                Val::Long(env[*i])
+            } else {
+                Val::Int(env[*i] as i32)
+            }
+        }
+        E::Neg(inner) => {
+            let v = eval(inner, env);
+            if v.is_long() {
+                Val::Long(0i64.wrapping_sub(v.as_i64()))
+            } else {
+                Val::Int(0i32.wrapping_sub(v.as_i64() as i32))
+            }
+        }
+        E::Bin(op, l, r) => {
+            let (a, b) = (eval(l, env), eval(r, env));
+            let wide = a.is_long() || b.is_long();
+            macro_rules! arith {
+                ($f32:ident, $f64:ident) => {
+                    if wide {
+                        Val::Long(a.as_i64().$f64(b.as_i64()))
+                    } else {
+                        Val::Int((a.as_i64() as i32).$f32(b.as_i64() as i32))
+                    }
+                };
+            }
+            match op {
+                Op::Add => arith!(wrapping_add, wrapping_add),
+                Op::Sub => arith!(wrapping_sub, wrapping_sub),
+                Op::Mul => arith!(wrapping_mul, wrapping_mul),
+                Op::And => {
+                    if wide {
+                        Val::Long(a.as_i64() & b.as_i64())
+                    } else {
+                        Val::Int(a.as_i64() as i32 & b.as_i64() as i32)
+                    }
+                }
+                Op::Or => {
+                    if wide {
+                        Val::Long(a.as_i64() | b.as_i64())
+                    } else {
+                        Val::Int(a.as_i64() as i32 | b.as_i64() as i32)
+                    }
+                }
+                Op::Xor => {
+                    if wide {
+                        Val::Long(a.as_i64() ^ b.as_i64())
+                    } else {
+                        Val::Int(a.as_i64() as i32 ^ b.as_i64() as i32)
+                    }
+                }
+                Op::Shl => {
+                    if wide {
+                        Val::Long(a.as_i64().wrapping_shl(b.as_i64() as u32 & 63))
+                    } else {
+                        Val::Int((a.as_i64() as i32).wrapping_shl(b.as_i64() as u32 & 31))
+                    }
+                }
+                Op::Shr => {
+                    if wide {
+                        Val::Long(a.as_i64().wrapping_shr(b.as_i64() as u32 & 63))
+                    } else {
+                        Val::Int((a.as_i64() as i32).wrapping_shr(b.as_i64() as u32 & 31))
+                    }
+                }
+                Op::Lt => Val::Int((a.as_i64() < b.as_i64()) as i32),
+                Op::Gt => Val::Int((a.as_i64() > b.as_i64()) as i32),
+                Op::Eq => Val::Int((a.as_i64() == b.as_i64()) as i32),
+            }
+        }
+    }
+}
+
+fn run_minic(src: &str) -> i64 {
+    let m = compile(src).unwrap_or_else(|e| panic!("generated program failed: {e}\n{src}"));
+    let mut vm = Vm::new(m, VmConfig::default());
+    match vm.run_main(ScriptedInput::empty()).exit {
+        Exit::Return(v) => v as i64,
+        other => panic!("generated program crashed: {other:?}\n{src}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// minic+VM agrees with the reference on random expressions, both
+    /// on the plain build and on the Smokestack-hardened build.
+    #[test]
+    fn minic_matches_reference(
+        e in arb_expr(),
+        av in -1000i64..1000,
+        bv in -100_000i64..100_000,
+        cv in -1000i64..1000,
+        dv in -100_000i64..100_000,
+    ) {
+        let env = [av, bv, cv, dv];
+        let expected = eval(&e, &env).as_i64();
+        let src = format!(
+            "long main() {{\n  long zl = 0;\n  int a = {av};\n  long b = {bv};\n  int c = {cv};\n  long d = {dv};\n  return {};\n}}",
+            render(&e)
+        );
+        let got = run_minic(&src);
+        prop_assert_eq!(got, expected, "program:\n{}", src);
+
+        // Same program, hardened: identical result.
+        let mut m = compile(&src).unwrap();
+        smokestack_repro::core::harden(
+            &mut m,
+            &smokestack_repro::core::SmokestackConfig::default(),
+        );
+        let mut vm = Vm::new(m, VmConfig::default());
+        match vm.run_main(ScriptedInput::empty()).exit {
+            Exit::Return(v) => prop_assert_eq!(v as i64, expected, "hardened:\n{}", src),
+            other => prop_assert!(false, "hardened crashed: {:?}\n{}", other, src),
+        }
+    }
+
+    /// Short-circuit logic: `&&`/`||` produce exactly 0/1 and evaluate
+    /// like the reference.
+    #[test]
+    fn short_circuit_matches_reference(x in -5i64..5, y in -5i64..5) {
+        let src = format!(
+            "int main() {{ long x = {x}; long y = {y}; return (x && y) * 4 + (x || y) * 2 + (!x); }}"
+        );
+        let expected = ((x != 0 && y != 0) as i64) * 4
+            + ((x != 0 || y != 0) as i64) * 2
+            + ((x == 0) as i64);
+        prop_assert_eq!(run_minic(&src), expected);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use smokestack_repro::core::{
+    factorial, layout_for_rank, AllocSlot, PBoxBuilder, PBoxConfig,
+};
+use smokestack_repro::minic::compile;
+use smokestack_repro::srng::{Aes128, Aes128Ctr, RandomSource, SeededTrng, XorShift64};
+use smokestack_repro::vm::{layout, MemConfig, Memory, ScriptedInput, Vm, VmConfig};
+
+/// Arbitrary allocation multisets (realistic sizes/alignments).
+fn arb_slots() -> impl Strategy<Value = Vec<AllocSlot>> {
+    prop::collection::vec(
+        (0u8..5u8, 1u64..65u64).prop_map(|(align_pow, units)| {
+            let align = 1u64 << align_pow.min(4);
+            AllocSlot::new("s", units * align, align)
+        }),
+        1..7,
+    )
+}
+
+proptest! {
+    /// Algorithm 1 invariants for every rank of arbitrary frames: slots
+    /// are aligned, non-overlapping, and inside the reported total.
+    #[test]
+    fn permutation_layouts_always_valid(slots in arb_slots(), rank_seed in any::<u64>()) {
+        let n = slots.len();
+        let nfact = factorial(n).unwrap();
+        let rank = (rank_seed as u128) % nfact;
+        let l = layout_for_rank(&slots, rank);
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (k, s) in slots.iter().enumerate() {
+            prop_assert_eq!(l.offsets[k] % s.align, 0, "misaligned slot");
+            ranges.push((l.offsets[k], l.offsets[k] + s.size));
+        }
+        ranges.sort_unstable();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 <= w[1].0, "slots overlap");
+        }
+        prop_assert!(ranges.last().unwrap().1 <= l.total);
+    }
+
+    /// Distinct ranks produce distinct orders (injectivity) for small n.
+    #[test]
+    fn permutation_ranks_injective(n in 1usize..6, a in any::<u64>(), b in any::<u64>()) {
+        let nfact = factorial(n).unwrap();
+        let (ra, rb) = ((a as u128) % nfact, (b as u128) % nfact);
+        let oa = smokestack_repro::core::order_for_rank(n, ra);
+        let ob = smokestack_repro::core::order_for_rank(n, rb);
+        prop_assert_eq!(ra == rb, oa == ob);
+    }
+
+    /// P-BOX tables built from arbitrary frames keep every row inside
+    /// the advertised slab size, for every function placement.
+    #[test]
+    fn pbox_rows_fit_slab(frames in prop::collection::vec(arb_slots(), 1..5)) {
+        let mut b = PBoxBuilder::new(PBoxConfig { max_table_len: 64, ..PBoxConfig::default() });
+        let keys: Vec<usize> = frames.iter().map(|f| b.add(f)).collect();
+        let (pbox, placements) = b.finish();
+        for (frame, key) in frames.iter().zip(keys) {
+            let p = &placements[key];
+            let t = &pbox.tables[p.table];
+            for row in &t.rows {
+                for (slot_idx, &col) in p.columns.iter().enumerate() {
+                    let off = row.offsets[col];
+                    prop_assert!(off + frame[slot_idx].size <= p.slab_size);
+                    prop_assert_eq!(off % frame[slot_idx].align, 0);
+                }
+            }
+        }
+    }
+
+    /// AES-128 is a permutation: distinct blocks encrypt to distinct
+    /// ciphertexts under the same key.
+    #[test]
+    fn aes_injective(key in any::<[u8; 16]>(), a in any::<[u8; 16]>(), b in any::<[u8; 16]>()) {
+        let aes = Aes128::new(key);
+        prop_assert_eq!(a == b, aes.encrypt_block(a) == aes.encrypt_block(b));
+    }
+
+    /// The CTR keystream never repeats within a window, for any seed.
+    #[test]
+    fn aes_ctr_no_repeats(seed in any::<u64>()) {
+        let mut g = Aes128Ctr::new(10, SeededTrng::new(seed));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..512 {
+            prop_assert!(seen.insert(g.next_u64()));
+        }
+    }
+
+    /// xorshift unstep is a two-sided inverse of step.
+    #[test]
+    fn xorshift_bijective(s in any::<u64>()) {
+        let (next, _) = XorShift64::step(s);
+        prop_assert_eq!(XorShift64::unstep(next), s);
+    }
+
+    /// Memory round-trips arbitrary byte strings at arbitrary valid
+    /// offsets in the data segment.
+    #[test]
+    fn memory_roundtrip(off in 8u64..4000u64, bytes in prop::collection::vec(any::<u8>(), 1..64)) {
+        let mut m = Memory::new(MemConfig::default());
+        let addr = layout::DATA_BASE + off;
+        m.write(addr, &bytes).unwrap();
+        prop_assert_eq!(m.read(addr, bytes.len() as u64).unwrap(), &bytes[..]);
+    }
+
+    /// Observational equivalence: for randomly generated straight-line
+    /// arithmetic programs, the hardened build returns exactly what the
+    /// baseline returns, across seeds.
+    #[test]
+    fn hardened_equivalence_random_programs(
+        consts in prop::collection::vec(-100i64..100i64, 3..8),
+        seed in any::<u64>(),
+    ) {
+        // Build: long v0 = c0; ... ; return v0 + v1 - v2 ...;
+        let decls: String = consts
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("long v{i} = {c}; char b{i}[{}];\n", 8 + 8 * (i % 3)))
+            .collect();
+        let expr: String = (0..consts.len())
+            .map(|i| format!("v{i}"))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let src = format!("long main() {{ {decls} return {expr}; }}");
+        let baseline = {
+            let m = compile(&src).unwrap();
+            Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+        };
+        let mut m = compile(&src).unwrap();
+        smokestack_repro::core::harden(
+            &mut m,
+            &smokestack_repro::core::SmokestackConfig::default(),
+        );
+        let mut vm = Vm::new(m, VmConfig { trng_seed: seed, ..VmConfig::default() });
+        let hard = vm.run_main(ScriptedInput::empty());
+        prop_assert_eq!(baseline.exit, hard.exit);
+    }
+}

@@ -1,0 +1,125 @@
+//! Pinned outcomes for the paper's security evaluation (§II-C + §V-C):
+//! the verdict of every attack × defense cell that the paper asserts.
+
+use smokestack_repro::attacks::{
+    evaluate_seeded, librelp::LibrelpAttack, listing1::Listing1Attack, proftpd::ProftpdAttack,
+    synthetic, wireshark::WiresharkAttack, Attack,
+};
+use smokestack_repro::defenses::DefenseKind;
+use smokestack_repro::srng::SchemeKind;
+
+fn bypasses(attack: &dyn Attack, defense: DefenseKind, seed: u64) {
+    let eval = evaluate_seeded(attack, defense, 2, seed);
+    assert!(!eval.stopped(), "{eval}");
+}
+
+fn stops(attack: &dyn Attack, defense: DefenseKind, seed: u64) {
+    let eval = evaluate_seeded(attack, defense, 3, seed);
+    assert!(eval.stopped(), "{eval}");
+}
+
+/// Paper §II-C: prior randomization schemes do not stop DOP.
+#[test]
+fn prior_schemes_bypassed_by_dop() {
+    for (i, attack) in synthetic::all().iter().enumerate() {
+        let seed = 100 + i as u64 * 10;
+        bypasses(attack.as_ref(), DefenseKind::None, seed);
+        bypasses(attack.as_ref(), DefenseKind::StackBase, seed + 1);
+        bypasses(attack.as_ref(), DefenseKind::EntryPadding, seed + 2);
+    }
+}
+
+/// Paper §V-C: Smokestack with a high-security source stops the
+/// synthetic suite.
+#[test]
+fn smokestack_stops_synthetic_suite() {
+    for (i, attack) in synthetic::all().iter().enumerate() {
+        let seed = 300 + i as u64 * 10;
+        stops(attack.as_ref(), DefenseKind::Smokestack(SchemeKind::Aes10), seed);
+        stops(
+            attack.as_ref(),
+            DefenseKind::Smokestack(SchemeKind::Rdrand),
+            seed + 1,
+        );
+    }
+}
+
+/// The §III-D ablation: a memory-based PRNG gives no protection.
+#[test]
+fn pseudo_rng_ablation() {
+    bypasses(
+        &Listing1Attack,
+        DefenseKind::Smokestack(SchemeKind::Pseudo),
+        500,
+    );
+    bypasses(
+        &LibrelpAttack,
+        DefenseKind::Smokestack(SchemeKind::Pseudo),
+        510,
+    );
+}
+
+/// The real-vulnerability case studies under Smokestack (§V-C): all
+/// three are stopped with the standard (AES-10) configuration.
+#[test]
+fn real_world_attacks_stopped() {
+    stops(
+        &LibrelpAttack,
+        DefenseKind::Smokestack(SchemeKind::Aes10),
+        600,
+    );
+    stops(
+        &WiresharkAttack,
+        DefenseKind::Smokestack(SchemeKind::Aes10),
+        610,
+    );
+    stops(
+        &ProftpdAttack,
+        DefenseKind::Smokestack(SchemeKind::Aes10),
+        620,
+    );
+}
+
+/// And all three succeed against an unprotected service.
+#[test]
+fn real_world_attacks_work_unprotected() {
+    bypasses(&LibrelpAttack, DefenseKind::None, 700);
+    bypasses(&WiresharkAttack, DefenseKind::None, 710);
+    bypasses(&ProftpdAttack, DefenseKind::None, 720);
+}
+
+/// The ProFTPD exploit's headline property: it bypasses ASLR (paper:
+/// "extract private keys bypassing ASLR").
+#[test]
+fn proftpd_bypasses_aslr() {
+    bypasses(&ProftpdAttack, DefenseKind::StackBase, 800);
+}
+
+/// The librelp exploit's headline property: its non-linear write skips
+/// stack canaries.
+#[test]
+fn librelp_bypasses_canary() {
+    bypasses(&LibrelpAttack, DefenseKind::Canary, 900);
+}
+
+/// Wireshark's linear sweep is stopped under every Smokestack scheme,
+/// and across the schemes the guard is what catches it (the paper's
+/// "detected the violations when the overflow corrupted unintended
+/// data like the function identifier"). Whether an individual trial
+/// ends in detection or in a silent miss depends on where the stale
+/// sweep lands, so detection is asserted in aggregate.
+#[test]
+fn wireshark_guard_detection_all_schemes() {
+    let mut total_detections = 0;
+    for (i, scheme) in SchemeKind::ALL.into_iter().enumerate() {
+        let eval = evaluate_seeded(
+            &WiresharkAttack,
+            DefenseKind::Smokestack(scheme),
+            2,
+            1000 + i as u64,
+        );
+        assert!(eval.stopped(), "{eval}");
+        total_detections += eval.detections;
+    }
+    assert!(total_detections > 0, "guard never fired across schemes");
+}
