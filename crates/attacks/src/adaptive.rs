@@ -87,7 +87,9 @@ struct Snapshot {
 }
 
 fn take_snapshot(mem: &Memory, around: u64) -> Snapshot {
-    let lo = around.saturating_sub(512).max(layout::STACK_TOP - (8 << 20));
+    let lo = around
+        .saturating_sub(512)
+        .max(layout::STACK_TOP - (8 << 20));
     let hi = (around + 512).min(layout::STACK_TOP);
     let base = lo & !7;
     let mut words = Vec::new();
@@ -101,7 +103,7 @@ fn take_snapshot(mem: &Memory, around: u64) -> Snapshot {
 
 impl Snapshot {
     fn value_at(&self, addr: u64) -> Option<u64> {
-        if addr < self.base || addr % 8 != 0 {
+        if addr < self.base || !addr.is_multiple_of(8) {
             return None;
         }
         self.words.get(((addr - self.base) / 8) as usize).copied()
@@ -148,13 +150,13 @@ fn passive_solve(
         if !ctr_candidates.contains(&ctr_addr) || !max_candidates.contains(&max_addr) {
             continue;
         }
-        let mut unknown = [
-            offs[2] - buff_off,
-            offs[3] - buff_off,
-            offs[4] - buff_off,
-        ];
+        let mut unknown = [offs[2] - buff_off, offs[3] - buff_off, offs[4] - buff_off];
         unknown.sort_unstable();
-        let cand = (offs[SLOT_CTR] - buff_off, offs[SLOT_MAX] - buff_off, unknown);
+        let cand = (
+            offs[SLOT_CTR] - buff_off,
+            offs[SLOT_MAX] - buff_off,
+            unknown,
+        );
         match &solution {
             None => solution = Some(cand),
             Some(existing) if *existing != cand => return None,
@@ -319,20 +321,13 @@ impl Attack for AdaptiveAttack {
                 Phase::DisambA { ctr, max, unknown } => {
                     // One of the unknown slots now holds `target`.
                     let slab_rel = |d: i64| (buff as i64 + d) as u64;
-                    let acc = unknown
-                        .iter()
-                        .copied()
-                        .find(|&d| {
-                            mem.read_uint(slab_rel(d), 8).ok()
-                                == Some(TARGET_INITIAL as u64)
-                        });
+                    let acc = unknown.iter().copied().find(|&d| {
+                        mem.read_uint(slab_rel(d), 8).ok() == Some(TARGET_INITIAL as u64)
+                    });
                     match acc {
                         Some(acc_off) => {
-                            let q: Vec<i64> = unknown
-                                .iter()
-                                .copied()
-                                .filter(|&d| d != acc_off)
-                                .collect();
+                            let q: Vec<i64> =
+                                unknown.iter().copied().filter(|&d| d != acc_off).collect();
                             let span = unknown
                                 .iter()
                                 .chain([*ctr, *max].iter())
@@ -366,9 +361,7 @@ impl Attack for AdaptiveAttack {
                     }
                 }
                 Phase::DisambB { ctr, max, acc, q } => {
-                    let acc_now = mem
-                        .read_uint((buff as i64 + acc) as u64, 8)
-                        .unwrap_or(0) as i64;
+                    let acc_now = mem.read_uint((buff as i64 + acc) as u64, 8).unwrap_or(0) as i64;
                     let (op_off, operand_off) = if acc_now == TARGET_INITIAL + 2 {
                         (q[0], q[1])
                     } else if acc_now == TARGET_INITIAL - 1 {
@@ -455,10 +448,7 @@ impl Attack for AdaptiveAttack {
             next
         });
         let out = vm.run_main(adversary);
-        let target = vm
-            .mem()
-            .read_uint(vm.global_addr("target"), 8)
-            .unwrap_or(0) as i64;
+        let target = vm.mem().read_uint(vm.global_addr("target"), 8).unwrap_or(0) as i64;
         let gave_up = matches!(&*phase.borrow(), Phase::Aborted);
         if gave_up && target != EXPECTED && !*committed.borrow() {
             return AttackOutcome::Aborted;

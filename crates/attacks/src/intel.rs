@@ -170,7 +170,10 @@ mod tests {
         let a = intel.addr_of("victim", "a").unwrap();
         let buf = intel.addr_of("victim", "buf").unwrap();
         assert!(a > buf, "a allocated before buf, so higher on the stack");
-        assert_eq!(intel.offset_between("victim", "buf", "a").unwrap(), a as i64 - buf as i64);
+        assert_eq!(
+            intel.offset_between("victim", "buf", "a").unwrap(),
+            a as i64 - buf as i64
+        );
         // Two invocations recorded.
         assert!(intel.nth_addr("victim", "buf", 1).is_some());
         assert!(intel.nth_addr("victim", "buf", 2).is_none());

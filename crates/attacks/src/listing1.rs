@@ -18,9 +18,8 @@
 //! state out of data memory and predicts the exact layout, reproducing
 //! the paper's argument for disclosure-resistant randomness.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use smokestack_defenses::DefenseKind;
+use smokestack_rand::Rng;
 use smokestack_srng::SchemeKind;
 use smokestack_vm::{FnInput, Memory};
 
@@ -108,7 +107,7 @@ impl Attack for Listing1Attack {
         let smokestack = build.deployment.smokestack.clone();
         let is_pseudo = build.defense == DefenseKind::Smokestack(SchemeKind::Pseudo);
         // Row guess for secure schemes, fixed up front for this run.
-        let guessed_draw: u64 = StdRng::seed_from_u64(run_seed).gen();
+        let guessed_draw: u64 = Rng::seed_from_u64(run_seed).next_u64();
 
         // Pre-commit decision for the secure-scheme guesser: if even the
         // *guessed* layout is unusable, stay stealthy and retry.
@@ -264,8 +263,12 @@ mod tests {
         let mut bypassed = 0;
         let mut blocked = 0;
         for base_seed in 0..12u64 {
-            let eval =
-                evaluate_seeded(&Listing1Attack, DefenseKind::StaticPermutation, 1, base_seed);
+            let eval = evaluate_seeded(
+                &Listing1Attack,
+                DefenseKind::StaticPermutation,
+                1,
+                base_seed,
+            );
             if eval.successes > 0 {
                 bypassed += 1;
             } else {

@@ -160,10 +160,10 @@ impl Attack for ProftpdAttack {
                 return vec![];
             };
             let _ = anchor; // the command is crafted offline
-            // Offline-crafted FTP command: zeros everywhere except the
-            // slots whose values the attacker can know statically. The
-            // per-run guard/canary values are unknowable, so those slots
-            // necessarily receive wrong bytes.
+                            // Offline-crafted FTP command: zeros everywhere except the
+                            // slots whose values the attacker can know statically. The
+                            // per-run guard/canary values are unknowable, so those slots
+                            // necessarily receive wrong bytes.
             let mut payload = vec![0u8; span];
             let mut put = |d: i64, v: i64| {
                 let at = d as usize;
@@ -207,9 +207,9 @@ mod tests {
     fn benign_run_leaks_nothing() {
         let build = Build::new(SOURCE, DefenseKind::None, 1);
         let mut vm = build.vm(3);
-        let out = vm.run_main(smokestack_vm::ScriptedInput::new(vec![
-            0u64.to_le_bytes().to_vec(),
-        ]));
+        let out = vm.run_main(smokestack_vm::ScriptedInput::new(vec![0u64
+            .to_le_bytes()
+            .to_vec()]));
         assert!(out.exit.is_clean());
         assert!(!out.output_text().contains(SECRET));
     }

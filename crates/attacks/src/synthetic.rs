@@ -19,10 +19,9 @@
 //! first step, as they overwrote a different address than the intended
 //! pointer" — §V-C).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use smokestack_core::HardenReport;
 use smokestack_defenses::DefenseKind;
+use smokestack_rand::Rng;
 use smokestack_srng::SchemeKind;
 use smokestack_vm::{FnInput, Memory};
 
@@ -64,7 +63,7 @@ fn offset_source(build: &Build, run_seed: u64, func: &str, vars: &[&str]) -> Opt
             if build.defense == DefenseKind::Smokestack(SchemeKind::Pseudo) {
                 Some(OffsetSource::Predicted(report.clone()))
             } else {
-                let draw: u64 = StdRng::seed_from_u64(run_seed ^ 0x6355).gen();
+                let draw: u64 = Rng::seed_from_u64(run_seed ^ 0x6355).next_u64();
                 Some(OffsetSource::Guessed(report.clone(), draw))
             }
         }
@@ -127,19 +126,15 @@ fn current_offsets(
 /// `None` means the decision must wait for live prediction.
 fn static_offsets(src: &OffsetSource, func: &str, vars: &[&str]) -> Option<Option<Vec<i64>>> {
     match src {
-        OffsetSource::Probed(map) => {
-            Some(vars.iter().map(|v| lookup(map, v)).collect())
-        }
+        OffsetSource::Probed(map) => Some(vars.iter().map(|v| lookup(map, v)).collect()),
         OffsetSource::Guessed(report, draw) => {
             let map = oracle_offsets(report, func, *draw);
             let tag = lookup(&map, "tag");
-            Some(
-                tag.and_then(|t| {
-                    vars.iter()
-                        .map(|v| Some(lookup(&map, v)? - t))
-                        .collect::<Option<Vec<i64>>>()
-                }),
-            )
+            Some(tag.and_then(|t| {
+                vars.iter()
+                    .map(|v| Some(lookup(&map, v)? - t))
+                    .collect::<Option<Vec<i64>>>()
+            }))
         }
         OffsetSource::Predicted(_) => None,
     }
@@ -364,7 +359,11 @@ impl Attack for IndirectStack {
             .mem()
             .read_uint(vm.global_addr("granted"), 8)
             .unwrap_or(0);
-        let outcome = classify(&out, granted == 4242, "arbitrary write via corrupted pointer");
+        let outcome = classify(
+            &out,
+            granted == 4242,
+            "arbitrary write via corrupted pointer",
+        );
         if !*committed.borrow() && !outcome.is_success() {
             return AttackOutcome::Aborted;
         }
@@ -494,7 +493,11 @@ fn indirect_attempt(build: &Build, run_seed: u64, magic: i64, filler: usize) -> 
         .mem()
         .read_uint(vm.global_addr("granted"), 8)
         .unwrap_or(0);
-    let outcome = classify(&out, granted >= 1, "stack local hit through corrupted pointer");
+    let outcome = classify(
+        &out,
+        granted >= 1,
+        "stack local hit through corrupted pointer",
+    );
     if !*committed.borrow() && !outcome.is_success() {
         return AttackOutcome::Aborted;
     }

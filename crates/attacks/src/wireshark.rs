@@ -95,11 +95,12 @@ impl Attack for WiresharkAttack {
             None => {
                 let base = Build::new(SOURCE, DefenseKind::None, build.build_seed);
                 let intel = probe(&base, run_seed ^ 0x77a9, vec![0u64.to_le_bytes().to_vec()]);
-                let pd = intel.addr_of("dissect_record", "pd").expect("baseline probe");
+                let pd = intel
+                    .addr_of("dissect_record", "pd")
+                    .expect("baseline probe");
                 (
                     intel.addr_of("dissect_record", "tag").expect("probe") as i64 - pd as i64,
-                    intel.addr_of("render_columns", "cell_list").expect("probe") as i64
-                        - pd as i64,
+                    intel.addr_of("render_columns", "cell_list").expect("probe") as i64 - pd as i64,
                     intel.addr_of("render_columns", "cmd").expect("probe") as i64 - pd as i64,
                     intel.addr_of("render_columns", "arg").expect("probe") as i64 - pd as i64,
                 )

@@ -1,26 +1,30 @@
 //! Baseline-vs-hardened VM execution for one representative call-heavy
 //! workload (xalancbmk) and one loop kernel (lbm) — the two poles of
-//! Figure 3. Criterion measures host wall-clock; the simulated cycle
-//! ratio is what the figure reports.
+//! Figure 3 — plus the telemetry tracer's own host-side overhead
+//! (collector attached vs. the default no-tracer configuration).
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use smokestack_bench::harness::{bench, group};
 use smokestack_core::{harden, SmokestackConfig};
 use smokestack_srng::SchemeKind;
-use smokestack_vm::{ScriptedInput, Vm, VmConfig};
+use smokestack_vm::{CollectorConfig, ScriptedInput, SharedCollector, Vm, VmConfig};
 use smokestack_workloads::by_name;
 
-fn run(name: &str, hardened: bool, scheme: SchemeKind) {
+fn run(name: &str, hardened: bool, scheme: SchemeKind, trace: bool) {
     let w = by_name(name).expect("workload exists");
     let mut m = w.compile().expect("compiles");
     if hardened {
         harden(&mut m, &SmokestackConfig::default());
     }
+    let tracer: Option<Box<dyn smokestack_vm::Tracer>> = if trace {
+        Some(Box::new(SharedCollector::new(CollectorConfig::default())))
+    } else {
+        None
+    };
     let mut vm = Vm::new(
         m,
         VmConfig {
             scheme,
+            tracer,
             ..VmConfig::default()
         },
     );
@@ -28,23 +32,31 @@ fn run(name: &str, hardened: bool, scheme: SchemeKind) {
     assert!(out.exit.is_clean());
 }
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("overhead");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    group("overhead");
     for name in ["xalancbmk", "lbm"] {
-        group.bench_function(format!("{name}/baseline"), |b| {
-            b.iter(|| run(name, false, SchemeKind::Aes10))
+        bench(&format!("{name}/baseline"), || {
+            run(name, false, SchemeKind::Aes10, false)
         });
         for scheme in SchemeKind::ALL {
-            group.bench_function(format!("{name}/smokestack-{scheme}"), |b| {
-                b.iter(|| run(name, true, scheme))
+            bench(&format!("{name}/smokestack-{scheme}"), || {
+                run(name, true, scheme, false)
             });
         }
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);
+    group("telemetry tracer overhead (hardened AES-10)");
+    for name in ["xalancbmk", "lbm"] {
+        let off = bench(&format!("{name}/tracer-off"), || {
+            run(name, true, SchemeKind::Aes10, false)
+        });
+        let on = bench(&format!("{name}/tracer-on"), || {
+            run(name, true, SchemeKind::Aes10, true)
+        });
+        println!(
+            "{name}: tracer-on/tracer-off = {:.2}x ({:+.1}%)",
+            on.ns_per_iter / off.ns_per_iter,
+            100.0 * (on.ns_per_iter / off.ns_per_iter - 1.0)
+        );
+    }
+}

@@ -1,10 +1,7 @@
 //! Compile-time costs: Algorithm 1 rank decoding and whole-P-BOX
-//! construction (the paper's analysis passes), plus an ablation of the
-//! Section III-E sharing optimizations' effect on P-BOX size.
+//! construction (the paper's analysis passes).
 
-use std::time::Duration;
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smokestack_bench::harness::{bench, black_box, group};
 use smokestack_core::{layout_for_rank, AllocSlot, PBoxBuilder, PBoxConfig};
 
 fn slots(n: usize) -> Vec<AllocSlot> {
@@ -13,32 +10,22 @@ fn slots(n: usize) -> Vec<AllocSlot> {
         .collect()
 }
 
-fn bench_permutation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("permutation");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    group("permutation");
     for n in [4usize, 6, 8] {
         let sl = slots(n);
-        group.bench_function(format!("algorithm1_rank_decode/n={n}"), |b| {
-            let mut rank = 0u128;
-            b.iter(|| {
-                rank = (rank + 17) % smokestack_core::factorial(n).unwrap();
-                black_box(layout_for_rank(&sl, rank))
-            })
+        let nfact = smokestack_core::factorial(n).unwrap();
+        let mut rank = 0u128;
+        bench(&format!("algorithm1_rank_decode/n={n}"), || {
+            rank = (rank + 17) % nfact;
+            black_box(layout_for_rank(&sl, rank));
         });
     }
-    group.bench_function("pbox_build/20_functions", |b| {
-        b.iter(|| {
-            let mut builder = PBoxBuilder::new(PBoxConfig::default());
-            for i in 0..20 {
-                builder.add(&slots(3 + (i % 5)));
-            }
-            black_box(builder.finish())
-        })
+    bench("pbox_build/20_functions", || {
+        let mut builder = PBoxBuilder::new(PBoxConfig::default());
+        for i in 0..20 {
+            builder.add(&slots(3 + (i % 5)));
+        }
+        black_box(builder.finish());
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_permutation);
-criterion_main!(benches);

@@ -3,24 +3,15 @@
 //! modeled in the VM; this bench confirms the *ordering* (pseudo <
 //! AES-1 < AES-10) holds for the real code too.
 
-use std::time::Duration;
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use smokestack_bench::harness::{bench, black_box, group};
 use smokestack_srng::{build_source, SchemeKind, SeededTrng};
 
-fn bench_rng_sources(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rng_sources");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    group("rng_sources");
     for kind in SchemeKind::ALL {
         let mut src = build_source(kind, SeededTrng::new(42));
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(src.next_u64()))
+        bench(kind.label(), || {
+            black_box(src.next_u64());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_rng_sources);
-criterion_main!(benches);

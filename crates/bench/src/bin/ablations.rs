@@ -44,7 +44,11 @@ fn main() {
             "{:<10} {:>17.1}% {:>20} {:>12}",
             if g.guards { "on" } else { "off" },
             g.avg_overhead_pct,
-            if g.wireshark_stopped { "stopped" } else { "BYPASSED" },
+            if g.wireshark_stopped {
+                "stopped"
+            } else {
+                "BYPASSED"
+            },
             g.wireshark_detections,
         );
     }

@@ -6,7 +6,10 @@ use smokestack_bench::{bar, figure4_data};
 
 fn main() {
     println!("FIGURE 4: % MEMORY OVERHEAD OF SMOKESTACK (peak RSS)\n");
-    println!("{:<12} {:>9} {:>12}", "benchmark", "overhead", "P-BOX bytes");
+    println!(
+        "{:<12} {:>9} {:>12}",
+        "benchmark", "overhead", "P-BOX bytes"
+    );
     println!("{}", "-".repeat(60));
     for r in figure4_data() {
         println!(

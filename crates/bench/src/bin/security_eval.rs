@@ -6,8 +6,8 @@
 //! Pass `--trials N` to change campaigns per cell (default 3), and
 //! `--real` to run only the real-vulnerability case studies.
 
-use smokestack_bench::security_matrix;
 use smokestack_attacks::{evaluate_seeded, standard_suite};
+use smokestack_bench::security_matrix;
 use smokestack_defenses::DefenseKind;
 
 fn main() {
@@ -25,11 +25,15 @@ fn main() {
 
     if real_only {
         let suite = standard_suite();
-        for attack in suite.iter().filter(|a| {
-            a.name().contains("cve") || a.name().contains("librelp")
-        }) {
+        for attack in suite
+            .iter()
+            .filter(|a| a.name().contains("cve") || a.name().contains("librelp"))
+        {
             for defense in DefenseKind::MATRIX {
-                println!("{}", evaluate_seeded(attack.as_ref(), defense, trials, 0xa77a));
+                println!(
+                    "{}",
+                    evaluate_seeded(attack.as_ref(), defense, trials, 0xa77a)
+                );
             }
             println!();
         }

@@ -7,7 +7,10 @@ fn main() {
     println!("TABLE I: SOURCE OF RANDOMNESS");
     println!("(modeled per-invocation cost; run `cargo bench --bench rng_sources`");
     println!(" for host wall-clock measurements of the actual implementations)\n");
-    println!("{:<8} {:<10} {:>24}", "source", "Security", "Rate (cycles/Invocation)");
+    println!(
+        "{:<8} {:<10} {:>24}",
+        "source", "Security", "Rate (cycles/Invocation)"
+    );
     println!("{}", "-".repeat(46));
     for row in table1_rows() {
         println!(

@@ -1,0 +1,110 @@
+//! A minimal wall-clock bench harness (`cargo bench` runs these via
+//! `harness = false` bench targets), replacing the external criterion
+//! dependency so benches build offline.
+//!
+//! Methodology: a short warm-up, then timed batches until the
+//! measurement window fills; reports the mean time per iteration over
+//! the measured batches.
+
+use std::time::{Duration, Instant};
+
+/// Lower bound on measured wall-clock per benchmark.
+const MEASURE_WINDOW: Duration = Duration::from_millis(500);
+/// Warm-up iterations before the clock starts.
+const WARMUP_ITERS: u32 = 3;
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Result of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case label.
+    pub label: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured (after warm-up).
+    pub iters: u64,
+}
+
+impl Measurement {
+    fn human(&self) -> String {
+        let ns = self.ns_per_iter;
+        if ns >= 1.0e9 {
+            format!("{:.3} s", ns / 1.0e9)
+        } else if ns >= 1.0e6 {
+            format!("{:.3} ms", ns / 1.0e6)
+        } else if ns >= 1.0e3 {
+            format!("{:.3} µs", ns / 1.0e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    }
+}
+
+/// Time `f`, print a criterion-style line, and return the measurement.
+pub fn bench(label: &str, mut f: impl FnMut()) -> Measurement {
+    for _ in 0..WARMUP_ITERS {
+        f();
+    }
+    let mut iters = 0u64;
+    let mut elapsed = Duration::ZERO;
+    // Batch sizes grow geometrically so the Instant overhead vanishes
+    // for nanosecond-scale bodies while slow bodies still finish.
+    let mut batch = 1u64;
+    while elapsed < MEASURE_WINDOW {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        elapsed += start.elapsed();
+        iters += batch;
+        batch = (batch * 2).min(1 << 20);
+    }
+    let m = Measurement {
+        label: label.to_string(),
+        ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        iters,
+    };
+    println!(
+        "{:<44} {:>12}/iter   ({} iters)",
+        m.label,
+        m.human(),
+        m.iters
+    );
+    m
+}
+
+/// Print a group header.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let m = bench("noop", || {
+            black_box(1 + 1);
+        });
+        assert!(m.ns_per_iter > 0.0);
+        assert!(m.iters > 0);
+    }
+
+    #[test]
+    fn human_units() {
+        let mk = |ns| Measurement {
+            label: String::new(),
+            ns_per_iter: ns,
+            iters: 1,
+        };
+        assert!(mk(5.0).human().ends_with("ns"));
+        assert!(mk(5.0e3).human().ends_with("µs"));
+        assert!(mk(5.0e6).human().ends_with("ms"));
+        assert!(mk(5.0e9).human().ends_with(" s"));
+    }
+}

@@ -10,16 +10,25 @@
 //! | Figure 4 (% memory overhead) | `figure4` | [`figure4_data`] |
 //! | §V-C penetration tests | `security_eval` | [`security_matrix`] |
 //!
-//! Criterion benches (`cargo bench`) additionally measure host
-//! wall-clock for the RNG sources, the permutation engine, and
-//! baseline-vs-hardened VM execution.
+//! Hand-rolled benches (`cargo bench`, see [`harness`]) additionally
+//! measure host wall-clock for the RNG sources, the permutation engine,
+//! baseline-vs-hardened VM execution, and the telemetry tracer's
+//! enabled-vs-disabled overhead.
+//!
+//! The `profile` binary captures a full telemetry profile (JSONL event
+//! trace, metrics registry, collapsed stacks) of any workload; the
+//! `oprofile` binary renders the §V-A per-function cycle attribution
+//! from the same live data.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use smokestack_attacks::{evaluate_seeded, standard_suite, AttackEval};
 use smokestack_core::{harden, SmokestackConfig};
 use smokestack_defenses::DefenseKind;
 use smokestack_srng::SchemeKind;
+use smokestack_telemetry::{CollectorConfig, FunctionCycles, SharedCollector};
 use smokestack_vm::{RunOutcome, ScriptedInput, Vm, VmConfig};
 use smokestack_workloads::{all as all_workloads, Workload, WorkloadClass};
 
@@ -90,8 +99,7 @@ pub fn figure3_data() -> Vec<Figure3Row> {
                     "{} behavior changed under {scheme}",
                     w.name
                 );
-                overhead[i] =
-                    100.0 * (hard.decicycles as f64 / base.decicycles as f64 - 1.0);
+                overhead[i] = 100.0 * (hard.decicycles as f64 / base.decicycles as f64 - 1.0);
             }
             Figure3Row {
                 name: w.name,
@@ -109,7 +117,10 @@ pub fn average_cpu_overhead(rows: &[Figure3Row], scheme_index: usize) -> f64 {
         .iter()
         .filter(|r| r.class == WorkloadClass::Cpu)
         .collect();
-    cpu.iter().map(|r| r.overhead_pct[scheme_index]).sum::<f64>() / cpu.len() as f64
+    cpu.iter()
+        .map(|r| r.overhead_pct[scheme_index])
+        .sum::<f64>()
+        / cpu.len() as f64
 }
 
 /// One benchmark's Figure 4 measurement.
@@ -144,8 +155,7 @@ pub fn figure4_data() -> Vec<Figure4Row> {
             assert_eq!(base.exit, hard.exit, "{} behavior changed", w.name);
             Figure4Row {
                 name: w.name,
-                overhead_pct: 100.0
-                    * (hard.peak_rss as f64 / base.peak_rss as f64 - 1.0),
+                overhead_pct: 100.0 * (hard.peak_rss as f64 / base.peak_rss as f64 - 1.0),
                 pbox_bytes: report.pbox_bytes,
             }
         })
@@ -168,7 +178,7 @@ pub fn security_matrix(trials: u32, base_seed: u64) -> Vec<AttackEval> {
 /// Render a simple ASCII bar (for the figure binaries).
 pub fn bar(pct: f64, scale: f64) -> String {
     let n = ((pct.abs() / scale).round() as usize).min(60);
-    let body: String = std::iter::repeat('#').take(n).collect();
+    let body: String = std::iter::repeat_n('#', n).collect();
     if pct < 0.0 {
         format!("-{body}")
     } else {
@@ -198,6 +208,25 @@ mod tests {
     }
 
     #[test]
+    fn profile_attribution_sums_to_decicycles() {
+        // The tentpole invariant: every decicycle the VM charges lands
+        // on exactly one function (or the `(vm)` bucket), so the flat
+        // profile and the collapsed stacks both sum to the run total.
+        let w = smokestack_workloads::by_name("xalancbmk").unwrap();
+        let (out, shared) = profile_workload(&w, SchemeKind::Aes10, 7);
+        assert!(out.exit.is_clean());
+        let flat_sum: u64 = out.per_function.iter().map(|f| f.total()).sum();
+        assert_eq!(flat_sum, out.decicycles);
+        let collapsed_sum: u64 = shared.with(|c| {
+            c.collapsed_lines()
+                .iter()
+                .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+                .sum()
+        });
+        assert_eq!(collapsed_sum, out.decicycles);
+    }
+
+    #[test]
     fn figure3_single_workload_sane() {
         // Quick sanity on one cheap workload: overhead ordering follows
         // the scheme cost ordering.
@@ -214,8 +243,33 @@ mod tests {
 // Extensions: OProfile-style breakdown and Section III-E ablations.
 // ---------------------------------------------------------------------
 
+/// Run one workload hardened under `scheme` with a full telemetry
+/// collector attached; returns the outcome (whose `per_function` table
+/// is populated) and the collector handle for trace/metrics access.
+pub fn profile_workload(
+    w: &Workload,
+    scheme: SchemeKind,
+    seed: u64,
+) -> (RunOutcome, SharedCollector) {
+    let mut m = w.compile().expect("corpus compiles");
+    harden(&mut m, &SmokestackConfig::default());
+    let shared = SharedCollector::new(CollectorConfig::default());
+    let mut vm = Vm::new(
+        m,
+        VmConfig {
+            scheme,
+            trng_seed: seed,
+            tracer: Some(Box::new(shared.clone())),
+            ..VmConfig::default()
+        },
+    );
+    let out = vm.run_main(ScriptedInput::empty());
+    (out, shared)
+}
+
 /// One benchmark's cycle breakdown under the AES-10 hardened build —
-/// the analog of the paper's OProfile RESOURCE_STALLS analysis (§V-A).
+/// the analog of the paper's OProfile RESOURCE_STALLS analysis (§V-A),
+/// now attributed per function by the live telemetry profiler.
 #[derive(Debug, Clone)]
 pub struct ProfileRow {
     /// Benchmark name.
@@ -226,20 +280,25 @@ pub struct ProfileRow {
     pub rng_share: f64,
     /// `stack_rng` draws per million cycles — the call-rate driver.
     pub draws_per_mcycle: f64,
+    /// Per-function flat profile, hottest first; totals sum to the
+    /// run's decicycles.
+    pub per_function: Vec<FunctionCycles>,
 }
 
-/// Profile the hardened corpus (AES-10).
+/// Profile the hardened corpus (AES-10) with live per-function
+/// telemetry.
 pub fn profile_data() -> Vec<ProfileRow> {
     all_workloads()
         .iter()
         .map(|w| {
-            let out = run_workload(w, SchemeKind::Aes10, true, 7);
+            let (out, _shared) = profile_workload(w, SchemeKind::Aes10, 7);
             let b = out.breakdown;
             ProfileRow {
                 name: w.name,
                 breakdown: b,
                 rng_share: b.share(b.rng),
                 draws_per_mcycle: out.rng_invocations as f64 / (out.cycles() / 1.0e6),
+                per_function: out.per_function,
             }
         })
         .collect()
@@ -414,8 +473,7 @@ pub fn guard_ablation(trials: u32) -> Vec<GuardAblation> {
             // defense by hand to control the guard flag.
             use smokestack_attacks::{campaign, Attack, Build};
             let attack = smokestack_attacks::wireshark::WiresharkAttack;
-            let mut module =
-                smokestack_minic::compile(attack.source()).expect("attack program");
+            let mut module = smokestack_minic::compile(attack.source()).expect("attack program");
             let report = harden(&mut module, &cfg);
             let build = Build {
                 module,
@@ -426,6 +484,7 @@ pub fn guard_ablation(trials: u32) -> Vec<GuardAblation> {
                     smokestack: Some(report),
                 },
                 build_seed: 0xb11d,
+                tracer: None,
             };
             let mut stopped = true;
             let mut detections = 0;
@@ -498,8 +557,7 @@ mod shape_tests {
                 .overhead_pct
         };
         let top2 = {
-            let mut v: Vec<(&str, f64)> =
-                rows.iter().map(|r| (r.name, r.overhead_pct)).collect();
+            let mut v: Vec<(&str, f64)> = rows.iter().map(|r| (r.name, r.overhead_pct)).collect();
             v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
             [v[0].0, v[1].0]
         };

@@ -26,12 +26,10 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use smokestack_ir::{
     Callee, CmpPred, Function, Inst, IntWidth, Intrinsic, Module, Terminator, Type, Value,
 };
+use smokestack_rand::Rng;
 use smokestack_srng::SchemeKind;
 
 /// Name of padding allocas inserted by [`apply_entry_padding`].
@@ -152,15 +150,15 @@ pub fn deploy(
 /// ASLR-style random stack base offset in `[0, max)`, 16-byte aligned,
 /// drawn per run from `run_seed`.
 pub fn stack_base_offset(run_seed: u64, max: u64) -> u64 {
-    let mut rng = StdRng::seed_from_u64(run_seed ^ 0xa51a_51a5);
-    (rng.gen_range(0..max.max(16))) & !0xf
+    let mut rng = Rng::seed_from_u64(run_seed ^ 0xa51a_51a5);
+    (rng.gen_range(0, max.max(16))) & !0xf
 }
 
 /// Forrest et al.: add one of eight paddings (8..=64 bytes) before the
 /// frame of every function whose frame exceeds 16 bytes, chosen at
 /// compile time. Returns the number of functions padded.
 pub fn apply_entry_padding(module: &mut Module, build_seed: u64) -> usize {
-    let mut rng = StdRng::seed_from_u64(build_seed ^ 0xf0e1_d2c3);
+    let mut rng = Rng::seed_from_u64(build_seed ^ 0xf0e1_d2c3);
     let mut modified = 0;
     for f in &mut module.funcs {
         let info = smokestack_core::discover_frame(f);
@@ -168,7 +166,7 @@ pub fn apply_entry_padding(module: &mut Module, build_seed: u64) -> usize {
         if frame <= 16 {
             continue;
         }
-        let pad = 8 * rng.gen_range(1..=8u64);
+        let pad = 8 * rng.gen_range_inclusive(1, 8);
         let reg = f.new_reg(Type::Ptr);
         f.block_mut(Function::ENTRY).insts.insert(
             0,
@@ -190,7 +188,7 @@ pub fn apply_entry_padding(module: &mut Module, build_seed: u64) -> usize {
 /// allocas — the layout differs per build but is identical in every run.
 /// Returns the number of functions permuted.
 pub fn apply_static_permutation(module: &mut Module, build_seed: u64) -> usize {
-    let mut rng = StdRng::seed_from_u64(build_seed ^ 0x57a7_1c00);
+    let mut rng = Rng::seed_from_u64(build_seed ^ 0x57a7_1c00);
     let mut modified = 0;
     for f in &mut module.funcs {
         let info = smokestack_core::discover_frame(f);
@@ -199,7 +197,7 @@ pub fn apply_static_permutation(module: &mut Module, build_seed: u64) -> usize {
         }
         let positions: Vec<usize> = info.slots.iter().map(|(i, _)| *i).collect();
         let mut shuffled = positions.clone();
-        shuffled.shuffle(&mut rng);
+        rng.shuffle(&mut shuffled);
         let entry = f.block_mut(Function::ENTRY);
         let originals: Vec<Inst> = positions.iter().map(|&i| entry.insts[i].clone()).collect();
         for (slot_idx, &new_pos) in shuffled.iter().enumerate() {

@@ -97,14 +97,23 @@ fn canary_checks_every_return_path() {
     let mut checked_rets = 0;
     for (_, b) in f.iter_blocks() {
         if let Terminator::CondBr { .. } = b.term {
-            if b.insts.iter().any(
-                |i| matches!(i, Inst::Call { callee: smokestack_ir::Callee::Intrinsic(smokestack_ir::Intrinsic::Canary), .. }),
-            ) {
+            if b.insts.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::Call {
+                        callee: smokestack_ir::Callee::Intrinsic(smokestack_ir::Intrinsic::Canary),
+                        ..
+                    }
+                )
+            }) {
                 checked_rets += 1;
             }
         }
     }
-    assert!(checked_rets >= 3, "expected 3 guarded returns, saw {checked_rets}");
+    assert!(
+        checked_rets >= 3,
+        "expected 3 guarded returns, saw {checked_rets}"
+    );
     // And the program still works.
     let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
     assert_eq!(out.exit, Exit::Return(6));

@@ -271,10 +271,10 @@ mod tests {
     fn intrinsic_result_types() {
         let mut f = Function::new("g", vec![], Type::Void);
         let mut b = Builder::new(&mut f);
-        let p = b.call_intrinsic(Intrinsic::Malloc, vec![Value::i64(16)]).unwrap();
-        let n = b
-            .call_intrinsic(Intrinsic::Strlen, vec![p.into()])
+        let p = b
+            .call_intrinsic(Intrinsic::Malloc, vec![Value::i64(16)])
             .unwrap();
+        let n = b.call_intrinsic(Intrinsic::Strlen, vec![p.into()]).unwrap();
         b.ret(None);
         assert_eq!(f.reg_type(p), &Type::Ptr);
         assert_eq!(f.reg_type(n), &Type::I64);

@@ -59,11 +59,7 @@ impl Cfg {
         }
         let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
         visited[0] = true;
-        loop {
-            let (b, next) = match stack.last() {
-                Some(&t) => t,
-                None => break,
-            };
+        while let Some(&(b, next)) = stack.last() {
             let ss = self.succs(b);
             if next < ss.len() {
                 stack.last_mut().expect("nonempty").1 += 1;

@@ -56,7 +56,7 @@ pub use inst::{BinOp, Callee, CastKind, CmpPred, Inst, Intrinsic, Terminator};
 pub use module::{Global, GlobalInit, Module};
 pub use opt::{eliminate_dead_code, fold_constants, replace_uses, OptStats, Optimize};
 pub use pass::{ModulePass, PassManager, PipelineError, PipelineReport};
-pub use types::{align_to, IntWidth, Type};
 pub use textual::{parse_module as parse_ir, TextError};
+pub use types::{align_to, IntWidth, Type};
 pub use value::{BlockId, FuncId, GlobalId, RegId, Value};
 pub use verify::{assert_verified, verify_function, verify_module, VerifyError};

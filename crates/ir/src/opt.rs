@@ -135,12 +135,10 @@ pub fn fold_constants(f: &mut Function) -> usize {
                         lhs,
                         rhs,
                     } => match (const_of(lhs), const_of(rhs)) {
-                        (Some((a, _)), Some((b2, _))) => {
-                            match fold_bin(*op, *width, a, b2) {
-                                Some(v) => (*result, Value::ConstInt(v, *width)),
-                                None => continue,
-                            }
-                        }
+                        (Some((a, _)), Some((b2, _))) => match fold_bin(*op, *width, a, b2) {
+                            Some(v) => (*result, Value::ConstInt(v, *width)),
+                            None => continue,
+                        },
                         _ => continue,
                     },
                     Inst::Icmp {

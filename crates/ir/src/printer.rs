@@ -149,10 +149,7 @@ mod tests {
         let mut f = Function::new("demo", vec![Type::I64], Type::Void);
         let mut b = Builder::new(&mut f);
         let x = b.alloca(Type::array(Type::I8, 16), "buf");
-        b.call_intrinsic(
-            Intrinsic::GetInput,
-            vec![x.into(), Value::i64(16)],
-        );
+        b.call_intrinsic(Intrinsic::GetInput, vec![x.into(), Value::i64(16)]);
         b.ret(None);
         let text = f.to_string();
         assert!(text.contains("func @demo(%0: i64) -> void"));

@@ -306,10 +306,7 @@ where
         line: ln,
         message: "missing return type".into(),
     })?;
-    let ret_text = header[arrow + 2..]
-        .trim()
-        .trim_end_matches('{')
-        .trim();
+    let ret_text = header[arrow + 2..].trim().trim_end_matches('{').trim();
     let ret = parse_type(ln, ret_text)?;
 
     let mut f = Function::new(name, params, ret);
@@ -416,11 +413,9 @@ fn parse_inst(ln: usize, line: &str, f: &mut Function) -> Result<Inst, TextError
             line: ln,
             message: "bad store".into(),
         })?;
-        let (ty_text, val_text) = ty_and_val.trim().split_once(' ').ok_or_else(|| {
-            TextError {
-                line: ln,
-                message: "bad store operands".into(),
-            }
+        let (ty_text, val_text) = ty_and_val.trim().split_once(' ').ok_or_else(|| TextError {
+            line: ln,
+            message: "bad store operands".into(),
         })?;
         return Ok(Inst::Store {
             ty: parse_type(ln, ty_text)?,
@@ -741,10 +736,7 @@ mod tests {
         assert_eq!(m.globals.len(), 2);
         assert_eq!(m.globals[0].init, GlobalInit::Zero);
         assert!(!m.globals[0].readonly);
-        assert_eq!(
-            m.globals[1].init,
-            GlobalInit::Bytes(vec![0x61, 0x62, 0x00])
-        );
+        assert_eq!(m.globals[1].init, GlobalInit::Bytes(vec![0x61, 0x62, 0x00]));
         assert!(m.globals[1].readonly);
     }
 

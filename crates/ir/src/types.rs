@@ -51,7 +51,7 @@ impl IntWidth {
             v as i64
         } else {
             let shift = 64 - bits;
-            (((v << shift) as i64) >> shift) as i64
+            ((v << shift) as i64) >> shift
         }
     }
 

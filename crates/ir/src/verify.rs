@@ -181,7 +181,8 @@ impl Verifier<'_> {
                 }
             }
         };
-        let blocks: Vec<(BlockId, Vec<(usize, Vec<Value>)>)> = self
+        type BlockUses = Vec<(BlockId, Vec<(usize, Vec<Value>)>)>;
+        let blocks: BlockUses = self
             .f
             .iter_blocks()
             .map(|(bid, b)| {
@@ -280,14 +281,19 @@ impl Verifier<'_> {
                         // (they are just addresses in this IR).
                         let ok = t == Type::Int(*width) || (t.is_ptr() && width.bytes() == 8);
                         if !ok {
-                            problems.push(format!("{bid}: {side} has type {t}, expected i{}", width.bits()));
+                            problems.push(format!(
+                                "{bid}: {side} has type {t}, expected i{}",
+                                width.bits()
+                            ));
                         }
                     }
                 }
                 Inst::Cast { kind, to, val, .. } => {
                     let from = self.value_type(val);
                     let ok = match kind {
-                        CastKind::ZextOrTrunc | CastKind::SextFrom(_) => from.is_int() && to.is_int(),
+                        CastKind::ZextOrTrunc | CastKind::SextFrom(_) => {
+                            from.is_int() && to.is_int()
+                        }
                         CastKind::PtrToInt => from.is_ptr() && *to == Type::I64,
                         CastKind::IntToPtr => from.is_int() && to.is_ptr(),
                     };
@@ -414,8 +420,9 @@ mod tests {
         b.store(Type::I64, Value::Reg(later), dst.into());
         b.ret(None);
         let errs = verify_function(&f, None).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("not dominated")
-            || e.message.contains("never defined")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("not dominated") || e.message.contains("never defined")));
     }
 
     #[test]
@@ -434,7 +441,9 @@ mod tests {
         b.store(Type::I64, Value::i32(1), slot.into()); // i32 stored as i64
         b.ret(None);
         let errs = verify_function(&f, None).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("store of i32 as i64")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("store of i32 as i64")));
     }
 
     #[test]

@@ -154,12 +154,7 @@ pub enum Stmt {
     /// `while (cond) body`
     While(Expr, Vec<Stmt>),
     /// `for (init; cond; step) body` (each part optional)
-    For(
-        Option<Box<Stmt>>,
-        Option<Expr>,
-        Option<Expr>,
-        Vec<Stmt>,
-    ),
+    For(Option<Box<Stmt>>, Option<Expr>, Option<Expr>, Vec<Stmt>),
     /// `return [expr];`
     Return(Option<Expr>, Pos),
     /// `break;`

@@ -96,8 +96,8 @@ impl std::error::Error for LexError {}
 const PUNCTS: &[&str] = &[
     // Longest first so maximal munch works.
     "<<=", ">>=", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
-    "%=", "&=", "|=", "^=", "++", "--", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*",
-    "/", "%", "<", ">", "=", "!", "&", "|", "^", "~", ".", "?", ":",
+    "%=", "&=", "|=", "^=", "++", "--", "(", ")", "{", "}", "[", "]", ";", ",", "+", "-", "*", "/",
+    "%", "<", ">", "=", "!", "&", "|", "^", "~", ".", "?", ":",
 ];
 
 /// Tokenize MiniC source.
@@ -205,9 +205,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 10
             };
             let digits_start = i;
-            while i < bytes.len()
-                && (bytes[i].is_ascii_alphanumeric())
-            {
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric()) {
                 advance(&mut i, &mut line, &mut col, 1, bytes);
             }
             let text = if radix == 16 {

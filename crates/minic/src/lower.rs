@@ -13,8 +13,8 @@ use std::fmt;
 
 use smokestack_ir as ir;
 use smokestack_ir::{
-    BinOp, CastKind, CmpPred, Function, FuncId, GlobalId, IntWidth, Intrinsic, Module,
-    RegId, Type, Value,
+    BinOp, CastKind, CmpPred, FuncId, Function, GlobalId, IntWidth, Intrinsic, Module, RegId, Type,
+    Value,
 };
 
 use crate::ast::*;
@@ -219,11 +219,7 @@ impl Lowering {
                 init,
                 readonly: false,
             });
-            if self
-                .globals
-                .insert(g.name.clone(), (gid, cty))
-                .is_some()
-            {
+            if self.globals.insert(g.name.clone(), (gid, cty)).is_some() {
                 return err(format!("duplicate global `{}`", g.name), g.pos);
             }
         }
@@ -248,14 +244,8 @@ impl Lowering {
             let id = self
                 .module
                 .add_func(Function::new(fd.name.clone(), ir_params, ir_ret));
-            self.funcs.insert(
-                fd.name.clone(),
-                FuncSig {
-                    id,
-                    params,
-                    ret,
-                },
-            );
+            self.funcs
+                .insert(fd.name.clone(), FuncSig { id, params, ret });
         }
         // Lower bodies.
         for fd in &prog.funcs {
@@ -519,9 +509,7 @@ impl Lowering {
                 let term = match (v, cx.ret.clone()) {
                     (None, CTy::Void) => ir::Terminator::Ret(None),
                     (None, _) => return err("missing return value", *pos),
-                    (Some(_), CTy::Void) => {
-                        return err("return with value in void function", *pos)
-                    }
+                    (Some(_), CTy::Void) => return err("return with value in void function", *pos),
                     (Some(e), ret_ty) => {
                         let (val, ty) = self.rvalue(cx, e)?;
                         let coerced = self.coerce(cx, val, &ty, &ret_ty, *pos)?;
@@ -533,25 +521,19 @@ impl Lowering {
                 Ok(())
             }
             Stmt::Break(pos) => {
-                let (_, exit) = *cx
-                    .loops
-                    .last()
-                    .ok_or_else(|| CompileError {
-                        message: "break outside loop".into(),
-                        pos: *pos,
-                    })?;
+                let (_, exit) = *cx.loops.last().ok_or_else(|| CompileError {
+                    message: "break outside loop".into(),
+                    pos: *pos,
+                })?;
                 self.set_term(cx, ir::Terminator::Br(exit));
                 cx.terminated = true;
                 Ok(())
             }
             Stmt::Continue(pos) => {
-                let (cont, _) = *cx
-                    .loops
-                    .last()
-                    .ok_or_else(|| CompileError {
-                        message: "continue outside loop".into(),
-                        pos: *pos,
-                    })?;
+                let (cont, _) = *cx.loops.last().ok_or_else(|| CompileError {
+                    message: "continue outside loop".into(),
+                    pos: *pos,
+                })?;
                 self.set_term(cx, ir::Terminator::Br(cont));
                 cx.terminated = true;
                 Ok(())
@@ -693,9 +675,7 @@ impl Lowering {
                 let sidx = match pt {
                     CTy::Ptr(inner) => match *inner {
                         CTy::Struct(i) => i,
-                        other => {
-                            return err(format!("`->` on non-struct pointer {other:?}"), *pos)
-                        }
+                        other => return err(format!("`->` on non-struct pointer {other:?}"), *pos),
                     },
                     other => return err(format!("`->` on non-pointer {other:?}"), *pos),
                 };
@@ -1119,9 +1099,7 @@ impl Lowering {
                 };
                 (a, b, IntWidth::W64)
             } else {
-                let w = self
-                    .arith_width(&lt, pos)?
-                    .max(self.arith_width(&rt, pos)?);
+                let w = self.arith_width(&lt, pos)?.max(self.arith_width(&rt, pos)?);
                 let a = self.coerce(cx, lv, &lt, &CTy::Int(w), pos)?;
                 let b = self.coerce(cx, rv, &rt, &CTy::Int(w), pos)?;
                 (a, b, w)
@@ -1163,9 +1141,7 @@ impl Lowering {
             BinOpKind::Shr => BinOp::AShr,
             _ => return err("unsupported operator on these operands", pos),
         };
-        let w = self
-            .arith_width(&lt, pos)?
-            .max(self.arith_width(&rt, pos)?);
+        let w = self.arith_width(&lt, pos)?.max(self.arith_width(&rt, pos)?);
         let a = self.coerce(cx, lv, &lt, &CTy::Int(w), pos)?;
         let b = self.coerce(cx, rv, &rt, &CTy::Int(w), pos)?;
         let r = cx.f.new_reg(Type::Int(w));
@@ -1386,13 +1362,11 @@ impl Lowering {
                 Some((_, ty, _)) => ty,
                 None => return err(format!("unknown variable `{name}`"), *p),
             },
-            Expr::Un(UnOpKind::Deref, inner, p) => {
-                match self.infer_type(cx, inner, *p)? {
-                    CTy::Ptr(t) => *t,
-                    CTy::Array(t, _) => *t,
-                    other => return err(format!("cannot deref {other:?}"), *p),
-                }
-            }
+            Expr::Un(UnOpKind::Deref, inner, p) => match self.infer_type(cx, inner, *p)? {
+                CTy::Ptr(t) => *t,
+                CTy::Array(t, _) => *t,
+                other => return err(format!("cannot deref {other:?}"), *p),
+            },
             Expr::Un(UnOpKind::Addr, inner, p) => {
                 CTy::Ptr(Box::new(self.infer_type(cx, inner, *p)?))
             }
@@ -1448,9 +1422,8 @@ mod tests {
 
     #[test]
     fn locals_hoisted_to_entry_block() {
-        let m = compile_ok(
-            "void f(int n) { for (int i = 0; i < n; i++) { int x = i; long y = x; } }",
-        );
+        let m =
+            compile_ok("void f(int n) { for (int i = 0; i < n; i++) { int x = i; long y = x; } }");
         let f = m.func(m.func_by_name("f").unwrap());
         for (bid, _) in f.alloca_sites() {
             assert_eq!(bid, Function::ENTRY, "alloca not hoisted");
@@ -1489,9 +1462,7 @@ mod tests {
     fn sizeof_values() {
         // Checked via VM execution in the integration tests; here just
         // confirm it compiles and verifies.
-        compile_ok(
-            "long main() { char b[100]; long s = sizeof(b) + sizeof(long); return s; }",
-        );
+        compile_ok("long main() { char b[100]; long s = sizeof(b) + sizeof(long); return s; }");
     }
 
     #[test]
@@ -1566,9 +1537,7 @@ mod tests {
         let f = m.func(m.func_by_name("f").unwrap());
         let cc_count = f
             .iter_insts()
-            .filter(
-                |(_, i)| matches!(i, ir::Inst::Alloca { name, .. } if name == "__cc"),
-            )
+            .filter(|(_, i)| matches!(i, ir::Inst::Alloca { name, .. } if name == "__cc"))
             .count();
         assert_eq!(cc_count, 1);
     }

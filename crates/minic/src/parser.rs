@@ -151,9 +151,7 @@ impl Parser {
             if matches!(self.peek(), Tok::Kw(Kw::Struct))
                 && matches!(self.peek2(), Tok::Ident(_))
                 && matches!(
-                    self.toks
-                        .get(self.idx + 2)
-                        .map(|t| &t.tok),
+                    self.toks.get(self.idx + 2).map(|t| &t.tok),
                     Some(Tok::Punct("{"))
                 )
             {
@@ -255,19 +253,12 @@ impl Parser {
         })
     }
 
-    fn func_def(
-        &mut self,
-        ret: TypeExpr,
-        name: String,
-        pos: Pos,
-    ) -> Result<FuncDef, ParseError> {
+    fn func_def(&mut self, ret: TypeExpr, name: String, pos: Pos) -> Result<FuncDef, ParseError> {
         self.expect_punct("(")?;
         let mut params = Vec::new();
         if !self.eat_punct(")") {
             // `void` alone means no parameters.
-            if matches!(self.peek(), Tok::Kw(Kw::Void))
-                && matches!(self.peek2(), Tok::Punct(")"))
-            {
+            if matches!(self.peek(), Tok::Kw(Kw::Void)) && matches!(self.peek2(), Tok::Punct(")")) {
                 self.bump();
                 self.expect_punct(")")?;
             } else {
@@ -736,10 +727,7 @@ mod tests {
     #[test]
     fn member_and_arrow() {
         let p = parse("struct s { int a; }; void f(struct s *p) { p->a = 1; }").unwrap();
-        assert!(matches!(
-            p.funcs[0].body[0],
-            Stmt::Expr(Expr::Assign(..))
-        ));
+        assert!(matches!(p.funcs[0].body[0], Stmt::Expr(Expr::Assign(..))));
     }
 
     #[test]

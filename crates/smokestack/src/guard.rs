@@ -151,8 +151,7 @@ mod tests {
 
     #[test]
     fn identifiers_unique() {
-        let ids: std::collections::HashSet<u64> =
-            (0..10_000).map(function_identifier).collect();
+        let ids: std::collections::HashSet<u64> = (0..10_000).map(function_identifier).collect();
         assert_eq!(ids.len(), 10_000);
     }
 

@@ -355,9 +355,7 @@ mod tests {
         assert_eq!(randomizable, 0);
         let slabs = f
             .iter_insts()
-            .filter(
-                |(_, i)| matches!(i, Inst::Alloca { name, .. } if name == SLAB_NAME),
-            )
+            .filter(|(_, i)| matches!(i, Inst::Alloca { name, .. } if name == SLAB_NAME))
             .count();
         assert_eq!(slabs, 1, "exactly one slab");
     }
@@ -485,9 +483,9 @@ mod tests {
         harden(&mut m, &cfg);
         verify_module(&m).unwrap();
         let f = m.func(m.func_by_name("helper").unwrap());
-        let has_guard = f.iter_insts().any(|(_, i)| {
-            matches!(i, Inst::Alloca { name, .. } if name == crate::guard::GUARD_NAME)
-        });
+        let has_guard = f.iter_insts().any(
+            |(_, i)| matches!(i, Inst::Alloca { name, .. } if name == crate::guard::GUARD_NAME),
+        );
         assert!(!has_guard);
         // Still behaves.
         let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());

@@ -6,9 +6,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use smokestack_rand::Rng;
 
 use crate::permute::{factorial, layout_for_rank, PermutedLayout};
 use crate::slots::AllocSlot;
@@ -292,9 +290,9 @@ fn assign_columns(slots: &[AllocSlot], sig: &Signature) -> Vec<usize> {
                     // Round-up: fall back to any unused column that can
                     // hold the slot (same or larger size, compatible
                     // alignment).
-                    sig.iter().enumerate().position(|(i, &(cs, ca))| {
-                        !used[i] && cs >= s.size && ca % s.align == 0
-                    })
+                    sig.iter()
+                        .enumerate()
+                        .position(|(i, &(cs, ca))| !used[i] && cs >= s.size && ca % s.align == 0)
                 })
                 .expect("signature covers slots");
             used[col] = true;
@@ -317,8 +315,8 @@ fn build_table(sig: &Signature, cfg: &PBoxConfig) -> Table {
         .map(|i| layout_for_rank(&canonical, (i as u128 * stride) % nfact))
         .collect();
     // Shuffle rows to break lexical correlation between neighbors.
-    let mut rng = StdRng::seed_from_u64(cfg.build_seed ^ hash_sig(sig));
-    rows.shuffle(&mut rng);
+    let mut rng = Rng::seed_from_u64(cfg.build_seed ^ hash_sig(sig));
+    rng.shuffle(&mut rows);
     // Round up to a power of two with wraparound rows.
     let phys = (logical.max(1)).next_power_of_two();
     for i in logical..phys {
@@ -478,10 +476,7 @@ mod tests {
         b.add(&slots(&[(8, 8), (4, 4), (2, 2), (1, 1), (16, 8)]));
         let (pbox, places) = b.finish();
         let t = &pbox.tables[places[0].table];
-        let strictly_increasing_totals = t
-            .rows
-            .windows(2)
-            .all(|w| w[0].offsets <= w[1].offsets);
+        let strictly_increasing_totals = t.rows.windows(2).all(|w| w[0].offsets <= w[1].offsets);
         assert!(!strictly_increasing_totals, "rows appear unshuffled");
     }
 

@@ -61,7 +61,7 @@ pub fn layout_for_rank(slots: &[AllocSlot], p_index: u128) -> PermutedLayout {
 }
 
 fn align(ind: u64, alignment: u64) -> u64 {
-    if ind % alignment == 0 {
+    if ind.is_multiple_of(alignment) {
         ind
     } else {
         (ind / alignment + 1) * alignment

@@ -64,9 +64,16 @@ pub fn discover_frame(f: &Function) -> FrameInfo {
             slots.push((i, AllocSlot::new(name.clone(), ty.size(), *align)));
         }
     }
-    let has_vla = f
-        .iter_insts()
-        .any(|(_, i)| matches!(i, Inst::Alloca { count: Some(_), randomizable: true, .. }));
+    let has_vla = f.iter_insts().any(|(_, i)| {
+        matches!(
+            i,
+            Inst::Alloca {
+                count: Some(_),
+                randomizable: true,
+                ..
+            }
+        )
+    });
     FrameInfo { slots, has_vla }
 }
 

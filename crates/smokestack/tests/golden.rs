@@ -37,7 +37,11 @@ fn instrumented_prologue_shape() {
     assert!(lines[8].contains("and i64"), "mask: {}", lines[8]);
     assert!(lines[9].contains("mul i64"), "row stride: {}", lines[9]);
     assert!(lines[10].contains("add i64"), "table offset: {}", lines[10]);
-    assert!(lines[11].contains("gep @g"), "row ptr into P-BOX: {}", lines[11]);
+    assert!(
+        lines[11].contains("gep @g"),
+        "row ptr into P-BOX: {}",
+        lines[11]
+    );
     // Two original slots (spilled param `a`, then `buf`): gep/load/gep each.
     assert!(lines[12].contains("= gep"));
     assert!(lines[13].contains("= load i64"));

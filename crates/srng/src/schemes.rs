@@ -38,6 +38,7 @@ impl XorShift64 {
     /// Advance and return the next value. Public as a free function of
     /// the state too (see [`XorShift64::step`]) so attack code can
     /// replicate the generator from disclosed state.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let (next_state, out) = Self::step(self.state);
         self.state = next_state;
@@ -344,7 +345,10 @@ mod tests {
         }
         let expected = N * 32;
         let dev = ones.abs_diff(expected);
-        assert!(dev < expected / 50, "bit bias too large: {ones} vs {expected}");
+        assert!(
+            dev < expected / 50,
+            "bit bias too large: {ones} vs {expected}"
+        );
     }
 
     #[test]

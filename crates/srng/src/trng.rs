@@ -5,8 +5,7 @@
 //! reproducible experiments we also provide a deterministic "lab bench"
 //! TRNG seeded explicitly.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use smokestack_rand::Rng;
 
 /// A source of true-random bytes used for keys, nonces, guard keys, and
 /// load-time identifiers.
@@ -35,7 +34,7 @@ impl OsTrueRandom {
 
 impl TrueRandom for OsTrueRandom {
     fn fill(&mut self, buf: &mut [u8]) {
-        rand::rngs::OsRng.fill_bytes(buf);
+        smokestack_rand::os_fill_bytes(buf);
     }
 }
 
@@ -45,12 +44,12 @@ impl TrueRandom for OsTrueRandom {
 /// seed makes failures replayable while the *program under test* still
 /// sees an unpredictable-to-it stream.
 #[derive(Debug, Clone)]
-pub struct SeededTrng(StdRng);
+pub struct SeededTrng(Rng);
 
 impl SeededTrng {
     /// Construct from a 64-bit seed.
     pub fn new(seed: u64) -> SeededTrng {
-        SeededTrng(StdRng::seed_from_u64(seed))
+        SeededTrng(Rng::seed_from_u64(seed))
     }
 }
 

@@ -1,0 +1,290 @@
+//! The batteries-included tracer: ring + metrics + profiler in one.
+
+use crate::event::{Event, GuardKind};
+use crate::metrics::MetricsRegistry;
+use crate::profile::{FunctionCycles, Profiler};
+use crate::ring::EventRing;
+use crate::sink::EventSink;
+use crate::{CycleCategory, Tracer};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What a [`Collector`] retains.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Ring capacity in events.
+    pub ring_capacity: usize,
+    /// Keep the event ring at all.
+    pub trace: bool,
+    /// Maintain the metrics registry.
+    pub metrics: bool,
+    /// Maintain the per-function profiler.
+    pub profile: bool,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> CollectorConfig {
+        CollectorConfig {
+            ring_capacity: 4096,
+            trace: true,
+            metrics: true,
+            profile: true,
+        }
+    }
+}
+
+/// A [`Tracer`] that feeds an [`EventRing`], a [`MetricsRegistry`], and
+/// a [`Profiler`] simultaneously.
+#[derive(Debug)]
+pub struct Collector {
+    cfg: CollectorConfig,
+    names: Vec<String>,
+    ring: EventRing,
+    metrics: MetricsRegistry,
+    profiler: Profiler,
+}
+
+impl Default for Collector {
+    fn default() -> Collector {
+        Collector::new(CollectorConfig::default())
+    }
+}
+
+impl Collector {
+    /// Build from a config.
+    pub fn new(cfg: CollectorConfig) -> Collector {
+        Collector {
+            ring: EventRing::new(cfg.ring_capacity),
+            cfg,
+            names: Vec::new(),
+            metrics: MetricsRegistry::new(),
+            profiler: Profiler::new(),
+        }
+    }
+
+    /// Function names registered by the VM.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The retained event trace.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The per-function profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Resolve a function name (for reports).
+    pub fn func_name(&self, func: u32) -> String {
+        self.names
+            .get(func as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("#{func}"))
+    }
+
+    /// Drain the retained events into `sink`, oldest first.
+    pub fn drain_to(&self, sink: &mut dyn EventSink) {
+        crate::sink::drain_ring(&self.ring, &self.names, sink);
+    }
+
+    /// Collapsed-stack lines for flamegraph tooling.
+    pub fn collapsed_lines(&self) -> Vec<String> {
+        self.profiler.collapsed_lines(&self.names)
+    }
+
+    fn update_metrics(&mut self, ev: &Event) {
+        match ev {
+            Event::FuncEnter { depth, .. } => {
+                self.metrics.gauge_max("call_depth_max", *depth as u64);
+            }
+            Event::FuncExit { frame_bytes, .. } => {
+                self.metrics.observe("frame_bytes", *frame_bytes);
+            }
+            Event::RngDraw {
+                scheme,
+                cost_decicycles,
+            } => {
+                self.metrics.inc(&format!("rng_draws.{scheme}"), 1);
+                self.metrics
+                    .observe("rng_cost_decicycles", *cost_decicycles);
+            }
+            Event::PboxSelect { func, index } => {
+                let name = self.func_name(*func);
+                self.metrics
+                    .observe_index(&format!("pbox_index.{name}"), *index);
+            }
+            Event::GuardCheck { kind, passed, .. } => {
+                let base = match kind {
+                    GuardKind::Word => "guard_checks",
+                    GuardKind::Canary => "canary_checks",
+                };
+                let suffix = if *passed { "passed" } else { "failed" };
+                self.metrics.inc(&format!("{base}.{suffix}"), 1);
+            }
+            Event::Fault { .. } => {
+                self.metrics.inc("faults", 1);
+            }
+            Event::InputRequest { bytes, .. } => {
+                self.metrics.inc("input_requests", 1);
+                self.metrics.observe("input_bytes", *bytes);
+            }
+            Event::RunEnd {
+                peak_rss,
+                decicycles,
+            } => {
+                self.metrics.inc("runs", 1);
+                self.metrics.gauge_max("peak_rss", *peak_rss);
+                self.metrics.gauge_set("decicycles", *decicycles);
+            }
+        }
+    }
+}
+
+impl Tracer for Collector {
+    fn on_functions(&mut self, names: &[String]) {
+        self.names = names.to_vec();
+    }
+
+    fn on_event(&mut self, now: u64, ev: &Event) {
+        if self.cfg.profile {
+            match ev {
+                Event::FuncEnter { func, .. } => self.profiler.enter(*func),
+                Event::FuncExit { .. } => self.profiler.exit(),
+                _ => {}
+            }
+        }
+        if self.cfg.metrics {
+            self.update_metrics(ev);
+        }
+        if self.cfg.trace {
+            self.ring.push(now, ev.clone());
+        }
+    }
+
+    fn on_cycles(&mut self, cat: CycleCategory, decicycles: u64) {
+        if self.cfg.profile {
+            self.profiler.charge(cat, decicycles);
+        }
+    }
+
+    fn flat_profile(&self) -> Option<Vec<FunctionCycles>> {
+        if self.cfg.profile {
+            Some(self.profiler.flat_profile(&self.names))
+        } else {
+            None
+        }
+    }
+}
+
+/// Clonable handle around a [`Collector`] so the caller keeps access
+/// while the VM owns the tracer box:
+///
+/// ```ignore
+/// let shared = SharedCollector::default();
+/// let cfg = VmConfig { tracer: Some(Box::new(shared.clone())), ..VmConfig::default() };
+/// // ... run the VM ...
+/// let json = shared.with(|c| c.metrics().to_json());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedCollector(Rc<RefCell<Collector>>);
+
+impl SharedCollector {
+    /// Build from a config.
+    pub fn new(cfg: CollectorConfig) -> SharedCollector {
+        SharedCollector(Rc::new(RefCell::new(Collector::new(cfg))))
+    }
+
+    /// Read access to the underlying collector.
+    pub fn with<R>(&self, f: impl FnOnce(&Collector) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+impl Tracer for SharedCollector {
+    fn on_functions(&mut self, names: &[String]) {
+        self.0.borrow_mut().on_functions(names);
+    }
+
+    fn on_event(&mut self, now: u64, ev: &Event) {
+        self.0.borrow_mut().on_event(now, ev);
+    }
+
+    fn on_cycles(&mut self, cat: CycleCategory, decicycles: u64) {
+        self.0.borrow_mut().on_cycles(cat, decicycles);
+    }
+
+    fn flat_profile(&self) -> Option<Vec<FunctionCycles>> {
+        self.0.borrow().flat_profile()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_routes_to_all_three_backends() {
+        let mut c = Collector::default();
+        c.on_functions(&["main".to_string(), "f".to_string()]);
+        c.on_event(0, &Event::FuncEnter { func: 0, depth: 1 });
+        c.on_cycles(CycleCategory::Alu, 10);
+        c.on_event(
+            3,
+            &Event::RngDraw {
+                scheme: "pseudo",
+                cost_decicycles: 34,
+            },
+        );
+        c.on_event(4, &Event::PboxSelect { func: 1, index: 2 });
+        c.on_event(
+            9,
+            &Event::FuncExit {
+                func: 0,
+                frame_bytes: 64,
+            },
+        );
+        assert_eq!(c.ring().len(), 4);
+        assert_eq!(c.metrics().counter("rng_draws.pseudo"), 1);
+        assert_eq!(c.metrics().freq_table("pbox_index.f").unwrap().total(), 1);
+        let flat = c.flat_profile().unwrap();
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].name, "main");
+        assert_eq!(flat[0].total(), 10);
+    }
+
+    #[test]
+    fn disabled_facets_stay_empty() {
+        let mut c = Collector::new(CollectorConfig {
+            ring_capacity: 8,
+            trace: false,
+            metrics: false,
+            profile: false,
+        });
+        c.on_functions(&["main".to_string()]);
+        c.on_event(0, &Event::FuncEnter { func: 0, depth: 1 });
+        c.on_cycles(CycleCategory::Alu, 10);
+        assert!(c.ring().is_empty());
+        assert_eq!(c.metrics().to_json(), MetricsRegistry::new().to_json());
+        assert!(c.flat_profile().is_none());
+    }
+
+    #[test]
+    fn shared_collector_is_observable_after_moving_into_a_box() {
+        let shared = SharedCollector::default();
+        let mut boxed: Box<dyn Tracer> = Box::new(shared.clone());
+        boxed.on_functions(&["main".to_string()]);
+        boxed.on_event(0, &Event::FuncEnter { func: 0, depth: 1 });
+        boxed.on_cycles(CycleCategory::Control, 5);
+        drop(boxed);
+        assert_eq!(shared.with(|c| c.ring().len()), 1);
+        assert_eq!(shared.with(|c| c.profiler().total_charged()), 5);
+    }
+}

@@ -1,0 +1,310 @@
+//! Typed VM events and their hand-rolled JSONL encoding.
+
+use crate::json::{parse_flat_object, push_json_str, JsonValue};
+use std::collections::BTreeMap;
+
+/// Which prologue/epilogue integrity check fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardKind {
+    /// Smokestack guard word (function identifier ⊕ guard key).
+    Word,
+    /// Classic stack canary.
+    Canary,
+}
+
+impl GuardKind {
+    fn label(self) -> &'static str {
+        match self {
+            GuardKind::Word => "word",
+            GuardKind::Canary => "canary",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<GuardKind> {
+        match s {
+            "word" => Some(GuardKind::Word),
+            "canary" => Some(GuardKind::Canary),
+            _ => None,
+        }
+    }
+}
+
+/// One structured VM event. Functions are referred to by their index in
+/// the module's function table (resolved to names when serialized).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A frame was pushed for `func` at call depth `depth` (1 = main).
+    FuncEnter {
+        /// Function index.
+        func: u32,
+        /// Call depth after the push.
+        depth: u32,
+    },
+    /// The frame for `func` returned; `frame_bytes` is the stack space
+    /// it actually consumed (slab + spills + VLAs).
+    FuncExit {
+        /// Function index.
+        func: u32,
+        /// Bytes of stack consumed by the frame.
+        frame_bytes: u64,
+    },
+    /// One `stack_rng` draw by the scheme named `scheme`.
+    RngDraw {
+        /// Table I scheme label (`pseudo`, `AES-1`, ...).
+        scheme: &'static str,
+        /// Cost charged for the draw, in decicycles.
+        cost_decicycles: u64,
+    },
+    /// The draw for `func`'s slab prologue selected P-BOX row `index`.
+    PboxSelect {
+        /// Function index.
+        func: u32,
+        /// Masked permutation-table index that was selected.
+        index: u64,
+    },
+    /// A guard-word / canary check in `func`'s epilogue.
+    GuardCheck {
+        /// Function index.
+        func: u32,
+        /// Which integrity mechanism checked.
+        kind: GuardKind,
+        /// Whether the check passed.
+        passed: bool,
+    },
+    /// The VM faulted (memory violation, fuel exhaustion, ...).
+    Fault {
+        /// Human-readable fault description.
+        what: String,
+    },
+    /// The program asked its `InputSource` (the attacker hook) for
+    /// bytes.
+    InputRequest {
+        /// Zero-based request counter.
+        index: u64,
+        /// Bytes actually delivered.
+        bytes: u64,
+    },
+    /// The run finished (emitted once, before `RunOutcome` is built).
+    RunEnd {
+        /// Peak stack residency in bytes.
+        peak_rss: u64,
+        /// Total decicycles charged.
+        decicycles: u64,
+    },
+}
+
+/// Map a scheme label back to its interned static form (the event holds
+/// `&'static str` so the hot path never allocates).
+fn intern_scheme(s: &str) -> &'static str {
+    match s {
+        "pseudo" => "pseudo",
+        "AES-1" => "AES-1",
+        "AES-10" => "AES-10",
+        "RDRAND" => "RDRAND",
+        _ => "other",
+    }
+}
+
+/// An event stamped with its sequence number and decicycle time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent {
+    /// Monotonic sequence number (counts all events ever pushed, so
+    /// gaps reveal ring overflow).
+    pub seq: u64,
+    /// Decicycle clock when the event fired.
+    pub now: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+impl TracedEvent {
+    /// Serialize as one JSONL line (no trailing newline). `names`
+    /// resolves function indices; out-of-range indices render as
+    /// `"#<idx>"`.
+    pub fn to_json(&self, names: &[String]) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"seq\":");
+        s.push_str(&self.seq.to_string());
+        s.push_str(",\"t\":");
+        s.push_str(&self.now.to_string());
+        s.push_str(",\"ev\":");
+        let func_field = |s: &mut String, func: u32| {
+            s.push_str(",\"func\":");
+            match names.get(func as usize) {
+                Some(n) => push_json_str(s, n),
+                None => push_json_str(s, &format!("#{func}")),
+            }
+        };
+        match &self.event {
+            Event::FuncEnter { func, depth } => {
+                push_json_str(&mut s, "func_enter");
+                func_field(&mut s, *func);
+                s.push_str(&format!(",\"depth\":{depth}"));
+            }
+            Event::FuncExit { func, frame_bytes } => {
+                push_json_str(&mut s, "func_exit");
+                func_field(&mut s, *func);
+                s.push_str(&format!(",\"frame_bytes\":{frame_bytes}"));
+            }
+            Event::RngDraw {
+                scheme,
+                cost_decicycles,
+            } => {
+                push_json_str(&mut s, "rng_draw");
+                s.push_str(",\"scheme\":");
+                push_json_str(&mut s, scheme);
+                s.push_str(&format!(",\"cost\":{cost_decicycles}"));
+            }
+            Event::PboxSelect { func, index } => {
+                push_json_str(&mut s, "pbox_select");
+                func_field(&mut s, *func);
+                s.push_str(&format!(",\"index\":{index}"));
+            }
+            Event::GuardCheck { func, kind, passed } => {
+                push_json_str(&mut s, "guard_check");
+                func_field(&mut s, *func);
+                s.push_str(",\"kind\":");
+                push_json_str(&mut s, kind.label());
+                s.push_str(&format!(",\"passed\":{passed}"));
+            }
+            Event::Fault { what } => {
+                push_json_str(&mut s, "fault");
+                s.push_str(",\"what\":");
+                push_json_str(&mut s, what);
+            }
+            Event::InputRequest { index, bytes } => {
+                push_json_str(&mut s, "input_request");
+                s.push_str(&format!(",\"index\":{index},\"bytes\":{bytes}"));
+            }
+            Event::RunEnd {
+                peak_rss,
+                decicycles,
+            } => {
+                push_json_str(&mut s, "run_end");
+                s.push_str(&format!(
+                    ",\"peak_rss\":{peak_rss},\"decicycles\":{decicycles}"
+                ));
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse one JSONL line back (inverse of [`TracedEvent::to_json`]).
+    /// `names` resolves function names back to indices; unknown names
+    /// (including the `#<idx>` fallback) fail the parse.
+    pub fn from_json(line: &str, names: &[String]) -> Option<TracedEvent> {
+        let map = parse_flat_object(line)?;
+        let seq = map.get("seq")?.as_u64()?;
+        let now = map.get("t")?.as_u64()?;
+        let func = |m: &BTreeMap<String, JsonValue>| -> Option<u32> {
+            let name = m.get("func")?.as_str()?;
+            names.iter().position(|n| n == name).map(|i| i as u32)
+        };
+        let event = match map.get("ev")?.as_str()? {
+            "func_enter" => Event::FuncEnter {
+                func: func(&map)?,
+                depth: map.get("depth")?.as_u64()? as u32,
+            },
+            "func_exit" => Event::FuncExit {
+                func: func(&map)?,
+                frame_bytes: map.get("frame_bytes")?.as_u64()?,
+            },
+            "rng_draw" => Event::RngDraw {
+                scheme: intern_scheme(map.get("scheme")?.as_str()?),
+                cost_decicycles: map.get("cost")?.as_u64()?,
+            },
+            "pbox_select" => Event::PboxSelect {
+                func: func(&map)?,
+                index: map.get("index")?.as_u64()?,
+            },
+            "guard_check" => Event::GuardCheck {
+                func: func(&map)?,
+                kind: GuardKind::from_label(map.get("kind")?.as_str()?)?,
+                passed: map.get("passed")?.as_bool()?,
+            },
+            "fault" => Event::Fault {
+                what: map.get("what")?.as_str()?.to_string(),
+            },
+            "input_request" => Event::InputRequest {
+                index: map.get("index")?.as_u64()?,
+                bytes: map.get("bytes")?.as_u64()?,
+            },
+            "run_end" => Event::RunEnd {
+                peak_rss: map.get("peak_rss")?.as_u64()?,
+                decicycles: map.get("decicycles")?.as_u64()?,
+            },
+            _ => return None,
+        };
+        Some(TracedEvent { seq, now, event })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["main".to_string(), "server".to_string()]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let evs = vec![
+            Event::FuncEnter { func: 0, depth: 1 },
+            Event::FuncExit {
+                func: 1,
+                frame_bytes: 320,
+            },
+            Event::RngDraw {
+                scheme: "AES-10",
+                cost_decicycles: 928,
+            },
+            Event::PboxSelect { func: 1, index: 5 },
+            Event::GuardCheck {
+                func: 1,
+                kind: GuardKind::Word,
+                passed: true,
+            },
+            Event::GuardCheck {
+                func: 0,
+                kind: GuardKind::Canary,
+                passed: false,
+            },
+            Event::Fault {
+                what: "oob write at 0x40 (\"quoted\")".to_string(),
+            },
+            Event::InputRequest {
+                index: 3,
+                bytes: 64,
+            },
+            Event::RunEnd {
+                peak_rss: 4096,
+                decicycles: 123456,
+            },
+        ];
+        for (i, event) in evs.into_iter().enumerate() {
+            let te = TracedEvent {
+                seq: i as u64,
+                now: 10 * i as u64,
+                event,
+            };
+            let line = te.to_json(&names());
+            let back = TracedEvent::from_json(&line, &names()).unwrap_or_else(|| {
+                panic!("failed to parse back: {line}");
+            });
+            assert_eq!(back, te, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_function_name_fails_parse() {
+        let te = TracedEvent {
+            seq: 0,
+            now: 0,
+            event: Event::FuncEnter { func: 7, depth: 1 },
+        };
+        let line = te.to_json(&names());
+        assert!(TracedEvent::from_json(&line, &names()).is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal hand-rolled JSON support: enough to write the trace/metrics
+//! dumps and to parse back the flat one-object-per-line records the
+//! JSONL sink emits. No serde — the workspace builds offline.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (only the subset the sinks emit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// Unsigned integer (all telemetry numbers are u64).
+    Num(u64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl JsonValue {
+    /// Numeric value, if this is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Append `s` to `out` as a JSON string literal (with escaping).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a flat JSON object (`{"k":v,...}` with number/string/bool
+/// values, no nesting) into a key→value map. Returns `None` on any
+/// syntax the sinks never emit.
+pub fn parse_flat_object(line: &str) -> Option<BTreeMap<String, JsonValue>> {
+    let mut chars = line.trim().chars().peekable();
+    let mut map = BTreeMap::new();
+    if chars.next()? != '{' {
+        return None;
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek()? {
+            '}' => {
+                chars.next();
+                break;
+            }
+            ',' => {
+                chars.next();
+                continue;
+            }
+            _ => {}
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek()? {
+            '"' => JsonValue::Str(parse_string(&mut chars)?),
+            't' | 'f' => {
+                let mut word = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    word.push(chars.next().unwrap());
+                }
+                match word.as_str() {
+                    "true" => JsonValue::Bool(true),
+                    "false" => JsonValue::Bool(false),
+                    _ => return None,
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(c) = chars.peek() {
+                    if let Some(d) = c.to_digit(10) {
+                        n = n.checked_mul(10)?.checked_add(d as u64)?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                JsonValue::Num(n)
+            }
+            _ => return None,
+        };
+        map.insert(key, val);
+    }
+    Some(map)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    if chars.next()? != '"' {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trip() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        let parsed = parse_string(&mut s.chars().peekable()).unwrap();
+        assert_eq!(parsed, "a\"b\\c\nd\te\u{1}");
+    }
+
+    #[test]
+    fn flat_object_round_trip() {
+        let m = parse_flat_object(r#"{"ev":"rng_draw","cost":928,"ok":true,"name":"A-\"1\""}"#)
+            .unwrap();
+        assert_eq!(m["ev"].as_str(), Some("rng_draw"));
+        assert_eq!(m["cost"].as_u64(), Some(928));
+        assert_eq!(m["ok"].as_bool(), Some(true));
+        assert_eq!(m["name"].as_str(), Some("A-\"1\""));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_flat_object("not json").is_none());
+        assert!(parse_flat_object("{\"k\":}").is_none());
+    }
+}

@@ -1,0 +1,134 @@
+//! Observability for the Smokestack VM: structured event tracing, a
+//! metrics registry, and a per-function flat profiler.
+//!
+//! The paper's evaluation is observability end to end — §V-A attributes
+//! hardened-build cycles to RNG latency and instrumentation work with
+//! OProfile, and §IV argues security from the *uniformity* of the layout
+//! draws. This crate is the in-simulation analog of that tooling:
+//!
+//! * [`Event`] / [`EventRing`] — a fixed-capacity ring of typed events
+//!   (function entry/exit, `stack_rng` draws, P-BOX index selections,
+//!   guard-word checks, faults, attacker input requests) with
+//!   overwrite-oldest semantics and a dropped-event counter.
+//! * [`MetricsRegistry`] — counters, gauges, log₂-bucketed histograms,
+//!   and per-function permutation-index frequency tables with a
+//!   chi-squared uniformity statistic.
+//! * [`Profiler`] — attributes every cycle the VM charges to the
+//!   function executing it, and exports collapsed-stack lines consumable
+//!   by flamegraph tooling.
+//!
+//! The VM talks to all of this through the [`Tracer`] trait. The default
+//! is no tracer at all (`None` on `VmConfig`), and every emit site in the
+//! VM is guarded by a cheap `is-some` check, so the disabled path costs
+//! nothing measurable. [`Collector`] is the batteries-included `Tracer`
+//! that feeds the ring, registry, and profiler at once;
+//! [`SharedCollector`] wraps it in `Rc<RefCell<..>>` so the caller keeps
+//! a handle while the VM owns the tracer box.
+//!
+//! Everything here is dependency-free by design (hand-rolled JSON, no
+//! serde): the workspace builds in registry-less environments.
+
+pub mod collector;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod ring;
+pub mod sink;
+
+pub use collector::{Collector, CollectorConfig, SharedCollector};
+pub use event::{Event, GuardKind, TracedEvent};
+pub use metrics::{chi_squared_uniform, FreqTable, Histogram, MetricsRegistry};
+pub use profile::{FunctionCycles, Profiler};
+pub use ring::EventRing;
+pub use sink::{EventSink, JsonlSink, MemorySink};
+
+/// The cycle-accounting categories of the VM's `CycleBreakdown`,
+/// mirrored here so the VM can report charges without a dependency
+/// cycle (telemetry must not depend on the VM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleCategory {
+    /// Entropy draws (`stack_rng`).
+    Rng,
+    /// Loads, stores, address formation.
+    Mem,
+    /// Arithmetic/logic and intrinsic bookkeeping.
+    Alu,
+    /// Branches, calls, returns.
+    Control,
+    /// `get_input` / `print_*` style I/O.
+    Io,
+    /// Bulk memory intrinsics (memcpy/memset/strlen/...).
+    Bulk,
+}
+
+impl CycleCategory {
+    /// Every category, in `CycleBreakdown` field order.
+    pub const ALL: [CycleCategory; 6] = [
+        CycleCategory::Rng,
+        CycleCategory::Mem,
+        CycleCategory::Alu,
+        CycleCategory::Control,
+        CycleCategory::Io,
+        CycleCategory::Bulk,
+    ];
+
+    /// Stable index into per-function cycle arrays.
+    pub fn index(self) -> usize {
+        match self {
+            CycleCategory::Rng => 0,
+            CycleCategory::Mem => 1,
+            CycleCategory::Alu => 2,
+            CycleCategory::Control => 3,
+            CycleCategory::Io => 4,
+            CycleCategory::Bulk => 5,
+        }
+    }
+
+    /// Short label used in JSON dumps and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleCategory::Rng => "rng",
+            CycleCategory::Mem => "mem",
+            CycleCategory::Alu => "alu",
+            CycleCategory::Control => "control",
+            CycleCategory::Io => "io",
+            CycleCategory::Bulk => "bulk",
+        }
+    }
+}
+
+/// Hook the VM calls while executing. All methods default to no-ops so
+/// custom tracers override only what they need.
+///
+/// Contract with the VM:
+/// * `on_functions` is called once, before execution, with the module's
+///   function names; events refer to functions by index into that slice.
+/// * `on_event` receives the current decicycle clock and the event.
+/// * `on_cycles` is called for **every** decicycle charge the VM makes,
+///   tagged with its category; summing all charges reproduces the run's
+///   `decicycles` exactly.
+/// * `flat_profile` is called once when the run ends; return the
+///   per-function attribution if this tracer maintains one.
+pub trait Tracer {
+    /// Module function names; events use indices into this slice.
+    fn on_functions(&mut self, _names: &[String]) {}
+
+    /// A structured event at decicycle time `_now`.
+    fn on_event(&mut self, _now: u64, _ev: &Event) {}
+
+    /// A cycle charge of `_decicycles` in category `_cat`.
+    fn on_cycles(&mut self, _cat: CycleCategory, _decicycles: u64) {}
+
+    /// Per-function cycle attribution, if maintained.
+    fn flat_profile(&self) -> Option<Vec<FunctionCycles>> {
+        None
+    }
+}
+
+/// A tracer that ignores everything (useful for overhead measurements
+/// of the *enabled-but-empty* path, as opposed to `None` = disabled).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {}

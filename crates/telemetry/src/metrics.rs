@@ -1,0 +1,509 @@
+//! Counters, gauges, log₂ histograms, and permutation-index frequency
+//! tables with a chi-squared uniformity statistic.
+
+use crate::json::push_json_str;
+use std::collections::BTreeMap;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds exactly the value 0; bucket `b ≥ 1` holds values in
+/// `[2^(b-1), 2^b)`. 65 buckets cover the whole `u64` range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for `value`.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `b`.
+    pub fn bucket_lo(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Inclusive upper bound of bucket `b`.
+    pub fn bucket_hi(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts (index = bucket).
+    pub fn counts(&self) -> &[u64; 65] {
+        &self.counts
+    }
+
+    /// Compact JSON: only non-empty buckets, keyed by their lower bound.
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\"count\":");
+        s.push_str(&self.count.to_string());
+        s.push_str(&format!(
+            ",\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{",
+            self.sum,
+            self.min(),
+            self.max
+        ));
+        let mut first = true;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\"{}\":{}", Self::bucket_lo(b), c));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// Chi-squared statistic of `counts` against the uniform distribution
+/// over its bins. Returns 0.0 for degenerate inputs (fewer than two
+/// bins or no observations).
+pub fn chi_squared_uniform(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if counts.len() < 2 || total == 0 {
+        return 0.0;
+    }
+    let expected = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&o| {
+            let d = o as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// Frequency table over small integer indices (P-BOX row selections).
+/// Grows automatically to cover the largest index observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FreqTable {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl FreqTable {
+    /// An empty table.
+    pub fn new() -> FreqTable {
+        FreqTable::default()
+    }
+
+    /// Record one observation of `index`.
+    pub fn observe(&mut self, index: u64) {
+        let i = index as usize;
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        self.total += 1;
+    }
+
+    /// Per-index counts (index 0..).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Chi-squared uniformity statistic over the observed index range.
+    pub fn chi_squared(&self) -> f64 {
+        chi_squared_uniform(&self.counts)
+    }
+
+    fn to_json(&self) -> String {
+        let counts: Vec<String> = self.counts.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"total\":{},\"chi_squared\":{:.3},\"counts\":[{}]}}",
+            self.total,
+            self.chi_squared(),
+            counts.join(",")
+        )
+    }
+}
+
+/// Named counters, gauges, histograms, and frequency tables.
+///
+/// Names are dotted strings (`rng_draws.AES-10`, `pbox_index.server`);
+/// `BTreeMap` keeps dumps deterministically ordered.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    freq_tables: BTreeMap<String, FreqTable>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `by` to counter `name`.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.entry_counter(name) += by;
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raise gauge `name` to `value` if larger (high-water mark).
+    pub fn gauge_max(&mut self, name: &str, value: u64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(0);
+        *g = (*g).max(value);
+    }
+
+    /// Record `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry_or_default(name).observe(value);
+    }
+
+    /// Record index `index` into frequency table `name`.
+    pub fn observe_index(&mut self, name: &str, index: u64) {
+        self.freq_tables.entry_or_default(name).observe(index);
+    }
+
+    /// Counter value (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Frequency table by name.
+    pub fn freq_table(&self, name: &str) -> Option<&FreqTable> {
+        self.freq_tables.get(name)
+    }
+
+    /// All frequency tables, ordered by name.
+    pub fn freq_tables(&self) -> impl Iterator<Item = (&str, &FreqTable)> {
+        self.freq_tables.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold another registry into this one (counters add, gauges take
+    /// the max, histograms and tables merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.entry_counter(k) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauge_max(k, v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry_or_default(k).merge(h);
+        }
+        for (k, t) in &other.freq_tables {
+            let mine = self.freq_tables.entry_or_default(k);
+            for (i, &c) in t.counts.iter().enumerate() {
+                if i >= mine.counts.len() {
+                    mine.counts.resize(i + 1, 0);
+                }
+                mine.counts[i] += c;
+            }
+            mine.total += t.total;
+        }
+    }
+
+    fn entry_counter(&mut self, name: &str) -> &mut u64 {
+        if !self.counters.contains_key(name) {
+            self.counters.insert(name.to_string(), 0);
+        }
+        self.counters.get_mut(name).unwrap()
+    }
+
+    /// Dump the whole registry as a JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            push_json_str(&mut s, k);
+            s.push_str(&format!(":{v}"));
+        }
+        s.push_str("},\"gauges\":{");
+        first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            push_json_str(&mut s, k);
+            s.push_str(&format!(":{v}"));
+        }
+        s.push_str("},\"histograms\":{");
+        first = true;
+        for (k, h) in &self.histograms {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            push_json_str(&mut s, k);
+            s.push(':');
+            s.push_str(&h.to_json());
+        }
+        s.push_str("},\"freq_tables\":{");
+        first = true;
+        for (k, t) in &self.freq_tables {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            push_json_str(&mut s, k);
+            s.push(':');
+            s.push_str(&t.to_json());
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+/// `entry(..).or_default()` without the repeated `to_string`
+/// boilerplate at call sites.
+trait EntryOrDefault<V: Default> {
+    fn entry_or_default(&mut self, name: &str) -> &mut V;
+}
+
+impl<V: Default> EntryOrDefault<V> for BTreeMap<String, V> {
+    fn entry_or_default(&mut self, name: &str) -> &mut V {
+        if !self.contains_key(name) {
+            self.insert(name.to_string(), V::default());
+        }
+        self.get_mut(name).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // Bucket 0 is exactly {0}; bucket b covers [2^(b-1), 2^b - 1].
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(7), 3);
+        assert_eq!(Histogram::bucket_of(8), 4);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for b in 0..=64 {
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_lo(b)), b);
+            assert_eq!(Histogram::bucket_of(Histogram::bucket_hi(b)), b);
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_merge() {
+        let mut a = Histogram::new();
+        for v in [0, 1, 5, 9] {
+            a.observe(v);
+        }
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.sum(), 15);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 9);
+        assert!((a.mean() - 3.75).abs() < 1e-12);
+
+        let mut b = Histogram::new();
+        b.observe(1 << 40);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 1 << 40);
+        assert_eq!(a.counts()[41], 1);
+        // Merging an empty histogram is the identity.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn chi_squared_basics() {
+        // Perfectly uniform -> 0.
+        assert_eq!(chi_squared_uniform(&[10, 10, 10, 10]), 0.0);
+        // Degenerate inputs -> 0.
+        assert_eq!(chi_squared_uniform(&[]), 0.0);
+        assert_eq!(chi_squared_uniform(&[5]), 0.0);
+        assert_eq!(chi_squared_uniform(&[0, 0]), 0.0);
+        // All mass in one of two bins: statistic = total.
+        assert!((chi_squared_uniform(&[40, 0]) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freq_table_grows_and_scores() {
+        let mut t = FreqTable::new();
+        for i in 0..8u64 {
+            for _ in 0..100 {
+                t.observe(i);
+            }
+        }
+        assert_eq!(t.total(), 800);
+        assert_eq!(t.counts().len(), 8);
+        assert_eq!(t.chi_squared(), 0.0);
+        t.observe(15);
+        assert_eq!(t.counts().len(), 16);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut m = MetricsRegistry::new();
+        m.inc("rng_draws.AES-10", 3);
+        m.gauge_max("peak_rss", 100);
+        m.gauge_max("peak_rss", 50);
+        m.observe("frame_bytes", 48);
+        m.observe_index("pbox_index.server", 2);
+        assert_eq!(m.counter("rng_draws.AES-10"), 3);
+        assert_eq!(m.gauge("peak_rss"), Some(100));
+        assert_eq!(m.histogram("frame_bytes").unwrap().count(), 1);
+        assert_eq!(m.freq_table("pbox_index.server").unwrap().total(), 1);
+
+        let json = m.to_json();
+        assert!(json.contains("\"rng_draws.AES-10\":3"));
+        assert!(json.contains("\"peak_rss\":100"));
+        assert!(json.contains("\"chi_squared\""));
+        // The dump is itself a flat-ish JSON object; spot-check balance.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+    }
+
+    #[test]
+    fn registry_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc("x", 1);
+        a.observe_index("t", 0);
+        let mut b = MetricsRegistry::new();
+        b.inc("x", 2);
+        b.inc("y", 5);
+        b.gauge_max("g", 9);
+        b.observe("h", 7);
+        b.observe_index("t", 3);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.counter("y"), 5);
+        assert_eq!(a.gauge("g"), Some(9));
+        assert_eq!(a.histogram("h").unwrap().count(), 1);
+        let t = a.freq_table("t").unwrap();
+        assert_eq!(t.total(), 2);
+        assert_eq!(t.counts(), &[1, 0, 0, 1]);
+    }
+}

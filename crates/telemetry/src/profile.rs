@@ -1,0 +1,251 @@
+//! Per-function flat profiler and collapsed-stack export.
+
+use crate::CycleCategory;
+use std::collections::BTreeMap;
+
+/// Per-function cycle attribution: how many decicycles of each
+/// [`CycleCategory`] were charged while this function was on top of the
+/// call stack, and how many times it was entered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunctionCycles {
+    /// Function name.
+    pub name: String,
+    /// Number of invocations.
+    pub calls: u64,
+    /// Decicycles by category, indexed by [`CycleCategory::index`].
+    pub cycles: [u64; 6],
+}
+
+impl FunctionCycles {
+    /// Decicycles in one category.
+    pub fn get(&self, cat: CycleCategory) -> u64 {
+        self.cycles[cat.index()]
+    }
+
+    /// Total decicycles attributed to this function.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct FlatEntry {
+    calls: u64,
+    cycles: [u64; 6],
+}
+
+/// Attributes VM cycle charges to the function executing them.
+///
+/// The profiler maintains its own call stack from `enter`/`exit` pairs;
+/// each charge lands on the current top of stack (the "self" cost — a
+/// caller is not billed for its callees) and on the full stack's
+/// collapsed-stack entry. Charges that arrive with an empty stack (none
+/// in normal runs) land in a synthetic `(vm)` bucket so the invariant
+/// *sum of attributed cycles = total charged cycles* always holds.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    stack: Vec<u32>,
+    flat: Vec<FlatEntry>,
+    outside: FlatEntry,
+    collapsed: BTreeMap<Vec<u32>, u64>,
+    /// Self-time charged to the *current* stack but not yet folded into
+    /// `collapsed` — charges are hot (every VM instruction), so the
+    /// stack is only cloned into the map when it changes shape.
+    pending: u64,
+    outside_collapsed: u64,
+}
+
+impl Profiler {
+    /// An empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    fn flush_pending(&mut self) {
+        if self.pending > 0 {
+            *self.collapsed.entry(self.stack.clone()).or_insert(0) += self.pending;
+            self.pending = 0;
+        }
+    }
+
+    /// A function frame was pushed.
+    pub fn enter(&mut self, func: u32) {
+        self.flush_pending();
+        self.stack.push(func);
+        let i = func as usize;
+        if i >= self.flat.len() {
+            self.flat.resize_with(i + 1, FlatEntry::default);
+        }
+        self.flat[i].calls += 1;
+    }
+
+    /// The top frame returned. Unbalanced exits are ignored.
+    pub fn exit(&mut self) {
+        self.flush_pending();
+        self.stack.pop();
+    }
+
+    /// Current call depth according to the profiler's own stack.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Charge `decicycles` of `cat` to the currently executing
+    /// function.
+    #[inline]
+    pub fn charge(&mut self, cat: CycleCategory, decicycles: u64) {
+        match self.stack.last() {
+            Some(&top) => {
+                self.flat[top as usize].cycles[cat.index()] += decicycles;
+                self.pending += decicycles;
+            }
+            None => {
+                self.outside.cycles[cat.index()] += decicycles;
+                self.outside_collapsed += decicycles;
+            }
+        }
+    }
+
+    /// The collapsed map including any not-yet-flushed self-time of the
+    /// current stack.
+    fn collapsed_snapshot(&self) -> BTreeMap<Vec<u32>, u64> {
+        let mut map = self.collapsed.clone();
+        if self.pending > 0 {
+            *map.entry(self.stack.clone()).or_insert(0) += self.pending;
+        }
+        map
+    }
+
+    /// Flat per-function profile, hottest first. Only functions that
+    /// were entered or charged appear; the synthetic `(vm)` bucket
+    /// appears only if anything landed outside all frames.
+    pub fn flat_profile(&self, names: &[String]) -> Vec<FunctionCycles> {
+        let mut rows: Vec<FunctionCycles> = self
+            .flat
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.calls > 0 || e.cycles.iter().any(|&c| c > 0))
+            .map(|(i, e)| FunctionCycles {
+                name: names.get(i).cloned().unwrap_or_else(|| format!("#{i}")),
+                calls: e.calls,
+                cycles: e.cycles,
+            })
+            .collect();
+        if self.outside.cycles.iter().any(|&c| c > 0) {
+            rows.push(FunctionCycles {
+                name: "(vm)".to_string(),
+                calls: 0,
+                cycles: self.outside.cycles,
+            });
+        }
+        rows.sort_by(|a, b| b.total().cmp(&a.total()).then(a.name.cmp(&b.name)));
+        rows
+    }
+
+    /// Collapsed-stack lines in the format flamegraph tooling consumes:
+    /// `main;helper;leaf 1234`, one line per distinct stack, where the
+    /// count is decicycles of *self* time for that stack.
+    pub fn collapsed_lines(&self, names: &[String]) -> Vec<String> {
+        let name_of = |f: &u32| {
+            names
+                .get(*f as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("#{f}"))
+        };
+        let mut lines: Vec<String> = self
+            .collapsed_snapshot()
+            .iter()
+            .map(|(stack, &count)| {
+                let path: Vec<String> = stack.iter().map(name_of).collect();
+                format!("{} {}", path.join(";"), count)
+            })
+            .collect();
+        if self.outside_collapsed > 0 {
+            lines.push(format!("(vm) {}", self.outside_collapsed));
+        }
+        lines
+    }
+
+    /// Total decicycles ever charged through this profiler (equals the
+    /// sum over `flat_profile` totals and over `collapsed_lines`
+    /// counts).
+    pub fn total_charged(&self) -> u64 {
+        self.collapsed.values().sum::<u64>() + self.pending + self.outside_collapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["main".into(), "helper".into(), "leaf".into()]
+    }
+
+    #[test]
+    fn self_time_attribution() {
+        let mut p = Profiler::new();
+        p.enter(0); // main
+        p.charge(CycleCategory::Alu, 10);
+        p.enter(1); // main;helper
+        p.charge(CycleCategory::Mem, 7);
+        p.exit();
+        p.charge(CycleCategory::Control, 3);
+        p.exit();
+
+        let flat = p.flat_profile(&names());
+        assert_eq!(flat.len(), 2);
+        let main = flat.iter().find(|f| f.name == "main").unwrap();
+        let helper = flat.iter().find(|f| f.name == "helper").unwrap();
+        // main is not billed for helper's 7.
+        assert_eq!(main.total(), 13);
+        assert_eq!(main.get(CycleCategory::Alu), 10);
+        assert_eq!(main.get(CycleCategory::Control), 3);
+        assert_eq!(helper.total(), 7);
+        assert_eq!(helper.calls, 1);
+        assert_eq!(main.calls, 1);
+    }
+
+    #[test]
+    fn collapsed_lines_and_sum_invariant() {
+        let mut p = Profiler::new();
+        p.enter(0);
+        p.charge(CycleCategory::Alu, 5);
+        p.enter(1);
+        p.enter(2);
+        p.charge(CycleCategory::Rng, 20);
+        p.exit();
+        p.exit();
+        p.enter(1);
+        p.charge(CycleCategory::Mem, 1);
+        p.exit();
+        p.exit();
+
+        let lines = p.collapsed_lines(&names());
+        assert!(lines.contains(&"main 5".to_string()), "{lines:?}");
+        assert!(lines.contains(&"main;helper;leaf 20".to_string()));
+        assert!(lines.contains(&"main;helper 1".to_string()));
+        let total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert_eq!(total, 26);
+        assert_eq!(p.total_charged(), 26);
+        // helper entered twice.
+        let flat = p.flat_profile(&names());
+        assert_eq!(flat.iter().find(|f| f.name == "helper").unwrap().calls, 2);
+    }
+
+    #[test]
+    fn charges_outside_frames_fall_in_vm_bucket() {
+        let mut p = Profiler::new();
+        p.charge(CycleCategory::Io, 4);
+        p.enter(0);
+        p.charge(CycleCategory::Alu, 1);
+        p.exit();
+        let flat = p.flat_profile(&names());
+        assert!(flat.iter().any(|f| f.name == "(vm)" && f.total() == 4));
+        assert_eq!(p.total_charged(), 5);
+        assert!(p.collapsed_lines(&names()).contains(&"(vm) 4".to_string()));
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixed-capacity event ring with overwrite-oldest semantics.
+
+use crate::event::{Event, TracedEvent};
+use std::collections::VecDeque;
+
+/// A bounded buffer of [`TracedEvent`]s. When full, pushing evicts the
+/// oldest event and bumps the dropped counter; sequence numbers keep
+/// counting, so consumers can tell exactly where the gap is.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    cap: usize,
+    buf: VecDeque<TracedEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> EventRing {
+        let cap = capacity.max(1);
+        EventRing {
+            cap,
+            buf: VecDeque::with_capacity(cap),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record `event` at decicycle time `now`; returns its sequence
+    /// number. Evicts the oldest event when full.
+    pub fn push(&mut self, now: u64, event: Event) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(TracedEvent { seq, now, event });
+        seq
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TracedEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted to make room (total pushed = `len() + dropped()`).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> Event {
+        Event::InputRequest { index: i, bytes: 0 }
+    }
+
+    #[test]
+    fn fills_then_wraps_dropping_oldest() {
+        let mut r = EventRing::new(4);
+        for i in 0..4 {
+            r.push(i, ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+
+        // Two more pushes evict the two oldest.
+        r.push(4, ev(4));
+        r.push(5, ev(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total_pushed(), 6);
+
+        let seqs: Vec<u64> = r.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5], "oldest first, gap before seq 2");
+    }
+
+    #[test]
+    fn sequence_numbers_survive_eviction() {
+        let mut r = EventRing::new(2);
+        for i in 0..100 {
+            let seq = r.push(i, ev(i));
+            assert_eq!(seq, i);
+        }
+        assert_eq!(r.dropped(), 98);
+        let seqs: Vec<u64> = r.iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![98, 99]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut r = EventRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(0, ev(0));
+        r.push(1, ev(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.dropped(), 1);
+    }
+}

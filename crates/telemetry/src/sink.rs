@@ -1,0 +1,165 @@
+//! Pluggable event sinks: in-memory capture and a JSONL writer.
+
+use crate::event::TracedEvent;
+use crate::ring::EventRing;
+use std::io::{self, Write};
+
+/// Consumes traced events (typically drained from an [`EventRing`]).
+pub trait EventSink {
+    /// Consume one event. `names` resolves function indices.
+    fn record(&mut self, event: &TracedEvent, names: &[String]);
+}
+
+/// Keeps every event it sees (tests, custom post-processing).
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    /// Captured events, in arrival order.
+    pub events: Vec<TracedEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn record(&mut self, event: &TracedEvent, _names: &[String]) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line to any `io::Write`.
+///
+/// Write errors are sticky: the first failure is retained (see
+/// [`JsonlSink::error`]) and later events are dropped, so the sink can
+/// implement the infallible [`EventSink`] trait.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            writer,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Lines successfully written.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The first write error, if any occurred.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flush and return the inner writer (or the sticky error).
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn record(&mut self, event: &TracedEvent, names: &[String]) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = event.to_json(names);
+        match writeln!(self.writer, "{line}") {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Drain every retained event of `ring` into `sink`, oldest first.
+pub fn drain_ring(ring: &EventRing, names: &[String], sink: &mut dyn EventSink) {
+    for ev in ring.iter() {
+        sink.record(ev, names);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn names() -> Vec<String> {
+        vec!["main".to_string()]
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_ring() {
+        let mut ring = EventRing::new(16);
+        ring.push(
+            5,
+            Event::RngDraw {
+                scheme: "AES-1",
+                cost_decicycles: 192,
+            },
+        );
+        ring.push(9, Event::FuncEnter { func: 0, depth: 1 });
+
+        let mut sink = JsonlSink::new(Vec::new());
+        drain_ring(&ring, &names(), &mut sink);
+        assert_eq!(sink.written(), 2);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+
+        let parsed: Vec<TracedEvent> = text
+            .lines()
+            .map(|l| TracedEvent::from_json(l, &names()).unwrap())
+            .collect();
+        let original: Vec<TracedEvent> = ring.iter().cloned().collect();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn memory_sink_captures_in_order() {
+        let mut ring = EventRing::new(4);
+        for i in 0..6 {
+            ring.push(i, Event::InputRequest { index: i, bytes: 1 });
+        }
+        let mut sink = MemorySink::new();
+        drain_ring(&ring, &names(), &mut sink);
+        let seqs: Vec<u64> = sink.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+    }
+
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_errors_are_sticky() {
+        let mut sink = JsonlSink::new(FailingWriter);
+        let te = TracedEvent {
+            seq: 0,
+            now: 0,
+            event: Event::FuncEnter { func: 0, depth: 1 },
+        };
+        sink.record(&te, &names());
+        sink.record(&te, &names());
+        assert_eq!(sink.written(), 0);
+        assert!(sink.error().is_some());
+        assert!(sink.finish().is_err());
+    }
+}

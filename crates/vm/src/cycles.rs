@@ -25,6 +25,7 @@
 use std::ops::{Add, AddAssign};
 
 use smokestack_ir::{Inst, Intrinsic, Terminator};
+use smokestack_telemetry::CycleCategory;
 
 /// Cost units per cycle (twentieths, so a 5% locality effect is
 /// representable and the paper's fractional Table I costs stay exact).
@@ -74,6 +75,31 @@ impl CycleBreakdown {
             0.0
         } else {
             category as f64 / self.total() as f64
+        }
+    }
+
+    /// Add `c` cost units to the field for `cat` (the telemetry-facing
+    /// view of the same six buckets).
+    pub fn add_category(&mut self, cat: CycleCategory, c: u64) {
+        match cat {
+            CycleCategory::Rng => self.rng += c,
+            CycleCategory::Mem => self.mem += c,
+            CycleCategory::Alu => self.alu += c,
+            CycleCategory::Control => self.control += c,
+            CycleCategory::Io => self.io += c,
+            CycleCategory::Bulk => self.bulk += c,
+        }
+    }
+
+    /// Value of the field for `cat`.
+    pub fn get_category(&self, cat: CycleCategory) -> u64 {
+        match cat {
+            CycleCategory::Rng => self.rng,
+            CycleCategory::Mem => self.mem,
+            CycleCategory::Alu => self.alu,
+            CycleCategory::Control => self.control,
+            CycleCategory::Io => self.io,
+            CycleCategory::Bulk => self.bulk,
         }
     }
 }
@@ -276,6 +302,33 @@ mod tests {
             randomizable: true,
         };
         assert!(cm.inst_cost(&vla) > cm.inst_cost(&fixed));
+    }
+
+    #[test]
+    fn share_of_empty_breakdown_is_zero_not_nan() {
+        let b = CycleBreakdown::default();
+        assert_eq!(b.total(), 0);
+        let s = b.share(b.rng);
+        assert_eq!(s, 0.0);
+        assert!(!s.is_nan(), "empty run must not propagate NaN into tables");
+    }
+
+    #[test]
+    fn category_accessors_cover_every_field() {
+        let mut b = CycleBreakdown::default();
+        for (i, cat) in CycleCategory::ALL.into_iter().enumerate() {
+            b.add_category(cat, (i + 1) as u64);
+        }
+        assert_eq!(b.rng, 1);
+        assert_eq!(b.mem, 2);
+        assert_eq!(b.alu, 3);
+        assert_eq!(b.control, 4);
+        assert_eq!(b.io, 5);
+        assert_eq!(b.bulk, 6);
+        assert_eq!(b.total(), 21);
+        for cat in CycleCategory::ALL {
+            assert_eq!(b.get_category(cat), (cat.index() + 1) as u64);
+        }
     }
 
     #[test]

@@ -3,13 +3,14 @@
 
 use std::collections::HashMap;
 
+#[cfg(test)]
+use smokestack_ir::Type;
 use smokestack_ir::{
     BinOp, BlockId, Callee, CastKind, CmpPred, FuncId, Function, GlobalInit, Inst, IntWidth,
     Intrinsic, Module, RegId, Terminator, Value,
 };
-#[cfg(test)]
-use smokestack_ir::Type;
 use smokestack_srng::{build_source, RandomSource, SchemeKind, SeededTrng, XorShift64};
+use smokestack_telemetry::{CycleCategory, Event, FunctionCycles, GuardKind, Tracer};
 
 use crate::cycles::{CostModel, CycleBreakdown};
 use crate::io::{InputSource, OutputEvent};
@@ -127,6 +128,10 @@ pub struct RunOutcome {
     pub breakdown: CycleBreakdown,
     /// Recorded allocations, if enabled.
     pub alloca_trace: Vec<AllocaRecord>,
+    /// Per-function cycle attribution, hottest first (empty unless a
+    /// profiling [`Tracer`] was configured). Totals sum to
+    /// [`RunOutcome::decicycles`].
+    pub per_function: Vec<FunctionCycles>,
 }
 
 impl RunOutcome {
@@ -159,6 +164,11 @@ pub struct VmConfig {
     pub cost: CostModel,
     /// Record every stack allocation (address/size/name).
     pub record_allocas: bool,
+    /// Telemetry hook ([`smokestack_telemetry::Collector`] or custom).
+    /// `None` (the default) disables tracing entirely; every emit site
+    /// in the VM is guarded by an is-some check so the disabled path
+    /// costs nothing measurable.
+    pub tracer: Option<Box<dyn Tracer>>,
 }
 
 impl Default for VmConfig {
@@ -171,6 +181,7 @@ impl Default for VmConfig {
             mem: MemConfig::default(),
             cost: CostModel::default(),
             record_allocas: false,
+            tracer: None,
         }
     }
 }
@@ -182,6 +193,14 @@ struct Frame {
     idx: usize,
     entry_sp: u64,
     ret_reg: Option<RegId>,
+    /// Lowest stack pointer this frame's allocas reached (frame size =
+    /// `entry_sp - low_sp`).
+    low_sp: u64,
+    /// `guard_key` intrinsic calls in this frame (call #1 is the
+    /// prologue store; each later call is an epilogue check).
+    guard_calls: u32,
+    /// `canary` intrinsic calls in this frame (same convention).
+    canary_calls: u32,
 }
 
 /// The virtual machine: owns a loaded module image and executes it.
@@ -198,6 +217,11 @@ pub struct Vm {
     record_allocas: bool,
     global_addrs: Vec<u64>,
     slab_funcs: Vec<crate::cycles::SlabClass>,
+    tracer: Option<Box<dyn Tracer>>,
+    /// Per function: the `stack_rng` result register and P-BOX mask of
+    /// the hardened slab prologue, recovered by prescan (None if the
+    /// function is uninstrumented).
+    pbox_draws: Vec<Option<(RegId, u64)>>,
     // Heap allocator state.
     heap_next: u64,
     free_lists: HashMap<u64, Vec<u64>>,
@@ -274,6 +298,14 @@ impl Vm {
             })
             .collect();
 
+        let pbox_draws = module.funcs.iter().map(Self::find_pbox_draw).collect();
+
+        let mut tracer = cfg.tracer;
+        if let Some(t) = tracer.as_deref_mut() {
+            let names: Vec<String> = module.funcs.iter().map(|f| f.name.clone()).collect();
+            t.on_functions(&names);
+        }
+
         Vm {
             module,
             mem,
@@ -287,6 +319,8 @@ impl Vm {
             record_allocas: cfg.record_allocas,
             global_addrs,
             slab_funcs,
+            tracer,
+            pbox_draws,
             heap_next: 0,
             free_lists: HashMap::new(),
             block_sizes: HashMap::new(),
@@ -300,6 +334,67 @@ impl Vm {
             alloca_trace: Vec::new(),
             max_depth: 0,
             sp: 0,
+        }
+    }
+
+    /// Recover the slab-prologue P-BOX draw from an instrumented
+    /// function's entry block: a `stack_rng` call whose result is masked
+    /// (`And` with a constant) and then scaled by the row size (`Mul`).
+    /// The `Mul` distinguishes the slab draw from VLA-pad draws, whose
+    /// masked result feeds an `alloca` count directly.
+    fn find_pbox_draw(f: &Function) -> Option<(RegId, u64)> {
+        let entry = f.block(Function::ENTRY);
+        let mut rng_reg: Option<RegId> = None;
+        let mut masked: Option<(RegId, u64, RegId)> = None; // (rng, mask, and_result)
+        for inst in &entry.insts {
+            match inst {
+                Inst::Call {
+                    result: Some(r),
+                    callee: Callee::Intrinsic(Intrinsic::StackRng),
+                    ..
+                } => rng_reg = Some(*r),
+                Inst::Bin {
+                    result,
+                    op: BinOp::And,
+                    lhs: Value::Reg(l),
+                    rhs: Value::ConstInt(m, _),
+                    ..
+                } if Some(*l) == rng_reg => {
+                    masked = Some((rng_reg?, *m as u64, *result));
+                }
+                Inst::Bin {
+                    op: BinOp::Mul,
+                    lhs: Value::Reg(l),
+                    ..
+                } => {
+                    if let Some((rng, mask, and_result)) = masked {
+                        if *l == and_result {
+                            return Some((rng, mask));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Charge `c` cost units in category `cat` (single choke point for
+    /// all cycle accounting, so tracer attribution is exact).
+    #[inline]
+    fn charge(&mut self, cat: CycleCategory, c: u64) {
+        self.decicycles += c;
+        self.breakdown.add_category(cat, c);
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.on_cycles(cat, c);
+        }
+    }
+
+    /// Emit a telemetry event (no-op without a tracer).
+    #[inline]
+    fn emit(&mut self, ev: Event) {
+        if let Some(t) = self.tracer.as_deref_mut() {
+            t.on_event(self.decicycles, &ev);
         }
     }
 
@@ -367,9 +462,31 @@ impl Vm {
             idx: 0,
             entry_sp: self.sp,
             ret_reg: None,
+            low_sp: self.sp,
+            guard_calls: 0,
+            canary_calls: 0,
         }];
         self.max_depth = 1;
+        self.emit(Event::FuncEnter {
+            func: fid.0,
+            depth: 1,
+        });
         let exit = self.exec_loop(&mut frames, &mut input);
+        if self.tracer.is_some() {
+            if let Exit::Fault(f) = &exit {
+                let what = f.to_string();
+                self.emit(Event::Fault { what });
+            }
+            self.emit(Event::RunEnd {
+                peak_rss: self.mem.peak_rss(),
+                decicycles: self.decicycles,
+            });
+        }
+        let per_function = self
+            .tracer
+            .as_deref()
+            .and_then(|t| t.flat_profile())
+            .unwrap_or_default();
         RunOutcome {
             exit,
             decicycles: self.decicycles,
@@ -380,6 +497,7 @@ impl Vm {
             rng_invocations: self.rng_invocations,
             breakdown: self.breakdown,
             alloca_trace: std::mem::take(&mut self.alloca_trace),
+            per_function,
         }
     }
 
@@ -396,10 +514,10 @@ impl Vm {
 
             if fr.idx >= block.insts.len() {
                 // Execute terminator.
-                let c = self.cost.term_cost(&block.term);
-                self.decicycles += c;
-                self.breakdown.control += c;
-                match block.term.clone() {
+                let term = block.term.clone();
+                let c = self.cost.term_cost(&term);
+                self.charge(CycleCategory::Control, c);
+                match term {
                     Terminator::Br(b) => {
                         let fr = frames.last_mut().expect("frame");
                         fr.block = b;
@@ -420,6 +538,29 @@ impl Vm {
                         let done = frames.last().expect("frame");
                         self.sp = done.entry_sp;
                         let ret_reg = done.ret_reg;
+                        if self.tracer.is_some() {
+                            let func = done.func.0;
+                            let frame_bytes = done.entry_sp - done.low_sp;
+                            // Reaching `ret` means any epilogue integrity
+                            // check (guard-key/canary call #2+) passed —
+                            // failures divert to GuardFail/CanaryFail and
+                            // never get here.
+                            if done.guard_calls >= 2 {
+                                self.emit(Event::GuardCheck {
+                                    func,
+                                    kind: GuardKind::Word,
+                                    passed: true,
+                                });
+                            }
+                            if done.canary_calls >= 2 {
+                                self.emit(Event::GuardCheck {
+                                    func,
+                                    kind: GuardKind::Canary,
+                                    passed: true,
+                                });
+                            }
+                            self.emit(Event::FuncExit { func, frame_bytes });
+                        }
                         frames.pop();
                         match frames.last_mut() {
                             None => {
@@ -444,10 +585,9 @@ impl Vm {
 
             let inst = block.insts[fr.idx].clone();
             let c = self.cost.inst_cost(&inst);
-            self.decicycles += c;
             match &inst {
-                Inst::Call { .. } => self.breakdown.control += c,
-                _ => self.breakdown.alu += c,
+                Inst::Call { .. } => self.charge(CycleCategory::Control, c),
+                _ => self.charge(CycleCategory::Alu, c),
             }
 
             // Advance past this instruction *before* executing it so that
@@ -477,8 +617,7 @@ impl Vm {
         let slab = self.slab_funcs[fr.func.0 as usize];
         let is_stack = addr >= self.mem.stack_base() && addr < layout::STACK_TOP;
         let c = self.cost.mem_cost(slab, is_stack);
-        self.decicycles += c;
-        self.breakdown.mem += c;
+        self.charge(CycleCategory::Mem, c);
     }
 
     fn set_reg(frames: &mut [Frame], r: RegId, v: u64) {
@@ -503,16 +642,10 @@ impl Vm {
                 ..
             } => {
                 let n = count.as_ref().map(|c| self.eval(fr, c)).unwrap_or(1);
-                let size = ty
-                    .size()
-                    .checked_mul(n)
-                    .ok_or(FaultKind::StackOverflow)?;
+                let size = ty.size().checked_mul(n).ok_or(FaultKind::StackOverflow)?;
                 let align = (*align).max(1);
-                let new_sp = self
-                    .sp
-                    .checked_sub(size)
-                    .ok_or(FaultKind::StackOverflow)?
-                    & !(align - 1);
+                let new_sp =
+                    self.sp.checked_sub(size).ok_or(FaultKind::StackOverflow)? & !(align - 1);
                 if new_sp < self.mem.stack_base() {
                     return Err(FaultKind::StackOverflow);
                 }
@@ -528,6 +661,8 @@ impl Vm {
                         depth: frames.len(),
                     });
                 }
+                let frm = frames.last_mut().expect("frame");
+                frm.low_sp = frm.low_sp.min(new_sp);
                 Self::set_reg(frames, *result, new_sp);
             }
             Inst::Load { result, ty, ptr } => {
@@ -611,7 +746,7 @@ impl Vm {
                 let argv: Vec<u64> = args.iter().map(|a| self.eval(fr, a)).collect();
                 match callee {
                     Callee::Intrinsic(i) => {
-                        let ret = self.exec_intrinsic(*i, &argv, frames, input)?;
+                        let ret = self.exec_intrinsic(*i, &argv, frames, input, *result)?;
                         if let (Some(r), Some(v)) = (result, ret) {
                             Self::set_reg(frames, *r, v);
                         }
@@ -622,7 +757,8 @@ impl Vm {
                     Callee::Indirect(target) => {
                         let addr = self.eval(fr, target);
                         let off = addr.wrapping_sub(layout::CODE_BASE);
-                        if off % 16 != 0 || (off / 16) as usize >= self.module.funcs.len() {
+                        if !off.is_multiple_of(16) || (off / 16) as usize >= self.module.funcs.len()
+                        {
                             return Err(FaultKind::BadIndirectCall(addr));
                         }
                         let fid = FuncId((off / 16) as u32);
@@ -657,8 +793,15 @@ impl Vm {
             idx: 0,
             entry_sp: self.sp,
             ret_reg,
+            low_sp: self.sp,
+            guard_calls: 0,
+            canary_calls: 0,
         });
         self.max_depth = self.max_depth.max(frames.len());
+        self.emit(Event::FuncEnter {
+            func: fid.0,
+            depth: frames.len() as u32,
+        });
         Ok(())
     }
 
@@ -731,6 +874,7 @@ impl Vm {
         argv: &[u64],
         frames: &mut [Frame],
         input: &mut dyn InputSource,
+        result: Option<RegId>,
     ) -> Result<Option<u64>, FaultKind> {
         match which {
             Intrinsic::GetInput | Intrinsic::ReadLine => {
@@ -743,8 +887,11 @@ impl Vm {
                     self.mem.write(ptr, &bytes).map_err(FaultKind::Mem)?;
                 }
                 let c = self.cost.bulk_cost(which, bytes.len() as u64);
-                self.decicycles += c;
-                self.breakdown.bulk += c;
+                self.charge(CycleCategory::Bulk, c);
+                self.emit(Event::InputRequest {
+                    index: idx,
+                    bytes: bytes.len() as u64,
+                });
                 Ok(Some(bytes.len() as u64))
             }
             Intrinsic::PrintInt => {
@@ -753,10 +900,13 @@ impl Vm {
             }
             Intrinsic::PrintStr => {
                 let len = self.mem.strlen(argv[0]).map_err(FaultKind::Mem)?;
-                let bytes = self.mem.read(argv[0], len).map_err(FaultKind::Mem)?.to_vec();
+                let bytes = self
+                    .mem
+                    .read(argv[0], len)
+                    .map_err(FaultKind::Mem)?
+                    .to_vec();
                 let c = self.cost.bulk_cost(Intrinsic::Strlen, len);
-                self.decicycles += c;
-                self.breakdown.bulk += c;
+                self.charge(CycleCategory::Bulk, c);
                 self.output.push(OutputEvent::Str(bytes));
                 Ok(None)
             }
@@ -765,8 +915,7 @@ impl Vm {
                 let bytes = self.mem.read(src, n).map_err(FaultKind::Mem)?.to_vec();
                 self.mem.write(dst, &bytes).map_err(FaultKind::Mem)?;
                 let c = self.cost.bulk_cost(which, n);
-                self.decicycles += c;
-                self.breakdown.bulk += c;
+                self.charge(CycleCategory::Bulk, c);
                 Ok(None)
             }
             Intrinsic::Memset => {
@@ -775,21 +924,23 @@ impl Vm {
                     .write(dst, &vec![byte; n as usize])
                     .map_err(FaultKind::Mem)?;
                 let c = self.cost.bulk_cost(which, n);
-                self.decicycles += c;
-                self.breakdown.bulk += c;
+                self.charge(CycleCategory::Bulk, c);
                 Ok(None)
             }
             Intrinsic::Strlen => {
                 let n = self.mem.strlen(argv[0]).map_err(FaultKind::Mem)?;
                 let c = self.cost.bulk_cost(which, n);
-                self.decicycles += c;
-                self.breakdown.bulk += c;
+                self.charge(CycleCategory::Bulk, c);
                 Ok(Some(n))
             }
             Intrinsic::SnprintfCat => {
                 let (dst, cap, fmt, arg) = (argv[0], argv[1], argv[2], argv[3]);
                 let fmt_len = self.mem.strlen(fmt).map_err(FaultKind::Mem)?;
-                let fmt_bytes = self.mem.read(fmt, fmt_len).map_err(FaultKind::Mem)?.to_vec();
+                let fmt_bytes = self
+                    .mem
+                    .read(fmt, fmt_len)
+                    .map_err(FaultKind::Mem)?
+                    .to_vec();
                 let mut out = Vec::new();
                 let mut i = 0usize;
                 while i < fmt_bytes.len() {
@@ -827,15 +978,13 @@ impl Vm {
                     self.mem.write(dst + n, &[0]).map_err(FaultKind::Mem)?;
                 }
                 let c = self.cost.bulk_cost(which, would);
-                self.decicycles += c;
-                self.breakdown.bulk += c;
+                self.charge(CycleCategory::Bulk, c);
                 Ok(Some(would))
             }
             Intrinsic::Malloc => {
                 let size = smokestack_ir::align_to(argv[0].max(1), 16);
                 let c = self.cost.bulk_cost(which, 0);
-                self.decicycles += c;
-                self.breakdown.bulk += c;
+                self.charge(CycleCategory::Bulk, c);
                 if let Some(addr) = self.free_lists.get_mut(&size).and_then(|v| v.pop()) {
                     return Ok(Some(addr));
                 }
@@ -851,8 +1000,7 @@ impl Vm {
             }
             Intrinsic::Free => {
                 let c = self.cost.bulk_cost(which, 0);
-                self.decicycles += c;
-                self.breakdown.bulk += c;
+                self.charge(CycleCategory::Bulk, c);
                 if argv[0] != 0 {
                     if let Some(size) = self.block_sizes.remove(&argv[0]) {
                         self.free_lists.entry(size).or_default().push(argv[0]);
@@ -862,8 +1010,7 @@ impl Vm {
             }
             Intrinsic::IoWait => {
                 let c = argv[0].saturating_mul(crate::cycles::DECI);
-                self.decicycles += c;
-                self.breakdown.io += c;
+                self.charge(CycleCategory::Io, c);
                 Ok(None)
             }
             Intrinsic::StackRng => {
@@ -871,8 +1018,7 @@ impl Vm {
                 // Table I costs are in deci-cycles; the VM accounts in
                 // twentieths of a cycle.
                 let c = self.scheme.cost_decicycles() * (crate::cycles::DECI / 10);
-                self.decicycles += c;
-                self.breakdown.rng += c;
+                self.charge(CycleCategory::Rng, c);
                 let v = if self.scheme == SchemeKind::Pseudo {
                     // The insecure scheme's state lives in data memory,
                     // where the attacker can read *and overwrite* it.
@@ -888,16 +1034,58 @@ impl Vm {
                 } else {
                     self.rng.next_u64()
                 };
+                if self.tracer.is_some() {
+                    self.emit(Event::RngDraw {
+                        scheme: self.scheme.label(),
+                        cost_decicycles: c,
+                    });
+                    // If this draw is the executing function's slab
+                    // prologue draw, report which P-BOX row it selects.
+                    let fr = frames.last().expect("frame");
+                    if let Some((reg, mask)) = self.pbox_draws[fr.func.0 as usize] {
+                        if result == Some(reg) {
+                            let func = fr.func.0;
+                            self.emit(Event::PboxSelect {
+                                func,
+                                index: v & mask,
+                            });
+                        }
+                    }
+                }
                 Ok(Some(v))
             }
-            Intrinsic::GuardKey => Ok(Some(self.guard_key)),
-            Intrinsic::Canary => Ok(Some(self.canary)),
+            Intrinsic::GuardKey => {
+                let frm = frames.last_mut().expect("frame");
+                frm.guard_calls = frm.guard_calls.saturating_add(1);
+                Ok(Some(self.guard_key))
+            }
+            Intrinsic::Canary => {
+                let frm = frames.last_mut().expect("frame");
+                frm.canary_calls = frm.canary_calls.saturating_add(1);
+                Ok(Some(self.canary))
+            }
             Intrinsic::GuardFail => {
                 let func = self.current_func_name(frames);
+                if self.tracer.is_some() {
+                    let fidx = frames.last().expect("frame").func.0;
+                    self.emit(Event::GuardCheck {
+                        func: fidx,
+                        kind: GuardKind::Word,
+                        passed: false,
+                    });
+                }
                 Err(FaultKind::GuardViolation { func })
             }
             Intrinsic::CanaryFail => {
                 let func = self.current_func_name(frames);
+                if self.tracer.is_some() {
+                    let fidx = frames.last().expect("frame").func.0;
+                    self.emit(Event::GuardCheck {
+                        func: fidx,
+                        kind: GuardKind::Canary,
+                        passed: false,
+                    });
+                }
                 Err(FaultKind::CanarySmashed { func })
             }
             Intrinsic::Exit => {
@@ -1031,7 +1219,7 @@ mod tests {
         {
             let mut b = Builder::new(&mut f);
             let r = b
-                .call_indirect(Value::i64(0x1234567).into(), Type::I64, vec![])
+                .call_indirect(Value::i64(0x1234567), Type::I64, vec![])
                 .unwrap();
             b.ret(Some(r.into()));
         }
@@ -1072,10 +1260,7 @@ mod tests {
             let v = b.load(Type::I64, p.into());
             b.ret(Some(v.into()));
         });
-        assert!(matches!(
-            run_module(m).exit,
-            Exit::Fault(FaultKind::Mem(_))
-        ));
+        assert!(matches!(run_module(m).exit, Exit::Fault(FaultKind::Mem(_))));
     }
 
     #[test]

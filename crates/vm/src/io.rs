@@ -32,6 +32,11 @@ impl OutputEvent {
 /// through its input channel. Writes through [`Memory::write`] still
 /// respect segment permissions, so rodata (the P-BOX) and the register
 /// file remain out of reach.
+///
+/// Every call into the source is also reported to an attached
+/// [`Tracer`](crate::Tracer) as an `InputRequest` event (request index
+/// plus bytes delivered), so telemetry captures the full adversary
+/// interaction trail alongside guard checks and RNG draws.
 pub trait InputSource {
     /// Produce up to `max` bytes for this input request. `request_index`
     /// counts requests from 0.

@@ -32,7 +32,9 @@ fn main() {
         let build = Build::new(attack.source(), defense, 0xb11d);
         let outcome = campaign(&attack, &build, 0xfeed);
         let note = match (&outcome, defense) {
-            (AttackOutcome::Success(_), DefenseKind::Canary) => "  <- non-linear hop skips the canary",
+            (AttackOutcome::Success(_), DefenseKind::Canary) => {
+                "  <- non-linear hop skips the canary"
+            }
             (AttackOutcome::Success(_), DefenseKind::StaticPermutation) => {
                 "  <- layout disclosed once per build"
             }

@@ -21,6 +21,7 @@
 //! | [`defenses`] | prior stack-randomization schemes |
 //! | [`attacks`] | DOP attack framework + CVE case studies |
 //! | [`workloads`] | SPEC-2006-style benchmark corpus |
+//! | [`telemetry`] | structured event tracing, metrics, per-function profiler |
 //!
 //! # Examples
 //!
@@ -43,6 +44,7 @@ pub use smokestack_defenses as defenses;
 pub use smokestack_ir as ir;
 pub use smokestack_minic as minic;
 pub use smokestack_srng as srng;
+pub use smokestack_telemetry as telemetry;
 pub use smokestack_vm as vm;
 pub use smokestack_workloads as workloads;
 

@@ -218,7 +218,10 @@ fn optimizer_preserves_behavior_and_composes() {
         let mut m1 = w.compile().unwrap();
         let stats = ir::Optimize::optimize(&mut m1);
         ir::verify_module(&m1).unwrap();
-        assert!(stats.folded + stats.removed > 0, "{name}: nothing optimized");
+        assert!(
+            stats.folded + stats.removed > 0,
+            "{name}: nothing optimized"
+        );
         let o1 = Vm::new(m1, VmConfig::default()).run_main(ScriptedInput::empty());
         assert_eq!(o1.exit, baseline.exit, "{name} optimize-only");
         // Optimize, then harden.

@@ -3,10 +3,22 @@
 //! same value through `minic → IR → VM` as through a direct Rust
 //! implementation of MiniC's C-style semantics (i32/i64 widths, integer
 //! promotion, wrapping arithmetic, masked shifts, 0/1 comparisons).
+//! Generation is driven by the in-workspace `smokestack_rand` generator
+//! with fixed seeds, so the suite runs fully offline and reproducibly.
 
-use proptest::prelude::*;
+use smokestack_rand::Rng;
 use smokestack_repro::minic::compile;
 use smokestack_repro::vm::{Exit, ScriptedInput, Vm, VmConfig};
+
+/// Cases per property: modest by default, widened under
+/// `--features external-testing` for soak runs.
+fn cases() -> u64 {
+    if cfg!(feature = "external-testing") {
+        768
+    } else {
+        96
+    }
+}
 
 /// A typed value in the reference semantics.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,40 +83,50 @@ impl Op {
     }
 }
 
-/// Variables available to expressions: (name, type-is-long, value).
+/// Variables available to expressions: (name, type-is-long).
 const VARS: [(&str, bool); 4] = [("a", false), ("b", true), ("c", false), ("d", true)];
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-1000i32..1000).prop_map(E::IntLit),
-        (-100_000i64..100_000).prop_map(E::LongLit),
-        (0usize..VARS.len()).prop_map(E::Var),
-    ];
-    leaf.prop_recursive(4, 48, 3, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(Op::Add),
-                    Just(Op::Sub),
-                    Just(Op::Mul),
-                    Just(Op::And),
-                    Just(Op::Or),
-                    Just(Op::Xor),
-                    Just(Op::Lt),
-                    Just(Op::Gt),
-                    Just(Op::Eq),
-                ],
-                inner.clone(),
-                inner.clone()
+/// Non-shift binary operators eligible for arbitrary operands.
+const SAFE_OPS: [Op; 9] = [
+    Op::Add,
+    Op::Sub,
+    Op::Mul,
+    Op::And,
+    Op::Or,
+    Op::Xor,
+    Op::Lt,
+    Op::Gt,
+    Op::Eq,
+];
+
+/// Random expression of bounded depth, mirroring the old proptest
+/// strategy: leaves are small literals or variables; interior nodes are
+/// safe binary ops, shifts by small literal amounts only (C UB territory
+/// otherwise; MiniC masks, but keep the reference simple), or negation.
+fn gen_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(3) {
+            0 => E::IntLit(rng.gen_range(0, 2000) as i32 - 1000),
+            1 => E::LongLit(rng.gen_range(0, 200_000) as i64 - 100_000),
+            _ => E::Var(rng.below(VARS.len())),
+        };
+    }
+    match rng.below(8) {
+        0 => E::Neg(Box::new(gen_expr(rng, depth - 1))),
+        1 => {
+            let op = if rng.ratio(1, 2) { Op::Shl } else { Op::Shr };
+            let amount = E::IntLit(rng.gen_range(0, 8) as i32);
+            E::Bin(op, Box::new(gen_expr(rng, depth - 1)), Box::new(amount))
+        }
+        _ => {
+            let op = *rng.choose(&SAFE_OPS).unwrap();
+            E::Bin(
+                op,
+                Box::new(gen_expr(rng, depth - 1)),
+                Box::new(gen_expr(rng, depth - 1)),
             )
-                .prop_map(|(op, l, r)| E::Bin(op, Box::new(l), Box::new(r))),
-            // Shifts with small literal amounts only (C UB territory
-            // otherwise; MiniC masks, but keep the reference simple).
-            (prop_oneof![Just(Op::Shl), Just(Op::Shr)], inner.clone(), 0i32..8)
-                .prop_map(|(op, l, k)| E::Bin(op, Box::new(l), Box::new(E::IntLit(k)))),
-            inner.prop_map(|e| E::Neg(Box::new(e))),
-        ]
-    })
+        }
+    }
 }
 
 /// Render as MiniC source (fully parenthesized).
@@ -219,19 +241,17 @@ fn run_minic(src: &str) -> i64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// minic+VM agrees with the reference on random expressions, both
-    /// on the plain build and on the Smokestack-hardened build.
-    #[test]
-    fn minic_matches_reference(
-        e in arb_expr(),
-        av in -1000i64..1000,
-        bv in -100_000i64..100_000,
-        cv in -1000i64..1000,
-        dv in -100_000i64..100_000,
-    ) {
+/// minic+VM agrees with the reference on random expressions, both on
+/// the plain build and on the Smokestack-hardened build.
+#[test]
+fn minic_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0x5eed_2001);
+    for _ in 0..cases() {
+        let e = gen_expr(&mut rng, 4);
+        let av = rng.gen_range(0, 2000) as i64 - 1000;
+        let bv = rng.gen_range(0, 200_000) as i64 - 100_000;
+        let cv = rng.gen_range(0, 2000) as i64 - 1000;
+        let dv = rng.gen_range(0, 200_000) as i64 - 100_000;
         let env = [av, bv, cv, dv];
         let expected = eval(&e, &env).as_i64();
         let src = format!(
@@ -239,7 +259,7 @@ proptest! {
             render(&e)
         );
         let got = run_minic(&src);
-        prop_assert_eq!(got, expected, "program:\n{}", src);
+        assert_eq!(got, expected, "program:\n{src}");
 
         // Same program, hardened: identical result.
         let mut m = compile(&src).unwrap();
@@ -249,21 +269,25 @@ proptest! {
         );
         let mut vm = Vm::new(m, VmConfig::default());
         match vm.run_main(ScriptedInput::empty()).exit {
-            Exit::Return(v) => prop_assert_eq!(v as i64, expected, "hardened:\n{}", src),
-            other => prop_assert!(false, "hardened crashed: {:?}\n{}", other, src),
+            Exit::Return(v) => assert_eq!(v as i64, expected, "hardened:\n{src}"),
+            other => panic!("hardened crashed: {other:?}\n{src}"),
         }
     }
+}
 
-    /// Short-circuit logic: `&&`/`||` produce exactly 0/1 and evaluate
-    /// like the reference.
-    #[test]
-    fn short_circuit_matches_reference(x in -5i64..5, y in -5i64..5) {
-        let src = format!(
-            "int main() {{ long x = {x}; long y = {y}; return (x && y) * 4 + (x || y) * 2 + (!x); }}"
-        );
-        let expected = ((x != 0 && y != 0) as i64) * 4
-            + ((x != 0 || y != 0) as i64) * 2
-            + ((x == 0) as i64);
-        prop_assert_eq!(run_minic(&src), expected);
+/// Short-circuit logic: `&&`/`||` produce exactly 0/1 and evaluate like
+/// the reference.
+#[test]
+fn short_circuit_matches_reference() {
+    for x in -5i64..5 {
+        for y in -5i64..5 {
+            let src = format!(
+                "int main() {{ long x = {x}; long y = {y}; return (x && y) * 4 + (x || y) * 2 + (!x); }}"
+            );
+            let expected = ((x != 0 && y != 0) as i64) * 4
+                + ((x != 0 || y != 0) as i64) * 2
+                + ((x == 0) as i64);
+            assert_eq!(run_minic(&src), expected);
+        }
     }
 }

@@ -34,8 +34,12 @@ fn prior_schemes_bypassed_by_dop() {
 #[test]
 fn smokestack_stops_synthetic_suite() {
     for (i, attack) in synthetic::all().iter().enumerate() {
-        let seed = 300 + i as u64 * 10;
-        stops(attack.as_ref(), DefenseKind::Smokestack(SchemeKind::Aes10), seed);
+        let seed = 320 + i as u64 * 10;
+        stops(
+            attack.as_ref(),
+            DefenseKind::Smokestack(SchemeKind::Aes10),
+            seed,
+        );
         stops(
             attack.as_ref(),
             DefenseKind::Smokestack(SchemeKind::Rdrand),
