@@ -1,0 +1,284 @@
+//! Static bounds checking: constant-offset accesses and constant
+//! capacities of the unchecked memory intrinsics, checked against slot
+//! sizes. These are the overflow candidates a DOP payload enters
+//! through, so the same decoding also feeds the gadget-surface report.
+
+use smokestack_ir::{Callee, Function, Inst, Intrinsic, Value};
+
+use crate::diag::{rules, Diagnostic, Severity};
+use crate::provenance::{Base, Resolution};
+
+/// A memory range an intrinsic call touches.
+#[derive(Debug, Clone, Copy)]
+pub struct IntrinsicRange {
+    /// The pointer argument.
+    pub ptr: Value,
+    /// The byte count argument (capacity for writers). `None` when the
+    /// intrinsic determines the length itself (`strlen`, `print_str`).
+    pub len: Option<Value>,
+    /// Whether the intrinsic writes through `ptr` with externally
+    /// controlled bytes (the DOP entry shape) or only reads.
+    pub writes: bool,
+}
+
+/// Decode which memory ranges an intrinsic call accesses.
+///
+/// Only the unchecked libc-like primitives are modeled — the
+/// instrumentation intrinsics never take program pointers.
+pub fn intrinsic_ranges(callee: &Callee, args: &[Value]) -> Vec<IntrinsicRange> {
+    let Callee::Intrinsic(i) = callee else {
+        return Vec::new();
+    };
+    match i {
+        Intrinsic::GetInput | Intrinsic::ReadLine => vec![IntrinsicRange {
+            ptr: args[0],
+            len: Some(args[1]),
+            writes: true,
+        }],
+        Intrinsic::SnprintfCat => vec![IntrinsicRange {
+            ptr: args[0],
+            len: Some(args[1]),
+            writes: true,
+        }],
+        Intrinsic::Memcpy => vec![
+            IntrinsicRange {
+                ptr: args[0],
+                len: Some(args[2]),
+                writes: true,
+            },
+            IntrinsicRange {
+                ptr: args[1],
+                len: Some(args[2]),
+                writes: false,
+            },
+        ],
+        Intrinsic::Memset => vec![IntrinsicRange {
+            ptr: args[0],
+            len: Some(args[2]),
+            writes: true,
+        }],
+        Intrinsic::Strlen | Intrinsic::PrintStr => vec![IntrinsicRange {
+            ptr: args[0],
+            len: None,
+            writes: false,
+        }],
+        _ => Vec::new(),
+    }
+}
+
+/// Check every constant-offset access and constant-capacity intrinsic
+/// range in `f` against the slot sizes.
+pub fn check(f: &Function, res: &Resolution) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut diag = |rule, severity, bid: smokestack_ir::BlockId, i, slot: usize, message| {
+        out.push(Diagnostic {
+            rule,
+            severity,
+            func: f.name.clone(),
+            block: bid.0,
+            inst: i,
+            slot: Some(res.slots.get(slot).name.clone()),
+            message,
+            pos: None,
+        });
+    };
+    for (bid, b) in f.iter_blocks() {
+        for (i, inst) in b.insts.iter().enumerate() {
+            match inst {
+                Inst::Load { ptr, ty, .. } | Inst::Store { ptr, ty, .. } => {
+                    let Base::Slot {
+                        slot,
+                        offset: Some(off),
+                    } = res.value(*ptr).base
+                    else {
+                        continue;
+                    };
+                    let (Some(size), Some(acc)) = (res.slots.get(slot).size, ty.checked_size())
+                    else {
+                        continue;
+                    };
+                    if off < 0 || (off as u64).saturating_add(acc) > size {
+                        let verb = if matches!(inst, Inst::Store { .. }) {
+                            "store"
+                        } else {
+                            "load"
+                        };
+                        let name = &res.slots.get(slot).name;
+                        diag(
+                            rules::OOB_ACCESS,
+                            Severity::Error,
+                            bid,
+                            i,
+                            slot,
+                            format!(
+                                "{verb} of {acc} byte(s) at offset {off} outside `{name}` ({size} bytes)"
+                            ),
+                        );
+                    }
+                }
+                Inst::Call { callee, args, .. } => {
+                    for range in intrinsic_ranges(callee, args) {
+                        let Base::Slot { slot, offset } = res.value(range.ptr).base else {
+                            continue;
+                        };
+                        let Some(size) = res.slots.get(slot).size else {
+                            continue;
+                        };
+                        let off = match offset {
+                            Some(o) if o >= 0 => o as u64,
+                            Some(o) => {
+                                let name = &res.slots.get(slot).name;
+                                diag(
+                                    rules::OOB_INTRINSIC,
+                                    Severity::Error,
+                                    bid,
+                                    i,
+                                    slot,
+                                    format!("intrinsic accesses `{name}` at negative offset {o}"),
+                                );
+                                continue;
+                            }
+                            None => continue, // dynamic: gadget surface, not a lint
+                        };
+                        let Some(cap) = range.len.and_then(|l| res.const_of(l)) else {
+                            continue; // dynamic length: gadget surface
+                        };
+                        if cap < 0 {
+                            continue;
+                        }
+                        let remaining = size.saturating_sub(off);
+                        if cap as u64 > remaining {
+                            let name = &res.slots.get(slot).name;
+                            if range.writes {
+                                // Input-driven writers only overflow when
+                                // the input is long enough; bulk copies
+                                // of a constant length always do.
+                                let definite = matches!(
+                                    callee,
+                                    Callee::Intrinsic(Intrinsic::Memcpy | Intrinsic::Memset)
+                                );
+                                if definite {
+                                    diag(
+                                        rules::OOB_INTRINSIC,
+                                        Severity::Error,
+                                        bid,
+                                        i,
+                                        slot,
+                                        format!(
+                                            "write of {cap} bytes into `{name}`+{off} overruns the slot ({remaining} bytes remain)"
+                                        ),
+                                    );
+                                } else {
+                                    diag(
+                                        rules::OVERFLOW_CAPACITY,
+                                        Severity::Warning,
+                                        bid,
+                                        i,
+                                        slot,
+                                        format!(
+                                            "capacity {cap} exceeds the {remaining} bytes remaining in `{name}`+{off}: long input overflows"
+                                        ),
+                                    );
+                                }
+                            } else {
+                                diag(
+                                    rules::OOB_INTRINSIC,
+                                    Severity::Error,
+                                    bid,
+                                    i,
+                                    slot,
+                                    format!(
+                                        "read of {cap} bytes from `{name}`+{off} overruns the slot ({remaining} bytes remain)"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_ir::{Builder, Type};
+
+    fn run(f: &Function) -> Vec<Diagnostic> {
+        let res = Resolution::compute(f);
+        check(f, &res)
+    }
+
+    #[test]
+    fn const_index_store_past_end() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 4), "buf");
+        let addr = b.gep(buf.into(), Value::i64(6));
+        b.store(Type::I8, Value::i8(1), addr.into());
+        b.ret(None);
+        let d = run(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::OOB_ACCESS);
+        assert_eq!(d[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn in_bounds_accesses_clean() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 4), "buf");
+        let addr = b.gep(buf.into(), Value::i64(3));
+        b.store(Type::I8, Value::i8(1), addr.into());
+        b.call_intrinsic(Intrinsic::GetInput, vec![buf.into(), Value::i64(4)]);
+        b.ret(None);
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn oversized_get_input_capacity_warns() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+        b.call_intrinsic(Intrinsic::GetInput, vec![buf.into(), Value::i64(64)]);
+        b.ret(None);
+        let d = run(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::OVERFLOW_CAPACITY);
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn const_memcpy_overflow_is_error() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let dst = b.alloca(Type::array(Type::I8, 8), "dst");
+        let src = b.alloca(Type::array(Type::I8, 32), "src");
+        b.call_intrinsic(
+            Intrinsic::Memcpy,
+            vec![dst.into(), src.into(), Value::i64(32)],
+        );
+        b.ret(None);
+        let d = run(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::OOB_INTRINSIC);
+        assert_eq!(d[0].severity, Severity::Error);
+        assert_eq!(d[0].slot.as_deref(), Some("dst"));
+    }
+
+    #[test]
+    fn dynamic_length_not_a_lint() {
+        let mut f = Function::new("f", vec![Type::I64], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+        b.call_intrinsic(
+            Intrinsic::GetInput,
+            vec![buf.into(), Value::Reg(smokestack_ir::RegId(0))],
+        );
+        b.ret(None);
+        assert!(run(&f).is_empty());
+    }
+}

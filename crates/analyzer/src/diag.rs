@@ -1,0 +1,163 @@
+//! Structured analysis diagnostics: location, severity, stable rule IDs,
+//! and text/JSON rendering.
+
+use std::fmt;
+
+use smokestack_telemetry::json::push_json_str;
+
+/// How serious a finding is.
+///
+/// The analyzer reserves `Error` for accesses that are wrong on every
+/// execution (e.g. a constant-index store past the end of a slot) and
+/// `Warning` for defects that need particular inputs or paths to fire
+/// (uninitialized reads, writable capacity larger than the destination).
+/// `Info` findings are surface observations — they never fail a
+/// `--deny-warnings` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: part of the gadget/attack-surface picture, not a
+    /// defect by itself.
+    Info,
+    /// May misbehave on some input or path.
+    Warning,
+    /// Wrong on every execution that reaches it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable rule identifiers. Tests and CI match on these, so they are
+/// part of the crate's public contract: never renumber or reuse.
+pub mod rules {
+    /// Load from a slot that may not have been stored on some path.
+    pub const UNINIT_READ: &str = "uninit-read";
+    /// Constant-offset load/store outside the slot's extent.
+    pub const OOB_ACCESS: &str = "oob-access";
+    /// `memcpy`/`memset` with a constant length that definitely
+    /// overruns the destination (or overreads the source) slot.
+    pub const OOB_INTRINSIC: &str = "oob-intrinsic";
+    /// Unchecked-input intrinsic (`get_input`, `read_line`,
+    /// `snprintf_cat`) whose constant capacity exceeds the remaining
+    /// bytes of the destination slot.
+    pub const OVERFLOW_CAPACITY: &str = "overflow-capacity";
+}
+
+/// A source position (1-based line/column), when the front-end provided
+/// a source map for the module under analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcPos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// One finding, anchored to an IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (see [`rules`]).
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Enclosing function name.
+    pub func: String,
+    /// Basic block index.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// The stack slot involved, when the finding concerns one.
+    pub slot: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+    /// Source position of the involved slot's declaration, when a
+    /// source map was applied.
+    pub pos: Option<SrcPos>,
+}
+
+impl Diagnostic {
+    /// Render as a single compiler-style text line.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "{}: [{}] {} (in {}, bb{} #{}",
+            self.severity, self.rule, self.message, self.func, self.block, self.inst
+        );
+        if let Some(p) = self.pos {
+            out.push_str(&format!(", declared at {}:{}", p.line, p.col));
+        }
+        out.push(')');
+        out
+    }
+
+    /// Append this diagnostic as a JSON object to `out`.
+    pub fn push_json(&self, out: &mut String) {
+        out.push_str("{\"rule\":");
+        push_json_str(out, self.rule);
+        out.push_str(",\"severity\":");
+        push_json_str(out, &self.severity.to_string());
+        out.push_str(",\"func\":");
+        push_json_str(out, &self.func);
+        out.push_str(&format!(",\"block\":{},\"inst\":{}", self.block, self.inst));
+        if let Some(slot) = &self.slot {
+            out.push_str(",\"slot\":");
+            push_json_str(out, slot);
+        }
+        if let Some(p) = self.pos {
+            out.push_str(&format!(",\"line\":{},\"col\":{}", p.line, p.col));
+        }
+        out.push_str(",\"message\":");
+        push_json_str(out, &self.message);
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: rules::OOB_ACCESS,
+            severity: Severity::Error,
+            func: "main".into(),
+            block: 0,
+            inst: 3,
+            slot: Some("buf".into()),
+            message: "store of 1 byte at offset 6 past `buf` (4 bytes)".into(),
+            pos: Some(SrcPos { line: 2, col: 5 }),
+        }
+    }
+
+    #[test]
+    fn text_rendering_includes_location() {
+        let t = sample().render_text();
+        assert!(t.starts_with("error: [oob-access]"));
+        assert!(t.contains("bb0 #3"));
+        assert!(t.contains("2:5"));
+    }
+
+    #[test]
+    fn json_is_flat_and_parseable() {
+        let mut s = String::new();
+        sample().push_json(&mut s);
+        let obj = smokestack_telemetry::json::parse_flat_object(&s).unwrap();
+        assert_eq!(obj["rule"].as_str(), Some("oob-access"));
+        assert_eq!(obj["severity"].as_str(), Some("error"));
+        assert_eq!(obj["block"].as_u64(), Some(0));
+        assert_eq!(obj["slot"].as_str(), Some("buf"));
+        assert_eq!(obj["line"].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -1,0 +1,248 @@
+//! Address-taken / pointer-escape analysis per stack slot.
+//!
+//! A slot is *safe* when no pointer to it can exist outside the direct,
+//! constant-offset, in-bounds accesses the function itself performs:
+//! its address is never stored to memory, passed to a call or intrinsic,
+//! returned, converted to an integer, or offset dynamically. Safe slots
+//! cannot be reached by an out-of-bounds write and cannot source a DOP
+//! dereference chain — this is the reachability classification
+//! CleanStack applies to stack objects, and what the `prune_safe_slots`
+//! instrumentation mode keys on.
+
+use smokestack_ir::{Function, Inst, Terminator, Value};
+
+use crate::provenance::{Base, Resolution};
+
+/// How a slot's address leaks, plus access-shape facts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotFlags {
+    /// Address stored into memory (`p = &x`).
+    pub stored_to_memory: bool,
+    /// Address passed as a call or intrinsic argument.
+    pub passed_to_call: bool,
+    /// Address returned to the caller.
+    pub returned: bool,
+    /// Address observed as an integer (ptrtoint, pointer comparison, or
+    /// pointer-derived arithmetic).
+    pub int_leaked: bool,
+    /// Some access uses a dynamic (non-constant) offset.
+    pub dynamic_access: bool,
+    /// Some constant-offset access is statically out of bounds.
+    pub oob_access: bool,
+}
+
+impl SlotFlags {
+    /// Whether the address never leaves the function's direct accesses.
+    pub fn address_escapes(&self) -> bool {
+        self.stored_to_memory || self.passed_to_call || self.returned || self.int_leaked
+    }
+}
+
+/// Per-slot escape/access facts for one function.
+#[derive(Debug, Clone)]
+pub struct EscapeSummary {
+    /// Flags, indexed like the [`crate::provenance::SlotTable`].
+    pub flags: Vec<SlotFlags>,
+}
+
+impl EscapeSummary {
+    /// Scan `f` and classify every slot.
+    pub fn analyze(f: &Function, res: &Resolution) -> EscapeSummary {
+        let mut flags = vec![SlotFlags::default(); res.slots.len()];
+        let slot_of = |v: Value| match res.value(v).base {
+            Base::Slot { slot, offset } => Some((slot, offset)),
+            _ => None,
+        };
+        for (_, b) in f.iter_blocks() {
+            for inst in &b.insts {
+                match inst {
+                    Inst::Alloca { count, .. } => {
+                        // A VLA length that is a slot address would be
+                        // bizarre, but treat it as a leak if it happens.
+                        if let Some(v) = count {
+                            if let Some((s, _)) = slot_of(*v) {
+                                flags[s].int_leaked = true;
+                            }
+                        }
+                    }
+                    Inst::Load { ptr, ty, .. } => {
+                        if let Some((s, off)) = slot_of(*ptr) {
+                            record_access(&mut flags[s], res, s, off, ty.checked_size());
+                        }
+                    }
+                    Inst::Store { val, ptr, ty } => {
+                        if let Some((s, _)) = slot_of(*val) {
+                            flags[s].stored_to_memory = true;
+                        }
+                        if let Some((s, off)) = slot_of(*ptr) {
+                            record_access(&mut flags[s], res, s, off, ty.checked_size());
+                        }
+                    }
+                    // Geps themselves are address formation, not leaks;
+                    // what matters is where the result flows, and that
+                    // is caught at the consuming instruction via
+                    // provenance. Dynamic-offset geps are recorded when
+                    // the resulting pointer is actually used, so a
+                    // never-used dangling gep does not unsafe a slot —
+                    // except that computing it leaks nothing anyway.
+                    Inst::Gep { .. } => {}
+                    Inst::Bin { lhs, rhs, .. } | Inst::Icmp { lhs, rhs, .. } => {
+                        for v in [lhs, rhs] {
+                            if let Some((s, _)) = slot_of(*v) {
+                                flags[s].int_leaked = true;
+                            }
+                        }
+                    }
+                    Inst::Cast { kind, val, .. } => {
+                        if let Some((s, _)) = slot_of(*val) {
+                            if matches!(kind, smokestack_ir::CastKind::PtrToInt) {
+                                flags[s].int_leaked = true;
+                            }
+                        }
+                    }
+                    Inst::Call { callee, args, .. } => {
+                        for v in args {
+                            if let Some((s, _)) = slot_of(*v) {
+                                flags[s].passed_to_call = true;
+                            }
+                        }
+                        if let smokestack_ir::Callee::Indirect(v) = callee {
+                            if let Some((s, _)) = slot_of(*v) {
+                                flags[s].int_leaked = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if let Terminator::Ret(Some(v)) = &b.term {
+                if let Some((s, _)) = slot_of(*v) {
+                    flags[s].returned = true;
+                }
+            }
+            if let Terminator::CondBr { cond, .. } = &b.term {
+                if let Some((s, _)) = slot_of(*cond) {
+                    flags[s].int_leaked = true;
+                }
+            }
+        }
+        EscapeSummary { flags }
+    }
+
+    /// Slots that are provably non-attacker-reachable: fixed-size, no
+    /// address escape, no dynamic or out-of-bounds access.
+    pub fn safe_mask(&self, res: &Resolution) -> Vec<bool> {
+        self.flags
+            .iter()
+            .enumerate()
+            .map(|(i, fl)| {
+                let slot = res.slots.get(i);
+                !slot.is_vla
+                    && slot.size.is_some()
+                    && !fl.address_escapes()
+                    && !fl.dynamic_access
+                    && !fl.oob_access
+            })
+            .collect()
+    }
+}
+
+fn record_access(
+    fl: &mut SlotFlags,
+    res: &Resolution,
+    slot: usize,
+    off: Option<i64>,
+    access_size: Option<u64>,
+) {
+    match off {
+        None => fl.dynamic_access = true,
+        Some(o) => {
+            let size = res.slots.get(slot).size;
+            match (size, access_size) {
+                (Some(sz), Some(acc)) => {
+                    if o < 0 || (o as u64).saturating_add(acc) > sz {
+                        fl.oob_access = true;
+                    }
+                }
+                // VLA or unsized access: can't bound statically.
+                _ => fl.dynamic_access = true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::Resolution;
+    use smokestack_ir::{Builder, Function, Intrinsic, Type, Value};
+
+    fn analyze(f: &Function) -> (Resolution, EscapeSummary) {
+        let res = Resolution::compute(f);
+        let esc = EscapeSummary::analyze(f, &res);
+        (res, esc)
+    }
+
+    #[test]
+    fn direct_scalar_is_safe() {
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        b.store(Type::I64, Value::i64(3), x.into());
+        let v = b.load(Type::I64, x.into());
+        b.ret(Some(v.into()));
+        let (res, esc) = analyze(&f);
+        assert_eq!(esc.safe_mask(&res), vec![true]);
+    }
+
+    #[test]
+    fn intrinsic_arg_escapes() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+        b.call_intrinsic(Intrinsic::GetInput, vec![buf.into(), Value::i64(16)]);
+        b.ret(None);
+        let (res, esc) = analyze(&f);
+        assert!(esc.flags[0].passed_to_call);
+        assert_eq!(esc.safe_mask(&res), vec![false]);
+    }
+
+    #[test]
+    fn stored_address_escapes() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        let p = b.alloca(Type::Ptr, "p");
+        b.store(Type::Ptr, x.into(), p.into());
+        b.ret(None);
+        let (res, esc) = analyze(&f);
+        assert!(esc.flags[0].stored_to_memory);
+        // x escapes; p itself is still safe (only direct stores).
+        assert_eq!(esc.safe_mask(&res), vec![false, true]);
+    }
+
+    #[test]
+    fn dynamic_index_marks_slot() {
+        let mut f = Function::new("f", vec![Type::I64], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 8), "buf");
+        let addr = b.gep(buf.into(), Value::Reg(smokestack_ir::RegId(0)));
+        b.store(Type::I8, Value::i8(1), addr.into());
+        b.ret(None);
+        let (res, esc) = analyze(&f);
+        assert!(esc.flags[0].dynamic_access);
+        assert_eq!(esc.safe_mask(&res), vec![false]);
+    }
+
+    #[test]
+    fn const_oob_marks_slot() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 4), "buf");
+        let addr = b.gep(buf.into(), Value::i64(6));
+        b.store(Type::I8, Value::i8(1), addr.into());
+        b.ret(None);
+        let (res, esc) = analyze(&f);
+        assert!(esc.flags[0].oob_access);
+        assert_eq!(esc.safe_mask(&res), vec![false]);
+    }
+}

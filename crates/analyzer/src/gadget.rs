@@ -1,0 +1,324 @@
+//! DOP gadget-surface enumeration.
+//!
+//! STEROIDS-style data-oriented programming compiles payloads out of
+//! *dereference gadgets* (a load whose pointer operand the attacker can
+//! steer) and *assignment gadgets* (a store through such a pointer),
+//! entered through an unchecked overflow. This module enumerates all
+//! three classes for a function:
+//!
+//! * a load whose pointer operand is memory-derived ([`Taint`]) is a
+//!   dereference gadget;
+//! * a store whose pointer operand is memory-derived is an assignment
+//!   gadget;
+//! * an unchecked write intrinsic whose destination is a stack slot
+//!   with a dynamic offset or dynamic length is an overflow entry.
+//!
+//! Everything here is *surface*, not defect: a clean program can carry
+//! gadgets (any pointer chase through an attacker-reachable buffer is
+//! one). The report exists so the defender can see what a DOP payload
+//! would have to work with, and how much of it slot pruning may touch.
+
+use smokestack_telemetry::json::push_json_str;
+
+use smokestack_ir::cfg::Cfg;
+use smokestack_ir::{Function, Inst};
+
+use crate::bounds::intrinsic_ranges;
+use crate::escape::EscapeSummary;
+use crate::liveness;
+use crate::provenance::{Base, Resolution, Taint};
+
+/// Which gadget class a site belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GadgetKind {
+    /// Load through an attacker-steerable pointer.
+    Deref,
+    /// Store through an attacker-steerable pointer.
+    Assign,
+    /// Unchecked intrinsic write with dynamic destination or length.
+    OverflowEntry,
+}
+
+impl GadgetKind {
+    fn name(self) -> &'static str {
+        match self {
+            GadgetKind::Deref => "deref",
+            GadgetKind::Assign => "assign",
+            GadgetKind::OverflowEntry => "overflow-entry",
+        }
+    }
+}
+
+/// One gadget occurrence.
+#[derive(Debug, Clone)]
+pub struct GadgetSite {
+    /// Gadget class.
+    pub kind: GadgetKind,
+    /// Basic block index.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// Stack slot involved (overflow target, or the slot a steered
+    /// pointer still provably stays inside).
+    pub slot: Option<String>,
+}
+
+/// Per-function DOP gadget surface.
+#[derive(Debug, Clone)]
+pub struct GadgetSurfaceReport {
+    /// Function name.
+    pub func: String,
+    /// Dereference gadgets (attacker-steerable loads).
+    pub deref_gadgets: Vec<GadgetSite>,
+    /// Assignment gadgets (attacker-steerable stores).
+    pub assign_gadgets: Vec<GadgetSite>,
+    /// Overflow entries (unchecked dynamic writes into stack slots).
+    pub overflow_entries: Vec<GadgetSite>,
+    /// Total stack slots in the function.
+    pub slots: usize,
+    /// Names of slots classified provably non-attacker-reachable.
+    pub safe_slots: Vec<String>,
+    /// Stores no later load observes (frame dataflow slack).
+    pub dead_stores: usize,
+}
+
+impl GadgetSurfaceReport {
+    /// Enumerate the gadget surface of `f`.
+    pub fn analyze(
+        f: &Function,
+        cfg: &Cfg,
+        res: &Resolution,
+        esc: &EscapeSummary,
+        taint: &Taint,
+    ) -> GadgetSurfaceReport {
+        let safe = esc.safe_mask(res);
+        let slot_name = |v| match res.value(v).base {
+            Base::Slot { slot, .. } => Some(res.slots.get(slot).name.clone()),
+            _ => None,
+        };
+        let mut report = GadgetSurfaceReport {
+            func: f.name.clone(),
+            deref_gadgets: Vec::new(),
+            assign_gadgets: Vec::new(),
+            overflow_entries: Vec::new(),
+            slots: res.slots.len(),
+            safe_slots: res
+                .slots
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| safe[*i])
+                .map(|(_, s)| s.name.clone())
+                .collect(),
+            dead_stores: 0,
+        };
+        let pinned: Vec<bool> = safe.iter().map(|s| !*s).collect();
+        report.dead_stores = liveness::dead_store_count(f, cfg, res, &pinned);
+        for (bid, b) in f.iter_blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                match inst {
+                    Inst::Load { ptr, .. } if taint.value(*ptr) => {
+                        report.deref_gadgets.push(GadgetSite {
+                            kind: GadgetKind::Deref,
+                            block: bid.0,
+                            inst: i,
+                            slot: slot_name(*ptr),
+                        });
+                    }
+                    Inst::Store { ptr, .. } if taint.value(*ptr) => {
+                        report.assign_gadgets.push(GadgetSite {
+                            kind: GadgetKind::Assign,
+                            block: bid.0,
+                            inst: i,
+                            slot: slot_name(*ptr),
+                        });
+                    }
+                    Inst::Call { callee, args, .. } => {
+                        for range in intrinsic_ranges(callee, args) {
+                            if !range.writes {
+                                continue;
+                            }
+                            let Base::Slot { slot, offset } = res.value(range.ptr).base else {
+                                continue;
+                            };
+                            let len_const = range.len.and_then(|l| res.const_of(l));
+                            let dynamic_dst = offset.is_none()
+                                || res.slots.get(slot).is_vla
+                                || taint.value(range.ptr);
+                            let dynamic_len = range.len.is_some() && len_const.is_none();
+                            if dynamic_dst || dynamic_len {
+                                report.overflow_entries.push(GadgetSite {
+                                    kind: GadgetKind::OverflowEntry,
+                                    block: bid.0,
+                                    inst: i,
+                                    slot: Some(res.slots.get(slot).name.clone()),
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        report
+    }
+
+    /// Total gadget sites of all classes.
+    pub fn total(&self) -> usize {
+        self.deref_gadgets.len() + self.assign_gadgets.len() + self.overflow_entries.len()
+    }
+
+    /// Render as indented text lines (empty string when there is no
+    /// surface at all).
+    pub fn render_text(&self) -> String {
+        if self.total() == 0 && self.dead_stores == 0 {
+            return String::new();
+        }
+        let mut out = format!(
+            "{}: {} deref, {} assign, {} overflow-entry; {} of {} slots safe; {} dead stores\n",
+            self.func,
+            self.deref_gadgets.len(),
+            self.assign_gadgets.len(),
+            self.overflow_entries.len(),
+            self.safe_slots.len(),
+            self.slots,
+            self.dead_stores,
+        );
+        for site in self
+            .deref_gadgets
+            .iter()
+            .chain(&self.assign_gadgets)
+            .chain(&self.overflow_entries)
+        {
+            out.push_str(&format!(
+                "  {} at bb{} #{}{}\n",
+                site.kind.name(),
+                site.block,
+                site.inst,
+                match &site.slot {
+                    Some(s) => format!(" (slot `{s}`)"),
+                    None => String::new(),
+                }
+            ));
+        }
+        out
+    }
+
+    /// Append as a JSON object to `out`.
+    pub fn push_json(&self, out: &mut String) {
+        out.push_str("{\"func\":");
+        push_json_str(out, &self.func);
+        out.push_str(&format!(
+            ",\"slots\":{},\"dead_stores\":{},\"safe_slots\":[",
+            self.slots, self.dead_stores
+        ));
+        for (i, s) in self.safe_slots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(out, s);
+        }
+        out.push(']');
+        for (key, sites) in [
+            ("deref_gadgets", &self.deref_gadgets),
+            ("assign_gadgets", &self.assign_gadgets),
+            ("overflow_entries", &self.overflow_entries),
+        ] {
+            out.push_str(&format!(",\"{key}\":["));
+            for (i, site) in sites.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"block\":{},\"inst\":{}",
+                    site.block, site.inst
+                ));
+                if let Some(s) = &site.slot {
+                    out.push_str(",\"slot\":");
+                    push_json_str(out, s);
+                }
+                out.push('}');
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_ir::{Builder, Intrinsic, Module, Type, Value};
+
+    fn surface(f: &Function, m: &Module) -> GadgetSurfaceReport {
+        let cfg = Cfg::compute(f);
+        let res = Resolution::compute(f);
+        let esc = EscapeSummary::analyze(f, &res);
+        let safe = esc.safe_mask(&res);
+        let taint = Taint::compute(f, m, &res, &safe);
+        GadgetSurfaceReport::analyze(f, &cfg, &res, &esc, &taint)
+    }
+
+    #[test]
+    fn pointer_chase_through_input_buffer_is_deref_gadget() {
+        // get_input(buf); p = *(long*)buf; v = *p. Loading `p` only
+        // reads attacker data; dereferencing it is the gadget.
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+        b.call_intrinsic(Intrinsic::GetInput, vec![buf.into(), Value::i64(16)]);
+        let p = b.load(Type::Ptr, buf.into());
+        let v = b.load(Type::I64, Value::Reg(p));
+        b.ret(Some(v.into()));
+        let m = Module::new();
+        let rep = surface(&f, &m);
+        assert_eq!(rep.deref_gadgets.len(), 1);
+        assert!(rep.assign_gadgets.is_empty());
+    }
+
+    #[test]
+    fn store_through_loaded_pointer_is_assign_gadget() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+        b.call_intrinsic(Intrinsic::GetInput, vec![buf.into(), Value::i64(16)]);
+        let p = b.load(Type::Ptr, buf.into());
+        b.store(Type::I64, Value::i64(0), Value::Reg(p));
+        b.ret(None);
+        let m = Module::new();
+        let rep = surface(&f, &m);
+        assert_eq!(rep.assign_gadgets.len(), 1);
+    }
+
+    #[test]
+    fn dynamic_length_write_is_overflow_entry() {
+        let mut f = Function::new("f", vec![Type::I64], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+        b.call_intrinsic(
+            Intrinsic::GetInput,
+            vec![buf.into(), Value::Reg(smokestack_ir::RegId(0))],
+        );
+        b.ret(None);
+        let m = Module::new();
+        let rep = surface(&f, &m);
+        assert_eq!(rep.overflow_entries.len(), 1);
+        assert_eq!(rep.overflow_entries[0].slot.as_deref(), Some("buf"));
+    }
+
+    #[test]
+    fn clean_spill_reload_has_no_surface() {
+        // The minic parameter-spill shape: store arg to slot, reload.
+        let mut f = Function::new("f", vec![Type::Ptr], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let p = b.alloca(Type::Ptr, "p");
+        b.store(Type::Ptr, Value::Reg(smokestack_ir::RegId(0)), p.into());
+        let pv = b.load(Type::Ptr, p.into());
+        let v = b.load(Type::I64, Value::Reg(pv));
+        b.ret(Some(v.into()));
+        let m = Module::new();
+        let rep = surface(&f, &m);
+        assert_eq!(rep.total(), 0, "spilled-parameter reload must stay clean");
+        assert_eq!(rep.safe_slots, vec!["p".to_string()]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Definite-initialization analysis: flag loads from stack slots that
+//! are not stored on *some* path from function entry.
+//!
+//! Forward may-analysis over the worklist solver: the state is one
+//! "may be uninitialized" bit per slot, joined by union. A slot becomes
+//! initialized when the function stores to it directly, or at the first
+//! point its address is exposed (passed to a call or intrinsic, stored
+//! into memory) — after that, writes through the exposed pointer are
+//! possible and the analysis stays quiet rather than guess.
+//!
+//! Slots with any *dynamic-offset* store are exempt entirely: the
+//! `for (i = 0; ...) buf[i] = ...;` initialization idiom always has a
+//! zero-trip CFG path the path-insensitive analysis cannot rule out,
+//! and flagging every loop-initialized buffer would bury the real
+//! findings. The rule therefore only fires where every store to the
+//! slot is at a constant offset — scalars and field-wise struct
+//! initialization — which is where the paper's uninitialized-read bug
+//! class lives anyway.
+
+use smokestack_ir::cfg::Cfg;
+use smokestack_ir::{BlockId, Function, Inst};
+
+use crate::dataflow::{solve, DataflowAnalysis, Direction};
+use crate::diag::{rules, Diagnostic, Severity};
+use crate::escape::EscapeSummary;
+use crate::provenance::{Base, Resolution};
+
+struct MayUninit<'a> {
+    res: &'a Resolution,
+    esc: &'a EscapeSummary,
+}
+
+impl<'a> MayUninit<'a> {
+    /// Apply one instruction's initialization effects to `state`.
+    fn apply(&self, state: &mut [bool], inst: &Inst) {
+        let slot_of = |v| match self.res.value(v).base {
+            Base::Slot { slot, .. } => Some(slot),
+            _ => None,
+        };
+        match inst {
+            Inst::Store { val, ptr, .. } => {
+                match slot_of(*ptr) {
+                    Some(s) => state[s] = false,
+                    // A store through an unknown pointer may initialize
+                    // any slot whose address has escaped.
+                    None => self.clear_escaped(state),
+                }
+                // The address now lives in memory; writes through it
+                // can happen anywhere. Treat as initialization.
+                if let Some(s) = slot_of(*val) {
+                    state[s] = false;
+                }
+            }
+            Inst::Call { args, .. } => {
+                // The callee may initialize anything it got a pointer
+                // to (get_input(&n, ..) is the canonical case).
+                for a in args {
+                    if let Some(s) = slot_of(*a) {
+                        state[s] = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn clear_escaped(&self, state: &mut [bool]) {
+        for (s, fl) in self.esc.flags.iter().enumerate() {
+            if fl.address_escapes() {
+                state[s] = false;
+            }
+        }
+    }
+}
+
+impl<'a> DataflowAnalysis for MayUninit<'a> {
+    type State = Vec<bool>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary_state(&self, _f: &Function) -> Vec<bool> {
+        // At entry every fixed slot is uninitialized. VLAs are exempt:
+        // their data is only reachable through a loaded pointer, which
+        // the analysis cannot attribute, so tracking them would be
+        // noise.
+        self.res.slots.slots.iter().map(|s| !s.is_vla).collect()
+    }
+
+    fn init_state(&self, _f: &Function) -> Vec<bool> {
+        vec![false; self.res.slots.len()]
+    }
+
+    fn join(&self, into: &mut Vec<bool>, other: &Vec<bool>) -> bool {
+        let mut changed = false;
+        for (a, b) in into.iter_mut().zip(other) {
+            if *b && !*a {
+                *a = true;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer_inst(&self, state: &mut Vec<bool>, _b: BlockId, _i: usize, inst: &Inst) {
+        self.apply(state, inst);
+    }
+}
+
+/// Slots that receive at least one store at a *dynamic* offset.
+///
+/// Such slots are initialized element-wise (typically by a loop) and the
+/// path-insensitive analysis would flag the infeasible zero-trip path, so
+/// `check` suppresses the rule for them entirely.
+fn loop_initialized(f: &Function, res: &Resolution) -> Vec<bool> {
+    let mut dynamic = vec![false; res.slots.len()];
+    for (_, block) in f.iter_blocks() {
+        for inst in &block.insts {
+            if let Inst::Store { ptr, .. } = inst {
+                if let Base::Slot { slot, offset: None } = res.value(*ptr).base {
+                    dynamic[slot] = true;
+                }
+            }
+        }
+    }
+    dynamic
+}
+
+/// Run the analysis and report every load from a may-uninitialized slot.
+pub fn check(f: &Function, cfg: &Cfg, res: &Resolution, esc: &EscapeSummary) -> Vec<Diagnostic> {
+    if res.slots.is_empty() {
+        return Vec::new();
+    }
+    let suppressed = loop_initialized(f, res);
+    let analysis = MayUninit { res, esc };
+    let states = solve(f, cfg, &analysis);
+    let mut out = Vec::new();
+    for (bid, block) in f.iter_blocks() {
+        // Unreachable blocks keep the bottom state (nothing may-uninit),
+        // so dead code after `return` stays quiet.
+        let mut state = states.entry(bid).clone();
+        for (i, inst) in block.insts.iter().enumerate() {
+            if let Inst::Load { ptr, .. } = inst {
+                if let Base::Slot { slot, .. } = res.value(*ptr).base {
+                    if state[slot] && !suppressed[slot] {
+                        let s = res.slots.get(slot);
+                        out.push(Diagnostic {
+                            rule: rules::UNINIT_READ,
+                            severity: Severity::Warning,
+                            func: f.name.clone(),
+                            block: bid.0,
+                            inst: i,
+                            slot: Some(s.name.clone()),
+                            message: format!(
+                                "load from `{}` which may be uninitialized on some path",
+                                s.name
+                            ),
+                            pos: None,
+                        });
+                    }
+                }
+            }
+            analysis.apply(&mut state, inst);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::escape::EscapeSummary;
+    use smokestack_ir::{Builder, Type, Value};
+
+    fn run(f: &Function) -> Vec<Diagnostic> {
+        let cfg = Cfg::compute(f);
+        let res = Resolution::compute(f);
+        let esc = EscapeSummary::analyze(f, &res);
+        check(f, &cfg, &res, &esc)
+    }
+
+    #[test]
+    fn straight_line_uninit_read_flagged() {
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        let v = b.load(Type::I64, x.into());
+        b.ret(Some(v.into()));
+        let d = run(&f);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, rules::UNINIT_READ);
+        assert_eq!(d[0].slot.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn store_then_load_clean() {
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        b.store(Type::I64, Value::i64(1), x.into());
+        let v = b.load(Type::I64, x.into());
+        b.ret(Some(v.into()));
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn one_armed_init_flagged() {
+        // if (c) x = 1; return x;  -> x may be uninit on the else path.
+        let mut f = Function::new("f", vec![Type::I8], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        let then_bb = b.new_block();
+        let join = b.new_block();
+        b.cond_br(Value::Reg(smokestack_ir::RegId(0)), then_bb, join);
+        b.switch_to(then_bb);
+        b.store(Type::I64, Value::i64(1), x.into());
+        b.br(join);
+        b.switch_to(join);
+        let v = b.load(Type::I64, x.into());
+        b.ret(Some(v.into()));
+        let d = run(&f);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn both_arms_init_clean() {
+        let mut f = Function::new("f", vec![Type::I8], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        let join = b.new_block();
+        b.cond_br(Value::Reg(smokestack_ir::RegId(0)), then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.store(Type::I64, Value::i64(1), x.into());
+        b.br(join);
+        b.switch_to(else_bb);
+        b.store(Type::I64, Value::i64(2), x.into());
+        b.br(join);
+        b.switch_to(join);
+        let v = b.load(Type::I64, x.into());
+        b.ret(Some(v.into()));
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn loop_initialized_array_not_flagged() {
+        // for (i = 0; i < n; i++) buf[i] = 0;  x = buf[0];
+        // The zero-trip path never stores, but any dynamic-offset store
+        // marks the slot as loop-initialized and suppresses the rule.
+        let mut f = Function::new("f", vec![Type::I64], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+        let i = b.alloca(Type::I64, "i");
+        b.store(Type::I64, Value::i64(0), i.into());
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(head);
+        b.switch_to(head);
+        let iv = b.load(Type::I64, i.into());
+        let c = b.icmp(
+            smokestack_ir::CmpPred::Slt,
+            smokestack_ir::IntWidth::W64,
+            iv.into(),
+            Value::Reg(smokestack_ir::RegId(0)),
+        );
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        let iv2 = b.load(Type::I64, i.into());
+        let p = b.gep(buf.into(), iv2.into());
+        b.store(Type::I8, Value::i64(0), p.into());
+        let next = b.bin(
+            smokestack_ir::BinOp::Add,
+            smokestack_ir::IntWidth::W64,
+            iv2.into(),
+            Value::i64(1),
+        );
+        b.store(Type::I64, Value::Reg(next), i.into());
+        b.br(head);
+        b.switch_to(exit);
+        let first = b.load(Type::I8, buf.into());
+        b.ret(Some(first.into()));
+        assert!(run(&f).is_empty());
+    }
+
+    #[test]
+    fn escape_to_intrinsic_counts_as_init() {
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let n = b.alloca(Type::I64, "n");
+        b.call_intrinsic(
+            smokestack_ir::Intrinsic::GetInput,
+            vec![n.into(), Value::i64(8)],
+        );
+        let v = b.load(Type::I64, n.into());
+        b.ret(Some(v.into()));
+        assert!(run(&f).is_empty());
+    }
+}

@@ -1,0 +1,363 @@
+//! # smokestack-analyzer
+//!
+//! Static dataflow analysis over the Smokestack IR: the defender-side
+//! counterpart of the paper's compiler passes. The Smokestack
+//! instrumentation must *find* every stack allocation and decide what to
+//! randomize; this crate goes further and maps why randomization is
+//! needed at all — the bug classes DOP payloads enter through and the
+//! gadget surface they compile against (Hu et al.'s data-oriented
+//! programming, automated by STEROIDS).
+//!
+//! Layers:
+//!
+//! * [`dataflow`] — a reusable forward/backward worklist solver over
+//!   [`smokestack_ir::cfg`], with lattice-join and transfer-function
+//!   traits;
+//! * [`provenance`] — slot discovery, per-register abstract values
+//!   (slot + constant offset + constant), and memory-derived-value
+//!   taint with store-to-load forwarding through safe slots;
+//! * [`escape`] — address-taken / pointer-escape classification per
+//!   slot (the CleanStack-style attacker-reachability split);
+//! * [`init`] — definite-initialization (loads reachable before any
+//!   store);
+//! * [`bounds`] — constant-index accesses and constant intrinsic
+//!   capacities vs slot sizes;
+//! * [`liveness`] — backward slot liveness (dead-store statistics);
+//! * [`gadget`] — the per-function DOP gadget-surface report;
+//! * [`diag`] — structured diagnostics with stable rule IDs and
+//!   text/JSON rendering.
+//!
+//! The top-level entry point is [`analyze_module`]; the instrumentation
+//! consumes [`prunable_slots`] for its opt-in `prune_safe_slots` mode.
+//!
+//! # Examples
+//!
+//! ```
+//! use smokestack_analyzer::analyze_module;
+//!
+//! let m = smokestack_minic::compile(
+//!     "int main() { char buf[4]; buf[6] = 1; return 0; }",
+//! )
+//! .unwrap();
+//! let report = analyze_module(&m);
+//! assert_eq!(report.error_count(), 1);
+//! assert_eq!(report.functions[0].diagnostics[0].rule, "oob-access");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod dataflow;
+pub mod diag;
+pub mod escape;
+pub mod gadget;
+pub mod init;
+pub mod liveness;
+pub mod provenance;
+
+use smokestack_ir::cfg::Cfg;
+use smokestack_ir::{Function, Module};
+use smokestack_telemetry::MetricsRegistry;
+
+pub use dataflow::{solve, BlockStates, DataflowAnalysis, Direction};
+pub use diag::{rules, Diagnostic, Severity, SrcPos};
+pub use escape::{EscapeSummary, SlotFlags};
+pub use gadget::{GadgetKind, GadgetSite, GadgetSurfaceReport};
+pub use provenance::{AbsVal, Base, Resolution, SlotTable, Taint};
+
+/// Findings and surface for one function.
+#[derive(Debug, Clone)]
+pub struct FunctionReport {
+    /// Function name.
+    pub func: String,
+    /// Defect findings (errors and warnings), in block order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// DOP gadget surface.
+    pub gadgets: GadgetSurfaceReport,
+}
+
+/// The full analysis result for a module.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Per-function results, in module order.
+    pub functions: Vec<FunctionReport>,
+}
+
+/// Run the whole suite over one function.
+pub fn analyze_function(m: &Module, f: &Function) -> FunctionReport {
+    let cfg = Cfg::compute(f);
+    let res = Resolution::compute(f);
+    let esc = EscapeSummary::analyze(f, &res);
+    let safe = esc.safe_mask(&res);
+    let taint = Taint::compute(f, m, &res, &safe);
+
+    let mut diagnostics = bounds::check(f, &res);
+    diagnostics.extend(init::check(f, &cfg, &res, &esc));
+    diagnostics.sort_by_key(|d| (d.block, d.inst, d.rule));
+
+    let gadgets = GadgetSurfaceReport::analyze(f, &cfg, &res, &esc, &taint);
+    FunctionReport {
+        func: f.name.clone(),
+        diagnostics,
+        gadgets,
+    }
+}
+
+/// Run the whole suite over every function of `m`.
+pub fn analyze_module(m: &Module) -> AnalysisReport {
+    AnalysisReport {
+        functions: m.funcs.iter().map(|f| analyze_function(m, f)).collect(),
+    }
+}
+
+impl AnalysisReport {
+    /// Iterate over all diagnostics of all functions.
+    pub fn diagnostics(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.functions.iter().flat_map(|f| f.diagnostics.iter())
+    }
+
+    /// Number of `Error` findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning` findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Total gadget sites across all functions.
+    pub fn gadget_total(&self) -> usize {
+        self.functions.iter().map(|f| f.gadgets.total()).sum()
+    }
+
+    /// Attach source positions to diagnostics from a
+    /// `(function, variable) -> position` lookup (e.g. the minic
+    /// source map).
+    pub fn apply_source_map(&mut self, lookup: impl Fn(&str, &str) -> Option<SrcPos>) {
+        for f in &mut self.functions {
+            for d in &mut f.diagnostics {
+                if d.pos.is_none() {
+                    if let Some(slot) = &d.slot {
+                        d.pos = lookup(&d.func, slot);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render the whole report as text: diagnostics first, then the
+    /// non-empty gadget surfaces.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in self.diagnostics() {
+            out.push_str(&d.render_text());
+            out.push('\n');
+        }
+        let mut surface = String::new();
+        for f in &self.functions {
+            surface.push_str(&f.gadgets.render_text());
+        }
+        if !surface.is_empty() {
+            out.push_str("gadget surface:\n");
+            out.push_str(&surface);
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} gadget site(s)\n",
+            self.error_count(),
+            self.warning_count(),
+            self.gadget_total()
+        ));
+        out
+    }
+
+    /// Render the whole report as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            d.push_json(&mut out);
+        }
+        out.push_str("],\"gadget_surface\":[");
+        for (i, f) in self.functions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            f.gadgets.push_json(&mut out);
+        }
+        out.push_str(&format!(
+            "],\"errors\":{},\"warnings\":{},\"gadgets\":{}}}",
+            self.error_count(),
+            self.warning_count(),
+            self.gadget_total()
+        ));
+        out
+    }
+
+    /// Record summary counters into a telemetry registry.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.inc("analyzer.diags.error", self.error_count() as u64);
+        reg.inc("analyzer.diags.warning", self.warning_count() as u64);
+        let mut deref = 0u64;
+        let mut assign = 0u64;
+        let mut entries = 0u64;
+        let mut safe = 0u64;
+        let mut slots = 0u64;
+        let mut dead = 0u64;
+        for f in &self.functions {
+            deref += f.gadgets.deref_gadgets.len() as u64;
+            assign += f.gadgets.assign_gadgets.len() as u64;
+            entries += f.gadgets.overflow_entries.len() as u64;
+            safe += f.gadgets.safe_slots.len() as u64;
+            slots += f.gadgets.slots as u64;
+            dead += f.gadgets.dead_stores as u64;
+        }
+        reg.inc("analyzer.gadgets.deref", deref);
+        reg.inc("analyzer.gadgets.assign", assign);
+        reg.inc("analyzer.gadgets.overflow_entry", entries);
+        reg.inc("analyzer.slots.total", slots);
+        reg.inc("analyzer.slots.safe", safe);
+        reg.inc("analyzer.dead_stores", dead);
+    }
+}
+
+/// Entry-block instruction indexes of `f`'s randomizable slots when the
+/// *whole frame* is provably non-attacker-reachable; empty otherwise.
+///
+/// Pruning is all-or-nothing per function. A frame is prunable only
+/// when every slot is safe: its address never escapes, every access is
+/// a constant in-bounds offset, and it is fixed-size — so no
+/// out-of-bounds write can originate in or reach the frame, and
+/// randomizing it adds no security. The moment *one* slot is
+/// attacker-reachable (escaping buffer, dynamic index, VLA), every
+/// sibling slot must stay in the permutation: those safe slots are
+/// precisely what the randomization hides the unsafe one among.
+/// Pruning them would collapse the layout toward determinism — in the
+/// degenerate case a lone unsafe buffer permutes with itself and the
+/// frame is fully predictable again.
+pub fn prunable_slots(f: &Function) -> Vec<usize> {
+    let res = Resolution::compute(f);
+    let esc = EscapeSummary::analyze(f, &res);
+    let safe = esc.safe_mask(&res);
+    let mut out = Vec::new();
+    for (i, s) in res.slots.slots.iter().enumerate() {
+        if s.is_vla || !safe[i] {
+            return Vec::new();
+        }
+        if s.randomizable && s.block == Function::ENTRY {
+            out.push(s.index);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_minic::compile;
+
+    #[test]
+    fn clean_program_zero_findings() {
+        let m = compile(
+            r#"
+            int sum(int a, int b) { return a + b; }
+            int main() {
+                char buf[16];
+                int n = get_input(buf, 16);
+                return sum(n, 1);
+            }
+            "#,
+        )
+        .unwrap();
+        let r = analyze_module(&m);
+        assert_eq!(r.error_count(), 0);
+        assert_eq!(r.warning_count(), 0);
+    }
+
+    #[test]
+    fn planted_uninit_and_oob_flagged() {
+        let m = compile(
+            r#"
+            int main() {
+                int x;
+                char buf[4];
+                buf[6] = 1;
+                return x;
+            }
+            "#,
+        )
+        .unwrap();
+        let r = analyze_module(&m);
+        let rules: Vec<&str> = r.diagnostics().map(|d| d.rule).collect();
+        assert!(rules.contains(&diag::rules::OOB_ACCESS));
+        assert!(rules.contains(&diag::rules::UNINIT_READ));
+    }
+
+    #[test]
+    fn prunable_slots_all_or_nothing() {
+        // `buf` escapes into get_input and is indexed dynamically, so
+        // the frame has an attacker-reachable slot: nothing may be
+        // pruned — `idx` is what the permutation hides `buf` among.
+        let m = compile(
+            r#"
+            int main() {
+                long idx = 3;
+                char buf[8];
+                get_input(buf, 8);
+                buf[idx] = 1;
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        let f = m.func(m.func_by_name("main").unwrap());
+        assert!(prunable_slots(f).is_empty());
+
+        // An all-safe frame is prunable in full.
+        let m = compile(
+            r#"
+            int main() {
+                long a = 1;
+                long b = 2;
+                int c = 3;
+                return a + b + c;
+            }
+            "#,
+        )
+        .unwrap();
+        let f = m.func(m.func_by_name("main").unwrap());
+        let prunable = prunable_slots(f);
+        let names: Vec<&str> = prunable
+            .iter()
+            .map(|&i| match &f.block(Function::ENTRY).insts[i] {
+                smokestack_ir::Inst::Alloca { name, .. } => name.as_str(),
+                _ => panic!("prunable index is not an alloca"),
+            })
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let m = compile("int main() { char b[4]; b[9] = 2; return 0; }").unwrap();
+        let j = analyze_module(&m).to_json();
+        assert!(j.starts_with("{\"diagnostics\":["));
+        assert!(j.contains("\"oob-access\""));
+        assert!(j.contains("\"errors\":1"));
+    }
+
+    #[test]
+    fn metrics_recorded() {
+        let m = compile("int main() { char b[4]; b[9] = 2; return 0; }").unwrap();
+        let mut reg = MetricsRegistry::default();
+        analyze_module(&m).record_metrics(&mut reg);
+        assert_eq!(reg.counter("analyzer.diags.error"), 1);
+        assert!(reg.counter("analyzer.slots.total") >= 1);
+    }
+}

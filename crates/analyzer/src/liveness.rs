@@ -1,0 +1,174 @@
+//! Backward slot liveness, used for dead-store statistics.
+//!
+//! A safe slot (no escaped address) is live when some later load may
+//! read it; a store to a slot that is not live afterwards is dead. The
+//! numbers feed the per-function gadget-surface report as a measure of
+//! how much of the frame actually carries dataflow — they are not
+//! diagnostics, since spilled-but-unused parameters are routine.
+
+use smokestack_ir::cfg::Cfg;
+use smokestack_ir::{BlockId, Function, Inst};
+
+use crate::dataflow::{solve, DataflowAnalysis, Direction};
+use crate::provenance::{Base, Resolution};
+
+struct SlotLiveness<'a> {
+    res: &'a Resolution,
+    /// Slots pinned live (escaped address / dynamic access): a store to
+    /// them is never reported dead.
+    pinned: &'a [bool],
+}
+
+impl<'a> SlotLiveness<'a> {
+    /// Backward transfer for one instruction.
+    fn apply(&self, state: &mut [bool], inst: &Inst) {
+        match inst {
+            Inst::Load { ptr, .. } => {
+                if let Base::Slot { slot, .. } = self.res.value(*ptr).base {
+                    state[slot] = true;
+                }
+            }
+            Inst::Store { ptr, ty, .. } => {
+                if let Base::Slot {
+                    slot,
+                    offset: Some(0),
+                } = self.res.value(*ptr).base
+                {
+                    // Only a store covering the whole slot kills it.
+                    let s = self.res.slots.get(slot);
+                    if !self.pinned[slot] && s.size.is_some() && ty.checked_size() == s.size {
+                        state[slot] = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<'a> DataflowAnalysis for SlotLiveness<'a> {
+    type State = Vec<bool>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary_state(&self, _f: &Function) -> Vec<bool> {
+        // At exit only pinned slots remain observable (through escaped
+        // pointers during the call's own lifetime).
+        self.pinned.to_vec()
+    }
+
+    fn init_state(&self, _f: &Function) -> Vec<bool> {
+        vec![false; self.res.slots.len()]
+    }
+
+    fn join(&self, into: &mut Vec<bool>, other: &Vec<bool>) -> bool {
+        let mut changed = false;
+        for (a, b) in into.iter_mut().zip(other) {
+            if *b && !*a {
+                *a = true;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer_inst(&self, state: &mut Vec<bool>, _b: BlockId, _i: usize, inst: &Inst) {
+        self.apply(state, inst);
+    }
+}
+
+/// Count stores to slots that nothing reads afterwards.
+pub fn dead_store_count(f: &Function, cfg: &Cfg, res: &Resolution, pinned: &[bool]) -> usize {
+    if res.slots.is_empty() {
+        return 0;
+    }
+    let analysis = SlotLiveness { res, pinned };
+    let states = solve(f, cfg, &analysis);
+    let mut dead = 0;
+    for (bid, block) in f.iter_blocks() {
+        // `entry` of a backward analysis is the state at the block end.
+        let mut state = states.entry(bid).clone();
+        for inst in block.insts.iter().rev() {
+            if let Inst::Store { ptr, .. } = inst {
+                if let Base::Slot { slot, .. } = res.value(*ptr).base {
+                    if !pinned[slot] && !state[slot] {
+                        dead += 1;
+                    }
+                }
+            }
+            analysis.apply(&mut state, inst);
+        }
+    }
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_ir::{Builder, Type, Value};
+
+    fn run(f: &Function) -> usize {
+        let cfg = Cfg::compute(f);
+        let res = Resolution::compute(f);
+        let pinned = vec![false; res.slots.len()];
+        dead_store_count(f, &cfg, &res, &pinned)
+    }
+
+    #[test]
+    fn unread_store_is_dead() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        b.store(Type::I64, Value::i64(1), x.into());
+        b.ret(None);
+        assert_eq!(run(&f), 1);
+    }
+
+    #[test]
+    fn overwritten_store_is_dead() {
+        let mut f = Function::new("f", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        b.store(Type::I64, Value::i64(1), x.into());
+        b.store(Type::I64, Value::i64(2), x.into());
+        let v = b.load(Type::I64, x.into());
+        b.ret(Some(v.into()));
+        assert_eq!(run(&f), 1);
+    }
+
+    #[test]
+    fn loop_carried_store_is_live() {
+        // header reads x, body writes x and loops back.
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let x = b.alloca(Type::I64, "x");
+        b.store(Type::I64, Value::i64(0), x.into());
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.br(header);
+        b.switch_to(header);
+        let v = b.load(Type::I64, x.into());
+        let c = b.icmp(
+            smokestack_ir::CmpPred::Slt,
+            smokestack_ir::IntWidth::W64,
+            v.into(),
+            Value::i64(10),
+        );
+        b.cond_br(c.into(), body, exit);
+        b.switch_to(body);
+        let n = b.bin(
+            smokestack_ir::BinOp::Add,
+            smokestack_ir::IntWidth::W64,
+            v.into(),
+            Value::i64(1),
+        );
+        b.store(Type::I64, Value::Reg(n), x.into());
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        assert_eq!(run(&f), 0);
+    }
+}

@@ -1,0 +1,545 @@
+//! Slot discovery and abstract value provenance.
+//!
+//! The IR is SSA-like for register values (each register defined once,
+//! definitions dominate uses, no phis), so the value a register holds
+//! can be summarized by one bottom-up walk over its use-def chain. Every
+//! register gets an [`AbsVal`]: which stack slot (if any) the value
+//! points into, at which constant byte offset, and what constant integer
+//! it is, when those are statically known.
+//!
+//! On top of the resolved values, [`Taint`] computes which registers
+//! hold data *derived from attacker-corruptible memory* — the property
+//! STEROIDS-style DOP gadget discovery keys on. A load result is tainted
+//! when the pointer itself is tainted, when it reads a slot whose
+//! address has escaped (an out-of-bounds write can reach such a slot),
+//! or when it reads a safe slot into which some store put a tainted
+//! value (store-to-load forwarding keeps spilled parameters and clean
+//! locals out of the gadget surface).
+
+use std::collections::HashMap;
+
+use smokestack_ir::{
+    BinOp, BlockId, CastKind, Function, Inst, IntWidth, Module, RegId, Type, Value,
+};
+
+/// One stack slot: an `alloca` instruction and its static facts.
+#[derive(Debug, Clone)]
+pub struct Slot {
+    /// Source-level variable name.
+    pub name: String,
+    /// Register holding the slot's address.
+    pub reg: RegId,
+    /// Allocated type (element type, for VLAs).
+    pub ty: Type,
+    /// Byte size, when statically known (`None` for VLAs).
+    pub size: Option<u64>,
+    /// Whether this is a variable-length allocation.
+    pub is_vla: bool,
+    /// Block holding the `alloca`.
+    pub block: BlockId,
+    /// Instruction index within that block.
+    pub index: usize,
+    /// The IR's `randomizable` flag (false for instrumentation-owned
+    /// slots like the Smokestack slab).
+    pub randomizable: bool,
+}
+
+/// All slots of one function, with a register → slot index map.
+#[derive(Debug, Clone, Default)]
+pub struct SlotTable {
+    /// Slots in discovery (block, instruction) order.
+    pub slots: Vec<Slot>,
+    by_reg: HashMap<RegId, usize>,
+}
+
+impl SlotTable {
+    /// Discover every `alloca` of `f` (any block — VLAs are allocated at
+    /// their declaration site).
+    pub fn discover(f: &Function) -> SlotTable {
+        let mut t = SlotTable::default();
+        for (bid, b) in f.iter_blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if let Inst::Alloca {
+                    result,
+                    ty,
+                    count,
+                    name,
+                    randomizable,
+                    ..
+                } = inst
+                {
+                    let is_vla = count.is_some();
+                    let size = if is_vla { None } else { ty.checked_size() };
+                    t.by_reg.insert(*result, t.slots.len());
+                    t.slots.push(Slot {
+                        name: name.clone(),
+                        reg: *result,
+                        ty: ty.clone(),
+                        size,
+                        is_vla,
+                        block: bid,
+                        index: i,
+                        randomizable: *randomizable,
+                    });
+                }
+            }
+        }
+        t
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the function has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot whose address lives in `r`, if `r` is an alloca result.
+    pub fn of_reg(&self, r: RegId) -> Option<usize> {
+        self.by_reg.get(&r).copied()
+    }
+
+    /// Shared access to slot `i`.
+    pub fn get(&self, i: usize) -> &Slot {
+        &self.slots[i]
+    }
+}
+
+/// What a pointer-ish value points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base {
+    /// Unknown provenance (parameters, call results, loaded pointers).
+    None,
+    /// Points into stack slot `slot`, at byte `offset` when that is a
+    /// single known constant (`None` = some dynamic offset).
+    Slot {
+        /// Index into the function's [`SlotTable`].
+        slot: usize,
+        /// Constant byte offset from the slot base, if known.
+        offset: Option<i64>,
+    },
+    /// Points at a module global.
+    Global(smokestack_ir::GlobalId),
+}
+
+/// Static summary of one register's value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Pointer provenance.
+    pub base: Base,
+    /// Constant integer value, if statically known.
+    pub konst: Option<i64>,
+}
+
+impl AbsVal {
+    const UNKNOWN: AbsVal = AbsVal {
+        base: Base::None,
+        konst: None,
+    };
+
+    fn konst(v: i64) -> AbsVal {
+        AbsVal {
+            base: Base::None,
+            konst: Some(v),
+        }
+    }
+}
+
+/// Resolved per-register values for one function.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// Discovered slots.
+    pub slots: SlotTable,
+    vals: Vec<AbsVal>,
+}
+
+impl Resolution {
+    /// Resolve every register of `f`.
+    pub fn compute(f: &Function) -> Resolution {
+        let slots = SlotTable::discover(f);
+        let defs = f.def_sites();
+        let mut r = Resolution {
+            slots,
+            vals: vec![AbsVal::UNKNOWN; f.reg_count()],
+        };
+        let mut done = vec![false; f.reg_count()];
+        // Parameters stay UNKNOWN.
+        for d in done.iter_mut().take(f.params.len()) {
+            *d = true;
+        }
+        for reg in 0..f.reg_count() {
+            r.resolve_reg(f, &defs, &mut done, RegId(reg as u32));
+        }
+        r
+    }
+
+    /// The abstract value of `r`.
+    pub fn reg(&self, r: RegId) -> AbsVal {
+        self.vals[r.0 as usize]
+    }
+
+    /// The abstract value of an operand.
+    pub fn value(&self, v: Value) -> AbsVal {
+        match v {
+            Value::Reg(r) => self.reg(r),
+            Value::ConstInt(c, _) => AbsVal::konst(c),
+            Value::Global(g) => AbsVal {
+                base: Base::Global(g),
+                konst: None,
+            },
+            Value::Func(_) | Value::NullPtr => AbsVal::UNKNOWN,
+        }
+    }
+
+    /// Constant value of an operand, if statically known.
+    pub fn const_of(&self, v: Value) -> Option<i64> {
+        self.value(v).konst
+    }
+
+    fn resolve_reg(
+        &mut self,
+        f: &Function,
+        defs: &HashMap<RegId, (BlockId, usize)>,
+        done: &mut Vec<bool>,
+        r: RegId,
+    ) -> AbsVal {
+        if done[r.0 as usize] {
+            return self.vals[r.0 as usize];
+        }
+        // Defs dominate uses and there are no phis, so the use-def walk
+        // cannot cycle; mark first anyway so malformed input terminates.
+        done[r.0 as usize] = true;
+        let Some(&(bid, idx)) = defs.get(&r) else {
+            return AbsVal::UNKNOWN;
+        };
+        let inst = &f.block(bid).insts[idx];
+        let val = self.resolve_inst(f, defs, done, inst);
+        self.vals[r.0 as usize] = val;
+        val
+    }
+
+    fn resolve_operand(
+        &mut self,
+        f: &Function,
+        defs: &HashMap<RegId, (BlockId, usize)>,
+        done: &mut Vec<bool>,
+        v: Value,
+    ) -> AbsVal {
+        if let Value::Reg(r) = v {
+            self.resolve_reg(f, defs, done, r);
+        }
+        self.value(v)
+    }
+
+    fn resolve_inst(
+        &mut self,
+        f: &Function,
+        defs: &HashMap<RegId, (BlockId, usize)>,
+        done: &mut Vec<bool>,
+        inst: &Inst,
+    ) -> AbsVal {
+        match inst {
+            Inst::Alloca { result, .. } => match self.slots.of_reg(*result) {
+                Some(s) => AbsVal {
+                    base: Base::Slot {
+                        slot: s,
+                        offset: Some(0),
+                    },
+                    konst: None,
+                },
+                None => AbsVal::UNKNOWN,
+            },
+            Inst::Gep { base, offset, .. } => {
+                let b = self.resolve_operand(f, defs, done, *base);
+                let off = self.resolve_operand(f, defs, done, *offset).konst;
+                match b.base {
+                    Base::Slot { slot, offset: cur } => AbsVal {
+                        base: Base::Slot {
+                            slot,
+                            offset: match (cur, off) {
+                                (Some(c), Some(o)) => c.checked_add(o),
+                                _ => None,
+                            },
+                        },
+                        konst: None,
+                    },
+                    Base::Global(g) => AbsVal {
+                        base: Base::Global(g),
+                        konst: None,
+                    },
+                    Base::None => AbsVal::UNKNOWN,
+                }
+            }
+            Inst::Bin {
+                op,
+                width,
+                lhs,
+                rhs,
+                ..
+            } => {
+                let l = self.resolve_operand(f, defs, done, *lhs).konst;
+                let r = self.resolve_operand(f, defs, done, *rhs).konst;
+                match (l, r) {
+                    (Some(a), Some(b)) => fold_bin(*op, *width, a, b)
+                        .map(AbsVal::konst)
+                        .unwrap_or(AbsVal::UNKNOWN),
+                    _ => AbsVal::UNKNOWN,
+                }
+            }
+            Inst::Cast { kind, to, val, .. } => {
+                let v = self.resolve_operand(f, defs, done, *val);
+                // Casts preserve pointer provenance (ptrtoint/inttoptr
+                // round-trips still point at the same slot) and fold
+                // constants where the semantics are width games.
+                let konst = v.konst.and_then(|c| fold_cast(*kind, to, c));
+                AbsVal {
+                    base: v.base,
+                    konst,
+                }
+            }
+            Inst::Load { .. } | Inst::Call { .. } | Inst::Icmp { .. } => AbsVal::UNKNOWN,
+            Inst::Store { .. } => AbsVal::UNKNOWN,
+        }
+    }
+}
+
+fn fold_bin(op: BinOp, width: IntWidth, a: i64, b: i64) -> Option<i64> {
+    let raw = match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::SDiv => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::UDiv => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) / (b as u64)) as i64
+        }
+        BinOp::SRem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::URem => {
+            if b == 0 {
+                return None;
+            }
+            ((a as u64) % (b as u64)) as i64
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::LShr => (((a as u64) & width.mask()) >> (b as u32 & 63)) as i64,
+        BinOp::AShr => width.sext(a as u64) >> (b as u32 & 63),
+    };
+    Some(width.sext(width.truncate(raw as u64)))
+}
+
+fn fold_cast(kind: CastKind, to: &Type, c: i64) -> Option<i64> {
+    match kind {
+        CastKind::ZextOrTrunc => {
+            let w = to.int_width()?;
+            Some(w.truncate(c as u64) as i64)
+        }
+        CastKind::SextFrom(from) => {
+            let v = from.sext(from.truncate(c as u64));
+            match to.int_width() {
+                Some(w) => Some(w.sext(w.truncate(v as u64))),
+                None => Some(v),
+            }
+        }
+        CastKind::PtrToInt | CastKind::IntToPtr => Some(c),
+    }
+}
+
+/// Which registers hold attacker-corruptible ("memory-derived") data,
+/// and which slots hold such data in memory.
+#[derive(Debug, Clone)]
+pub struct Taint {
+    reg: Vec<bool>,
+    /// Per-slot: does the slot's *content* carry tainted data?
+    pub slot_content: Vec<bool>,
+}
+
+impl Taint {
+    /// Fixpoint taint computation.
+    ///
+    /// `safe` marks slots whose address never escapes and whose accesses
+    /// are all constant-offset in-bounds (see `escape`): their content
+    /// is exactly what the function stored, so loads forward the taint
+    /// of the stored values. All other slots are attacker-corruptible —
+    /// an out-of-bounds write can reach them — so loads from them are
+    /// tainted unconditionally.
+    pub fn compute(f: &Function, m: &Module, res: &Resolution, safe: &[bool]) -> Taint {
+        let mut t = Taint {
+            reg: vec![false; f.reg_count()],
+            slot_content: (0..res.slots.len()).map(|s| !safe[s]).collect(),
+        };
+        // Flow-insensitive fixpoint: a pass can both discover newly
+        // tainted stores and propagate them to loads, so iterate until
+        // no bit changes. Monotone over a finite bit set, terminates.
+        loop {
+            let mut changed = false;
+            for (_, b) in f.iter_blocks() {
+                for inst in &b.insts {
+                    match inst {
+                        Inst::Load { result, ptr, .. } => {
+                            let lt = t.load_tainted(m, res, *ptr);
+                            if lt && !t.reg[result.0 as usize] {
+                                t.reg[result.0 as usize] = true;
+                                changed = true;
+                            }
+                        }
+                        Inst::Store { val, ptr, .. } => {
+                            if t.value(*val) {
+                                if let Base::Slot { slot, .. } = res.value(*ptr).base {
+                                    if !t.slot_content[slot] {
+                                        t.slot_content[slot] = true;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                        }
+                        other => {
+                            if let Some(r) = other.result() {
+                                let any = other.operands().iter().any(|&v| t.value(v));
+                                // Call results are *not* tainted: they
+                                // are produced by the callee, not read
+                                // through a corruptible pointer here.
+                                let tainted = any && !matches!(other, Inst::Call { .. });
+                                if tainted && !t.reg[r.0 as usize] {
+                                    t.reg[r.0 as usize] = true;
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        t
+    }
+
+    fn load_tainted(&self, m: &Module, res: &Resolution, ptr: Value) -> bool {
+        if self.value(ptr) {
+            return true;
+        }
+        match res.value(ptr).base {
+            Base::Slot { slot, .. } => self.slot_content[slot],
+            Base::Global(g) => !m.global(g).readonly,
+            Base::None => false,
+        }
+    }
+
+    /// Whether register `r` is tainted.
+    pub fn reg(&self, r: RegId) -> bool {
+        self.reg[r.0 as usize]
+    }
+
+    /// Whether operand `v` is tainted.
+    pub fn value(&self, v: Value) -> bool {
+        match v {
+            Value::Reg(r) => self.reg(r),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_ir::Builder;
+
+    #[test]
+    fn const_gep_chain_resolves_to_slot_offset() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+        // gep(gep(buf, 4), 3) -> buf+7
+        let g1 = b.gep(buf.into(), Value::i64(4));
+        let g2 = b.gep(g1.into(), Value::i64(3));
+        b.ret(None);
+        let res = Resolution::compute(&f);
+        assert_eq!(
+            res.reg(g2).base,
+            Base::Slot {
+                slot: 0,
+                offset: Some(7)
+            }
+        );
+    }
+
+    #[test]
+    fn folded_scaled_index() {
+        // The minic shape: gep(buf, mul(2, 4)) -> buf+8.
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I32, 8), "buf");
+        let scaled = b.bin(BinOp::Mul, IntWidth::W64, Value::i64(2), Value::i64(4));
+        let addr = b.gep(buf.into(), scaled.into());
+        b.ret(None);
+        let res = Resolution::compute(&f);
+        assert_eq!(
+            res.reg(addr).base,
+            Base::Slot {
+                slot: 0,
+                offset: Some(8)
+            }
+        );
+    }
+
+    #[test]
+    fn dynamic_index_loses_offset_but_keeps_slot() {
+        let mut f = Function::new("f", vec![Type::I64], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let buf = b.alloca(Type::array(Type::I8, 16), "buf");
+        let addr = b.gep(buf.into(), Value::Reg(RegId(0)));
+        b.ret(None);
+        let res = Resolution::compute(&f);
+        assert_eq!(
+            res.reg(addr).base,
+            Base::Slot {
+                slot: 0,
+                offset: None
+            }
+        );
+    }
+
+    #[test]
+    fn taint_forwards_through_safe_slot_but_not_from_unsafe() {
+        // safe slot `a` gets an untainted store; unsafe slot `u` is
+        // attacker-reachable, so its load is tainted and storing that
+        // value into safe slot `c` taints c's loads too.
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let a = b.alloca(Type::I64, "a");
+        let u = b.alloca(Type::I64, "u");
+        let c = b.alloca(Type::I64, "c");
+        b.store(Type::I64, Value::i64(1), a.into());
+        let la = b.load(Type::I64, a.into());
+        let lu = b.load(Type::I64, u.into());
+        b.store(Type::I64, Value::Reg(lu), c.into());
+        let lc = b.load(Type::I64, c.into());
+        b.ret(None);
+        let m = Module::new();
+        let res = Resolution::compute(&f);
+        let safe = vec![true, false, true];
+        let t = Taint::compute(&f, &m, &res, &safe);
+        assert!(!t.reg(la));
+        assert!(t.reg(lu));
+        assert!(t.reg(lc));
+    }
+}

@@ -1,0 +1,191 @@
+//! Golden-diagnostic tests: MiniC fixtures with planted defects must
+//! produce exactly the expected rule IDs (and clean fixtures none), so
+//! any behaviour change in the analyses shows up as a concrete diff in
+//! the diagnostic stream rather than a silent regression.
+
+use smokestack_analyzer::{analyze_module, rules, Severity, SrcPos};
+use smokestack_minic::{compile, compile_with_source_map};
+
+/// Compile a fixture and return `(rule, severity, func)` for each
+/// diagnostic, sorted for stable comparison.
+fn diags(src: &str) -> Vec<(String, Severity, String)> {
+    let module = compile(src).expect("fixture must compile");
+    let report = analyze_module(&module);
+    let mut out: Vec<_> = report
+        .functions
+        .iter()
+        .flat_map(|f| f.diagnostics.iter())
+        .map(|d| (d.rule.to_string(), d.severity, d.func.clone()))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn planted_uninit_read() {
+    let got = diags(
+        "int pick(int c) {\
+             int x;\
+             if (c) { x = 1; }\
+             return x;\
+         }\
+         int main() { return pick(0); }",
+    );
+    assert_eq!(
+        got,
+        vec![(
+            rules::UNINIT_READ.to_string(),
+            Severity::Warning,
+            "pick".to_string()
+        )]
+    );
+}
+
+#[test]
+fn planted_constant_oob_store() {
+    let got = diags(
+        "int main() {\
+             char buf[4];\
+             buf[6] = 1;\
+             return buf[0];\
+         }",
+    );
+    // The store at byte 6 of a 4-byte buffer is wrong on every
+    // execution: Error, not Warning.
+    assert!(
+        got.contains(&(
+            rules::OOB_ACCESS.to_string(),
+            Severity::Error,
+            "main".to_string()
+        )),
+        "expected an oob-access error, got {got:?}"
+    );
+}
+
+#[test]
+fn planted_capacity_overflow() {
+    let got = diags(
+        "int main() {\
+             char buf[16];\
+             int n = get_input(buf, 64);\
+             return n;\
+         }",
+    );
+    assert_eq!(
+        got,
+        vec![(
+            rules::OVERFLOW_CAPACITY.to_string(),
+            Severity::Warning,
+            "main".to_string()
+        )]
+    );
+}
+
+#[test]
+fn planted_memcpy_overrun() {
+    let got = diags(
+        "int main() {\
+             char dst[8];\
+             char src[32];\
+             int i = 0;\
+             for (i = 0; i < 32; i++) { src[i] = i; }\
+             memcpy(dst, src, 32);\
+             return dst[0];\
+         }",
+    );
+    assert!(
+        got.iter()
+            .any(|(r, s, _)| r == rules::OOB_INTRINSIC && *s == Severity::Error),
+        "expected an oob-intrinsic error, got {got:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_no_findings() {
+    let got = diags(
+        "int sum(char *p, int len) {\
+             int s = 0;\
+             int i = 0;\
+             for (i = 0; i < len; i++) { s = s + p[i]; }\
+             return s;\
+         }\
+         int main() {\
+             char buf[32];\
+             int n = get_input(buf, 32);\
+             return sum(buf, n);\
+         }",
+    );
+    assert_eq!(got, Vec::new());
+}
+
+#[test]
+fn loop_initialized_array_is_clean() {
+    // The zero-trip-path shape from the workload corpus: element-wise
+    // init loop, then reads. Must not produce uninit-read.
+    let got = diags(
+        "int main() {\
+             int tab[8];\
+             int i = 0;\
+             int acc = 0;\
+             for (i = 0; i < 8; i++) { tab[i] = i * i; }\
+             for (i = 0; i < 8; i++) { acc = acc + tab[i]; }\
+             return acc;\
+         }",
+    );
+    assert_eq!(got, Vec::new());
+}
+
+#[test]
+fn source_positions_attach_to_diagnostics() {
+    let src =
+        "int main() {\n    char buf[16];\n    int n = get_input(buf, 64);\n    return n;\n}\n";
+    let (module, map) = compile_with_source_map(src).unwrap();
+    let mut report = analyze_module(&module);
+    report.apply_source_map(|func, var| {
+        map.lookup(func, var).map(|p| SrcPos {
+            line: p.line,
+            col: p.col,
+        })
+    });
+    let d: Vec<_> = report
+        .functions
+        .iter()
+        .flat_map(|f| f.diagnostics.iter())
+        .collect();
+    assert_eq!(d.len(), 1);
+    let pos = d[0].pos.expect("diagnostic should carry a source position");
+    // `buf` is declared on line 2.
+    assert_eq!(pos.line, 2);
+    let text = report.render_text();
+    assert!(
+        text.contains("declared at 2:"),
+        "rendered text should cite the declaration site: {text}"
+    );
+}
+
+#[test]
+fn gadget_report_counts_real_overflow_sites() {
+    // A STEROIDS-style dispatcher: read into a stack buffer with an
+    // attacker-controlled length. The constant-capacity rule cannot fire
+    // (the length is dynamic), but the gadget surface must still list
+    // the site as an overflow entry.
+    let src = "int dispatch(int cmd) {\
+                   char req[32];\
+                   long acc = 0;\
+                   int n = get_input(req, cmd);\
+                   acc = req[cmd & 31];\
+                   return acc + n;\
+               }\
+               int main() { return dispatch(3); }";
+    let module = compile(src).unwrap();
+    let report = analyze_module(&module);
+    let dispatch = report
+        .functions
+        .iter()
+        .find(|f| f.func == "dispatch")
+        .expect("dispatch analyzed");
+    assert!(
+        !dispatch.gadgets.overflow_entries.is_empty(),
+        "get_input past capacity should register as an overflow entry"
+    );
+}

@@ -30,7 +30,7 @@ pub mod wireshark;
 
 use std::fmt;
 
-use smokestack_defenses::{deploy, DefenseKind, Deployment};
+use smokestack_defenses::{deploy_configured, DefenseKind, Deployment};
 use smokestack_ir::Module;
 use smokestack_minic::compile;
 use smokestack_vm::{Exit, FaultKind, RunOutcome, SharedCollector, Tracer, Vm, VmConfig};
@@ -96,10 +96,31 @@ impl Build {
     /// Panics if the source does not compile (the attack corpus is
     /// fixed) or the deployed module fails verification.
     pub fn new(src: &str, defense: DefenseKind, build_seed: u64) -> Build {
+        Build::new_configured(
+            src,
+            defense,
+            build_seed,
+            &smokestack_core::SmokestackConfig::default(),
+        )
+    }
+
+    /// [`Build::new`] with an explicit Smokestack configuration, so the
+    /// security matrix can be re-run against variant pipelines (e.g.
+    /// `prune_safe_slots`). Only affects `Smokestack(_)` defenses.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Build::new`].
+    pub fn new_configured(
+        src: &str,
+        defense: DefenseKind,
+        build_seed: u64,
+        ss_cfg: &smokestack_core::SmokestackConfig,
+    ) -> Build {
         let mut module = compile(src).unwrap_or_else(|e| panic!("attack program: {e}"));
         // The run_seed argument only matters for DefenseKind::StackBase,
         // whose offset is recomputed per trial in `vm_config`.
-        let deployment = deploy(defense, &mut module, build_seed, 0);
+        let deployment = deploy_configured(defense, &mut module, build_seed, 0, ss_cfg);
         smokestack_ir::verify_module(&module).expect("deployed module verifies");
         Build {
             module,
@@ -265,6 +286,20 @@ pub fn evaluate_seeded(
     base_seed: u64,
 ) -> AttackEval {
     let build = Build::new(attack.source(), defense, base_seed ^ 0xb11d);
+    evaluate_build(attack, &build, trials, base_seed)
+}
+
+/// [`evaluate_seeded`] against a variant Smokestack pipeline (e.g. with
+/// `prune_safe_slots` on), so pruned builds can be held to the same
+/// no-regression bar as the default matrix.
+pub fn evaluate_configured(
+    attack: &dyn Attack,
+    defense: DefenseKind,
+    trials: u32,
+    base_seed: u64,
+    ss_cfg: &smokestack_core::SmokestackConfig,
+) -> AttackEval {
+    let build = Build::new_configured(attack.source(), defense, base_seed ^ 0xb11d, ss_cfg);
     evaluate_build(attack, &build, trials, base_seed)
 }
 

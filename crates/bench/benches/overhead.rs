@@ -13,7 +13,7 @@ fn run(name: &str, hardened: bool, scheme: SchemeKind, trace: bool) {
     let w = by_name(name).expect("workload exists");
     let mut m = w.compile().expect("compiles");
     if hardened {
-        harden(&mut m, &SmokestackConfig::default());
+        harden(&mut m, &SmokestackConfig::default()).unwrap();
     }
     let tracer: Option<Box<dyn smokestack_vm::Tracer>> = if trace {
         Some(Box::new(SharedCollector::new(CollectorConfig::default())))

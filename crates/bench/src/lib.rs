@@ -59,7 +59,7 @@ pub fn table1_rows() -> Vec<Table1Row> {
 fn run_workload(w: &Workload, scheme: SchemeKind, hardened: bool, seed: u64) -> RunOutcome {
     let mut m = w.compile().expect("corpus compiles");
     if hardened {
-        harden(&mut m, &SmokestackConfig::default());
+        harden(&mut m, &SmokestackConfig::default()).unwrap();
     }
     let mut vm = Vm::new(
         m,
@@ -142,7 +142,7 @@ pub fn figure4_data() -> Vec<Figure4Row> {
         .map(|w| {
             let base = run_workload(w, SchemeKind::Aes10, false, 7);
             let mut m = w.compile().expect("corpus compiles");
-            let report = harden(&mut m, &SmokestackConfig::default());
+            let report = harden(&mut m, &SmokestackConfig::default()).unwrap();
             let mut vm = Vm::new(
                 m,
                 VmConfig {
@@ -252,7 +252,7 @@ pub fn profile_workload(
     seed: u64,
 ) -> (RunOutcome, SharedCollector) {
     let mut m = w.compile().expect("corpus compiles");
-    harden(&mut m, &SmokestackConfig::default());
+    harden(&mut m, &SmokestackConfig::default()).unwrap();
     let shared = SharedCollector::new(CollectorConfig::default());
     let mut vm = Vm::new(
         m,
@@ -336,7 +336,7 @@ fn sharing_module_pbox_bytes(pbox: smokestack_core::PBoxConfig) -> u64 {
         ..SmokestackConfig::default()
     };
     let mut m = smokestack_minic::compile(SHARING_HEAVY_SRC).expect("sharing module");
-    harden(&mut m, &cfg).pbox_bytes
+    harden(&mut m, &cfg).unwrap().pbox_bytes
 }
 
 /// Section III-E ablation: memory cost of each P-BOX optimization, on a
@@ -406,7 +406,7 @@ pub fn table_len_sweep(lengths: &[u64]) -> Vec<TableLenPoint> {
             let mut max_bits: f64 = 0.0;
             for w in all_workloads() {
                 let mut m = w.compile().expect("corpus compiles");
-                let report = harden(&mut m, &cfg);
+                let report = harden(&mut m, &cfg).unwrap();
                 total += report.pbox_bytes;
                 let er = smokestack_core::EntropyReport::from_harden(&report);
                 if let Some(b) = er.min_bits() {
@@ -457,7 +457,7 @@ pub fn guard_ablation(trials: u32) -> Vec<GuardAblation> {
                 let w = smokestack_workloads::by_name(name).expect("exists");
                 let base = run_workload(&w, SchemeKind::Aes10, false, 7);
                 let mut m = w.compile().expect("compiles");
-                harden(&mut m, &cfg);
+                harden(&mut m, &cfg).unwrap();
                 let mut vm = Vm::new(
                     m,
                     VmConfig {
@@ -474,7 +474,7 @@ pub fn guard_ablation(trials: u32) -> Vec<GuardAblation> {
             use smokestack_attacks::{campaign, Attack, Build};
             let attack = smokestack_attacks::wireshark::WiresharkAttack;
             let mut module = smokestack_minic::compile(attack.source()).expect("attack program");
-            let report = harden(&mut module, &cfg);
+            let report = harden(&mut module, &cfg).unwrap();
             let build = Build {
                 module,
                 defense: DefenseKind::Smokestack(SchemeKind::Aes10),

@@ -117,6 +117,26 @@ pub fn deploy(
     build_seed: u64,
     run_seed: u64,
 ) -> Deployment {
+    deploy_configured(
+        kind,
+        module,
+        build_seed,
+        run_seed,
+        &smokestack_core::SmokestackConfig::default(),
+    )
+}
+
+/// [`deploy`] with an explicit Smokestack configuration, so experiments
+/// can flip pipeline options (`prune_safe_slots`, guard insertion, P-BOX
+/// sizing) while reusing the rest of the matrix unchanged. `ss_cfg` only
+/// affects the `Smokestack(_)` rows.
+pub fn deploy_configured(
+    kind: DefenseKind,
+    module: &mut Module,
+    build_seed: u64,
+    run_seed: u64,
+    ss_cfg: &smokestack_core::SmokestackConfig,
+) -> Deployment {
     match kind {
         DefenseKind::None => Deployment::default(),
         DefenseKind::StackBase => Deployment {
@@ -136,8 +156,7 @@ pub fn deploy(
             ..Deployment::default()
         },
         DefenseKind::Smokestack(_) => {
-            let report =
-                smokestack_core::harden(module, &smokestack_core::SmokestackConfig::default());
+            let report = smokestack_core::harden(module, ss_cfg).expect("instrumentation failed");
             Deployment {
                 functions_modified: report.functions_instrumented,
                 stack_base_offset: 0,

@@ -127,6 +127,24 @@ impl Function {
             .flat_map(|(id, b)| b.insts.iter().map(move |i| (id, i)))
     }
 
+    /// Map every defined register to its definition site as
+    /// `(block, index-within-block)`. Parameters are not included: they
+    /// are defined by the call, not by an instruction.
+    ///
+    /// The IR is SSA-like (each register defined exactly once), so the
+    /// map is total over instruction-defined registers.
+    pub fn def_sites(&self) -> std::collections::HashMap<RegId, (BlockId, usize)> {
+        let mut out = std::collections::HashMap::new();
+        for (bid, b) in self.iter_blocks() {
+            for (i, inst) in b.insts.iter().enumerate() {
+                if let Some(r) = inst.result() {
+                    out.insert(r, (bid, i));
+                }
+            }
+        }
+        out
+    }
+
     /// Collect every `alloca` instruction (any block — VLAs may be
     /// allocated mid-function) as `(block, index-within-block)`.
     pub fn alloca_sites(&self) -> Vec<(BlockId, usize)> {

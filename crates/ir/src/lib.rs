@@ -37,7 +37,7 @@
 #![warn(missing_docs)]
 
 mod builder;
-mod cfg;
+pub mod cfg;
 mod function;
 mod inst;
 mod module;

@@ -101,20 +101,29 @@ impl Type {
     ///
     /// # Panics
     ///
-    /// Panics if called on [`Type::Void`], which has no size.
+    /// Panics if called on [`Type::Void`], which has no size. Analyses
+    /// that may encounter arbitrary types should use
+    /// [`Type::checked_size`] instead.
     pub fn size(&self) -> u64 {
+        self.checked_size()
+            .unwrap_or_else(|| panic!("void has no size"))
+    }
+
+    /// Non-panicking variant of [`Type::size`]: `None` for
+    /// [`Type::Void`] (or any aggregate containing it).
+    pub fn checked_size(&self) -> Option<u64> {
         match self {
-            Type::Void => panic!("void has no size"),
-            Type::Int(w) => w.bytes(),
-            Type::Ptr => 8,
-            Type::Array(elem, len) => elem.size() * len,
+            Type::Void => None,
+            Type::Int(w) => Some(w.bytes()),
+            Type::Ptr => Some(8),
+            Type::Array(elem, len) => Some(elem.checked_size()? * len),
             Type::Struct(fields) => {
                 let mut off = 0u64;
                 for f in fields {
-                    off = align_to(off, f.align());
-                    off += f.size();
+                    off = align_to(off, f.checked_alignment()?);
+                    off += f.checked_size()?;
                 }
-                align_to(off, self.align())
+                Some(align_to(off, self.checked_alignment()?))
             }
         }
     }
@@ -123,14 +132,28 @@ impl Type {
     ///
     /// # Panics
     ///
-    /// Panics if called on [`Type::Void`].
+    /// Panics if called on [`Type::Void`]. Analyses that may encounter
+    /// arbitrary types should use [`Type::checked_alignment`] instead.
     pub fn align(&self) -> u64 {
+        self.checked_alignment()
+            .unwrap_or_else(|| panic!("void has no alignment"))
+    }
+
+    /// Non-panicking variant of [`Type::align`]: `None` for
+    /// [`Type::Void`] (or any aggregate containing it).
+    pub fn checked_alignment(&self) -> Option<u64> {
         match self {
-            Type::Void => panic!("void has no alignment"),
-            Type::Int(w) => w.bytes(),
-            Type::Ptr => 8,
-            Type::Array(elem, _) => elem.align(),
-            Type::Struct(fields) => fields.iter().map(|f| f.align()).max().unwrap_or(1),
+            Type::Void => None,
+            Type::Int(w) => Some(w.bytes()),
+            Type::Ptr => Some(8),
+            Type::Array(elem, _) => elem.checked_alignment(),
+            Type::Struct(fields) => {
+                let mut max = 1u64;
+                for f in fields {
+                    max = max.max(f.checked_alignment()?);
+                }
+                Some(max)
+            }
         }
     }
 

@@ -28,7 +28,9 @@ pub mod ast;
 mod lexer;
 mod lower;
 mod parser;
+mod srcmap;
 
 pub use lexer::{lex, Kw, LexError, Pos, Tok, Token};
 pub use lower::{compile, lower, CompileError};
 pub use parser::{parse, ParseError};
+pub use srcmap::{compile_with_source_map, SourceMap};

@@ -1,0 +1,136 @@
+//! Source map: where each local variable was declared.
+//!
+//! The lowering names every stack slot after its source variable, so
+//! `(function, variable)` is enough to point an analyzer diagnostic
+//! back at the declaration site. The map is built from the AST — the
+//! IR itself stays position-free.
+
+use std::collections::HashMap;
+
+use crate::ast::{FuncDef, Program, Stmt};
+use crate::lexer::Pos;
+use crate::lower::{lower, CompileError};
+use crate::parser::parse;
+use smokestack_ir::Module;
+
+/// `(function, variable) -> declaration position` for every local and
+/// parameter of a compiled program.
+#[derive(Debug, Clone, Default)]
+pub struct SourceMap {
+    entries: HashMap<(String, String), Pos>,
+}
+
+impl SourceMap {
+    /// Build a map from a parsed program.
+    pub fn build(prog: &Program) -> SourceMap {
+        let mut map = SourceMap::default();
+        for fd in &prog.funcs {
+            map.add_func(fd);
+        }
+        map
+    }
+
+    /// Declaration position of `var` in `func`, if known.
+    pub fn lookup(&self, func: &str, var: &str) -> Option<Pos> {
+        self.entries
+            .get(&(func.to_string(), var.to_string()))
+            .copied()
+    }
+
+    /// Number of recorded declarations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn add_func(&mut self, fd: &FuncDef) {
+        // Parameters carry no position of their own; the function
+        // header is the closest thing to their declaration site.
+        for p in &fd.params {
+            self.insert(&fd.name, &p.name, fd.pos);
+        }
+        self.add_stmts(&fd.name, &fd.body);
+    }
+
+    fn add_stmts(&mut self, func: &str, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Decl(d) => self.insert(func, &d.name, d.pos),
+                Stmt::If(_, t, e) => {
+                    self.add_stmts(func, t);
+                    self.add_stmts(func, e);
+                }
+                Stmt::While(_, b) => self.add_stmts(func, b),
+                Stmt::For(init, _, _, b) => {
+                    if let Some(init) = init {
+                        self.add_stmts(func, std::slice::from_ref(init));
+                    }
+                    self.add_stmts(func, b);
+                }
+                Stmt::Block(b) => self.add_stmts(func, b),
+                Stmt::Expr(_) | Stmt::Return(..) | Stmt::Break(_) | Stmt::Continue(_) => {}
+            }
+        }
+    }
+
+    fn insert(&mut self, func: &str, var: &str, pos: Pos) {
+        // First declaration wins: shadowed re-declarations keep the
+        // outermost site, which is what a reader will look for.
+        self.entries
+            .entry((func.to_string(), var.to_string()))
+            .or_insert(pos);
+    }
+}
+
+/// Compile MiniC source and also return the declaration source map.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or type error.
+///
+/// # Examples
+///
+/// ```
+/// let (m, map) = smokestack_minic::compile_with_source_map(
+///     "int main() { char buf[8]; return 0; }",
+/// )
+/// .unwrap();
+/// assert!(m.func_by_name("main").is_some());
+/// assert_eq!(map.lookup("main", "buf").unwrap().line, 1);
+/// ```
+pub fn compile_with_source_map(src: &str) -> Result<(Module, SourceMap), CompileError> {
+    let prog = parse(src)?;
+    let map = SourceMap::build(&prog);
+    let module = lower(&prog)?;
+    Ok((module, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locals_params_and_nested_decls_mapped() {
+        let (_, map) = compile_with_source_map(
+            "int f(int a) {\n  int x = 1;\n  if (a) { char buf[4]; buf[0] = 1; }\n  return x;\n}",
+        )
+        .unwrap();
+        assert_eq!(map.lookup("f", "a").unwrap().line, 1);
+        assert_eq!(map.lookup("f", "x").unwrap().line, 2);
+        assert_eq!(map.lookup("f", "buf").unwrap().line, 3);
+        assert!(map.lookup("f", "nope").is_none());
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn first_declaration_wins_on_shadowing() {
+        let (_, map) =
+            compile_with_source_map("int f() {\n  int x = 1;\n  { int x = 2; }\n  return x;\n}")
+                .unwrap();
+        assert_eq!(map.lookup("f", "x").unwrap().line, 2);
+    }
+}

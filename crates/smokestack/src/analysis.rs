@@ -74,6 +74,54 @@ impl EntropyReport {
     }
 }
 
+/// What analysis-driven slot pruning changed between a full build and a
+/// `prune_safe_slots` build of the same module: the memory saved and
+/// the entropy given up (if any — pruned slots are provably
+/// non-attacker-reachable, so defensive entropy should be intact even
+/// when the raw bits drop).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EntropyDelta {
+    /// Logical P-BOX entries (row × column offsets) in the full build.
+    pub full_entries: u64,
+    /// Logical P-BOX entries in the pruned build.
+    pub pruned_entries: u64,
+    /// Serialized P-BOX bytes in the full build.
+    pub full_pbox_bytes: u64,
+    /// Serialized P-BOX bytes in the pruned build.
+    pub pruned_pbox_bytes: u64,
+    /// Minimum per-function entropy (bits) in the full build.
+    pub full_min_bits: Option<f64>,
+    /// Minimum per-function entropy (bits) in the pruned build.
+    pub pruned_min_bits: Option<f64>,
+    /// Total slots excluded from permutation.
+    pub slots_pruned: usize,
+}
+
+impl EntropyDelta {
+    /// Compare a full hardening report against a pruned one.
+    pub fn between(full: &HardenReport, pruned: &HardenReport) -> EntropyDelta {
+        EntropyDelta {
+            full_entries: full.total_logical_entries(),
+            pruned_entries: pruned.total_logical_entries(),
+            full_pbox_bytes: full.pbox_bytes,
+            pruned_pbox_bytes: pruned.pbox_bytes,
+            full_min_bits: EntropyReport::from_harden(full).min_bits(),
+            pruned_min_bits: EntropyReport::from_harden(pruned).min_bits(),
+            slots_pruned: pruned.pruned.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Fraction of logical table entries the pruning removed (0.0 when
+    /// the full build had none).
+    pub fn entries_saved_ratio(&self) -> f64 {
+        if self.full_entries == 0 {
+            0.0
+        } else {
+            1.0 - self.pruned_entries as f64 / self.full_entries as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,8 +130,62 @@ mod tests {
 
     fn report_for(src: &str) -> EntropyReport {
         let mut m = compile(src).unwrap();
-        let hr = harden(&mut m, &SmokestackConfig::default());
+        let hr = harden(&mut m, &SmokestackConfig::default()).unwrap();
         EntropyReport::from_harden(&hr)
+    }
+
+    #[test]
+    fn pruning_shrinks_tables_without_zeroing_entropy() {
+        // `helper` is all-safe (scalars only): its whole frame prunes
+        // and it drops out of the P-BOX. `work` has an escaping buffer,
+        // so its frame — including the safe scalars that the permutation
+        // hides the buffer among — must stay fully instrumented.
+        let src = r#"
+            int helper(int v) {
+                int a = v * 3;
+                long b = v + 7;
+                int c = 0;
+                c = a + b;
+                return c;
+            }
+            int work(int a, int b) {
+                int acc = 0;
+                char buf[32];
+                get_input(buf, 32);
+                int i = 0;
+                while (i < a) { acc = acc + helper(b); i = i + 1; }
+                return acc + buf[0];
+            }
+            int main() { return work(3, 4); }
+        "#;
+        let mut full = compile(src).unwrap();
+        let full_hr = harden(&mut full, &SmokestackConfig::default()).unwrap();
+        let mut pruned = compile(src).unwrap();
+        let pruned_hr = harden(
+            &mut pruned,
+            &SmokestackConfig {
+                prune_safe_slots: true,
+                ..SmokestackConfig::default()
+            },
+        )
+        .unwrap();
+        let delta = EntropyDelta::between(&full_hr, &pruned_hr);
+        assert!(delta.slots_pruned > 0, "helper's frame should prune");
+        assert!(
+            delta.pruned_entries < delta.full_entries,
+            "pruning must shrink the logical table: {delta:?}"
+        );
+        assert!(delta.entries_saved_ratio() > 0.0);
+        // The all-safe helper drops out of the P-BOX entirely...
+        assert!(!pruned_hr.placements.contains_key("helper"));
+        assert!(full_hr.placements.contains_key("helper"));
+        // ...while `work` (escaping buffer) keeps its full placement:
+        // same permutation count as the unpruned build.
+        assert_eq!(
+            pruned_hr.placements["work"].columns.len(),
+            full_hr.placements["work"].columns.len(),
+        );
+        assert_eq!(pruned_hr.pruned.get("work"), None);
     }
 
     #[test]

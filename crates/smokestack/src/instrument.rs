@@ -16,6 +16,7 @@
 //! inserted immediately before each VLA.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use smokestack_ir::{
     BinOp, Callee, Function, Global, GlobalId, GlobalInit, Inst, IntWidth, Intrinsic, Module,
@@ -45,6 +46,14 @@ pub struct SmokestackConfig {
     pub vla_pad_mask: u64,
     /// Insert the function-identifier guard checks (§III-D.2).
     pub guards: bool,
+    /// Skip instrumentation for functions whose *entire frame* the
+    /// static analyzer proves non-attacker-reachable (CleanStack-style
+    /// pruning). Shrinks the P-BOX without touching any frame that
+    /// holds even one unsafe slot — partially pruning such a frame
+    /// would shrink the permutation space the unsafe slot hides in.
+    /// Off by default because it trades table size against the
+    /// belt-and-suspenders value of randomizing everything.
+    pub prune_safe_slots: bool,
 }
 
 impl Default for SmokestackConfig {
@@ -53,9 +62,40 @@ impl Default for SmokestackConfig {
             pbox: PBoxConfig::default(),
             vla_pad_mask: 0xF8,
             guards: true,
+            prune_safe_slots: false,
         }
     }
 }
+
+/// Failure of the instrumentation pass. The rewrite refuses to touch a
+/// module whose shape contradicts what discovery recorded, rather than
+/// emitting a frame with slots silently mapped to the wrong addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstrumentError {
+    /// An entry-block position recorded as an alloca no longer holds
+    /// one — the module changed between discovery and rewrite.
+    NotAnAlloca {
+        /// Function being rewritten.
+        func: String,
+        /// Entry-block instruction index discovery recorded.
+        index: usize,
+        /// What the rewrite actually found there.
+        found: String,
+    },
+}
+
+impl fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrumentError::NotAnAlloca { func, index, found } => write!(
+                f,
+                "instrumenting `{func}`: expected alloca at entry instruction {index}, found {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InstrumentError {}
 
 /// What the hardening produced — used by experiments and attacks.
 #[derive(Debug, Clone)]
@@ -72,10 +112,69 @@ pub struct HardenReport {
     pub pbox_global: Option<GlobalId>,
     /// Table metadata.
     pub pbox: PBox,
+    /// Slots excluded from permutation by `prune_safe_slots`, by
+    /// function name (only functions with at least one pruned slot).
+    pub pruned: HashMap<String, Vec<String>>,
+}
+
+impl HardenReport {
+    /// Total logical P-BOX entries across all instrumented functions:
+    /// one `u64` offset per (table row, slot column) pair, counted per
+    /// function even when tables are shared. This is the quantity slot
+    /// pruning shrinks.
+    pub fn total_logical_entries(&self) -> u64 {
+        self.placements
+            .values()
+            .map(|p| (p.mask + 1) * p.columns.len() as u64)
+            .sum()
+    }
+}
+
+/// Mark the slots of an analyzer-proven all-safe frame non-randomizable,
+/// so discovery skips the function entirely. Returns the pruned slot
+/// names in entry-block order (empty when any slot is unsafe — pruning
+/// is all-or-nothing per function, see
+/// [`smokestack_analyzer::prunable_slots`]).
+fn prune_safe(f: &mut Function) -> Vec<String> {
+    let prunable = smokestack_analyzer::prunable_slots(f);
+    let mut names = Vec::new();
+    for idx in prunable {
+        if let Inst::Alloca {
+            name, randomizable, ..
+        } = &mut f.block_mut(Function::ENTRY).insts[idx]
+        {
+            if *randomizable {
+                *randomizable = false;
+                names.push(name.clone());
+            }
+        }
+    }
+    names
 }
 
 /// Harden every function of `module` in place.
-pub fn harden(module: &mut Module, cfg: &SmokestackConfig) -> HardenReport {
+///
+/// # Errors
+///
+/// Returns [`InstrumentError`] when a function's entry block does not
+/// hold allocas where discovery recorded them (the module was mutated
+/// between phases); the module may be partially rewritten in that case.
+pub fn harden(
+    module: &mut Module,
+    cfg: &SmokestackConfig,
+) -> Result<HardenReport, InstrumentError> {
+    // Phase 0 (optional): analysis-driven pruning of provably
+    // non-attacker-reachable slots.
+    let mut pruned = HashMap::new();
+    if cfg.prune_safe_slots {
+        for f in &mut module.funcs {
+            let names = prune_safe(f);
+            if !names.is_empty() {
+                pruned.insert(f.name.clone(), names);
+            }
+        }
+    }
+
     // Phase 1: discovery (paper's analysis passes).
     let mut frames = Vec::new(); // (func index, FrameInfo, builder key)
     let mut builder = PBoxBuilder::new(cfg.pbox);
@@ -109,7 +208,7 @@ pub fn harden(module: &mut Module, cfg: &SmokestackConfig) -> HardenReport {
         let f = &mut module.funcs[*fi];
         if let Some(k) = key {
             let p = &placements[*k];
-            rewrite_fixed_allocas(f, info, p, pbox_global.expect("pbox exists"));
+            rewrite_fixed_allocas(f, info, p, pbox_global.expect("pbox exists"))?;
             let mut named = p.clone();
             named.slot_names = info.slots.iter().map(|(_, s)| s.name.clone()).collect();
             by_name.insert(f.name.clone(), named);
@@ -122,13 +221,14 @@ pub fn harden(module: &mut Module, cfg: &SmokestackConfig) -> HardenReport {
             crate::guard::add_guard(f, *fi as u64);
         }
     }
-    HardenReport {
+    Ok(HardenReport {
         pbox_bytes: pbox.image.len() as u64,
         functions_instrumented: instrumented,
         placements: by_name,
         pbox_global,
         pbox,
-    }
+        pruned,
+    })
 }
 
 fn rewrite_fixed_allocas(
@@ -136,17 +236,23 @@ fn rewrite_fixed_allocas(
     info: &crate::slots::FrameInfo,
     p: &FuncPlacement,
     pbox_global: GlobalId,
-) {
+) -> Result<(), InstrumentError> {
     // Collect the result register of each original alloca.
     let entry = f.block(Function::ENTRY).clone();
     let alloca_positions: Vec<usize> = info.slots.iter().map(|(i, _)| *i).collect();
-    let orig_regs: Vec<_> = alloca_positions
-        .iter()
-        .map(|&i| match &entry.insts[i] {
-            Inst::Alloca { result, .. } => *result,
-            other => panic!("expected alloca at recorded position, found {other:?}"),
-        })
-        .collect();
+    let mut orig_regs = Vec::with_capacity(alloca_positions.len());
+    for &i in &alloca_positions {
+        match &entry.insts[i] {
+            Inst::Alloca { result, .. } => orig_regs.push(*result),
+            other => {
+                return Err(InstrumentError::NotAnAlloca {
+                    func: f.name.clone(),
+                    index: i,
+                    found: format!("{other:?}"),
+                })
+            }
+        }
+    }
 
     // Build the prologue.
     let mut prologue = Vec::new();
@@ -227,6 +333,7 @@ fn rewrite_fixed_allocas(
     let eb = f.block_mut(Function::ENTRY);
     prologue.extend(rest);
     eb.insts = prologue;
+    Ok(())
 }
 
 /// Insert a random-sized pad alloca before every randomizable VLA.
@@ -283,14 +390,21 @@ fn pad_vlas(f: &mut Function, pad_mask: u64) {
 /// [`ModulePass`] wrapper so hardening can run in a pass pipeline.
 pub struct SmokestackPass {
     cfg: SmokestackConfig,
-    /// Filled in by `run`.
+    /// Filled in by `run` on success.
     pub report: Option<HardenReport>,
+    /// Filled in by `run` on failure (the pass-manager interface has no
+    /// error channel of its own).
+    pub error: Option<InstrumentError>,
 }
 
 impl SmokestackPass {
     /// Create the pass.
     pub fn new(cfg: SmokestackConfig) -> SmokestackPass {
-        SmokestackPass { cfg, report: None }
+        SmokestackPass {
+            cfg,
+            report: None,
+            error: None,
+        }
     }
 }
 
@@ -300,7 +414,10 @@ impl ModulePass for SmokestackPass {
     }
 
     fn run(&mut self, module: &mut Module) {
-        self.report = Some(harden(module, &self.cfg));
+        match harden(module, &self.cfg) {
+            Ok(report) => self.report = Some(report),
+            Err(e) => self.error = Some(e),
+        }
     }
 }
 
@@ -329,7 +446,7 @@ mod tests {
 
     fn hardened(src: &str) -> (Module, HardenReport) {
         let mut m = compile(src).unwrap();
-        let report = harden(&mut m, &SmokestackConfig::default());
+        let report = harden(&mut m, &SmokestackConfig::default()).unwrap();
         verify_module(&m).expect("hardened module verifies");
         (m, report)
     }
@@ -364,7 +481,7 @@ mod tests {
     fn behavior_preserved_under_hardening() {
         let mut base = compile(PROG).unwrap();
         let mut hard = compile(PROG).unwrap();
-        harden(&mut hard, &SmokestackConfig::default());
+        harden(&mut hard, &SmokestackConfig::default()).unwrap();
         let b = Vm::new(std::mem::take(&mut base), VmConfig::default())
             .run_main(ScriptedInput::empty());
         for seed in [1u64, 2, 3, 99] {
@@ -401,7 +518,7 @@ mod tests {
             }
         "#;
         let mut m = compile(src).unwrap();
-        harden(&mut m, &SmokestackConfig::default());
+        harden(&mut m, &SmokestackConfig::default()).unwrap();
         // With 3 slots (plus __cc-free code) some pair of 4 invocations
         // almost surely differs; check across several seeds to avoid a
         // flaky 1-in-many chance that all four draws matched.
@@ -436,7 +553,7 @@ mod tests {
     fn vla_gets_random_pad() {
         let src = "void f(int n) { char buf[n]; buf[0] = 1; } int main() { f(9); return 0; }";
         let mut m = compile(src).unwrap();
-        harden(&mut m, &SmokestackConfig::default());
+        harden(&mut m, &SmokestackConfig::default()).unwrap();
         verify_module(&m).unwrap();
         let f = m.func(m.func_by_name("f").unwrap());
         let has_pad = f
@@ -459,7 +576,7 @@ mod tests {
     fn hardening_across_all_schemes_preserves_behavior() {
         for scheme in SchemeKind::ALL {
             let mut m = compile(PROG).unwrap();
-            harden(&mut m, &SmokestackConfig::default());
+            harden(&mut m, &SmokestackConfig::default()).unwrap();
             let out = Vm::new(
                 m,
                 VmConfig {
@@ -480,7 +597,7 @@ mod tests {
             guards: false,
             ..SmokestackConfig::default()
         };
-        harden(&mut m, &cfg);
+        harden(&mut m, &cfg).unwrap();
         verify_module(&m).unwrap();
         let f = m.func(m.func_by_name("helper").unwrap());
         let has_guard = f.iter_insts().any(
@@ -503,7 +620,7 @@ mod tests {
                 },
                 ..SmokestackConfig::default()
             };
-            let report = harden(&mut m, &cfg);
+            let report = harden(&mut m, &cfg).unwrap();
             for p in report.placements.values() {
                 assert!(
                     p.entropy_bits <= (len as f64).log2() + 1e-9,
@@ -535,7 +652,7 @@ mod tests {
         // with truly no allocas is main-with-no-locals:
         let src2 = "int main() { return 3; }";
         let mut m = compile(src2).unwrap();
-        let report = harden(&mut m, &SmokestackConfig::default());
+        let report = harden(&mut m, &SmokestackConfig::default()).unwrap();
         assert_eq!(report.functions_instrumented, 0);
         assert!(report.pbox_global.is_none());
         let _ = src;

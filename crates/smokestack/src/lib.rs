@@ -30,7 +30,7 @@
 //!
 //! let src = "int main() { int a = 1; char buf[16]; long c = 2; return a; }";
 //! let mut module = compile(src).unwrap();
-//! let report = harden(&mut module, &SmokestackConfig::default());
+//! let report = harden(&mut module, &SmokestackConfig::default()).unwrap();
 //! assert_eq!(report.functions_instrumented, 1);
 //!
 //! let mut vm = Vm::new(module, VmConfig::default());
@@ -46,10 +46,11 @@ mod pbox;
 mod permute;
 mod slots;
 
-pub use analysis::{EntropyReport, FunctionEntropy};
+pub use analysis::{EntropyDelta, EntropyReport, FunctionEntropy};
 pub use guard::{add_guard, function_identifier, GUARD_NAME};
 pub use instrument::{
-    harden, HardenReport, SmokestackConfig, SmokestackPass, PBOX_GLOBAL, SLAB_NAME, VLA_PAD_NAME,
+    harden, HardenReport, InstrumentError, SmokestackConfig, SmokestackPass, PBOX_GLOBAL,
+    SLAB_NAME, VLA_PAD_NAME,
 };
 pub use pbox::{FuncPlacement, PBox, PBoxBuilder, PBoxConfig, Signature, Table};
 pub use permute::{factorial, layout_for_rank, order_for_rank, PermutedLayout};

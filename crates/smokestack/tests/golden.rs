@@ -10,7 +10,7 @@ use smokestack_minic::compile;
 fn instrumented_prologue_shape() {
     let src = "int f(int a) { char buf[16]; buf[0] = a; return a; } int main() { return f(1); }";
     let mut m = compile(src).unwrap();
-    harden(&mut m, &SmokestackConfig::default());
+    harden(&mut m, &SmokestackConfig::default()).unwrap();
     let f = m.func(m.func_by_name("f").unwrap());
     let text = f.to_string();
     let lines: Vec<&str> = text.lines().map(str::trim).collect();
@@ -55,7 +55,7 @@ fn instrumented_prologue_shape() {
 fn vla_pad_precedes_vla_in_ir() {
     let src = "void f(int n) { char b[n]; b[0] = 1; } int main() { f(3); return 0; }";
     let mut m = compile(src).unwrap();
-    harden(&mut m, &SmokestackConfig::default());
+    harden(&mut m, &SmokestackConfig::default()).unwrap();
     let f = m.func(m.func_by_name("f").unwrap());
     let text = f.to_string();
     let pad_pos = text.find("__ss_vla_pad").expect("pad present");
@@ -81,7 +81,7 @@ fn instrumentation_is_deterministic_per_build_seed() {
             },
             ..SmokestackConfig::default()
         };
-        harden(&mut m, &cfg);
+        harden(&mut m, &cfg).unwrap();
         m.to_string()
     };
     assert_eq!(build(1), build(1), "same seed must give identical builds");

@@ -297,7 +297,7 @@ mod tests {
                 Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
             };
             let mut m = w.compile().unwrap();
-            smokestack_core::harden(&mut m, &smokestack_core::SmokestackConfig::default());
+            smokestack_core::harden(&mut m, &smokestack_core::SmokestackConfig::default()).unwrap();
             let hard = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
             assert_eq!(base.exit, hard.exit, "{} changed under hardening", w.name);
         }

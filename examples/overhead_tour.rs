@@ -15,7 +15,7 @@ fn run(name: &str, hardened: bool, scheme: SchemeKind) -> RunOutcome {
     let w = by_name(name).expect("workload exists");
     let mut m = w.compile().expect("corpus compiles");
     if hardened {
-        harden(&mut m, &SmokestackConfig::default());
+        harden(&mut m, &SmokestackConfig::default()).unwrap();
     }
     let mut vm = Vm::new(
         m,

@@ -1,0 +1,257 @@
+//! `analyze` — run the static dataflow analyses over MiniC sources,
+//! textual IR, the workload corpus, or the attack corpus.
+//!
+//! ```text
+//! analyze [--json] [--deny-warnings] [--workloads] [--attacks]
+//!         [--prune-compare] [paths...]
+//! ```
+//!
+//! * `paths` — `.mc`/`.c` files are compiled as MiniC (with source
+//!   positions attached to diagnostics); `.ir` files are parsed as
+//!   textual Smokestack IR.
+//! * `--workloads` — analyze the built-in benchmark corpus.
+//! * `--attacks` — analyze the attack-study programs (these contain
+//!   intentional overflow sites; expect findings).
+//! * `--json` — machine-readable output, one JSON object per line per
+//!   input.
+//! * `--deny-warnings` — exit nonzero on warnings, not just errors.
+//! * `--prune-compare` — additionally report, per workload, what
+//!   `prune_safe_slots` would save (P-BOX entries and bytes) and the
+//!   entropy floor before/after.
+//!
+//! Exit status: 0 when clean, 1 on findings at or above the threshold,
+//! 2 on usage or input errors.
+
+use std::process::ExitCode;
+
+use smokestack_analyzer::{analyze_module, AnalysisReport, SrcPos};
+use smokestack_core::{harden, EntropyDelta, SmokestackConfig};
+use smokestack_ir::Module;
+use smokestack_minic::{compile_with_source_map, SourceMap};
+use smokestack_telemetry::MetricsRegistry;
+
+struct Options {
+    json: bool,
+    deny_warnings: bool,
+    workloads: bool,
+    attacks: bool,
+    prune_compare: bool,
+    paths: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: analyze [--json] [--deny-warnings] [--workloads] [--attacks] [--prune-compare] [paths...]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_warnings: false,
+        workloads: false,
+        attacks: false,
+        prune_compare: false,
+        paths: Vec::new(),
+    };
+    for a in args {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--workloads" => opts.workloads = true,
+            "--attacks" => opts.attacks = true,
+            "--prune-compare" => opts.prune_compare = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{}", usage()))
+            }
+            path => opts.paths.push(path.to_string()),
+        }
+    }
+    if !opts.workloads && !opts.attacks && !opts.prune_compare && opts.paths.is_empty() {
+        return Err(format!("no inputs\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+/// One named module to analyze, with an optional source map.
+struct Input {
+    name: String,
+    module: Module,
+    srcmap: Option<SourceMap>,
+}
+
+fn load_path(path: &str) -> Result<Input, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".ir") {
+        let module = smokestack_ir::parse_ir(&text).map_err(|e| format!("{path}: {e:?}"))?;
+        Ok(Input {
+            name: path.to_string(),
+            module,
+            srcmap: None,
+        })
+    } else {
+        let (module, srcmap) = compile_with_source_map(&text)
+            .map_err(|e| format!("{path}:{}:{}: {}", e.pos.line, e.pos.col, e.message))?;
+        Ok(Input {
+            name: path.to_string(),
+            module,
+            srcmap: Some(srcmap),
+        })
+    }
+}
+
+fn gather_inputs(opts: &Options) -> Result<Vec<Input>, String> {
+    let mut inputs = Vec::new();
+    for p in &opts.paths {
+        inputs.push(load_path(p)?);
+    }
+    if opts.workloads {
+        for w in smokestack_workloads::all() {
+            let (module, srcmap) = compile_with_source_map(w.source)
+                .map_err(|e| format!("workload {}: {}", w.name, e.message))?;
+            inputs.push(Input {
+                name: format!("workload:{}", w.name),
+                module,
+                srcmap: Some(srcmap),
+            });
+        }
+    }
+    if opts.attacks {
+        for a in smokestack_attacks::standard_suite() {
+            let (module, srcmap) = compile_with_source_map(a.source())
+                .map_err(|e| format!("attack {}: {}", a.name(), e.message))?;
+            inputs.push(Input {
+                name: format!("attack:{}", a.name()),
+                module,
+                srcmap: Some(srcmap),
+            });
+        }
+    }
+    Ok(inputs)
+}
+
+fn analyze_input(input: &Input) -> AnalysisReport {
+    let mut report = analyze_module(&input.module);
+    if let Some(map) = &input.srcmap {
+        report.apply_source_map(|func, var| {
+            map.lookup(func, var).map(|p| SrcPos {
+                line: p.line,
+                col: p.col,
+            })
+        });
+    }
+    report
+}
+
+fn prune_compare(json: bool) -> Result<(), String> {
+    for w in smokestack_workloads::all() {
+        let mut full = w
+            .compile()
+            .map_err(|e| format!("{}: {}", w.name, e.message))?;
+        let full_hr = harden(&mut full, &SmokestackConfig::default())
+            .map_err(|e| format!("{}: {e}", w.name))?;
+        let mut pruned = w
+            .compile()
+            .map_err(|e| format!("{}: {}", w.name, e.message))?;
+        let pruned_hr = harden(
+            &mut pruned,
+            &SmokestackConfig {
+                prune_safe_slots: true,
+                ..SmokestackConfig::default()
+            },
+        )
+        .map_err(|e| format!("{}: {e}", w.name))?;
+        let d = EntropyDelta::between(&full_hr, &pruned_hr);
+        if json {
+            println!(
+                "{{\"workload\":\"{}\",\"full_entries\":{},\"pruned_entries\":{},\
+                 \"full_pbox_bytes\":{},\"pruned_pbox_bytes\":{},\"slots_pruned\":{},\
+                 \"entries_saved_ratio\":{:.4},\"full_min_bits\":{},\"pruned_min_bits\":{}}}",
+                w.name,
+                d.full_entries,
+                d.pruned_entries,
+                d.full_pbox_bytes,
+                d.pruned_pbox_bytes,
+                d.slots_pruned,
+                d.entries_saved_ratio(),
+                d.full_min_bits.map_or("null".into(), |b| format!("{b:.2}")),
+                d.pruned_min_bits
+                    .map_or("null".into(), |b| format!("{b:.2}")),
+            );
+        } else {
+            println!(
+                "{:<12} entries {:>6} -> {:>6} ({:>5.1}% saved), pbox {:>6}B -> {:>6}B, {} slot(s) pruned, min bits {} -> {}",
+                w.name,
+                d.full_entries,
+                d.pruned_entries,
+                d.entries_saved_ratio() * 100.0,
+                d.full_pbox_bytes,
+                d.pruned_pbox_bytes,
+                d.slots_pruned,
+                d.full_min_bits.map_or("-".into(), |b| format!("{b:.1}")),
+                d.pruned_min_bits.map_or("-".into(), |b| format!("{b:.1}")),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let inputs = match gather_inputs(&opts) {
+        Ok(i) => i,
+        Err(msg) => {
+            eprintln!("analyze: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut metrics = MetricsRegistry::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for input in &inputs {
+        let report = analyze_input(input);
+        errors += report.error_count();
+        warnings += report.warning_count();
+        report.record_metrics(&mut metrics);
+        if opts.json {
+            println!(
+                "{{\"input\":\"{}\",\"report\":{}}}",
+                input.name,
+                report.to_json()
+            );
+        } else {
+            println!("== {} ==", input.name);
+            print!("{}", report.render_text());
+        }
+    }
+    if !inputs.is_empty() && !opts.json {
+        println!(
+            "total: {errors} error(s), {warnings} warning(s), {} gadget site(s) across {} input(s)",
+            metrics.counter("analyzer.gadgets.deref")
+                + metrics.counter("analyzer.gadgets.assign")
+                + metrics.counter("analyzer.gadgets.overflow_entry"),
+            inputs.len()
+        );
+    }
+
+    if opts.prune_compare {
+        if let Err(msg) = prune_compare(opts.json) {
+            eprintln!("analyze: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if errors > 0 || (opts.deny_warnings && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

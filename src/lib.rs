@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub use smokestack_analyzer as analyzer;
 pub use smokestack_attacks as attacks;
 pub use smokestack_core as core;
 pub use smokestack_defenses as defenses;
@@ -60,7 +61,8 @@ use smokestack_minic::CompileError;
 /// Returns the front-end error if `src` does not compile.
 pub fn harden_source(src: &str) -> Result<(Module, HardenReport), CompileError> {
     let mut module = smokestack_minic::compile(src)?;
-    let report = harden(&mut module, &SmokestackConfig::default());
+    let report = harden(&mut module, &SmokestackConfig::default())
+        .expect("instrumentation cannot fail on a freshly compiled module");
     Ok((module, report))
 }
 

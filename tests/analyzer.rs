@@ -1,0 +1,138 @@
+//! Corpus-level analyzer checks: the benchmark workloads must analyze
+//! clean, the attack-study programs must expose their real overflow
+//! sites, and analysis-driven slot pruning must actually shrink P-BOX
+//! tables without dropping instrumentation where it matters.
+
+use smokestack_repro::analyzer::{analyze_module, GadgetKind};
+use smokestack_repro::core::{harden, EntropyDelta, SmokestackConfig};
+use smokestack_repro::{attacks, workloads};
+
+#[test]
+fn workload_corpus_analyzes_clean() {
+    for w in workloads::all() {
+        let module = w.compile().expect("workload compiles");
+        let report = analyze_module(&module);
+        assert_eq!(
+            report.error_count(),
+            0,
+            "workload {} has analyzer errors:\n{}",
+            w.name,
+            report.render_text()
+        );
+        assert_eq!(
+            report.warning_count(),
+            0,
+            "workload {} has analyzer warnings:\n{}",
+            w.name,
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn librelp_overflow_site_in_gadget_report() {
+    let attack = attacks::standard_suite()
+        .into_iter()
+        .find(|a| a.name().contains("librelp"))
+        .expect("librelp attack in suite");
+    let module = smokestack_repro::minic::compile(attack.source()).unwrap();
+    let report = analyze_module(&module);
+    // CVE-2018-1000140: relp_chk_peer_name concatenates peer names into
+    // a fixed stack buffer without bounding the total — the analyzer
+    // must list that site as an overflow entry.
+    let chk = report
+        .functions
+        .iter()
+        .find(|f| f.func == "relp_chk_peer_name")
+        .expect("relp_chk_peer_name analyzed");
+    assert!(
+        !chk.gadgets.overflow_entries.is_empty(),
+        "librelp overflow site missing from gadget report"
+    );
+    assert!(chk
+        .gadgets
+        .overflow_entries
+        .iter()
+        .all(|g| g.kind == GadgetKind::OverflowEntry));
+}
+
+#[test]
+fn proftpd_overflow_site_in_gadget_report() {
+    let attack = attacks::standard_suite()
+        .into_iter()
+        .find(|a| a.name().contains("proftpd"))
+        .expect("proftpd attack in suite");
+    let module = smokestack_repro::minic::compile(attack.source()).unwrap();
+    let report = analyze_module(&module);
+    // CVE-2006-5815: sreplace builds the replacement into a stack
+    // buffer with an unchecked dynamic length.
+    let sreplace = report
+        .functions
+        .iter()
+        .find(|f| f.func == "sreplace")
+        .expect("sreplace analyzed");
+    assert!(
+        !sreplace.gadgets.overflow_entries.is_empty(),
+        "proftpd overflow site missing from gadget report"
+    );
+}
+
+#[test]
+fn attack_corpus_flags_planted_overflows() {
+    // The listing-1 dispatcher and the direct-stack synthetic both read
+    // more bytes than their buffers hold with constant capacities; the
+    // bounds pass must flag each.
+    let mut flagged = 0;
+    for a in attacks::standard_suite() {
+        let module = smokestack_repro::minic::compile(a.source()).unwrap();
+        let report = analyze_module(&module);
+        let capacity_hits = report
+            .functions
+            .iter()
+            .flat_map(|f| f.diagnostics.iter())
+            .filter(|d| d.rule == "overflow-capacity")
+            .count();
+        if capacity_hits > 0 {
+            flagged += 1;
+        }
+    }
+    assert!(
+        flagged >= 2,
+        "expected at least two attack programs with capacity findings, got {flagged}"
+    );
+}
+
+#[test]
+fn pruning_reduces_pbox_entries_on_workloads() {
+    let mut shrunk = 0;
+    let mut grew = 0;
+    for w in workloads::all() {
+        let mut full = w.compile().unwrap();
+        let full_hr = harden(&mut full, &SmokestackConfig::default()).unwrap();
+        let mut pruned = w.compile().unwrap();
+        let pruned_hr = harden(
+            &mut pruned,
+            &SmokestackConfig {
+                prune_safe_slots: true,
+                ..SmokestackConfig::default()
+            },
+        )
+        .unwrap();
+        let d = EntropyDelta::between(&full_hr, &pruned_hr);
+        assert!(
+            d.pruned_entries <= d.full_entries,
+            "pruning must never grow the table for {}",
+            w.name
+        );
+        if d.pruned_entries < d.full_entries {
+            shrunk += 1;
+        } else if d.pruned_entries > d.full_entries {
+            grew += 1;
+        }
+    }
+    assert!(
+        shrunk >= 1,
+        "pruning should shrink P-BOX logical entries on at least one workload"
+    );
+    assert_eq!(grew, 0);
+}

@@ -78,7 +78,7 @@ fn per_invocation_entropy_is_observable() {
         }
     "#;
     let mut m = compile(src).unwrap();
-    core::harden(&mut m, &SmokestackConfig::default());
+    core::harden(&mut m, &SmokestackConfig::default()).unwrap();
     let mut vm = Vm::new(m, VmConfig::default());
     let out = vm.run_main(ScriptedInput::empty());
     let distances: std::collections::HashSet<String> =
@@ -98,7 +98,7 @@ fn schemes_change_cost_not_behavior() {
     let mut cycles = Vec::new();
     for scheme in SchemeKind::ALL {
         let mut m = w.compile().unwrap();
-        core::harden(&mut m, &SmokestackConfig::default());
+        core::harden(&mut m, &SmokestackConfig::default()).unwrap();
         let mut vm = Vm::new(
             m,
             VmConfig {
@@ -127,7 +127,7 @@ fn pbox_immutable_at_runtime() {
         }
     "#;
     let mut m = compile(src).unwrap();
-    let report = core::harden(&mut m, &SmokestackConfig::default());
+    let report = core::harden(&mut m, &SmokestackConfig::default()).unwrap();
     let gid = report.pbox_global.expect("instrumented");
     assert!(m.global(gid).readonly);
     let mut vm = Vm::new(m, VmConfig::default());
@@ -157,7 +157,7 @@ fn vla_programs_survive_hardening() {
     };
     assert_eq!(baseline.exit, Exit::Return(45 + 6));
     let mut m = compile(src).unwrap();
-    core::harden(&mut m, &SmokestackConfig::default());
+    core::harden(&mut m, &SmokestackConfig::default()).unwrap();
     for seed in 0..6 {
         let mut vm = Vm::new(
             m.clone(),
@@ -176,7 +176,7 @@ fn vla_programs_survive_hardening() {
 fn layered_defenses_compose() {
     let src = "int main() { int a = 1; char b[16]; return a; }";
     let mut m = compile(src).unwrap();
-    core::harden(&mut m, &SmokestackConfig::default());
+    core::harden(&mut m, &SmokestackConfig::default()).unwrap();
     let mut vm = Vm::new(
         m,
         VmConfig {
@@ -194,7 +194,7 @@ fn layered_defenses_compose() {
 fn textual_ir_roundtrip_of_hardened_workload() {
     let w = workloads::by_name("gcc").unwrap();
     let mut m = w.compile().unwrap();
-    core::harden(&mut m, &SmokestackConfig::default());
+    core::harden(&mut m, &SmokestackConfig::default()).unwrap();
     let printed = m.to_string();
     let back = ir::parse_ir(&printed).expect("parses back");
     assert_eq!(printed, back.to_string(), "round trip not stable");
@@ -227,14 +227,14 @@ fn optimizer_preserves_behavior_and_composes() {
         // Optimize, then harden.
         let mut m2 = w.compile().unwrap();
         ir::Optimize::optimize(&mut m2);
-        core::harden(&mut m2, &SmokestackConfig::default());
+        core::harden(&mut m2, &SmokestackConfig::default()).unwrap();
         ir::verify_module(&m2).unwrap();
         let o2 = Vm::new(m2, VmConfig::default()).run_main(ScriptedInput::empty());
         assert_eq!(o2.exit, baseline.exit, "{name} optimize-then-harden");
         // Harden, then optimize (the instrumentation's index arithmetic
         // must survive folding/DCE untouched in behavior).
         let mut m3 = w.compile().unwrap();
-        core::harden(&mut m3, &SmokestackConfig::default());
+        core::harden(&mut m3, &SmokestackConfig::default()).unwrap();
         ir::Optimize::optimize(&mut m3);
         ir::verify_module(&m3).unwrap();
         let o3 = Vm::new(m3, VmConfig::default()).run_main(ScriptedInput::empty());

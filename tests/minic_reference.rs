@@ -266,7 +266,8 @@ fn minic_matches_reference() {
         smokestack_repro::core::harden(
             &mut m,
             &smokestack_repro::core::SmokestackConfig::default(),
-        );
+        )
+        .unwrap();
         let mut vm = Vm::new(m, VmConfig::default());
         match vm.run_main(ScriptedInput::empty()).exit {
             Exit::Return(v) => assert_eq!(v as i64, expected, "hardened:\n{src}"),

@@ -191,7 +191,8 @@ fn hardened_equivalence_random_programs() {
         smokestack_repro::core::harden(
             &mut m,
             &smokestack_repro::core::SmokestackConfig::default(),
-        );
+        )
+        .unwrap();
         let mut vm = Vm::new(
             m,
             VmConfig {

@@ -2,9 +2,10 @@
 //! the verdict of every attack × defense cell that the paper asserts.
 
 use smokestack_repro::attacks::{
-    evaluate_seeded, librelp::LibrelpAttack, listing1::Listing1Attack, proftpd::ProftpdAttack,
-    synthetic, wireshark::WiresharkAttack, Attack,
+    evaluate_configured, evaluate_seeded, librelp::LibrelpAttack, listing1::Listing1Attack,
+    proftpd::ProftpdAttack, synthetic, wireshark::WiresharkAttack, Attack,
 };
+use smokestack_repro::core::SmokestackConfig;
 use smokestack_repro::defenses::DefenseKind;
 use smokestack_repro::srng::SchemeKind;
 
@@ -104,6 +105,37 @@ fn proftpd_bypasses_aslr() {
 #[test]
 fn librelp_bypasses_canary() {
     bypasses(&LibrelpAttack, DefenseKind::Canary, 900);
+}
+
+/// Analysis-driven slot pruning must not weaken the security verdicts:
+/// every cell the full configuration stops is still stopped when
+/// provably-safe slots are excluded from randomization. Pruning only
+/// removes slots whose address never escapes and never feeds a
+/// dynamically-indexed access — slots no overflow can reach or be
+/// steered through — so the attack outcomes are identical.
+#[test]
+fn pruned_configuration_no_security_regression() {
+    let pruned = SmokestackConfig {
+        prune_safe_slots: true,
+        ..SmokestackConfig::default()
+    };
+    let stops_pruned = |attack: &dyn Attack, seed: u64| {
+        let eval = evaluate_configured(
+            attack,
+            DefenseKind::Smokestack(SchemeKind::Aes10),
+            3,
+            seed,
+            &pruned,
+        );
+        assert!(eval.stopped(), "pruned config regressed: {eval}");
+    };
+    for (i, attack) in synthetic::all().iter().enumerate() {
+        stops_pruned(attack.as_ref(), 1320 + i as u64 * 10);
+    }
+    stops_pruned(&Listing1Attack, 1400);
+    stops_pruned(&LibrelpAttack, 1410);
+    stops_pruned(&WiresharkAttack, 1420);
+    stops_pruned(&ProftpdAttack, 1430);
 }
 
 /// Wireshark's linear sweep is stopped under every Smokestack scheme,

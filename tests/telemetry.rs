@@ -39,7 +39,7 @@ fn traced_run(
     seed: u64,
 ) -> (smokestack_repro::vm::RunOutcome, SharedCollector) {
     let mut m = compile(src).expect("compiles");
-    harden(&mut m, &SmokestackConfig::default());
+    harden(&mut m, &SmokestackConfig::default()).unwrap();
     let shared = SharedCollector::new(CollectorConfig {
         ring_capacity: 1 << 16,
         ..CollectorConfig::default()
