@@ -32,7 +32,7 @@ use smokestack_core::HardenReport;
 use smokestack_vm::{layout, FnInput, Memory};
 
 use crate::intel::{probe, scan_stack};
-use crate::{classify, Attack, AttackOutcome, Build};
+use crate::{conclude, Attack, AttackOutcome, Build, CommitFlag};
 
 /// Attacker-chosen computation: `5000 - 111 + 13`.
 pub const EXPECTED: i64 = 4902;
@@ -252,7 +252,7 @@ impl Attack for AdaptiveAttack {
             None => Phase::Recon1,
         }));
         let phase_c = phase.clone();
-        let committed = Rc::new(RefCell::new(false));
+        let committed = CommitFlag::new();
         let committed_c = committed.clone();
 
         let reachable = |offs: &[i64]| offs.iter().all(|&d| (8..=504).contains(&d));
@@ -308,7 +308,7 @@ impl Attack for AdaptiveAttack {
                                 put(&mut payload, u, 4);
                             }
                             payload[..8].copy_from_slice(&MARKER.to_le_bytes());
-                            *committed_c.borrow_mut() = true;
+                            committed_c.arm();
                             next = payload;
                             next_phase = Some(Phase::DisambA { ctr, max, unknown });
                         }
@@ -430,7 +430,7 @@ impl Attack for AdaptiveAttack {
                     put(&mut payload, *operand, arg);
                     put(&mut payload, *acc, acc_val);
                     payload[..8].copy_from_slice(&MARKER.to_le_bytes());
-                    *committed_c.borrow_mut() = true;
+                    committed_c.arm();
                     next = payload;
                     next_phase = Some(Phase::Script {
                         ctr: *ctr,
@@ -449,15 +449,13 @@ impl Attack for AdaptiveAttack {
         });
         let out = vm.run_main(adversary);
         let target = vm.mem().read_uint(vm.global_addr("target"), 8).unwrap_or(0) as i64;
-        let gave_up = matches!(&*phase.borrow(), Phase::Aborted);
-        if gave_up && target != EXPECTED && !*committed.borrow() {
-            return AttackOutcome::Aborted;
-        }
-        let outcome = classify(&out, target == EXPECTED, "same-invocation derandomization");
-        if !*committed.borrow() && !outcome.is_success() {
-            return AttackOutcome::Aborted;
-        }
-        outcome
+        conclude(
+            &out,
+            &committed,
+            target == EXPECTED,
+            "same-invocation derandomization",
+        )
+        .into_outcome()
     }
 }
 

@@ -28,7 +28,10 @@ pub mod proftpd;
 pub mod synthetic;
 pub mod wireshark;
 
+use std::cell::Cell;
 use std::fmt;
+use std::rc::Rc;
+use std::sync::Arc;
 
 use smokestack_defenses::{deploy_configured, DefenseKind, Deployment};
 use smokestack_ir::Module;
@@ -73,9 +76,14 @@ impl fmt::Display for AttackOutcome {
 }
 
 /// A deployed build of a vulnerable program under some defense.
+///
+/// The module is shared behind an [`Arc`]: cloning a `Build` (or
+/// spawning VMs from it) never deep-copies the IR, so Monte-Carlo
+/// campaigns can cheaply construct one build per worker thread.
+#[derive(Clone)]
 pub struct Build {
     /// The hardened (or baseline) module.
-    pub module: Module,
+    pub module: Arc<Module>,
     /// Which defense was applied.
     pub defense: DefenseKind,
     /// Deployment metadata (Smokestack placements, etc.).
@@ -123,7 +131,7 @@ impl Build {
         let deployment = deploy_configured(defense, &mut module, build_seed, 0, ss_cfg);
         smokestack_ir::verify_module(&module).expect("deployed module verifies");
         Build {
-            module,
+            module: Arc::new(module),
             defense,
             deployment,
             build_seed,
@@ -173,8 +181,83 @@ pub fn classify(out: &RunOutcome, goal_met: bool, goal_desc: &str) -> AttackOutc
     }
 }
 
+/// A one-shot flag shared between an adversary input closure and the
+/// trial driver: the closure [`arm`](CommitFlag::arm)s it the moment it
+/// sends corrupted bytes, and the driver reads it afterwards to tell a
+/// committed miss from a stealthy reconnoiter.
+#[derive(Debug, Clone, Default)]
+pub struct CommitFlag(Rc<Cell<bool>>);
+
+impl CommitFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> CommitFlag {
+        CommitFlag::default()
+    }
+
+    /// Mark the attempt as committed (corrupted input was sent).
+    pub fn arm(&self) {
+        self.0.set(true);
+    }
+
+    /// Whether the attempt committed.
+    pub fn is_armed(&self) -> bool {
+        self.0.get()
+    }
+}
+
+/// Structured result of one exploit attempt: the classified outcome plus
+/// the run evidence campaigns aggregate (commitment, cost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// The classified verdict, with the stealth rule already applied: a
+    /// run that never committed corrupted input and did not reach the
+    /// goal is an [`AttackOutcome::Aborted`] reconnoiter, whatever the
+    /// program did on its own.
+    pub outcome: AttackOutcome,
+    /// Whether corrupted input was actually delivered.
+    pub committed: bool,
+    /// Deci-cycles the victim run consumed.
+    pub decicycles: u64,
+    /// Instructions the victim run executed.
+    pub insts: u64,
+}
+
+impl TrialOutcome {
+    /// The plain verdict (what [`campaign`] consumes).
+    pub fn into_outcome(self) -> AttackOutcome {
+        self.outcome
+    }
+}
+
+/// Conclude one exploit attempt: classify the finished run against the
+/// goal predicate and apply the shared stealth rule (an uncommitted,
+/// unsuccessful attempt is an abort, not a failure). Every attack's
+/// `attempt` funnels through here so the classification semantics are
+/// defined once.
+pub fn conclude(
+    out: &RunOutcome,
+    committed: &CommitFlag,
+    goal_met: bool,
+    goal_desc: &str,
+) -> TrialOutcome {
+    let mut outcome = classify(out, goal_met, goal_desc);
+    if !committed.is_armed() && !outcome.is_success() {
+        outcome = AttackOutcome::Aborted;
+    }
+    TrialOutcome {
+        outcome,
+        committed: committed.is_armed(),
+        decicycles: out.decicycles,
+        insts: out.insts,
+    }
+}
+
 /// One attack: program + adversary.
-pub trait Attack {
+///
+/// Implementations must be `Send + Sync` so campaign engines can share
+/// one attack instance across worker threads; the standard suite is all
+/// stateless unit structs, so this costs nothing.
+pub trait Attack: Send + Sync {
     /// Short identifier used in report rows.
     fn name(&self) -> &str;
 
@@ -244,16 +327,46 @@ pub const CAMPAIGN_BUDGET: u32 = 48;
 /// while the adversary stays stealthy (aborts before corrupting
 /// anything). The first committed attempt decides the campaign.
 pub fn campaign(attack: &dyn Attack, build: &Build, campaign_seed: u64) -> AttackOutcome {
+    run_trial(attack, build, campaign_seed).outcome
+}
+
+/// The result of one full trial campaign, with the evidence Monte-Carlo
+/// engines aggregate beyond the verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialRun {
+    /// The deciding outcome of the campaign.
+    pub outcome: AttackOutcome,
+    /// Service restarts consumed, counting the deciding attempt
+    /// (`1..=CAMPAIGN_BUDGET`); `CAMPAIGN_BUDGET` when the budget ran
+    /// out without a favorable layout. Survival-curve analysis bins
+    /// successes by this attempt count.
+    pub rounds: u32,
+}
+
+/// [`campaign`] returning the structured [`TrialRun`] (outcome plus the
+/// number of restarts the adversary consumed) — the per-trial entry
+/// point for campaign engines.
+pub fn run_trial(attack: &dyn Attack, build: &Build, campaign_seed: u64) -> TrialRun {
     for r in 0..CAMPAIGN_BUDGET {
         let run_seed = campaign_seed
             .wrapping_mul(0xd1b54a32d192ed03)
             .wrapping_add(r as u64);
         match attack.attempt(build, run_seed) {
             AttackOutcome::Aborted => continue,
-            decided => return decided,
+            decided => {
+                return TrialRun {
+                    outcome: decided,
+                    rounds: r + 1,
+                }
+            }
         }
     }
-    AttackOutcome::Failed("campaign budget exhausted without a favorable layout".into())
+    TrialRun {
+        outcome: AttackOutcome::Failed(
+            "campaign budget exhausted without a favorable layout".into(),
+        ),
+        rounds: CAMPAIGN_BUDGET,
+    }
 }
 
 /// Run `attack` against `defense` for `trials` independent campaigns.
@@ -341,17 +454,28 @@ pub fn standard_suite() -> Vec<Box<dyn Attack>> {
     suite
 }
 
+/// Look up an attack by its report-row name (the `name()` of every
+/// member of [`standard_suite`] plus the adaptive extension). Campaign
+/// plans reference attacks by these names.
+pub fn by_name(name: &str) -> Option<Box<dyn Attack>> {
+    if name == "adaptive-same-invocation" || name == "adaptive" {
+        return Some(Box::new(adaptive::AdaptiveAttack));
+    }
+    standard_suite().into_iter().find(|a| a.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Mutex;
 
     /// A scripted attack whose per-run outcomes we control, to pin the
     /// campaign semantics (retry on abort; stop on anything noisy).
+    /// Interior state sits behind a `Mutex` so the type satisfies the
+    /// `Attack: Send + Sync` bound campaigns rely on.
     struct Scripted {
-        outcomes: Rc<RefCell<Vec<AttackOutcome>>>,
-        calls: Rc<RefCell<u32>>,
+        outcomes: Mutex<Vec<AttackOutcome>>,
+        calls: Mutex<u32>,
     }
 
     impl Attack for Scripted {
@@ -362,9 +486,10 @@ mod tests {
             "int main() { return 0; }"
         }
         fn attempt(&self, _build: &Build, _seed: u64) -> AttackOutcome {
-            *self.calls.borrow_mut() += 1;
+            *self.calls.lock().unwrap() += 1;
             self.outcomes
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .pop()
                 .unwrap_or(AttackOutcome::Aborted)
         }
@@ -373,8 +498,8 @@ mod tests {
     fn scripted(mut seq: Vec<AttackOutcome>) -> Scripted {
         seq.reverse(); // popped from the back
         Scripted {
-            outcomes: Rc::new(RefCell::new(seq)),
-            calls: Rc::new(RefCell::new(0)),
+            outcomes: Mutex::new(seq),
+            calls: Mutex::new(0),
         }
     }
 
@@ -388,7 +513,7 @@ mod tests {
         let build = Build::new(a.source(), DefenseKind::None, 1);
         let out = campaign(&a, &build, 42);
         assert!(out.is_success());
-        assert_eq!(*a.calls.borrow(), 3);
+        assert_eq!(*a.calls.lock().unwrap(), 3);
     }
 
     #[test]
@@ -401,7 +526,7 @@ mod tests {
         let build = Build::new(a.source(), DefenseKind::None, 1);
         let out = campaign(&a, &build, 42);
         assert!(matches!(out, AttackOutcome::Detected(_)));
-        assert_eq!(*a.calls.borrow(), 2);
+        assert_eq!(*a.calls.lock().unwrap(), 2);
     }
 
     #[test]
@@ -410,7 +535,7 @@ mod tests {
         let build = Build::new(a.source(), DefenseKind::None, 1);
         let out = campaign(&a, &build, 42);
         assert!(matches!(out, AttackOutcome::Failed(_)));
-        assert_eq!(*a.calls.borrow(), CAMPAIGN_BUDGET);
+        assert_eq!(*a.calls.lock().unwrap(), CAMPAIGN_BUDGET);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use smokestack_srng::SchemeKind;
 use smokestack_vm::{FnInput, Memory};
 
 use crate::intel::{probe, read_pseudo_state, scan_stack, PseudoOracle};
-use crate::{classify, Attack, AttackOutcome, Build};
+use crate::{conclude, Attack, AttackOutcome, Build, CommitFlag};
 
 /// The secret the attack exfiltrates.
 pub const SECRET: &str = "SK-3141592653589793-SECRET";
@@ -194,35 +194,23 @@ impl Attack for LibrelpAttack {
     }
 
     fn attempt(&self, build: &Build, run_seed: u64) -> AttackOutcome {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        let build_clone = build.clone();
 
-        let defense = build.defense;
-        let smokestack = build.deployment.smokestack.clone();
-        let build_clone = Build {
-            module: build.module.clone(),
-            defense,
-            deployment: build.deployment.clone(),
-            build_seed: build.build_seed,
-            tracer: build.tracer.clone(),
-        };
-        let _ = &smokestack;
-
-        let aborted = Rc::new(RefCell::new(false));
-        let committed = Rc::new(RefCell::new(false));
+        let aborted = CommitFlag::new();
+        let committed = CommitFlag::new();
         let aborted_c = aborted.clone();
         let committed_c = committed.clone();
 
         let mut vm = build.vm(run_seed);
         let adversary = FnInput(move |mem: &mut Memory, req, _max| {
-            if *aborted_c.borrow() {
+            if aborted_c.is_armed() {
                 return vec![];
             }
             match req {
                 0 => {
                     // First SAN: decide, then jump the cursor.
                     let Some(k) = LibrelpAttack::knowledge(&build_clone, run_seed, mem) else {
-                        *aborted_c.borrow_mut() = true;
+                        aborted_c.arm();
                         return vec![];
                     };
                     // The targeted write spans [ctl-9, ctl+7): prefix
@@ -237,7 +225,7 @@ impl Attack for LibrelpAttack {
                     // One capped jump: increment = 11 + len, len <= 4095.
                     let len = dist - 11;
                     if harmful || !(1..=4095).contains(&len) {
-                        *aborted_c.borrow_mut() = true;
+                        aborted_c.arm();
                         return vec![];
                     }
                     // Oversized SAN: truncated inside allNames, but the
@@ -246,7 +234,7 @@ impl Attack for LibrelpAttack {
                 }
                 1 => {
                     // Second SAN lands at ctl: [nsock=2][op=1][dst=2][src=1].
-                    *committed_c.borrow_mut() = true;
+                    committed_c.arm();
                     vec![2, 1, 2, 1]
                 }
                 _ => vec![], // end SAN list; later sessions benign
@@ -254,14 +242,13 @@ impl Attack for LibrelpAttack {
         });
         let out = vm.run_main(adversary);
         let goal = out.output_text().contains(SECRET);
-        if *aborted.borrow() && !goal {
-            return AttackOutcome::Aborted;
-        }
-        let outcome = classify(&out, goal, "private key exfiltrated via error output");
-        if !*committed.borrow() && !outcome.is_success() {
-            return AttackOutcome::Aborted;
-        }
-        outcome
+        conclude(
+            &out,
+            &committed,
+            goal,
+            "private key exfiltrated via error output",
+        )
+        .into_outcome()
     }
 }
 

@@ -24,7 +24,7 @@ use smokestack_srng::SchemeKind;
 use smokestack_vm::{FnInput, Memory};
 
 use crate::intel::{probe, read_pseudo_state, scan_stack, PseudoOracle};
-use crate::{classify, Attack, AttackOutcome, Build};
+use crate::{conclude, Attack, AttackOutcome, Build, CommitFlag};
 
 /// Attacker-chosen computation: `1000 + 700 - 58`.
 pub const EXPECTED: i64 = 1642;
@@ -128,16 +128,14 @@ impl Attack for Listing1Attack {
         }
 
         // --- Exploit run ---
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let aborted = Rc::new(RefCell::new(false));
-        let committed = Rc::new(RefCell::new(false));
+        let aborted = CommitFlag::new();
+        let committed = CommitFlag::new();
         let aborted_c = aborted.clone();
         let committed_c = committed.clone();
 
         let mut vm = build.vm(run_seed);
         let adversary = FnInput(move |mem: &mut Memory, req, _max| {
-            if *aborted_c.borrow() {
+            if aborted_c.is_armed() {
                 return vec![]; // stay benign for the rest of the run
             }
             if req == 0 {
@@ -147,7 +145,7 @@ impl Attack for Listing1Attack {
                     let report = smokestack.as_ref().expect("pseudo is smokestack");
                     let draw = PseudoOracle::last_draw(read_pseudo_state(mem));
                     if !favorable(&offsets_for_draw(report, draw)) {
-                        *aborted_c.borrow_mut() = true;
+                        aborted_c.arm();
                         return vec![];
                     }
                 }
@@ -198,7 +196,7 @@ impl Attack for Listing1Attack {
             } else {
                 0
             };
-            *committed_c.borrow_mut() = true;
+            committed_c.arm();
             for (k, &val) in [ctr, max, op, operand, acc_val].iter().enumerate() {
                 let d = offsets[k];
                 if d < 0 || d as usize + 8 > span {
@@ -211,21 +209,15 @@ impl Attack for Listing1Attack {
             payload
         });
         let out = vm.run_main(adversary);
-        if *aborted.borrow() {
-            return AttackOutcome::Aborted;
-        }
         let target_addr = vm.global_addr("target");
         let target = vm.mem().read_uint(target_addr, 8).unwrap_or(0) as i64;
-        let outcome = classify(
+        conclude(
             &out,
+            &committed,
             target == EXPECTED,
             &format!("target transformed to {EXPECTED}"),
-        );
-        if !*committed.borrow() && !outcome.is_success() {
-            // Never sent a corrupting payload: stealthy.
-            return AttackOutcome::Aborted;
-        }
-        outcome
+        )
+        .into_outcome()
     }
 }
 

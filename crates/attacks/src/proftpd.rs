@@ -22,7 +22,7 @@ use smokestack_defenses::DefenseKind;
 use smokestack_vm::{FnInput, Memory};
 
 use crate::intel::{probe, scan_stack};
-use crate::{classify, Attack, AttackOutcome, Build};
+use crate::{conclude, Attack, AttackOutcome, Build, CommitFlag};
 
 /// The secret the attack exfiltrates.
 pub const SECRET: &str = "PROFTPD-RSA-PRIVATE-0xDEADBEEF";
@@ -134,9 +134,7 @@ impl Attack for ProftpdAttack {
             return AttackOutcome::Aborted;
         }
 
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let committed = Rc::new(RefCell::new(false));
+        let committed = CommitFlag::new();
         let committed_c = committed.clone();
 
         let span = (d_nreq.max(d_deref).max(d_emit) + 8) as usize;
@@ -184,16 +182,18 @@ impl Attack for ProftpdAttack {
                 put(d_deref, 0);
                 put(d_emit, 0);
             }
-            *committed_c.borrow_mut() = true;
+            committed_c.arm();
             payload
         });
         let out = vm.run_main(adversary);
         let goal = out.output_text().contains(SECRET);
-        let outcome = classify(&out, goal, "private key extracted through pointer chain");
-        if !*committed.borrow() && !outcome.is_success() {
-            return AttackOutcome::Aborted;
-        }
-        outcome
+        conclude(
+            &out,
+            &committed,
+            goal,
+            "private key extracted through pointer chain",
+        )
+        .into_outcome()
     }
 }
 

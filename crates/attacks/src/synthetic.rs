@@ -26,7 +26,7 @@ use smokestack_srng::SchemeKind;
 use smokestack_vm::{FnInput, Memory};
 
 use crate::intel::{probe, read_pseudo_state, scan_stack, PseudoOracle};
-use crate::{classify, Attack, AttackOutcome, Build};
+use crate::{conclude, Attack, AttackOutcome, Build, CommitFlag};
 
 /// Base of the per-invocation tag main passes to `handle` — the anchor
 /// value the adversary scans for to locate the live frame.
@@ -211,14 +211,12 @@ impl Attack for DirectStack {
             }
         }
 
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let committed = Rc::new(RefCell::new(false));
+        let committed = CommitFlag::new();
         let committed_c = committed.clone();
 
         let mut vm = build.vm(run_seed);
         let adversary = FnInput(move |mem: &mut Memory, req, _max| {
-            if *committed_c.borrow() {
+            if committed_c.is_armed() {
                 return vec![]; // one shot per session
             }
             let Some(anchor) = find_anchor(mem, req) else {
@@ -241,7 +239,7 @@ impl Attack for DirectStack {
             let p2 = (k2_d - buf_d) as usize;
             payload[p1..p1 + 8].copy_from_slice(&287454020i64.to_le_bytes());
             payload[p2..p2 + 8].copy_from_slice(&1432778632i64.to_le_bytes());
-            *committed_c.borrow_mut() = true;
+            committed_c.arm();
             payload
         });
         let out = vm.run_main(adversary);
@@ -249,11 +247,13 @@ impl Attack for DirectStack {
             .mem()
             .read_uint(vm.global_addr("granted"), 8)
             .unwrap_or(0);
-        let outcome = classify(&out, granted >= 1, "authorization gates overwritten");
-        if !*committed.borrow() && !outcome.is_success() {
-            return AttackOutcome::Aborted;
-        }
-        outcome
+        conclude(
+            &out,
+            &committed,
+            granted >= 1,
+            "authorization gates overwritten",
+        )
+        .into_outcome()
     }
 }
 
@@ -321,14 +321,12 @@ impl Attack for IndirectStack {
 
         let granted_addr = build.vm(0).global_addr("granted");
 
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let committed = Rc::new(RefCell::new(false));
+        let committed = CommitFlag::new();
         let committed_c = committed.clone();
 
         let mut vm = build.vm(run_seed);
         let adversary = FnInput(move |mem: &mut Memory, req, _max| {
-            if *committed_c.borrow() {
+            if committed_c.is_armed() {
                 return vec![]; // one shot per session
             }
             let Some(anchor) = find_anchor(mem, req) else {
@@ -351,7 +349,7 @@ impl Attack for IndirectStack {
             let pp = (p_d - buf_d) as usize;
             payload[pv..pv + 8].copy_from_slice(&4242i64.to_le_bytes());
             payload[pp..pp + 8].copy_from_slice(&granted_addr.to_le_bytes());
-            *committed_c.borrow_mut() = true;
+            committed_c.arm();
             payload
         });
         let out = vm.run_main(adversary);
@@ -359,15 +357,13 @@ impl Attack for IndirectStack {
             .mem()
             .read_uint(vm.global_addr("granted"), 8)
             .unwrap_or(0);
-        let outcome = classify(
+        conclude(
             &out,
+            &committed,
             granted == 4242,
             "arbitrary write via corrupted pointer",
-        );
-        if !*committed.borrow() && !outcome.is_success() {
-            return AttackOutcome::Aborted;
-        }
-        outcome
+        )
+        .into_outcome()
     }
 }
 
@@ -464,14 +460,12 @@ fn indirect_attempt(build: &Build, run_seed: u64, magic: i64, filler: usize) -> 
         return AttackOutcome::Failed("recon failed".into());
     };
 
-    use std::cell::RefCell;
-    use std::rc::Rc;
-    let committed = Rc::new(RefCell::new(false));
+    let committed = CommitFlag::new();
     let committed_c = committed.clone();
 
     let mut vm = build.vm(run_seed);
     let adversary = FnInput(move |mem: &mut Memory, req, _max| {
-        if *committed_c.borrow() {
+        if committed_c.is_armed() {
             return vec![]; // one shot per session
         }
         let Some(anchor) = find_anchor(mem, req) else {
@@ -485,7 +479,7 @@ fn indirect_attempt(build: &Build, run_seed: u64, magic: i64, filler: usize) -> 
         let mut payload = vec![0x41u8; filler];
         payload.extend_from_slice(&gate_addr.to_le_bytes());
         payload.extend_from_slice(&magic.to_le_bytes());
-        *committed_c.borrow_mut() = true;
+        committed_c.arm();
         payload
     });
     let out = vm.run_main(adversary);
@@ -493,15 +487,13 @@ fn indirect_attempt(build: &Build, run_seed: u64, magic: i64, filler: usize) -> 
         .mem()
         .read_uint(vm.global_addr("granted"), 8)
         .unwrap_or(0);
-    let outcome = classify(
+    conclude(
         &out,
+        &committed,
         granted >= 1,
         "stack local hit through corrupted pointer",
-    );
-    if !*committed.borrow() && !outcome.is_success() {
-        return AttackOutcome::Aborted;
-    }
-    outcome
+    )
+    .into_outcome()
 }
 
 /// Heap-buffer overflow corrupting an adjacent heap control block.

@@ -21,7 +21,7 @@ use smokestack_defenses::DefenseKind;
 use smokestack_vm::{FnInput, Memory};
 
 use crate::intel::{probe, scan_stack};
-use crate::{classify, Attack, AttackOutcome, Build};
+use crate::{conclude, Attack, AttackOutcome, Build, CommitFlag};
 
 const TAG: i64 = 52717237772009216;
 
@@ -110,15 +110,13 @@ impl Attack for WiresharkAttack {
             return AttackOutcome::Aborted; // unusable static layout
         }
 
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let committed = Rc::new(RefCell::new(false));
+        let committed = CommitFlag::new();
         let committed_c = committed.clone();
 
         let span = (d_cell.max(d_cmd).max(d_arg) + 8) as usize;
         let mut vm = build.vm(run_seed);
         let adversary = FnInput(move |mem: &mut Memory, req, _max| {
-            if *committed_c.borrow() {
+            if committed_c.is_armed() {
                 return if req % 2 == 0 {
                     0u64.to_le_bytes().to_vec() // benign zero-length frames
                 } else {
@@ -165,7 +163,7 @@ impl Attack for WiresharkAttack {
                     put(d_cell, 2); // keep the dispatcher alive
                     put(d_cmd, 777); // fire the bot gadget
                     put(d_arg, 1);
-                    *committed_c.borrow_mut() = true;
+                    committed_c.arm();
                     payload
                 }
                 _ => vec![],
@@ -176,11 +174,7 @@ impl Attack for WiresharkAttack {
             .mem()
             .read_uint(vm.global_addr("bot_commands"), 8)
             .unwrap_or(0);
-        let outcome = classify(&out, bots >= 1, "bot command gadget executed");
-        if !*committed.borrow() && !outcome.is_success() {
-            return AttackOutcome::Aborted;
-        }
-        outcome
+        conclude(&out, &committed, bots >= 1, "bot command gadget executed").into_outcome()
     }
 }
 

@@ -1,0 +1,70 @@
+//! Measures how the Monte-Carlo campaign engine scales with worker
+//! count: the same plan is run at 1, 2, and 4 jobs (then up to the
+//! machine's parallelism) and wall-clock speedups are reported.
+//!
+//! Trials are embarrassingly parallel — each is an isolated VM over an
+//! `Arc`-shared module — so the engine should scale near-linearly
+//! until cores run out; the work-stealing queue keeps workers busy even
+//! though cells have wildly different per-trial costs (a brute-forcing
+//! librelp campaign burns ~48 restarts, an unprotected baseline one).
+//!
+//! Pass `--trials N` to scale the per-cell trial count (default 60)
+//! and `--plan smoke|matrix|full` to pick the grid (default matrix).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use smokestack_campaign::{run_campaign, CampaignPlan, EngineConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let trials: u32 = arg("--trials").and_then(|v| v.parse().ok()).unwrap_or(60);
+    let plan_name = arg("--plan").map(String::as_str).unwrap_or("matrix");
+    let plan = CampaignPlan::builtin(plan_name)
+        .unwrap_or_else(|| panic!("unknown builtin plan `{plan_name}`"))
+        .truncated(trials);
+
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut job_counts = vec![1, 2, 4];
+    if hw > 4 {
+        job_counts.push(hw);
+    }
+    job_counts.dedup();
+
+    println!("CAMPAIGN ENGINE SCALING");
+    println!(
+        "plan `{}`: {} trials across {} cells; {hw} hardware threads\n",
+        plan.name,
+        plan.total_trials(),
+        plan.cells.len()
+    );
+    println!(
+        "{:>5} {:>10} {:>9} {:>11}",
+        "jobs", "wall (s)", "speedup", "efficiency"
+    );
+
+    let mut baseline = None;
+    for &jobs in &job_counts {
+        let cfg = EngineConfig {
+            jobs,
+            ..EngineConfig::default()
+        };
+        let started = Instant::now();
+        let result = run_campaign(&plan, &cfg, &HashSet::new(), None).expect("builtin plan runs");
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(result.records.len() as u64, plan.total_trials());
+        let base = *baseline.get_or_insert(wall);
+        let speedup = base / wall;
+        println!(
+            "{jobs:>5} {wall:>10.2} {speedup:>8.2}x {:>10.0}%",
+            100.0 * speedup / jobs as f64
+        );
+    }
+}

@@ -476,7 +476,7 @@ pub fn guard_ablation(trials: u32) -> Vec<GuardAblation> {
             let mut module = smokestack_minic::compile(attack.source()).expect("attack program");
             let report = harden(&mut module, &cfg).unwrap();
             let build = Build {
-                module,
+                module: module.into(),
                 defense: DefenseKind::Smokestack(SchemeKind::Aes10),
                 deployment: smokestack_defenses::Deployment {
                     functions_modified: report.functions_instrumented,

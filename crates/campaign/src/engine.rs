@@ -1,0 +1,384 @@
+//! The parallel Monte-Carlo trial engine.
+//!
+//! A campaign is a grid of `(attack, defense, trial)` cells flattened
+//! into one task list, fanned across a [`WorkQueue`] of scoped worker
+//! threads. Three properties make the parallelism safe *and* the
+//! results reproducible:
+//!
+//! * **Per-trial seeds are positional, not temporal.** Every trial's
+//!   campaign seed is split off the plan's master seed by `(cell,
+//!   index)` via [`smokestack_rand::SeedStream`], so which worker runs
+//!   a trial — or whether it runs before or after a checkpoint/resume
+//!   boundary — cannot change its outcome. `--jobs 1` and `--jobs 8`
+//!   produce bit-identical aggregates.
+//! * **Workers share nothing mutable but the results.** The VM's
+//!   telemetry handles are deliberately single-threaded
+//!   (`Rc<RefCell<..>>`), so each worker deploys its *own* `Build` per
+//!   cell (the compiled module itself is shared copy-free behind an
+//!   `Arc`). Records funnel through a `Mutex<Vec<_>>` and, optionally,
+//!   a [`RecordSink`] journal.
+//! * **The journal is the checkpoint.** Each completed trial is one
+//!   JSONL line, written atomically; a killed campaign resumes by
+//!   parsing the journal and skipping the `(cell, index)` pairs
+//!   already present.
+
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use smokestack_attacks::{by_name, run_trial, Attack, Build};
+use smokestack_rand::SeedStream;
+use smokestack_telemetry::{CollectorConfig, MetricsRegistry, SharedCollector, SharedJsonlSink};
+
+use crate::plan::CampaignPlan;
+use crate::queue::WorkQueue;
+use crate::record::TrialRecord;
+
+/// Seed-stream domain for per-cell build seeds.
+const BUILD_DOMAIN: u64 = 0xb11d;
+/// Seed-stream domain for per-trial campaign seeds.
+const TRIAL_DOMAIN: u64 = 0x7261;
+
+/// The deterministic build seed for `cell` of a plan with `master_seed`.
+pub fn build_seed(master_seed: u64, cell: u32) -> u64 {
+    SeedStream::new(master_seed, BUILD_DOMAIN).seed(u64::from(cell))
+}
+
+/// The deterministic campaign seed for trial `index` of `cell`.
+pub fn trial_seed(master_seed: u64, cell: u32, index: u32) -> u64 {
+    let per_cell = SeedStream::new(master_seed, TRIAL_DOMAIN).seed(u64::from(cell));
+    SeedStream::new(per_cell, 1).seed(u64::from(index))
+}
+
+/// Where workers stream completed trial records (one JSON line each).
+pub trait RecordSink: Sync {
+    /// Append one pre-formatted JSON line.
+    fn write_line(&self, line: &str);
+}
+
+impl<W: Write + Send> RecordSink for SharedJsonlSink<W> {
+    fn write_line(&self, line: &str) {
+        SharedJsonlSink::write_line(self, line);
+    }
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Checkpoint hook: stop dispatching new trials once this many have
+    /// completed *in this run*. In-flight trials still finish, so up to
+    /// `jobs - 1` extra records may land. Tests use this to simulate a
+    /// campaign killed mid-grid.
+    pub stop_after: Option<u64>,
+    /// Attach a metrics collector to every trial VM and merge the
+    /// per-function P-BOX index frequency tables into the result's
+    /// registry, for chi-squared layout-uniformity checks.
+    pub trace_uniformity: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            jobs: 1,
+            stop_after: None,
+            trace_uniformity: false,
+        }
+    }
+}
+
+/// What a campaign run produced.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Records completed in *this* run (excludes resumed-over trials),
+    /// sorted by `(cell, index)`.
+    pub records: Vec<TrialRecord>,
+    /// Merged telemetry across all trial VMs. Empty unless
+    /// [`EngineConfig::trace_uniformity`] was set; the
+    /// `pbox_index.<function>` frequency tables aggregate layout draws
+    /// across every traced trial.
+    pub metrics: MetricsRegistry,
+    /// Whether `stop_after` tripped before the grid was finished.
+    pub stopped_early: bool,
+}
+
+/// One unit of work: a single trial campaign.
+struct Trial {
+    cell: u32,
+    index: u32,
+    seed: u64,
+}
+
+/// A worker's per-cell context: its own deployed build (telemetry
+/// handles are not `Send`, so builds are never shared across threads;
+/// the compiled module is shared behind an `Arc` inside `Build`).
+struct CellCtx {
+    attack: Box<dyn Attack>,
+    build: Build,
+    collector: Option<SharedCollector>,
+}
+
+fn make_ctx(plan: &CampaignPlan, cell: u32, trace: bool) -> CellCtx {
+    let spec = &plan.cells[cell as usize];
+    let attack = by_name(&spec.attack).expect("plan validated before spawn");
+    let mut build = Build::new(
+        attack.source(),
+        spec.defense,
+        build_seed(plan.master_seed, cell),
+    );
+    let collector = trace.then(|| {
+        SharedCollector::new(CollectorConfig {
+            ring_capacity: 16,
+            trace: false,
+            metrics: true,
+            profile: false,
+        })
+    });
+    if let Some(c) = &collector {
+        build = build.with_tracer(c.clone());
+    }
+    CellCtx {
+        attack,
+        build,
+        collector,
+    }
+}
+
+/// Run `plan` under `cfg`, skipping trials whose `(cell, index)` is in
+/// `done` (resume), streaming each completed record to `sink`.
+///
+/// Fails fast (before spawning anything) if a plan cell names an
+/// unknown attack.
+pub fn run_campaign(
+    plan: &CampaignPlan,
+    cfg: &EngineConfig,
+    done: &HashSet<(u32, u32)>,
+    sink: Option<&dyn RecordSink>,
+) -> Result<CampaignResult, String> {
+    for cell in &plan.cells {
+        if by_name(&cell.attack).is_none() {
+            return Err(format!("plan cell names unknown attack `{}`", cell.attack));
+        }
+    }
+
+    let mut tasks = Vec::new();
+    for (ci, cell) in plan.cells.iter().enumerate() {
+        let ci = u32::try_from(ci).expect("cell count fits u32");
+        for index in 0..cell.trials {
+            if !done.contains(&(ci, index)) {
+                tasks.push(Trial {
+                    cell: ci,
+                    index,
+                    seed: trial_seed(plan.master_seed, ci, index),
+                });
+            }
+        }
+    }
+
+    let jobs = cfg.jobs.max(1);
+    let queue = WorkQueue::new(jobs, tasks);
+    let results: Mutex<Vec<TrialRecord>> = Mutex::new(Vec::new());
+    let metrics: Mutex<MetricsRegistry> = Mutex::new(MetricsRegistry::new());
+    let completed = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let queue = &queue;
+            let results = &results;
+            let metrics = &metrics;
+            let completed = &completed;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut cache: HashMap<u32, CellCtx> = HashMap::new();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Some(task) = queue.pop(w) else { break };
+                    let ctx = cache
+                        .entry(task.cell)
+                        .or_insert_with(|| make_ctx(plan, task.cell, cfg.trace_uniformity));
+                    let run = run_trial(&*ctx.attack, &ctx.build, task.seed);
+                    let rec = TrialRecord::from_run(
+                        task.cell,
+                        task.index,
+                        ctx.attack.name(),
+                        &ctx.build.defense.label(),
+                        task.seed,
+                        &run,
+                    );
+                    if let Some(sink) = sink {
+                        sink.write_line(&rec.to_json_line());
+                    }
+                    results.lock().unwrap().push(rec);
+                    let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if cfg.stop_after.is_some_and(|cap| n >= cap) {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                // Fold this worker's layout-draw evidence into the
+                // campaign-wide registry.
+                for ctx in cache.values() {
+                    if let Some(c) = &ctx.collector {
+                        c.with(|c| metrics.lock().unwrap().merge(c.metrics()));
+                    }
+                }
+            });
+        }
+    });
+
+    let mut records = results.into_inner().unwrap();
+    records.sort_unstable_by_key(|r| (r.cell, r.index));
+    Ok(CampaignResult {
+        records,
+        metrics: metrics.into_inner().unwrap(),
+        stopped_early: stop.into_inner(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanCell;
+    use smokestack_defenses::DefenseKind;
+    use smokestack_srng::SchemeKind;
+
+    /// A small but non-trivial plan: an attack that mostly succeeds,
+    /// one that gets detected, and a stealthy-abort-heavy cell.
+    fn tiny_plan() -> CampaignPlan {
+        CampaignPlan {
+            name: "tiny".into(),
+            master_seed: 0x7e57,
+            cells: vec![
+                PlanCell {
+                    attack: "listing1-dop".into(),
+                    defense: DefenseKind::None,
+                    trials: 4,
+                },
+                PlanCell {
+                    attack: "listing1-dop".into(),
+                    defense: DefenseKind::Smokestack(SchemeKind::Pseudo),
+                    trials: 3,
+                },
+                PlanCell {
+                    attack: "synthetic-direct-stack".into(),
+                    defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+                    trials: 3,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates_are_identical_across_worker_counts() {
+        let plan = tiny_plan();
+        let run = |jobs: usize| {
+            run_campaign(
+                &plan,
+                &EngineConfig {
+                    jobs,
+                    ..EngineConfig::default()
+                },
+                &HashSet::new(),
+                None,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let wide = run(8);
+        assert_eq!(serial.records.len(), plan.total_trials() as usize);
+        // Not just equal aggregates: every individual record (outcome,
+        // rounds, detail) is bit-identical, because seeds are keyed by
+        // grid position rather than by scheduling order.
+        assert_eq!(serial.records, wide.records);
+        assert!(!serial.stopped_early && !wide.stopped_early);
+    }
+
+    #[test]
+    fn resume_skips_done_trials_and_seeds_stay_positional() {
+        let plan = tiny_plan();
+        let full = run_campaign(&plan, &EngineConfig::default(), &HashSet::new(), None).unwrap();
+        // Pretend the first 6 trials were journaled before a kill.
+        let done: HashSet<(u32, u32)> = full.records[..6]
+            .iter()
+            .map(|r| (r.cell, r.index))
+            .collect();
+        let resumed = run_campaign(&plan, &EngineConfig::default(), &done, None).unwrap();
+        assert_eq!(resumed.records, full.records[6..]);
+    }
+
+    #[test]
+    fn stop_after_checkpoints_mid_grid() {
+        let plan = tiny_plan();
+        let result = run_campaign(
+            &plan,
+            &EngineConfig {
+                jobs: 2,
+                stop_after: Some(4),
+                ..EngineConfig::default()
+            },
+            &HashSet::new(),
+            None,
+        )
+        .unwrap();
+        assert!(result.stopped_early);
+        let n = result.records.len() as u64;
+        assert!((4..=5).contains(&n), "completed {n} trials");
+    }
+
+    #[test]
+    fn uniformity_tracing_accumulates_pbox_tables() {
+        let plan = CampaignPlan {
+            name: "uniform".into(),
+            master_seed: 1,
+            cells: vec![PlanCell {
+                attack: "listing1-dop".into(),
+                defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+                trials: 2,
+            }],
+        };
+        let result = run_campaign(
+            &plan,
+            &EngineConfig {
+                jobs: 2,
+                trace_uniformity: true,
+                ..EngineConfig::default()
+            },
+            &HashSet::new(),
+            None,
+        )
+        .unwrap();
+        let tables: Vec<&str> = result.metrics.freq_tables().map(|(name, _)| name).collect();
+        assert!(
+            tables.iter().any(|n| n.starts_with("pbox_index.")),
+            "no P-BOX frequency tables collected: {tables:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_attacks_before_spawning() {
+        let plan = CampaignPlan {
+            name: "bad".into(),
+            master_seed: 0,
+            cells: vec![PlanCell {
+                attack: "no-such-attack".into(),
+                defense: DefenseKind::None,
+                trials: 1,
+            }],
+        };
+        assert!(run_campaign(&plan, &EngineConfig::default(), &HashSet::new(), None).is_err());
+    }
+
+    #[test]
+    fn trial_seeds_are_unique_across_the_grid() {
+        let mut seen = HashSet::new();
+        for cell in 0..32u32 {
+            for index in 0..64u32 {
+                assert!(seen.insert(trial_seed(42, cell, index)));
+            }
+        }
+    }
+}

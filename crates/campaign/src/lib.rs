@@ -1,0 +1,45 @@
+//! Parallel Monte-Carlo campaign engine for probabilistic security
+//! evaluation.
+//!
+//! The paper's security claims are statistical: Smokestack reduces a
+//! DOP adversary to brute-forcing a per-invocation permutation, so
+//! "the attack is stopped" really means "success probability is below
+//! some bound". A handful of fixed-seed trials cannot distinguish a
+//! working defense from a lucky one. This crate scales the evidence:
+//!
+//! * [`plan`] — declarative attack × defense × trial-count grids with
+//!   a master seed; built-in `smoke`, `matrix`, and `full` plans plus a
+//!   plan-file parser.
+//! * [`engine`] — a worker pool (scoped threads over a hand-rolled
+//!   work-stealing [`queue`]) running each trial in an isolated VM.
+//!   Per-trial seeds are split off the master seed by grid position,
+//!   so aggregates are bit-identical across `--jobs` settings.
+//! * [`record`] — one JSONL record per trial, streamed through a
+//!   shared sink; the journal doubles as the checkpoint for
+//!   kill/resume.
+//! * [`stats`] — Wilson score confidence intervals on success
+//!   probability, survival curves over adaptive-attacker restart
+//!   budgets, and (via the engine's merged telemetry) chi-squared
+//!   layout-uniformity evidence.
+//! * [`matrix`] — the pinned "security matrix v2": interval-based
+//!   bounds asserting that real-CVE attacks stay below a
+//!   paper-consistent success ceiling under secure schemes while fully
+//!   compromising the unprotected baseline.
+//!
+//! The `campaign` binary drives all of it from the command line.
+
+pub mod engine;
+pub mod matrix;
+pub mod plan;
+pub mod queue;
+pub mod record;
+pub mod stats;
+
+pub use engine::{build_seed, run_campaign, trial_seed, CampaignResult, EngineConfig, RecordSink};
+pub use matrix::{
+    bounds_for_plan, check, security_matrix_v2, smoke_bounds, MatrixBound, Violation,
+};
+pub use plan::{CampaignPlan, PlanCell};
+pub use queue::WorkQueue;
+pub use record::{journal_header, parse_journal, Journal, OutcomeKind, TrialRecord};
+pub use stats::{aggregate, wilson_interval, CellStats, SURVIVAL_BUDGETS, Z95};

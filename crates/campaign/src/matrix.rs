@@ -1,0 +1,323 @@
+//! Security matrix v2: interval-based regression bounds.
+//!
+//! The original security matrix (`tests/security_matrix.rs`) asserts
+//! exact outcomes on a handful of trials. This version is
+//! probabilistic: each pinned bound constrains the *Wilson 95%
+//! confidence interval* of a cell's success rate, so it scales to
+//! Monte-Carlo trial counts and distinguishes "we observed no
+//! successes" (weak) from "the 95% upper bound on success probability
+//! is below 10%" (strong, and exactly the paper's §V-C claim shape:
+//! real-CVE DOP attacks reduced to brute-force odds under AES-10 /
+//! RDRAND, full compromise of the unprotected baseline).
+
+use smokestack_defenses::DefenseKind;
+use smokestack_srng::SchemeKind;
+
+use crate::stats::CellStats;
+
+/// One pinned bound on a (attack, defense) cell.
+#[derive(Debug, Clone)]
+pub struct MatrixBound {
+    /// Attack name the bound applies to.
+    pub attack: &'static str,
+    /// Defense row the bound applies to.
+    pub defense: DefenseKind,
+    /// Wilson 95% *upper* bound on success probability must be ≤ this.
+    pub max_success_upper: Option<f64>,
+    /// Observed success rate must be ≥ this (point estimate).
+    pub min_success_rate: Option<f64>,
+}
+
+/// A bound the measured statistics violate (or could not be checked).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The bound that failed.
+    pub bound: MatrixBound,
+    /// What went wrong, with the measured numbers.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} vs {}: {}",
+            self.bound.attack,
+            self.bound.defense.label(),
+            self.message
+        )
+    }
+}
+
+/// The real-CVE case-study attacks (paper §V-C).
+pub const REAL_CVE_ATTACKS: [&str; 3] = [
+    "librelp-cve-2018-1000140",
+    "wireshark-cve-2014-2299",
+    "proftpd-cve-2006-5815",
+];
+
+/// The pinned bounds of security matrix v2, matching the cells of
+/// [`crate::plan::CampaignPlan::matrix`] (120 trials per cell):
+///
+/// * Every real-CVE attack fully compromises the unprotected baseline
+///   (success rate ≥ 99%: at most one failed trial in 120).
+/// * Under Smokestack with a secure scheme (AES-10, RDRAND) the attack
+///   is reduced to its paper-consistent residual, asserted on the
+///   Wilson 95% *upper* bound of the success rate:
+///   - librelp's non-linear primitive survives as pure brute force —
+///     guessing a P-BOX row across the 48-restart campaign budget
+///     measures ≈ 2% success per campaign (8/400 at calibration), so
+///     its upper bound is capped at 15%, far below any layout leak but
+///     leaving no room for the ≈ 2% residual to flake.
+///   - wireshark's and proftpd's linear sweeps cross the function-
+///     identifier guard slot deterministically, so their cap is 10%
+///     (0 successes in 120 trials gives an upper bound of ≈ 3.1%).
+pub fn security_matrix_v2() -> Vec<MatrixBound> {
+    let mut bounds = Vec::new();
+    for attack in REAL_CVE_ATTACKS {
+        bounds.push(MatrixBound {
+            attack,
+            defense: DefenseKind::None,
+            max_success_upper: None,
+            min_success_rate: Some(0.99),
+        });
+        let cap = if attack.starts_with("librelp") {
+            0.15
+        } else {
+            0.10
+        };
+        for scheme in [SchemeKind::Aes10, SchemeKind::Rdrand] {
+            bounds.push(MatrixBound {
+                attack,
+                defense: DefenseKind::Smokestack(scheme),
+                max_success_upper: Some(cap),
+                min_success_rate: None,
+            });
+        }
+    }
+    bounds
+}
+
+/// Regression bounds for the CI smoke plan
+/// ([`crate::plan::CampaignPlan::smoke`], 25 trials per cell): the
+/// cheap attacks must keep bypassing every weak defense (and the
+/// insecure `pseudo` ablation) while AES-10 holds them to a 15% upper
+/// bound (0/25 successes gives ≈ 13.3%).
+pub fn smoke_bounds() -> Vec<MatrixBound> {
+    let mut bounds = Vec::new();
+    for (attack, bypassed) in [
+        ("listing1-dop", DefenseKind::Canary),
+        ("listing1-dop", DefenseKind::Smokestack(SchemeKind::Pseudo)),
+        ("synthetic-direct-stack", DefenseKind::StackBase),
+        ("synthetic-direct-stack", DefenseKind::EntryPadding),
+    ] {
+        bounds.push(MatrixBound {
+            attack,
+            defense: bypassed,
+            max_success_upper: None,
+            min_success_rate: Some(0.99),
+        });
+    }
+    for attack in ["listing1-dop", "synthetic-direct-stack"] {
+        bounds.push(MatrixBound {
+            attack,
+            defense: DefenseKind::None,
+            max_success_upper: None,
+            min_success_rate: Some(0.99),
+        });
+        bounds.push(MatrixBound {
+            attack,
+            defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+            max_success_upper: Some(0.15),
+            min_success_rate: None,
+        });
+    }
+    bounds
+}
+
+/// The pinned bound set for a built-in plan, if it has one. The
+/// `matrix` and `full` plans carry the full v2 bounds; `smoke` has its
+/// own scaled-down set.
+pub fn bounds_for_plan(name: &str) -> Option<Vec<MatrixBound>> {
+    match name {
+        "matrix" | "full" => Some(security_matrix_v2()),
+        "smoke" => Some(smoke_bounds()),
+        _ => None,
+    }
+}
+
+/// Check `stats` against `bounds`. A bound whose cell was not measured
+/// is itself a violation — silently skipping an unmeasured cell is how
+/// regressions hide.
+pub fn check(stats: &[CellStats], bounds: &[MatrixBound]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for bound in bounds {
+        let cell = stats
+            .iter()
+            .find(|s| s.attack == bound.attack && s.defense == bound.defense.label());
+        let Some(cell) = cell else {
+            violations.push(Violation {
+                bound: bound.clone(),
+                message: "cell not measured by this campaign".into(),
+            });
+            continue;
+        };
+        if let Some(cap) = bound.max_success_upper {
+            if cell.ci.1 > cap {
+                violations.push(Violation {
+                    bound: bound.clone(),
+                    message: format!(
+                        "95% upper bound on success rate is {:.4} > {cap} \
+                         ({}/{} successes)",
+                        cell.ci.1,
+                        cell.successes(),
+                        cell.trials
+                    ),
+                });
+            }
+        }
+        if let Some(floor) = bound.min_success_rate {
+            if cell.success_rate < floor {
+                violations.push(Violation {
+                    bound: bound.clone(),
+                    message: format!(
+                        "success rate {:.4} < {floor} ({}/{} successes)",
+                        cell.success_rate,
+                        cell.successes(),
+                        cell.trials
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{OutcomeKind, TrialRecord};
+    use crate::stats::aggregate;
+
+    fn fake_cell(
+        cell: u32,
+        attack: &str,
+        defense: &str,
+        successes: u32,
+        total: u32,
+    ) -> Vec<TrialRecord> {
+        (0..total)
+            .map(|i| TrialRecord {
+                cell,
+                index: i,
+                attack: attack.into(),
+                defense: defense.into(),
+                seed: 0,
+                kind: if i < successes {
+                    OutcomeKind::Success
+                } else {
+                    OutcomeKind::Detected
+                },
+                rounds: 1,
+                detail: String::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_consistent_results_pass() {
+        let mut records = Vec::new();
+        for (i, attack) in REAL_CVE_ATTACKS.iter().enumerate() {
+            let base = i as u32 * 3;
+            // librelp retains its ≈2% brute-force residual; the sweep
+            // attacks are deterministically guard-detected.
+            let residual = if attack.starts_with("librelp") { 3 } else { 0 };
+            records.extend(fake_cell(base, attack, "none", 120, 120));
+            records.extend(fake_cell(
+                base + 1,
+                attack,
+                "smokestack/AES-10",
+                residual,
+                120,
+            ));
+            records.extend(fake_cell(
+                base + 2,
+                attack,
+                "smokestack/RDRAND",
+                residual,
+                120,
+            ));
+        }
+        let violations = check(&aggregate(&records), &security_matrix_v2());
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn leaky_defense_and_broken_attack_are_flagged() {
+        let mut records = Vec::new();
+        for (i, attack) in REAL_CVE_ATTACKS.iter().enumerate() {
+            let base = i as u32 * 3;
+            // Attack rotted: only succeeds half the time unprotected.
+            records.extend(fake_cell(base, attack, "none", 60, 120));
+            // Defense rotted: 30/120 successes → Wilson upper ≈ 0.33.
+            records.extend(fake_cell(base + 1, attack, "smokestack/AES-10", 30, 120));
+            records.extend(fake_cell(base + 2, attack, "smokestack/RDRAND", 0, 120));
+        }
+        let violations = check(&aggregate(&records), &security_matrix_v2());
+        // Per attack: one floor violation (none) + one cap violation
+        // (AES-10).
+        assert_eq!(violations.len(), 6, "{violations:?}");
+    }
+
+    #[test]
+    fn unmeasured_cells_are_violations() {
+        let violations = check(&[], &security_matrix_v2());
+        assert_eq!(violations.len(), security_matrix_v2().len());
+        assert!(violations[0].to_string().contains("not measured"));
+    }
+
+    #[test]
+    fn every_builtin_plan_covers_its_bounds() {
+        use crate::plan::CampaignPlan;
+        // Every pinned bound must name a cell its plan actually runs;
+        // otherwise --deny-regressions reports spurious "not measured"
+        // violations. Checked structurally (no trials executed).
+        for name in ["smoke", "matrix", "full"] {
+            let plan = CampaignPlan::builtin(name).unwrap();
+            let bounds = bounds_for_plan(name).unwrap();
+            for bound in &bounds {
+                assert!(
+                    plan.cells
+                        .iter()
+                        .any(|c| c.attack == bound.attack && c.defense == bound.defense),
+                    "plan `{name}` never measures {} vs {}",
+                    bound.attack,
+                    bound.defense.label()
+                );
+            }
+        }
+        assert!(bounds_for_plan("custom").is_none());
+    }
+
+    #[test]
+    fn zero_of_forty_clears_the_cap_with_confidence() {
+        // The arithmetic the pinned cap relies on: 0/40 → upper ≈
+        // 0.088 < 0.10, but 2/40 → upper ≈ 0.165 fails.
+        let clean = aggregate(&fake_cell(
+            0,
+            REAL_CVE_ATTACKS[0],
+            "smokestack/AES-10",
+            0,
+            40,
+        ));
+        assert!(clean[0].ci.1 < 0.10);
+        let leaky = aggregate(&fake_cell(
+            0,
+            REAL_CVE_ATTACKS[0],
+            "smokestack/AES-10",
+            2,
+            40,
+        ));
+        assert!(leaky[0].ci.1 > 0.10);
+    }
+}

@@ -1,0 +1,115 @@
+//! A hand-rolled work-stealing task queue (no external crates).
+//!
+//! Each worker owns a deque: it pops from the *front* of its own deque
+//! and, when empty, steals from the *back* of a sibling's. Trials are
+//! seeded round-robin, so every worker starts with an even share, and
+//! stealing from the opposite end keeps contention low — a thief and
+//! the owner only collide when a deque is nearly empty.
+//!
+//! Locking is a plain `Mutex` per deque rather than a lock-free
+//! Chase-Lev deque: campaign tasks are whole VM trials (milliseconds
+//! each), so queue overhead is noise and simplicity wins.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Fixed set of per-worker deques over tasks of type `T`.
+pub struct WorkQueue<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> WorkQueue<T> {
+    /// Distribute `tasks` round-robin across `workers` deques.
+    pub fn new(workers: usize, tasks: impl IntoIterator<Item = T>) -> WorkQueue<T> {
+        assert!(workers > 0, "need at least one worker");
+        let mut queues: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            queues[i % workers].push_back(task);
+        }
+        WorkQueue {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Next task for `worker`: its own front, else stolen from the
+    /// back of the first non-empty sibling (scanning from `worker + 1`
+    /// so thieves spread out instead of mobbing deque 0). `None` means
+    /// every deque is empty — with no producers, the queue is drained
+    /// for good and the worker can exit.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        if let Some(task) = self.queues[worker].lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        let n = self.queues.len();
+        for d in 1..n {
+            let victim = (worker + d) % n;
+            if let Some(task) = self.queues[victim].lock().unwrap().pop_back() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Tasks remaining across all deques (racy snapshot; exact only
+    /// when no worker is popping).
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.lock().unwrap().len()).sum()
+    }
+
+    /// Whether every deque is empty (same caveat as [`WorkQueue::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn seeds_round_robin_and_drains_in_own_order() {
+        let q = WorkQueue::new(2, 0..6);
+        // Worker 0 owns [0, 2, 4] and pops its own front first.
+        assert_eq!(q.pop(0), Some(0));
+        assert_eq!(q.pop(0), Some(2));
+        assert_eq!(q.pop(0), Some(4));
+        // Own deque empty: steal from worker 1's back.
+        assert_eq!(q.pop(0), Some(5));
+        assert_eq!(q.pop(1), Some(1));
+        assert_eq!(q.pop(1), Some(3));
+        assert_eq!(q.pop(1), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_workers_consume_each_task_exactly_once() {
+        const TASKS: usize = 1000;
+        const WORKERS: usize = 4;
+        let q = WorkQueue::new(WORKERS, 0..TASKS);
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let q = &q;
+                let seen = &seen;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    while let Some(t) = q.pop(w) {
+                        mine.push(t);
+                    }
+                    seen.lock().unwrap().extend(mine);
+                });
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), TASKS);
+        let unique: HashSet<usize> = seen.into_iter().collect();
+        assert_eq!(unique.len(), TASKS);
+    }
+}

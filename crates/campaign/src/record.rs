@@ -1,0 +1,301 @@
+//! Per-trial JSONL records and the campaign journal.
+//!
+//! The journal doubles as the checkpoint format: a header line pinning
+//! the plan fingerprint, then exactly one record per completed trial.
+//! Resuming a killed campaign is "parse the journal, skip every
+//! `(cell, index)` already present, append the rest" — no separate
+//! checkpoint file, no partial-state serialization.
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use smokestack_attacks::{AttackOutcome, TrialRun};
+use smokestack_telemetry::json::{parse_flat_object, push_json_str, JsonValue};
+
+use crate::plan::CampaignPlan;
+
+/// Coarse outcome class of one trial (the detail string carries the
+/// specifics: fault kind, leaked evidence, failure reason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeKind {
+    /// The attack achieved its goal.
+    Success,
+    /// A defense terminated the program.
+    Detected,
+    /// The program crashed without the goal being met.
+    Crashed,
+    /// Ran to completion, goal not met (includes exhausted campaigns).
+    Failed,
+    /// The adversary never committed (stealthy retreat).
+    Aborted,
+}
+
+impl OutcomeKind {
+    /// All kinds, in severity order.
+    pub const ALL: [OutcomeKind; 5] = [
+        OutcomeKind::Success,
+        OutcomeKind::Detected,
+        OutcomeKind::Crashed,
+        OutcomeKind::Failed,
+        OutcomeKind::Aborted,
+    ];
+
+    /// Stable wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutcomeKind::Success => "success",
+            OutcomeKind::Detected => "detected",
+            OutcomeKind::Crashed => "crashed",
+            OutcomeKind::Failed => "failed",
+            OutcomeKind::Aborted => "aborted",
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn from_label(s: &str) -> Option<OutcomeKind> {
+        OutcomeKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for OutcomeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One completed trial, as journaled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Index of the plan cell this trial belongs to.
+    pub cell: u32,
+    /// Trial index within the cell (`0..trials`).
+    pub index: u32,
+    /// Attack name (denormalized for self-contained journals).
+    pub attack: String,
+    /// Defense label (ditto).
+    pub defense: String,
+    /// The campaign seed this trial ran with.
+    pub seed: u64,
+    /// Outcome class.
+    pub kind: OutcomeKind,
+    /// Service restarts the adversary consumed (`1..=CAMPAIGN_BUDGET`).
+    pub rounds: u32,
+    /// Human-readable outcome detail (fault kind, goal evidence, ...).
+    pub detail: String,
+}
+
+impl TrialRecord {
+    /// Build a record from a finished [`TrialRun`].
+    pub fn from_run(
+        cell: u32,
+        index: u32,
+        attack: &str,
+        defense: &str,
+        seed: u64,
+        run: &TrialRun,
+    ) -> TrialRecord {
+        let (kind, detail) = match &run.outcome {
+            AttackOutcome::Success(e) => (OutcomeKind::Success, e.clone()),
+            AttackOutcome::Detected(f) => (OutcomeKind::Detected, f.to_string()),
+            AttackOutcome::Crashed(f) => (OutcomeKind::Crashed, f.to_string()),
+            AttackOutcome::Failed(r) => (OutcomeKind::Failed, r.clone()),
+            AttackOutcome::Aborted => (OutcomeKind::Aborted, String::new()),
+        };
+        TrialRecord {
+            cell,
+            index,
+            attack: attack.to_string(),
+            defense: defense.to_string(),
+            seed,
+            kind,
+            rounds: run.rounds,
+            detail,
+        }
+    }
+
+    /// Serialize as one flat JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"cell\":");
+        s.push_str(&self.cell.to_string());
+        s.push_str(",\"trial\":");
+        s.push_str(&self.index.to_string());
+        s.push_str(",\"attack\":");
+        push_json_str(&mut s, &self.attack);
+        s.push_str(",\"defense\":");
+        push_json_str(&mut s, &self.defense);
+        s.push_str(",\"seed\":");
+        s.push_str(&self.seed.to_string());
+        s.push_str(",\"outcome\":");
+        push_json_str(&mut s, self.kind.as_str());
+        s.push_str(",\"rounds\":");
+        s.push_str(&self.rounds.to_string());
+        s.push_str(",\"detail\":");
+        push_json_str(&mut s, &self.detail);
+        s.push('}');
+        s
+    }
+
+    /// Parse one journal line. `None` on anything malformed (a torn
+    /// final line from a killed run parses as `None` and is skipped).
+    pub fn from_json_line(line: &str) -> Option<TrialRecord> {
+        let obj = parse_flat_object(line)?;
+        let num = |k: &str| obj.get(k).and_then(JsonValue::as_u64);
+        let text = |k: &str| obj.get(k).and_then(|v| v.as_str().map(str::to_string));
+        Some(TrialRecord {
+            cell: u32::try_from(num("cell")?).ok()?,
+            index: u32::try_from(num("trial")?).ok()?,
+            attack: text("attack")?,
+            defense: text("defense")?,
+            seed: num("seed")?,
+            kind: OutcomeKind::from_label(obj.get("outcome")?.as_str()?)?,
+            rounds: u32::try_from(num("rounds")?).ok()?,
+            detail: text("detail")?,
+        })
+    }
+}
+
+/// The journal header line for `plan` (first line of every journal).
+pub fn journal_header(plan: &CampaignPlan) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"journal\":\"smokestack-campaign-v1\",\"plan\":");
+    push_json_str(&mut s, &plan.name);
+    s.push_str(",\"fingerprint\":");
+    s.push_str(&plan.fingerprint().to_string());
+    s.push_str(",\"master_seed\":");
+    s.push_str(&plan.master_seed.to_string());
+    s.push_str(",\"total_trials\":");
+    s.push_str(&plan.total_trials().to_string());
+    s.push('}');
+    s
+}
+
+/// A parsed journal: the records recovered from disk, deduplicated.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    /// Recovered records (first occurrence wins on duplicates).
+    pub records: Vec<TrialRecord>,
+    /// Malformed lines skipped (torn tail of a killed run).
+    pub skipped: usize,
+}
+
+impl Journal {
+    /// The set of `(cell, index)` pairs already completed.
+    pub fn done(&self) -> HashSet<(u32, u32)> {
+        self.records.iter().map(|r| (r.cell, r.index)).collect()
+    }
+}
+
+/// Parse journal `text` written for `plan`. Fails if the header is
+/// missing or was written by a different plan (wrong fingerprint) —
+/// resuming someone else's journal would silently corrupt aggregates.
+pub fn parse_journal(text: &str, plan: &CampaignPlan) -> Result<Journal, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("journal is empty")?;
+    let obj: BTreeMap<String, JsonValue> =
+        parse_flat_object(header).ok_or("journal header is not valid JSON")?;
+    if obj.get("journal").and_then(|v| v.as_str()) != Some("smokestack-campaign-v1") {
+        return Err("not a smokestack campaign journal".into());
+    }
+    let fp = obj
+        .get("fingerprint")
+        .and_then(JsonValue::as_u64)
+        .ok_or("journal header has no fingerprint")?;
+    if fp != plan.fingerprint() {
+        return Err(format!(
+            "journal was written for a different plan (fingerprint {fp} != {})",
+            plan.fingerprint()
+        ));
+    }
+    let mut journal = Journal::default();
+    let mut seen = HashSet::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TrialRecord::from_json_line(line) {
+            Some(rec) if seen.insert((rec.cell, rec.index)) => journal.records.push(rec),
+            Some(_) => {} // duplicate (e.g. double-resume): first wins
+            None => journal.skipped += 1,
+        }
+    }
+    Ok(journal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrialRecord {
+        TrialRecord {
+            cell: 3,
+            index: 17,
+            attack: "listing1-dop".into(),
+            defense: "smokestack/AES-10".into(),
+            seed: u64::MAX,
+            kind: OutcomeKind::Detected,
+            rounds: 5,
+            detail: "guard smashed in \"dispatcher\"".into(),
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = sample();
+        let parsed = TrialRecord::from_json_line(&rec.to_json_line()).unwrap();
+        assert_eq!(parsed, rec);
+    }
+
+    #[test]
+    fn outcome_labels_round_trip() {
+        for kind in OutcomeKind::ALL {
+            assert_eq!(OutcomeKind::from_label(kind.as_str()), Some(kind));
+        }
+        assert_eq!(OutcomeKind::from_label("woke"), None);
+    }
+
+    #[test]
+    fn journal_round_trips_and_skips_torn_tail() {
+        let plan = CampaignPlan::smoke();
+        let rec = sample();
+        let text = format!(
+            "{}\n{}\n{{\"cell\":1,\"tri", // torn final line (killed mid-write)
+            journal_header(&plan),
+            rec.to_json_line()
+        );
+        let journal = parse_journal(&text, &plan).unwrap();
+        assert_eq!(journal.records, vec![rec]);
+        assert_eq!(journal.skipped, 1);
+        assert!(journal.done().contains(&(3, 17)));
+    }
+
+    #[test]
+    fn journal_rejects_foreign_plans() {
+        let smoke = CampaignPlan::smoke();
+        let matrix = CampaignPlan::matrix();
+        let text = journal_header(&smoke);
+        assert!(parse_journal(&text, &smoke).is_ok());
+        let err = parse_journal(&text, &matrix).unwrap_err();
+        assert!(err.contains("different plan"), "{err}");
+        assert!(parse_journal("", &smoke).is_err());
+        assert!(parse_journal("not json\n", &smoke).is_err());
+    }
+
+    #[test]
+    fn duplicate_records_keep_first() {
+        let plan = CampaignPlan::smoke();
+        let mut a = sample();
+        let mut b = sample();
+        b.detail = "second write".into();
+        a.detail = "first write".into();
+        let text = format!(
+            "{}\n{}\n{}\n",
+            journal_header(&plan),
+            a.to_json_line(),
+            b.to_json_line()
+        );
+        let journal = parse_journal(&text, &plan).unwrap();
+        assert_eq!(journal.records.len(), 1);
+        assert_eq!(journal.records[0].detail, "first write");
+    }
+}

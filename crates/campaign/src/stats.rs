@@ -1,0 +1,251 @@
+//! Aggregation of trial records into interval estimates.
+//!
+//! Success counts over independent Bernoulli trials get a Wilson score
+//! interval — unlike the normal approximation it behaves at the
+//! boundaries (0 or n successes), which is exactly where a working
+//! defense lives. Survival curves answer the adaptive-attacker
+//! question: if the adversary is willing to burn `b` stealthy restarts,
+//! what is the probability the defense still holds?
+
+use std::collections::HashMap;
+
+use smokestack_attacks::CAMPAIGN_BUDGET;
+
+use crate::record::{OutcomeKind, TrialRecord};
+
+/// z for a two-sided 95% confidence interval.
+pub const Z95: f64 = 1.959964;
+
+/// Wilson score interval for `successes` out of `trials` at critical
+/// value `z`. Returns `(lo, hi)` in `[0, 1]`; `(0, 1)` for zero trials
+/// (no evidence constrains nothing).
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = p + z2 / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((center - margin) / denom).max(0.0),
+        ((center + margin) / denom).min(1.0),
+    )
+}
+
+/// Attempt budgets at which survival curves are sampled (log-spaced up
+/// to the campaign restart budget).
+pub const SURVIVAL_BUDGETS: [u32; 7] = [1, 2, 4, 8, 16, 32, CAMPAIGN_BUDGET];
+
+/// Aggregated statistics for one plan cell (attack × defense).
+#[derive(Debug, Clone)]
+pub struct CellStats {
+    /// Plan cell index.
+    pub cell: u32,
+    /// Attack name.
+    pub attack: String,
+    /// Defense label.
+    pub defense: String,
+    /// Trials aggregated.
+    pub trials: u64,
+    /// Count per outcome class, in [`OutcomeKind::ALL`] order.
+    pub counts: [u64; 5],
+    /// Mean restarts consumed per trial.
+    pub mean_rounds: f64,
+    /// Point estimate of attack success probability.
+    pub success_rate: f64,
+    /// Wilson 95% interval on the success probability.
+    pub ci: (f64, f64),
+    /// `(budget, survival)`: probability the defense holds when the
+    /// adversary is granted at most `budget` restarts, sampled at
+    /// [`SURVIVAL_BUDGETS`].
+    pub survival: Vec<(u32, f64)>,
+}
+
+impl CellStats {
+    /// Successes observed.
+    pub fn successes(&self) -> u64 {
+        self.counts[0]
+    }
+
+    /// Defense detections observed.
+    pub fn detections(&self) -> u64 {
+        self.counts[1]
+    }
+
+    /// Serialize as one flat JSON object (for `--json` reports).
+    pub fn to_json_line(&self) -> String {
+        use smokestack_telemetry::json::push_json_str;
+        let mut s = String::with_capacity(192);
+        s.push_str("{\"cell\":");
+        s.push_str(&self.cell.to_string());
+        s.push_str(",\"attack\":");
+        push_json_str(&mut s, &self.attack);
+        s.push_str(",\"defense\":");
+        push_json_str(&mut s, &self.defense);
+        s.push_str(",\"trials\":");
+        s.push_str(&self.trials.to_string());
+        for (kind, count) in OutcomeKind::ALL.iter().zip(self.counts) {
+            s.push_str(",\"");
+            s.push_str(kind.as_str());
+            s.push_str("\":");
+            s.push_str(&count.to_string());
+        }
+        // Fixed-point (×10⁶) so the flat parser's u64-only numbers can
+        // read reports back.
+        for (key, val) in [
+            ("rate_ppm", self.success_rate),
+            ("ci_lo_ppm", self.ci.0),
+            ("ci_hi_ppm", self.ci.1),
+        ] {
+            s.push_str(",\"");
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&(((val * 1e6).round() as u64).min(1_000_000)).to_string());
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Group `records` by plan cell and aggregate. Cells come back in plan
+/// order (ascending cell index).
+pub fn aggregate(records: &[TrialRecord]) -> Vec<CellStats> {
+    let mut groups: HashMap<u32, Vec<&TrialRecord>> = HashMap::new();
+    for rec in records {
+        groups.entry(rec.cell).or_default().push(rec);
+    }
+    let mut cells: Vec<u32> = groups.keys().copied().collect();
+    cells.sort_unstable();
+    cells
+        .into_iter()
+        .map(|cell| {
+            let recs = &groups[&cell];
+            let trials = recs.len() as u64;
+            let mut counts = [0u64; 5];
+            let mut rounds_sum = 0u64;
+            for rec in recs.iter() {
+                let slot = OutcomeKind::ALL
+                    .iter()
+                    .position(|k| *k == rec.kind)
+                    .expect("kind in ALL");
+                counts[slot] += 1;
+                rounds_sum += u64::from(rec.rounds);
+            }
+            let successes = counts[0];
+            let survival = SURVIVAL_BUDGETS
+                .iter()
+                .map(|&b| {
+                    let broken = recs
+                        .iter()
+                        .filter(|r| r.kind == OutcomeKind::Success && r.rounds <= b)
+                        .count() as f64;
+                    (b, 1.0 - broken / trials as f64)
+                })
+                .collect();
+            CellStats {
+                cell,
+                attack: recs[0].attack.clone(),
+                defense: recs[0].defense.clone(),
+                trials,
+                counts,
+                mean_rounds: rounds_sum as f64 / trials as f64,
+                success_rate: successes as f64 / trials as f64,
+                ci: wilson_interval(successes, trials, Z95),
+                survival,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cell: u32, index: u32, kind: OutcomeKind, rounds: u32) -> TrialRecord {
+        TrialRecord {
+            cell,
+            index,
+            attack: "a".into(),
+            defense: "d".into(),
+            seed: 0,
+            kind,
+            rounds,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn wilson_matches_known_values() {
+        // Canonical check: 0/40 at 95% → upper bound ≈ 0.0881.
+        let (lo, hi) = wilson_interval(0, 40, Z95);
+        assert_eq!(lo, 0.0);
+        assert!((hi - 0.0881).abs() < 5e-4, "hi = {hi}");
+        // 40/40 mirrors it: lower bound ≈ 0.9119.
+        let (lo, hi) = wilson_interval(40, 40, Z95);
+        assert!((lo - 0.9119).abs() < 5e-4, "lo = {lo}");
+        assert_eq!(hi, 1.0);
+        // Half successes: symmetric around 0.5.
+        let (lo, hi) = wilson_interval(20, 40, Z95);
+        assert!((lo + hi - 1.0).abs() < 1e-9);
+        assert!(lo < 0.5 && hi > 0.5);
+        // No evidence.
+        assert_eq!(wilson_interval(0, 0, Z95), (0.0, 1.0));
+    }
+
+    #[test]
+    fn interval_always_contains_point_estimate() {
+        for trials in [1u64, 7, 40, 1000] {
+            for successes in 0..=trials.min(50) {
+                let p = successes as f64 / trials as f64;
+                let (lo, hi) = wilson_interval(successes, trials, Z95);
+                assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "{successes}/{trials}");
+                assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_counts_and_survival() {
+        // 2 successes (at rounds 1 and 10) + 2 detections in cell 0.
+        let records = vec![
+            rec(0, 0, OutcomeKind::Success, 1),
+            rec(0, 1, OutcomeKind::Success, 10),
+            rec(0, 2, OutcomeKind::Detected, 1),
+            rec(0, 3, OutcomeKind::Detected, 2),
+            rec(1, 0, OutcomeKind::Failed, 48),
+        ];
+        let stats = aggregate(&records);
+        assert_eq!(stats.len(), 2);
+        let c0 = &stats[0];
+        assert_eq!(c0.trials, 4);
+        assert_eq!(c0.successes(), 2);
+        assert_eq!(c0.detections(), 2);
+        assert_eq!(c0.success_rate, 0.5);
+        // Budget 1: only the rounds-1 success counts → survival 0.75.
+        // Budget 16+: both successes → survival 0.5.
+        let at = |b: u32| {
+            c0.survival
+                .iter()
+                .find(|(budget, _)| *budget == b)
+                .unwrap()
+                .1
+        };
+        assert_eq!(at(1), 0.75);
+        assert_eq!(at(8), 0.75);
+        assert_eq!(at(16), 0.5);
+        assert_eq!(at(CAMPAIGN_BUDGET), 0.5);
+        // Cell 1: no successes, survival 1.0 everywhere.
+        assert!(stats[1].survival.iter().all(|&(_, s)| s == 1.0));
+    }
+
+    #[test]
+    fn stats_json_is_parseable() {
+        let stats = aggregate(&[rec(0, 0, OutcomeKind::Success, 1)]);
+        let obj = smokestack_telemetry::json::parse_flat_object(&stats[0].to_json_line()).unwrap();
+        assert_eq!(obj["success"].as_u64(), Some(1));
+        assert_eq!(obj["rate_ppm"].as_u64(), Some(1_000_000));
+    }
+}

@@ -88,6 +88,15 @@ impl DefenseKind {
             _ => SchemeKind::Aes10,
         }
     }
+
+    /// Parse a [`DefenseKind::label`] back into the kind (campaign plan
+    /// files name defenses by their row label). Case-insensitive.
+    pub fn from_label(label: &str) -> Option<DefenseKind> {
+        let want = label.trim().to_ascii_lowercase();
+        DefenseKind::MATRIX
+            .into_iter()
+            .find(|k| k.label().to_ascii_lowercase() == want)
+    }
 }
 
 impl fmt::Display for DefenseKind {
@@ -446,5 +455,17 @@ mod tests {
         let labels: std::collections::HashSet<String> =
             DefenseKind::MATRIX.iter().map(|k| k.label()).collect();
         assert_eq!(labels.len(), DefenseKind::MATRIX.len());
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for kind in DefenseKind::MATRIX {
+            assert_eq!(DefenseKind::from_label(&kind.label()), Some(kind));
+            assert_eq!(
+                DefenseKind::from_label(&kind.label().to_ascii_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(DefenseKind::from_label("no-such-defense"), None);
     }
 }

@@ -41,7 +41,7 @@ pub use event::{Event, GuardKind, TracedEvent};
 pub use metrics::{chi_squared_uniform, FreqTable, Histogram, MetricsRegistry};
 pub use profile::{FunctionCycles, Profiler};
 pub use ring::EventRing;
-pub use sink::{EventSink, JsonlSink, MemorySink};
+pub use sink::{EventSink, JsonlSink, MemorySink, SharedJsonlSink};
 
 /// The cycle-accounting categories of the VM's `CycleBreakdown`,
 /// mirrored here so the VM can report charges without a dependency

@@ -1,8 +1,10 @@
-//! Pluggable event sinks: in-memory capture and a JSONL writer.
+//! Pluggable event sinks: in-memory capture, a JSONL writer, and a
+//! thread-shareable JSONL sink for concurrent producers.
 
 use crate::event::TracedEvent;
 use crate::ring::EventRing;
-use std::io::{self, Write};
+use std::io::{self, BufWriter, Write};
+use std::sync::{Arc, Mutex};
 
 /// Consumes traced events (typically drained from an [`EventRing`]).
 pub trait EventSink {
@@ -84,6 +86,89 @@ impl<W: Write> EventSink for JsonlSink<W> {
     }
 }
 
+/// A JSONL sink that is safe to share across worker threads.
+///
+/// [`JsonlSink`] requires `&mut` exclusivity, which forces single-writer
+/// ownership; Monte-Carlo campaigns instead need every worker streaming
+/// records into one journal. `SharedJsonlSink` wraps a buffered
+/// [`JsonlSink`] in an `Arc<Mutex<_>>`: clones are cheap handles to the
+/// same journal, the lock is held per line (format outside, write
+/// inside), and each line is written atomically so concurrent records
+/// never interleave mid-line. Write errors stay sticky, exactly as in
+/// the single-threaded sink.
+pub struct SharedJsonlSink<W: Write + Send> {
+    inner: Arc<Mutex<JsonlSink<BufWriter<W>>>>,
+}
+
+impl<W: Write + Send> Clone for SharedJsonlSink<W> {
+    fn clone(&self) -> Self {
+        SharedJsonlSink {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<W: Write + Send> SharedJsonlSink<W> {
+    /// Wrap a writer (buffered internally).
+    pub fn new(writer: W) -> SharedJsonlSink<W> {
+        SharedJsonlSink {
+            inner: Arc::new(Mutex::new(JsonlSink::new(BufWriter::new(writer)))),
+        }
+    }
+
+    /// Write one pre-formatted JSON line (without trailing newline).
+    /// The mutex is held only for the write itself.
+    pub fn write_line(&self, line: &str) {
+        let mut sink = self.inner.lock().unwrap();
+        if sink.error.is_some() {
+            return;
+        }
+        match writeln!(sink.writer, "{line}") {
+            Ok(()) => sink.written += 1,
+            Err(e) => sink.error = Some(e),
+        }
+    }
+
+    /// Lines successfully written so far (across all handles).
+    pub fn written(&self) -> u64 {
+        self.inner.lock().unwrap().written()
+    }
+
+    /// Whether a write error has occurred (it is sticky).
+    pub fn has_error(&self) -> bool {
+        self.inner.lock().unwrap().error().is_some()
+    }
+
+    /// Flush buffered lines to the underlying writer without consuming
+    /// the sink (checkpointing: the journal on disk is complete up to
+    /// every record written so far).
+    pub fn flush(&self) -> io::Result<()> {
+        let mut sink = self.inner.lock().unwrap();
+        if let Some(e) = &sink.error {
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+        sink.writer.flush()
+    }
+
+    /// Flush and return the inner writer, or the sticky error. Fails if
+    /// other handles are still alive.
+    pub fn finish(self) -> io::Result<W> {
+        let sink = Arc::try_unwrap(self.inner)
+            .map_err(|_| io::Error::other("SharedJsonlSink handles still alive"))?
+            .into_inner()
+            .unwrap();
+        sink.finish()?.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write + Send> EventSink for SharedJsonlSink<W> {
+    fn record(&mut self, event: &TracedEvent, names: &[String]) {
+        // Format outside the lock; hold it only for the line write.
+        let line = event.to_json(names);
+        self.write_line(&line);
+    }
+}
+
 /// Drain every retained event of `ring` into `sink`, oldest first.
 pub fn drain_ring(ring: &EventRing, names: &[String], sink: &mut dyn EventSink) {
     for ev in ring.iter() {
@@ -146,6 +231,47 @@ mod tests {
         fn flush(&mut self) -> io::Result<()> {
             Ok(())
         }
+    }
+
+    #[test]
+    fn shared_sink_serializes_concurrent_writers() {
+        // N threads hammer one shared sink; every line must arrive
+        // intact (no interleaving) and the total count must match.
+        let sink = SharedJsonlSink::new(Vec::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let handle = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        handle.write_line(&format!("{{\"t\":{t},\"i\":{i}}}"));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.written(), 200);
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let mut per_thread = [0u32; 4];
+        for line in text.lines() {
+            let obj = crate::json::parse_flat_object(line).expect("intact line");
+            per_thread[obj["t"].as_u64().unwrap() as usize] += 1;
+        }
+        assert_eq!(per_thread, [50; 4]);
+    }
+
+    #[test]
+    fn shared_sink_is_an_event_sink() {
+        let mut ring = EventRing::new(8);
+        ring.push(1, Event::FuncEnter { func: 0, depth: 1 });
+        let sink = SharedJsonlSink::new(Vec::new());
+        let mut handle = sink.clone();
+        drain_ring(&ring, &names(), &mut handle);
+        drop(handle);
+        sink.flush().unwrap();
+        assert_eq!(sink.written(), 1);
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        let parsed = TracedEvent::from_json(text.lines().next().unwrap(), &names()).unwrap();
+        assert_eq!(parsed.now, 1);
     }
 
     #[test]

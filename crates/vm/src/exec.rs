@@ -2,6 +2,7 @@
 //! accounting.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 #[cfg(test)]
 use smokestack_ir::Type;
@@ -204,8 +205,14 @@ struct Frame {
 }
 
 /// The virtual machine: owns a loaded module image and executes it.
+///
+/// The module is held behind an [`Arc`], so spawning many VMs over the
+/// same build (Monte-Carlo trial campaigns, per-worker VM pools) shares
+/// one immutable image instead of deep-copying the IR per run; `Vm` only
+/// ever reads the module. `Module` itself is `Send`, so a build can be
+/// deployed once and fanned out across worker threads.
 pub struct Vm {
-    module: Module,
+    module: Arc<Module>,
     mem: Memory,
     cost: CostModel,
     scheme: SchemeKind,
@@ -240,12 +247,15 @@ pub struct Vm {
 }
 
 impl Vm {
-    /// Load `module` into a fresh address space.
+    /// Load `module` into a fresh address space. Accepts either an owned
+    /// [`Module`] or an [`Arc<Module>`]; passing a shared `Arc` makes VM
+    /// construction O(1) in module size.
     ///
     /// # Panics
     ///
     /// Panics if the globals do not fit the configured segments.
-    pub fn new(module: Module, cfg: VmConfig) -> Vm {
+    pub fn new(module: impl Into<Arc<Module>>, cfg: VmConfig) -> Vm {
+        let module = module.into();
         let mut trng = SeededTrng::new(cfg.trng_seed);
         use smokestack_srng::TrueRandom;
         let guard_key = trng.next_u64();

@@ -40,6 +40,7 @@
 
 pub use smokestack_analyzer as analyzer;
 pub use smokestack_attacks as attacks;
+pub use smokestack_campaign as campaign;
 pub use smokestack_core as core;
 pub use smokestack_defenses as defenses;
 pub use smokestack_ir as ir;

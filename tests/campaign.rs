@@ -1,0 +1,198 @@
+//! End-to-end tests of the Monte-Carlo campaign engine: journal
+//! checkpointing across a mid-grid kill, worker-count-independent
+//! aggregates, and interval-based matrix checking over real trials.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::Read as _;
+
+use smokestack_repro::campaign::{
+    aggregate, check, journal_header, parse_journal, run_campaign, wilson_interval, CampaignPlan,
+    EngineConfig, MatrixBound, PlanCell, Z95,
+};
+use smokestack_repro::defenses::DefenseKind;
+use smokestack_repro::srng::SchemeKind;
+use smokestack_repro::telemetry::SharedJsonlSink;
+
+/// A plan small enough for a debug-build test but spanning success,
+/// detection, and stealthy-abort behavior.
+fn test_plan() -> CampaignPlan {
+    CampaignPlan {
+        name: "kill-resume".into(),
+        master_seed: 0xdead_beef,
+        cells: vec![
+            PlanCell {
+                attack: "listing1-dop".into(),
+                defense: DefenseKind::None,
+                trials: 5,
+            },
+            PlanCell {
+                attack: "listing1-dop".into(),
+                defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+                trials: 4,
+            },
+            PlanCell {
+                attack: "synthetic-direct-stack".into(),
+                defense: DefenseKind::Canary,
+                trials: 5,
+            },
+        ],
+    }
+}
+
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "smokestack-campaign-{tag}-{}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn killed_campaign_resumes_without_duplicating_or_dropping_trials() {
+    let plan = test_plan();
+    let path = scratch_path("resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Phase 1: run with a mid-grid stop (simulating a kill) while
+    // journaling through the shared sink from two workers.
+    let sink = SharedJsonlSink::new(File::create(&path).unwrap());
+    sink.write_line(&journal_header(&plan));
+    let first = run_campaign(
+        &plan,
+        &EngineConfig {
+            jobs: 2,
+            stop_after: Some(6),
+            ..EngineConfig::default()
+        },
+        &HashSet::new(),
+        Some(&sink),
+    )
+    .unwrap();
+    sink.finish().unwrap();
+    assert!(first.stopped_early);
+    let done_first = first.records.len();
+    assert!(done_first < plan.total_trials() as usize);
+
+    // Phase 2: parse the journal back (as the CLI's --resume does) and
+    // finish the grid, appending to the same file.
+    let mut text = String::new();
+    File::open(&path)
+        .unwrap()
+        .read_to_string(&mut text)
+        .unwrap();
+    let journal = parse_journal(&text, &plan).unwrap();
+    assert_eq!(journal.records.len(), done_first);
+    let done = journal.done();
+
+    let sink = SharedJsonlSink::new(OpenOptions::new().append(true).open(&path).unwrap());
+    let second = run_campaign(
+        &plan,
+        &EngineConfig {
+            jobs: 2,
+            ..EngineConfig::default()
+        },
+        &done,
+        Some(&sink),
+    )
+    .unwrap();
+    sink.finish().unwrap();
+    assert!(!second.stopped_early);
+
+    // The merged journal holds exactly one record per planned trial.
+    let mut text = String::new();
+    File::open(&path)
+        .unwrap()
+        .read_to_string(&mut text)
+        .unwrap();
+    let merged = parse_journal(&text, &plan).unwrap();
+    assert_eq!(merged.skipped, 0, "no torn or duplicate lines");
+    assert_eq!(merged.records.len(), plan.total_trials() as usize);
+    let mut expected = HashSet::new();
+    for (ci, cell) in plan.cells.iter().enumerate() {
+        for t in 0..cell.trials {
+            expected.insert((ci as u32, t));
+        }
+    }
+    assert_eq!(merged.done(), expected);
+
+    // And the resumed run is indistinguishable from an uninterrupted
+    // one: positional seeds make every record identical.
+    let uninterrupted = run_campaign(&plan, &EngineConfig::default(), &HashSet::new(), None)
+        .unwrap()
+        .records;
+    let mut recovered = merged.records.clone();
+    recovered.sort_unstable_by_key(|r| (r.cell, r.index));
+    assert_eq!(recovered, uninterrupted);
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn aggregates_match_across_jobs_1_and_8() {
+    let plan = test_plan();
+    let run = |jobs| {
+        run_campaign(
+            &plan,
+            &EngineConfig {
+                jobs,
+                ..EngineConfig::default()
+            },
+            &HashSet::new(),
+            None,
+        )
+        .unwrap()
+        .records
+    };
+    let serial = run(1);
+    let wide = run(8);
+    assert_eq!(serial, wide);
+    // Aggregate view too: identical rates and intervals per cell.
+    let (a, b) = (aggregate(&serial), aggregate(&wide));
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.counts, y.counts);
+        assert_eq!(x.ci, y.ci);
+    }
+}
+
+#[test]
+fn interval_checked_matrix_over_real_trials() {
+    // A miniature of the pinned matrix v2, on real trials at test-size
+    // counts: listing1 compromises the unprotected baseline while
+    // AES-10 keeps its success interval below the smoke cap.
+    let plan = CampaignPlan {
+        name: "mini-matrix".into(),
+        master_seed: 0x1234,
+        cells: vec![
+            PlanCell {
+                attack: "listing1-dop".into(),
+                defense: DefenseKind::None,
+                trials: 6,
+            },
+            PlanCell {
+                attack: "listing1-dop".into(),
+                defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+                trials: 6,
+            },
+        ],
+    };
+    let result = run_campaign(&plan, &EngineConfig::default(), &HashSet::new(), None).unwrap();
+    let stats = aggregate(&result.records);
+    let bounds = vec![
+        MatrixBound {
+            attack: "listing1-dop",
+            defense: DefenseKind::None,
+            max_success_upper: None,
+            min_success_rate: Some(0.99),
+        },
+        MatrixBound {
+            attack: "listing1-dop",
+            defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+            // 0/6 successes → Wilson 95% upper ≈ 0.39.
+            max_success_upper: Some(wilson_interval(0, 6, Z95).1 + 1e-9),
+            min_success_rate: None,
+        },
+    ];
+    let violations = check(&stats, &bounds);
+    assert!(violations.is_empty(), "{violations:?}");
+}
