@@ -24,7 +24,6 @@
 
 use std::collections::{HashMap, HashSet};
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use smokestack_attacks::{by_name, run_trial, Attack, Build};
@@ -32,7 +31,7 @@ use smokestack_rand::SeedStream;
 use smokestack_telemetry::{CollectorConfig, MetricsRegistry, SharedCollector, SharedJsonlSink};
 
 use crate::plan::CampaignPlan;
-use crate::queue::WorkQueue;
+use crate::pool::run_pool;
 use crate::record::TrialRecord;
 
 /// Seed-stream domain for per-cell build seeds.
@@ -177,65 +176,47 @@ pub fn run_campaign(
         }
     }
 
-    let jobs = cfg.jobs.max(1);
-    let queue = WorkQueue::new(jobs, tasks);
-    let results: Mutex<Vec<TrialRecord>> = Mutex::new(Vec::new());
     let metrics: Mutex<MetricsRegistry> = Mutex::new(MetricsRegistry::new());
-    let completed = AtomicU64::new(0);
-    let stop = AtomicBool::new(false);
-
-    std::thread::scope(|scope| {
-        for w in 0..jobs {
-            let queue = &queue;
-            let results = &results;
-            let metrics = &metrics;
-            let completed = &completed;
-            let stop = &stop;
-            scope.spawn(move || {
-                let mut cache: HashMap<u32, CellCtx> = HashMap::new();
-                loop {
-                    if stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Some(task) = queue.pop(w) else { break };
-                    let ctx = cache
-                        .entry(task.cell)
-                        .or_insert_with(|| make_ctx(plan, task.cell, cfg.trace_uniformity));
-                    let run = run_trial(&*ctx.attack, &ctx.build, task.seed);
-                    let rec = TrialRecord::from_run(
-                        task.cell,
-                        task.index,
-                        ctx.attack.name(),
-                        &ctx.build.defense.label(),
-                        task.seed,
-                        &run,
-                    );
-                    if let Some(sink) = sink {
-                        sink.write_line(&rec.to_json_line());
-                    }
-                    results.lock().unwrap().push(rec);
-                    let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                    if cfg.stop_after.is_some_and(|cap| n >= cap) {
-                        stop.store(true, Ordering::Relaxed);
-                    }
+    let run = run_pool(
+        cfg.jobs,
+        tasks,
+        cfg.stop_after,
+        |_worker| HashMap::<u32, CellCtx>::new(),
+        |cache, task| {
+            let ctx = cache
+                .entry(task.cell)
+                .or_insert_with(|| make_ctx(plan, task.cell, cfg.trace_uniformity));
+            let run = run_trial(&*ctx.attack, &ctx.build, task.seed);
+            let rec = TrialRecord::from_run(
+                task.cell,
+                task.index,
+                ctx.attack.name(),
+                &ctx.build.defense.label(),
+                task.seed,
+                &run,
+            );
+            if let Some(sink) = sink {
+                sink.write_line(&rec.to_json_line());
+            }
+            rec
+        },
+        // Fold each worker's layout-draw evidence into the
+        // campaign-wide registry.
+        |cache| {
+            for ctx in cache.values() {
+                if let Some(c) = &ctx.collector {
+                    c.with(|c| metrics.lock().unwrap().merge(c.metrics()));
                 }
-                // Fold this worker's layout-draw evidence into the
-                // campaign-wide registry.
-                for ctx in cache.values() {
-                    if let Some(c) = &ctx.collector {
-                        c.with(|c| metrics.lock().unwrap().merge(c.metrics()));
-                    }
-                }
-            });
-        }
-    });
+            }
+        },
+    );
 
-    let mut records = results.into_inner().unwrap();
+    let mut records = run.results;
     records.sort_unstable_by_key(|r| (r.cell, r.index));
     Ok(CampaignResult {
         records,
         metrics: metrics.into_inner().unwrap(),
-        stopped_early: stop.into_inner(),
+        stopped_early: run.stopped_early,
     })
 }
 

@@ -10,8 +10,11 @@
 //! * [`plan`] — declarative attack × defense × trial-count grids with
 //!   a master seed; built-in `smoke`, `matrix`, and `full` plans plus a
 //!   plan-file parser.
-//! * [`engine`] — a worker pool (scoped threads over a hand-rolled
-//!   work-stealing [`queue`]) running each trial in an isolated VM.
+//! * [`pool`] — the reusable scoped-thread worker pool (over the
+//!   hand-rolled work-stealing [`queue`]) with per-worker non-`Send`
+//!   state; the engine here and the differential fuzzer both shard
+//!   onto it.
+//! * [`engine`] — runs each trial in an isolated VM on that pool.
 //!   Per-trial seeds are split off the master seed by grid position,
 //!   so aggregates are bit-identical across `--jobs` settings.
 //! * [`record`] — one JSONL record per trial, streamed through a
@@ -31,6 +34,7 @@
 pub mod engine;
 pub mod matrix;
 pub mod plan;
+pub mod pool;
 pub mod queue;
 pub mod record;
 pub mod stats;
@@ -40,6 +44,7 @@ pub use matrix::{
     bounds_for_plan, check, security_matrix_v2, smoke_bounds, MatrixBound, Violation,
 };
 pub use plan::{CampaignPlan, PlanCell};
+pub use pool::{run_pool, PoolRun};
 pub use queue::WorkQueue;
 pub use record::{journal_header, parse_journal, Journal, OutcomeKind, TrialRecord};
 pub use stats::{aggregate, wilson_interval, CellStats, SURVIVAL_BUDGETS, Z95};

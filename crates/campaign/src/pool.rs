@@ -1,0 +1,150 @@
+//! A reusable scoped-thread worker pool over the work-stealing
+//! [`WorkQueue`].
+//!
+//! The Monte-Carlo engine and the differential fuzzer share the same
+//! parallelism shape: a fixed task list fanned across `jobs` workers,
+//! each worker keeping private (non-`Send`) state — a build cache, a
+//! telemetry collector — that is created inside the worker thread and
+//! drained when the queue runs dry. This module is that shape, exposed
+//! as a public API so other subsystems stop re-rolling it.
+//!
+//! Determinism contract: the pool itself never introduces
+//! nondeterminism. Results are handed back *sorted by task index*, so
+//! as long as `step` derives everything from the task (never from the
+//! worker id, scheduling order, or shared mutable state), the result
+//! vector is bit-identical across `jobs` settings. Both the campaign
+//! engine's `--jobs 1` vs `--jobs 8` aggregate test and the fuzzer's
+//! shard-determinism test rest on this.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::queue::WorkQueue;
+
+/// What a pool run produced.
+#[derive(Debug)]
+pub struct PoolRun<R> {
+    /// One result per *completed* task, sorted by task index (the order
+    /// tasks were supplied in). Shorter than the task list only when
+    /// `stop_after` tripped.
+    pub results: Vec<R>,
+    /// Whether `stop_after` tripped before the task list was drained.
+    pub stopped_early: bool,
+}
+
+/// Fan `tasks` across `jobs` scoped worker threads.
+///
+/// * `init(worker)` builds each worker's private state inside its own
+///   thread, so the state need not be `Send` (telemetry collectors are
+///   `Rc`-based).
+/// * `step(state, task)` runs one task to a result.
+/// * `drain(state)` runs once per worker after its loop ends — the hook
+///   for folding worker-local evidence (merged metrics) into shared
+///   accumulators captured by the closure.
+/// * `stop_after`: stop dispatching new tasks once this many have
+///   completed across all workers; in-flight tasks still finish, so up
+///   to `jobs - 1` extra results may land.
+pub fn run_pool<T, S, R>(
+    jobs: usize,
+    tasks: impl IntoIterator<Item = T>,
+    stop_after: Option<u64>,
+    init: impl Fn(usize) -> S + Sync,
+    step: impl Fn(&mut S, &T) -> R + Sync,
+    drain: impl Fn(S) + Sync,
+) -> PoolRun<R>
+where
+    T: Send,
+    R: Send,
+{
+    let jobs = jobs.max(1);
+    let tasks: Vec<(usize, T)> = tasks.into_iter().enumerate().collect();
+    let queue = WorkQueue::new(jobs, tasks);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
+    let completed = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let queue = &queue;
+            let results = &results;
+            let completed = &completed;
+            let stop = &stop;
+            let init = &init;
+            let step = &step;
+            let drain = &drain;
+            scope.spawn(move || {
+                let mut state = init(w);
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Some((idx, task)) = queue.pop(w) else {
+                        break;
+                    };
+                    let r = step(&mut state, &task);
+                    results.lock().unwrap().push((idx, r));
+                    let n = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if stop_after.is_some_and(|cap| n >= cap) {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                }
+                drain(state);
+            });
+        }
+    });
+
+    let mut indexed = results.into_inner().unwrap();
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    PoolRun {
+        results: indexed.into_iter().map(|(_, r)| r).collect(),
+        stopped_early: stop.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_task_order_regardless_of_jobs() {
+        let tasks: Vec<u64> = (0..200).collect();
+        let serial = run_pool(1, tasks.clone(), None, |_| (), |_, t| t * 3, |_| {});
+        let wide = run_pool(8, tasks, None, |_| (), |_, t| t * 3, |_| {});
+        assert_eq!(serial.results, wide.results);
+        assert_eq!(serial.results[7], 21);
+        assert!(!serial.stopped_early && !wide.stopped_early);
+    }
+
+    #[test]
+    fn worker_state_may_be_non_send() {
+        // Rc is !Send: the state must be created and dropped inside the
+        // worker thread for this to compile at all.
+        let drained = AtomicUsize::new(0);
+        let run = run_pool(
+            4,
+            0..50u64,
+            None,
+            |_| Rc::new(std::cell::Cell::new(0u64)),
+            |s, t| {
+                s.set(s.get() + t);
+                *t
+            },
+            |s| {
+                drained.fetch_add(usize::try_from(s.get()).unwrap(), Ordering::Relaxed);
+            },
+        );
+        assert_eq!(run.results.len(), 50);
+        // Every task landed in exactly one worker's private sum.
+        assert_eq!(drained.into_inner(), (0..50).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn stop_after_halts_dispatch() {
+        let run = run_pool(2, 0..100u64, Some(10), |_| (), |_, t| *t, |_| {});
+        assert!(run.stopped_early);
+        let n = run.results.len();
+        assert!((10..=11).contains(&n), "completed {n}");
+    }
+}

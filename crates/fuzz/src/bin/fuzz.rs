@@ -1,0 +1,192 @@
+//! `fuzz` — run differential fuzzing campaigns from the command line.
+//!
+//! ```text
+//! fuzz --seeds 0:512 --jobs 4 --deny-divergences
+//! fuzz --seeds 0:64 --runs 4 --out triage/ --json
+//! fuzz --seeds 0:64 --expect-divergence --max-repro-stmts 25   # planted-bugs builds
+//! ```
+//!
+//! The seed window `A:B` is half-open and positional: case `s` behaves
+//! identically no matter how the window is split across invocations or
+//! `--jobs` workers, so CI shards and local reproductions always agree.
+
+use std::process::ExitCode;
+
+use smokestack_fuzz::{run_fuzz, FuzzConfig};
+
+struct Args {
+    seed_start: u64,
+    seed_end: u64,
+    jobs: usize,
+    runs: u32,
+    out: Option<String>,
+    json: bool,
+    minimize: bool,
+    deny_divergences: bool,
+    expect_divergence: bool,
+    max_repro_stmts: usize,
+}
+
+const USAGE: &str = "usage: fuzz [--seeds A:B] [--jobs N] [--runs R] [--out DIR] [--json] \
+[--no-minimize] [--deny-divergences] [--expect-divergence] [--max-repro-stmts N]
+
+  --seeds A:B          half-open case-seed window (default 0:64)
+  --jobs N             worker threads (default 1)
+  --runs R             layout draws per variant per case (default 2)
+  --out DIR            write repro-<seed>.mc / .json triage files to DIR
+  --json               print the summary and triage records as JSON lines
+  --no-minimize        skip AST minimization of diverging cases
+  --deny-divergences   exit 1 if any divergence or oracle violation is found
+  --expect-divergence  exit 1 unless a divergence IS found and minimizes small
+                       (oracle validation for planted-bugs builds)
+  --max-repro-stmts N  size bound for --expect-divergence repros (default 25)";
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("bad seed `{s}`"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed_start: 0,
+        seed_end: 64,
+        jobs: 1,
+        runs: 2,
+        out: None,
+        json: false,
+        minimize: true,
+        deny_divergences: false,
+        expect_divergence: false,
+        max_repro_stmts: 25,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--seeds" => {
+                let v = value("--seeds")?;
+                let (a, b) = v
+                    .split_once(':')
+                    .ok_or(format!("--seeds wants A:B, got `{v}`"))?;
+                args.seed_start = parse_seed(a)?;
+                args.seed_end = parse_seed(b)?;
+                if args.seed_start >= args.seed_end {
+                    return Err(format!("empty seed window `{v}`"));
+                }
+            }
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "bad --jobs value".to_string())?;
+            }
+            "--runs" => {
+                args.runs = value("--runs")?
+                    .parse()
+                    .map_err(|_| "bad --runs value".to_string())?;
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--json" => args.json = true,
+            "--no-minimize" => args.minimize = false,
+            "--deny-divergences" => args.deny_divergences = true,
+            "--expect-divergence" => args.expect_divergence = true,
+            "--max-repro-stmts" => {
+                args.max_repro_stmts = value("--max-repro-stmts")?
+                    .parse()
+                    .map_err(|_| "bad --max-repro-stmts value".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = run_fuzz(&FuzzConfig {
+        seed_start: args.seed_start,
+        seed_end: args.seed_end,
+        jobs: args.jobs,
+        runs_per_variant: args.runs,
+        minimize: args.minimize,
+        max_triage: 8,
+    });
+
+    if args.json {
+        println!("{}", report.summary_json());
+        for rec in &report.triage {
+            println!("{}", rec.to_json_line());
+        }
+    } else {
+        println!(
+            "fuzz: {} cases ({} flagged by analyzer), {} divergent, \
+             {} compile errors, {} oracle violations, {} harden failures",
+            report.cases,
+            report.analyzer_flagged,
+            report.divergent_cases,
+            report.compile_errors,
+            report.oracle_violations,
+            report.harden_failures
+        );
+        for rec in &report.triage {
+            println!(
+                "  seed {:#018x}: {} diverged ({}) — minimized {} -> {} stmts",
+                rec.seed, rec.variant, rec.kind, rec.stmts_before, rec.stmts_after
+            );
+        }
+    }
+
+    if let Some(dir) = &args.out {
+        for rec in &report.triage {
+            match rec.write_repro(std::path::Path::new(dir)) {
+                Ok((mc, _)) => eprintln!("fuzz: wrote {}", mc.display()),
+                Err(e) => {
+                    eprintln!("error: writing triage to {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if args.expect_divergence {
+        // Oracle validation: the fuzzer must find the planted bug and
+        // shrink it below the size bound.
+        if report.divergent_cases == 0 {
+            eprintln!("error: expected a divergence, found none (is the planted bug enabled?)");
+            return ExitCode::FAILURE;
+        }
+        if args.minimize {
+            let small_enough = report
+                .triage
+                .iter()
+                .any(|r| r.stmts_after <= args.max_repro_stmts);
+            if !small_enough {
+                eprintln!(
+                    "error: no reproducer minimized to <= {} statements",
+                    args.max_repro_stmts
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.deny_divergences && !report.is_clean() {
+        eprintln!("error: fuzzing found problems: {}", report.summary_json());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,463 @@
+//! The differential executor: one compile, many hardened variants.
+//!
+//! Each case is compiled **once**; every Smokestack variant (scheme ×
+//! `prune_safe_slots`) then hardens its own clone of the module and runs
+//! it in an isolated VM, several times with distinct TRNG seeds so
+//! several independent layout draws are exercised. The oracle is
+//! observational equivalence with the un-hardened baseline:
+//!
+//! * the same output events, in order, and
+//! * the same canonical exit (return value, `exit` code, or fault
+//!   *class* — fault addresses legitimately differ under layout
+//!   randomization and are excluded, as are cycle counts and peak RSS).
+//!
+//! Two cross-checking oracles ride along:
+//!
+//! * **No-fault oracle:** a program the static analyzer reports as free
+//!   of error-severity findings must not fault out of bounds in the
+//!   baseline VM — a violation means the analyzer or the generator is
+//!   wrong, and is reported either way.
+//! * **Prune oracle:** `prune_safe_slots` is behavior-preserving by
+//!   design, so the pruned variants run against the same baseline as
+//!   the unpruned ones; any difference is a divergence like any other.
+
+use std::sync::Arc;
+
+use smokestack_analyzer::analyze_module;
+use smokestack_core::{harden, SmokestackConfig};
+use smokestack_minic::compile;
+use smokestack_rand::SeedStream;
+use smokestack_srng::SchemeKind;
+use smokestack_vm::{Exit, FaultKind, RunOutcome, ScriptedInput, Vm, VmConfig};
+
+use crate::gen::FuzzCase;
+
+/// Seed-stream domain for per-run TRNG seeds (disjoint from the
+/// generator's domain on the same case seed).
+const TRNG_DOMAIN: u64 = 0x7269;
+
+/// One hardened configuration under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Variant {
+    /// Randomness scheme the VM serves to `stack_rng`.
+    pub scheme: SchemeKind,
+    /// Whether analyzer-driven safe-frame pruning is enabled.
+    pub prune: bool,
+}
+
+impl Variant {
+    /// Stable label used in triage records and reports.
+    pub fn label(&self) -> String {
+        if self.prune {
+            format!("smokestack/{}+prune", self.scheme)
+        } else {
+            format!("smokestack/{}", self.scheme)
+        }
+    }
+}
+
+/// The full variant matrix: every scheme, with and without pruning.
+pub fn variants() -> Vec<Variant> {
+    let mut v = Vec::new();
+    for prune in [false, true] {
+        for scheme in SchemeKind::ALL {
+            v.push(Variant { scheme, prune });
+        }
+    }
+    v
+}
+
+/// Differential-execution knobs.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Independent layout draws (VM runs with distinct TRNG seeds) per
+    /// variant, in addition to any pinned seeds.
+    pub runs_per_variant: u32,
+    /// Restrict the matrix to one variant (the minimizer narrows to the
+    /// variant that diverged and deepens the draw count instead).
+    pub only: Option<Variant>,
+    /// TRNG seeds tried *before* the derived ones. The minimizer pins
+    /// the seed that produced the original divergence, which keeps the
+    /// layout draws hitting the offending P-BOX row as long as the
+    /// shrinking program keeps the same frame signature.
+    pub pinned_seeds: Vec<u64>,
+    /// Return at the first divergence instead of collecting all of
+    /// them (the minimizer only needs a yes/no).
+    pub stop_at_first: bool,
+    /// VM fuel per run, or `None` for the generous `VmConfig` default.
+    /// The minimizer caps this hard: structural edits can turn a
+    /// bounded loop into an infinite one (say, by deleting a counter
+    /// update), and such a candidate must fault out of fuel in
+    /// milliseconds — identically in baseline and variant, so the edit
+    /// is simply rejected — instead of grinding through the default
+    /// budget on every predicate check.
+    pub fuel: Option<u64>,
+}
+
+impl Default for DiffConfig {
+    fn default() -> DiffConfig {
+        DiffConfig {
+            runs_per_variant: 2,
+            only: None,
+            pinned_seeds: Vec::new(),
+            stop_at_first: false,
+            fuel: None,
+        }
+    }
+}
+
+/// Everything compared between baseline and variant runs. Cycle counts,
+/// instruction counts, peak RSS, and fault addresses are deliberately
+/// absent: they legitimately vary with the layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// Canonical exit: `return:N`, `exit:N`, `return-void`, or
+    /// `fault:<class>`.
+    pub exit: String,
+    /// Canonicalized output events, in order.
+    pub output: Vec<String>,
+}
+
+/// Canonicalize a run for comparison.
+pub fn observe(out: &RunOutcome) -> Observation {
+    Observation {
+        exit: exit_class(&out.exit),
+        output: out.output.iter().map(event_str).collect(),
+    }
+}
+
+fn event_str(ev: &smokestack_vm::OutputEvent) -> String {
+    match ev {
+        smokestack_vm::OutputEvent::Int(v) => format!("i:{v}"),
+        smokestack_vm::OutputEvent::Str(b) => format!("s:{}", escape_bytes(b)),
+    }
+}
+
+/// Printable ASCII stays itself; everything else becomes `\xNN`. The
+/// mapping is injective, so string equality is byte equality.
+fn escape_bytes(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len());
+    for &b in bytes {
+        if (0x20..0x7f).contains(&b) && b != b'\\' {
+            s.push(b as char);
+        } else {
+            s.push_str(&format!("\\x{b:02x}"));
+        }
+    }
+    s
+}
+
+/// The exit, with layout-dependent detail (addresses, lengths) erased
+/// but the fault *class* — and the faulting function for defense
+/// detections — retained.
+pub fn exit_class(exit: &Exit) -> String {
+    match exit {
+        Exit::Return(v) => format!("return:{v}"),
+        Exit::ReturnVoid => "return-void".into(),
+        Exit::Exited(c) => format!("exit:{c}"),
+        Exit::Fault(f) => match f {
+            FaultKind::Mem(m) if m.write => "fault:mem-write".into(),
+            FaultKind::Mem(_) => "fault:mem-read".into(),
+            FaultKind::StackOverflow => "fault:stack-overflow".into(),
+            FaultKind::DivByZero => "fault:div-by-zero".into(),
+            FaultKind::OutOfFuel => "fault:out-of-fuel".into(),
+            FaultKind::BadIndirectCall(_) => "fault:bad-indirect-call".into(),
+            FaultKind::GuardViolation { func } => format!("fault:guard:{func}"),
+            FaultKind::CanarySmashed { func } => format!("fault:canary:{func}"),
+            FaultKind::UnreachableExecuted => "fault:unreachable".into(),
+        },
+    }
+}
+
+/// How a variant run differed from the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// Output events differ.
+    Output,
+    /// Exit class or value differs.
+    Exit,
+}
+
+impl DivergenceKind {
+    /// Stable label for triage records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DivergenceKind::Output => "output",
+            DivergenceKind::Exit => "exit",
+        }
+    }
+}
+
+/// One observed baseline/variant mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Variant that diverged.
+    pub variant: Variant,
+    /// Which of the variant's runs (0-based) diverged.
+    pub run: u32,
+    /// TRNG seed of the diverging run (replays the exact layout draws).
+    pub trng_seed: u64,
+    /// What differed first.
+    pub kind: DivergenceKind,
+    /// The baseline observation.
+    pub baseline: Observation,
+    /// The diverging observation.
+    pub observed: Observation,
+}
+
+/// Everything the differential run learned about one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseResult {
+    /// The case seed.
+    pub seed: u64,
+    /// Front-end rejection of generated source (a generator bug).
+    pub compile_error: Option<String>,
+    /// Error-severity analyzer findings (flagged cases are excluded
+    /// from the divergence oracle but still counted).
+    pub analyzer_errors: usize,
+    /// No-fault oracle violation: the analyzer called the program clean
+    /// but the baseline VM faulted out of bounds.
+    pub oracle_oob: bool,
+    /// Variants whose hardening pass itself failed (pipeline bug).
+    pub harden_errors: Vec<String>,
+    /// All baseline/variant mismatches.
+    pub divergences: Vec<Divergence>,
+}
+
+impl CaseResult {
+    /// Whether anything is wrong with this case (any oracle tripped).
+    pub fn is_divergent(&self) -> bool {
+        !self.divergences.is_empty()
+    }
+
+    /// Whether the case demands attention (divergence, oracle
+    /// violation, or a pipeline failure).
+    pub fn is_finding(&self) -> bool {
+        self.is_divergent()
+            || self.oracle_oob
+            || self.compile_error.is_some()
+            || !self.harden_errors.is_empty()
+    }
+}
+
+/// Deterministic TRNG seed for run `run` of variant `vi` of `case_seed`.
+pub fn trng_seed(case_seed: u64, vi: usize, run: u32) -> u64 {
+    SeedStream::new(case_seed, TRNG_DOMAIN).seed((vi as u64) << 32 | u64::from(run))
+}
+
+fn run_vm(
+    module: &Arc<smokestack_ir::Module>,
+    scheme: SchemeKind,
+    seed: u64,
+    fuel: Option<u64>,
+    case: &FuzzCase,
+) -> RunOutcome {
+    let defaults = VmConfig::default();
+    let mut vm = Vm::new(
+        Arc::clone(module),
+        VmConfig {
+            scheme,
+            trng_seed: seed,
+            fuel: fuel.unwrap_or(defaults.fuel),
+            ..defaults
+        },
+    );
+    vm.run_main(ScriptedInput::new(case.inputs.iter().cloned()))
+}
+
+/// Compile `case` once and run the full differential matrix.
+pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> CaseResult {
+    let mut result = CaseResult {
+        seed: case.seed,
+        compile_error: None,
+        analyzer_errors: 0,
+        oracle_oob: false,
+        harden_errors: Vec::new(),
+        divergences: Vec::new(),
+    };
+
+    let module = match compile(&case.source) {
+        Ok(m) => m,
+        Err(e) => {
+            result.compile_error = Some(e.to_string());
+            return result;
+        }
+    };
+    result.analyzer_errors = analyze_module(&module).error_count();
+
+    // Baseline: the raw module, no instrumentation. Its behavior must
+    // not depend on the scheme (stack_rng never runs); one run suffices.
+    let base_module = Arc::new(module.clone());
+    let base_out = run_vm(&base_module, SchemeKind::Aes10, 0, cfg.fuel, case);
+    let baseline = observe(&base_out);
+
+    if result.analyzer_errors == 0 {
+        result.oracle_oob = matches!(
+            &base_out.exit,
+            Exit::Fault(FaultKind::Mem(_)) | Exit::Fault(FaultKind::StackOverflow)
+        );
+    } else {
+        // Flagged programs carry no behavioral guarantee; counting them
+        // is the whole report.
+        return result;
+    }
+
+    let matrix: Vec<Variant> = match cfg.only {
+        Some(v) => vec![v],
+        None => variants(),
+    };
+    for (vi, variant) in matrix.iter().enumerate() {
+        let mut hardened = module.clone();
+        let ss_cfg = SmokestackConfig {
+            prune_safe_slots: variant.prune,
+            ..SmokestackConfig::default()
+        };
+        if let Err(e) = harden(&mut hardened, &ss_cfg) {
+            result
+                .harden_errors
+                .push(format!("{}: {e:?}", variant.label()));
+            continue;
+        }
+        let hardened = Arc::new(hardened);
+        let seeds: Vec<u64> = cfg
+            .pinned_seeds
+            .iter()
+            .copied()
+            .chain((0..cfg.runs_per_variant).map(|run| trng_seed(case.seed, vi, run)))
+            .collect();
+        for (run, seed) in seeds.into_iter().enumerate() {
+            let out = run_vm(&hardened, variant.scheme, seed, cfg.fuel, case);
+            let obs = observe(&out);
+            if obs != baseline {
+                let kind = if obs.output != baseline.output {
+                    DivergenceKind::Output
+                } else {
+                    DivergenceKind::Exit
+                };
+                result.divergences.push(Divergence {
+                    variant: *variant,
+                    run: run as u32,
+                    trng_seed: seed,
+                    kind,
+                    baseline: baseline.clone(),
+                    observed: obs,
+                });
+                if cfg.stop_at_first {
+                    return result;
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[cfg(not(feature = "planted-bugs"))]
+    use crate::gen::generate;
+    use smokestack_minic::parse;
+
+    fn case_from_source(source: &str, inputs: Vec<Vec<u8>>) -> FuzzCase {
+        FuzzCase {
+            seed: 0,
+            program: parse(source).unwrap(),
+            source: source.to_string(),
+            inputs,
+        }
+    }
+
+    #[test]
+    fn variant_matrix_is_schemes_times_pruning() {
+        let v = variants();
+        assert_eq!(v.len(), 8);
+        assert_eq!(v[0].label(), "smokestack/pseudo");
+        assert!(v[7].label().ends_with("+prune"));
+    }
+
+    #[test]
+    fn exit_classes_drop_addresses_but_keep_fault_class() {
+        let src =
+            "int main() { char b[4]; b[1] = 1; long x = 3000000; long *p = &x; return *p / 1000; }";
+        let case = case_from_source(src, vec![]);
+        let r = run_case(&case, &DiffConfig::default());
+        assert!(r.compile_error.is_none());
+        assert_eq!(r.analyzer_errors, 0);
+        assert!(!r.oracle_oob);
+    }
+
+    #[cfg(not(feature = "planted-bugs"))]
+    #[test]
+    fn hardened_variants_match_baseline_on_known_good_program() {
+        let src = r#"
+            long acc = 1;
+            long work(long k) {
+                long tmp = k * 3;
+                char buf[8];
+                memset(buf, 65, 8);
+                buf[7] = 0;
+                print_str(buf);
+                return tmp + strlen(buf);
+            }
+            int main() {
+                long total = 0;
+                long i = 0;
+                while (i < 4) { total = total + work(i); i = i + 1; }
+                acc = acc + total;
+                print_int(total);
+                print_int(acc);
+                return 2;
+            }
+        "#;
+        let case = case_from_source(src, vec![]);
+        let r = run_case(&case, &DiffConfig::default());
+        assert!(r.harden_errors.is_empty(), "{:?}", r.harden_errors);
+        assert!(r.divergences.is_empty(), "{:#?}", r.divergences[0]);
+    }
+
+    #[cfg(not(feature = "planted-bugs"))]
+    #[test]
+    fn generated_cases_do_not_diverge() {
+        for seed in 0..16 {
+            let case = generate(seed);
+            let r = run_case(&case, &DiffConfig::default());
+            assert!(
+                r.compile_error.is_none(),
+                "seed {seed}: {:?}",
+                r.compile_error
+            );
+            assert_eq!(
+                r.analyzer_errors, 0,
+                "seed {seed} flagged:\n{}",
+                case.source
+            );
+            assert!(!r.oracle_oob, "seed {seed} oob:\n{}", case.source);
+            assert!(
+                r.divergences.is_empty(),
+                "seed {seed} diverged: {:#?}\n{}",
+                r.divergences[0],
+                case.source
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_input_reaches_the_program() {
+        let src = r#"
+            int main() {
+                char b[8];
+                memset(b, 0, 8);
+                long r = get_input(b, 8);
+                b[7] = 0;
+                print_int(r);
+                print_str(b);
+                return 0;
+            }
+        "#;
+        let case = case_from_source(src, vec![b"hi".to_vec()]);
+        let module = compile(&case.source).unwrap();
+        let out = run_vm(&Arc::new(module), SchemeKind::Aes10, 0, None, &case);
+        let obs = observe(&out);
+        assert_eq!(obs.output, vec!["i:2".to_string(), "s:hi".to_string()]);
+    }
+}

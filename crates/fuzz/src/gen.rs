@@ -1,0 +1,981 @@
+//! Grammar-based generation of *safe-by-construction* MiniC programs.
+//!
+//! The differential oracle (baseline vs. hardened variants must be
+//! observationally identical) is only meaningful for programs whose
+//! behavior does not legitimately depend on the stack layout. The
+//! generator therefore enforces, by construction rather than by
+//! filtering:
+//!
+//! * **Termination.** Every loop is either literally bounded
+//!   (`for (i = 0; i < K; ...)` with `K` a small constant) or driven by
+//!   a dedicated counter no other statement may write; helper `f_i` can
+//!   only call helpers `f_j` with `j < i`, so the call graph is acyclic.
+//! * **Layout independence.** Programs never observe addresses:
+//!   address-of only feeds pointer variables that are used through
+//!   plain dereference, never pointer arithmetic or comparisons.
+//! * **Full initialization.** Every scalar is declared with an
+//!   initializer; every array is filled (memset or an index loop)
+//!   immediately after its declaration, and every `char` array keeps a
+//!   NUL in its last byte so `strlen`/`print_str` stay in bounds.
+//!   Uninitialized stack reads would *legitimately* diverge under
+//!   layout randomization — they read whatever the permuted frame left
+//!   there — so they must never be generated.
+//! * **In-bounds accesses.** Constant indices are drawn below the array
+//!   length; variable indices only ever come from the governing loop
+//!   counter; `memset`/`memcpy`/`get_input` capacities never exceed the
+//!   destination. This keeps generated programs analyzer-clean (zero
+//!   error-severity findings), which the no-fault oracle relies on.
+//! * **Defined arithmetic.** Divisors and shift amounts are nonzero /
+//!   in-range literals, so no division faults and no unspecified
+//!   shifts.
+//!
+//! Everything is derived from one `u64` seed through
+//! [`smokestack_rand::SeedStream`], so a case is reproducible from its
+//! seed alone and seed windows can be sharded freely across workers.
+
+use smokestack_minic::ast::{
+    BinOpKind, Expr, FuncDef, GlobalDef, GlobalInitAst, LocalDecl, Param, Program, Stmt, StructDef,
+    TypeExpr, UnOpKind,
+};
+use smokestack_minic::{print_program, Pos};
+use smokestack_rand::{Rng, SeedStream};
+
+/// Seed-stream domain separating program-shape draws from everything
+/// else derived from the same case seed (e.g. per-run TRNG seeds).
+const GEN_DOMAIN: u64 = 0xf0_22;
+
+/// One generated differential test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzCase {
+    /// The seed that reproduces this case bit-for-bit.
+    pub seed: u64,
+    /// The generated AST (the minimizer edits this).
+    pub program: Program,
+    /// Pretty-printed source (what actually gets compiled).
+    pub source: String,
+    /// Scripted input chunks, one per `get_input` site in order.
+    pub inputs: Vec<Vec<u8>>,
+}
+
+/// Neutral position for synthesized AST nodes.
+const P: Pos = Pos { line: 0, col: 0 };
+
+/// A scalar variable the generator may read (and, unless it is a loop
+/// counter, write).
+#[derive(Clone)]
+struct ScalarVar {
+    name: String,
+    ty: TypeExpr,
+    /// Loop counters must never be written by generic statements, or
+    /// termination is no longer guaranteed.
+    writable: bool,
+}
+
+/// A fixed-length array local.
+#[derive(Clone)]
+struct ArrayVar {
+    name: String,
+    elem: TypeExpr,
+    len: u64,
+}
+
+struct FnScope {
+    scalars: Vec<ScalarVar>,
+    arrays: Vec<ArrayVar>,
+    /// `(array name, length variable name)` for VLAs; only loops bounded
+    /// by the length variable may touch them.
+    vlas: Vec<(String, String)>,
+}
+
+/// Signature of an already-generated helper, callable from later
+/// functions only (acyclic call graph).
+struct Helper {
+    name: String,
+    params: Vec<TypeExpr>,
+}
+
+struct Gen {
+    rng: Rng,
+    inputs: Vec<Vec<u8>>,
+    next_id: u32,
+    helpers: Vec<Helper>,
+    /// Global scalar names (all `long`, initialized at definition).
+    globals: Vec<String>,
+    /// Struct defs available for local declarations.
+    structs: Vec<StructDef>,
+}
+
+/// Generate the program for `seed`.
+pub fn generate(seed: u64) -> FuzzCase {
+    let stream = SeedStream::new(seed, GEN_DOMAIN);
+    let mut g = Gen {
+        rng: Rng::seed_from_u64(stream.seed(0)),
+        inputs: Vec::new(),
+        next_id: 0,
+        helpers: Vec::new(),
+        globals: Vec::new(),
+        structs: Vec::new(),
+    };
+    let program = g.program();
+    let source = print_program(&program);
+    FuzzCase {
+        seed,
+        program,
+        source,
+        inputs: g.inputs,
+    }
+}
+
+impl Gen {
+    fn fresh(&mut self, prefix: &str) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        format!("{prefix}{id}")
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.rng.gen_range(0, 100) < percent
+    }
+
+    fn small_lit(&mut self) -> Expr {
+        Expr::Int(self.rng.gen_range(0, 200) as i64 - 64, P)
+    }
+
+    fn scalar_ty(&mut self) -> TypeExpr {
+        match self.rng.gen_range(0, 8) {
+            0 => TypeExpr::Char,
+            1 => TypeExpr::Short,
+            2 | 3 => TypeExpr::Int,
+            _ => TypeExpr::Long,
+        }
+    }
+
+    // ----- program structure -------------------------------------------------
+
+    fn program(&mut self) -> Program {
+        // Optional struct with 2–3 scalar fields.
+        if self.chance(35) {
+            let nf = self.rng.gen_range(2, 4);
+            let fields = (0..nf)
+                .map(|i| {
+                    let ty = if self.chance(50) {
+                        TypeExpr::Long
+                    } else {
+                        TypeExpr::Int
+                    };
+                    (ty, format!("m{i}"), None)
+                })
+                .collect();
+            self.structs.push(StructDef {
+                name: "pair".into(),
+                fields,
+            });
+        }
+
+        // A few initialized long globals.
+        let mut globals = Vec::new();
+        for _ in 0..self.rng.gen_range(0, 3) {
+            let name = self.fresh("g");
+            let init = self.rng.gen_range(0, 100) as i64;
+            globals.push(GlobalDef {
+                ty: TypeExpr::Long,
+                name: name.clone(),
+                array: None,
+                init: Some(GlobalInitAst::Int(init)),
+                pos: P,
+            });
+            self.globals.push(name);
+        }
+
+        // Helpers first (callable from main and from later helpers).
+        let mut funcs = Vec::new();
+        for _ in 0..self.rng.gen_range(0, 4) {
+            funcs.push(self.function(false));
+        }
+        funcs.push(self.function(true));
+
+        Program {
+            structs: self.structs.clone(),
+            globals,
+            funcs,
+        }
+    }
+
+    fn function(&mut self, is_main: bool) -> FuncDef {
+        let name = if is_main {
+            "main".to_string()
+        } else {
+            self.fresh("f")
+        };
+        let params: Vec<Param> = if is_main {
+            Vec::new()
+        } else {
+            (0..self.rng.gen_range(0, 3))
+                .map(|_| {
+                    let ty = if self.chance(50) {
+                        TypeExpr::Long
+                    } else {
+                        TypeExpr::Int
+                    };
+                    Param {
+                        ty,
+                        name: self.fresh("p"),
+                    }
+                })
+                .collect()
+        };
+
+        let mut scope = FnScope {
+            scalars: params
+                .iter()
+                .map(|p| ScalarVar {
+                    name: p.name.clone(),
+                    ty: p.ty.clone(),
+                    writable: true,
+                })
+                .collect(),
+            arrays: Vec::new(),
+            vlas: Vec::new(),
+        };
+        // Globals read/write like long scalars.
+        for gname in self.globals.clone() {
+            scope.scalars.push(ScalarVar {
+                name: gname,
+                ty: TypeExpr::Long,
+                writable: true,
+            });
+        }
+
+        let mut body = Vec::new();
+
+        // Declarations: enough locals that most frames have several
+        // randomizable slots (2-slot frames are deliberately common —
+        // they have the smallest P-BOX tables and the highest
+        // per-invocation probability of hitting any given row).
+        for _ in 0..self.rng.gen_range(2, 7) {
+            self.gen_decl(&mut scope, &mut body);
+        }
+
+        // Statements over the declared state.
+        let n_stmts = self.rng.gen_range(2, 9);
+        for _ in 0..n_stmts {
+            self.gen_stmt(&mut scope, &mut body, is_main, 0);
+        }
+
+        // Observe the state so slot corruption cannot hide: print one
+        // expression over the scalars, then return one.
+        let obs = self.expr(&scope, 2);
+        body.push(Stmt::Expr(Expr::Call("print_int".into(), vec![obs], P)));
+        let ret = if is_main {
+            Expr::Int(self.rng.gen_range(0, 10) as i64, P)
+        } else {
+            self.expr(&scope, 2)
+        };
+        body.push(Stmt::Return(Some(ret), P));
+
+        if !is_main {
+            self.helpers.push(Helper {
+                name: name.clone(),
+                params: params.iter().map(|p| p.ty.clone()).collect(),
+            });
+        }
+        FuncDef {
+            ret: if is_main {
+                TypeExpr::Int
+            } else {
+                TypeExpr::Long
+            },
+            name,
+            params,
+            body,
+            pos: P,
+        }
+    }
+
+    // ----- declarations ------------------------------------------------------
+
+    fn gen_decl(&mut self, scope: &mut FnScope, body: &mut Vec<Stmt>) {
+        match self.rng.gen_range(0, 10) {
+            // Scalar with initializer (the common case).
+            0..=4 => {
+                let ty = self.scalar_ty();
+                let name = self.fresh("v");
+                let init = if scope.scalars.is_empty() || self.chance(60) {
+                    self.small_lit()
+                } else {
+                    self.expr(scope, 1)
+                };
+                body.push(Stmt::Decl(LocalDecl {
+                    ty: ty.clone(),
+                    name: name.clone(),
+                    array: None,
+                    init: Some(init),
+                    pos: P,
+                }));
+                scope.scalars.push(ScalarVar {
+                    name,
+                    ty,
+                    writable: true,
+                });
+            }
+            // char array, memset-filled, always NUL-terminated.
+            5 | 6 => {
+                let len = [4u64, 8, 16, 32][self.rng.gen_range(0, 4) as usize];
+                let name = self.fresh("a");
+                body.push(Stmt::Decl(LocalDecl {
+                    ty: TypeExpr::Char,
+                    name: name.clone(),
+                    array: Some(Ok(len)),
+                    init: None,
+                    pos: P,
+                }));
+                let fill = self.rng.gen_range(0, 2) * self.rng.gen_range(33, 127);
+                body.push(call_stmt(
+                    "memset",
+                    vec![
+                        var(&name),
+                        Expr::Int(fill as i64, P),
+                        Expr::Int(len as i64, P),
+                    ],
+                ));
+                body.push(terminate(&name, len));
+                scope.arrays.push(ArrayVar {
+                    name,
+                    elem: TypeExpr::Char,
+                    len,
+                });
+            }
+            // int/long array filled by an index loop.
+            7 | 8 => {
+                let elem = if self.chance(50) {
+                    TypeExpr::Int
+                } else {
+                    TypeExpr::Long
+                };
+                let len = [2u64, 4, 8][self.rng.gen_range(0, 3) as usize];
+                let name = self.fresh("a");
+                body.push(Stmt::Decl(LocalDecl {
+                    ty: elem.clone(),
+                    name: name.clone(),
+                    array: Some(Ok(len)),
+                    init: None,
+                    pos: P,
+                }));
+                let idx = self.fresh("i");
+                body.push(Stmt::Decl(LocalDecl {
+                    ty: TypeExpr::Int,
+                    name: idx.clone(),
+                    array: None,
+                    init: Some(Expr::Int(0, P)),
+                    pos: P,
+                }));
+                let mul = self.rng.gen_range(1, 6) as i64;
+                let add = self.rng.gen_range(0, 9) as i64;
+                body.push(fill_loop(&name, &idx, len, mul, add));
+                scope.scalars.push(ScalarVar {
+                    name: idx,
+                    ty: TypeExpr::Int,
+                    writable: false,
+                });
+                scope.arrays.push(ArrayVar { name, elem, len });
+            }
+            // VLA: length in a dedicated immutable local, zero-filled.
+            _ => {
+                let len_var = self.fresh("n");
+                let len = self.rng.gen_range(1, 13) as i64;
+                body.push(Stmt::Decl(LocalDecl {
+                    ty: TypeExpr::Long,
+                    name: len_var.clone(),
+                    array: None,
+                    init: Some(Expr::Int(len, P)),
+                    pos: P,
+                }));
+                let name = self.fresh("w");
+                body.push(Stmt::Decl(LocalDecl {
+                    ty: TypeExpr::Char,
+                    name: name.clone(),
+                    array: Some(Err(var(&len_var))),
+                    init: None,
+                    pos: P,
+                }));
+                body.push(call_stmt(
+                    "memset",
+                    vec![var(&name), Expr::Int(0, P), var(&len_var)],
+                ));
+                scope.scalars.push(ScalarVar {
+                    name: len_var.clone(),
+                    ty: TypeExpr::Long,
+                    writable: false,
+                });
+                scope.vlas.push((name, len_var));
+            }
+        }
+    }
+
+    // ----- statements --------------------------------------------------------
+
+    /// Append one statement template. `loop_depth` bounds nesting; the
+    /// templates that declare or require input run only at top level of
+    /// `main` (`is_main && loop_depth == 0`).
+    fn gen_stmt(&mut self, scope: &mut FnScope, body: &mut Vec<Stmt>, is_main: bool, depth: u32) {
+        let pick = self.rng.gen_range(0, 20);
+        match pick {
+            // Assignment to a writable scalar.
+            0..=4 => {
+                if let Some(target) = self.pick_writable(scope) {
+                    let e = self.expr(scope, 2);
+                    body.push(assign(var(&target), e));
+                }
+            }
+            // if/else over a comparison.
+            5 | 6 => {
+                let cond = self.cond(scope);
+                let mut then_b = Vec::new();
+                let mut else_b = Vec::new();
+                for _ in 0..self.rng.gen_range(1, 3) {
+                    self.gen_simple_stmt(scope, &mut then_b);
+                }
+                if self.chance(50) {
+                    self.gen_simple_stmt(scope, &mut else_b);
+                }
+                body.push(Stmt::If(cond, then_b, else_b));
+            }
+            // Bounded for-loop accumulating over a fixed array.
+            7 | 8 => {
+                if depth < 2 {
+                    if let Some(arr) = self.pick_array(scope) {
+                        let idx = self.fresh("i");
+                        body.push(Stmt::Decl(LocalDecl {
+                            ty: TypeExpr::Int,
+                            name: idx.clone(),
+                            array: None,
+                            init: Some(Expr::Int(0, P)),
+                            pos: P,
+                        }));
+                        scope.scalars.push(ScalarVar {
+                            name: idx.clone(),
+                            ty: TypeExpr::Int,
+                            writable: false,
+                        });
+                        let mut inner = Vec::new();
+                        if let Some(acc) = self.pick_writable(scope) {
+                            inner.push(assign(
+                                var(&acc),
+                                bin(
+                                    BinOpKind::Add,
+                                    var(&acc),
+                                    Expr::Index(Box::new(var(&arr.name)), Box::new(var(&idx)), P),
+                                ),
+                            ));
+                        }
+                        // Optional break/continue — only in `for`, whose
+                        // step always runs, so termination holds.
+                        if self.chance(25) {
+                            let cut = self.rng.gen_range(1, arr.len.max(2)) as i64;
+                            let esc = if self.chance(50) {
+                                Stmt::Break(P)
+                            } else {
+                                Stmt::Continue(P)
+                            };
+                            inner.insert(
+                                0,
+                                Stmt::If(
+                                    bin(BinOpKind::Eq, var(&idx), Expr::Int(cut, P)),
+                                    vec![esc],
+                                    vec![],
+                                ),
+                            );
+                        }
+                        body.push(Stmt::For(
+                            Some(Box::new(assign(var(&idx), Expr::Int(0, P)))),
+                            Some(bin(BinOpKind::Lt, var(&idx), Expr::Int(arr.len as i64, P))),
+                            Some(assign_e(
+                                var(&idx),
+                                bin(BinOpKind::Add, var(&idx), Expr::Int(1, P)),
+                            )),
+                            inner,
+                        ));
+                    }
+                }
+            }
+            // While-loop on a dedicated counter.
+            9 | 10 => {
+                if depth < 2 {
+                    let ctr = self.fresh("c");
+                    let bound = self.rng.gen_range(1, 9) as i64;
+                    body.push(Stmt::Decl(LocalDecl {
+                        ty: TypeExpr::Long,
+                        name: ctr.clone(),
+                        array: None,
+                        init: Some(Expr::Int(0, P)),
+                        pos: P,
+                    }));
+                    let mut inner = Vec::new();
+                    self.gen_simple_stmt(scope, &mut inner);
+                    inner.push(assign(
+                        var(&ctr),
+                        bin(BinOpKind::Add, var(&ctr), Expr::Int(1, P)),
+                    ));
+                    body.push(Stmt::While(
+                        bin(BinOpKind::Lt, var(&ctr), Expr::Int(bound, P)),
+                        inner,
+                    ));
+                    scope.scalars.push(ScalarVar {
+                        name: ctr,
+                        ty: TypeExpr::Long,
+                        writable: false,
+                    });
+                }
+            }
+            // Output.
+            11 | 12 => {
+                if self.chance(60) || scope.arrays.iter().all(|a| a.elem != TypeExpr::Char) {
+                    let e = self.expr(scope, 2);
+                    body.push(call_stmt("print_int", vec![e]));
+                } else {
+                    let arrs: Vec<&ArrayVar> = scope
+                        .arrays
+                        .iter()
+                        .filter(|a| a.elem == TypeExpr::Char)
+                        .collect();
+                    let a = arrs[self.rng.gen_range(0, arrs.len() as u64) as usize];
+                    body.push(call_stmt("print_str", vec![var(&a.name)]));
+                }
+            }
+            // Pointer alias: writes and reads through a dereference.
+            13 => {
+                if let Some(target) = self.pick_writable(scope) {
+                    let sv = scope
+                        .scalars
+                        .iter()
+                        .find(|s| s.name == target)
+                        .unwrap()
+                        .clone();
+                    let pname = self.fresh("q");
+                    body.push(Stmt::Decl(LocalDecl {
+                        ty: TypeExpr::Ptr(Box::new(sv.ty.clone())),
+                        name: pname.clone(),
+                        array: None,
+                        init: Some(Expr::Un(UnOpKind::Addr, Box::new(var(&target)), P)),
+                        pos: P,
+                    }));
+                    let deref = Expr::Un(UnOpKind::Deref, Box::new(var(&pname)), P);
+                    let delta = self.small_lit();
+                    body.push(assign(deref.clone(), bin(BinOpKind::Add, deref, delta)));
+                }
+            }
+            // memcpy between char arrays + strlen observation.
+            14 => {
+                let chars: Vec<ArrayVar> = scope
+                    .arrays
+                    .iter()
+                    .filter(|a| a.elem == TypeExpr::Char)
+                    .cloned()
+                    .collect();
+                if chars.len() >= 2 {
+                    let d = &chars[self.rng.gen_range(0, chars.len() as u64) as usize];
+                    let s = &chars[self.rng.gen_range(0, chars.len() as u64) as usize];
+                    if d.name != s.name {
+                        let n = d.len.min(s.len);
+                        body.push(call_stmt(
+                            "memcpy",
+                            vec![var(&d.name), var(&s.name), Expr::Int(n as i64, P)],
+                        ));
+                        body.push(terminate(&d.name, d.len));
+                        body.push(call_stmt(
+                            "print_int",
+                            vec![Expr::Call("strlen".into(), vec![var(&d.name)], P)],
+                        ));
+                    }
+                }
+            }
+            // Call an earlier helper.
+            15 | 16 => {
+                if !self.helpers.is_empty() {
+                    let h = self.rng.gen_range(0, self.helpers.len() as u64) as usize;
+                    let nargs = self.helpers[h].params.len();
+                    let hname = self.helpers[h].name.clone();
+                    let args = (0..nargs).map(|_| self.expr(scope, 1)).collect();
+                    let call = Expr::Call(hname, args, P);
+                    if let Some(target) = self.pick_writable(scope) {
+                        body.push(assign(var(&target), call));
+                    } else {
+                        body.push(Stmt::Expr(call));
+                    }
+                }
+            }
+            // Struct local: zero it, set fields, observe a field sum.
+            17 => {
+                if let Some(sd) = self.structs.first().cloned() {
+                    let sname = self.fresh("s");
+                    body.push(Stmt::Decl(LocalDecl {
+                        ty: TypeExpr::Struct(sd.name.clone()),
+                        name: sname.clone(),
+                        array: None,
+                        init: None,
+                        pos: P,
+                    }));
+                    let mut sum: Option<Expr> = None;
+                    for (_, fname, _) in &sd.fields {
+                        let member = Expr::Member(Box::new(var(&sname)), fname.clone(), P);
+                        body.push(assign(member.clone(), self.small_lit()));
+                        sum = Some(match sum {
+                            None => member,
+                            Some(acc) => bin(BinOpKind::Add, acc, member),
+                        });
+                    }
+                    if let Some(e) = sum {
+                        body.push(call_stmt("print_int", vec![e]));
+                    }
+                }
+            }
+            // VLA sum loop (bounded by the VLA's own length variable).
+            18 => {
+                if let Some((vname, lname)) = scope.vlas.first().cloned() {
+                    if depth < 2 {
+                        if let Some(acc) = self.pick_writable(scope) {
+                            let idx = self.fresh("i");
+                            body.push(Stmt::Decl(LocalDecl {
+                                ty: TypeExpr::Long,
+                                name: idx.clone(),
+                                array: None,
+                                init: Some(Expr::Int(0, P)),
+                                pos: P,
+                            }));
+                            scope.scalars.push(ScalarVar {
+                                name: idx.clone(),
+                                ty: TypeExpr::Long,
+                                writable: false,
+                            });
+                            body.push(Stmt::For(
+                                Some(Box::new(assign(var(&idx), Expr::Int(0, P)))),
+                                Some(bin(BinOpKind::Lt, var(&idx), var(&lname))),
+                                Some(assign_e(
+                                    var(&idx),
+                                    bin(BinOpKind::Add, var(&idx), Expr::Int(1, P)),
+                                )),
+                                vec![assign(
+                                    var(&acc),
+                                    bin(
+                                        BinOpKind::Add,
+                                        var(&acc),
+                                        Expr::Index(Box::new(var(&vname)), Box::new(var(&idx)), P),
+                                    ),
+                                )],
+                            ));
+                        }
+                    }
+                }
+            }
+            // get_input into a fresh zeroed char array (main, top level,
+            // never in a loop so the request order matches the script).
+            _ => {
+                if is_main && depth == 0 {
+                    let len = [8u64, 16, 32][self.rng.gen_range(0, 3) as usize];
+                    let name = self.fresh("b");
+                    body.push(Stmt::Decl(LocalDecl {
+                        ty: TypeExpr::Char,
+                        name: name.clone(),
+                        array: Some(Ok(len)),
+                        init: None,
+                        pos: P,
+                    }));
+                    body.push(call_stmt(
+                        "memset",
+                        vec![var(&name), Expr::Int(0, P), Expr::Int(len as i64, P)],
+                    ));
+                    let got = self.fresh("r");
+                    body.push(Stmt::Decl(LocalDecl {
+                        ty: TypeExpr::Long,
+                        name: got.clone(),
+                        array: None,
+                        init: Some(Expr::Call(
+                            "get_input".into(),
+                            vec![var(&name), Expr::Int(len as i64, P)],
+                            P,
+                        )),
+                        pos: P,
+                    }));
+                    body.push(terminate(&name, len));
+                    body.push(call_stmt(
+                        "print_int",
+                        vec![bin(
+                            BinOpKind::Add,
+                            var(&got),
+                            Expr::Call("strlen".into(), vec![var(&name)], P),
+                        )],
+                    ));
+                    // Chunk strictly shorter than the buffer, so the
+                    // forced NUL at len-1 always survives.
+                    let chunk_len = self.rng.gen_range(0, len) as usize;
+                    let mut chunk = vec![0u8; chunk_len];
+                    for b in &mut chunk {
+                        *b = self.rng.gen_range(32, 127) as u8;
+                    }
+                    self.inputs.push(chunk);
+                    scope.scalars.push(ScalarVar {
+                        name: got,
+                        ty: TypeExpr::Long,
+                        writable: true,
+                    });
+                    scope.arrays.push(ArrayVar {
+                        name,
+                        elem: TypeExpr::Char,
+                        len,
+                    });
+                } else if let Some(target) = self.pick_writable(scope) {
+                    let e = self.expr(scope, 2);
+                    body.push(assign(var(&target), e));
+                }
+            }
+        }
+    }
+
+    /// A statement safe anywhere (inside loop bodies in particular):
+    /// assignment or print, never a declaration, never input.
+    fn gen_simple_stmt(&mut self, scope: &FnScope, body: &mut Vec<Stmt>) {
+        if self.chance(70) {
+            if let Some(target) = self.pick_writable(scope) {
+                let e = self.expr(scope, 2);
+                body.push(assign(var(&target), e));
+                return;
+            }
+        }
+        let e = self.expr(scope, 1);
+        body.push(call_stmt("print_int", vec![e]));
+    }
+
+    fn pick_writable(&mut self, scope: &FnScope) -> Option<String> {
+        let writable: Vec<&ScalarVar> = scope.scalars.iter().filter(|s| s.writable).collect();
+        if writable.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0, writable.len() as u64) as usize;
+        Some(writable[i].name.clone())
+    }
+
+    fn pick_array(&mut self, scope: &FnScope) -> Option<ArrayVar> {
+        if scope.arrays.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0, scope.arrays.len() as u64) as usize;
+        Some(scope.arrays[i].clone())
+    }
+
+    // ----- expressions -------------------------------------------------------
+
+    /// A boolean-ish condition: comparison of two depth-1 expressions.
+    fn cond(&mut self, scope: &FnScope) -> Expr {
+        let ops = [
+            BinOpKind::Lt,
+            BinOpKind::Le,
+            BinOpKind::Gt,
+            BinOpKind::Ge,
+            BinOpKind::Eq,
+            BinOpKind::Ne,
+        ];
+        let op = ops[self.rng.gen_range(0, ops.len() as u64) as usize];
+        let l = self.expr(scope, 1);
+        let r = self.expr(scope, 1);
+        let cmp = bin(op, l, r);
+        if self.chance(20) {
+            let l2 = self.expr(scope, 1);
+            let r2 = self.expr(scope, 1);
+            let op2 = ops[self.rng.gen_range(0, ops.len() as u64) as usize];
+            let logic = if self.chance(50) {
+                BinOpKind::LogAnd
+            } else {
+                BinOpKind::LogOr
+            };
+            bin(logic, cmp, bin(op2, l2, r2))
+        } else {
+            cmp
+        }
+    }
+
+    /// An integer-valued expression over initialized state. All partial
+    /// operations take literal right operands from safe ranges.
+    fn expr(&mut self, scope: &FnScope, depth: u32) -> Expr {
+        if depth == 0 {
+            return self.leaf(scope);
+        }
+        match self.rng.gen_range(0, 12) {
+            0..=4 => {
+                let ops = [
+                    BinOpKind::Add,
+                    BinOpKind::Sub,
+                    BinOpKind::Mul,
+                    BinOpKind::And,
+                    BinOpKind::Or,
+                    BinOpKind::Xor,
+                ];
+                let op = ops[self.rng.gen_range(0, ops.len() as u64) as usize];
+                let l = self.expr(scope, depth - 1);
+                let r = self.expr(scope, depth - 1);
+                bin(op, l, r)
+            }
+            // Division/remainder by a positive literal only: no division
+            // faults, no i64::MIN / -1 overflow.
+            5 => {
+                let op = if self.chance(50) {
+                    BinOpKind::Div
+                } else {
+                    BinOpKind::Rem
+                };
+                let l = self.expr(scope, depth - 1);
+                bin(op, l, Expr::Int(self.rng.gen_range(1, 10) as i64, P))
+            }
+            // Shift by an in-range literal.
+            6 => {
+                let op = if self.chance(50) {
+                    BinOpKind::Shl
+                } else {
+                    BinOpKind::Shr
+                };
+                let l = self.expr(scope, depth - 1);
+                bin(op, l, Expr::Int(self.rng.gen_range(0, 7) as i64, P))
+            }
+            7 => {
+                let ops = [UnOpKind::Neg, UnOpKind::Not, UnOpKind::BitNot];
+                let op = ops[self.rng.gen_range(0, 3) as usize];
+                Expr::Un(op, Box::new(self.expr(scope, depth - 1)), P)
+            }
+            // Constant-index array read (always in bounds).
+            8 => {
+                if let Some(arr) = self.pick_array(scope) {
+                    let i = self.rng.gen_range(0, arr.len) as i64;
+                    Expr::Index(Box::new(var(&arr.name)), Box::new(Expr::Int(i, P)), P)
+                } else {
+                    self.leaf(scope)
+                }
+            }
+            9 => {
+                if let Some(arr) = self.pick_array(scope) {
+                    Expr::SizeofExpr(Box::new(var(&arr.name)), P)
+                } else {
+                    Expr::SizeofType(self.scalar_ty(), P)
+                }
+            }
+            _ => self.leaf(scope),
+        }
+    }
+
+    fn leaf(&mut self, scope: &FnScope) -> Expr {
+        if !scope.scalars.is_empty() && self.chance(70) {
+            let i = self.rng.gen_range(0, scope.scalars.len() as u64) as usize;
+            var(&scope.scalars[i].name)
+        } else {
+            self.small_lit()
+        }
+    }
+}
+
+// ----- small AST constructors ------------------------------------------------
+
+fn var(name: &str) -> Expr {
+    Expr::Var(name.to_string(), P)
+}
+
+fn bin(op: BinOpKind, l: Expr, r: Expr) -> Expr {
+    Expr::Bin(op, Box::new(l), Box::new(r), P)
+}
+
+fn assign_e(lhs: Expr, rhs: Expr) -> Expr {
+    Expr::Assign(Box::new(lhs), Box::new(rhs), P)
+}
+
+fn assign(lhs: Expr, rhs: Expr) -> Stmt {
+    Stmt::Expr(assign_e(lhs, rhs))
+}
+
+fn call_stmt(name: &str, args: Vec<Expr>) -> Stmt {
+    Stmt::Expr(Expr::Call(name.to_string(), args, P))
+}
+
+/// `name[len - 1] = 0;` — keep a char array NUL-terminated.
+fn terminate(name: &str, len: u64) -> Stmt {
+    assign(
+        Expr::Index(
+            Box::new(var(name)),
+            Box::new(Expr::Int(len as i64 - 1, P)),
+            P,
+        ),
+        Expr::Int(0, P),
+    )
+}
+
+/// `for (i = 0; i < len; i = i + 1) { arr[i] = i * mul + add; }`
+fn fill_loop(arr: &str, idx: &str, len: u64, mul: i64, add: i64) -> Stmt {
+    Stmt::For(
+        Some(Box::new(assign(var(idx), Expr::Int(0, P)))),
+        Some(bin(BinOpKind::Lt, var(idx), Expr::Int(len as i64, P))),
+        Some(assign_e(
+            var(idx),
+            bin(BinOpKind::Add, var(idx), Expr::Int(1, P)),
+        )),
+        vec![assign(
+            Expr::Index(Box::new(var(arr)), Box::new(var(idx)), P),
+            bin(
+                BinOpKind::Add,
+                bin(BinOpKind::Mul, var(idx), Expr::Int(mul, P)),
+                Expr::Int(add, P),
+            ),
+        )],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_minic::parse;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(7);
+        let b = generate(7);
+        assert_eq!(a, b);
+        let c = generate(8);
+        assert_ne!(a.source, c.source);
+    }
+
+    #[test]
+    fn generated_programs_parse_and_round_trip() {
+        for seed in 0..64 {
+            let case = generate(seed);
+            let reparsed = parse(&case.source).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed}: generated source fails to parse: {e}\n{}",
+                    case.source
+                )
+            });
+            let reprinted = print_program(&reparsed);
+            assert_eq!(
+                case.source, reprinted,
+                "seed {seed}: print/parse/print is not a fixpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_programs_compile() {
+        for seed in 0..64 {
+            let case = generate(seed);
+            smokestack_minic::compile(&case.source).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed}: generated source fails to compile: {e}\n{}",
+                    case.source
+                )
+            });
+        }
+    }
+
+    #[test]
+    fn input_chunks_fit_their_buffers() {
+        for seed in 0..64 {
+            let case = generate(seed);
+            for chunk in &case.inputs {
+                assert!(chunk.len() < 32, "chunks are bounded by the largest buffer");
+            }
+        }
+    }
+}

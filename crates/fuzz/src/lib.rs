@@ -1,0 +1,250 @@
+//! # smokestack-fuzz
+//!
+//! Differential fuzzing of the whole Smokestack pipeline. The paper's
+//! central correctness obligation is *semantics preservation*: hardening
+//! a program (P-BOX build, frame rewrite, guards, safe-frame pruning)
+//! must not change what it computes — only where its locals live. This
+//! crate turns that obligation into a falsifiable property and hunts for
+//! counterexamples:
+//!
+//! * [`gen`] — a grammar-based generator emitting safe-by-construction
+//!   MiniC programs (terminating, analyzer-clean, layout-independent)
+//!   plus scripted inputs, all derived from one `u64` seed;
+//! * [`exec`] — the differential executor: compile once, then run the
+//!   un-hardened baseline against every scheme × pruning variant in
+//!   isolated VMs, comparing outputs and canonical exits (never cycles
+//!   or addresses);
+//! * [`minimize`] — AST delta debugging that shrinks a diverging case
+//!   to a minimal `.mc` reproducer by recompiling and re-checking after
+//!   every structural edit;
+//! * [`triage`] — JSON triage records pairing each divergence with its
+//!   seeds, variant, canonical behaviors, and minimized source.
+//!
+//! Campaigns shard a seed window across the campaign crate's
+//! work-stealing [`smokestack_campaign::pool`]; every per-case quantity
+//! is derived from the case seed alone, so aggregates are bit-identical
+//! across `--jobs` settings.
+//!
+//! The `planted-bugs` cargo feature deliberately corrupts one P-BOX row
+//! in `smokestack-core` (two slots overlap); the fuzzer must then find
+//! and minimize a divergence within a small seed budget. That closes
+//! the loop on the fuzzer itself: an oracle that cannot find a known
+//! planted bug could not be trusted to certify the absence of real
+//! ones.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod gen;
+pub mod minimize;
+pub mod triage;
+
+pub use exec::{
+    observe, run_case, variants, CaseResult, DiffConfig, Divergence, DivergenceKind, Observation,
+    Variant,
+};
+pub use gen::{generate, FuzzCase};
+pub use minimize::{minimize_case, MinimizeConfig};
+pub use triage::{finding_json, TriageRecord};
+
+use smokestack_campaign::pool::run_pool;
+
+/// A fuzzing campaign over a contiguous seed window.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// First case seed (inclusive).
+    pub seed_start: u64,
+    /// Last case seed (exclusive).
+    pub seed_end: u64,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Independent layout draws per variant per case.
+    pub runs_per_variant: u32,
+    /// Minimize diverging cases and attach triage records.
+    pub minimize: bool,
+    /// Keep at most this many triage records (minimization cost is per
+    /// record; campaigns hitting this cap are already very broken).
+    pub max_triage: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            seed_start: 0,
+            seed_end: 64,
+            jobs: 1,
+            runs_per_variant: 2,
+            minimize: true,
+            max_triage: 8,
+        }
+    }
+}
+
+/// Aggregated campaign outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases the analyzer flagged with error-severity findings
+    /// (excluded from the divergence oracle, counted here).
+    pub analyzer_flagged: u64,
+    /// Cases whose generated source failed to compile (generator bugs).
+    pub compile_errors: u64,
+    /// No-fault oracle violations (analyzer-clean program faulted out
+    /// of bounds in the baseline VM).
+    pub oracle_violations: u64,
+    /// Cases where a hardening pass itself failed.
+    pub harden_failures: u64,
+    /// Cases with at least one baseline/variant divergence.
+    pub divergent_cases: u64,
+    /// Seeds of the divergent cases, in seed order.
+    pub divergent_seeds: Vec<u64>,
+    /// Triage records for minimized divergences (bounded by
+    /// [`FuzzConfig::max_triage`]).
+    pub triage: Vec<TriageRecord>,
+}
+
+impl FuzzReport {
+    /// Whether the campaign found anything wrong at all.
+    pub fn is_clean(&self) -> bool {
+        self.compile_errors == 0
+            && self.oracle_violations == 0
+            && self.harden_failures == 0
+            && self.divergent_cases == 0
+    }
+
+    /// One-line JSON summary (triage records are emitted separately).
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"cases\":{},\"analyzer_flagged\":{},\"compile_errors\":{},\
+             \"oracle_violations\":{},\"harden_failures\":{},\"divergent_cases\":{}}}",
+            self.cases,
+            self.analyzer_flagged,
+            self.compile_errors,
+            self.oracle_violations,
+            self.harden_failures,
+            self.divergent_cases
+        )
+    }
+}
+
+/// Run a fuzzing campaign: generate and differentially execute every
+/// seed in the window, then (optionally) minimize what diverged.
+///
+/// Determinism: case results depend only on their seed, the pool hands
+/// results back in task order, and minimization walks divergent cases
+/// in seed order — so the report is bit-identical for any `jobs`.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let diff = DiffConfig {
+        runs_per_variant: cfg.runs_per_variant,
+        ..DiffConfig::default()
+    };
+    let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_end).collect();
+    let run = run_pool(
+        cfg.jobs,
+        seeds,
+        None,
+        |_worker| (),
+        |_, &seed| {
+            let case = generate(seed);
+            run_case(&case, &diff)
+        },
+        |_| {},
+    );
+
+    let mut report = FuzzReport {
+        cases: run.results.len() as u64,
+        analyzer_flagged: 0,
+        compile_errors: 0,
+        oracle_violations: 0,
+        harden_failures: 0,
+        divergent_cases: 0,
+        divergent_seeds: Vec::new(),
+        triage: Vec::new(),
+    };
+    for r in &run.results {
+        if r.compile_error.is_some() {
+            report.compile_errors += 1;
+        }
+        if r.analyzer_errors > 0 {
+            report.analyzer_flagged += 1;
+        }
+        if r.oracle_oob {
+            report.oracle_violations += 1;
+        }
+        if !r.harden_errors.is_empty() {
+            report.harden_failures += 1;
+        }
+        if r.is_divergent() {
+            report.divergent_cases += 1;
+            report.divergent_seeds.push(r.seed);
+        }
+    }
+
+    if cfg.minimize {
+        for r in run
+            .results
+            .iter()
+            .filter(|r| r.is_divergent())
+            .take(cfg.max_triage)
+        {
+            let case = generate(r.seed);
+            let div = &r.divergences[0];
+            let minimized = minimize_case(
+                &case,
+                &MinimizeConfig {
+                    variant: Some(div.variant),
+                    pinned_seed: Some(div.trng_seed),
+                    ..MinimizeConfig::default()
+                },
+            );
+            report
+                .triage
+                .push(TriageRecord::new(&case, &minimized, div));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "planted-bugs"))]
+    #[test]
+    fn small_window_is_clean_and_jobs_invariant() {
+        let cfg = FuzzConfig {
+            seed_start: 200,
+            seed_end: 208,
+            jobs: 1,
+            runs_per_variant: 1,
+            minimize: true,
+            max_triage: 4,
+        };
+        let serial = run_fuzz(&cfg);
+        assert_eq!(serial.cases, 8);
+        assert!(serial.is_clean(), "{}", serial.summary_json());
+        let wide = run_fuzz(&FuzzConfig { jobs: 4, ..cfg });
+        assert_eq!(serial, wide, "aggregates must not depend on --jobs");
+    }
+
+    #[test]
+    fn report_json_shape_is_stable() {
+        let report = FuzzReport {
+            cases: 3,
+            analyzer_flagged: 0,
+            compile_errors: 0,
+            oracle_violations: 0,
+            harden_failures: 0,
+            divergent_cases: 1,
+            divergent_seeds: vec![9],
+            triage: vec![],
+        };
+        assert!(!report.is_clean());
+        assert_eq!(
+            report.summary_json(),
+            "{\"cases\":3,\"analyzer_flagged\":0,\"compile_errors\":0,\
+             \"oracle_violations\":0,\"harden_failures\":0,\"divergent_cases\":1}"
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! Delta-debugging minimizer over the MiniC AST.
+//!
+//! A diverging case is shrunk by structural edits — drop a helper
+//! function, a global, a struct, a single statement (with everything
+//! nested inside it), or replace a compound statement by its body —
+//! re-validating after every edit that the candidate still *compiles*
+//! and still *diverges*. Edits that break compilation (say, deleting a
+//! declaration something still uses) simply fail the predicate and are
+//! rolled back, so no language-level dependency tracking is needed.
+//!
+//! Because a divergence is only visible on draws that hit the offending
+//! P-BOX row, the predicate is intentionally *narrower and deeper* than
+//! the search that found the case: it re-runs only the variant that
+//! diverged, pins the TRNG seed of the original diverging run (tried
+//! first, and usually sufficient), then adds fresh independent draws,
+//! pushing the probability of a false "fixed" verdict low enough for
+//! the greedy loop to make steady progress. Statement indices are visited in
+//! reverse pre-order so nested statements are tried before the
+//! constructs containing them.
+
+use smokestack_minic::ast::{FuncDef, Program, Stmt};
+use smokestack_minic::{count_stmts, print_program};
+
+use crate::exec::{run_case, DiffConfig, Variant};
+use crate::gen::FuzzCase;
+
+/// Minimization knobs.
+#[derive(Debug, Clone)]
+pub struct MinimizeConfig {
+    /// The variant whose divergence must be preserved (None = any
+    /// variant in the full matrix, much slower).
+    pub variant: Option<Variant>,
+    /// The TRNG seed of the original diverging run, tried first on
+    /// every predicate evaluation. Pinning it keeps the layout draws
+    /// hitting the offending P-BOX row while the frame signature is
+    /// preserved, which makes most checks settle on their first run.
+    pub pinned_seed: Option<u64>,
+    /// Fresh layout draws per predicate evaluation (after the pinned
+    /// seed, if any).
+    pub runs_per_check: u32,
+    /// Hard cap on predicate evaluations (a runaway backstop; typical
+    /// minimizations use far fewer).
+    pub max_checks: u32,
+    /// VM fuel per predicate run. Edits can make a loop infinite (e.g.
+    /// deleting a counter update); the cap makes such candidates fault
+    /// out of fuel quickly — in baseline and variant alike, so the edit
+    /// is rejected — instead of burning the default VM budget. Generated
+    /// programs finish in thousands of steps, so the default leaves a
+    /// wide margin.
+    pub fuel: u64,
+}
+
+impl Default for MinimizeConfig {
+    fn default() -> MinimizeConfig {
+        MinimizeConfig {
+            variant: None,
+            pinned_seed: None,
+            runs_per_check: 6,
+            max_checks: 2000,
+            fuel: 2_000_000,
+        }
+    }
+}
+
+struct Shrinker {
+    seed: u64,
+    inputs: Vec<Vec<u8>>,
+    diff: DiffConfig,
+    checks_left: u32,
+}
+
+impl Shrinker {
+    /// Does `program` still reproduce the divergence?
+    fn diverges(&mut self, program: &Program) -> bool {
+        if self.checks_left == 0 {
+            return false;
+        }
+        self.checks_left -= 1;
+        let source = print_program(program);
+        let case = FuzzCase {
+            seed: self.seed,
+            program: program.clone(),
+            source,
+            inputs: self.inputs.clone(),
+        };
+        run_case(&case, &self.diff).is_divergent()
+    }
+}
+
+/// Shrink `case` to a smaller program that still diverges. Returns the
+/// original case unchanged if the divergence does not reproduce under
+/// the minimizer's predicate.
+pub fn minimize_case(case: &FuzzCase, cfg: &MinimizeConfig) -> FuzzCase {
+    let mut sh = Shrinker {
+        seed: case.seed,
+        inputs: case.inputs.clone(),
+        diff: DiffConfig {
+            runs_per_variant: cfg.runs_per_check,
+            only: cfg.variant,
+            pinned_seeds: cfg.pinned_seed.into_iter().collect(),
+            stop_at_first: true,
+            fuel: Some(cfg.fuel),
+        },
+        checks_left: cfg.max_checks,
+    };
+    let mut cur = case.program.clone();
+    if !sh.diverges(&cur) {
+        return case.clone();
+    }
+
+    loop {
+        let mut progress = false;
+
+        // Whole helper functions (never `main`), last first.
+        for i in (0..cur.funcs.len()).rev() {
+            if cur.funcs[i].name == "main" {
+                continue;
+            }
+            let mut cand = cur.clone();
+            cand.funcs.remove(i);
+            if sh.diverges(&cand) {
+                cur = cand;
+                progress = true;
+            }
+        }
+        // Globals and structs.
+        for i in (0..cur.globals.len()).rev() {
+            let mut cand = cur.clone();
+            cand.globals.remove(i);
+            if sh.diverges(&cand) {
+                cur = cand;
+                progress = true;
+            }
+        }
+        for i in (0..cur.structs.len()).rev() {
+            let mut cand = cur.clone();
+            cand.structs.remove(i);
+            if sh.diverges(&cand) {
+                cur = cand;
+                progress = true;
+            }
+        }
+
+        // Single statements, reverse pre-order (children before the
+        // compound statements containing them).
+        let n = count_stmts(&cur);
+        for i in (0..n).rev() {
+            let mut cand = cur.clone();
+            if !edit_program(&mut cand, i, EditKind::Remove) {
+                continue;
+            }
+            if sh.diverges(&cand) {
+                cur = cand;
+                progress = true;
+            }
+        }
+
+        // Flatten compound statements into their bodies.
+        let n = count_stmts(&cur);
+        for i in (0..n).rev() {
+            let mut cand = cur.clone();
+            if !edit_program(&mut cand, i, EditKind::Flatten) {
+                continue;
+            }
+            if count_stmts(&cand) >= count_stmts(&cur) {
+                continue;
+            }
+            if sh.diverges(&cand) {
+                cur = cand;
+                progress = true;
+            }
+        }
+
+        if !progress || sh.checks_left == 0 {
+            break;
+        }
+    }
+
+    FuzzCase {
+        seed: case.seed,
+        source: print_program(&cur),
+        program: cur,
+        inputs: case.inputs.clone(),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EditKind {
+    /// Delete the statement (and everything nested in it).
+    Remove,
+    /// Replace a compound statement (`if`/`while`/`for`/block) with its
+    /// body statements, spliced into the parent list.
+    Flatten,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EditOutcome {
+    /// The target index lies beyond this subtree; keep searching.
+    NotFound,
+    /// The edit was performed.
+    Applied,
+    /// The target index was reached but the edit does not apply there
+    /// (e.g. flattening a plain expression statement).
+    Refused,
+}
+
+/// Apply `kind` to the `target`-th statement of the program in
+/// pre-order. Returns false if the index does not exist or the edit
+/// does not apply there.
+///
+/// The pre-order here must match [`count_stmts`]: each statement counts
+/// itself, then its nested statements (`For` counts its init statement,
+/// then the body; `If` counts the then-list, then the else-list).
+fn edit_program(prog: &mut Program, target: usize, kind: EditKind) -> bool {
+    let mut idx = target;
+    for f in &mut prog.funcs {
+        match edit_list(&mut f.body, &mut idx, kind) {
+            EditOutcome::NotFound => continue,
+            EditOutcome::Applied => return true,
+            EditOutcome::Refused => return false,
+        }
+    }
+    false
+}
+
+fn edit_list(stmts: &mut Vec<Stmt>, idx: &mut usize, kind: EditKind) -> EditOutcome {
+    let mut pos = 0;
+    while pos < stmts.len() {
+        if *idx == 0 {
+            return match kind {
+                EditKind::Remove => {
+                    stmts.remove(pos);
+                    EditOutcome::Applied
+                }
+                EditKind::Flatten => {
+                    let body: Vec<Stmt> = match &mut stmts[pos] {
+                        Stmt::If(_, t, e) => {
+                            let mut b = std::mem::take(t);
+                            b.append(e);
+                            b
+                        }
+                        Stmt::While(_, b) => std::mem::take(b),
+                        Stmt::For(init, _, _, b) => {
+                            let mut out = Vec::new();
+                            if let Some(s) = init.take() {
+                                out.push(*s);
+                            }
+                            out.append(b);
+                            out
+                        }
+                        Stmt::Block(b) => std::mem::take(b),
+                        _ => return EditOutcome::Refused,
+                    };
+                    stmts.splice(pos..=pos, body);
+                    EditOutcome::Applied
+                }
+            };
+        }
+        *idx -= 1;
+        let child = match &mut stmts[pos] {
+            Stmt::If(_, t, e) => match edit_list(t, idx, kind) {
+                EditOutcome::NotFound => edit_list(e, idx, kind),
+                o => o,
+            },
+            Stmt::While(_, b) | Stmt::Block(b) => edit_list(b, idx, kind),
+            Stmt::For(init, _, _, b) => {
+                let mut out = EditOutcome::NotFound;
+                if init.is_some() {
+                    if *idx == 0 {
+                        out = if kind == EditKind::Remove {
+                            *init = None;
+                            EditOutcome::Applied
+                        } else {
+                            EditOutcome::Refused
+                        };
+                    } else {
+                        *idx -= 1;
+                    }
+                }
+                if out == EditOutcome::NotFound {
+                    out = edit_list(b, idx, kind);
+                }
+                out
+            }
+            _ => EditOutcome::NotFound,
+        };
+        if child != EditOutcome::NotFound {
+            return child;
+        }
+        pos += 1;
+    }
+    EditOutcome::NotFound
+}
+
+/// A function's statement count (for tests and triage records).
+pub fn func_stmts(f: &FuncDef) -> usize {
+    let p = Program {
+        structs: vec![],
+        globals: vec![],
+        funcs: vec![f.clone()],
+    };
+    count_stmts(&p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_minic::parse;
+
+    fn prog(src: &str) -> Program {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn remove_edits_cover_every_preorder_index() {
+        let p = prog(
+            "int main() { int x = 1; if (x) { x = 2; } else { x = 3; } \
+             for (x = 0; x < 4; x = x + 1) { x = x * 2; } return x; }",
+        );
+        let n = count_stmts(&p);
+        let mut removed = 0;
+        for i in 0..n {
+            let mut cand = p.clone();
+            if edit_program(&mut cand, i, EditKind::Remove) {
+                removed += 1;
+                assert!(count_stmts(&cand) < n, "index {i} removed nothing");
+            }
+        }
+        assert_eq!(removed, n, "every index must be editable");
+    }
+
+    #[test]
+    fn flatten_unwraps_an_if() {
+        let p = prog("int main() { int x = 1; if (x) { x = 2; } return x; }");
+        let n = count_stmts(&p);
+        let mut flattened = false;
+        for i in 0..n {
+            let mut cand = p.clone();
+            if edit_program(&mut cand, i, EditKind::Flatten) && count_stmts(&cand) < n {
+                flattened = true;
+                let printed = print_program(&cand);
+                assert!(!printed.contains("if"), "{printed}");
+            }
+        }
+        assert!(flattened);
+    }
+
+    #[test]
+    fn out_of_range_index_is_rejected() {
+        let mut p = prog("int main() { return 0; }");
+        assert!(!edit_program(&mut p, 99, EditKind::Remove));
+    }
+}

@@ -1,0 +1,217 @@
+//! Triage records: one JSON object per confirmed divergence, plus the
+//! minimized `.mc` reproducer on disk.
+//!
+//! A record carries everything needed to reproduce the finding without
+//! the fuzzer: the case seed (regenerates the original program), the
+//! diverging variant and its TRNG seed (replays the exact layout
+//! draws), the canonical baseline/observed behaviors, and the minimized
+//! source itself. Records are single-line JSON built with the same
+//! hand-rolled escaping as the campaign journal.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use smokestack_minic::count_stmts;
+use smokestack_telemetry::json::push_json_str;
+
+use crate::exec::{CaseResult, Divergence};
+use crate::gen::FuzzCase;
+
+/// A fully triaged divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriageRecord {
+    /// Case seed (regenerate with `gen::generate(seed)`).
+    pub seed: u64,
+    /// Label of the diverging variant.
+    pub variant: String,
+    /// TRNG seed of the diverging run.
+    pub trng_seed: u64,
+    /// Divergence kind label (`output` / `exit`).
+    pub kind: String,
+    /// Canonical baseline exit.
+    pub baseline_exit: String,
+    /// Canonical diverging exit.
+    pub observed_exit: String,
+    /// Baseline output events.
+    pub baseline_output: Vec<String>,
+    /// Diverging output events.
+    pub observed_output: Vec<String>,
+    /// Statement count before minimization.
+    pub stmts_before: usize,
+    /// Statement count of the minimized reproducer.
+    pub stmts_after: usize,
+    /// Minimized source.
+    pub source: String,
+    /// Scripted input chunks, hex-encoded.
+    pub inputs_hex: Vec<String>,
+}
+
+impl TriageRecord {
+    /// Build a record from the original case, its minimized form, and
+    /// the divergence being reported.
+    pub fn new(original: &FuzzCase, minimized: &FuzzCase, div: &Divergence) -> TriageRecord {
+        TriageRecord {
+            seed: original.seed,
+            variant: div.variant.label(),
+            trng_seed: div.trng_seed,
+            kind: div.kind.label().to_string(),
+            baseline_exit: div.baseline.exit.clone(),
+            observed_exit: div.observed.exit.clone(),
+            baseline_output: div.baseline.output.clone(),
+            observed_output: div.observed.output.clone(),
+            stmts_before: count_stmts(&original.program),
+            stmts_after: count_stmts(&minimized.program),
+            source: minimized.source.clone(),
+            inputs_hex: minimized.inputs.iter().map(|c| hex(c)).collect(),
+        }
+    }
+
+    /// One-line JSON rendering.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!("\"seed\":{}", self.seed));
+        s.push_str(",\"variant\":");
+        push_json_str(&mut s, &self.variant);
+        s.push_str(&format!(",\"trng_seed\":{}", self.trng_seed));
+        s.push_str(",\"kind\":");
+        push_json_str(&mut s, &self.kind);
+        s.push_str(",\"baseline_exit\":");
+        push_json_str(&mut s, &self.baseline_exit);
+        s.push_str(",\"observed_exit\":");
+        push_json_str(&mut s, &self.observed_exit);
+        push_str_array(&mut s, "baseline_output", &self.baseline_output);
+        push_str_array(&mut s, "observed_output", &self.observed_output);
+        s.push_str(&format!(
+            ",\"stmts_before\":{},\"stmts_after\":{}",
+            self.stmts_before, self.stmts_after
+        ));
+        push_str_array(&mut s, "inputs_hex", &self.inputs_hex);
+        s.push_str(",\"source\":");
+        push_json_str(&mut s, &self.source);
+        s.push('}');
+        s
+    }
+
+    /// Write `repro-<seed>.mc` and `repro-<seed>.json` under `dir`.
+    /// Returns the two paths.
+    pub fn write_repro(&self, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let mc = dir.join(format!("repro-{:016x}.mc", self.seed));
+        let json = dir.join(format!("repro-{:016x}.json", self.seed));
+        std::fs::write(&mc, &self.source)?;
+        let mut f = std::fs::File::create(&json)?;
+        writeln!(f, "{}", self.to_json_line())?;
+        Ok((mc, json))
+    }
+}
+
+/// Render a non-divergent but still noteworthy case (compile error,
+/// oracle violation, harden failure) as a one-line JSON finding.
+pub fn finding_json(result: &CaseResult) -> String {
+    let mut s = String::from("{");
+    s.push_str(&format!("\"seed\":{}", result.seed));
+    if let Some(e) = &result.compile_error {
+        s.push_str(",\"compile_error\":");
+        push_json_str(&mut s, e);
+    }
+    s.push_str(&format!(
+        ",\"analyzer_errors\":{},\"oracle_oob\":{}",
+        result.analyzer_errors, result.oracle_oob
+    ));
+    push_str_array(&mut s, "harden_errors", &result.harden_errors);
+    s.push_str(&format!(",\"divergences\":{}", result.divergences.len()));
+    s.push('}');
+    s
+}
+
+fn push_str_array(out: &mut String, key: &str, items: &[String]) {
+    out.push_str(&format!(",\"{key}\":["));
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, item);
+    }
+    out.push(']');
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{DivergenceKind, Observation, Variant};
+    use smokestack_minic::parse;
+    use smokestack_srng::SchemeKind;
+
+    fn dummy_case(src: &str) -> FuzzCase {
+        FuzzCase {
+            seed: 42,
+            program: parse(src).unwrap(),
+            source: src.to_string(),
+            inputs: vec![vec![0xde, 0xad]],
+        }
+    }
+
+    #[test]
+    fn record_renders_escaped_single_line_json() {
+        let case = dummy_case("int main() { return 0; }");
+        let div = Divergence {
+            variant: Variant {
+                scheme: SchemeKind::Aes10,
+                prune: false,
+            },
+            run: 1,
+            trng_seed: 77,
+            kind: DivergenceKind::Output,
+            baseline: Observation {
+                exit: "return:0".into(),
+                output: vec!["i:1".into()],
+            },
+            observed: Observation {
+                exit: "return:0".into(),
+                output: vec!["i:2".into()],
+            },
+        };
+        let rec = TriageRecord::new(&case, &case, &div);
+        let line = rec.to_json_line();
+        assert_eq!(line.lines().count(), 1, "record must be a single line");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"seed\":42"));
+        assert!(line.contains("\"variant\":\"smokestack/AES-10\""));
+        assert!(line.contains("\"kind\":\"output\""));
+        // The multi-line source must arrive escaped, never raw.
+        assert!(line.contains("\\n") || !rec.source.contains('\n'));
+        assert_eq!(rec.inputs_hex, vec!["dead".to_string()]);
+    }
+
+    #[test]
+    fn write_repro_emits_both_files() {
+        let dir = std::env::temp_dir().join(format!("fuzz-triage-{}", std::process::id()));
+        let case = dummy_case("int main() { return 3; }");
+        let div = Divergence {
+            variant: Variant {
+                scheme: SchemeKind::Pseudo,
+                prune: true,
+            },
+            run: 0,
+            trng_seed: 5,
+            kind: DivergenceKind::Exit,
+            baseline: Observation {
+                exit: "return:3".into(),
+                output: vec![],
+            },
+            observed: Observation {
+                exit: "return:4".into(),
+                output: vec![],
+            },
+        };
+        let rec = TriageRecord::new(&case, &case, &div);
+        let (mc, json) = rec.write_repro(&dir).unwrap();
+        assert_eq!(std::fs::read_to_string(&mc).unwrap(), case.source);
+        assert!(std::fs::read_to_string(&json).unwrap().contains("+prune"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

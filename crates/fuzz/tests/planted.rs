@@ -1,0 +1,58 @@
+//! Oracle validation against a known-bad permutation engine.
+//!
+//! With the `planted-bugs` cargo feature, `smokestack-core` deliberately
+//! corrupts one P-BOX row per table (two slot offsets alias), so any
+//! invocation whose layout draw lands on that row silently overlaps two
+//! locals. A differential fuzzer that cannot find this defect within a
+//! small seed budget could not be trusted to certify the absence of
+//! real ones — this test is the fuzzer's own acceptance gate.
+//!
+//! Detection probability per draw is `1/phys_rows` for the affected
+//! frame, so small frames (two live slots, two rows) dominate. The
+//! window and draw count below were sized empirically: 64 seeds at
+//! 4 draws per variant reliably yield several divergent cases.
+
+#![cfg(feature = "planted-bugs")]
+
+use smokestack_fuzz::{run_fuzz, FuzzConfig};
+
+#[test]
+fn fuzzer_finds_and_minimizes_the_planted_pbox_bug() {
+    let report = run_fuzz(&FuzzConfig {
+        seed_start: 0,
+        seed_end: 64,
+        jobs: 4,
+        runs_per_variant: 4,
+        minimize: true,
+        max_triage: 2,
+    });
+
+    assert_eq!(report.cases, 64);
+    assert!(
+        report.divergent_cases >= 1,
+        "planted P-BOX corruption went undetected: {}",
+        report.summary_json()
+    );
+    assert!(!report.is_clean());
+
+    // The planted bug corrupts only the layout tables; every other
+    // oracle axis must stay quiet.
+    assert_eq!(report.compile_errors, 0, "{}", report.summary_json());
+    assert_eq!(report.oracle_violations, 0, "{}", report.summary_json());
+    assert_eq!(report.harden_failures, 0, "{}", report.summary_json());
+    assert_eq!(report.analyzer_flagged, 0, "{}", report.summary_json());
+
+    // Minimization must produce a small actionable reproducer.
+    assert!(!report.triage.is_empty());
+    for t in &report.triage {
+        assert!(
+            t.stmts_after <= 25,
+            "reproducer for seed {:#x} still has {} statements:\n{}",
+            t.seed,
+            t.stmts_after,
+            t.source
+        );
+        assert!(t.stmts_after <= t.stmts_before);
+        assert!(t.source.contains("int main()"));
+    }
+}

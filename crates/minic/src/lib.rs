@@ -28,9 +28,11 @@ pub mod ast;
 mod lexer;
 mod lower;
 mod parser;
+mod printer;
 mod srcmap;
 
 pub use lexer::{lex, Kw, LexError, Pos, Tok, Token};
 pub use lower::{compile, lower, CompileError};
 pub use parser::{parse, ParseError};
+pub use printer::{count_stmts, expr_str, print_program};
 pub use srcmap::{compile_with_source_map, SourceMap};

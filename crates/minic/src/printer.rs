@@ -1,0 +1,446 @@
+//! AST pretty-printer: emit a [`Program`] back as compilable MiniC
+//! source.
+//!
+//! The printer is the dual of the parser and is written for a *print
+//! fixpoint* guarantee rather than token-for-token faithfulness:
+//! `print(parse(print(p))) == print(p)` for every printable program.
+//! (AST equality cannot hold because every node carries a source
+//! position.) Expressions are fully parenthesized, so precedence never
+//! needs to be reconstructed and the fixpoint is structural.
+//!
+//! The fuzzing subsystem leans on this module twice: generated ASTs are
+//! printed before compilation so the *parser* is inside the differential
+//! loop, and the delta-debugging minimizer re-prints every candidate
+//! reduction as a standalone `.mc` reproducer.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Render a whole translation unit as MiniC source.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for s in &p.structs {
+        print_struct(&mut out, s);
+    }
+    for g in &p.globals {
+        print_global(&mut out, g);
+    }
+    for f in &p.funcs {
+        print_func(&mut out, f);
+    }
+    out
+}
+
+/// Count statements in a program, recursing into nested bodies — the
+/// size metric triage records and the minimizer's acceptance bound use.
+pub fn count_stmts(p: &Program) -> usize {
+    fn count(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| {
+                1 + match s {
+                    Stmt::If(_, t, e) => count(t) + count(e),
+                    Stmt::While(_, b) => count(b),
+                    Stmt::For(init, _, _, b) => init.iter().len() + count(b),
+                    Stmt::Block(b) => count(b),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+    p.funcs.iter().map(|f| count(&f.body)).sum()
+}
+
+fn print_struct(out: &mut String, s: &StructDef) {
+    let _ = writeln!(out, "struct {} {{", s.name);
+    for (ty, name, arr) in &s.fields {
+        match arr {
+            Some(n) => {
+                let _ = writeln!(out, "    {} {}[{}];", type_str(ty), name, n);
+            }
+            None => {
+                let _ = writeln!(out, "    {} {};", type_str(ty), name);
+            }
+        }
+    }
+    let _ = writeln!(out, "}};");
+}
+
+fn print_global(out: &mut String, g: &GlobalDef) {
+    let _ = write!(out, "{} {}", type_str(&g.ty), g.name);
+    if let Some(n) = g.array {
+        let _ = write!(out, "[{n}]");
+    }
+    match &g.init {
+        Some(GlobalInitAst::Int(v)) => {
+            let _ = write!(out, " = {v}");
+        }
+        Some(GlobalInitAst::Str(s)) => {
+            let _ = write!(out, " = {}", str_lit(s));
+        }
+        None => {}
+    }
+    let _ = writeln!(out, ";");
+}
+
+fn print_func(out: &mut String, f: &FuncDef) {
+    let params = f
+        .params
+        .iter()
+        .map(|p| format!("{} {}", type_str(&p.ty), p.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "{} {}({}) {{", type_str(&f.ret), f.name, params);
+    for s in &f.body {
+        print_stmt(out, s, 1);
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn print_stmt(out: &mut String, s: &Stmt, depth: usize) {
+    match s {
+        Stmt::Decl(d) => {
+            indent(out, depth);
+            out.push_str(&decl_str(d));
+            out.push('\n');
+        }
+        Stmt::Expr(e) => {
+            indent(out, depth);
+            let _ = writeln!(out, "{};", expr_str(e));
+        }
+        Stmt::If(cond, then, els) => {
+            indent(out, depth);
+            let _ = writeln!(out, "if ({}) {{", expr_str(cond));
+            for s in then {
+                print_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            if els.is_empty() {
+                let _ = writeln!(out, "}}");
+            } else {
+                let _ = writeln!(out, "}} else {{");
+                for s in els {
+                    print_stmt(out, s, depth + 1);
+                }
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+        }
+        Stmt::While(cond, body) => {
+            indent(out, depth);
+            let _ = writeln!(out, "while ({}) {{", expr_str(cond));
+            for s in body {
+                print_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::For(init, cond, step, body) => {
+            indent(out, depth);
+            let init_s = match init.as_deref() {
+                Some(Stmt::Decl(d)) => decl_str(d),
+                Some(Stmt::Expr(e)) => format!("{};", expr_str(e)),
+                // `for` headers only hold declarations or expressions;
+                // anything else came from a hand-built AST — drop it.
+                Some(_) | None => ";".into(),
+            };
+            let cond_s = cond.as_ref().map(expr_str).unwrap_or_default();
+            let step_s = step.as_ref().map(expr_str).unwrap_or_default();
+            let _ = writeln!(out, "for ({init_s} {cond_s}; {step_s}) {{");
+            for s in body {
+                print_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        Stmt::Return(v, _) => {
+            indent(out, depth);
+            match v {
+                Some(e) => {
+                    let _ = writeln!(out, "return {};", expr_str(e));
+                }
+                None => {
+                    let _ = writeln!(out, "return;");
+                }
+            }
+        }
+        Stmt::Break(_) => {
+            indent(out, depth);
+            let _ = writeln!(out, "break;");
+        }
+        Stmt::Continue(_) => {
+            indent(out, depth);
+            let _ = writeln!(out, "continue;");
+        }
+        Stmt::Block(body) => {
+            indent(out, depth);
+            let _ = writeln!(out, "{{");
+            for s in body {
+                print_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+    }
+}
+
+fn decl_str(d: &LocalDecl) -> String {
+    let mut s = format!("{} {}", type_str(&d.ty), d.name);
+    match &d.array {
+        Some(Ok(n)) => {
+            let _ = write!(s, "[{n}]");
+        }
+        Some(Err(e)) => {
+            let _ = write!(s, "[{}]", expr_str(e));
+        }
+        None => {}
+    }
+    if let Some(init) = &d.init {
+        let _ = write!(s, " = {}", expr_str(init));
+    }
+    s.push(';');
+    s
+}
+
+fn type_str(t: &TypeExpr) -> String {
+    match t {
+        TypeExpr::Void => "void".into(),
+        TypeExpr::Char => "char".into(),
+        TypeExpr::Short => "short".into(),
+        TypeExpr::Int => "int".into(),
+        TypeExpr::Long => "long".into(),
+        TypeExpr::Struct(n) => format!("struct {n}"),
+        TypeExpr::Ptr(inner) => format!("{}*", type_str(inner)),
+    }
+}
+
+fn bin_op_str(op: BinOpKind) -> &'static str {
+    match op {
+        BinOpKind::Add => "+",
+        BinOpKind::Sub => "-",
+        BinOpKind::Mul => "*",
+        BinOpKind::Div => "/",
+        BinOpKind::Rem => "%",
+        BinOpKind::And => "&",
+        BinOpKind::Or => "|",
+        BinOpKind::Xor => "^",
+        BinOpKind::Shl => "<<",
+        BinOpKind::Shr => ">>",
+        BinOpKind::Lt => "<",
+        BinOpKind::Le => "<=",
+        BinOpKind::Gt => ">",
+        BinOpKind::Ge => ">=",
+        BinOpKind::Eq => "==",
+        BinOpKind::Ne => "!=",
+        BinOpKind::LogAnd => "&&",
+        BinOpKind::LogOr => "||",
+    }
+}
+
+fn un_op_str(op: UnOpKind) -> &'static str {
+    match op {
+        UnOpKind::Neg => "-",
+        UnOpKind::Not => "!",
+        UnOpKind::BitNot => "~",
+        UnOpKind::Deref => "*",
+        UnOpKind::Addr => "&",
+    }
+}
+
+/// Render an expression. Every compound form is parenthesized, so the
+/// output re-parses to the same structure regardless of precedence.
+pub fn expr_str(e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => {
+            if *v < 0 {
+                // A bare negative literal re-parses as unary minus; keep
+                // the fixpoint by printing the parenthesized unary form.
+                format!("(-{})", v.unsigned_abs())
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Str(s, _) => str_lit(s),
+        Expr::Var(n, _) => n.clone(),
+        Expr::Bin(op, l, r, _) => format!("({} {} {})", expr_str(l), bin_op_str(*op), expr_str(r)),
+        Expr::Un(op, inner, _) => format!("({}{})", un_op_str(*op), expr_str(inner)),
+        Expr::Assign(l, r, _) => format!("({} = {})", expr_str(l), expr_str(r)),
+        Expr::Index(b, i, _) => format!("{}[{}]", base_str(b), expr_str(i)),
+        Expr::Member(b, f, _) => format!("{}.{}", base_str(b), f),
+        Expr::Arrow(b, f, _) => format!("{}->{}", base_str(b), f),
+        Expr::Call(name, args, _) => {
+            let args = args.iter().map(expr_str).collect::<Vec<_>>().join(", ");
+            format!("{name}({args})")
+        }
+        Expr::SizeofType(t, _) => format!("sizeof({})", type_str(t)),
+        Expr::SizeofExpr(inner, _) => format!("sizeof({})", expr_str(inner)),
+    }
+}
+
+/// Render the base of a postfix chain: postfix forms bind tighter than
+/// any operator, so bases that are themselves postfix/primary need no
+/// parentheses, while anything else gets them.
+fn base_str(e: &Expr) -> String {
+    match e {
+        Expr::Var(..) | Expr::Index(..) | Expr::Member(..) | Expr::Arrow(..) | Expr::Call(..) => {
+            expr_str(e)
+        }
+        _ => format!("({})", expr_str(e)),
+    }
+}
+
+/// Render a string literal with the escapes the lexer understands
+/// (`\n \t \r \0 \\ \" \'`). Bytes outside that set and the printable
+/// ASCII range have no MiniC spelling; they are replaced with `?` —
+/// callers that must preserve semantics (the minimizer) re-validate
+/// every candidate against the divergence predicate, so a lossy byte
+/// can never produce a false reproducer.
+fn str_lit(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() + 2);
+    s.push('"');
+    for &b in bytes {
+        match b {
+            b'\n' => s.push_str("\\n"),
+            b'\t' => s.push_str("\\t"),
+            b'\r' => s.push_str("\\r"),
+            0 => s.push_str("\\0"),
+            b'\\' => s.push_str("\\\\"),
+            b'"' => s.push_str("\\\""),
+            0x20..=0x7e => s.push(b as char),
+            _ => s.push('?'),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// The print-fixpoint property: printing, reparsing, and printing
+    /// again must reproduce the first print exactly.
+    fn assert_fixpoint(src: &str) {
+        let ast = parse(src).unwrap_or_else(|e| panic!("corpus source: {e}"));
+        let once = print_program(&ast);
+        let reparsed =
+            parse(&once).unwrap_or_else(|e| panic!("printed source reparses: {e}\n{once}"));
+        let twice = print_program(&reparsed);
+        assert_eq!(once, twice, "print fixpoint violated for:\n{src}");
+    }
+
+    #[test]
+    fn roundtrips_core_constructs() {
+        assert_fixpoint(
+            r#"
+            struct pt { int x; int y; char tag[4]; };
+            int g = 5;
+            long big = -7;
+            char msg[6] = "hi\n";
+            int helper(int a, long b) {
+                int acc = 0;
+                for (int i = 0; i < a; i++) { acc += i * 3; }
+                while (acc > 100) { acc -= b; break; }
+                if (acc == 0) { return 1; } else { acc = acc | 8; }
+                return acc;
+            }
+            int main() {
+                char buf[16];
+                char vla[g];
+                int *p = &g;
+                *p = 9;
+                struct pt v;
+                v.x = 1;
+                int n = helper(3, 4) + sizeof(long) - sizeof(buf);
+                print_int(n);
+                print_str("done");
+                return n % 256;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_operator_zoo() {
+        assert_fixpoint(
+            "int f(int a, int b) { return a + b * 3 - (a / (b | 1)) % 7 ^ (a << 2) >> 1 \
+             & ~b | (a < b) + (a <= b) + (a > b) + (a >= b) + (a == b) + (a != b) \
+             + (a && b) + (a || !b); }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_negative_literals_and_unary() {
+        assert_fixpoint("int f() { int x = -5; return -x + (-(3)) - (--x) + (x--); }");
+    }
+
+    #[test]
+    fn roundtrips_pointers_members_calls() {
+        assert_fixpoint(
+            "struct s { int a; long n[2]; }; \
+             long f(struct s *p, long *q) { p->a = 3; (*p).n[1] = *q; return p->n[0]; }",
+        );
+    }
+
+    #[test]
+    fn printed_source_compiles() {
+        let src = "int main() { int a = 1; char buf[8]; \
+                   for (int i = 0; i < 8; i++) { buf[i] = i; } \
+                   return a + buf[3]; }";
+        let printed = print_program(&parse(src).unwrap());
+        let m = crate::lower::compile(&printed).expect("printed source compiles");
+        assert!(m.func_by_name("main").is_some());
+    }
+
+    #[test]
+    fn roundtrips_example_corpus() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/minic");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(dir).expect("examples/minic exists") {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "mc") {
+                let src = std::fs::read_to_string(&path).unwrap();
+                assert_fixpoint(&src);
+                seen += 1;
+            }
+        }
+        assert!(seen > 0, "example corpus is empty");
+    }
+
+    #[test]
+    fn counts_statements_recursively() {
+        let p = parse(
+            "int main() { int a = 0; if (a) { a = 1; a = 2; } else { a = 3; } \
+             while (a) { a = 0; } return a; }",
+        )
+        .unwrap();
+        // decl, if, 2 then, 1 else, while, 1 body, return = 8.
+        assert_eq!(count_stmts(&p), 8);
+    }
+
+    #[test]
+    fn unprintable_string_bytes_are_lossy_but_parseable() {
+        let p = Program {
+            structs: vec![],
+            globals: vec![GlobalDef {
+                ty: TypeExpr::Char,
+                name: "g".into(),
+                array: Some(4),
+                init: Some(GlobalInitAst::Str(vec![b'a', 0x01, b'\n', 0])),
+                pos: crate::lexer::Pos { line: 1, col: 1 },
+            }],
+            funcs: vec![],
+        };
+        let printed = print_program(&p);
+        assert!(printed.contains("\"a?\\n\\0\""));
+        parse(&printed).expect("lossy print still parses");
+    }
+}

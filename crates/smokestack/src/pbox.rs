@@ -323,6 +323,15 @@ fn build_table(sig: &Signature, cfg: &PBoxConfig) -> Table {
         let dup = rows[(i % logical) as usize].clone();
         rows.push(dup);
     }
+    // `planted-bugs` (test-only): corrupt one physical row so two slots
+    // overlap. Any program that draws this row and keeps live values in
+    // both aliased slots misbehaves — the differential fuzzer must find
+    // and minimize exactly this within a bounded seed budget, which
+    // validates its oracle end to end.
+    #[cfg(feature = "planted-bugs")]
+    if n >= 2 {
+        rows[0].offsets[1] = rows[0].offsets[0];
+    }
     let max_total = rows.iter().map(|r| r.total).max().unwrap_or(0);
     Table {
         signature: sig.clone(),

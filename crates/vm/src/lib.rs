@@ -47,7 +47,7 @@ mod mem;
 pub use cycles::{CostModel, CycleBreakdown, SlabClass, DECI};
 pub use exec::{AllocaRecord, Exit, FaultKind, RunOutcome, Vm, VmConfig};
 pub use io::{FnInput, InputSource, OutputEvent, ScriptedInput};
-pub use mem::{layout, MemConfig, MemFault, Memory};
+pub use mem::{layout, FaultLocus, MemConfig, MemFault, Memory};
 // Telemetry surface, re-exported so VM users configure tracing without
 // naming the telemetry crate directly.
 pub use smokestack_telemetry::{

@@ -32,7 +32,6 @@ pub mod layout {
 /// A contiguous memory region.
 #[derive(Debug, Clone)]
 pub struct Segment {
-    #[allow(dead_code)] // retained for Debug output readability
     name: &'static str,
     base: u64,
     bytes: Vec<u8>,
@@ -76,6 +75,53 @@ impl Segment {
     }
 }
 
+/// Where a faulting address sits relative to the segment map — the
+/// context that makes a fault message readable without a debugger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLocus {
+    /// The address is inside `segment` at `offset` bytes from its base;
+    /// the access still faulted (read-only segment, or a range that
+    /// straddles the segment's end).
+    Within {
+        /// Segment name.
+        segment: &'static str,
+        /// Byte offset of the faulting address from the segment base.
+        offset: u64,
+    },
+    /// The address is unmapped, `by` bytes past the end of `segment`
+    /// (the nearest segment below it).
+    PastEnd {
+        /// Nearest segment name.
+        segment: &'static str,
+        /// Distance past the segment's end in bytes.
+        by: u64,
+    },
+    /// The address is unmapped, `by` bytes below the base of `segment`
+    /// (the nearest segment above it).
+    Below {
+        /// Nearest segment name.
+        segment: &'static str,
+        /// Distance below the segment's base in bytes.
+        by: u64,
+    },
+}
+
+impl fmt::Display for FaultLocus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultLocus::Within { segment, offset } => {
+                write!(f, "{segment}+{offset:#x}")
+            }
+            FaultLocus::PastEnd { segment, by } => {
+                write!(f, "{by:#x} bytes past end of {segment}")
+            }
+            FaultLocus::Below { segment, by } => {
+                write!(f, "{by:#x} bytes below {segment}")
+            }
+        }
+    }
+}
+
 /// A memory access fault (the simulated SIGSEGV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemFault {
@@ -85,16 +131,19 @@ pub struct MemFault {
     pub len: u64,
     /// Whether the access was a write.
     pub write: bool,
+    /// Segment context of the faulting address.
+    pub locus: FaultLocus,
 }
 
 impl fmt::Display for MemFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} fault at {:#x} ({} bytes)",
+            "{} fault at {:#x} ({} bytes; {})",
             if self.write { "write" } else { "read" },
             self.addr,
-            self.len
+            self.len,
+            self.locus
         )
     }
 }
@@ -162,6 +211,55 @@ impl Memory {
         }
     }
 
+    fn segments(&self) -> [&Segment; 4] {
+        [&self.rodata, &self.data, &self.heap, &self.stack]
+    }
+
+    /// Classify `addr` against the segment map for fault reporting.
+    pub fn locate(&self, addr: u64) -> FaultLocus {
+        if let Some(s) = self.segments().into_iter().find(|s| s.contains(addr, 1)) {
+            return FaultLocus::Within {
+                segment: s.name,
+                offset: addr - s.base,
+            };
+        }
+        // Unmapped: report the nearest segment edge.
+        self.segments()
+            .into_iter()
+            .map(|s| {
+                if addr < s.base {
+                    (
+                        s.base - addr,
+                        FaultLocus::Below {
+                            segment: s.name,
+                            by: s.base - addr,
+                        },
+                    )
+                } else {
+                    (
+                        addr - s.end(),
+                        FaultLocus::PastEnd {
+                            segment: s.name,
+                            by: addr - s.end(),
+                        },
+                    )
+                }
+            })
+            .min_by_key(|(d, _)| *d)
+            .map(|(_, locus)| locus)
+            .expect("segment map is non-empty")
+    }
+
+    /// Build a [`MemFault`] for `addr..addr+len` with segment context.
+    fn fault(&self, addr: u64, len: u64, write: bool) -> MemFault {
+        MemFault {
+            addr,
+            len,
+            write,
+            locus: self.locate(addr),
+        }
+    }
+
     fn segment_for(&self, addr: u64, len: u64) -> Option<&Segment> {
         [&self.rodata, &self.data, &self.heap, &self.stack]
             .into_iter()
@@ -190,11 +288,7 @@ impl Memory {
     pub fn read(&self, addr: u64, len: u64) -> Result<&[u8], MemFault> {
         match self.segment_for(addr, len) {
             Some(s) => Ok(s.slice(addr, len)),
-            None => Err(MemFault {
-                addr,
-                len,
-                write: false,
-            }),
+            None => Err(self.fault(addr, len, false)),
         }
     }
 
@@ -209,16 +303,17 @@ impl Memory {
         if self.stack.contains(addr, len) {
             self.stack_low_water = self.stack_low_water.min(addr);
         }
-        match self.segment_for_mut(addr, len) {
+        let hit = match self.segment_for_mut(addr, len) {
             Some(s) if s.writable => {
                 s.slice_mut(addr, len).copy_from_slice(bytes);
-                Ok(())
+                true
             }
-            _ => Err(MemFault {
-                addr,
-                len,
-                write: true,
-            }),
+            _ => false,
+        };
+        if hit {
+            Ok(())
+        } else {
+            Err(self.fault(addr, len, true))
         }
     }
 
@@ -230,16 +325,17 @@ impl Memory {
     /// Faults if the range is outside all segments.
     pub fn write_init(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
         let len = bytes.len() as u64;
-        match self.segment_for_mut(addr, len) {
+        let hit = match self.segment_for_mut(addr, len) {
             Some(s) => {
                 s.slice_mut(addr, len).copy_from_slice(bytes);
-                Ok(())
+                true
             }
-            None => Err(MemFault {
-                addr,
-                len,
-                write: true,
-            }),
+            None => false,
+        };
+        if hit {
+            Ok(())
+        } else {
+            Err(self.fault(addr, len, true))
         }
     }
 
@@ -414,6 +510,65 @@ mod tests {
         let a = layout::DATA_BASE + 50;
         m.write(a, b"hello\0").unwrap();
         assert_eq!(m.strlen(a).unwrap(), 5);
+    }
+
+    #[test]
+    fn fault_locus_names_containing_segment() {
+        let mut m = mem();
+        // Write to rodata: inside the segment, still a fault.
+        let err = m.write(layout::RODATA_BASE + 0x40, &[1]).unwrap_err();
+        assert_eq!(
+            err.locus,
+            FaultLocus::Within {
+                segment: "rodata",
+                offset: 0x40
+            }
+        );
+        assert!(err.to_string().contains("rodata+0x40"), "{err}");
+    }
+
+    #[test]
+    fn fault_locus_names_nearest_segment_for_unmapped() {
+        let m = mem();
+        // Just past the end of the data segment.
+        let data_end = layout::DATA_BASE + MemConfig::default().data_size as u64;
+        let err = m.read(data_end + 0x10, 4).unwrap_err();
+        assert_eq!(
+            err.locus,
+            FaultLocus::PastEnd {
+                segment: "data",
+                by: 0x10
+            }
+        );
+        assert!(err.to_string().contains("past end of data"), "{err}");
+        // Just below the rodata base.
+        let err = m.read(layout::RODATA_BASE - 8, 4).unwrap_err();
+        assert_eq!(
+            err.locus,
+            FaultLocus::Below {
+                segment: "rodata",
+                by: 8
+            }
+        );
+        assert!(err.to_string().contains("below rodata"), "{err}");
+    }
+
+    #[test]
+    fn fault_locus_straddling_range_reports_start_segment() {
+        let mut m = mem();
+        let end = layout::DATA_BASE + MemConfig::default().data_size as u64;
+        let err = m.write(end - 4, &[0u8; 8]).unwrap_err();
+        assert!(
+            matches!(
+                err.locus,
+                FaultLocus::Within {
+                    segment: "data",
+                    ..
+                }
+            ),
+            "{:?}",
+            err.locus
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub use smokestack_attacks as attacks;
 pub use smokestack_campaign as campaign;
 pub use smokestack_core as core;
 pub use smokestack_defenses as defenses;
+pub use smokestack_fuzz as fuzz;
 pub use smokestack_ir as ir;
 pub use smokestack_minic as minic;
 pub use smokestack_srng as srng;

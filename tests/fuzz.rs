@@ -1,0 +1,143 @@
+//! Tier-1 differential-fuzzing regression suite.
+//!
+//! Three layers, all fully offline and deterministic:
+//!
+//! 1. **Corpus replay** — the handwritten programs under `tests/corpus/`
+//!    pin known-interesting frame shapes (slot aliasing, heterogeneous
+//!    call chains, structs + VLAs, scripted input, dense control flow).
+//!    Each must be analyzer-clean and behave identically across the
+//!    full baseline × variant matrix.
+//! 2. **Smoke window** — a short generated-seed campaign must come back
+//!    clean: zero divergences, zero compile errors, zero oracle
+//!    violations, and zero analyzer-flagged cases (the generator is
+//!    safe by construction).
+//! 3. **Sharding invariance** — the same window fuzzed with 1 and 4
+//!    workers must produce bit-identical reports.
+//!
+//! The planted-bug validation lives in the fuzz crate's own
+//! feature-gated `planted.rs` test, not here: tier-1 always runs with
+//! an honest permutation engine.
+
+use smokestack_repro::fuzz::{generate, run_case, DiffConfig, FuzzCase, FuzzConfig};
+use smokestack_repro::fuzz::{run_fuzz, variants};
+use smokestack_repro::minic::{count_stmts, parse, print_program};
+
+fn corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn corpus_sources() -> Vec<(String, String)> {
+    let mut files: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            (p.extension()? == "mc").then_some(p)
+        })
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&p).unwrap();
+            (name, src)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_replays_without_divergence() {
+    let sources = corpus_sources();
+    assert!(
+        sources.len() >= 5,
+        "corpus shrank to {} programs",
+        sources.len()
+    );
+    let diff = DiffConfig {
+        runs_per_variant: 2,
+        ..DiffConfig::default()
+    };
+    for (name, src) in &sources {
+        let case = FuzzCase {
+            seed: 0,
+            program: parse(src).unwrap_or_else(|e| panic!("{name}: {e:?}")),
+            source: src.clone(),
+            // Fixed scripted chunks; programs without `get_input`
+            // simply never consume them.
+            inputs: vec![b"hello".to_vec(), b"wor".to_vec()],
+        };
+        let r = run_case(&case, &diff);
+        assert!(r.compile_error.is_none(), "{name}: {:?}", r.compile_error);
+        assert_eq!(r.analyzer_errors, 0, "{name} must be analyzer-clean");
+        assert!(!r.oracle_oob, "{name} faulted out of bounds in baseline");
+        assert!(r.harden_errors.is_empty(), "{name}: {:?}", r.harden_errors);
+        assert!(
+            r.divergences.is_empty(),
+            "{name} diverged: {:?}",
+            r.divergences[0]
+        );
+    }
+}
+
+#[test]
+fn corpus_round_trips_through_the_printer() {
+    for (name, src) in corpus_sources() {
+        let ast = parse(&src).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+        let printed = print_program(&ast);
+        let reparsed = parse(&printed).unwrap_or_else(|e| panic!("{name} reprint: {e:?}"));
+        assert_eq!(
+            print_program(&reparsed),
+            printed,
+            "{name}: printer is not a fixpoint"
+        );
+        assert_eq!(count_stmts(&ast), count_stmts(&reparsed), "{name}");
+    }
+}
+
+#[test]
+fn smoke_window_is_clean() {
+    let report = run_fuzz(&FuzzConfig {
+        seed_start: 300,
+        seed_end: 312,
+        jobs: 2,
+        runs_per_variant: 1,
+        minimize: true,
+        max_triage: 2,
+    });
+    assert_eq!(report.cases, 12);
+    assert!(report.is_clean(), "{}", report.summary_json());
+    assert_eq!(
+        report.analyzer_flagged,
+        0,
+        "generator must be safe by construction: {}",
+        report.summary_json()
+    );
+    assert!(report.triage.is_empty());
+}
+
+#[test]
+fn reports_are_identical_across_job_counts() {
+    let cfg = FuzzConfig {
+        seed_start: 400,
+        seed_end: 408,
+        jobs: 1,
+        runs_per_variant: 1,
+        minimize: true,
+        max_triage: 2,
+    };
+    let serial = run_fuzz(&cfg);
+    let parallel = run_fuzz(&FuzzConfig { jobs: 4, ..cfg });
+    assert_eq!(serial, parallel, "aggregates must not depend on --jobs");
+}
+
+#[test]
+fn generated_cases_cover_the_full_variant_matrix() {
+    // 4 schemes × pruning on/off; a generated case must execute cleanly
+    // against every one of them.
+    assert_eq!(variants().len(), 8);
+    let case = generate(7);
+    let r = run_case(&case, &DiffConfig::default());
+    assert!(r.compile_error.is_none());
+    assert!(r.harden_errors.is_empty(), "{:?}", r.harden_errors);
+    assert!(r.divergences.is_empty(), "{:?}", r.divergences[0]);
+}
