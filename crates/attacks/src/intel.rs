@@ -9,7 +9,7 @@
 
 use smokestack_core::HardenReport;
 use smokestack_srng::XorShift64;
-use smokestack_vm::{layout, AllocaRecord, Memory, RunOutcome, ScriptedInput, Vm, VmConfig};
+use smokestack_vm::{layout, AllocaRecord, Memory, RunOutcome, ScriptedInput, VmConfig};
 
 use crate::Build;
 
@@ -53,7 +53,7 @@ pub fn probe(build: &Build, probe_seed: u64, input: Vec<Vec<u8>>) -> ProbeIntel 
         record_allocas: true,
         ..build.vm_config(probe_seed)
     };
-    let mut vm = Vm::new(build.module.clone(), cfg);
+    let mut vm = build.executor().vm_with_config(cfg);
     let outcome = vm.run_main(ScriptedInput::new(input));
     ProbeIntel {
         records: outcome.alloca_trace.clone(),

@@ -36,7 +36,9 @@ use std::sync::Arc;
 use smokestack_defenses::{deploy_configured, DefenseKind, Deployment};
 use smokestack_ir::Module;
 use smokestack_minic::compile;
-use smokestack_vm::{Exit, FaultKind, RunOutcome, SharedCollector, Tracer, Vm, VmConfig};
+use smokestack_vm::{
+    ExecBackend, Executor, Exit, FaultKind, RunOutcome, RunReport, SharedCollector, Vm, VmConfig,
+};
 
 /// Outcome of one exploit attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,23 +79,23 @@ impl fmt::Display for AttackOutcome {
 
 /// A deployed build of a vulnerable program under some defense.
 ///
-/// The module is shared behind an [`Arc`]: cloning a `Build` (or
-/// spawning VMs from it) never deep-copies the IR, so Monte-Carlo
-/// campaigns can cheaply construct one build per worker thread.
+/// A `Build` is an [`Executor`] session plus deployment metadata: the
+/// module is shared behind an [`Arc`] and the bytecode image is
+/// compiled once per build, so cloning a `Build` (or spawning VMs from
+/// it) never deep-copies or re-lowers the IR. Monte-Carlo campaigns
+/// cheaply construct one build per worker thread and spawn thousands
+/// of per-seed VMs from it.
 #[derive(Clone)]
 pub struct Build {
-    /// The hardened (or baseline) module.
-    pub module: Arc<Module>,
     /// Which defense was applied.
     pub defense: DefenseKind,
     /// Deployment metadata (Smokestack placements, etc.).
     pub deployment: Deployment,
     /// Compile-time seed used (drives static permutations/padding).
     pub build_seed: u64,
-    /// Optional telemetry collector cloned into every VM this build
-    /// spawns, so campaigns surface guard checks, faults, and attacker
-    /// input requests as structured events.
-    pub tracer: Option<SharedCollector>,
+    /// The VM session: module, scheme, optional telemetry collector,
+    /// and the shared compiled bytecode image.
+    executor: Executor,
 }
 
 impl Build {
@@ -130,40 +132,81 @@ impl Build {
         // whose offset is recomputed per trial in `vm_config`.
         let deployment = deploy_configured(defense, &mut module, build_seed, 0, ss_cfg);
         smokestack_ir::verify_module(&module).expect("deployed module verifies");
+        Build::from_deployed(module, defense, deployment, build_seed)
+    }
+
+    /// Wrap an already-deployed module (hardened by hand rather than
+    /// through [`deploy_configured`]) as a build.
+    pub fn from_deployed(
+        module: impl Into<Arc<Module>>,
+        defense: DefenseKind,
+        deployment: Deployment,
+        build_seed: u64,
+    ) -> Build {
         Build {
-            module: Arc::new(module),
+            executor: Executor::for_module(module)
+                .scheme(defense.scheme())
+                .build(),
             defense,
             deployment,
             build_seed,
-            tracer: None,
         }
     }
 
-    /// Attach a telemetry collector to every VM this build spawns.
+    /// Attach a telemetry collector to every VM this build spawns, so
+    /// campaigns surface guard checks, faults, and attacker input
+    /// requests as structured events.
     pub fn with_tracer(mut self, collector: SharedCollector) -> Build {
-        self.tracer = Some(collector);
+        self.executor = self.executor.with_tracer(collector);
         self
+    }
+
+    /// Switch the build onto a different execution backend (differential
+    /// testing runs the same attack under both engines).
+    pub fn with_backend(mut self, backend: ExecBackend) -> Build {
+        self.executor = self.executor.with_backend(backend);
+        self
+    }
+
+    /// The hardened (or baseline) module.
+    pub fn module(&self) -> &Arc<Module> {
+        self.executor.module()
+    }
+
+    /// The underlying VM session (module + compiled image + tracer).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// The telemetry collector attached via [`Build::with_tracer`], if
+    /// any.
+    pub fn tracer(&self) -> Option<&SharedCollector> {
+        self.executor.tracer()
+    }
+
+    /// Per-run ASLR offset: only `DefenseKind::StackBase` re-draws the
+    /// stack base each service restart.
+    fn run_offset(&self, run_seed: u64) -> u64 {
+        match self.defense {
+            DefenseKind::StackBase => smokestack_defenses::stack_base_offset(run_seed, 1 << 20),
+            _ => 0,
+        }
     }
 
     /// VM configuration for one run of this build. Per-run randomness
     /// (TRNG seed, ASLR offset) is derived from `run_seed`.
     pub fn vm_config(&self, run_seed: u64) -> VmConfig {
-        let stack_base_offset = match self.defense {
-            DefenseKind::StackBase => smokestack_defenses::stack_base_offset(run_seed, 1 << 20),
-            _ => 0,
-        };
         VmConfig {
-            scheme: self.defense.scheme(),
             trng_seed: run_seed,
-            stack_base_offset,
-            tracer: self.tracer.clone().map(|c| Box::new(c) as Box<dyn Tracer>),
-            ..VmConfig::default()
+            stack_base_offset: self.run_offset(run_seed),
+            ..self.executor.base_config()
         }
     }
 
-    /// A fresh VM for one run.
+    /// A fresh VM for one run, sharing the build's compiled image.
     pub fn vm(&self, run_seed: u64) -> Vm {
-        Vm::new(self.module.clone(), self.vm_config(run_seed))
+        self.executor
+            .vm_configured(run_seed, self.run_offset(run_seed))
     }
 }
 
@@ -206,7 +249,7 @@ impl CommitFlag {
 }
 
 /// Structured result of one exploit attempt: the classified outcome plus
-/// the run evidence campaigns aggregate (commitment, cost).
+/// the run evidence campaigns aggregate (commitment, canonical report).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrialOutcome {
     /// The classified verdict, with the stealth rule already applied: a
@@ -216,10 +259,10 @@ pub struct TrialOutcome {
     pub outcome: AttackOutcome,
     /// Whether corrupted input was actually delivered.
     pub committed: bool,
-    /// Deci-cycles the victim run consumed.
-    pub decicycles: u64,
-    /// Instructions the victim run executed.
-    pub insts: u64,
+    /// Canonical summary of the victim run (exit class, fault class,
+    /// output, cost) — the same [`RunReport`] the fuzzer and campaign
+    /// engine consume, so fault classes are derived exactly once.
+    pub report: RunReport,
 }
 
 impl TrialOutcome {
@@ -247,8 +290,7 @@ pub fn conclude(
     TrialOutcome {
         outcome,
         committed: committed.is_armed(),
-        decicycles: out.decicycles,
-        insts: out.insts,
+        report: RunReport::from(out),
     }
 }
 

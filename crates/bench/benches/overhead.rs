@@ -6,7 +6,7 @@
 use smokestack_bench::harness::{bench, group};
 use smokestack_core::{harden, SmokestackConfig};
 use smokestack_srng::SchemeKind;
-use smokestack_vm::{CollectorConfig, ScriptedInput, SharedCollector, Vm, VmConfig};
+use smokestack_vm::{CollectorConfig, Executor, ScriptedInput, SharedCollector};
 use smokestack_workloads::by_name;
 
 fn run(name: &str, hardened: bool, scheme: SchemeKind, trace: bool) {
@@ -15,20 +15,11 @@ fn run(name: &str, hardened: bool, scheme: SchemeKind, trace: bool) {
     if hardened {
         harden(&mut m, &SmokestackConfig::default()).unwrap();
     }
-    let tracer: Option<Box<dyn smokestack_vm::Tracer>> = if trace {
-        Some(Box::new(SharedCollector::new(CollectorConfig::default())))
-    } else {
-        None
-    };
-    let mut vm = Vm::new(
-        m,
-        VmConfig {
-            scheme,
-            tracer,
-            ..VmConfig::default()
-        },
-    );
-    let out = vm.run_main(ScriptedInput::empty());
+    let mut exec = Executor::for_module(m).scheme(scheme);
+    if trace {
+        exec = exec.tracer(SharedCollector::new(CollectorConfig::default()));
+    }
+    let out = exec.build().run_main(ScriptedInput::empty());
     assert!(out.exit.is_clean());
 }
 

@@ -1,0 +1,250 @@
+//! Backend benchmark: wall-clock and cycle-count comparison of the
+//! interpreter and the bytecode dispatcher over the workload corpus.
+//!
+//! ```text
+//! # Regenerate the committed baseline (release mode!):
+//! cargo run --release -p smokestack-bench --bin bench -- --json BENCH_baseline.json
+//!
+//! # CI smoke: re-measure two workloads and fail on cycle drift:
+//! cargo run --release -p smokestack-bench --bin bench -- \
+//!     --workloads mcf,sjeng --json BENCH_pr.json \
+//!     --check BENCH_baseline.json --tolerance 10
+//! ```
+//!
+//! Per workload the binary reports the *deterministic* simulated cost
+//! (decicycles, instructions — identical across machines and backends
+//! by the differential guarantee, and re-verified here on every run)
+//! and the *measured* wall-clock per run under each backend. `--check`
+//! compares the deterministic decicycles against a previously written
+//! JSON file and fails when any shared workload drifts by more than
+//! the tolerance — catching accidental cost-model or semantics changes
+//! without any machine-speed sensitivity.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use smokestack_bench::harness;
+use smokestack_core::{harden, SmokestackConfig};
+use smokestack_srng::SchemeKind;
+use smokestack_vm::{ExecBackend, Executor, ScriptedInput};
+use smokestack_workloads::{all, WorkloadClass};
+
+/// TRNG seed for the deterministic cycle measurement (any fixed value
+/// works; it is recorded in the JSON for reproduction).
+const TRNG_SEED: u64 = 0xbe9c;
+
+struct Row {
+    name: &'static str,
+    class: &'static str,
+    decicycles: u64,
+    insts: u64,
+    interp_ns: f64,
+    bytecode_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.interp_ns / self.bytecode_ns
+    }
+}
+
+fn measure(filter: &[String]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for w in all() {
+        if !filter.is_empty() && !filter.iter().any(|f| f == w.name) {
+            continue;
+        }
+        let mut m = w.compile().expect("workload compiles");
+        harden(&mut m, &SmokestackConfig::default()).expect("workload hardens");
+        let make = |backend| {
+            Executor::for_module(m.clone())
+                .scheme(SchemeKind::Aes10)
+                .trng_seed(TRNG_SEED)
+                .backend(backend)
+                .build()
+        };
+        let interp = make(ExecBackend::Interp);
+        let bytecode = make(ExecBackend::Bytecode);
+
+        // Deterministic cost, re-checked across backends.
+        let a = interp.run_main(ScriptedInput::empty());
+        let b = bytecode.run_main(ScriptedInput::empty());
+        assert_eq!(
+            (a.decicycles, a.insts, &a.exit),
+            (b.decicycles, b.insts, &b.exit),
+            "{}: backends diverged",
+            w.name
+        );
+
+        let mi = harness::bench(&format!("{} / interp", w.name), || {
+            harness::black_box(interp.run_main(ScriptedInput::empty()));
+        });
+        let mb = harness::bench(&format!("{} / bytecode", w.name), || {
+            harness::black_box(bytecode.run_main(ScriptedInput::empty()));
+        });
+        rows.push(Row {
+            name: w.name,
+            class: match w.class {
+                WorkloadClass::Cpu => "cpu",
+                WorkloadClass::Io => "io",
+            },
+            decicycles: a.decicycles,
+            insts: a.insts,
+            interp_ns: mi.ns_per_iter,
+            bytecode_ns: mb.ns_per_iter,
+        });
+    }
+    rows
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"smokestack-bench/1\",");
+    let _ = writeln!(s, "  \"scheme\": \"aes10\",");
+    let _ = writeln!(s, "  \"trng_seed\": {TRNG_SEED},");
+    s.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"class\": \"{}\",", r.class);
+        let _ = writeln!(s, "      \"decicycles\": {},", r.decicycles);
+        let _ = writeln!(s, "      \"insts\": {},", r.insts);
+        let _ = writeln!(s, "      \"interp_ns\": {:.1},", r.interp_ns);
+        let _ = writeln!(s, "      \"bytecode_ns\": {:.1},", r.bytecode_ns);
+        let _ = writeln!(s, "      \"speedup\": {:.2}", r.speedup());
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extract `(name, decicycles)` pairs from a file previously written by
+/// `--json`. Not a general JSON parser — it reads the line-per-field
+/// layout this binary emits, which is all `--check` ever compares.
+fn parse_baseline(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(v) = line.strip_prefix("\"name\": \"") {
+            name = Some(v.trim_end_matches('"').to_string());
+        } else if let Some(v) = line.strip_prefix("\"decicycles\": ") {
+            if let (Some(n), Ok(d)) = (name.take(), v.parse::<u64>()) {
+                out.push((n, d));
+            }
+        }
+    }
+    out
+}
+
+fn check(rows: &[Row], baseline_path: &str, tolerance_pct: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        return Err(format!("no workloads parsed from {baseline_path}"));
+    }
+    let mut compared = 0;
+    for r in rows {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == r.name) else {
+            continue;
+        };
+        compared += 1;
+        let drift = (r.decicycles as f64 - *base as f64).abs() / *base as f64 * 100.0;
+        println!(
+            "check {:<12} baseline {:>14} now {:>14}  drift {:.3}%",
+            r.name, base, r.decicycles, drift
+        );
+        if drift > tolerance_pct {
+            return Err(format!(
+                "{}: decicycles drifted {drift:.2}% (> {tolerance_pct}%) from {baseline_path}",
+                r.name
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "no measured workload appears in {baseline_path} — nothing compared"
+        ));
+    }
+    println!("check passed: {compared} workload(s) within {tolerance_pct}% of baseline");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_out: Option<String> = None;
+    let mut check_against: Option<String> = None;
+    let mut tolerance = 10.0f64;
+    let mut filter: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_out = it.next().cloned(),
+            "--check" => check_against = it.next().cloned(),
+            "--tolerance" => {
+                tolerance = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("--tolerance needs a number");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--workloads" => {
+                if let Some(list) = it.next() {
+                    filter.extend(list.split(',').map(|s| s.trim().to_string()));
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bench [--workloads a,b] [--json OUT] [--check BASELINE] [--tolerance PCT]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    harness::group("interp vs bytecode (hardened, AES-10)");
+    let rows = measure(&filter);
+    if rows.is_empty() {
+        eprintln!("no workloads matched {filter:?}");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "\n{:<12} {:>6} {:>14} {:>12} {:>12} {:>9}",
+        "workload", "class", "decicycles", "interp", "bytecode", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>6} {:>14} {:>10.1}µs {:>10.1}µs {:>8.2}x",
+            r.name,
+            r.class,
+            r.decicycles,
+            r.interp_ns / 1.0e3,
+            r.bytecode_ns / 1.0e3,
+            r.speedup()
+        );
+    }
+    let cpu_fast = rows
+        .iter()
+        .filter(|r| r.class == "cpu" && r.speedup() >= 2.0)
+        .count();
+    println!("cpu workloads at >=2x: {cpu_fast}");
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, to_json(&rows)) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(base) = check_against {
+        if let Err(e) = check(&rows, &base, tolerance) {
+            eprintln!("DRIFT CHECK FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -29,7 +29,7 @@ use smokestack_core::{harden, SmokestackConfig};
 use smokestack_defenses::DefenseKind;
 use smokestack_srng::SchemeKind;
 use smokestack_telemetry::{CollectorConfig, FunctionCycles, SharedCollector};
-use smokestack_vm::{RunOutcome, ScriptedInput, Vm, VmConfig};
+use smokestack_vm::{Executor, RunOutcome, ScriptedInput};
 use smokestack_workloads::{all as all_workloads, Workload, WorkloadClass};
 
 /// One row of Table I.
@@ -61,15 +61,11 @@ fn run_workload(w: &Workload, scheme: SchemeKind, hardened: bool, seed: u64) -> 
     if hardened {
         harden(&mut m, &SmokestackConfig::default()).unwrap();
     }
-    let mut vm = Vm::new(
-        m,
-        VmConfig {
-            scheme,
-            trng_seed: seed,
-            ..VmConfig::default()
-        },
-    );
-    vm.run_main(ScriptedInput::empty())
+    Executor::for_module(m)
+        .scheme(scheme)
+        .trng_seed(seed)
+        .build()
+        .run_main(ScriptedInput::empty())
 }
 
 /// One benchmark's Figure 3 measurements: % runtime overhead per scheme.
@@ -143,15 +139,11 @@ pub fn figure4_data() -> Vec<Figure4Row> {
             let base = run_workload(w, SchemeKind::Aes10, false, 7);
             let mut m = w.compile().expect("corpus compiles");
             let report = harden(&mut m, &SmokestackConfig::default()).unwrap();
-            let mut vm = Vm::new(
-                m,
-                VmConfig {
-                    scheme: SchemeKind::Aes10,
-                    trng_seed: 7,
-                    ..VmConfig::default()
-                },
-            );
-            let hard = vm.run_main(ScriptedInput::empty());
+            let hard = Executor::for_module(m)
+                .scheme(SchemeKind::Aes10)
+                .trng_seed(7)
+                .build()
+                .run_main(ScriptedInput::empty());
             assert_eq!(base.exit, hard.exit, "{} behavior changed", w.name);
             Figure4Row {
                 name: w.name,
@@ -254,16 +246,12 @@ pub fn profile_workload(
     let mut m = w.compile().expect("corpus compiles");
     harden(&mut m, &SmokestackConfig::default()).unwrap();
     let shared = SharedCollector::new(CollectorConfig::default());
-    let mut vm = Vm::new(
-        m,
-        VmConfig {
-            scheme,
-            trng_seed: seed,
-            tracer: Some(Box::new(shared.clone())),
-            ..VmConfig::default()
-        },
-    );
-    let out = vm.run_main(ScriptedInput::empty());
+    let out = Executor::for_module(m)
+        .scheme(scheme)
+        .trng_seed(seed)
+        .tracer(shared.clone())
+        .build()
+        .run_main(ScriptedInput::empty());
     (out, shared)
 }
 
@@ -458,15 +446,11 @@ pub fn guard_ablation(trials: u32) -> Vec<GuardAblation> {
                 let base = run_workload(&w, SchemeKind::Aes10, false, 7);
                 let mut m = w.compile().expect("compiles");
                 harden(&mut m, &cfg).unwrap();
-                let mut vm = Vm::new(
-                    m,
-                    VmConfig {
-                        scheme: SchemeKind::Aes10,
-                        trng_seed: 7,
-                        ..VmConfig::default()
-                    },
-                );
-                let hard = vm.run_main(ScriptedInput::empty());
+                let hard = Executor::for_module(m)
+                    .scheme(SchemeKind::Aes10)
+                    .trng_seed(7)
+                    .build()
+                    .run_main(ScriptedInput::empty());
                 sum += 100.0 * (hard.decicycles as f64 / base.decicycles as f64 - 1.0);
             }
             // Wireshark exploit with/without guards. We rebuild the
@@ -475,17 +459,16 @@ pub fn guard_ablation(trials: u32) -> Vec<GuardAblation> {
             let attack = smokestack_attacks::wireshark::WiresharkAttack;
             let mut module = smokestack_minic::compile(attack.source()).expect("attack program");
             let report = harden(&mut module, &cfg).unwrap();
-            let build = Build {
-                module: module.into(),
-                defense: DefenseKind::Smokestack(SchemeKind::Aes10),
-                deployment: smokestack_defenses::Deployment {
+            let build = Build::from_deployed(
+                module,
+                DefenseKind::Smokestack(SchemeKind::Aes10),
+                smokestack_defenses::Deployment {
                     functions_modified: report.functions_instrumented,
                     stack_base_offset: 0,
                     smokestack: Some(report),
                 },
-                build_seed: 0xb11d,
-                tracer: None,
-            };
+                0xb11d,
+            );
             let mut stopped = true;
             let mut detections = 0;
             for t in 0..trials {

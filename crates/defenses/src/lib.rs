@@ -327,7 +327,7 @@ mod tests {
     use super::*;
     use smokestack_ir::verify_module;
     use smokestack_minic::compile;
-    use smokestack_vm::{Exit, FaultKind, ScriptedInput, Vm, VmConfig};
+    use smokestack_vm::{Executor, Exit, FaultKind, ScriptedInput};
 
     const PROG: &str = r#"
         int f(int a) {
@@ -346,15 +346,11 @@ mod tests {
             let mut m = compile(PROG).unwrap();
             let dep = deploy(kind, &mut m, 7, 11);
             verify_module(&m).unwrap_or_else(|e| panic!("{kind}: {e:?}"));
-            let mut vm = Vm::new(
-                m,
-                VmConfig {
-                    scheme: kind.scheme(),
-                    stack_base_offset: dep.stack_base_offset,
-                    ..VmConfig::default()
-                },
-            );
-            let out = vm.run_main(ScriptedInput::empty());
+            let out = Executor::for_module(m)
+                .scheme(kind.scheme())
+                .stack_base_offset(dep.stack_base_offset)
+                .build()
+                .run_main(ScriptedInput::empty());
             assert_eq!(out.exit, Exit::Return(3), "{kind} changed behavior");
         }
     }
@@ -442,7 +438,9 @@ mod tests {
         let mut m = compile(src).unwrap();
         apply_stack_canary(&mut m);
         verify_module(&m).unwrap();
-        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        let out = Executor::for_module(m)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert!(
             matches!(out.exit, Exit::Fault(FaultKind::CanarySmashed { .. })),
             "expected canary detection, got {:?}",

@@ -6,7 +6,7 @@ use smokestack_defenses::{
 };
 use smokestack_ir::{Inst, Terminator};
 use smokestack_minic::compile;
-use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+use smokestack_vm::{Executor, Exit, ScriptedInput};
 
 const PROG: &str = r#"
     int f(int a) {
@@ -115,7 +115,9 @@ fn canary_checks_every_return_path() {
         "expected 3 guarded returns, saw {checked_rets}"
     );
     // And the program still works.
-    let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+    let out = Executor::for_module(m)
+        .build()
+        .run_main(ScriptedInput::empty());
     assert_eq!(out.exit, Exit::Return(6));
 }
 

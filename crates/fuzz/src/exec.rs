@@ -28,7 +28,9 @@ use smokestack_core::{harden, SmokestackConfig};
 use smokestack_minic::compile;
 use smokestack_rand::SeedStream;
 use smokestack_srng::SchemeKind;
-use smokestack_vm::{Exit, FaultKind, RunOutcome, ScriptedInput, Vm, VmConfig};
+use smokestack_vm::{
+    canonical_event, Executor, Exit, FaultKind, RunOutcome, ScriptedInput, VmConfig,
+};
 
 use crate::gen::FuzzCase;
 
@@ -118,55 +120,23 @@ pub struct Observation {
     pub output: Vec<String>,
 }
 
-/// Canonicalize a run for comparison.
+/// Canonicalize a run for comparison (thin wrapper over the VM's
+/// canonical [`RunReport`](smokestack_vm::RunReport) strings).
 pub fn observe(out: &RunOutcome) -> Observation {
     Observation {
         exit: exit_class(&out.exit),
-        output: out.output.iter().map(event_str).collect(),
+        output: out.output.iter().map(canonical_event).collect(),
     }
-}
-
-fn event_str(ev: &smokestack_vm::OutputEvent) -> String {
-    match ev {
-        smokestack_vm::OutputEvent::Int(v) => format!("i:{v}"),
-        smokestack_vm::OutputEvent::Str(b) => format!("s:{}", escape_bytes(b)),
-    }
-}
-
-/// Printable ASCII stays itself; everything else becomes `\xNN`. The
-/// mapping is injective, so string equality is byte equality.
-fn escape_bytes(bytes: &[u8]) -> String {
-    let mut s = String::with_capacity(bytes.len());
-    for &b in bytes {
-        if (0x20..0x7f).contains(&b) && b != b'\\' {
-            s.push(b as char);
-        } else {
-            s.push_str(&format!("\\x{b:02x}"));
-        }
-    }
-    s
 }
 
 /// The exit, with layout-dependent detail (addresses, lengths) erased
 /// but the fault *class* — and the faulting function for defense
-/// detections — retained.
+/// detections — retained. Delegates to the VM's shared
+/// [`exit_class`](smokestack_vm::exit_class) so the fuzzer, the attack
+/// framework, and the campaign engine all derive fault classes
+/// identically.
 pub fn exit_class(exit: &Exit) -> String {
-    match exit {
-        Exit::Return(v) => format!("return:{v}"),
-        Exit::ReturnVoid => "return-void".into(),
-        Exit::Exited(c) => format!("exit:{c}"),
-        Exit::Fault(f) => match f {
-            FaultKind::Mem(m) if m.write => "fault:mem-write".into(),
-            FaultKind::Mem(_) => "fault:mem-read".into(),
-            FaultKind::StackOverflow => "fault:stack-overflow".into(),
-            FaultKind::DivByZero => "fault:div-by-zero".into(),
-            FaultKind::OutOfFuel => "fault:out-of-fuel".into(),
-            FaultKind::BadIndirectCall(_) => "fault:bad-indirect-call".into(),
-            FaultKind::GuardViolation { func } => format!("fault:guard:{func}"),
-            FaultKind::CanarySmashed { func } => format!("fault:canary:{func}"),
-            FaultKind::UnreachableExecuted => "fault:unreachable".into(),
-        },
-    }
+    smokestack_vm::exit_class(exit)
 }
 
 /// How a variant run differed from the baseline.
@@ -245,24 +215,22 @@ pub fn trng_seed(case_seed: u64, vi: usize, run: u32) -> u64 {
     SeedStream::new(case_seed, TRNG_DOMAIN).seed((vi as u64) << 32 | u64::from(run))
 }
 
-fn run_vm(
+/// One VM session per (module, scheme): the module is lowered to
+/// bytecode once and every seeded run replays the cached image.
+fn exec_for(
     module: &Arc<smokestack_ir::Module>,
     scheme: SchemeKind,
-    seed: u64,
     fuel: Option<u64>,
-    case: &FuzzCase,
-) -> RunOutcome {
-    let defaults = VmConfig::default();
-    let mut vm = Vm::new(
-        Arc::clone(module),
-        VmConfig {
-            scheme,
-            trng_seed: seed,
-            fuel: fuel.unwrap_or(defaults.fuel),
-            ..defaults
-        },
-    );
-    vm.run_main(ScriptedInput::new(case.inputs.iter().cloned()))
+) -> Executor {
+    Executor::for_module(Arc::clone(module))
+        .scheme(scheme)
+        .fuel(fuel.unwrap_or(VmConfig::default().fuel))
+        .build()
+}
+
+fn run_vm(exec: &Executor, seed: u64, case: &FuzzCase) -> RunOutcome {
+    let mut input = ScriptedInput::new(case.inputs.iter().cloned());
+    exec.run_main_seeded(seed, &mut input)
 }
 
 /// Compile `case` once and run the full differential matrix.
@@ -288,7 +256,11 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> CaseResult {
     // Baseline: the raw module, no instrumentation. Its behavior must
     // not depend on the scheme (stack_rng never runs); one run suffices.
     let base_module = Arc::new(module.clone());
-    let base_out = run_vm(&base_module, SchemeKind::Aes10, 0, cfg.fuel, case);
+    let base_out = run_vm(
+        &exec_for(&base_module, SchemeKind::Aes10, cfg.fuel),
+        0,
+        case,
+    );
     let baseline = observe(&base_out);
 
     if result.analyzer_errors == 0 {
@@ -318,7 +290,7 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> CaseResult {
                 .push(format!("{}: {e:?}", variant.label()));
             continue;
         }
-        let hardened = Arc::new(hardened);
+        let hardened_exec = exec_for(&Arc::new(hardened), variant.scheme, cfg.fuel);
         let seeds: Vec<u64> = cfg
             .pinned_seeds
             .iter()
@@ -326,7 +298,7 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> CaseResult {
             .chain((0..cfg.runs_per_variant).map(|run| trng_seed(case.seed, vi, run)))
             .collect();
         for (run, seed) in seeds.into_iter().enumerate() {
-            let out = run_vm(&hardened, variant.scheme, seed, cfg.fuel, case);
+            let out = run_vm(&hardened_exec, seed, case);
             let obs = observe(&out);
             if obs != baseline {
                 let kind = if obs.output != baseline.output {
@@ -456,7 +428,11 @@ mod tests {
         "#;
         let case = case_from_source(src, vec![b"hi".to_vec()]);
         let module = compile(&case.source).unwrap();
-        let out = run_vm(&Arc::new(module), SchemeKind::Aes10, 0, None, &case);
+        let out = run_vm(
+            &exec_for(&Arc::new(module), SchemeKind::Aes10, None),
+            0,
+            &case,
+        );
         let obs = observe(&out);
         assert_eq!(obs.output, vec!["i:2".to_string(), "s:hi".to_string()]);
     }

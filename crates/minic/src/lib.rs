@@ -15,11 +15,11 @@
 //!
 //! ```
 //! use smokestack_minic::compile;
-//! use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+//! use smokestack_vm::{Executor, Exit, ScriptedInput};
 //!
 //! let m = compile("int main() { int x = 40; return x + 2; }").unwrap();
-//! let mut vm = Vm::new(m, VmConfig::default());
-//! assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(42));
+//! let out = Executor::for_module(m).build().run_main(ScriptedInput::empty());
+//! assert_eq!(out.exit, Exit::Return(42));
 //! ```
 
 #![warn(missing_docs)]

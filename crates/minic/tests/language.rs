@@ -2,13 +2,16 @@
 //! VM, checking C-like semantics feature by feature.
 
 use smokestack_minic::compile;
-use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+use smokestack_vm::{Executor, Exit, ScriptedInput};
 
 fn run(src: &str) -> i64 {
     let m = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
     smokestack_ir::verify_module(&m).unwrap();
-    let mut vm = Vm::new(m, VmConfig::default());
-    match vm.run_main(ScriptedInput::empty()).exit {
+    match Executor::for_module(m)
+        .build()
+        .run_main(ScriptedInput::empty())
+        .exit
+    {
         Exit::Return(v) => v as i64,
         other => panic!("program did not return cleanly: {other:?}\n{src}"),
     }
@@ -16,8 +19,9 @@ fn run(src: &str) -> i64 {
 
 fn run_with_input(src: &str, chunks: Vec<Vec<u8>>) -> (Exit, String) {
     let m = compile(src).unwrap();
-    let mut vm = Vm::new(m, VmConfig::default());
-    let out = vm.run_main(ScriptedInput::new(chunks));
+    let out = Executor::for_module(m)
+        .build()
+        .run_main(ScriptedInput::new(chunks));
     let text = out.output_text();
     (out.exit, text)
 }

@@ -137,7 +137,7 @@ mod tests {
     use super::*;
     use smokestack_ir::{verify_module, Module};
     use smokestack_minic::compile;
-    use smokestack_vm::{Exit, FaultKind, FnInput, Memory, ScriptedInput, Vm, VmConfig};
+    use smokestack_vm::{Executor, Exit, FaultKind, FnInput, Memory, ScriptedInput};
 
     fn guarded_module(src: &str) -> Module {
         let mut m = compile(src).unwrap();
@@ -158,7 +158,9 @@ mod tests {
     #[test]
     fn benign_run_passes_guard() {
         let m = guarded_module("int main() { int x = 3; return x; }");
-        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        let out = Executor::for_module(m)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert_eq!(out.exit, Exit::Return(3));
     }
 
@@ -175,7 +177,7 @@ mod tests {
             }
             "#,
         );
-        let mut vm = Vm::new(m, VmConfig::default());
+        let exec = Executor::for_module(m).build();
         let smash = FnInput(|mem: &mut Memory, _i, _max| {
             let first_frame =
                 smokestack_vm::layout::STACK_TOP - smokestack_vm::layout::STACK_START_GAP;
@@ -184,7 +186,7 @@ mod tests {
             }
             vec![0x42]
         });
-        let out = vm.run_main(smash);
+        let out = exec.run_main(smash);
         assert!(
             matches!(out.exit, Exit::Fault(FaultKind::GuardViolation { .. })),
             "expected guard violation, got {:?}",
@@ -203,7 +205,9 @@ mod tests {
             int main() { return f(1) + f(-1); }
             "#,
         );
-        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        let out = Executor::for_module(m)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert_eq!(out.exit, Exit::Return(3));
     }
 
@@ -214,22 +218,14 @@ mod tests {
         let src = "int main() { int x = 1; return x; }";
         let m1 = guarded_module(src);
         let m2 = guarded_module(src);
-        let o1 = Vm::new(
-            m1,
-            VmConfig {
-                trng_seed: 1,
-                ..VmConfig::default()
-            },
-        )
-        .run_main(ScriptedInput::empty());
-        let o2 = Vm::new(
-            m2,
-            VmConfig {
-                trng_seed: 2,
-                ..VmConfig::default()
-            },
-        )
-        .run_main(ScriptedInput::empty());
+        let o1 = Executor::for_module(m1)
+            .trng_seed(1)
+            .build()
+            .run_main(ScriptedInput::empty());
+        let o2 = Executor::for_module(m2)
+            .trng_seed(2)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert_eq!(o1.exit, Exit::Return(1));
         assert_eq!(o2.exit, Exit::Return(1));
     }

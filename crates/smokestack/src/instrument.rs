@@ -427,7 +427,7 @@ mod tests {
     use smokestack_ir::verify_module;
     use smokestack_minic::compile;
     use smokestack_srng::SchemeKind;
-    use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+    use smokestack_vm::{Executor, Exit, ScriptedInput};
 
     const PROG: &str = r#"
         int helper(int a) {
@@ -482,17 +482,14 @@ mod tests {
         let mut base = compile(PROG).unwrap();
         let mut hard = compile(PROG).unwrap();
         harden(&mut hard, &SmokestackConfig::default()).unwrap();
-        let b = Vm::new(std::mem::take(&mut base), VmConfig::default())
+        let b = Executor::for_module(std::mem::take(&mut base))
+            .build()
             .run_main(ScriptedInput::empty());
+        // One session, many seeds: the hardened module is lowered once.
+        let exec = Executor::for_module(hard).build();
         for seed in [1u64, 2, 3, 99] {
-            let out = Vm::new(
-                hard.clone(),
-                VmConfig {
-                    trng_seed: seed,
-                    ..VmConfig::default()
-                },
-            )
-            .run_main(ScriptedInput::empty());
+            let mut input = ScriptedInput::empty();
+            let out = exec.run_main_seeded(seed, &mut input);
             assert_eq!(out.exit, b.exit, "seed {seed} changed behavior");
         }
     }
@@ -523,16 +520,10 @@ mod tests {
         // almost surely differs; check across several seeds to avoid a
         // flaky 1-in-many chance that all four draws matched.
         let mut changed = false;
+        let exec = Executor::for_module(m).build();
         for seed in 0..8u64 {
-            let out = Vm::new(
-                m.clone(),
-                VmConfig {
-                    trng_seed: seed,
-                    ..VmConfig::default()
-                },
-            )
-            .run_main(ScriptedInput::empty());
-            if out.exit == Exit::Return(1) {
+            let mut input = ScriptedInput::empty();
+            if exec.run_main_seeded(seed, &mut input).exit == Exit::Return(1) {
                 changed = true;
                 break;
             }
@@ -543,7 +534,9 @@ mod tests {
     #[test]
     fn rng_called_once_per_invocation() {
         let (m, _) = hardened(PROG);
-        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        let out = Executor::for_module(m)
+            .build()
+            .run_main(ScriptedInput::empty());
         // main once + helper five times (+ guard draws none: guard uses
         // guard_key, not stack_rng).
         assert_eq!(out.rng_invocations, 6);
@@ -561,7 +554,9 @@ mod tests {
             .any(|(_, i)| matches!(i, Inst::Alloca { name, .. } if name == VLA_PAD_NAME));
         assert!(has_pad);
         // Still runs fine.
-        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        let out = Executor::for_module(m)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert_eq!(out.exit, Exit::Return(0));
     }
 
@@ -577,15 +572,11 @@ mod tests {
         for scheme in SchemeKind::ALL {
             let mut m = compile(PROG).unwrap();
             harden(&mut m, &SmokestackConfig::default()).unwrap();
-            let out = Vm::new(
-                m,
-                VmConfig {
-                    scheme,
-                    ..VmConfig::default()
-                },
-            )
-            .run_main(ScriptedInput::empty());
-            let mut base = Vm::new(compile(PROG).unwrap(), VmConfig::default());
+            let out = Executor::for_module(m)
+                .scheme(scheme)
+                .build()
+                .run_main(ScriptedInput::empty());
+            let base = Executor::for_module(compile(PROG).unwrap()).build();
             assert_eq!(out.exit, base.run_main(ScriptedInput::empty()).exit);
         }
     }
@@ -605,7 +596,9 @@ mod tests {
         );
         assert!(!has_guard);
         // Still behaves.
-        let out = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+        let out = Executor::for_module(m)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert!(out.exit.is_clean());
     }
 

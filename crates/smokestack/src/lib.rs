@@ -26,15 +26,15 @@
 //! ```
 //! use smokestack_core::{harden, SmokestackConfig};
 //! use smokestack_minic::compile;
-//! use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+//! use smokestack_vm::{Executor, Exit, ScriptedInput};
 //!
 //! let src = "int main() { int a = 1; char buf[16]; long c = 2; return a; }";
 //! let mut module = compile(src).unwrap();
 //! let report = harden(&mut module, &SmokestackConfig::default()).unwrap();
 //! assert_eq!(report.functions_instrumented, 1);
 //!
-//! let mut vm = Vm::new(module, VmConfig::default());
-//! assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(1));
+//! let out = Executor::for_module(module).build().run_main(ScriptedInput::empty());
+//! assert_eq!(out.exit, Exit::Return(1));
 //! ```
 
 #![warn(missing_docs)]

@@ -243,6 +243,34 @@ impl CostModel {
             _ => bytes * self.per_byte,
         }
     }
+
+    /// Order-sensitive FNV-1a digest of every parameter. Compiled
+    /// bytecode interns per-instruction costs, so a cached
+    /// [`crate::CompiledModule`] is only valid for the exact cost model
+    /// it was lowered with; the fingerprint is the cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let fields = [
+            self.alloca,
+            self.alloca_vla,
+            self.mem_access,
+            self.mem_access_compact,
+            self.mem_access_huge,
+            self.alu,
+            self.cast,
+            self.branch,
+            self.call,
+            self.ret,
+            self.intrinsic_base,
+            self.per_byte,
+            self.per_byte_scan,
+            self.heap_op,
+            self.compact_slab_limit,
+            self.huge_slab_limit,
+        ];
+        fields.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, v| {
+            (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    }
 }
 
 #[cfg(test)]

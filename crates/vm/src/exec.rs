@@ -7,12 +7,13 @@ use std::sync::Arc;
 #[cfg(test)]
 use smokestack_ir::Type;
 use smokestack_ir::{
-    BinOp, BlockId, Callee, CastKind, CmpPred, FuncId, Function, GlobalInit, Inst, IntWidth,
-    Intrinsic, Module, RegId, Terminator, Value,
+    BinOp, BlockId, Callee, CastKind, CmpPred, FuncId, Function, Inst, IntWidth, Intrinsic, Module,
+    RegId, Terminator, Value,
 };
 use smokestack_srng::{build_source, RandomSource, SchemeKind, SeededTrng, XorShift64};
 use smokestack_telemetry::{CycleCategory, Event, FunctionCycles, GuardKind, Tracer};
 
+use crate::bytecode::{classify_slabs, layout_globals, CompiledModule, ExecBackend, GlobalLayout};
 use crate::cycles::{CostModel, CycleBreakdown};
 use crate::io::{InputSource, OutputEvent};
 use crate::mem::{layout, MemConfig, MemFault, Memory};
@@ -170,6 +171,11 @@ pub struct VmConfig {
     /// in the VM is guarded by an is-some check so the disabled path
     /// costs nothing measurable.
     pub tracer: Option<Box<dyn Tracer>>,
+    /// Execution engine. [`ExecBackend::Bytecode`] (the default) lowers
+    /// the module to flat bytecode once and replays it; the tree-walking
+    /// [`ExecBackend::Interp`] is retained as the semantic reference.
+    /// Both produce bit-identical [`RunOutcome`]s.
+    pub backend: ExecBackend,
 }
 
 impl Default for VmConfig {
@@ -183,8 +189,51 @@ impl Default for VmConfig {
             cost: CostModel::default(),
             record_allocas: false,
             tracer: None,
+            backend: ExecBackend::default(),
         }
     }
+}
+
+/// Recover the slab-prologue P-BOX draw from an instrumented
+/// function's entry block: a `stack_rng` call whose result is masked
+/// (`And` with a constant) and then scaled by the row size (`Mul`).
+/// The `Mul` distinguishes the slab draw from VLA-pad draws, whose
+/// masked result feeds an `alloca` count directly.
+pub(crate) fn find_pbox_draw(f: &Function) -> Option<(RegId, u64)> {
+    let entry = f.block(Function::ENTRY);
+    let mut rng_reg: Option<RegId> = None;
+    let mut masked: Option<(RegId, u64, RegId)> = None; // (rng, mask, and_result)
+    for inst in &entry.insts {
+        match inst {
+            Inst::Call {
+                result: Some(r),
+                callee: Callee::Intrinsic(Intrinsic::StackRng),
+                ..
+            } => rng_reg = Some(*r),
+            Inst::Bin {
+                result,
+                op: BinOp::And,
+                lhs: Value::Reg(l),
+                rhs: Value::ConstInt(m, _),
+                ..
+            } if Some(*l) == rng_reg => {
+                masked = Some((rng_reg?, *m as u64, *result));
+            }
+            Inst::Bin {
+                op: BinOp::Mul,
+                lhs: Value::Reg(l),
+                ..
+            } => {
+                if let Some((rng, mask, and_result)) = masked {
+                    if *l == and_result {
+                        return Some((rng, mask));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 struct Frame {
@@ -212,38 +261,44 @@ struct Frame {
 /// ever reads the module. `Module` itself is `Send`, so a build can be
 /// deployed once and fanned out across worker threads.
 pub struct Vm {
-    module: Arc<Module>,
-    mem: Memory,
-    cost: CostModel,
-    scheme: SchemeKind,
-    rng: Box<dyn RandomSource>,
-    guard_key: u64,
-    canary: u64,
-    stack_base_offset: u64,
-    fuel: u64,
-    record_allocas: bool,
-    global_addrs: Vec<u64>,
-    slab_funcs: Vec<crate::cycles::SlabClass>,
-    tracer: Option<Box<dyn Tracer>>,
+    pub(crate) module: Arc<Module>,
+    pub(crate) mem: Memory,
+    pub(crate) cost: CostModel,
+    pub(crate) scheme: SchemeKind,
+    pub(crate) rng: Box<dyn RandomSource>,
+    pub(crate) guard_key: u64,
+    pub(crate) canary: u64,
+    pub(crate) stack_base_offset: u64,
+    pub(crate) fuel: u64,
+    pub(crate) record_allocas: bool,
+    pub(crate) global_addrs: Vec<u64>,
+    pub(crate) slab_funcs: Vec<crate::cycles::SlabClass>,
+    pub(crate) tracer: Option<Box<dyn Tracer>>,
     /// Per function: the `stack_rng` result register and P-BOX mask of
     /// the hardened slab prologue, recovered by prescan (None if the
     /// function is uninstrumented).
-    pbox_draws: Vec<Option<(RegId, u64)>>,
+    pub(crate) pbox_draws: Vec<Option<(RegId, u64)>>,
+    /// Which engine [`Vm::run_with`] dispatches to.
+    pub(crate) backend: ExecBackend,
+    /// Compiled image (present iff `backend` is bytecode).
+    pub(crate) compiled: Option<Arc<CompiledModule>>,
+    /// Reusable register file + call stack for the bytecode dispatcher.
+    pub(crate) scratch: crate::dispatch::Scratch,
     // Heap allocator state.
-    heap_next: u64,
-    free_lists: HashMap<u64, Vec<u64>>,
-    block_sizes: HashMap<u64, u64>,
-    pending_exit: Option<i64>,
+    pub(crate) heap_next: u64,
+    pub(crate) free_lists: HashMap<u64, Vec<u64>>,
+    pub(crate) block_sizes: HashMap<u64, u64>,
+    pub(crate) pending_exit: Option<i64>,
     // Run accounting.
-    decicycles: u64,
-    breakdown: CycleBreakdown,
-    insts: u64,
-    input_requests: u64,
-    rng_invocations: u64,
-    output: Vec<OutputEvent>,
-    alloca_trace: Vec<AllocaRecord>,
-    max_depth: usize,
-    sp: u64,
+    pub(crate) decicycles: u64,
+    pub(crate) breakdown: CycleBreakdown,
+    pub(crate) insts: u64,
+    pub(crate) input_requests: u64,
+    pub(crate) rng_invocations: u64,
+    pub(crate) output: Vec<OutputEvent>,
+    pub(crate) alloca_trace: Vec<AllocaRecord>,
+    pub(crate) max_depth: usize,
+    pub(crate) sp: u64,
 }
 
 impl Vm {
@@ -254,8 +309,37 @@ impl Vm {
     /// # Panics
     ///
     /// Panics if the globals do not fit the configured segments.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `vm::Executor::for_module(..)` — it owns compiled-module \
+                caching and VM reuse across runs; `Vm::new` recompiles the \
+                bytecode image on every call for unshared modules"
+    )]
     pub fn new(module: impl Into<Arc<Module>>, cfg: VmConfig) -> Vm {
-        let module = module.into();
+        Vm::new_internal(module.into(), cfg, None)
+    }
+
+    /// The real constructor. `compiled` (if provided by an
+    /// [`crate::Executor`]) must have been lowered from this exact
+    /// module; it is revalidated against the config's cost model and
+    /// recompiled through the process cache on mismatch.
+    pub(crate) fn new_internal(
+        module: Arc<Module>,
+        cfg: VmConfig,
+        compiled: Option<Arc<CompiledModule>>,
+    ) -> Vm {
+        let compiled = match cfg.backend {
+            ExecBackend::Bytecode => Some(match compiled {
+                Some(c)
+                    if c.cost_fp == cfg.cost.fingerprint() && Arc::ptr_eq(&c.module, &module) =>
+                {
+                    c
+                }
+                _ => crate::bytecode::compiled_for(&module, &cfg.cost),
+            }),
+            ExecBackend::Interp => None,
+        };
+
         let mut trng = SeededTrng::new(cfg.trng_seed);
         use smokestack_srng::TrueRandom;
         let guard_key = trng.next_u64();
@@ -264,51 +348,30 @@ impl Vm {
         let rng = build_source(cfg.scheme, trng);
 
         let mut mem = Memory::new(cfg.mem);
-        // Lay out globals.
-        let mut ro_cursor = layout::RODATA_BASE;
-        // First 8 bytes of data hold the memory-resident pseudo-PRNG state.
-        let mut data_cursor = layout::DATA_BASE + 8;
-        let mut global_addrs = Vec::with_capacity(module.globals.len());
-        for g in &module.globals {
-            let (cursor, base) = if g.readonly {
-                (&mut ro_cursor, layout::RODATA_BASE)
-            } else {
-                (&mut data_cursor, layout::DATA_BASE)
-            };
-            let _ = base;
-            *cursor = smokestack_ir::align_to(*cursor, g.ty.align().max(1));
-            let addr = *cursor;
-            global_addrs.push(addr);
-            let size = g.ty.size();
-            if let GlobalInit::Bytes(b) = &g.init {
-                assert!(b.len() as u64 <= size, "initializer larger than global");
-                mem.write_init(addr, b).expect("global fits segment");
-            }
-            *cursor += size;
+        // Lay out globals (shared with the bytecode image: the layout
+        // depends only on the module, never on the config).
+        let gl: GlobalLayout = match &compiled {
+            Some(c) => c.globals.clone(),
+            None => layout_globals(&module),
+        };
+        for (addr, bytes) in &gl.blits {
+            mem.write_init(*addr, bytes).expect("global fits segment");
         }
-        mem.set_rodata_used(ro_cursor - layout::RODATA_BASE);
-        mem.set_data_used(data_cursor - layout::DATA_BASE);
+        mem.set_rodata_used(gl.rodata_used);
+        mem.set_data_used(gl.data_used);
+        // First 8 bytes of data hold the memory-resident pseudo-PRNG state.
         mem.write_init(layout::DATA_BASE, &pseudo_seed.to_le_bytes())
             .expect("pseudo state slot");
+        let global_addrs = gl.addrs;
 
-        let slab_funcs = module
-            .funcs
-            .iter()
-            .map(|f| {
-                let slab_size = f.iter_insts().find_map(|(_, i)| match i {
-                    Inst::Alloca {
-                        randomizable: false,
-                        name,
-                        ty,
-                        ..
-                    } if name == "__ss_slab" => Some(ty.size()),
-                    _ => None,
-                });
-                cfg.cost.classify_slab(slab_size)
-            })
-            .collect();
-
-        let pbox_draws = module.funcs.iter().map(Self::find_pbox_draw).collect();
+        let slab_funcs = match &compiled {
+            Some(c) => c.slab_classes.clone(),
+            None => classify_slabs(&module, &cfg.cost),
+        };
+        let pbox_draws = match &compiled {
+            Some(c) => c.pbox_draws.clone(),
+            None => module.funcs.iter().map(find_pbox_draw).collect(),
+        };
 
         let mut tracer = cfg.tracer;
         if let Some(t) = tracer.as_deref_mut() {
@@ -331,6 +394,9 @@ impl Vm {
             slab_funcs,
             tracer,
             pbox_draws,
+            backend: cfg.backend,
+            compiled,
+            scratch: crate::dispatch::Scratch::default(),
             heap_next: 0,
             free_lists: HashMap::new(),
             block_sizes: HashMap::new(),
@@ -347,52 +413,10 @@ impl Vm {
         }
     }
 
-    /// Recover the slab-prologue P-BOX draw from an instrumented
-    /// function's entry block: a `stack_rng` call whose result is masked
-    /// (`And` with a constant) and then scaled by the row size (`Mul`).
-    /// The `Mul` distinguishes the slab draw from VLA-pad draws, whose
-    /// masked result feeds an `alloca` count directly.
-    fn find_pbox_draw(f: &Function) -> Option<(RegId, u64)> {
-        let entry = f.block(Function::ENTRY);
-        let mut rng_reg: Option<RegId> = None;
-        let mut masked: Option<(RegId, u64, RegId)> = None; // (rng, mask, and_result)
-        for inst in &entry.insts {
-            match inst {
-                Inst::Call {
-                    result: Some(r),
-                    callee: Callee::Intrinsic(Intrinsic::StackRng),
-                    ..
-                } => rng_reg = Some(*r),
-                Inst::Bin {
-                    result,
-                    op: BinOp::And,
-                    lhs: Value::Reg(l),
-                    rhs: Value::ConstInt(m, _),
-                    ..
-                } if Some(*l) == rng_reg => {
-                    masked = Some((rng_reg?, *m as u64, *result));
-                }
-                Inst::Bin {
-                    op: BinOp::Mul,
-                    lhs: Value::Reg(l),
-                    ..
-                } => {
-                    if let Some((rng, mask, and_result)) = masked {
-                        if *l == and_result {
-                            return Some((rng, mask));
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        None
-    }
-
     /// Charge `c` cost units in category `cat` (single choke point for
     /// all cycle accounting, so tracer attribution is exact).
     #[inline]
-    fn charge(&mut self, cat: CycleCategory, c: u64) {
+    pub(crate) fn charge(&mut self, cat: CycleCategory, c: u64) {
         self.decicycles += c;
         self.breakdown.add_category(cat, c);
         if let Some(t) = self.tracer.as_deref_mut() {
@@ -402,7 +426,7 @@ impl Vm {
 
     /// Emit a telemetry event (no-op without a tracer).
     #[inline]
-    fn emit(&mut self, ev: Event) {
+    pub(crate) fn emit(&mut self, ev: Event) {
         if let Some(t) = self.tracer.as_deref_mut() {
             t.on_event(self.decicycles, &ev);
         }
@@ -439,8 +463,15 @@ impl Vm {
     }
 
     /// Run `main` with no arguments and scripted (possibly empty) input.
-    pub fn run_main(&mut self, input: impl InputSource + 'static) -> RunOutcome {
-        self.run("main", &[], input)
+    pub fn run_main(&mut self, mut input: impl InputSource) -> RunOutcome {
+        self.run_main_with(&mut input)
+    }
+
+    /// [`Vm::run_main`] for an already-borrowed input source, so session
+    /// APIs can replay one scripted input across runs without rebuilding
+    /// or boxing it.
+    pub fn run_main_with(&mut self, input: &mut dyn InputSource) -> RunOutcome {
+        self.run_with("main", &[], input)
     }
 
     /// Run the named entry function.
@@ -449,11 +480,21 @@ impl Vm {
     ///
     /// Panics if the function does not exist or the argument count is
     /// wrong.
-    pub fn run(
+    pub fn run(&mut self, entry: &str, args: &[u64], mut input: impl InputSource) -> RunOutcome {
+        self.run_with(entry, args, &mut input)
+    }
+
+    /// [`Vm::run`] for an already-borrowed input source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function does not exist or the argument count is
+    /// wrong.
+    pub fn run_with(
         &mut self,
         entry: &str,
         args: &[u64],
-        mut input: impl InputSource + 'static,
+        input: &mut dyn InputSource,
     ) -> RunOutcome {
         let fid = self
             .module
@@ -461,27 +502,33 @@ impl Vm {
             .unwrap_or_else(|| panic!("no function named {entry}"));
         let f = self.module.func(fid);
         assert_eq!(f.params.len(), args.len(), "entry argument count");
-        let mut regs = vec![0u64; f.reg_count()];
-        regs[..args.len()].copy_from_slice(args);
+        let entry_reg_count = f.reg_count();
         self.sp = layout::STACK_TOP - layout::STACK_START_GAP - self.stack_base_offset;
         self.sp &= !0xf;
-        let mut frames = vec![Frame {
-            func: fid,
-            regs,
-            block: Function::ENTRY,
-            idx: 0,
-            entry_sp: self.sp,
-            ret_reg: None,
-            low_sp: self.sp,
-            guard_calls: 0,
-            canary_calls: 0,
-        }];
         self.max_depth = 1;
         self.emit(Event::FuncEnter {
             func: fid.0,
             depth: 1,
         });
-        let exit = self.exec_loop(&mut frames, &mut input);
+        let exit = match self.backend {
+            ExecBackend::Bytecode => crate::dispatch::run_compiled(self, fid, args, input),
+            ExecBackend::Interp => {
+                let mut regs = vec![0u64; entry_reg_count];
+                regs[..args.len()].copy_from_slice(args);
+                let mut frames = vec![Frame {
+                    func: fid,
+                    regs,
+                    block: Function::ENTRY,
+                    idx: 0,
+                    entry_sp: self.sp,
+                    ret_reg: None,
+                    low_sp: self.sp,
+                    guard_calls: 0,
+                    canary_calls: 0,
+                }];
+                self.exec_loop(&mut frames, input)
+            }
+        };
         if self.tracer.is_some() {
             if let Exit::Fault(f) = &exit {
                 let what = f.to_string();
@@ -623,11 +670,17 @@ impl Vm {
         }
     }
 
-    fn charge_mem(&mut self, fr: &Frame, addr: u64) {
-        let slab = self.slab_funcs[fr.func.0 as usize];
+    /// Charge one load/store executed by `func` at `addr` (slab-class
+    /// discount plus stack locality), shared by both backends.
+    pub(crate) fn charge_mem_for(&mut self, func: FuncId, addr: u64) {
+        let slab = self.slab_funcs[func.0 as usize];
         let is_stack = addr >= self.mem.stack_base() && addr < layout::STACK_TOP;
         let c = self.cost.mem_cost(slab, is_stack);
         self.charge(CycleCategory::Mem, c);
+    }
+
+    fn charge_mem(&mut self, fr: &Frame, addr: u64) {
+        self.charge_mem_for(fr.func, addr);
     }
 
     fn set_reg(frames: &mut [Frame], r: RegId, v: u64) {
@@ -756,7 +809,22 @@ impl Vm {
                 let argv: Vec<u64> = args.iter().map(|a| self.eval(fr, a)).collect();
                 match callee {
                     Callee::Intrinsic(i) => {
-                        let ret = self.exec_intrinsic(*i, &argv, frames, input, *result)?;
+                        let top = frames.last_mut().expect("frame");
+                        let cur_func = top.func;
+                        let Frame {
+                            guard_calls,
+                            canary_calls,
+                            ..
+                        } = top;
+                        let ret = self.exec_intrinsic(
+                            *i,
+                            &argv,
+                            input,
+                            cur_func,
+                            *result,
+                            guard_calls,
+                            canary_calls,
+                        )?;
                         if let (Some(r), Some(v)) = (result, ret) {
                             Self::set_reg(frames, *r, v);
                         }
@@ -815,7 +883,7 @@ impl Vm {
         Ok(())
     }
 
-    fn binop(op: BinOp, w: IntWidth, a: u64, b: u64) -> Result<u64, FaultKind> {
+    pub(crate) fn binop(op: BinOp, w: IntWidth, a: u64, b: u64) -> Result<u64, FaultKind> {
         let ua = w.truncate(a);
         let ub = w.truncate(b);
         let sa = w.sext(ua);
@@ -859,7 +927,7 @@ impl Vm {
         Ok(w.truncate(v))
     }
 
-    fn icmp(pred: CmpPred, w: IntWidth, a: u64, b: u64) -> bool {
+    pub(crate) fn icmp(pred: CmpPred, w: IntWidth, a: u64, b: u64) -> bool {
         let ua = w.truncate(a);
         let ub = w.truncate(b);
         let sa = w.sext(ua);
@@ -878,13 +946,22 @@ impl Vm {
         }
     }
 
-    fn exec_intrinsic(
+    /// Execute one intrinsic. Decoupled from the interpreter's frame
+    /// representation (the caller passes the executing function and its
+    /// frame's guard/canary counters) so the bytecode dispatcher shares
+    /// this exact code path — intrinsic behavior, cycle charges, and
+    /// telemetry events are bit-identical across backends by
+    /// construction.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn exec_intrinsic(
         &mut self,
         which: Intrinsic,
         argv: &[u64],
-        frames: &mut [Frame],
         input: &mut dyn InputSource,
+        cur_func: FuncId,
         result: Option<RegId>,
+        guard_calls: &mut u32,
+        canary_calls: &mut u32,
     ) -> Result<Option<u64>, FaultKind> {
         match which {
             Intrinsic::GetInput | Intrinsic::ReadLine => {
@@ -1051,12 +1128,10 @@ impl Vm {
                     });
                     // If this draw is the executing function's slab
                     // prologue draw, report which P-BOX row it selects.
-                    let fr = frames.last().expect("frame");
-                    if let Some((reg, mask)) = self.pbox_draws[fr.func.0 as usize] {
+                    if let Some((reg, mask)) = self.pbox_draws[cur_func.0 as usize] {
                         if result == Some(reg) {
-                            let func = fr.func.0;
                             self.emit(Event::PboxSelect {
-                                func,
+                                func: cur_func.0,
                                 index: v & mask,
                             });
                         }
@@ -1065,21 +1140,18 @@ impl Vm {
                 Ok(Some(v))
             }
             Intrinsic::GuardKey => {
-                let frm = frames.last_mut().expect("frame");
-                frm.guard_calls = frm.guard_calls.saturating_add(1);
+                *guard_calls = guard_calls.saturating_add(1);
                 Ok(Some(self.guard_key))
             }
             Intrinsic::Canary => {
-                let frm = frames.last_mut().expect("frame");
-                frm.canary_calls = frm.canary_calls.saturating_add(1);
+                *canary_calls = canary_calls.saturating_add(1);
                 Ok(Some(self.canary))
             }
             Intrinsic::GuardFail => {
-                let func = self.current_func_name(frames);
+                let func = self.module.funcs[cur_func.0 as usize].name.clone();
                 if self.tracer.is_some() {
-                    let fidx = frames.last().expect("frame").func.0;
                     self.emit(Event::GuardCheck {
-                        func: fidx,
+                        func: cur_func.0,
                         kind: GuardKind::Word,
                         passed: false,
                     });
@@ -1087,11 +1159,10 @@ impl Vm {
                 Err(FaultKind::GuardViolation { func })
             }
             Intrinsic::CanaryFail => {
-                let func = self.current_func_name(frames);
+                let func = self.module.funcs[cur_func.0 as usize].name.clone();
                 if self.tracer.is_some() {
-                    let fidx = frames.last().expect("frame").func.0;
                     self.emit(Event::GuardCheck {
-                        func: fidx,
+                        func: cur_func.0,
                         kind: GuardKind::Canary,
                         passed: false,
                     });
@@ -1104,13 +1175,6 @@ impl Vm {
             }
         }
     }
-
-    fn current_func_name(&self, frames: &[Frame]) -> String {
-        frames
-            .last()
-            .map(|f| self.module.funcs[f.func.0 as usize].name.clone())
-            .unwrap_or_default()
-    }
 }
 
 #[cfg(test)]
@@ -1119,8 +1183,13 @@ mod tests {
     use crate::io::ScriptedInput;
     use smokestack_ir::Builder;
 
+    /// Non-deprecated stand-in for the old `Vm::new` in tests.
+    fn vm_for(m: Module, cfg: VmConfig) -> Vm {
+        Vm::new_internal(Arc::new(m), cfg, None)
+    }
+
     fn run_module(m: Module) -> RunOutcome {
-        let mut vm = Vm::new(m, VmConfig::default());
+        let mut vm = vm_for(m, VmConfig::default());
         vm.run_main(ScriptedInput::empty())
     }
 
@@ -1290,7 +1359,7 @@ mod tests {
             b.switch_to(l);
             b.br(l);
         });
-        let mut vm = Vm::new(
+        let mut vm = vm_for(
             m,
             VmConfig {
                 fuel: 1000,
@@ -1317,7 +1386,7 @@ mod tests {
             b.ret(Some(sum.into()));
         }
         m.add_func(f);
-        let mut vm = Vm::new(m, VmConfig::default());
+        let mut vm = vm_for(m, VmConfig::default());
         let out = vm.run_main(ScriptedInput::new([vec![10u8, 20, 30]]));
         // 3 bytes + first byte 10 = 13
         assert_eq!(out.exit, Exit::Return(13));
@@ -1421,7 +1490,7 @@ mod tests {
             let r = b.call_intrinsic(Intrinsic::StackRng, vec![]).unwrap();
             b.ret(Some(r.into()));
         });
-        let mut vm = Vm::new(
+        let mut vm = vm_for(
             m,
             VmConfig {
                 scheme: SchemeKind::Pseudo,
@@ -1443,7 +1512,7 @@ mod tests {
             let r = b.call_intrinsic(Intrinsic::StackRng, vec![]).unwrap();
             b.ret(Some(r.into()));
         });
-        let mut vm = Vm::new(
+        let mut vm = vm_for(
             m,
             VmConfig {
                 scheme: SchemeKind::Aes10,
@@ -1466,7 +1535,7 @@ mod tests {
                 let r = b.call_intrinsic(Intrinsic::StackRng, vec![]).unwrap();
                 b.ret(Some(r.into()));
             });
-            let mut vm = Vm::new(
+            let mut vm = vm_for(
                 m,
                 VmConfig {
                     scheme: kind,
@@ -1505,7 +1574,7 @@ mod tests {
             })
         };
         let addr_at = |off: u64| {
-            let mut vm = Vm::new(
+            let mut vm = vm_for(
                 build(),
                 VmConfig {
                     stack_base_offset: off,
@@ -1529,7 +1598,7 @@ mod tests {
             b.alloca(Type::array(Type::I8, 32), "buf");
             b.ret(Some(Value::i64(0)));
         });
-        let mut vm = Vm::new(
+        let mut vm = vm_for(
             m,
             VmConfig {
                 record_allocas: true,

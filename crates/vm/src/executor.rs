@@ -1,0 +1,335 @@
+//! [`Executor`]: the builder-style session API over the VM.
+//!
+//! An `Executor` owns everything that is *per-build* rather than
+//! *per-run*: the module, the hardening scheme, the cost model, the
+//! telemetry collector, and — crucially — the compiled bytecode image,
+//! resolved once through the process-wide cache and shared by every VM
+//! the session spawns. Campaign trials, fuzz variants, and benchmark
+//! repetitions construct one `Executor` per build and then spawn
+//! thousands of cheap per-seed VMs from it:
+//!
+//! ```
+//! use smokestack_vm::{Executor, ScriptedInput};
+//! use smokestack_ir::{Builder, Function, Module, Type, Value};
+//!
+//! let mut m = Module::new();
+//! let mut f = Function::new("main", vec![], Type::I64);
+//! let mut b = Builder::new(&mut f);
+//! b.ret(Some(Value::i64(7)));
+//! m.add_func(f);
+//!
+//! let exec = Executor::for_module(m).trng_seed(1).build();
+//! let mut input = ScriptedInput::empty();
+//! assert_eq!(exec.run_main_with(&mut input).exit, smokestack_vm::Exit::Return(7));
+//! ```
+
+use std::cell::OnceCell;
+use std::sync::Arc;
+
+use smokestack_ir::Module;
+use smokestack_srng::SchemeKind;
+use smokestack_telemetry::{SharedCollector, Tracer};
+
+use crate::bytecode::{compiled_for, CompiledModule, ExecBackend};
+use crate::cycles::CostModel;
+use crate::exec::{RunOutcome, Vm, VmConfig};
+use crate::io::InputSource;
+use crate::mem::MemConfig;
+use crate::report::RunReport;
+
+/// A VM session: one module + build configuration, many runs.
+///
+/// Cloning is cheap and shares the compiled image; clones are the
+/// intended way to fork a session with one knob changed (see
+/// [`Executor::with_record_allocas`]).
+#[derive(Clone)]
+pub struct Executor {
+    module: Arc<Module>,
+    scheme: SchemeKind,
+    trng_seed: u64,
+    stack_base_offset: u64,
+    fuel: u64,
+    mem: MemConfig,
+    cost: CostModel,
+    record_allocas: bool,
+    backend: ExecBackend,
+    tracer: Option<SharedCollector>,
+    /// Lazily-resolved compiled image (interior so `&self` spawning
+    /// works; `OnceCell` because a session never changes module/cost).
+    compiled: OnceCell<Arc<CompiledModule>>,
+}
+
+/// Builder returned by [`Executor::for_module`]. Every knob defaults to
+/// the corresponding [`VmConfig::default`] value.
+pub struct ExecutorBuilder {
+    inner: Executor,
+}
+
+impl ExecutorBuilder {
+    /// Table I randomness scheme served to `stack_rng`.
+    pub fn scheme(mut self, scheme: SchemeKind) -> Self {
+        self.inner.scheme = scheme;
+        self
+    }
+
+    /// Session-default TRNG seed (per-run seeds via
+    /// [`Executor::vm_seeded`] take precedence).
+    pub fn trng_seed(mut self, seed: u64) -> Self {
+        self.inner.trng_seed = seed;
+        self
+    }
+
+    /// Extra offset subtracted from the initial stack pointer.
+    pub fn stack_base_offset(mut self, offset: u64) -> Self {
+        self.inner.stack_base_offset = offset;
+        self
+    }
+
+    /// Instruction budget per run.
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.inner.fuel = fuel;
+        self
+    }
+
+    /// Memory segment sizes.
+    pub fn mem(mut self, mem: MemConfig) -> Self {
+        self.inner.mem = mem;
+        self
+    }
+
+    /// Cycle-cost parameters (part of the compiled-image fingerprint).
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.inner.cost = cost;
+        self
+    }
+
+    /// Record every stack allocation (address/size/name) per run.
+    pub fn record_allocas(mut self, record: bool) -> Self {
+        self.inner.record_allocas = record;
+        self
+    }
+
+    /// Execution engine (bytecode by default).
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.inner.backend = backend;
+        self
+    }
+
+    /// Telemetry collector, cloned into every spawned VM.
+    pub fn tracer(mut self, tracer: SharedCollector) -> Self {
+        self.inner.tracer = Some(tracer);
+        self
+    }
+
+    /// Finish the session.
+    pub fn build(self) -> Executor {
+        self.inner
+    }
+}
+
+impl Executor {
+    /// Start building a session for `module`. Accepts an owned
+    /// [`Module`] or a shared [`Arc<Module>`]; sessions built from the
+    /// same `Arc` share one compiled image through the process cache.
+    pub fn for_module(module: impl Into<Arc<Module>>) -> ExecutorBuilder {
+        ExecutorBuilder {
+            inner: Executor {
+                module: module.into(),
+                scheme: SchemeKind::Aes10,
+                trng_seed: 0x5eed,
+                stack_base_offset: 0,
+                fuel: 200_000_000,
+                mem: MemConfig::default(),
+                cost: CostModel::default(),
+                record_allocas: false,
+                backend: ExecBackend::default(),
+                tracer: None,
+                compiled: OnceCell::new(),
+            },
+        }
+    }
+
+    /// The module this session executes.
+    pub fn module(&self) -> &Arc<Module> {
+        &self.module
+    }
+
+    /// The session's randomness scheme.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// The session's execution backend.
+    pub fn backend(&self) -> ExecBackend {
+        self.backend
+    }
+
+    /// The session's telemetry collector, if any.
+    pub fn tracer(&self) -> Option<&SharedCollector> {
+        self.tracer.as_ref()
+    }
+
+    /// Fork the session with alloca recording switched on/off (used by
+    /// disclosure probes, which need the allocation trace of a single
+    /// run without re-compiling the build).
+    pub fn with_record_allocas(mut self, record: bool) -> Executor {
+        self.record_allocas = record;
+        self
+    }
+
+    /// Fork the session with a telemetry collector attached; the
+    /// compiled image carries over.
+    pub fn with_tracer(mut self, tracer: SharedCollector) -> Executor {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Fork the session onto a different execution backend; the
+    /// compiled image carries over (and is simply unused under
+    /// [`ExecBackend::Interp`]).
+    pub fn with_backend(mut self, backend: ExecBackend) -> Executor {
+        self.backend = backend;
+        self
+    }
+
+    /// The session's compiled bytecode image, lowering on first use.
+    /// Identical `(module, cost-model)` sessions — clones, or sessions
+    /// over the same `Arc<Module>` — return the same `Arc`.
+    pub fn compiled(&self) -> Arc<CompiledModule> {
+        Arc::clone(
+            self.compiled
+                .get_or_init(|| compiled_for(&self.module, &self.cost)),
+        )
+    }
+
+    /// The [`VmConfig`] a spawned VM gets, before per-run overrides.
+    pub fn base_config(&self) -> VmConfig {
+        VmConfig {
+            scheme: self.scheme,
+            trng_seed: self.trng_seed,
+            stack_base_offset: self.stack_base_offset,
+            fuel: self.fuel,
+            mem: self.mem,
+            cost: self.cost,
+            record_allocas: self.record_allocas,
+            tracer: self
+                .tracer
+                .as_ref()
+                .map(|t| Box::new(t.clone()) as Box<dyn Tracer>),
+            backend: self.backend,
+        }
+    }
+
+    /// Spawn a fresh VM with the session defaults.
+    pub fn vm(&self) -> Vm {
+        self.vm_with_config(self.base_config())
+    }
+
+    /// Spawn a fresh VM with a per-run TRNG seed.
+    pub fn vm_seeded(&self, trng_seed: u64) -> Vm {
+        self.vm_with_config(VmConfig {
+            trng_seed,
+            ..self.base_config()
+        })
+    }
+
+    /// Spawn a fresh VM with a per-run TRNG seed and stack-base offset
+    /// (the stack-base-randomization baseline re-draws the offset per
+    /// run).
+    pub fn vm_configured(&self, trng_seed: u64, stack_base_offset: u64) -> Vm {
+        self.vm_with_config(VmConfig {
+            trng_seed,
+            stack_base_offset,
+            ..self.base_config()
+        })
+    }
+
+    /// Escape hatch: spawn a VM from an explicit [`VmConfig`] while
+    /// still reusing the session's compiled image where it applies (the
+    /// image is revalidated against the config's cost model and backend,
+    /// so any override is safe).
+    pub fn vm_with_config(&self, cfg: VmConfig) -> Vm {
+        let compiled = match cfg.backend {
+            ExecBackend::Bytecode => Some(self.compiled()),
+            ExecBackend::Interp => None,
+        };
+        Vm::new_internal(Arc::clone(&self.module), cfg, compiled)
+    }
+
+    /// Run `main` once with the session defaults.
+    pub fn run_main(&self, mut input: impl InputSource) -> RunOutcome {
+        self.run_main_with(&mut input)
+    }
+
+    /// Run `main` once against a borrowed input source (replayable
+    /// across runs without rebuilding it).
+    pub fn run_main_with(&self, input: &mut dyn InputSource) -> RunOutcome {
+        self.vm().run_main_with(input)
+    }
+
+    /// Run `main` once with a per-run TRNG seed.
+    pub fn run_main_seeded(&self, trng_seed: u64, input: &mut dyn InputSource) -> RunOutcome {
+        self.vm_seeded(trng_seed).run_main_with(input)
+    }
+
+    /// Run an arbitrary entry function once with the session defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function does not exist or the argument count is
+    /// wrong.
+    pub fn run(&self, entry: &str, args: &[u64], mut input: impl InputSource) -> RunOutcome {
+        self.vm().run_with(entry, args, &mut input)
+    }
+
+    /// Run `main` once and reduce to the canonical [`RunReport`].
+    pub fn report_main(&self, input: &mut dyn InputSource) -> RunReport {
+        RunReport::from(self.run_main_with(input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::ScriptedInput;
+    use smokestack_ir::{Builder, Function, Type, Value};
+
+    fn sample() -> Arc<Module> {
+        let mut m = Module::new();
+        let mut f = Function::new("main", vec![], Type::I64);
+        let mut b = Builder::new(&mut f);
+        b.ret(Some(Value::i64(9)));
+        m.add_func(f);
+        Arc::new(m)
+    }
+
+    #[test]
+    fn sessions_over_one_module_share_the_compiled_image() {
+        let m = sample();
+        let a = Executor::for_module(Arc::clone(&m)).build();
+        let b = Executor::for_module(Arc::clone(&m)).build();
+        assert!(Arc::ptr_eq(&a.compiled(), &b.compiled()));
+        // Clones share trivially.
+        let c = a.clone();
+        assert!(Arc::ptr_eq(&a.compiled(), &c.compiled()));
+    }
+
+    #[test]
+    fn replay_reuses_a_borrowed_input() {
+        let exec = Executor::for_module(sample()).build();
+        let mut input = ScriptedInput::empty();
+        let one = exec.run_main_with(&mut input);
+        let two = exec.run_main_with(&mut input);
+        assert_eq!(one.decicycles, two.decicycles);
+        assert_eq!(exec.report_main(&mut input).exit_class, "return:9");
+    }
+
+    #[test]
+    fn interp_backend_session_spawns_interp_vms() {
+        let exec = Executor::for_module(sample())
+            .backend(ExecBackend::Interp)
+            .build();
+        assert_eq!(exec.backend(), ExecBackend::Interp);
+        assert_eq!(exec.run_main(ScriptedInput::empty()).decicycles, 20);
+    }
+}

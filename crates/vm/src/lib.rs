@@ -1,7 +1,7 @@
 //! # smokestack-vm
 //!
-//! A deterministic interpreter for the Smokestack IR with the properties
-//! the paper's evaluation needs:
+//! A deterministic execution engine for the Smokestack IR with the
+//! properties the paper's evaluation needs:
 //!
 //! * **Native overflow semantics.** Memory is a flat address space of
 //!   rodata / data / heap / stack segments; loads and stores are checked
@@ -20,11 +20,27 @@
 //! * **`ru_maxrss` analog.** Peak resident footprint is tracked for the
 //!   memory-overhead experiment (Figure 4).
 //!
+//! # Execution backends
+//!
+//! Two engines execute the same IR with bit-identical results
+//! ([`RunOutcome`] equality — output events, exit/fault class, cycle
+//! and instruction totals):
+//!
+//! * [`ExecBackend::Bytecode`] (default) lowers the module once to a
+//!   flat bytecode ([`CompiledModule`], cached process-wide per
+//!   module + cost-model fingerprint) and replays it with a reusable
+//!   register file and call stack;
+//! * [`ExecBackend::Interp`] is the original tree-walking interpreter,
+//!   retained as the semantic reference for differential testing.
+//!
 //! # Examples
+//!
+//! The [`Executor`] session API is the front door: it owns the
+//! compiled-module cache and spawns per-run VMs.
 //!
 //! ```
 //! use smokestack_ir::{Builder, Function, Module, Type, Value};
-//! use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+//! use smokestack_vm::{Executor, Exit, ScriptedInput};
 //!
 //! let mut m = Module::new();
 //! let mut f = Function::new("main", vec![], Type::I64);
@@ -32,22 +48,29 @@
 //! b.ret(Some(Value::i64(7)));
 //! m.add_func(f);
 //!
-//! let mut vm = Vm::new(m, VmConfig::default());
-//! let out = vm.run_main(ScriptedInput::empty());
+//! let exec = Executor::for_module(m).build();
+//! let out = exec.run_main(ScriptedInput::empty());
 //! assert_eq!(out.exit, Exit::Return(7));
 //! ```
 
 #![warn(missing_docs)]
 
+mod bytecode;
 mod cycles;
+mod dispatch;
 mod exec;
+mod executor;
 mod io;
 mod mem;
+mod report;
 
+pub use bytecode::{compile_module, compiled_for, CompiledModule, ExecBackend};
 pub use cycles::{CostModel, CycleBreakdown, SlabClass, DECI};
 pub use exec::{AllocaRecord, Exit, FaultKind, RunOutcome, Vm, VmConfig};
+pub use executor::{Executor, ExecutorBuilder};
 pub use io::{FnInput, InputSource, OutputEvent, ScriptedInput};
 pub use mem::{layout, FaultLocus, MemConfig, MemFault, Memory};
+pub use report::{canonical_event, escape_bytes, exit_class, FaultClass, RunReport};
 // Telemetry surface, re-exported so VM users configure tracing without
 // naming the telemetry crate directly.
 pub use smokestack_telemetry::{

@@ -3,7 +3,12 @@
 //! depends on.
 
 use smokestack_ir::{Builder, CastKind, Function, Intrinsic, Module, Type, Value};
-use smokestack_vm::{layout, Exit, FaultKind, FnInput, Memory, ScriptedInput, Vm, VmConfig};
+use smokestack_vm::{layout, Executor, Exit, FaultKind, FnInput, Memory, ScriptedInput, Vm};
+
+/// One-run VM over a fresh session (keeps `vm.mem()` access available).
+fn vm_for(m: Module) -> Vm {
+    Executor::for_module(m).build().vm()
+}
 
 fn module_with_main(body: impl FnOnce(&mut Builder, &mut Module)) -> Module {
     let mut m = Module::new();
@@ -27,7 +32,7 @@ fn attacker_can_read_everything_writable() {
         let v = b.load(Type::I64, x.into());
         b.ret(Some(v.into()));
     });
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     let seen = std::rc::Rc::new(std::cell::Cell::new(false));
     let seen_c = seen.clone();
     let out = vm.run_main(FnInput(move |mem: &mut Memory, _r, _max| {
@@ -52,7 +57,7 @@ fn attacker_cannot_write_rodata() {
     let mut m = module_with_main(|b, _| b.ret(Some(Value::i64(0))));
     let g = m.add_cstring("secret_fmt", "fmt");
     let _ = g;
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     let addr = vm.global_addr("secret_fmt");
     assert!(vm.mem_mut().write(addr, &[0x41]).is_err());
     // But reading is allowed (the P-BOX is public).
@@ -70,7 +75,7 @@ fn attacker_writes_take_effect_mid_run() {
         let v = b.load(Type::I64, gate.into());
         b.ret(Some(v.into()));
     });
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     let out = vm.run_main(FnInput(|mem: &mut Memory, _r, _max| {
         let top = layout::STACK_TOP - layout::STACK_START_GAP;
         let mut a = top - 8;
@@ -94,7 +99,7 @@ fn get_input_zero_max_reads_nothing() {
             .unwrap();
         b.ret(Some(n.into()));
     });
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     let out = vm.run_main(ScriptedInput::new(vec![vec![1, 2, 3]]));
     assert_eq!(out.exit, Exit::Return(0));
 }
@@ -124,7 +129,7 @@ fn snprintf_zero_cap_writes_nothing_returns_would_len() {
         b.ret(Some(sum.into()));
     }
     m.add_func(f);
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     // cap == 0: nothing written (sentinel intact), returns 5.
     assert_eq!(
         vm.run_main(ScriptedInput::empty()).exit,
@@ -159,7 +164,7 @@ fn snprintf_negative_cap_is_unbounded() {
         b.ret(Some(v.into()));
     }
     m.add_func(f);
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     let out = vm.run_main(ScriptedInput::empty());
     assert_eq!(out.exit, Exit::Return(u64::from_le_bytes(*b"AAAAAAAA")));
 }
@@ -173,7 +178,7 @@ fn heap_exhaustion_returns_null() {
         let pi = b.cast(CastKind::PtrToInt, Type::I64, p.into());
         b.ret(Some(pi.into()));
     });
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(0));
 }
 
@@ -207,7 +212,7 @@ fn malloc_blocks_do_not_overlap() {
         let sum = b.add64(v1w.into(), shifted.into());
         b.ret(Some(sum.into()));
     });
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     assert_eq!(
         vm.run_main(ScriptedInput::empty()).exit,
         Exit::Return(0xAA | (0xBB << 8))
@@ -236,7 +241,7 @@ fn deep_recursion_overflows_cleanly() {
         b.ret(Some(r.into()));
     }
     m.add_func(main);
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     assert_eq!(
         vm.run_main(ScriptedInput::empty()).exit,
         Exit::Fault(FaultKind::StackOverflow)
@@ -249,7 +254,7 @@ fn io_apps_measure_waits_not_work() {
         b.call_intrinsic(Intrinsic::IoWait, vec![Value::i64(123_456)]);
         b.ret(Some(Value::i64(0)));
     });
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     let out = vm.run_main(ScriptedInput::empty());
     assert!(out.cycles() >= 123_456.0);
     assert!(out.breakdown.io >= 123_456 * smokestack_vm::DECI);
@@ -268,7 +273,7 @@ fn output_interleaves_ints_and_strings() {
         b.ret(Some(Value::i64(0)));
     }
     m.add_func(f);
-    let mut vm = Vm::new(m, VmConfig::default());
+    let mut vm = vm_for(m);
     let out = vm.run_main(ScriptedInput::empty());
     assert_eq!(out.output_text(), "1<>2");
 }
@@ -283,13 +288,10 @@ fn pseudo_state_survives_attacker_overwrite() {
         let r = b.call_intrinsic(Intrinsic::StackRng, vec![]).unwrap();
         b.ret(Some(r.into()));
     });
-    let mut vm = Vm::new(
-        m,
-        VmConfig {
-            scheme: smokestack_srng::SchemeKind::Pseudo,
-            ..VmConfig::default()
-        },
-    );
+    let mut vm = Executor::for_module(m)
+        .scheme(smokestack_srng::SchemeKind::Pseudo)
+        .build()
+        .vm();
     let planted = 0xABCDu64;
     let (_, predicted) = smokestack_srng::XorShift64::step(planted);
     let out = vm.run_main(FnInput(move |mem: &mut Memory, _r, _max| {

@@ -203,7 +203,7 @@ pub fn by_name(name: &str) -> Option<Workload> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+    use smokestack_vm::{Executor, Exit, ScriptedInput};
 
     #[test]
     fn corpus_compiles_and_verifies() {
@@ -221,14 +221,10 @@ mod tests {
         for w in all() {
             let run = |seed: u64| {
                 let m = w.compile().unwrap();
-                let mut vm = Vm::new(
-                    m,
-                    VmConfig {
-                        trng_seed: seed,
-                        ..VmConfig::default()
-                    },
-                );
-                vm.run_main(ScriptedInput::empty())
+                Executor::for_module(m)
+                    .trng_seed(seed)
+                    .build()
+                    .run_main(ScriptedInput::empty())
             };
             let a = run(1);
             let b = run(2);
@@ -256,8 +252,9 @@ mod tests {
     fn io_apps_are_io_dominated() {
         for w in io_apps() {
             let m = w.compile().unwrap();
-            let mut vm = Vm::new(m, VmConfig::default());
-            let out = vm.run_main(ScriptedInput::empty());
+            let out = Executor::for_module(m)
+                .build()
+                .run_main(ScriptedInput::empty());
             // Waits are charged in cycles; compute instructions are few.
             let compute_decicycles = out.insts * 12; // upper-bound estimate
             assert!(
@@ -271,8 +268,9 @@ mod tests {
     #[test]
     fn perlbench_reaches_paper_call_depth() {
         let m = by_name("perlbench").unwrap().compile().unwrap();
-        let mut vm = Vm::new(m, VmConfig::default());
-        let out = vm.run_main(ScriptedInput::empty());
+        let out = Executor::for_module(m)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert!(
             out.max_call_depth >= 300,
             "expected deep recursion, got {}",
@@ -294,11 +292,15 @@ mod tests {
         for w in all() {
             let base = {
                 let m = w.compile().unwrap();
-                Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+                Executor::for_module(m)
+                    .build()
+                    .run_main(ScriptedInput::empty())
             };
             let mut m = w.compile().unwrap();
             smokestack_core::harden(&mut m, &smokestack_core::SmokestackConfig::default()).unwrap();
-            let hard = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
+            let hard = Executor::for_module(m)
+                .build()
+                .run_main(ScriptedInput::empty());
             assert_eq!(base.exit, hard.exit, "{} changed under hardening", w.name);
         }
     }

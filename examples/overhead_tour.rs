@@ -8,7 +8,7 @@
 
 use smokestack_repro::core::{harden, SmokestackConfig};
 use smokestack_repro::srng::SchemeKind;
-use smokestack_repro::vm::{RunOutcome, ScriptedInput, Vm, VmConfig};
+use smokestack_repro::vm::{Executor, RunOutcome, ScriptedInput};
 use smokestack_repro::workloads::by_name;
 
 fn run(name: &str, hardened: bool, scheme: SchemeKind) -> RunOutcome {
@@ -17,14 +17,10 @@ fn run(name: &str, hardened: bool, scheme: SchemeKind) -> RunOutcome {
     if hardened {
         harden(&mut m, &SmokestackConfig::default()).unwrap();
     }
-    let mut vm = Vm::new(
-        m,
-        VmConfig {
-            scheme,
-            ..VmConfig::default()
-        },
-    );
-    vm.run_main(ScriptedInput::empty())
+    Executor::for_module(m)
+        .scheme(scheme)
+        .build()
+        .run_main(ScriptedInput::empty())
 }
 
 fn tour(name: &str) {

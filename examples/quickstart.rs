@@ -7,7 +7,7 @@
 
 use smokestack_repro::harden_source;
 use smokestack_repro::minic::compile;
-use smokestack_repro::vm::{ScriptedInput, Vm, VmConfig};
+use smokestack_repro::vm::{Executor, ScriptedInput};
 
 // A function with three locals; it prints the distance between two of
 // them each time it runs. Under a conventional compiler that distance
@@ -36,8 +36,8 @@ const SRC: &str = r#"
 fn main() {
     println!("== baseline build (fixed layout) ==");
     let module = compile(SRC).expect("source compiles");
-    let mut vm = Vm::new(module, VmConfig::default());
-    let out = vm.run_main(ScriptedInput::empty());
+    let exec = Executor::for_module(module).build();
+    let out = exec.run_main(ScriptedInput::empty());
     print!("{}", out.output_text());
 
     println!("\n== smokestack build (layout redrawn every call) ==");
@@ -48,8 +48,8 @@ fn main() {
         report.pbox_bytes,
         report.placements["probe"].entropy_bits,
     );
-    let mut vm = Vm::new(module, VmConfig::default());
-    let out = vm.run_main(ScriptedInput::empty());
+    let exec = Executor::for_module(module).build();
+    let out = exec.run_main(ScriptedInput::empty());
     print!("{}", out.output_text());
 
     println!("\nSame program, same inputs, same results - but every invocation of");

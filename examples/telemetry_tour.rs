@@ -8,7 +8,7 @@
 
 use smokestack_repro::harden_source;
 use smokestack_repro::vm::{
-    CollectorConfig, CycleCategory, ScriptedInput, SharedCollector, Vm, VmConfig,
+    CollectorConfig, CycleCategory, Executor, ScriptedInput, SharedCollector,
 };
 
 const SRC: &str = r#"
@@ -40,14 +40,8 @@ fn main() {
     // The SharedCollector is cloned into the VM's tracer slot; the
     // handle we keep reads the same underlying collector afterwards.
     let shared = SharedCollector::new(CollectorConfig::default());
-    let mut vm = Vm::new(
-        module,
-        VmConfig {
-            tracer: Some(Box::new(shared.clone())),
-            ..VmConfig::default()
-        },
-    );
-    let out = vm.run_main(ScriptedInput::empty());
+    let exec = Executor::for_module(module).tracer(shared.clone()).build();
+    let out = exec.run_main(ScriptedInput::empty());
     println!("exit: {:?} after {} decicycles\n", out.exit, out.decicycles);
 
     // Surface 1: the structured event trace (last few events).

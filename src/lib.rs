@@ -26,14 +26,14 @@
 //! # Examples
 //!
 //! ```
-//! use smokestack_repro::{harden_source, vm::{Exit, ScriptedInput, Vm, VmConfig}};
+//! use smokestack_repro::{harden_source, vm::{Executor, Exit, ScriptedInput}};
 //!
 //! let (module, report) = harden_source(
 //!     "int main() { int x = 1; char buf[16]; long y = 2; return x; }",
 //! ).unwrap();
 //! assert_eq!(report.functions_instrumented, 1);
-//! let mut vm = Vm::new(module, VmConfig::default());
-//! assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(1));
+//! let exec = Executor::for_module(module).build();
+//! assert_eq!(exec.run_main(ScriptedInput::empty()).exit, Exit::Return(1));
 //! ```
 
 #![warn(missing_docs)]
@@ -71,15 +71,15 @@ pub fn harden_source(src: &str) -> Result<(Module, HardenReport), CompileError> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smokestack_vm::{Exit, ScriptedInput, Vm, VmConfig};
+    use smokestack_vm::{Executor, Exit, ScriptedInput};
 
     #[test]
     fn harden_source_end_to_end() {
         let (m, report) =
             harden_source("int main() { int a = 20; long b = 22; return a + b; }").unwrap();
         assert!(report.pbox_bytes > 0);
-        let mut vm = Vm::new(m, VmConfig::default());
-        assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(42));
+        let exec = Executor::for_module(m).build();
+        assert_eq!(exec.run_main(ScriptedInput::empty()).exit, Exit::Return(42));
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Differential tests between the two execution backends.
+//!
+//! The bytecode dispatcher is only allowed to exist because it is
+//! observably identical to the reference interpreter: same output
+//! events, same exit and fault classes, same cycle accounting, same
+//! memory high-water marks. These tests pin that equivalence across
+//! the full workload corpus, the attack suite under every defense row,
+//! and a corpus of fuzz-generated programs — under every randomness
+//! scheme.
+
+use std::sync::Arc;
+
+use smokestack_attacks::{by_name, run_trial, standard_suite, Build};
+use smokestack_core::{harden, SmokestackConfig};
+use smokestack_defenses::DefenseKind;
+use smokestack_ir::Module;
+use smokestack_srng::SchemeKind;
+use smokestack_vm::{compiled_for, CostModel, ExecBackend, Executor, RunOutcome, ScriptedInput};
+use smokestack_workloads::all;
+
+/// Run `main` once under `backend` with a replayable scripted input.
+fn run_once(
+    module: &Arc<Module>,
+    scheme: SchemeKind,
+    backend: ExecBackend,
+    trng_seed: u64,
+    inputs: &[Vec<u8>],
+) -> RunOutcome {
+    let exec = Executor::for_module(Arc::clone(module))
+        .scheme(scheme)
+        .backend(backend)
+        .build();
+    let mut input = ScriptedInput::new(inputs.iter().cloned());
+    exec.run_main_seeded(trng_seed, &mut input)
+}
+
+/// Assert that two runs are observably identical (everything the rest
+/// of the repo consumes: output, exit, cycle totals, instruction count,
+/// memory and call-depth high-water marks, RNG draws, and the §V-A
+/// cycle breakdown).
+fn assert_identical(label: &str, interp: &RunOutcome, bytecode: &RunOutcome) {
+    assert_eq!(interp.exit, bytecode.exit, "{label}: exit diverged");
+    assert_eq!(interp.output, bytecode.output, "{label}: output diverged");
+    assert_eq!(
+        interp.decicycles, bytecode.decicycles,
+        "{label}: cycle totals diverged"
+    );
+    assert_eq!(
+        interp.insts, bytecode.insts,
+        "{label}: inst counts diverged"
+    );
+    assert_eq!(
+        interp.peak_rss, bytecode.peak_rss,
+        "{label}: peak RSS diverged"
+    );
+    assert_eq!(
+        interp.max_call_depth, bytecode.max_call_depth,
+        "{label}: call depth diverged"
+    );
+    assert_eq!(
+        interp.rng_invocations, bytecode.rng_invocations,
+        "{label}: rng draws diverged"
+    );
+    assert_eq!(
+        interp.breakdown, bytecode.breakdown,
+        "{label}: cycle breakdown diverged"
+    );
+}
+
+/// Differential check of one module under both backends.
+fn check_module(label: &str, module: &Arc<Module>, scheme: SchemeKind, trng_seed: u64) {
+    let interp = run_once(module, scheme, ExecBackend::Interp, trng_seed, &[]);
+    let bytecode = run_once(module, scheme, ExecBackend::Bytecode, trng_seed, &[]);
+    assert_identical(label, &interp, &bytecode);
+}
+
+/// Workload slice differential: unhardened plus hardened under every
+/// Table I scheme. Split into shards so the corpus runs on multiple
+/// test threads.
+fn check_workload_shard(shard: usize, of: usize) {
+    for (i, w) in all().iter().enumerate() {
+        if i % of != shard {
+            continue;
+        }
+        let base = Arc::new(w.compile().expect("workload compiles"));
+        check_module(
+            &format!("{} (unhardened)", w.name),
+            &base,
+            SchemeKind::Aes10,
+            0xf00d + i as u64,
+        );
+
+        let mut hardened = (*base).clone();
+        harden(&mut hardened, &SmokestackConfig::default()).expect("workload hardens");
+        let hardened = Arc::new(hardened);
+        for (si, scheme) in SchemeKind::ALL.into_iter().enumerate() {
+            check_module(
+                &format!("{} (hardened, {scheme:?})", w.name),
+                &hardened,
+                scheme,
+                0xbead + (i * 31 + si) as u64,
+            );
+        }
+    }
+}
+
+#[test]
+fn workloads_identical_across_backends_shard0() {
+    check_workload_shard(0, 4);
+}
+
+#[test]
+fn workloads_identical_across_backends_shard1() {
+    check_workload_shard(1, 4);
+}
+
+#[test]
+fn workloads_identical_across_backends_shard2() {
+    check_workload_shard(2, 4);
+}
+
+#[test]
+fn workloads_identical_across_backends_shard3() {
+    check_workload_shard(3, 4);
+}
+
+/// Every attack in the suite, against every defense row, must produce
+/// the *same trial history* (outcome and restart count) whichever
+/// engine runs the victim. Campaign seeds fan out deterministically
+/// from the trial driver, so a single campaign per cell exercises up
+/// to 48 exploit attempts.
+fn check_attack_matrix(shard: usize, of: usize) {
+    let mut suite = standard_suite();
+    suite.push(by_name("adaptive-same-invocation").expect("adaptive attack registered"));
+    for (ai, attack) in suite.iter().enumerate() {
+        if ai % of != shard {
+            continue;
+        }
+        for (di, defense) in DefenseKind::MATRIX.into_iter().enumerate() {
+            let build_seed = 0xacce55 + (ai * 17 + di) as u64;
+            let campaign_seed = 0x7a0 + di as u64;
+            let build = Build::new(attack.source(), defense, build_seed);
+            let interp_build = Build::from_deployed(
+                Arc::clone(build.module()),
+                build.defense,
+                build.deployment.clone(),
+                build.build_seed,
+            )
+            .with_backend(ExecBackend::Interp);
+            let a = run_trial(attack.as_ref(), &build, campaign_seed);
+            let b = run_trial(attack.as_ref(), &interp_build, campaign_seed);
+            assert_eq!(
+                a,
+                b,
+                "{} vs {}: trial diverged between backends",
+                attack.name(),
+                defense.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn attacks_identical_across_backends_shard0() {
+    check_attack_matrix(0, 3);
+}
+
+#[test]
+fn attacks_identical_across_backends_shard1() {
+    check_attack_matrix(1, 3);
+}
+
+#[test]
+fn attacks_identical_across_backends_shard2() {
+    check_attack_matrix(2, 3);
+}
+
+/// 256 fuzz-generated programs × two schemes: the property-test
+/// satellite. Uses the fuzz generator's deterministic seeds so every
+/// failure reproduces offline.
+#[test]
+fn fuzz_corpus_identical_across_backends() {
+    let seeds = if cfg!(feature = "external-testing") {
+        0..512u64
+    } else {
+        0..256u64
+    };
+    for seed in seeds {
+        let case = smokestack_fuzz::gen::generate(seed);
+        let base = match smokestack_minic::compile(&case.source) {
+            Ok(m) => Arc::new(m),
+            Err(_) => continue,
+        };
+        let mut hardened = (*base).clone();
+        harden(&mut hardened, &SmokestackConfig::default()).expect("fuzz case hardens");
+        let hardened = Arc::new(hardened);
+        for scheme in [SchemeKind::Pseudo, SchemeKind::Aes10] {
+            for module in [&base, &hardened] {
+                let interp = run_once(module, scheme, ExecBackend::Interp, seed, &case.inputs);
+                let bytecode = run_once(module, scheme, ExecBackend::Bytecode, seed, &case.inputs);
+                assert_identical(
+                    &format!("fuzz seed {seed} ({scheme:?})"),
+                    &interp,
+                    &bytecode,
+                );
+            }
+        }
+    }
+}
+
+/// The process-wide compiled-module cache must return the *same* image
+/// for identical (module, cost-model) pairs and distinct images when
+/// the cost fingerprint differs.
+#[test]
+fn compiled_cache_is_keyed_by_module_and_cost() {
+    let w = &all()[0];
+    let m = Arc::new(w.compile().unwrap());
+    let cost = CostModel::default();
+    let a = compiled_for(&m, &cost);
+    let b = compiled_for(&m, &cost);
+    assert!(Arc::ptr_eq(&a, &b), "same module+cost must share the image");
+
+    let mut other = cost;
+    other.call += 1;
+    let c = compiled_for(&m, &other);
+    assert!(
+        !Arc::ptr_eq(&a, &c),
+        "different cost fingerprints must not share an image"
+    );
+
+    // Executor sessions route through the same cache.
+    let exec = Executor::for_module(Arc::clone(&m)).build();
+    assert!(Arc::ptr_eq(&a, &exec.compiled()));
+}

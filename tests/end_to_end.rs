@@ -6,7 +6,7 @@ use smokestack_repro::defenses::{deploy, DefenseKind};
 use smokestack_repro::ir;
 use smokestack_repro::minic::compile;
 use smokestack_repro::srng::SchemeKind;
-use smokestack_repro::vm::{Exit, ScriptedInput, Vm, VmConfig};
+use smokestack_repro::vm::{Executor, Exit, ScriptedInput};
 use smokestack_repro::workloads;
 
 /// Every defense build of every (subset) workload behaves identically
@@ -18,23 +18,21 @@ fn defense_matrix_preserves_workload_behavior() {
         let w = workloads::by_name(name).expect("workload exists");
         let baseline = {
             let m = w.compile().unwrap();
-            Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+            Executor::for_module(m)
+                .build()
+                .run_main(ScriptedInput::empty())
         };
         assert!(baseline.exit.is_clean(), "{name} baseline");
         for kind in DefenseKind::MATRIX {
             let mut m = w.compile().unwrap();
             let dep = deploy(kind, &mut m, 3, 9);
             ir::verify_module(&m).unwrap_or_else(|e| panic!("{name}/{kind}: {e:?}"));
-            let mut vm = Vm::new(
-                m,
-                VmConfig {
-                    scheme: kind.scheme(),
-                    stack_base_offset: dep.stack_base_offset,
-                    trng_seed: 1234,
-                    ..VmConfig::default()
-                },
-            );
-            let out = vm.run_main(ScriptedInput::empty());
+            let out = Executor::for_module(m)
+                .scheme(kind.scheme())
+                .stack_base_offset(dep.stack_base_offset)
+                .trng_seed(1234)
+                .build()
+                .run_main(ScriptedInput::empty());
             assert_eq!(out.exit, baseline.exit, "{name} under {kind}");
         }
     }
@@ -55,8 +53,8 @@ fn facade_harden_source_runs() {
     )
     .unwrap();
     assert_eq!(report.functions_instrumented, 2);
-    let mut vm = Vm::new(m, VmConfig::default());
-    assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(30));
+    let exec = Executor::for_module(m).build();
+    assert_eq!(exec.run_main(ScriptedInput::empty()).exit, Exit::Return(30));
 }
 
 /// Layout entropy: the same function invoked repeatedly sees many
@@ -79,8 +77,9 @@ fn per_invocation_entropy_is_observable() {
     "#;
     let mut m = compile(src).unwrap();
     core::harden(&mut m, &SmokestackConfig::default()).unwrap();
-    let mut vm = Vm::new(m, VmConfig::default());
-    let out = vm.run_main(ScriptedInput::empty());
+    let out = Executor::for_module(m)
+        .build()
+        .run_main(ScriptedInput::empty());
     let distances: std::collections::HashSet<String> =
         out.output.iter().map(|e| e.to_text()).collect();
     assert!(
@@ -99,14 +98,10 @@ fn schemes_change_cost_not_behavior() {
     for scheme in SchemeKind::ALL {
         let mut m = w.compile().unwrap();
         core::harden(&mut m, &SmokestackConfig::default()).unwrap();
-        let mut vm = Vm::new(
-            m,
-            VmConfig {
-                scheme,
-                ..VmConfig::default()
-            },
-        );
-        let out = vm.run_main(ScriptedInput::empty());
+        let out = Executor::for_module(m)
+            .scheme(scheme)
+            .build()
+            .run_main(ScriptedInput::empty());
         results.push(out.exit.clone());
         cycles.push(out.decicycles);
     }
@@ -130,7 +125,8 @@ fn pbox_immutable_at_runtime() {
     let report = core::harden(&mut m, &SmokestackConfig::default()).unwrap();
     let gid = report.pbox_global.expect("instrumented");
     assert!(m.global(gid).readonly);
-    let mut vm = Vm::new(m, VmConfig::default());
+    let exec = Executor::for_module(m).build();
+    let mut vm = exec.vm();
     let out = vm.run_main(ScriptedInput::empty());
     assert_eq!(out.exit, Exit::Return(1));
     // Attacker write to the P-BOX faults (threat model: rodata is safe).
@@ -153,20 +149,17 @@ fn vla_programs_survive_hardening() {
     "#;
     let baseline = {
         let m = compile(src).unwrap();
-        Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+        Executor::for_module(m)
+            .build()
+            .run_main(ScriptedInput::empty())
     };
     assert_eq!(baseline.exit, Exit::Return(45 + 6));
     let mut m = compile(src).unwrap();
     core::harden(&mut m, &SmokestackConfig::default()).unwrap();
+    let exec = Executor::for_module(m).build();
     for seed in 0..6 {
-        let mut vm = Vm::new(
-            m.clone(),
-            VmConfig {
-                trng_seed: seed,
-                ..VmConfig::default()
-            },
-        );
-        assert_eq!(vm.run_main(ScriptedInput::empty()).exit, baseline.exit);
+        let mut input = ScriptedInput::empty();
+        assert_eq!(exec.run_main_seeded(seed, &mut input).exit, baseline.exit);
     }
 }
 
@@ -177,14 +170,8 @@ fn layered_defenses_compose() {
     let src = "int main() { int a = 1; char b[16]; return a; }";
     let mut m = compile(src).unwrap();
     core::harden(&mut m, &SmokestackConfig::default()).unwrap();
-    let mut vm = Vm::new(
-        m,
-        VmConfig {
-            stack_base_offset: 8192,
-            ..VmConfig::default()
-        },
-    );
-    assert_eq!(vm.run_main(ScriptedInput::empty()).exit, Exit::Return(1));
+    let exec = Executor::for_module(m).stack_base_offset(8192).build();
+    assert_eq!(exec.run_main(ScriptedInput::empty()).exit, Exit::Return(1));
 }
 
 /// Textual IR round trip: a front-end-compiled and Smokestack-hardened
@@ -199,8 +186,12 @@ fn textual_ir_roundtrip_of_hardened_workload() {
     let back = ir::parse_ir(&printed).expect("parses back");
     assert_eq!(printed, back.to_string(), "round trip not stable");
     ir::verify_module(&back).expect("reparsed module verifies");
-    let a = Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty());
-    let b = Vm::new(back, VmConfig::default()).run_main(ScriptedInput::empty());
+    let a = Executor::for_module(m)
+        .build()
+        .run_main(ScriptedInput::empty());
+    let b = Executor::for_module(back)
+        .build()
+        .run_main(ScriptedInput::empty());
     assert_eq!(a.exit, b.exit);
 }
 
@@ -212,7 +203,9 @@ fn optimizer_preserves_behavior_and_composes() {
         let w = workloads::by_name(name).unwrap();
         let baseline = {
             let m = w.compile().unwrap();
-            Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+            Executor::for_module(m)
+                .build()
+                .run_main(ScriptedInput::empty())
         };
         // Optimize only.
         let mut m1 = w.compile().unwrap();
@@ -222,14 +215,18 @@ fn optimizer_preserves_behavior_and_composes() {
             stats.folded + stats.removed > 0,
             "{name}: nothing optimized"
         );
-        let o1 = Vm::new(m1, VmConfig::default()).run_main(ScriptedInput::empty());
+        let o1 = Executor::for_module(m1)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert_eq!(o1.exit, baseline.exit, "{name} optimize-only");
         // Optimize, then harden.
         let mut m2 = w.compile().unwrap();
         ir::Optimize::optimize(&mut m2);
         core::harden(&mut m2, &SmokestackConfig::default()).unwrap();
         ir::verify_module(&m2).unwrap();
-        let o2 = Vm::new(m2, VmConfig::default()).run_main(ScriptedInput::empty());
+        let o2 = Executor::for_module(m2)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert_eq!(o2.exit, baseline.exit, "{name} optimize-then-harden");
         // Harden, then optimize (the instrumentation's index arithmetic
         // must survive folding/DCE untouched in behavior).
@@ -237,7 +234,9 @@ fn optimizer_preserves_behavior_and_composes() {
         core::harden(&mut m3, &SmokestackConfig::default()).unwrap();
         ir::Optimize::optimize(&mut m3);
         ir::verify_module(&m3).unwrap();
-        let o3 = Vm::new(m3, VmConfig::default()).run_main(ScriptedInput::empty());
+        let o3 = Executor::for_module(m3)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert_eq!(o3.exit, baseline.exit, "{name} harden-then-optimize");
     }
 }

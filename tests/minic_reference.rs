@@ -8,7 +8,7 @@
 
 use smokestack_rand::Rng;
 use smokestack_repro::minic::compile;
-use smokestack_repro::vm::{Exit, ScriptedInput, Vm, VmConfig};
+use smokestack_repro::vm::{Executor, Exit, ScriptedInput};
 
 /// Cases per property: modest by default, widened under
 /// `--features external-testing` for soak runs.
@@ -234,8 +234,11 @@ fn eval(e: &E, env: &[i64]) -> Val {
 
 fn run_minic(src: &str) -> i64 {
     let m = compile(src).unwrap_or_else(|e| panic!("generated program failed: {e}\n{src}"));
-    let mut vm = Vm::new(m, VmConfig::default());
-    match vm.run_main(ScriptedInput::empty()).exit {
+    match Executor::for_module(m)
+        .build()
+        .run_main(ScriptedInput::empty())
+        .exit
+    {
         Exit::Return(v) => v as i64,
         other => panic!("generated program crashed: {other:?}\n{src}"),
     }
@@ -268,8 +271,11 @@ fn minic_matches_reference() {
             &smokestack_repro::core::SmokestackConfig::default(),
         )
         .unwrap();
-        let mut vm = Vm::new(m, VmConfig::default());
-        match vm.run_main(ScriptedInput::empty()).exit {
+        match Executor::for_module(m)
+            .build()
+            .run_main(ScriptedInput::empty())
+            .exit
+        {
             Exit::Return(v) => assert_eq!(v as i64, expected, "hardened:\n{src}"),
             other => panic!("hardened crashed: {other:?}\n{src}"),
         }

@@ -7,7 +7,7 @@ use smokestack_rand::Rng;
 use smokestack_repro::core::{factorial, layout_for_rank, AllocSlot, PBoxBuilder, PBoxConfig};
 use smokestack_repro::minic::compile;
 use smokestack_repro::srng::{Aes128, Aes128Ctr, RandomSource, SeededTrng, XorShift64};
-use smokestack_repro::vm::{layout, MemConfig, Memory, ScriptedInput, Vm, VmConfig};
+use smokestack_repro::vm::{layout, Executor, MemConfig, Memory, ScriptedInput};
 
 /// Cases per property: modest by default, widened under
 /// `--features external-testing` for soak runs.
@@ -185,7 +185,9 @@ fn hardened_equivalence_random_programs() {
         let src = format!("long main() {{ {decls} return {expr}; }}");
         let baseline = {
             let m = compile(&src).unwrap();
-            Vm::new(m, VmConfig::default()).run_main(ScriptedInput::empty())
+            Executor::for_module(m)
+                .build()
+                .run_main(ScriptedInput::empty())
         };
         let mut m = compile(&src).unwrap();
         smokestack_repro::core::harden(
@@ -193,14 +195,10 @@ fn hardened_equivalence_random_programs() {
             &smokestack_repro::core::SmokestackConfig::default(),
         )
         .unwrap();
-        let mut vm = Vm::new(
-            m,
-            VmConfig {
-                trng_seed: seed,
-                ..VmConfig::default()
-            },
-        );
-        let hard = vm.run_main(ScriptedInput::empty());
+        let hard = Executor::for_module(m)
+            .trng_seed(seed)
+            .build()
+            .run_main(ScriptedInput::empty());
         assert_eq!(baseline.exit, hard.exit, "seed={seed}\n{src}");
     }
 }

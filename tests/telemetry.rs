@@ -8,7 +8,7 @@ use smokestack_repro::core::{harden, SmokestackConfig};
 use smokestack_repro::minic::compile;
 use smokestack_repro::srng::SchemeKind;
 use smokestack_repro::telemetry::{chi_squared_uniform, JsonlSink, TracedEvent};
-use smokestack_repro::vm::{CollectorConfig, Exit, ScriptedInput, SharedCollector, Vm, VmConfig};
+use smokestack_repro::vm::{CollectorConfig, Executor, Exit, ScriptedInput, SharedCollector};
 
 /// A multi-alloca leaf driven ≥1k times from a loop in main, so the
 /// P-BOX row choice is sampled over a thousand fresh entropy draws.
@@ -44,16 +44,12 @@ fn traced_run(
         ring_capacity: 1 << 16,
         ..CollectorConfig::default()
     });
-    let mut vm = Vm::new(
-        m,
-        VmConfig {
-            scheme,
-            trng_seed: seed,
-            tracer: Some(Box::new(shared.clone())),
-            ..VmConfig::default()
-        },
-    );
-    let out = vm.run_main(ScriptedInput::empty());
+    let out = Executor::for_module(m)
+        .scheme(scheme)
+        .trng_seed(seed)
+        .tracer(shared.clone())
+        .build()
+        .run_main(ScriptedInput::empty());
     (out, shared)
 }
 
