@@ -37,7 +37,8 @@ use smokestack_defenses::{deploy_configured, DefenseKind, Deployment};
 use smokestack_ir::Module;
 use smokestack_minic::compile;
 use smokestack_vm::{
-    ExecBackend, Executor, Exit, FaultKind, RunOutcome, RunReport, SharedCollector, Vm, VmConfig,
+    exit_class, ExecBackend, Executor, Exit, FaultKind, IncidentReport, RunOutcome, RunReport,
+    SharedCollector, SharedRecorder, Vm, VmConfig,
 };
 
 /// Outcome of one exploit attempt.
@@ -158,6 +159,15 @@ impl Build {
     /// requests as structured events.
     pub fn with_tracer(mut self, collector: SharedCollector) -> Build {
         self.executor = self.executor.with_tracer(collector);
+        self
+    }
+
+    /// Attach a flight recorder to every VM this build spawns. Cheaper
+    /// than a collector (no per-instruction cycle hook), so recording
+    /// does not perturb the decicycle clock; [`capture_incident`] uses
+    /// a recorder fork to re-derive a deciding attempt byte-for-byte.
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Build {
+        self.executor = self.executor.with_recorder(recorder);
         self
     }
 
@@ -411,6 +421,99 @@ pub fn run_trial(attack: &dyn Attack, build: &Build, campaign_seed: u64) -> Tria
     }
 }
 
+/// Source-level alloca names of a function, in instruction order, for
+/// relabeling an incident frame map from the generic `slot<i>` names.
+fn alloca_names(f: &smokestack_ir::Function) -> Vec<String> {
+    let mut names = Vec::new();
+    for block in &f.blocks {
+        for inst in &block.insts {
+            if let smokestack_ir::Inst::Alloca { name, .. } = inst {
+                names.push(name.clone());
+            }
+        }
+    }
+    names
+}
+
+/// Re-run one trial campaign with a flight recorder attached and drain
+/// the recorder into a structured [`IncidentReport`] when the deciding
+/// attempt is blocked ([`AttackOutcome::Detected`] or
+/// [`AttackOutcome::Crashed`]). Returns `None` when the campaign ends
+/// any other way (success, clean failure, budget exhaustion).
+///
+/// The recorder declines the per-instruction cycle hook and event
+/// emission charges nothing, so the recorded campaign replays the exact
+/// seed schedule of [`run_trial`] and reaches the same deciding
+/// attempt. Capturing twice from the same `(attack, build, seed)`
+/// triple therefore yields byte-identical [`IncidentReport::to_json`]
+/// output — the replay property the incident CI gate pins.
+pub fn capture_incident(
+    attack: &dyn Attack,
+    build: &Build,
+    campaign_seed: u64,
+) -> Option<IncidentReport> {
+    let recorder = SharedRecorder::default();
+    let recorded = build.clone().with_recorder(recorder.clone());
+    for r in 0..CAMPAIGN_BUDGET {
+        let run_seed = campaign_seed
+            .wrapping_mul(0xd1b54a32d192ed03)
+            .wrapping_add(r as u64);
+        let decided = match attack.attempt(&recorded, run_seed) {
+            AttackOutcome::Aborted => continue,
+            decided => decided,
+        };
+        let kind = match &decided {
+            AttackOutcome::Detected(k) | AttackOutcome::Crashed(k) => k.clone(),
+            _ => return None,
+        };
+        // Defense checks name their victim directly; memory faults fall
+        // back to the recorder's own inference (failed guard → innermost
+        // open frame → last entered function).
+        let named_victim = match &kind {
+            FaultKind::GuardViolation { func } | FaultKind::CanarySmashed { func } => {
+                Some(func.clone())
+            }
+            _ => None,
+        };
+        let module = recorded.module();
+        let victim_id = named_victim
+            .as_deref()
+            .and_then(|n| module.func_by_name(n))
+            .map(|id| id.0);
+        let mut report = recorder.with(|rec| {
+            IncidentReport::from_recorder(
+                rec,
+                recorded.defense.scheme().label(),
+                run_seed,
+                &exit_class(&Exit::Fault(kind.clone())),
+                kind.fault_access(),
+                victim_id,
+            )
+        });
+        // Relabel the frame map with source-level variable names when
+        // the victim's IR allocas line up 1:1 with the recorded slots
+        // (dynamic allocas can repeat, in which case the generic names
+        // stay).
+        if let Some(victim) = report.victim.clone() {
+            if let Some(fid) = module.func_by_name(&victim) {
+                let names = alloca_names(module.func(fid));
+                if names.len() == report.frame_map.len() {
+                    for (slot, name) in report.frame_map.iter_mut().zip(names) {
+                        slot.name = name;
+                    }
+                }
+            }
+        }
+        report.defense = Some(recorded.defense.label());
+        report.attack = Some(attack.name().to_string());
+        report.build_seed = Some(recorded.build_seed);
+        report.campaign_seed = Some(campaign_seed);
+        report.round = Some(r as u64);
+        return Some(report);
+    }
+    None
+}
+
 /// Run `attack` against `defense` for `trials` independent campaigns.
 pub fn evaluate(attack: &dyn Attack, defense: DefenseKind, trials: u32) -> AttackEval {
     evaluate_seeded(attack, defense, trials, 0xa77a)
@@ -650,6 +753,50 @@ mod tests {
             assert!(checks > 0, "no guard-check events traced");
             assert!(c.metrics().counter("runs") >= 1);
         });
+    }
+
+    #[test]
+    fn capture_incident_is_replayable_and_schema_valid() {
+        let defense = DefenseKind::Smokestack(smokestack_srng::SchemeKind::Aes10);
+        let attack = listing1::Listing1Attack;
+        let build = Build::new(attack.source(), defense, 0xb11d);
+        // Find a campaign the defense blocks, then capture it.
+        let seed = (1..64)
+            .find(|s| {
+                matches!(
+                    run_trial(&attack, &build, *s).outcome,
+                    AttackOutcome::Detected(_)
+                )
+            })
+            .expect("AES-10 Smokestack blocks some listing1 campaign");
+        let report = capture_incident(&attack, &build, seed).expect("blocked => incident");
+        assert_eq!(report.campaign_seed, Some(seed));
+        assert_eq!(report.defense.as_deref(), Some(defense.label().as_str()));
+        assert_eq!(report.attack.as_deref(), Some(attack.name()));
+        assert!(report.victim.is_some(), "guard faults name their victim");
+        assert!(!report.frame_map.is_empty(), "victim frame map captured");
+        // Frame-map slots carry source-level names, not `slot<i>`.
+        assert!(
+            report.frame_map.iter().any(|s| !s.name.starts_with("slot")),
+            "frame map not relabeled: {:?}",
+            report.frame_map
+        );
+        // Schema-valid and byte-identical on replay from the same seeds.
+        let json = report.to_json();
+        IncidentReport::validate_json(&json).expect("schema-valid incident");
+        let replay = capture_incident(&attack, &build, seed).unwrap();
+        assert_eq!(replay.to_json(), json, "replay is byte-identical");
+    }
+
+    #[test]
+    fn capture_incident_skips_successful_campaigns() {
+        // An undefended build lets listing1 through: no incident.
+        let attack = listing1::Listing1Attack;
+        let build = Build::new(attack.source(), DefenseKind::None, 0xb11d);
+        let seed = (1..64)
+            .find(|s| run_trial(&attack, &build, *s).outcome.is_success())
+            .expect("undefended listing1 succeeds");
+        assert!(capture_incident(&attack, &build, seed).is_none());
     }
 
     #[test]

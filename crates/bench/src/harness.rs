@@ -25,6 +25,10 @@ pub struct Measurement {
     pub label: String,
     /// Mean nanoseconds per iteration.
     pub ns_per_iter: f64,
+    /// Fastest batch's nanoseconds per iteration. The minimum is robust
+    /// against scheduling-noise spikes (which only ever slow a batch
+    /// down), so ratio comparisons between two cases should use it.
+    pub min_ns_per_iter: f64,
     /// Iterations measured (after warm-up).
     pub iters: u64,
 }
@@ -51,6 +55,7 @@ pub fn bench(label: &str, mut f: impl FnMut()) -> Measurement {
     }
     let mut iters = 0u64;
     let mut elapsed = Duration::ZERO;
+    let mut min_per_iter = f64::INFINITY;
     // Batch sizes grow geometrically so the Instant overhead vanishes
     // for nanosecond-scale bodies while slow bodies still finish.
     let mut batch = 1u64;
@@ -59,13 +64,16 @@ pub fn bench(label: &str, mut f: impl FnMut()) -> Measurement {
         for _ in 0..batch {
             f();
         }
-        elapsed += start.elapsed();
+        let batch_elapsed = start.elapsed();
+        min_per_iter = min_per_iter.min(batch_elapsed.as_nanos() as f64 / batch as f64);
+        elapsed += batch_elapsed;
         iters += batch;
         batch = (batch * 2).min(1 << 20);
     }
     let m = Measurement {
         label: label.to_string(),
         ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        min_ns_per_iter: min_per_iter,
         iters,
     };
     println!(
@@ -92,6 +100,7 @@ mod tests {
             black_box(1 + 1);
         });
         assert!(m.ns_per_iter > 0.0);
+        assert!(m.min_ns_per_iter <= m.ns_per_iter);
         assert!(m.iters > 0);
     }
 
@@ -100,6 +109,7 @@ mod tests {
         let mk = |ns| Measurement {
             label: String::new(),
             ns_per_iter: ns,
+            min_ns_per_iter: ns,
             iters: 1,
         };
         assert!(mk(5.0).human().ends_with("ns"));

@@ -21,7 +21,7 @@ use smokestack_campaign::{
     aggregate, bounds_for_plan, check, journal_header, parse_journal, run_campaign, CampaignPlan,
     CellStats, EngineConfig, Journal,
 };
-use smokestack_telemetry::SharedJsonlSink;
+use smokestack_telemetry::{render_prometheus, SharedJsonlSink};
 
 struct Args {
     plan: String,
@@ -33,10 +33,13 @@ struct Args {
     max_trials: Option<u32>,
     master_seed: Option<u64>,
     uniformity: bool,
+    stats: bool,
+    incidents: bool,
 }
 
 const USAGE: &str = "usage: campaign --plan <name|file> [--jobs N] [--out journal.jsonl] \
-[--resume] [--json] [--deny-regressions] [--max-trials N] [--master-seed S] [--uniformity]
+[--resume] [--json] [--deny-regressions] [--max-trials N] [--master-seed S] [--uniformity] \
+[--stats] [--incidents]
 
 plans: smoke | matrix | full | path to a plan file
   --jobs N             worker threads (default 1)
@@ -46,7 +49,11 @@ plans: smoke | matrix | full | path to a plan file
   --deny-regressions   check the security matrix v2 bounds; exit 1 on violation
   --max-trials N       cap every plan cell at N trials
   --master-seed S      override the plan's master seed (decimal or 0x hex)
-  --uniformity         trace P-BOX draws and report chi-squared uniformity";
+  --uniformity         trace P-BOX draws and report chi-squared uniformity
+  --stats              record per-defense latency and per-attack time-to-detection
+                       streams; print them as Prometheus text exposition
+  --incidents          capture a replayable incident report for every blocked
+                       trial (journaled to --out alongside the trial records)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -59,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
         max_trials: None,
         master_seed: None,
         uniformity: false,
+        stats: false,
+        incidents: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -91,6 +100,8 @@ fn parse_args() -> Result<Args, String> {
                 args.master_seed = Some(parsed.map_err(|_| "bad --master-seed value".to_string())?);
             }
             "--uniformity" => args.uniformity = true,
+            "--stats" => args.stats = true,
+            "--incidents" => args.incidents = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
         }
@@ -191,6 +202,8 @@ fn run() -> Result<bool, String> {
         jobs: args.jobs,
         stop_after: None,
         trace_uniformity: args.uniformity,
+        collect_stats: args.stats,
+        capture_incidents: args.incidents,
     };
     let started = std::time::Instant::now();
     let result = run_campaign(
@@ -228,6 +241,21 @@ fn run() -> Result<bool, String> {
         }
     } else {
         print_table(&stats);
+    }
+
+    if args.stats {
+        print!("{}", render_prometheus(&result.metrics));
+    }
+
+    if args.incidents {
+        eprintln!(
+            "incidents: {} blocked trials captured{}",
+            result.incidents.len(),
+            match &args.out {
+                Some(path) => format!(" (journaled to {path})"),
+                None => String::new(),
+            }
+        );
     }
 
     if args.uniformity {

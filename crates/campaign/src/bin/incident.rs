@@ -1,0 +1,209 @@
+//! Incident-forensics CI gate.
+//!
+//! Runs one real-CVE attack against every Table I randomness scheme,
+//! captures the flight-recorder incident report for the first blocked
+//! campaign, and pins the two properties the observability layer
+//! promises:
+//!
+//! 1. **Schema validity** — every emitted report parses and validates
+//!    against `smokestack-incident/1`
+//!    ([`IncidentReport::validate_json`]), so downstream tooling can
+//!    rely on the documented shape.
+//! 2. **Replay identity** — re-capturing from the same
+//!    `(attack, build, campaign seed)` triple yields byte-identical
+//!    JSON, proving the recorder never perturbs the run it is
+//!    recording and that the seed protocol alone reproduces the
+//!    forensics.
+//!
+//! Usage:
+//!
+//! ```text
+//! incident [--attack NAME] [--seed N] [--build-seed N] [--out FILE]
+//! ```
+//!
+//! Exits non-zero (for CI) if any scheme fails to produce a valid,
+//! replayable incident within the campaign-seed search budget.
+
+use std::process::ExitCode;
+
+use smokestack_attacks::{by_name, capture_incident, Build};
+use smokestack_defenses::DefenseKind;
+use smokestack_srng::SchemeKind;
+use smokestack_telemetry::{IncidentReport, SharedJsonlSink};
+
+/// Campaign seeds probed (from `--seed` upward) per scheme before
+/// giving up. Real-CVE attacks are blocked with high probability under
+/// every scheme, so the first seed almost always decides; the window
+/// only exists so a rare all-success campaign cannot wedge CI.
+const SEED_WINDOW: u64 = 64;
+
+struct Args {
+    attack: String,
+    seed: u64,
+    build_seed: u64,
+    out: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            attack: "librelp-cve-2018-1000140".to_string(),
+            seed: 1,
+            build_seed: 0xb11d,
+            out: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--attack" => args.attack = value("--attack")?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--build-seed" => {
+                args.build_seed = value("--build-seed")?
+                    .parse()
+                    .map_err(|e| format!("--build-seed: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: incident [--attack NAME] [--seed N] [--build-seed N] [--out FILE]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Capture, validate, and replay one incident for `scheme`. Returns the
+/// validated single-line JSON on success.
+fn gate_scheme(args: &Args, scheme: SchemeKind) -> Result<String, String> {
+    let attack =
+        by_name(&args.attack).ok_or_else(|| format!("unknown attack `{}`", args.attack))?;
+    let build = Build::new(
+        attack.source(),
+        DefenseKind::Smokestack(scheme),
+        args.build_seed,
+    );
+
+    let (campaign_seed, report) = (args.seed..args.seed + SEED_WINDOW)
+        .find_map(|s| capture_incident(&*attack, &build, s).map(|r| (s, r)))
+        .ok_or_else(|| {
+            format!(
+                "no blocked campaign in seeds {}..{} — attack succeeded everywhere?",
+                args.seed,
+                args.seed + SEED_WINDOW
+            )
+        })?;
+
+    let json = report.to_json();
+    IncidentReport::validate_json(&json).map_err(|e| format!("schema validation: {e}"))?;
+    if json.lines().count() != 1 {
+        return Err("incident report is not single-line JSON".to_string());
+    }
+    if report.scheme != scheme.label() {
+        return Err(format!(
+            "report names scheme `{}`, expected `{}`",
+            report.scheme,
+            scheme.label()
+        ));
+    }
+    if report.frame_map.is_empty() {
+        return Err("incident report carries no frame map".to_string());
+    }
+
+    // Replay: the seed protocol plus a fresh recorder must reproduce
+    // the forensics bit-for-bit.
+    let replayed = capture_incident(&*attack, &build, campaign_seed)
+        .ok_or("replay produced no incident — recorder perturbed the campaign?")?;
+    if replayed.to_json() != json {
+        return Err(format!(
+            "replay diverged from the original capture at campaign seed {campaign_seed}"
+        ));
+    }
+
+    println!(
+        "incident gate: {:<10} seed {:<3} round {:<2} victim {:<16} {} frame slots — \
+         valid, replay byte-identical",
+        scheme.label(),
+        campaign_seed,
+        report.round.unwrap_or(0),
+        report.victim.as_deref().unwrap_or("<unknown>"),
+        report.frame_map.len(),
+    );
+    Ok(json)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let schemes = [
+        SchemeKind::Pseudo,
+        SchemeKind::Aes1,
+        SchemeKind::Aes10,
+        SchemeKind::Rdrand,
+    ];
+    println!(
+        "incident gate: attack {} vs {} schemes (build seed {:#x})",
+        args.attack,
+        schemes.len(),
+        args.build_seed
+    );
+
+    let mut lines = Vec::new();
+    for scheme in schemes {
+        match gate_scheme(&args, scheme) {
+            Ok(json) => lines.push(json),
+            Err(e) => {
+                eprintln!("INCIDENT GATE FAILED [{}]: {e}", scheme.label());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(path) = &args.out {
+        let file = match std::fs::File::create(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let sink = SharedJsonlSink::new(file);
+        for line in &lines {
+            sink.write_line(line);
+        }
+        if let Err(e) = sink.finish() {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} incident report(s) to {path}", lines.len());
+    }
+
+    println!(
+        "incident gate passed: {} scheme(s), all reports schema-valid and replayable",
+        lines.len()
+    );
+    ExitCode::SUCCESS
+}

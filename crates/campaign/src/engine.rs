@@ -26,13 +26,16 @@ use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::sync::Mutex;
 
-use smokestack_attacks::{by_name, run_trial, Attack, Build};
+use smokestack_attacks::{by_name, capture_incident, run_trial, Attack, Build};
 use smokestack_rand::SeedStream;
-use smokestack_telemetry::{CollectorConfig, MetricsRegistry, SharedCollector, SharedJsonlSink};
+use smokestack_telemetry::{
+    CollectorConfig, IncidentReport, MetricsRegistry, SharedCollector, SharedJsonlSink,
+    SharedRecorder,
+};
 
 use crate::plan::CampaignPlan;
 use crate::pool::run_pool;
-use crate::record::TrialRecord;
+use crate::record::{OutcomeKind, TrialRecord};
 
 /// Seed-stream domain for per-cell build seeds.
 const BUILD_DOMAIN: u64 = 0xb11d;
@@ -76,6 +79,20 @@ pub struct EngineConfig {
     /// per-function P-BOX index frequency tables into the result's
     /// registry, for chi-squared layout-uniformity checks.
     pub trace_uniformity: bool,
+    /// Attach a flight recorder to every trial VM and merge per-defense
+    /// `trial_decicycles.<defense>` latency streams plus per-attack
+    /// `ttd_rounds.<attack>` time-to-detection streams into the
+    /// result's registry. Stream merges are bucket-wise adds, so
+    /// aggregates stay bit-identical across worker counts. When
+    /// `trace_uniformity` is also set the collector takes tracer
+    /// precedence and the latency streams stay empty (the collector is
+    /// the heavier instrument; pick one per run).
+    pub collect_stats: bool,
+    /// Re-run every blocked (detected/crashed) trial with a flight
+    /// recorder and drain it into an [`IncidentReport`]: collected on
+    /// the result and journaled as a dedicated incident line next to
+    /// the trial's record.
+    pub capture_incidents: bool,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +101,8 @@ impl Default for EngineConfig {
             jobs: 1,
             stop_after: None,
             trace_uniformity: false,
+            collect_stats: false,
+            capture_incidents: false,
         }
     }
 }
@@ -95,10 +114,15 @@ pub struct CampaignResult {
     /// sorted by `(cell, index)`.
     pub records: Vec<TrialRecord>,
     /// Merged telemetry across all trial VMs. Empty unless
-    /// [`EngineConfig::trace_uniformity`] was set; the
-    /// `pbox_index.<function>` frequency tables aggregate layout draws
-    /// across every traced trial.
+    /// [`EngineConfig::trace_uniformity`] or
+    /// [`EngineConfig::collect_stats`] was set; the
+    /// `pbox_index.<function>` frequency tables aggregate layout draws,
+    /// and the `trial_decicycles.<defense>` / `ttd_rounds.<attack>`
+    /// streams aggregate latency and time-to-detection.
     pub metrics: MetricsRegistry,
+    /// Incident reports for blocked trials, keyed by `(cell, index)`
+    /// and sorted. Empty unless [`EngineConfig::capture_incidents`].
+    pub incidents: Vec<(u32, u32, IncidentReport)>,
     /// Whether `stop_after` tripped before the grid was finished.
     pub stopped_early: bool,
 }
@@ -117,9 +141,11 @@ struct CellCtx {
     attack: Box<dyn Attack>,
     build: Build,
     collector: Option<SharedCollector>,
+    recorder: Option<SharedRecorder>,
+    defense_label: String,
 }
 
-fn make_ctx(plan: &CampaignPlan, cell: u32, trace: bool) -> CellCtx {
+fn make_ctx(plan: &CampaignPlan, cell: u32, cfg: &EngineConfig) -> CellCtx {
     let spec = &plan.cells[cell as usize];
     let attack = by_name(&spec.attack).expect("plan validated before spawn");
     let mut build = Build::new(
@@ -127,7 +153,7 @@ fn make_ctx(plan: &CampaignPlan, cell: u32, trace: bool) -> CellCtx {
         spec.defense,
         build_seed(plan.master_seed, cell),
     );
-    let collector = trace.then(|| {
+    let collector = cfg.trace_uniformity.then(|| {
         SharedCollector::new(CollectorConfig {
             ring_capacity: 16,
             trace: false,
@@ -138,10 +164,16 @@ fn make_ctx(plan: &CampaignPlan, cell: u32, trace: bool) -> CellCtx {
     if let Some(c) = &collector {
         build = build.with_tracer(c.clone());
     }
+    let recorder = cfg.collect_stats.then(SharedRecorder::default);
+    if let Some(r) = &recorder {
+        build = build.with_recorder(r.clone());
+    }
     CellCtx {
         attack,
         build,
         collector,
+        recorder,
+        defense_label: spec.defense.label(),
     }
 }
 
@@ -185,7 +217,7 @@ pub fn run_campaign(
         |cache, task| {
             let ctx = cache
                 .entry(task.cell)
-                .or_insert_with(|| make_ctx(plan, task.cell, cfg.trace_uniformity));
+                .or_insert_with(|| make_ctx(plan, task.cell, cfg));
             let run = run_trial(&*ctx.attack, &ctx.build, task.seed);
             let rec = TrialRecord::from_run(
                 task.cell,
@@ -195,27 +227,72 @@ pub fn run_campaign(
                 task.seed,
                 &run,
             );
+            // Blocked trials re-derive their deciding attempt under a
+            // fresh recorder (replaying the same seed schedule) and
+            // journal the forensic window next to the trial record.
+            let incident = (cfg.capture_incidents
+                && matches!(rec.kind, OutcomeKind::Detected | OutcomeKind::Crashed))
+            .then(|| capture_incident(&*ctx.attack, &ctx.build, task.seed))
+            .flatten();
             if let Some(sink) = sink {
                 sink.write_line(&rec.to_json_line());
+                if let Some(inc) = &incident {
+                    sink.write_line(&inc.to_json());
+                }
             }
-            rec
+            (rec, incident)
         },
-        // Fold each worker's layout-draw evidence into the
-        // campaign-wide registry.
+        // Fold each worker's evidence into the campaign-wide registry.
+        // Stream and table merges are bucket-wise adds (commutative and
+        // associative), so the fold order — and thus the worker count —
+        // cannot change the aggregates.
         |cache| {
+            let mut reg = metrics.lock().unwrap();
             for ctx in cache.values() {
                 if let Some(c) = &ctx.collector {
-                    c.with(|c| metrics.lock().unwrap().merge(c.metrics()));
+                    c.with(|c| reg.merge(c.metrics()));
+                }
+                if let Some(r) = &ctx.recorder {
+                    r.with(|r| {
+                        let stats = r.stats();
+                        if stats.run_decicycles.count() > 0 {
+                            reg.merge_stream(
+                                &format!("trial_decicycles.{}", ctx.defense_label),
+                                &stats.run_decicycles,
+                            );
+                        }
+                    });
                 }
             }
         },
     );
 
-    let mut records = run.results;
+    let mut records = Vec::with_capacity(run.results.len());
+    let mut incidents = Vec::new();
+    for (rec, incident) in run.results {
+        if let Some(inc) = incident {
+            incidents.push((rec.cell, rec.index, inc));
+        }
+        records.push(rec);
+    }
     records.sort_unstable_by_key(|r| (r.cell, r.index));
+    incidents.sort_unstable_by_key(|(c, i, _)| (*c, *i));
+
+    // Per-attack time-to-detection streams, derived from the sorted
+    // records so they cover resumed runs' new trials uniformly.
+    let mut registry = metrics.into_inner().unwrap();
+    if cfg.collect_stats {
+        for rec in &records {
+            if rec.kind == OutcomeKind::Detected {
+                registry.stream_observe(&format!("ttd_rounds.{}", rec.attack), rec.rounds as u64);
+            }
+        }
+    }
+
     Ok(CampaignResult {
         records,
-        metrics: metrics.into_inner().unwrap(),
+        metrics: registry,
+        incidents,
         stopped_early: run.stopped_early,
     })
 }
@@ -224,6 +301,7 @@ pub fn run_campaign(
 mod tests {
     use super::*;
     use crate::plan::PlanCell;
+    use crate::record::journal_header;
     use smokestack_defenses::DefenseKind;
     use smokestack_srng::SchemeKind;
 
@@ -337,6 +415,103 @@ mod tests {
             tables.iter().any(|n| n.starts_with("pbox_index.")),
             "no P-BOX frequency tables collected: {tables:?}"
         );
+    }
+
+    #[test]
+    fn stats_streams_are_bit_identical_across_worker_counts() {
+        let plan = tiny_plan();
+        let run = |jobs: usize| {
+            run_campaign(
+                &plan,
+                &EngineConfig {
+                    jobs,
+                    collect_stats: true,
+                    ..EngineConfig::default()
+                },
+                &HashSet::new(),
+                None,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        let wide = run(8);
+        assert_eq!(serial.records, wide.records);
+        // The merged registries — including the streaming histograms —
+        // serialize identically: stream merges are bucket-wise adds, so
+        // scheduling order cannot leak into the aggregates.
+        assert_eq!(serial.metrics.to_json(), wide.metrics.to_json());
+        // Per-defense latency streams exist and saw every trial.
+        let streams: Vec<&str> = serial.metrics.streams().map(|(n, _)| n).collect();
+        assert!(
+            streams.iter().any(|n| n.starts_with("trial_decicycles.")),
+            "no latency streams: {streams:?}"
+        );
+        // The detected cell produced a time-to-detection stream.
+        if serial
+            .records
+            .iter()
+            .any(|r| r.kind == OutcomeKind::Detected)
+        {
+            assert!(
+                streams.iter().any(|n| n.starts_with("ttd_rounds.")),
+                "no TTD streams: {streams:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_trials_produce_journaled_replayable_incidents() {
+        let plan = CampaignPlan {
+            name: "blocked".into(),
+            master_seed: 0x7e57,
+            cells: vec![PlanCell {
+                attack: "synthetic-direct-stack".into(),
+                defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+                trials: 3,
+            }],
+        };
+        let cfg = EngineConfig {
+            capture_incidents: true,
+            ..EngineConfig::default()
+        };
+        let sink = SharedJsonlSink::new(Vec::new());
+        let result = run_campaign(&plan, &cfg, &HashSet::new(), Some(&sink)).unwrap();
+        let blocked = result
+            .records
+            .iter()
+            .filter(|r| matches!(r.kind, OutcomeKind::Detected | OutcomeKind::Crashed))
+            .count();
+        assert!(blocked > 0, "AES-10 blocks the synthetic attack");
+        assert_eq!(result.incidents.len(), blocked);
+        for (_, _, inc) in &result.incidents {
+            smokestack_telemetry::IncidentReport::validate_json(&inc.to_json())
+                .expect("schema-valid incident");
+        }
+        // The journal carries one incident line per blocked trial, and
+        // parse_journal separates them from trial records.
+        let bytes = sink.finish().unwrap();
+        let text = format!(
+            "{}\n{}",
+            journal_header(&plan),
+            String::from_utf8(bytes).unwrap()
+        );
+        let journal = crate::record::parse_journal(&text, &plan).unwrap();
+        assert_eq!(journal.records.len(), result.records.len());
+        assert_eq!(journal.incidents.len(), blocked);
+        assert_eq!(journal.skipped, 0);
+        // Replaying the campaign re-derives byte-identical incidents.
+        let replay = run_campaign(&plan, &cfg, &HashSet::new(), None).unwrap();
+        let a: Vec<String> = result
+            .incidents
+            .iter()
+            .map(|(_, _, i)| i.to_json())
+            .collect();
+        let b: Vec<String> = replay
+            .incidents
+            .iter()
+            .map(|(_, _, i)| i.to_json())
+            .collect();
+        assert_eq!(a, b);
     }
 
     #[test]

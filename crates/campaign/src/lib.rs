@@ -46,5 +46,7 @@ pub use matrix::{
 pub use plan::{CampaignPlan, PlanCell};
 pub use pool::{run_pool, PoolRun};
 pub use queue::WorkQueue;
-pub use record::{journal_header, parse_journal, Journal, OutcomeKind, TrialRecord};
+pub use record::{
+    is_incident_line, journal_header, parse_journal, Journal, OutcomeKind, TrialRecord,
+};
 pub use stats::{aggregate, wilson_interval, CellStats, SURVIVAL_BUDGETS, Z95};

@@ -170,11 +170,22 @@ pub fn journal_header(plan: &CampaignPlan) -> String {
     s
 }
 
+/// Whether a journal line is an incident report rather than a trial
+/// record (incident lines are journaled next to the blocked trial they
+/// belong to and carry their own schema tag).
+pub fn is_incident_line(line: &str) -> bool {
+    line.starts_with("{\"schema\":\"smokestack-incident/")
+}
+
 /// A parsed journal: the records recovered from disk, deduplicated.
 #[derive(Debug, Clone, Default)]
 pub struct Journal {
     /// Recovered records (first occurrence wins on duplicates).
     pub records: Vec<TrialRecord>,
+    /// Incident-report lines journaled alongside blocked trials, in
+    /// file order, verbatim (parse with
+    /// `IncidentReport::validate_json`).
+    pub incidents: Vec<String>,
     /// Malformed lines skipped (torn tail of a killed run).
     pub skipped: usize,
 }
@@ -211,6 +222,10 @@ pub fn parse_journal(text: &str, plan: &CampaignPlan) -> Result<Journal, String>
     let mut seen = HashSet::new();
     for line in lines {
         if line.trim().is_empty() {
+            continue;
+        }
+        if is_incident_line(line) {
+            journal.incidents.push(line.to_string());
             continue;
         }
         match TrialRecord::from_json_line(line) {

@@ -29,7 +29,8 @@ use smokestack_minic::compile;
 use smokestack_rand::SeedStream;
 use smokestack_srng::SchemeKind;
 use smokestack_vm::{
-    canonical_event, Executor, Exit, FaultKind, RunOutcome, ScriptedInput, VmConfig,
+    canonical_event, Executor, Exit, FaultKind, IncidentReport, RunOutcome, ScriptedInput,
+    SharedRecorder, VmConfig,
 };
 
 use crate::gen::FuzzCase;
@@ -323,6 +324,54 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> CaseResult {
     result
 }
 
+/// Replay a faulting divergence with a flight recorder attached and
+/// drain it into an [`IncidentReport`] for the triage record. Returns
+/// `None` when the replayed run does not fault (a pure output
+/// divergence, or a case whose pipeline no longer reproduces).
+///
+/// The recorder declines the cycle hook, so the replay follows the
+/// exact layout draws of the diverging run; capturing twice yields
+/// byte-identical reports.
+pub fn capture_divergence_incident(case: &FuzzCase, div: &Divergence) -> Option<IncidentReport> {
+    let module = compile(&case.source).ok()?;
+    let mut hardened = module;
+    let ss_cfg = SmokestackConfig {
+        prune_safe_slots: div.variant.prune,
+        ..SmokestackConfig::default()
+    };
+    harden(&mut hardened, &ss_cfg).ok()?;
+    let recorder = SharedRecorder::default();
+    let exec = Executor::for_module(Arc::new(hardened))
+        .scheme(div.variant.scheme)
+        .recorder(recorder.clone())
+        .build();
+    let out = run_vm(&exec, div.trng_seed, case);
+    let kind = match &out.exit {
+        Exit::Fault(k) => k.clone(),
+        _ => return None,
+    };
+    let victim = match &kind {
+        FaultKind::GuardViolation { func } | FaultKind::CanarySmashed { func } => {
+            exec.module().func_by_name(func).map(|id| id.0)
+        }
+        _ => None,
+    };
+    let mut report = recorder.with(|rec| {
+        IncidentReport::from_recorder(
+            rec,
+            div.variant.scheme.label(),
+            div.trng_seed,
+            &exit_class(&out.exit),
+            kind.fault_access(),
+            victim,
+        )
+    });
+    report.defense = Some(div.variant.label());
+    report.attack = Some(format!("fuzz-divergence:{}", div.kind.label()));
+    report.build_seed = Some(case.seed);
+    Some(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -411,6 +460,40 @@ mod tests {
                 case.source
             );
         }
+    }
+
+    #[test]
+    fn faulting_replays_yield_replayable_schema_valid_incidents() {
+        // A gross overflow that must fault under the hardened variant
+        // (guard trip or segment fault, depending on the layout draw).
+        let src = "int main() { char b[4]; long i = 0; \
+                   while (i < 4096) { b[i] = 65; i = i + 1; } return 0; }";
+        let case = case_from_source(src, vec![]);
+        let div = Divergence {
+            variant: Variant {
+                scheme: SchemeKind::Aes10,
+                prune: false,
+            },
+            run: 0,
+            trng_seed: 7,
+            kind: DivergenceKind::Exit,
+            baseline: Observation {
+                exit: "return:0".into(),
+                output: vec![],
+            },
+            observed: Observation {
+                exit: "fault:guard".into(),
+                output: vec![],
+            },
+        };
+        let inc = capture_divergence_incident(&case, &div).expect("hardened replay faults");
+        let json = inc.to_json();
+        IncidentReport::validate_json(&json).expect("schema-valid incident");
+        assert!(json.lines().count() == 1);
+        // Byte-identical on re-capture: the recorder does not perturb
+        // the replayed run.
+        let again = capture_divergence_incident(&case, &div).unwrap();
+        assert_eq!(again.to_json(), json);
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod minimize;
 pub mod triage;
 
 pub use exec::{
-    observe, run_case, variants, CaseResult, DiffConfig, Divergence, DivergenceKind, Observation,
-    Variant,
+    capture_divergence_incident, observe, run_case, variants, CaseResult, DiffConfig, Divergence,
+    DivergenceKind, Observation, Variant,
 };
 pub use gen::{generate, FuzzCase};
 pub use minimize::{minimize_case, MinimizeConfig};
@@ -198,9 +198,17 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                     ..MinimizeConfig::default()
                 },
             );
-            report
-                .triage
-                .push(TriageRecord::new(&case, &minimized, div));
+            let mut rec = TriageRecord::new(&case, &minimized, div);
+            // Faulting divergences carry the flight-recorder forensics
+            // of the diverging run (replayed from the original, un-
+            // minimized case so the report matches the divergence as
+            // found).
+            if div.observed.exit.starts_with("fault:") {
+                if let Some(inc) = exec::capture_divergence_incident(&case, div) {
+                    rec = rec.with_incident(inc.to_json());
+                }
+            }
+            report.triage.push(rec);
         }
     }
     report

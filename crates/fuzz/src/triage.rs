@@ -44,6 +44,10 @@ pub struct TriageRecord {
     pub source: String,
     /// Scripted input chunks, hex-encoded.
     pub inputs_hex: Vec<String>,
+    /// Flight-recorder incident report for faulting divergences
+    /// (single-line JSON, schema `smokestack-incident/1`); `None` for
+    /// pure output divergences.
+    pub incident: Option<String>,
 }
 
 impl TriageRecord {
@@ -63,7 +67,15 @@ impl TriageRecord {
             stmts_after: count_stmts(&minimized.program),
             source: minimized.source.clone(),
             inputs_hex: minimized.inputs.iter().map(|c| hex(c)).collect(),
+            incident: None,
         }
+    }
+
+    /// Attach a flight-recorder incident report (as rendered by
+    /// [`smokestack_telemetry::IncidentReport::to_json`]).
+    pub fn with_incident(mut self, incident_json: String) -> TriageRecord {
+        self.incident = Some(incident_json);
+        self
     }
 
     /// One-line JSON rendering.
@@ -88,6 +100,11 @@ impl TriageRecord {
         push_str_array(&mut s, "inputs_hex", &self.inputs_hex);
         s.push_str(",\"source\":");
         push_json_str(&mut s, &self.source);
+        if let Some(inc) = &self.incident {
+            // Already single-line JSON: embed as a nested object.
+            s.push_str(",\"incident\":");
+            s.push_str(inc);
+        }
         s.push('}');
         s
     }

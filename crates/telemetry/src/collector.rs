@@ -144,6 +144,9 @@ impl Collector {
                 self.metrics.gauge_max("peak_rss", *peak_rss);
                 self.metrics.gauge_set("decicycles", *decicycles);
             }
+            Event::Alloca { size, .. } => {
+                self.metrics.observe("alloca_bytes", *size);
+            }
         }
     }
 }

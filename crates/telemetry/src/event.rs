@@ -91,6 +91,16 @@ pub enum Event {
         /// Total decicycles charged.
         decicycles: u64,
     },
+    /// A stack slot was carved for `func`'s frame (one event per
+    /// `alloca`, in execution order — the incident-report frame map).
+    Alloca {
+        /// Function index.
+        func: u32,
+        /// Absolute address of the slot.
+        addr: u64,
+        /// Slot size in bytes.
+        size: u64,
+    },
 }
 
 /// Map a scheme label back to its interned static form (the event holds
@@ -185,6 +195,11 @@ impl TracedEvent {
                     ",\"peak_rss\":{peak_rss},\"decicycles\":{decicycles}"
                 ));
             }
+            Event::Alloca { func, addr, size } => {
+                push_json_str(&mut s, "alloca");
+                func_field(&mut s, *func);
+                s.push_str(&format!(",\"addr\":{addr},\"size\":{size}"));
+            }
         }
         s.push('}');
         s
@@ -234,6 +249,11 @@ impl TracedEvent {
                 peak_rss: map.get("peak_rss")?.as_u64()?,
                 decicycles: map.get("decicycles")?.as_u64()?,
             },
+            "alloca" => Event::Alloca {
+                func: func(&map)?,
+                addr: map.get("addr")?.as_u64()?,
+                size: map.get("size")?.as_u64()?,
+            },
             _ => return None,
         };
         Some(TracedEvent { seq, now, event })
@@ -281,6 +301,11 @@ mod tests {
             Event::RunEnd {
                 peak_rss: 4096,
                 decicycles: 123456,
+            },
+            Event::Alloca {
+                func: 1,
+                addr: 0x7fff_e010,
+                size: 24,
             },
         ];
         for (i, event) in evs.into_iter().enumerate() {

@@ -1,10 +1,11 @@
 //! Minimal hand-rolled JSON support: enough to write the trace/metrics
-//! dumps and to parse back the flat one-object-per-line records the
-//! JSONL sink emits. No serde — the workspace builds offline.
+//! dumps, parse back the flat one-object-per-line records the JSONL
+//! sink emits, and parse the nested incident-report documents. No
+//! serde — the workspace builds offline.
 
 use std::collections::BTreeMap;
 
-/// A parsed JSON value (only the subset the sinks emit).
+/// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// Unsigned integer (all telemetry numbers are u64).
@@ -13,6 +14,12 @@ pub enum JsonValue {
     Str(String),
     /// Boolean.
     Bool(bool),
+    /// Null.
+    Null,
+    /// Array (nested documents only — flat lines never hold one).
+    Arr(Vec<JsonValue>),
+    /// Object (nested documents only — flat lines never hold one).
+    Obj(BTreeMap<String, JsonValue>),
 }
 
 impl JsonValue {
@@ -38,6 +45,117 @@ impl JsonValue {
             JsonValue::Bool(b) => Some(*b),
             _ => None,
         }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// `self["key"]` for objects, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_obj()?.get(key)
+    }
+}
+
+/// Parse one complete JSON document (nested objects and arrays
+/// allowed). Trailing non-whitespace fails the parse. Numbers are
+/// unsigned integers only — everything the crate's writers emit.
+pub fn parse_value(text: &str) -> Option<JsonValue> {
+    let mut chars = text.trim().chars().peekable();
+    let v = parse_any(&mut chars)?;
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return None;
+    }
+    Some(v)
+}
+
+fn parse_any(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<JsonValue> {
+    skip_ws(chars);
+    match chars.peek()? {
+        '"' => Some(JsonValue::Str(parse_string(chars)?)),
+        '{' => {
+            chars.next();
+            let mut map = BTreeMap::new();
+            loop {
+                skip_ws(chars);
+                match chars.peek()? {
+                    '}' => {
+                        chars.next();
+                        break;
+                    }
+                    ',' => {
+                        chars.next();
+                        continue;
+                    }
+                    _ => {}
+                }
+                let key = parse_string(chars)?;
+                skip_ws(chars);
+                if chars.next()? != ':' {
+                    return None;
+                }
+                map.insert(key, parse_any(chars)?);
+            }
+            Some(JsonValue::Obj(map))
+        }
+        '[' => {
+            chars.next();
+            let mut items = Vec::new();
+            loop {
+                skip_ws(chars);
+                match chars.peek()? {
+                    ']' => {
+                        chars.next();
+                        break;
+                    }
+                    ',' => {
+                        chars.next();
+                        continue;
+                    }
+                    _ => {}
+                }
+                items.push(parse_any(chars)?);
+            }
+            Some(JsonValue::Arr(items))
+        }
+        't' | 'f' | 'n' => {
+            let mut word = String::new();
+            while matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                word.push(chars.next().unwrap());
+            }
+            match word.as_str() {
+                "true" => Some(JsonValue::Bool(true)),
+                "false" => Some(JsonValue::Bool(false)),
+                "null" => Some(JsonValue::Null),
+                _ => None,
+            }
+        }
+        c if c.is_ascii_digit() => {
+            let mut n: u64 = 0;
+            while let Some(c) = chars.peek() {
+                if let Some(d) = c.to_digit(10) {
+                    n = n.checked_mul(10)?.checked_add(d as u64)?;
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            Some(JsonValue::Num(n))
+        }
+        _ => None,
     }
 }
 
@@ -178,5 +296,31 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_flat_object("not json").is_none());
         assert!(parse_flat_object("{\"k\":}").is_none());
+    }
+
+    #[test]
+    fn nested_documents_parse() {
+        let v =
+            parse_value(r#"{"a":{"b":[1,2,{"c":"x"}],"d":null},"e":true,"f":[],"g":{}}"#).unwrap();
+        assert_eq!(v.get("e").and_then(JsonValue::as_bool), Some(true));
+        let b = v
+            .get("a")
+            .and_then(|a| a.get("b"))
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b[1].as_u64(), Some(2));
+        assert_eq!(b[2].get("c").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("a").and_then(|a| a.get("d")), Some(&JsonValue::Null));
+        assert_eq!(v.get("f").unwrap().as_arr().unwrap().len(), 0);
+        assert!(v.get("g").unwrap().as_obj().unwrap().is_empty());
+    }
+
+    #[test]
+    fn nested_parser_rejects_trailing_garbage() {
+        assert!(parse_value("{\"a\":1} extra").is_none());
+        assert!(parse_value("[1,").is_none());
+        assert!(parse_value("{\"a\":nope}").is_none());
     }
 }

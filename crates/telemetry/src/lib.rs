@@ -1,47 +1,70 @@
-//! Observability for the Smokestack VM: structured event tracing, a
-//! metrics registry, and a per-function flat profiler.
+//! Observability for the Smokestack VM, built around an always-on
+//! **flight recorder**.
 //!
 //! The paper's evaluation is observability end to end — §V-A attributes
 //! hardened-build cycles to RNG latency and instrumentation work with
 //! OProfile, and §IV argues security from the *uniformity* of the layout
 //! draws. This crate is the in-simulation analog of that tooling:
 //!
-//! * [`Event`] / [`EventRing`] — a fixed-capacity ring of typed events
-//!   (function entry/exit, `stack_rng` draws, P-BOX index selections,
-//!   guard-word checks, faults, attacker input requests) with
-//!   overwrite-oldest semantics and a dropped-event counter.
-//! * [`MetricsRegistry`] — counters, gauges, log₂-bucketed histograms,
-//!   and per-function permutation-index frequency tables with a
-//!   chi-squared uniformity statistic.
-//! * [`Profiler`] — attributes every cycle the VM charges to the
-//!   function executing it, and exports collapsed-stack lines consumable
-//!   by flamegraph tooling.
+//! * [`FlightRecorder`] / [`SharedRecorder`] — the always-on layer. A
+//!   bounded ring of compact 32-byte [`CompactRecord`]s (no allocation
+//!   or formatting on the hot path), hierarchical spans
+//!   (session → run → function-call → guard-check) with cycle-accurate
+//!   self/child time ([`SpanRecorder`]), and fixed-slot statistics
+//!   materialized into names only at drain time. It declines the
+//!   per-charge hook ([`Tracer::wants_cycles`]), so the VM's
+//!   per-instruction path is untouched.
+//! * [`IncidentReport`] — fault forensics: on any fault or guard trip
+//!   the recorder window drains into a structured, schema-versioned
+//!   JSON report (scheme, layout draw, frame map of the victim
+//!   function, faulting access with segment+offset, last N events),
+//!   replayable via the seed protocol.
+//! * [`StreamingHistogram`] — log-bucketed with linear sub-buckets:
+//!   streaming p50/p95/p99/p999 within ~3%, mergeable across threads
+//!   with bit-identical fold-order-independent results.
+//! * [`MetricsRegistry`] — counters, gauges, histograms, and
+//!   per-function permutation-index frequency tables with a
+//!   chi-squared uniformity statistic; [`render_prometheus`] exposes a
+//!   registry in Prometheus text format.
+//! * [`Collector`] / [`Profiler`] — the opt-in *deep* profiler: hooks
+//!   every cycle charge for exact per-category per-function
+//!   attribution and collapsed-stack flamegraph lines. Costs ~1.3x;
+//!   use the recorder unless you need category splits.
 //!
 //! The VM talks to all of this through the [`Tracer`] trait. The default
 //! is no tracer at all (`None` on `VmConfig`), and every emit site in the
 //! VM is guarded by a cheap `is-some` check, so the disabled path costs
-//! nothing measurable. [`Collector`] is the batteries-included `Tracer`
-//! that feeds the ring, registry, and profiler at once;
-//! [`SharedCollector`] wraps it in `Rc<RefCell<..>>` so the caller keeps
-//! a handle while the VM owns the tracer box.
+//! nothing measurable.
 //!
 //! Everything here is dependency-free by design (hand-rolled JSON, no
 //! serde): the workspace builds in registry-less environments.
 
 pub mod collector;
 pub mod event;
+pub mod histogram;
+pub mod incident;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod prometheus;
+pub mod record;
+pub mod recorder;
 pub mod ring;
 pub mod sink;
+pub mod spans;
 
 pub use collector::{Collector, CollectorConfig, SharedCollector};
 pub use event::{Event, GuardKind, TracedEvent};
+pub use histogram::StreamingHistogram;
+pub use incident::{FaultAccess, FrameSlot, IncidentReport, INCIDENT_SCHEMA};
 pub use metrics::{chi_squared_uniform, FreqTable, Histogram, MetricsRegistry};
 pub use profile::{FunctionCycles, Profiler};
+pub use prometheus::render_prometheus;
+pub use record::{CompactRecord, RecordKind, RecordRing};
+pub use recorder::{FlightRecorder, RecorderConfig, RecorderStats, SharedRecorder};
 pub use ring::EventRing;
 pub use sink::{EventSink, JsonlSink, MemorySink, SharedJsonlSink};
+pub use spans::{SessionStats, SpanRecorder, SpanStats};
 
 /// The cycle-accounting categories of the VM's `CycleBreakdown`,
 /// mirrored here so the VM can report charges without a dependency
@@ -119,6 +142,17 @@ pub trait Tracer {
 
     /// A cycle charge of `_decicycles` in category `_cat`.
     fn on_cycles(&mut self, _cat: CycleCategory, _decicycles: u64) {}
+
+    /// Whether this tracer needs the per-charge [`Tracer::on_cycles`]
+    /// hook at all. The VM caches this once at construction: a tracer
+    /// that returns `false` (like the
+    /// [`FlightRecorder`](crate::FlightRecorder)) costs nothing on the
+    /// per-instruction charge path — `charge()` stays a plain integer
+    /// add. Defaults to `true` (the deep-profiling
+    /// [`Collector`](crate::Collector) needs every charge).
+    fn wants_cycles(&self) -> bool {
+        true
+    }
 
     /// Per-function cycle attribution, if maintained.
     fn flat_profile(&self) -> Option<Vec<FunctionCycles>> {

@@ -1,6 +1,8 @@
-//! Counters, gauges, log₂ histograms, and permutation-index frequency
-//! tables with a chi-squared uniformity statistic.
+//! Counters, gauges, log₂ histograms, streaming percentile histograms,
+//! and permutation-index frequency tables with a chi-squared
+//! uniformity statistic.
 
+use crate::histogram::StreamingHistogram;
 use crate::json::push_json_str;
 use std::collections::BTreeMap;
 
@@ -225,6 +227,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    streams: BTreeMap<String, StreamingHistogram>,
     freq_tables: BTreeMap<String, FreqTable>,
 }
 
@@ -260,6 +263,30 @@ impl MetricsRegistry {
         self.freq_tables.entry_or_default(name).observe(index);
     }
 
+    /// Record `value` into streaming percentile histogram `name`.
+    pub fn stream_observe(&mut self, name: &str, value: u64) {
+        self.streams.entry_or_default(name).observe(value);
+    }
+
+    /// Merge a whole [`StreamingHistogram`] into slot `name` (how the
+    /// flight recorder materializes its fixed-slot histograms at drain
+    /// time).
+    pub fn merge_stream(&mut self, name: &str, h: &StreamingHistogram) {
+        self.streams.entry_or_default(name).merge(h);
+    }
+
+    /// Merge a whole [`FreqTable`] into slot `name`.
+    pub fn merge_freq_table(&mut self, name: &str, table: &FreqTable) {
+        let mine = self.freq_tables.entry_or_default(name);
+        for (i, &c) in table.counts.iter().enumerate() {
+            if i >= mine.counts.len() {
+                mine.counts.resize(i + 1, 0);
+            }
+            mine.counts[i] += c;
+        }
+        mine.total += table.total;
+    }
+
     /// Counter value (0 when never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -273,6 +300,31 @@ impl MetricsRegistry {
     /// Histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Streaming percentile histogram by name.
+    pub fn stream(&self, name: &str) -> Option<&StreamingHistogram> {
+        self.streams.get(name)
+    }
+
+    /// All streaming histograms, ordered by name.
+    pub fn streams(&self) -> impl Iterator<Item = (&str, &StreamingHistogram)> {
+        self.streams.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All counters, ordered by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges, ordered by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All coarse histograms, ordered by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Frequency table by name.
@@ -297,15 +349,11 @@ impl MetricsRegistry {
         for (k, h) in &other.histograms {
             self.histograms.entry_or_default(k).merge(h);
         }
+        for (k, h) in &other.streams {
+            self.streams.entry_or_default(k).merge(h);
+        }
         for (k, t) in &other.freq_tables {
-            let mine = self.freq_tables.entry_or_default(k);
-            for (i, &c) in t.counts.iter().enumerate() {
-                if i >= mine.counts.len() {
-                    mine.counts.resize(i + 1, 0);
-                }
-                mine.counts[i] += c;
-            }
-            mine.total += t.total;
+            self.merge_freq_table(k, t);
         }
     }
 
@@ -341,6 +389,17 @@ impl MetricsRegistry {
         s.push_str("},\"histograms\":{");
         first = true;
         for (k, h) in &self.histograms {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            push_json_str(&mut s, k);
+            s.push(':');
+            s.push_str(&h.to_json());
+        }
+        s.push_str("},\"streams\":{");
+        first = true;
+        for (k, h) in &self.streams {
             if !first {
                 s.push(',');
             }

@@ -1,0 +1,481 @@
+//! [`FlightRecorder`]: the always-on observability tracer.
+//!
+//! The [`Collector`](crate::Collector) is a deep profiler: it hooks
+//! every cycle charge, formats metric names per event, and clones full
+//! [`Event`] values into a `VecDeque`. That buys per-category
+//! per-function attribution at a 1.29x run-time cost — too much to
+//! leave enabled everywhere.
+//!
+//! The flight recorder makes the opposite trade. On the hot path it
+//! does exactly three kinds of work, none of which allocate or format:
+//!
+//! 1. flatten the event to a 32-byte [`CompactRecord`] and store it in
+//!    a preallocated power-of-two ring ([`RecordRing`]);
+//! 2. bump a **fixed-slot** statistic (struct fields and
+//!    index-addressed vectors — never a string-keyed map);
+//! 3. push/pop the [`SpanRecorder`] stack on function boundaries.
+//!
+//! Crucially it declines the per-instruction cycle hook
+//! ([`Tracer::wants_cycles`] returns `false`), so the VM's `charge()`
+//! fast path stays a plain integer add. String interning, metric-name
+//! materialization, and JSON rendering all happen at **drain time**
+//! ([`FlightRecorder::events`], [`FlightRecorder::to_metrics`]), after
+//! the run is over.
+
+use crate::event::{Event, GuardKind};
+use crate::histogram::StreamingHistogram;
+use crate::metrics::{FreqTable, MetricsRegistry};
+use crate::record::{scheme_label, CompactRecord, RecordRing};
+use crate::spans::{SessionStats, SpanRecorder, SpanStats};
+use crate::{CycleCategory, Tracer};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Flight-recorder sizing.
+#[derive(Debug, Clone)]
+pub struct RecorderConfig {
+    /// Ring capacity in records (rounded up to a power of two). The
+    /// default window of 1024 records is the "last N events" an
+    /// incident report carries.
+    pub ring_capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> RecorderConfig {
+        RecorderConfig {
+            ring_capacity: 1024,
+        }
+    }
+}
+
+/// Fixed-slot counters the recorder maintains inline (materialized
+/// into a [`MetricsRegistry`] only at drain time).
+#[derive(Debug, Clone, Default)]
+pub struct RecorderStats {
+    /// `stack_rng` draws, by interned scheme id.
+    pub rng_draws: [u64; 5],
+    /// Draw-cost distribution (decicycles).
+    pub rng_cost: StreamingHistogram,
+    /// Guard-word checks that passed / failed.
+    pub guard_passed: u64,
+    /// Guard-word checks that failed.
+    pub guard_failed: u64,
+    /// Canary checks that passed.
+    pub canary_passed: u64,
+    /// Canary checks that failed.
+    pub canary_failed: u64,
+    /// Faults observed.
+    pub faults: u64,
+    /// Attacker input requests.
+    pub input_requests: u64,
+    /// Total bytes delivered to input requests.
+    pub input_bytes: u64,
+    /// Frame-size distribution (bytes, one sample per function exit).
+    pub frame_bytes: StreamingHistogram,
+    /// Per-run decicycle distribution (one sample per run).
+    pub run_decicycles: StreamingHistogram,
+    /// Peak RSS high-water mark across runs.
+    pub peak_rss: u64,
+    /// Maximum call depth observed.
+    pub call_depth_max: u64,
+}
+
+/// The always-on tracer: bounded ring + spans + fixed-slot stats.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    names: Vec<String>,
+    ring: RecordRing,
+    spans: SpanRecorder,
+    stats: RecorderStats,
+    /// P-BOX row selections per function (index-addressed).
+    pbox: Vec<FreqTable>,
+    /// Most recent P-BOX row per function — the layout draw an
+    /// incident report shows.
+    last_pbox: Vec<Option<u64>>,
+    /// Interned fault strings (at most one per run; never hot).
+    fault_texts: Vec<String>,
+}
+
+impl Default for RecordRing {
+    fn default() -> RecordRing {
+        RecordRing::new(RecorderConfig::default().ring_capacity)
+    }
+}
+
+impl FlightRecorder {
+    /// Build from a config.
+    pub fn new(cfg: RecorderConfig) -> FlightRecorder {
+        FlightRecorder {
+            ring: RecordRing::new(cfg.ring_capacity),
+            ..FlightRecorder::default()
+        }
+    }
+
+    /// Function names registered by the VM.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Resolve a function name (for drain-time rendering).
+    pub fn func_name(&self, func: u32) -> String {
+        self.names
+            .get(func as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("#{func}"))
+    }
+
+    /// The raw record ring.
+    pub fn ring(&self) -> &RecordRing {
+        &self.ring
+    }
+
+    /// Fixed-slot statistics.
+    pub fn stats(&self) -> &RecorderStats {
+        &self.stats
+    }
+
+    /// Hierarchical span aggregates, indexed by function id.
+    pub fn span_stats(&self) -> &[SpanStats] {
+        self.spans.stats()
+    }
+
+    /// Session (all-runs) span aggregates.
+    pub fn session(&self) -> &SessionStats {
+        self.spans.session()
+    }
+
+    /// Interned fault strings, oldest first.
+    pub fn fault_texts(&self) -> &[String] {
+        &self.fault_texts
+    }
+
+    /// Most recent P-BOX row drawn for `func`, if any.
+    pub fn last_pbox(&self, func: u32) -> Option<u64> {
+        self.last_pbox.get(func as usize).copied().flatten()
+    }
+
+    /// Every function's most recent P-BOX draw, as `(name, row)` pairs
+    /// in function-table order.
+    pub fn layout_draws(&self) -> Vec<(String, u64)> {
+        self.last_pbox
+            .iter()
+            .enumerate()
+            .filter_map(|(f, row)| row.map(|r| (self.func_name(f as u32), r)))
+            .collect()
+    }
+
+    /// The innermost function with an open frame (the victim when a
+    /// fault just fired and `run_end` has not yet unwound the stack).
+    pub fn innermost_open(&self) -> Option<u32> {
+        self.spans.innermost_open()
+    }
+
+    /// Materialize the retained window as full
+    /// [`TracedEvent`](crate::TracedEvent)s, oldest first.
+    pub fn events(&self) -> Vec<crate::TracedEvent> {
+        self.ring.to_events(&self.fault_texts)
+    }
+
+    /// Materialize the fixed-slot statistics into a named
+    /// [`MetricsRegistry`] (drain time: this is where strings are
+    /// built). The names match what the [`Collector`](crate::Collector)
+    /// would have produced, so campaign merging treats both alike.
+    pub fn to_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        for (id, &n) in self.stats.rng_draws.iter().enumerate() {
+            if n > 0 {
+                m.inc(&format!("rng_draws.{}", scheme_label(id as u8)), n);
+            }
+        }
+        if self.stats.guard_passed > 0 {
+            m.inc("guard_checks.passed", self.stats.guard_passed);
+        }
+        if self.stats.guard_failed > 0 {
+            m.inc("guard_checks.failed", self.stats.guard_failed);
+        }
+        if self.stats.canary_passed > 0 {
+            m.inc("canary_checks.passed", self.stats.canary_passed);
+        }
+        if self.stats.canary_failed > 0 {
+            m.inc("canary_checks.failed", self.stats.canary_failed);
+        }
+        if self.stats.faults > 0 {
+            m.inc("faults", self.stats.faults);
+        }
+        if self.stats.input_requests > 0 {
+            m.inc("input_requests", self.stats.input_requests);
+            m.inc("input_bytes", self.stats.input_bytes);
+        }
+        m.inc("runs", self.session().runs);
+        m.gauge_max("peak_rss", self.stats.peak_rss);
+        m.gauge_max("call_depth_max", self.stats.call_depth_max);
+        if self.stats.rng_cost.count() > 0 {
+            m.merge_stream("rng_cost_decicycles", &self.stats.rng_cost);
+        }
+        if self.stats.frame_bytes.count() > 0 {
+            m.merge_stream("frame_bytes", &self.stats.frame_bytes);
+        }
+        if self.stats.run_decicycles.count() > 0 {
+            m.merge_stream("run_decicycles", &self.stats.run_decicycles);
+        }
+        for (f, table) in self.pbox.iter().enumerate() {
+            if table.total() > 0 {
+                m.merge_freq_table(&format!("pbox_index.{}", self.func_name(f as u32)), table);
+            }
+        }
+        m
+    }
+}
+
+impl Tracer for FlightRecorder {
+    fn on_functions(&mut self, names: &[String]) {
+        if self.names.is_empty() {
+            self.names = names.to_vec();
+        }
+        self.spans.set_function_count(names.len());
+        if self.pbox.len() < names.len() {
+            self.pbox.resize(names.len(), FreqTable::new());
+            self.last_pbox.resize(names.len(), None);
+        }
+    }
+
+    fn on_event(&mut self, now: u64, ev: &Event) {
+        let mut fault_slot = 0u32;
+        match ev {
+            Event::FuncEnter { func, depth } => {
+                self.spans.enter(*func, now);
+                self.stats.call_depth_max = self.stats.call_depth_max.max(*depth as u64);
+            }
+            Event::FuncExit {
+                func: _,
+                frame_bytes,
+            } => {
+                self.spans.exit(now);
+                self.stats.frame_bytes.observe(*frame_bytes);
+            }
+            Event::RngDraw {
+                scheme,
+                cost_decicycles,
+            } => {
+                let id = crate::record::scheme_id(scheme) as usize;
+                self.stats.rng_draws[id] += 1;
+                self.stats.rng_cost.observe(*cost_decicycles);
+            }
+            Event::PboxSelect { func, index } => {
+                let f = *func as usize;
+                if f < self.pbox.len() {
+                    self.pbox[f].observe(*index);
+                    self.last_pbox[f] = Some(*index);
+                }
+            }
+            Event::GuardCheck { func, kind, passed } => {
+                match (kind, passed) {
+                    (GuardKind::Word, true) => self.stats.guard_passed += 1,
+                    (GuardKind::Word, false) => self.stats.guard_failed += 1,
+                    (GuardKind::Canary, true) => self.stats.canary_passed += 1,
+                    (GuardKind::Canary, false) => self.stats.canary_failed += 1,
+                }
+                self.spans
+                    .guard_check(*func, matches!(kind, GuardKind::Canary));
+            }
+            Event::Fault { what } => {
+                // The one allocating path — faults are terminal, so
+                // this fires at most once per run.
+                fault_slot = self.fault_texts.len() as u32;
+                self.fault_texts.push(what.clone());
+                self.stats.faults += 1;
+            }
+            Event::InputRequest { bytes, .. } => {
+                self.stats.input_requests += 1;
+                self.stats.input_bytes += bytes;
+            }
+            Event::RunEnd {
+                peak_rss,
+                decicycles,
+            } => {
+                self.spans.run_end(*decicycles);
+                self.stats.run_decicycles.observe(*decicycles);
+                self.stats.peak_rss = self.stats.peak_rss.max(*peak_rss);
+            }
+            Event::Alloca { .. } => {}
+        }
+        self.ring
+            .push(CompactRecord::from_event(now, ev, fault_slot));
+    }
+
+    fn on_cycles(&mut self, _cat: CycleCategory, _decicycles: u64) {
+        // Never called: wants_cycles() is false.
+    }
+
+    fn wants_cycles(&self) -> bool {
+        false
+    }
+}
+
+/// Clonable handle around a [`FlightRecorder`] so the caller keeps
+/// access while the VM owns the tracer box (same shape as
+/// [`SharedCollector`](crate::SharedCollector)).
+#[derive(Debug, Clone, Default)]
+pub struct SharedRecorder(Rc<RefCell<FlightRecorder>>);
+
+impl SharedRecorder {
+    /// Build from a config.
+    pub fn new(cfg: RecorderConfig) -> SharedRecorder {
+        SharedRecorder(Rc::new(RefCell::new(FlightRecorder::new(cfg))))
+    }
+
+    /// Read access to the underlying recorder.
+    pub fn with<R>(&self, f: impl FnOnce(&FlightRecorder) -> R) -> R {
+        f(&self.0.borrow())
+    }
+}
+
+impl Tracer for SharedRecorder {
+    fn on_functions(&mut self, names: &[String]) {
+        self.0.borrow_mut().on_functions(names);
+    }
+
+    #[inline]
+    fn on_event(&mut self, now: u64, ev: &Event) {
+        self.0.borrow_mut().on_event(now, ev);
+    }
+
+    fn wants_cycles(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enter(r: &mut FlightRecorder, now: u64, func: u32, depth: u32) {
+        r.on_event(now, &Event::FuncEnter { func, depth });
+    }
+
+    fn exit(r: &mut FlightRecorder, now: u64, func: u32, frame_bytes: u64) {
+        r.on_event(now, &Event::FuncExit { func, frame_bytes });
+    }
+
+    #[test]
+    fn recorder_aggregates_without_string_keys_until_drain() {
+        let mut r = FlightRecorder::new(RecorderConfig { ring_capacity: 64 });
+        r.on_functions(&["main".to_string(), "leaf".to_string()]);
+        enter(&mut r, 0, 0, 1);
+        r.on_event(
+            2,
+            &Event::RngDraw {
+                scheme: "AES-10",
+                cost_decicycles: 928,
+            },
+        );
+        r.on_event(3, &Event::PboxSelect { func: 1, index: 4 });
+        enter(&mut r, 5, 1, 2);
+        r.on_event(
+            20,
+            &Event::GuardCheck {
+                func: 1,
+                kind: GuardKind::Word,
+                passed: true,
+            },
+        );
+        exit(&mut r, 21, 1, 64);
+        exit(&mut r, 30, 0, 128);
+        r.on_event(
+            30,
+            &Event::RunEnd {
+                peak_rss: 4096,
+                decicycles: 30,
+            },
+        );
+
+        assert_eq!(r.stats().rng_draws[2], 1); // AES-10
+        assert_eq!(r.stats().guard_passed, 1);
+        assert_eq!(r.last_pbox(1), Some(4));
+        assert_eq!(r.layout_draws(), vec![("leaf".to_string(), 4)]);
+        assert_eq!(r.span_stats()[0].calls, 1);
+        assert_eq!(r.span_stats()[0].total_decicycles, 30);
+        assert_eq!(r.span_stats()[0].self_decicycles, 14);
+        assert_eq!(r.span_stats()[1].guard_checks, 1);
+        assert_eq!(r.session().runs, 1);
+
+        let m = r.to_metrics();
+        assert_eq!(m.counter("rng_draws.AES-10"), 1);
+        assert_eq!(m.counter("guard_checks.passed"), 1);
+        assert_eq!(m.freq_table("pbox_index.leaf").unwrap().total(), 1);
+        assert_eq!(m.stream("frame_bytes").unwrap().count(), 2);
+        assert_eq!(m.gauge("peak_rss"), Some(4096));
+
+        let events = r.events();
+        assert_eq!(events.len(), 8);
+        assert_eq!(events[0].seq, 0);
+    }
+
+    #[test]
+    fn fault_text_interns_and_round_trips() {
+        let mut r = FlightRecorder::default();
+        r.on_functions(&["main".to_string()]);
+        enter(&mut r, 0, 0, 1);
+        r.on_event(
+            50,
+            &Event::Fault {
+                what: "oob write 0x40".to_string(),
+            },
+        );
+        r.on_event(
+            50,
+            &Event::RunEnd {
+                peak_rss: 0,
+                decicycles: 50,
+            },
+        );
+        assert_eq!(r.stats().faults, 1);
+        assert_eq!(r.fault_texts(), &["oob write 0x40".to_string()]);
+        let events = r.events();
+        assert!(events.iter().any(|e| matches!(
+            &e.event,
+            Event::Fault { what } if what == "oob write 0x40"
+        )));
+        // The faulting frame was unwound at the fault clock.
+        assert_eq!(r.span_stats()[0].total_decicycles, 50);
+    }
+
+    #[test]
+    fn shared_recorder_observable_through_a_tracer_box() {
+        let shared = SharedRecorder::default();
+        assert!(!Tracer::wants_cycles(&shared));
+        let mut boxed: Box<dyn Tracer> = Box::new(shared.clone());
+        boxed.on_functions(&["main".to_string()]);
+        boxed.on_event(0, &Event::FuncEnter { func: 0, depth: 1 });
+        boxed.on_event(
+            9,
+            &Event::RunEnd {
+                peak_rss: 1,
+                decicycles: 9,
+            },
+        );
+        drop(boxed);
+        assert_eq!(shared.with(|r| r.session().runs), 1);
+        assert_eq!(shared.with(|r| r.ring().total_pushed()), 2);
+    }
+
+    #[test]
+    fn ring_window_is_bounded_but_stats_are_complete() {
+        let mut r = FlightRecorder::new(RecorderConfig { ring_capacity: 4 });
+        r.on_functions(&["f".to_string()]);
+        for i in 0..100u64 {
+            r.on_event(
+                i,
+                &Event::RngDraw {
+                    scheme: "pseudo",
+                    cost_decicycles: 34,
+                },
+            );
+        }
+        assert_eq!(r.ring().len(), 4);
+        assert_eq!(r.ring().dropped(), 96);
+        // Stats never drop, only the event window does.
+        assert_eq!(r.stats().rng_draws[0], 100);
+        assert_eq!(r.events().first().unwrap().seq, 96);
+    }
+}

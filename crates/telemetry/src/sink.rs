@@ -1,9 +1,9 @@
 //! Pluggable event sinks: in-memory capture, a JSONL writer, and a
-//! thread-shareable JSONL sink for concurrent producers.
+//! thread-shareable line-atomic JSONL sink for concurrent producers.
 
 use crate::event::TracedEvent;
 use crate::ring::EventRing;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 
 /// Consumes traced events (typically drained from an [`EventRing`]).
@@ -86,18 +86,114 @@ impl<W: Write> EventSink for JsonlSink<W> {
     }
 }
 
-/// A JSONL sink that is safe to share across worker threads.
+/// Flush threshold for the line buffer. Large enough to amortize
+/// syscalls across many journal records, small enough that a crash
+/// loses at most ~one batch of buffered (but always *complete*) lines.
+const LINE_BUF_CAP: usize = 64 * 1024;
+
+/// Whole-line buffered journal writer: the backbone of
+/// [`SharedJsonlSink`].
+///
+/// A plain `BufWriter` spills whenever its byte buffer fills — possibly
+/// *mid-line*, so a crash (or a reader racing the writer) can observe a
+/// torn, unparseable record at the journal tail. `LineJournal` instead
+/// accumulates complete `line + '\n'` units and hands the underlying
+/// writer only whole-line batches: every `write_all` it issues ends at
+/// a line boundary. Dropping the journal flushes whatever is buffered.
+struct LineJournal<W: Write> {
+    /// `None` only after `finish()` moved the writer out.
+    writer: Option<W>,
+    /// Pending bytes; always a whole number of lines.
+    buf: Vec<u8>,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> LineJournal<W> {
+    fn new(writer: W) -> LineJournal<W> {
+        LineJournal {
+            writer: Some(writer),
+            buf: Vec::with_capacity(LINE_BUF_CAP),
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Buffer one line (no trailing newline); spills whole lines once
+    /// the buffer crosses [`LINE_BUF_CAP`].
+    fn push_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+        self.written += 1;
+        if self.buf.len() >= LINE_BUF_CAP {
+            self.spill();
+        }
+    }
+
+    /// Push buffered lines down to the writer (no writer flush).
+    fn spill(&mut self) {
+        if self.error.is_some() || self.buf.is_empty() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.write_all(&self.buf) {
+                self.error = Some(e);
+            }
+        }
+        self.buf.clear();
+    }
+
+    /// Spill and flush through to the underlying writer.
+    fn flush(&mut self) -> io::Result<()> {
+        self.spill();
+        if let Some(e) = &self.error {
+            return Err(io::Error::new(e.kind(), e.to_string()));
+        }
+        match self.writer.as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Flush and return the writer (or the sticky error).
+    fn finish(mut self) -> io::Result<W> {
+        self.spill();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let mut w = self.writer.take().expect("writer present until finish");
+        w.flush()?;
+        Ok(w)
+    }
+}
+
+impl<W: Write> Drop for LineJournal<W> {
+    fn drop(&mut self) {
+        // Best-effort flush so buffered lines survive an orderly drop;
+        // errors here have nowhere to go.
+        let _ = self.flush();
+    }
+}
+
+/// A line-atomic JSONL sink that is safe to share across worker
+/// threads.
 ///
 /// [`JsonlSink`] requires `&mut` exclusivity, which forces single-writer
 /// ownership; Monte-Carlo campaigns instead need every worker streaming
-/// records into one journal. `SharedJsonlSink` wraps a buffered
-/// [`JsonlSink`] in an `Arc<Mutex<_>>`: clones are cheap handles to the
-/// same journal, the lock is held per line (format outside, write
-/// inside), and each line is written atomically so concurrent records
-/// never interleave mid-line. Write errors stay sticky, exactly as in
+/// records into one journal. `SharedJsonlSink` wraps a [`LineJournal`]
+/// in an `Arc<Mutex<_>>`: clones are cheap handles to the same journal,
+/// the lock is held per line (format outside, buffer inside), and bytes
+/// reach the underlying writer only in whole-line batches — a reader
+/// tailing the journal (or a post-crash recovery pass) never sees a
+/// torn record. Buffered lines are flushed by [`SharedJsonlSink::flush`]
+/// (checkpointing), by [`SharedJsonlSink::finish`], and automatically
+/// when the last handle drops. Write errors stay sticky, exactly as in
 /// the single-threaded sink.
 pub struct SharedJsonlSink<W: Write + Send> {
-    inner: Arc<Mutex<JsonlSink<BufWriter<W>>>>,
+    inner: Arc<Mutex<LineJournal<W>>>,
 }
 
 impl<W: Write + Send> Clone for SharedJsonlSink<W> {
@@ -109,61 +205,52 @@ impl<W: Write + Send> Clone for SharedJsonlSink<W> {
 }
 
 impl<W: Write + Send> SharedJsonlSink<W> {
-    /// Wrap a writer (buffered internally).
+    /// Wrap a writer (line-buffered internally).
     pub fn new(writer: W) -> SharedJsonlSink<W> {
         SharedJsonlSink {
-            inner: Arc::new(Mutex::new(JsonlSink::new(BufWriter::new(writer)))),
+            inner: Arc::new(Mutex::new(LineJournal::new(writer))),
         }
     }
 
     /// Write one pre-formatted JSON line (without trailing newline).
-    /// The mutex is held only for the write itself.
+    /// The mutex is held only for the buffer append.
     pub fn write_line(&self, line: &str) {
-        let mut sink = self.inner.lock().unwrap();
-        if sink.error.is_some() {
-            return;
-        }
-        match writeln!(sink.writer, "{line}") {
-            Ok(()) => sink.written += 1,
-            Err(e) => sink.error = Some(e),
-        }
+        self.inner.lock().unwrap().push_line(line);
     }
 
-    /// Lines successfully written so far (across all handles).
+    /// Lines accepted so far (across all handles). With buffering, a
+    /// line is counted when accepted; it is durable after the next
+    /// [`flush`](SharedJsonlSink::flush).
     pub fn written(&self) -> u64 {
-        self.inner.lock().unwrap().written()
+        self.inner.lock().unwrap().written
     }
 
     /// Whether a write error has occurred (it is sticky).
     pub fn has_error(&self) -> bool {
-        self.inner.lock().unwrap().error().is_some()
+        self.inner.lock().unwrap().error.is_some()
     }
 
-    /// Flush buffered lines to the underlying writer without consuming
-    /// the sink (checkpointing: the journal on disk is complete up to
-    /// every record written so far).
+    /// Flush buffered lines through to the underlying writer without
+    /// consuming the sink (checkpointing: the journal on disk is
+    /// complete up to every record written so far).
     pub fn flush(&self) -> io::Result<()> {
-        let mut sink = self.inner.lock().unwrap();
-        if let Some(e) = &sink.error {
-            return Err(io::Error::new(e.kind(), e.to_string()));
-        }
-        sink.writer.flush()
+        self.inner.lock().unwrap().flush()
     }
 
     /// Flush and return the inner writer, or the sticky error. Fails if
     /// other handles are still alive.
     pub fn finish(self) -> io::Result<W> {
-        let sink = Arc::try_unwrap(self.inner)
+        Arc::try_unwrap(self.inner)
             .map_err(|_| io::Error::other("SharedJsonlSink handles still alive"))?
             .into_inner()
-            .unwrap();
-        sink.finish()?.into_inner().map_err(|e| e.into_error())
+            .unwrap()
+            .finish()
     }
 }
 
 impl<W: Write + Send> EventSink for SharedJsonlSink<W> {
     fn record(&mut self, event: &TracedEvent, names: &[String]) {
-        // Format outside the lock; hold it only for the line write.
+        // Format outside the lock; hold it only for the buffer append.
         let line = event.to_json(names);
         self.write_line(&line);
     }
@@ -233,6 +320,32 @@ mod tests {
         }
     }
 
+    /// Records the byte chunks of every `write` call, so tests can
+    /// assert each chunk ends at a line boundary. Clonable so a copy
+    /// survives the sink being dropped.
+    #[derive(Clone, Default)]
+    struct ChunkWriter {
+        chunks: Arc<Mutex<Vec<Vec<u8>>>>,
+        flushes: Arc<Mutex<u64>>,
+    }
+
+    impl ChunkWriter {
+        fn contents(&self) -> Vec<u8> {
+            self.chunks.lock().unwrap().concat()
+        }
+    }
+
+    impl Write for ChunkWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.chunks.lock().unwrap().push(buf.to_vec());
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            *self.flushes.lock().unwrap() += 1;
+            Ok(())
+        }
+    }
+
     #[test]
     fn shared_sink_serializes_concurrent_writers() {
         // N threads hammer one shared sink; every line must arrive
@@ -287,5 +400,56 @@ mod tests {
         assert_eq!(sink.written(), 0);
         assert!(sink.error().is_some());
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn shared_sink_errors_surface_on_flush_and_stick() {
+        let sink = SharedJsonlSink::new(FailingWriter);
+        sink.write_line("{\"a\":1}");
+        assert!(!sink.has_error(), "error cannot fire before any spill");
+        assert!(sink.flush().is_err());
+        assert!(sink.has_error());
+        assert!(sink.flush().is_err());
+        assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn every_chunk_reaching_the_writer_ends_at_a_line_boundary() {
+        // Push well past the spill threshold so mid-stream spills
+        // happen, then verify no write ever split a line.
+        let writer = ChunkWriter::default();
+        let sink = SharedJsonlSink::new(writer.clone());
+        let line = format!("{{\"pad\":\"{}\"}}", "x".repeat(1000));
+        for _ in 0..200 {
+            sink.write_line(&line);
+        }
+        sink.finish().unwrap();
+
+        let chunks = writer.chunks.lock().unwrap();
+        assert!(chunks.len() >= 2, "expected multiple spills");
+        for chunk in chunks.iter() {
+            assert_eq!(
+                chunk.last(),
+                Some(&b'\n'),
+                "torn write: chunk ends mid-line"
+            );
+        }
+        drop(chunks);
+        assert_eq!(writer.contents().split(|&b| b == b'\n').count() - 1, 200);
+    }
+
+    #[test]
+    fn dropping_the_last_handle_flushes_buffered_lines() {
+        let writer = ChunkWriter::default();
+        let sink = SharedJsonlSink::new(writer.clone());
+        let handle = sink.clone();
+        handle.write_line("{\"kept\":true}");
+        drop(handle);
+        // Still buffered: one live handle, below the spill threshold.
+        assert_eq!(writer.contents().len(), 0);
+        drop(sink);
+        let text = String::from_utf8(writer.contents()).unwrap();
+        assert_eq!(text, "{\"kept\":true}\n");
+        assert!(*writer.flushes.lock().unwrap() >= 1);
     }
 }

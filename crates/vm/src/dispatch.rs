@@ -96,6 +96,13 @@ fn alloca(
     }
     vm.sp = new_sp;
     vm.mem.note_stack_pointer(new_sp);
+    if vm.tracer.is_some() {
+        vm.emit(Event::Alloca {
+            func: fidx,
+            addr: new_sp,
+            size,
+        });
+    }
     if vm.record_allocas {
         vm.alloca_trace.push(AllocaRecord {
             func: cm.module.funcs[fidx as usize].name.clone(),

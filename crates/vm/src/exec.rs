@@ -46,6 +46,32 @@ pub enum FaultKind {
     UnreachableExecuted,
 }
 
+impl FaultKind {
+    /// The incident-report view of this fault: the description plus,
+    /// for memory faults, the raw access and its segment locus.
+    pub fn fault_access(&self) -> smokestack_telemetry::FaultAccess {
+        let mut fa = smokestack_telemetry::FaultAccess {
+            what: self.to_string(),
+            ..Default::default()
+        };
+        if let FaultKind::Mem(m) = self {
+            fa.addr = Some(m.addr);
+            fa.len = Some(m.len);
+            fa.write = Some(m.write);
+            let (segment, offset) = match m.locus {
+                crate::mem::FaultLocus::Within { segment, offset } => (segment.to_string(), offset),
+                crate::mem::FaultLocus::PastEnd { segment, by } => {
+                    (format!("past-end:{segment}"), by)
+                }
+                crate::mem::FaultLocus::Below { segment, by } => (format!("below:{segment}"), by),
+            };
+            fa.segment = Some(segment);
+            fa.offset = Some(offset);
+        }
+        fa
+    }
+}
+
 impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -274,6 +300,11 @@ pub struct Vm {
     pub(crate) global_addrs: Vec<u64>,
     pub(crate) slab_funcs: Vec<crate::cycles::SlabClass>,
     pub(crate) tracer: Option<Box<dyn Tracer>>,
+    /// Cached [`Tracer::wants_cycles`] answer, sampled once at
+    /// construction: when false (no tracer, or a tracer like the
+    /// flight recorder that aggregates from events alone), `charge()`
+    /// skips the per-instruction dynamic dispatch entirely.
+    pub(crate) tracer_wants_cycles: bool,
     /// Per function: the `stack_rng` result register and P-BOX mask of
     /// the hardened slab prologue, recovered by prescan (None if the
     /// function is uninstrumented).
@@ -378,6 +409,7 @@ impl Vm {
             let names: Vec<String> = module.funcs.iter().map(|f| f.name.clone()).collect();
             t.on_functions(&names);
         }
+        let tracer_wants_cycles = tracer.as_deref().is_some_and(|t| t.wants_cycles());
 
         Vm {
             module,
@@ -393,6 +425,7 @@ impl Vm {
             global_addrs,
             slab_funcs,
             tracer,
+            tracer_wants_cycles,
             pbox_draws,
             backend: cfg.backend,
             compiled,
@@ -419,8 +452,13 @@ impl Vm {
     pub(crate) fn charge(&mut self, cat: CycleCategory, c: u64) {
         self.decicycles += c;
         self.breakdown.add_category(cat, c);
-        if let Some(t) = self.tracer.as_deref_mut() {
-            t.on_cycles(cat, c);
+        // Gated on the cached bool, not on `tracer.is_some()`: tracers
+        // that aggregate from events alone (the flight recorder) keep
+        // this per-instruction path free of dynamic dispatch.
+        if self.tracer_wants_cycles {
+            if let Some(t) = self.tracer.as_deref_mut() {
+                t.on_cycles(cat, c);
+            }
         }
     }
 
@@ -714,6 +752,13 @@ impl Vm {
                 }
                 self.sp = new_sp;
                 self.mem.note_stack_pointer(new_sp);
+                if self.tracer.is_some() {
+                    self.emit(Event::Alloca {
+                        func: fr.func.0,
+                        addr: new_sp,
+                        size,
+                    });
+                }
                 if self.record_allocas {
                     let func_name = self.module.funcs[fr.func.0 as usize].name.clone();
                     self.alloca_trace.push(AllocaRecord {

@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use smokestack_ir::Module;
 use smokestack_srng::SchemeKind;
-use smokestack_telemetry::{SharedCollector, Tracer};
+use smokestack_telemetry::{SharedCollector, SharedRecorder, Tracer};
 
 use crate::bytecode::{compiled_for, CompiledModule, ExecBackend};
 use crate::cycles::CostModel;
@@ -54,6 +54,7 @@ pub struct Executor {
     record_allocas: bool,
     backend: ExecBackend,
     tracer: Option<SharedCollector>,
+    recorder: Option<SharedRecorder>,
     /// Lazily-resolved compiled image (interior so `&self` spawning
     /// works; `OnceCell` because a session never changes module/cost).
     compiled: OnceCell<Arc<CompiledModule>>,
@@ -121,6 +122,15 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Flight recorder, cloned into every spawned VM. Cheaper than a
+    /// collector (no per-instruction hook); if both are set, the
+    /// collector wins — it is a strict superset of the recorder's
+    /// event feed.
+    pub fn recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.inner.recorder = Some(recorder);
+        self
+    }
+
     /// Finish the session.
     pub fn build(self) -> Executor {
         self.inner
@@ -144,6 +154,7 @@ impl Executor {
                 record_allocas: false,
                 backend: ExecBackend::default(),
                 tracer: None,
+                recorder: None,
                 compiled: OnceCell::new(),
             },
         }
@@ -169,6 +180,11 @@ impl Executor {
         self.tracer.as_ref()
     }
 
+    /// The session's flight recorder, if any.
+    pub fn recorder(&self) -> Option<&SharedRecorder> {
+        self.recorder.as_ref()
+    }
+
     /// Fork the session with alloca recording switched on/off (used by
     /// disclosure probes, which need the allocation trace of a single
     /// run without re-compiling the build).
@@ -181,6 +197,14 @@ impl Executor {
     /// compiled image carries over.
     pub fn with_tracer(mut self, tracer: SharedCollector) -> Executor {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Fork the session with a flight recorder attached; the compiled
+    /// image carries over (incident capture re-runs a deciding attempt
+    /// through such a fork).
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Executor {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -212,10 +236,13 @@ impl Executor {
             mem: self.mem,
             cost: self.cost,
             record_allocas: self.record_allocas,
-            tracer: self
-                .tracer
-                .as_ref()
-                .map(|t| Box::new(t.clone()) as Box<dyn Tracer>),
+            tracer: match (&self.tracer, &self.recorder) {
+                // The collector is a strict superset of the recorder's
+                // event feed, so it wins when both are attached.
+                (Some(t), _) => Some(Box::new(t.clone()) as Box<dyn Tracer>),
+                (None, Some(r)) => Some(Box::new(r.clone()) as Box<dyn Tracer>),
+                (None, None) => None,
+            },
             backend: self.backend,
         }
     }

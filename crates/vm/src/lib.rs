@@ -74,6 +74,7 @@ pub use report::{canonical_event, escape_bytes, exit_class, FaultClass, RunRepor
 // Telemetry surface, re-exported so VM users configure tracing without
 // naming the telemetry crate directly.
 pub use smokestack_telemetry::{
-    Collector, CollectorConfig, CycleCategory, Event, FunctionCycles, GuardKind, SharedCollector,
-    Tracer,
+    render_prometheus, Collector, CollectorConfig, CycleCategory, Event, FaultAccess,
+    FlightRecorder, FrameSlot, FunctionCycles, GuardKind, IncidentReport, RecorderConfig,
+    RecorderStats, SharedCollector, SharedRecorder, StreamingHistogram, Tracer, INCIDENT_SCHEMA,
 };

@@ -208,6 +208,53 @@ fn fuzz_corpus_identical_across_backends() {
     }
 }
 
+/// The flight recorder is forbidden from perturbing the run it
+/// records: with a recorder attached, each backend must report the
+/// exact same outcome as its plain run, and the two recorded backends
+/// must still agree with each other. This is the property that lets
+/// incident capture replay a campaign bit-for-bit and lets the
+/// recorder stay always-on in production runs.
+#[test]
+fn recorder_never_perturbs_either_backend() {
+    use smokestack_vm::SharedRecorder;
+    for (i, w) in all().iter().enumerate().take(4) {
+        let mut m = w.compile().expect("workload compiles");
+        harden(&mut m, &SmokestackConfig::default()).expect("workload hardens");
+        let module = Arc::new(m);
+        let seed = 0x5eed + i as u64;
+        let recorder = SharedRecorder::default();
+        let mut recorded_runs = Vec::new();
+        for backend in [ExecBackend::Interp, ExecBackend::Bytecode] {
+            let plain = run_once(&module, SchemeKind::Aes10, backend, seed, &[]);
+            let traced = Executor::for_module(Arc::clone(&module))
+                .scheme(SchemeKind::Aes10)
+                .backend(backend)
+                .recorder(recorder.clone())
+                .build()
+                .run_main_seeded(seed, &mut ScriptedInput::new(std::iter::empty::<Vec<u8>>()));
+            assert_identical(
+                &format!("{} ({backend:?}, recorder on)", w.name),
+                &plain,
+                &traced,
+            );
+            recorded_runs.push(traced);
+        }
+        assert_identical(
+            &format!("{} (recorded, interp vs bytecode)", w.name),
+            &recorded_runs[0],
+            &recorded_runs[1],
+        );
+        // And the recorder actually saw the runs it was attached to.
+        recorder.with(|rec| {
+            assert!(
+                rec.stats().run_decicycles.count() >= 2,
+                "{}: recorder observed no runs",
+                w.name
+            );
+        });
+    }
+}
+
 /// The process-wide compiled-module cache must return the *same* image
 /// for identical (module, cost-model) pairs and distinct images when
 /// the cost fingerprint differs.

@@ -136,3 +136,59 @@ fn frozen_selection_would_be_flagged() {
     let frozen = [1200u64, 0, 0, 0, 0, 0, 0, 0];
     assert!(chi_squared_uniform(&frozen) > 1000.0);
 }
+
+/// The streaming histogram's quantiles track exact sorted-order
+/// quantiles over a 10k-sample latency-shaped stream within the
+/// documented log-bucket error (1/32 per octave, halved by midpoint
+/// reporting — 4% leaves slack for bucket-edge effects), and merging
+/// two disjoint halves is bit-identical to streaming the whole.
+#[test]
+fn streaming_quantiles_track_exact_quantiles_over_10k_samples() {
+    use smokestack_rand::Rng;
+    use smokestack_repro::telemetry::StreamingHistogram;
+
+    // Log-normal-ish spread: the product of two uniform draws covers
+    // several octaves, like real per-run latencies do.
+    let mut rng = Rng::seed_from_u64(0x9d5a);
+    let samples: Vec<u64> = (0..10_000)
+        .map(|_| {
+            let a = rng.gen_range(1, 1 << 10);
+            let b = rng.gen_range(1, 1 << 10);
+            a * b
+        })
+        .collect();
+
+    let mut whole = StreamingHistogram::new();
+    let (mut lo, mut hi) = (StreamingHistogram::new(), StreamingHistogram::new());
+    for (i, &s) in samples.iter().enumerate() {
+        whole.observe(s);
+        if i % 2 == 0 {
+            lo.observe(s);
+        } else {
+            hi.observe(s);
+        }
+    }
+
+    let mut sorted = samples.clone();
+    sorted.sort_unstable();
+    let exact = |q: f64| sorted[((q * (sorted.len() - 1) as f64).round()) as usize];
+    for q in [0.50, 0.95, 0.99] {
+        let est = whole.quantile(q) as f64;
+        let want = exact(q) as f64;
+        let rel = (est - want).abs() / want;
+        assert!(
+            rel <= 0.04,
+            "p{}: streaming {est} vs exact {want} ({:.2}% off)",
+            (q * 100.0) as u32,
+            rel * 100.0
+        );
+    }
+
+    // Merge of disjoint halves == single stream, in either fold order.
+    let mut merged = lo.clone();
+    merged.merge(&hi);
+    assert_eq!(merged, whole);
+    let mut reversed = hi.clone();
+    reversed.merge(&lo);
+    assert_eq!(reversed, whole);
+}
