@@ -1,0 +1,309 @@
+//! Direct call graph over an [`smokestack_ir::Module`].
+//!
+//! Only `Callee::Direct` edges are represented: intrinsics have no IR
+//! body to analyze, and indirect calls are handled conservatively by
+//! the consumers (an indirect call is an escape, never a summary
+//! application). The graph supplies the bottom-up SCC order the
+//! interprocedural summary fixpoint iterates in, plus transitive-caller
+//! queries the chain pass uses to enumerate the frames an overflow
+//! write can sweep into.
+
+use smokestack_ir::{Callee, FuncId, Inst, Module};
+
+/// One direct call instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// The calling function.
+    pub caller: FuncId,
+    /// The called function.
+    pub callee: FuncId,
+    /// Basic block of the call.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub inst: usize,
+}
+
+/// A transitive caller of some function, with its call distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ancestor {
+    /// The (transitive) calling function.
+    pub func: FuncId,
+    /// Minimum number of call edges from the function queried about
+    /// (direct caller = 1).
+    pub depth: u32,
+}
+
+/// The direct call graph of a module.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Per-function direct callees, deduplicated, in first-call order.
+    pub callees: Vec<Vec<FuncId>>,
+    /// Per-function direct callers, deduplicated, in `FuncId` order.
+    pub callers: Vec<Vec<FuncId>>,
+    /// Every direct call site, grouped by caller, in program order.
+    pub sites: Vec<Vec<CallSite>>,
+    /// Strongly connected components in bottom-up order: every
+    /// component appears after all components it calls into.
+    pub sccs: Vec<Vec<FuncId>>,
+    scc_of: Vec<usize>,
+}
+
+impl CallGraph {
+    /// Build the graph for `m`.
+    pub fn compute(m: &Module) -> CallGraph {
+        let n = m.funcs.len();
+        let mut callees: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let mut sites: Vec<Vec<CallSite>> = vec![Vec::new(); n];
+        for (fid, f) in m.iter_funcs() {
+            for (bid, b) in f.iter_blocks() {
+                for (i, inst) in b.insts.iter().enumerate() {
+                    if let Inst::Call {
+                        callee: Callee::Direct(g),
+                        ..
+                    } = inst
+                    {
+                        sites[fid.0 as usize].push(CallSite {
+                            caller: fid,
+                            callee: *g,
+                            block: bid.0,
+                            inst: i,
+                        });
+                        if !callees[fid.0 as usize].contains(g) {
+                            callees[fid.0 as usize].push(*g);
+                        }
+                        if !callers[g.0 as usize].contains(&fid) {
+                            callers[g.0 as usize].push(fid);
+                        }
+                    }
+                }
+            }
+        }
+        for c in &mut callers {
+            c.sort_by_key(|f| f.0);
+        }
+        let (sccs, scc_of) = tarjan(n, &callees);
+        CallGraph {
+            callees,
+            callers,
+            sites,
+            sccs,
+            scc_of,
+        }
+    }
+
+    /// Functions in bottom-up order: callees before callers (members of
+    /// a cycle appear together, in `FuncId` order within the cycle).
+    pub fn bottom_up(&self) -> Vec<FuncId> {
+        self.sccs.iter().flatten().copied().collect()
+    }
+
+    /// Whether `f` is part of a call cycle (including self-recursion).
+    pub fn in_cycle(&self, f: FuncId) -> bool {
+        let scc = &self.sccs[self.scc_of[f.0 as usize]];
+        scc.len() > 1 || self.callees[f.0 as usize].contains(&f)
+    }
+
+    /// All transitive callers of `f` with their minimum call distance,
+    /// in breadth-first (distance, then `FuncId`) order. `f` itself is
+    /// included only if it is reachable from itself through a cycle.
+    pub fn ancestors(&self, f: FuncId) -> Vec<Ancestor> {
+        let mut depth: Vec<Option<u32>> = vec![None; self.callers.len()];
+        let mut frontier = vec![f];
+        let mut d = 0u32;
+        let mut out = Vec::new();
+        while !frontier.is_empty() {
+            d += 1;
+            let mut next = Vec::new();
+            for g in frontier {
+                for &c in &self.callers[g.0 as usize] {
+                    if depth[c.0 as usize].is_none() {
+                        depth[c.0 as usize] = Some(d);
+                        out.push(Ancestor { func: c, depth: d });
+                        next.push(c);
+                    }
+                }
+            }
+            next.sort_by_key(|f| f.0);
+            next.dedup();
+            frontier = next;
+        }
+        out
+    }
+
+    /// Direct call sites targeting `f`, in (caller, program) order.
+    pub fn sites_calling(&self, f: FuncId) -> Vec<CallSite> {
+        self.sites
+            .iter()
+            .flatten()
+            .filter(|s| s.callee == f)
+            .copied()
+            .collect()
+    }
+}
+
+/// Iterative Tarjan SCC; components are emitted callees-first, which is
+/// exactly the bottom-up summary order.
+fn tarjan(n: usize, succs: &[Vec<FuncId>]) -> (Vec<Vec<FuncId>>, Vec<usize>) {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut st = vec![
+        NodeState {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut counter = 0u32;
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<FuncId>> = Vec::new();
+    let mut scc_of = vec![0usize; n];
+
+    // Explicit DFS frames: (node, next-successor index).
+    for root in 0..n {
+        if st[root].visited {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut next)) = frames.last_mut() {
+            if *next == 0 {
+                st[v].visited = true;
+                st[v].index = counter;
+                st[v].lowlink = counter;
+                counter += 1;
+                st[v].on_stack = true;
+                stack.push(v);
+            }
+            if let Some(w) = succs[v].get(*next).map(|f| f.0 as usize) {
+                *next += 1;
+                if !st[w].visited {
+                    frames.push((w, 0));
+                } else if st[w].on_stack {
+                    st[v].lowlink = st[v].lowlink.min(st[w].index);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    let low = st[v].lowlink;
+                    st[p].lowlink = st[p].lowlink.min(low);
+                }
+                if st[v].lowlink == st[v].index {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        st[w].on_stack = false;
+                        scc_of[w] = sccs.len();
+                        comp.push(FuncId(w as u32));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_by_key(|f| f.0);
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    (sccs, scc_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smokestack_ir::{Builder, Function, Type};
+
+    /// main -> a -> b, main -> b, c <-> d (cycle), main -> c.
+    fn sample() -> Module {
+        let mut m = Module::new();
+        let mk = |name: &str| Function::new(name, vec![], Type::Void);
+        let fa = m.add_func(mk("a"));
+        let fb = m.add_func(mk("b"));
+        let fc = m.add_func(mk("c"));
+        let fd = m.add_func(mk("d"));
+        let fmain = m.add_func(mk("main"));
+        let call_one = |f: &mut Function, target: FuncId| {
+            let mut b = Builder::new(f);
+            b.call(target, Type::Void, vec![]);
+            b.ret(None);
+        };
+        {
+            let mut b = Builder::new(m.func_mut(fb));
+            b.ret(None);
+        }
+        call_one(m.func_mut(fa), fb);
+        call_one(m.func_mut(fc), fd);
+        call_one(m.func_mut(fd), fc);
+        {
+            let mut b = Builder::new(m.func_mut(fmain));
+            b.call(fa, Type::Void, vec![]);
+            b.call(fb, Type::Void, vec![]);
+            b.call(fc, Type::Void, vec![]);
+            b.ret(None);
+        }
+        m
+    }
+
+    #[test]
+    fn edges_and_sites() {
+        let m = sample();
+        let cg = CallGraph::compute(&m);
+        let main = m.func_by_name("main").unwrap();
+        let a = m.func_by_name("a").unwrap();
+        let b = m.func_by_name("b").unwrap();
+        assert_eq!(
+            cg.callees[main.0 as usize],
+            vec![a, b, m.func_by_name("c").unwrap()]
+        );
+        assert_eq!(cg.callers[b.0 as usize], vec![a, main]);
+        assert_eq!(cg.sites[main.0 as usize].len(), 3);
+    }
+
+    #[test]
+    fn bottom_up_puts_callees_first() {
+        let m = sample();
+        let cg = CallGraph::compute(&m);
+        let order = cg.bottom_up();
+        let pos = |n: &str| {
+            let f = m.func_by_name(n).unwrap();
+            order.iter().position(|&g| g == f).unwrap()
+        };
+        assert!(pos("b") < pos("a"));
+        assert!(pos("a") < pos("main"));
+        assert!(pos("c") < pos("main"));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let m = sample();
+        let cg = CallGraph::compute(&m);
+        assert!(cg.in_cycle(m.func_by_name("c").unwrap()));
+        assert!(cg.in_cycle(m.func_by_name("d").unwrap()));
+        assert!(!cg.in_cycle(m.func_by_name("b").unwrap()));
+        assert!(!cg.in_cycle(m.func_by_name("main").unwrap()));
+    }
+
+    #[test]
+    fn ancestors_with_depth() {
+        let m = sample();
+        let cg = CallGraph::compute(&m);
+        let b = m.func_by_name("b").unwrap();
+        let anc = cg.ancestors(b);
+        let a = m.func_by_name("a").unwrap();
+        let main = m.func_by_name("main").unwrap();
+        assert!(anc.contains(&Ancestor { func: a, depth: 1 }));
+        assert!(anc.contains(&Ancestor {
+            func: main,
+            depth: 1
+        }));
+        assert_eq!(anc.len(), 2, "{anc:?}");
+        // Cycle members are their own ancestors.
+        let c = m.func_by_name("c").unwrap();
+        assert!(cg.ancestors(c).iter().any(|x| x.func == c));
+    }
+}

@@ -1,0 +1,907 @@
+//! Bottom-up interprocedural summaries: what each function does with
+//! (pointers derived from) its parameters.
+//!
+//! MiniC spills every parameter into a stack slot at entry and reloads
+//! it at each use, so tracking a parameter through a function requires
+//! store-to-load forwarding through provably-safe slots. The analysis
+//! resolves, per register and per safe slot, whether the value is
+//! *parameter `i` plus a constant byte offset*; a second pass derives
+//! [`ParamFacts`] from every use of such a value. Summaries compose at
+//! direct call sites (shifting write extents by the constant argument
+//! offset) and are iterated bottom-up over the call-graph SCCs to a
+//! fixpoint, so recursion converges monotonically.
+//!
+//! Consumers:
+//! * `prunable_slots_module` — a slot whose address escapes *only*
+//!   into callees that provably stay within its bounds remains
+//!   prunable (CleanStack-style refinement of the intraprocedural
+//!   escape classification).
+//! * `chain` — call sites passing a slot to a callee that performs an
+//!   unbounded input-driven write through that parameter are lifted to
+//!   interprocedural overflow entries.
+
+use smokestack_ir::{Callee, CastKind, FuncId, Function, Inst, Module, Terminator, Type, Value};
+
+use crate::bounds::intrinsic_ranges;
+use crate::callgraph::CallGraph;
+use crate::escape::EscapeSummary;
+use crate::provenance::{Base, Resolution};
+
+/// How far through a parameter-derived pointer a function may write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Extent {
+    /// Never written through.
+    Untouched,
+    /// All writes land within `[0, n)` bytes of the incoming pointer.
+    Bounded(u64),
+    /// Writes at attacker-controlled or unknown offsets/lengths.
+    Unbounded,
+}
+
+impl Extent {
+    /// Lattice join (Untouched < Bounded < Unbounded).
+    pub fn join(self, other: Extent) -> Extent {
+        match (self, other) {
+            (Extent::Untouched, x) | (x, Extent::Untouched) => x,
+            (Extent::Unbounded, _) | (_, Extent::Unbounded) => Extent::Unbounded,
+            (Extent::Bounded(a), Extent::Bounded(b)) => Extent::Bounded(a.max(b)),
+        }
+    }
+
+    /// Shift by a constant base offset (a call passing `p + off`).
+    fn shifted(self, off: Option<i64>) -> Extent {
+        match (self, off) {
+            (Extent::Untouched, _) => Extent::Untouched,
+            (Extent::Bounded(e), Some(d)) if d >= 0 => Extent::Bounded(d as u64 + e),
+            _ => Extent::Unbounded,
+        }
+    }
+}
+
+/// What a function may do with one of its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamFacts {
+    /// Memory is read through the parameter (directly or transitively).
+    pub read: bool,
+    /// Memory is written through the parameter.
+    pub written: bool,
+    /// Some write through the parameter carries external-input bytes
+    /// (`get_input`/`read_line` family), directly or transitively.
+    pub writes_input: bool,
+    /// The parameter value leaks beyond what the extent captures:
+    /// stored to untracked memory, returned, fed to pointer arithmetic
+    /// we cannot follow, printed, or passed somewhere opaque.
+    pub escapes: bool,
+    /// Write extent through the parameter.
+    pub extent: Extent,
+}
+
+impl ParamFacts {
+    const BOTTOM: ParamFacts = ParamFacts {
+        read: false,
+        written: false,
+        writes_input: false,
+        escapes: false,
+        extent: Extent::Untouched,
+    };
+
+    fn join(&mut self, other: ParamFacts) -> bool {
+        let before = *self;
+        self.read |= other.read;
+        self.written |= other.written;
+        self.writes_input |= other.writes_input;
+        self.escapes |= other.escapes;
+        self.extent = self.extent.join(other.extent);
+        *self != before
+    }
+
+    /// Whether a slot of `size` bytes passed (at constant offset `off`)
+    /// to a callee with these facts provably stays in bounds and
+    /// unleaked — the condition under which the pass-to-call does not
+    /// disqualify the slot from pruning.
+    pub fn provably_safe_for(&self, off: Option<i64>, size: u64) -> bool {
+        if self.escapes {
+            return false;
+        }
+        match self.extent.shifted(off) {
+            Extent::Untouched => true,
+            Extent::Bounded(e) => e <= size,
+            Extent::Unbounded => false,
+        }
+    }
+}
+
+/// Summary of one function.
+#[derive(Debug, Clone)]
+pub struct FnSummary {
+    /// Facts per parameter, indexed by parameter position.
+    pub params: Vec<ParamFacts>,
+    /// Whether the return value may carry attacker-controlled bytes.
+    pub ret_tainted: bool,
+}
+
+/// Parameter provenance of a value: which parameter it is derived from
+/// and at which constant byte offset (`None` = dynamic offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PVal {
+    /// Not yet constrained (lattice bottom).
+    Unset,
+    /// Parameter `idx` plus an offset.
+    Param { idx: usize, off: Option<i64> },
+    /// Anything else (constants, loads, call results, conflicts).
+    Other,
+}
+
+impl PVal {
+    fn join(self, other: PVal) -> PVal {
+        match (self, other) {
+            (PVal::Unset, x) | (x, PVal::Unset) => x,
+            (a, b) if a == b => a,
+            (PVal::Param { idx: a, off: x }, PVal::Param { idx: b, off: y }) if a == b => {
+                PVal::Param {
+                    idx: a,
+                    off: if x == y { x } else { None },
+                }
+            }
+            _ => PVal::Other,
+        }
+    }
+
+    fn add(self, delta: Option<i64>) -> PVal {
+        match self {
+            PVal::Param { idx, off } => PVal::Param {
+                idx,
+                off: match (off, delta) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    _ => None,
+                },
+            },
+            other => other,
+        }
+    }
+}
+
+/// Per-function parameter-provenance resolution (registers plus
+/// forwarding through safe spill slots).
+struct ParamRes {
+    regs: Vec<PVal>,
+    slots: Vec<PVal>,
+}
+
+impl ParamRes {
+    fn compute(f: &Function, res: &Resolution, safe: &[bool]) -> ParamRes {
+        let mut pr = ParamRes {
+            regs: vec![PVal::Unset; f.reg_count()],
+            slots: vec![PVal::Unset; res.slots.len()],
+        };
+        for i in 0..f.params.len() {
+            pr.regs[i] = PVal::Param {
+                idx: i,
+                off: Some(0),
+            };
+        }
+        // Flow-insensitive fixpoint: registers are single-assignment,
+        // slot states join over all stores.
+        loop {
+            let mut changed = false;
+            for (_, b) in f.iter_blocks() {
+                for inst in &b.insts {
+                    let (result, new) = pr.transfer(f, res, safe, inst);
+                    if let Some(r) = result {
+                        let j = pr.regs[r.0 as usize].join(new);
+                        if j != pr.regs[r.0 as usize] {
+                            pr.regs[r.0 as usize] = j;
+                            changed = true;
+                        }
+                    }
+                    if let Inst::Store { ty, val, ptr } = inst {
+                        let v = pr.value(*val);
+                        if let Base::Slot { slot, offset } = res.value(*ptr).base {
+                            let stored = if safe[slot]
+                                && offset == Some(0)
+                                && ty.checked_size() == Some(8)
+                            {
+                                v
+                            } else {
+                                PVal::Other
+                            };
+                            let j = pr.slots[slot].join(stored);
+                            if j != pr.slots[slot] {
+                                pr.slots[slot] = j;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        pr
+    }
+
+    fn value(&self, v: Value) -> PVal {
+        match v {
+            Value::Reg(r) => self.regs[r.0 as usize],
+            _ => PVal::Other,
+        }
+    }
+
+    /// Result register and its provenance for one instruction.
+    fn transfer(
+        &self,
+        _f: &Function,
+        res: &Resolution,
+        safe: &[bool],
+        inst: &Inst,
+    ) -> (Option<smokestack_ir::RegId>, PVal) {
+        match inst {
+            Inst::Gep {
+                result,
+                base,
+                offset,
+            } => {
+                let d = res.const_of(*offset);
+                (Some(*result), self.value(*base).add(d))
+            }
+            Inst::Bin {
+                result,
+                op,
+                width,
+                lhs,
+                rhs,
+            } => {
+                use smokestack_ir::BinOp;
+                if *width != smokestack_ir::IntWidth::W64 {
+                    return (Some(*result), PVal::Other);
+                }
+                let v = match op {
+                    BinOp::Add => match (self.value(*lhs), res.const_of(*rhs)) {
+                        (p @ PVal::Param { .. }, Some(c)) => p.add(Some(c)),
+                        _ => match (res.const_of(*lhs), self.value(*rhs)) {
+                            (Some(c), p @ PVal::Param { .. }) => p.add(Some(c)),
+                            _ => PVal::Other,
+                        },
+                    },
+                    BinOp::Sub => match (self.value(*lhs), res.const_of(*rhs)) {
+                        (p @ PVal::Param { .. }, Some(c)) => p.add(Some(-c)),
+                        _ => PVal::Other,
+                    },
+                    _ => PVal::Other,
+                };
+                (Some(*result), v)
+            }
+            Inst::Cast {
+                result,
+                kind,
+                to,
+                val,
+            } => {
+                // Value-preserving casts keep provenance; anything that
+                // can change the bit pattern drops it.
+                let keeps = matches!(kind, CastKind::PtrToInt | CastKind::IntToPtr)
+                    || matches!(to, Type::Ptr)
+                    || to.checked_size() == Some(8);
+                (
+                    Some(*result),
+                    if keeps { self.value(*val) } else { PVal::Other },
+                )
+            }
+            Inst::Load { result, ty, ptr } => {
+                let v = match res.value(*ptr).base {
+                    Base::Slot { slot, offset }
+                        if safe[slot] && offset == Some(0) && ty.checked_size() == Some(8) =>
+                    {
+                        self.slots[slot]
+                    }
+                    _ => PVal::Other,
+                };
+                (Some(*result), v)
+            }
+            Inst::Alloca { result, .. } => (Some(*result), PVal::Other),
+            Inst::Icmp { result, .. } => (Some(*result), PVal::Other),
+            Inst::Call { result, .. } => (*result, PVal::Other),
+            Inst::Store { .. } => (None, PVal::Unset),
+        }
+    }
+}
+
+/// Interprocedural summaries for every function of a module.
+#[derive(Debug, Clone)]
+pub struct ModuleSummaries {
+    /// Per-function summaries, indexed by `FuncId`.
+    pub summaries: Vec<FnSummary>,
+    /// The call graph the fixpoint ran over.
+    pub callgraph: CallGraph,
+}
+
+impl ModuleSummaries {
+    /// Compute summaries bottom-up to a global fixpoint.
+    pub fn compute(m: &Module) -> ModuleSummaries {
+        let callgraph = CallGraph::compute(m);
+        let pre: Vec<(Resolution, Vec<bool>, ParamRes)> = m
+            .iter_funcs()
+            .map(|(_, f)| {
+                let res = Resolution::compute(f);
+                let esc = EscapeSummary::analyze(f, &res);
+                let safe = esc.safe_mask(&res);
+                let pr = ParamRes::compute(f, &res, &safe);
+                (res, safe, pr)
+            })
+            .collect();
+        let mut summaries: Vec<FnSummary> = m
+            .iter_funcs()
+            .map(|(_, f)| FnSummary {
+                params: vec![ParamFacts::BOTTOM; f.params.len()],
+                ret_tainted: false,
+            })
+            .collect();
+        // Iterate whole-module until stable; bottom-up order makes the
+        // common (acyclic) case converge in one sweep. `Bounded` has
+        // infinite ascending chains (recursion like `walk(p + 8)` grows
+        // the bound every sweep), so after a few sweeps any extent
+        // still in motion is widened straight to `Unbounded`; the
+        // remaining lattice (booleans) is finite and converges.
+        let mut sweeps = 0u32;
+        loop {
+            let mut changed = false;
+            let widen = sweeps >= 3;
+            for fid in callgraph.bottom_up() {
+                let f = m.func(fid);
+                let (res, _, pr) = &pre[fid.0 as usize];
+                let next = summarize(m, f, res, pr, &summaries);
+                let cur = &mut summaries[fid.0 as usize];
+                for (p, np) in cur.params.iter_mut().zip(next.params) {
+                    let before_extent = p.extent;
+                    changed |= p.join(np);
+                    if widen && p.extent != before_extent {
+                        p.extent = Extent::Unbounded;
+                    }
+                }
+                if next.ret_tainted && !cur.ret_tainted {
+                    cur.ret_tainted = true;
+                    changed = true;
+                }
+            }
+            sweeps += 1;
+            if !changed {
+                break;
+            }
+        }
+        ModuleSummaries {
+            summaries,
+            callgraph,
+        }
+    }
+
+    /// Summary of `f`.
+    pub fn of(&self, f: FuncId) -> &FnSummary {
+        &self.summaries[f.0 as usize]
+    }
+
+    /// Slots of `fid` whose content may carry attacker bytes once
+    /// callee effects are taken into account: slots the function itself
+    /// exposes (intraprocedural unsafety) plus slots passed to callees
+    /// that write external input through the parameter.
+    pub fn tainted_slots(&self, m: &Module, fid: FuncId) -> Vec<bool> {
+        let f = m.func(fid);
+        let res = Resolution::compute(f);
+        let esc = EscapeSummary::analyze(f, &res);
+        let safe = esc.safe_mask(&res);
+        let mut tainted: Vec<bool> = safe.iter().map(|s| !s).collect();
+        for (_, b) in f.iter_blocks() {
+            for inst in &b.insts {
+                if let Inst::Call {
+                    callee: Callee::Direct(g),
+                    args,
+                    ..
+                } = inst
+                {
+                    for (j, a) in args.iter().enumerate() {
+                        if let Base::Slot { slot, .. } = res.value(*a).base {
+                            if let Some(pf) = self.of(*g).params.get(j) {
+                                if pf.writes_input || pf.escapes {
+                                    tainted[slot] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        tainted
+    }
+}
+
+/// One summarization pass over `f` given the current callee summaries.
+fn summarize(
+    m: &Module,
+    f: &Function,
+    res: &Resolution,
+    pr: &ParamRes,
+    summaries: &[FnSummary],
+) -> FnSummary {
+    let n = f.params.len();
+    let mut params = vec![ParamFacts::BOTTOM; n];
+    let mut ret_tainted = false;
+    let mark = |p: PVal, facts: ParamFacts, params: &mut Vec<ParamFacts>| {
+        if let PVal::Param { idx, .. } = p {
+            params[idx].join(facts);
+        }
+    };
+    let escape = ParamFacts {
+        escapes: true,
+        ..ParamFacts::BOTTOM
+    };
+
+    for (_, b) in f.iter_blocks() {
+        for inst in &b.insts {
+            match inst {
+                Inst::Load { ptr, .. } => {
+                    if let PVal::Param { idx, .. } = pr.value(*ptr) {
+                        params[idx].read = true;
+                    }
+                }
+                Inst::Store { ty, val, ptr } => {
+                    // Writing through a parameter-derived pointer.
+                    if let PVal::Param { idx, off } = pr.value(*ptr) {
+                        let size = ty.checked_size();
+                        let ext = match (off, size) {
+                            (Some(o), Some(s)) if o >= 0 => Extent::Bounded(o as u64 + s),
+                            _ => Extent::Unbounded,
+                        };
+                        params[idx].join(ParamFacts {
+                            written: true,
+                            extent: ext,
+                            ..ParamFacts::BOTTOM
+                        });
+                    }
+                    // Storing a parameter value somewhere we do not
+                    // track its further uses.
+                    if let p @ PVal::Param { .. } = pr.value(*val) {
+                        let forwarded = matches!(
+                            res.value(*ptr).base,
+                            Base::Slot { slot, offset: Some(0) }
+                                if pr.slots.get(slot).is_some()
+                                    && pr.slots[slot] != PVal::Other
+                        ) && ty.checked_size() == Some(8);
+                        if !forwarded {
+                            mark(p, escape, &mut params);
+                        }
+                    }
+                }
+                Inst::Gep { result, base, .. } => {
+                    // Provenance lost at this instruction => escape.
+                    if pr.regs[result.0 as usize] == PVal::Other {
+                        if let p @ PVal::Param { .. } = pr.value(*base) {
+                            mark(p, escape, &mut params);
+                        }
+                    }
+                }
+                Inst::Bin {
+                    result, lhs, rhs, ..
+                } => {
+                    if pr.regs[result.0 as usize] == PVal::Other {
+                        for v in [lhs, rhs] {
+                            if let p @ PVal::Param { .. } = pr.value(*v) {
+                                mark(p, escape, &mut params);
+                            }
+                        }
+                    }
+                }
+                Inst::Cast { result, val, .. } => {
+                    if pr.regs[result.0 as usize] == PVal::Other {
+                        if let p @ PVal::Param { .. } = pr.value(*val) {
+                            mark(p, escape, &mut params);
+                        }
+                    }
+                }
+                // Comparisons only observe the value; no pointer flows.
+                Inst::Icmp { .. } => {}
+                Inst::Alloca { count, .. } => {
+                    if let Some(c) = count {
+                        if let p @ PVal::Param { .. } = pr.value(*c) {
+                            mark(p, escape, &mut params);
+                        }
+                    }
+                }
+                Inst::Call {
+                    callee,
+                    args,
+                    result,
+                } => match callee {
+                    Callee::Direct(g) => {
+                        let cs = &summaries[g.0 as usize];
+                        for (j, a) in args.iter().enumerate() {
+                            if let PVal::Param { idx, off } = pr.value(*a) {
+                                match cs.params.get(j) {
+                                    Some(cf) => {
+                                        params[idx].join(ParamFacts {
+                                            read: cf.read,
+                                            written: cf.written,
+                                            writes_input: cf.writes_input,
+                                            escapes: cf.escapes,
+                                            extent: if cf.written {
+                                                cf.extent.shifted(off)
+                                            } else {
+                                                Extent::Untouched
+                                            },
+                                        });
+                                    }
+                                    None => {
+                                        params[idx].escapes = true;
+                                    }
+                                }
+                            }
+                        }
+                        let _ = result;
+                    }
+                    Callee::Intrinsic(which) => {
+                        let ranges = intrinsic_ranges(callee, args);
+                        let input_driven = matches!(
+                            *which,
+                            smokestack_ir::Intrinsic::GetInput | smokestack_ir::Intrinsic::ReadLine
+                        );
+                        let mut covered = vec![false; args.len()];
+                        for r in &ranges {
+                            if let Some(pos) = args.iter().position(|a| *a == r.ptr) {
+                                covered[pos] = true;
+                            }
+                            if let Some(len) = r.len {
+                                if let Some(pos) = args.iter().position(|a| *a == len) {
+                                    covered[pos] = true;
+                                }
+                            }
+                            if let PVal::Param { idx, off } = pr.value(r.ptr) {
+                                if r.writes {
+                                    let ext = match (off, r.len.and_then(|l| res.const_of(l))) {
+                                        (Some(o), Some(l)) if o >= 0 && l >= 0 => {
+                                            Extent::Bounded(o as u64 + l as u64)
+                                        }
+                                        _ => Extent::Unbounded,
+                                    };
+                                    params[idx].join(ParamFacts {
+                                        written: true,
+                                        writes_input: input_driven,
+                                        extent: ext,
+                                        ..ParamFacts::BOTTOM
+                                    });
+                                } else {
+                                    params[idx].read = true;
+                                }
+                            }
+                        }
+                        for (a, c) in args.iter().zip(covered) {
+                            if c {
+                                continue;
+                            }
+                            if let p @ PVal::Param { .. } = pr.value(*a) {
+                                // Printed, freed, used as a length...:
+                                // treat as an opaque leak.
+                                mark(p, escape, &mut params);
+                            }
+                        }
+                    }
+                    Callee::Indirect(_) => {
+                        for a in args {
+                            if let p @ PVal::Param { .. } = pr.value(*a) {
+                                mark(p, escape, &mut params);
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        if let Terminator::Ret(Some(v)) = &b.term {
+            if let p @ PVal::Param { .. } = pr.value(*v) {
+                mark(p, escape, &mut params);
+            }
+            ret_tainted |= ret_value_tainted(m, f, res, *v, summaries);
+        }
+    }
+    FnSummary {
+        params,
+        ret_tainted,
+    }
+}
+
+/// Whether a returned value may carry attacker bytes: a load from a
+/// non-safe slot, an external-input intrinsic result, or the result of
+/// a callee whose own return is tainted.
+fn ret_value_tainted(
+    m: &Module,
+    f: &Function,
+    res: &Resolution,
+    v: Value,
+    summaries: &[FnSummary],
+) -> bool {
+    let Some(r) = v.as_reg() else { return false };
+    let esc = EscapeSummary::analyze(f, res);
+    let safe = esc.safe_mask(res);
+    for (_, b) in f.iter_blocks() {
+        for inst in &b.insts {
+            if inst.result() != Some(r) {
+                continue;
+            }
+            return match inst {
+                Inst::Load { ptr, .. } => match res.value(*ptr).base {
+                    Base::Slot { slot, .. } => !safe[slot],
+                    Base::Global(g) => !m.global(g).readonly,
+                    Base::None => true,
+                },
+                Inst::Call { callee, .. } => match callee {
+                    Callee::Direct(g) => summaries[g.0 as usize].ret_tainted,
+                    Callee::Intrinsic(which) => matches!(
+                        *which,
+                        smokestack_ir::Intrinsic::GetInput
+                            | smokestack_ir::Intrinsic::ReadLine
+                            | smokestack_ir::Intrinsic::SnprintfCat
+                    ),
+                    Callee::Indirect(_) => true,
+                },
+                _ => false,
+            };
+        }
+    }
+    false
+}
+
+/// Refined per-slot safety for `fid`: like the intraprocedural
+/// [`EscapeSummary::safe_mask`], except that passing the slot's address
+/// to a *provably safe* direct callee (non-escaping, writes bounded
+/// within the slot) is forgiven.
+///
+/// The intraprocedural flags cannot be reused directly: MiniC lowers
+/// `callee(&x)` through a `ptrtoint`, which `escape` counts as an
+/// integer leak *in addition to* the pass-to-call. Provenance flows
+/// through casts, so this scan re-derives disqualification from the
+/// instructions that actually consume a slot-derived value, treating
+/// casts and geps as transparent and judging direct-call arguments by
+/// the callee's summary instead of unconditionally.
+pub fn refined_safe_mask(m: &Module, fid: FuncId, sums: &ModuleSummaries) -> Vec<bool> {
+    let f = m.func(fid);
+    let res = Resolution::compute(f);
+    let esc = EscapeSummary::analyze(f, &res);
+    let base = esc.safe_mask(&res);
+    let mut refined: Vec<bool> = (0..res.slots.len())
+        .map(|i| {
+            let s = res.slots.get(i);
+            !s.is_vla && s.size.is_some()
+        })
+        .collect();
+    let kill = |v: Value, refined: &mut Vec<bool>, res: &Resolution| {
+        if let Base::Slot { slot, .. } = res.value(v).base {
+            refined[slot] = false;
+        }
+    };
+    for (_, b) in f.iter_blocks() {
+        for inst in &b.insts {
+            match inst {
+                // Casts and geps keep provenance; their consumers are
+                // what we judge.
+                Inst::Cast { .. } | Inst::Gep { .. } => {}
+                Inst::Load { ty, ptr, .. } | Inst::Store { ty, ptr, .. } => {
+                    if let Base::Slot { slot, offset } = res.value(*ptr).base {
+                        let size = res.slots.get(slot).size.unwrap_or(0);
+                        let acc = ty.checked_size().unwrap_or(u64::MAX);
+                        match offset {
+                            Some(o) if o >= 0 && (o as u64).saturating_add(acc) <= size => {}
+                            _ => refined[slot] = false,
+                        }
+                    }
+                    if let Inst::Store { val, .. } = inst {
+                        // The slot's address is stored to memory.
+                        kill(*val, &mut refined, &res);
+                    }
+                }
+                // Arithmetic (beyond what `Resolution` folds) and
+                // comparisons launder the address into an integer.
+                Inst::Bin { lhs, rhs, .. } | Inst::Icmp { lhs, rhs, .. } => {
+                    kill(*lhs, &mut refined, &res);
+                    kill(*rhs, &mut refined, &res);
+                }
+                Inst::Alloca { count, .. } => {
+                    if let Some(c) = count {
+                        kill(*c, &mut refined, &res);
+                    }
+                }
+                Inst::Call { callee, args, .. } => match callee {
+                    Callee::Direct(g) => {
+                        for (j, a) in args.iter().enumerate() {
+                            let Base::Slot { slot, offset } = res.value(*a).base else {
+                                continue;
+                            };
+                            let size = res.slots.get(slot).size.unwrap_or(0);
+                            let ok = sums
+                                .of(*g)
+                                .params
+                                .get(j)
+                                .map(|pf| pf.provably_safe_for(offset, size))
+                                .unwrap_or(false);
+                            if !ok {
+                                refined[slot] = false;
+                            }
+                        }
+                    }
+                    // Intrinsic and indirect arguments keep the
+                    // intraprocedural (conservative) classification.
+                    _ => {
+                        for a in args {
+                            kill(*a, &mut refined, &res);
+                        }
+                        if let Callee::Indirect(t) = callee {
+                            kill(*t, &mut refined, &res);
+                        }
+                    }
+                },
+            }
+        }
+        if let Terminator::Ret(Some(v)) = &b.term {
+            kill(*v, &mut refined, &res);
+        }
+        if let Terminator::CondBr { cond, .. } = &b.term {
+            kill(*cond, &mut refined, &res);
+        }
+    }
+    // Never reclassify below the intraprocedural answer.
+    for (r, b) in refined.iter_mut().zip(&base) {
+        *r |= *b;
+    }
+    refined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        smokestack_minic::compile(src).expect("compiles")
+    }
+
+    fn facts<'a>(m: &Module, sums: &'a ModuleSummaries, func: &str) -> &'a FnSummary {
+        sums.of(m.func_by_name(func).expect("func"))
+    }
+
+    #[test]
+    fn bounded_callee_write_is_bounded() {
+        let m = compile(
+            r#"
+            void fill(long dst) { long *d = dst; d[0] = 7; }
+            int main() { long x = 0; fill(&x); return x; }
+            "#,
+        );
+        let sums = ModuleSummaries::compute(&m);
+        let pf = &facts(&m, &sums, "fill").params[0];
+        assert!(pf.written, "{pf:?}");
+        assert!(!pf.escapes, "{pf:?}");
+        assert_eq!(pf.extent, Extent::Bounded(8), "{pf:?}");
+        assert!(!pf.writes_input);
+    }
+
+    #[test]
+    fn input_write_through_param_is_flagged() {
+        let m = compile(
+            r#"
+            void read_packet(long dst) {
+                long n = 0;
+                get_input(&n, 8);
+                get_input(dst, n);
+            }
+            int main() { char b[16]; read_packet(b); return 0; }
+            "#,
+        );
+        let sums = ModuleSummaries::compute(&m);
+        let pf = &facts(&m, &sums, "read_packet").params[0];
+        assert!(pf.written && pf.writes_input, "{pf:?}");
+        assert_eq!(pf.extent, Extent::Unbounded, "{pf:?}");
+    }
+
+    #[test]
+    fn const_len_input_through_param_is_bounded() {
+        let m = compile(
+            r#"
+            void read_header(long dst) { get_input(dst, 8); }
+            int main() { char b[8]; read_header(b); return 0; }
+            "#,
+        );
+        let sums = ModuleSummaries::compute(&m);
+        let pf = &facts(&m, &sums, "read_header").params[0];
+        assert!(pf.written && pf.writes_input);
+        assert_eq!(pf.extent, Extent::Bounded(8), "{pf:?}");
+        assert!(!pf.escapes);
+    }
+
+    #[test]
+    fn transitive_composition_shifts_extent() {
+        let m = compile(
+            r#"
+            void inner(long p) { long *d = p; d[0] = 1; }
+            void outer(long q) { inner(q + 8); }
+            int main() { char b[16]; outer(b); return 0; }
+            "#,
+        );
+        let sums = ModuleSummaries::compute(&m);
+        let pf = &facts(&m, &sums, "outer").params[0];
+        assert_eq!(pf.extent, Extent::Bounded(16), "{pf:?}");
+        assert!(!pf.escapes);
+    }
+
+    #[test]
+    fn printed_param_escapes() {
+        let m = compile(
+            r#"
+            void show(long p) { print_int(p); }
+            int main() { long x = 1; show(&x); return 0; }
+            "#,
+        );
+        let sums = ModuleSummaries::compute(&m);
+        assert!(facts(&m, &sums, "show").params[0].escapes);
+    }
+
+    #[test]
+    fn recursion_converges_unbounded() {
+        let m = compile(
+            r#"
+            void walk(long p, long n) {
+                if (n > 0) {
+                    long *d = p;
+                    d[0] = n;
+                    walk(p + 8, n - 1);
+                }
+            }
+            int main() { char b[64]; walk(b, 4); return 0; }
+            "#,
+        );
+        let sums = ModuleSummaries::compute(&m);
+        let pf = &facts(&m, &sums, "walk").params[0];
+        assert!(pf.written);
+        // p + 8 recursion: extent grows without bound => Unbounded.
+        assert_eq!(pf.extent, Extent::Unbounded, "{pf:?}");
+    }
+
+    #[test]
+    fn refined_mask_forgives_safe_callee() {
+        let m = compile(
+            r#"
+            void fill(long dst) { long *d = dst; d[0] = 7; }
+            void leaky(long dst) { long n = 0; get_input(&n, 8); get_input(dst, n); }
+            void host(long tag) {
+                long a = 0;
+                char b[32];
+                fill(&a);
+                leaky(b);
+            }
+            int main() { host(1); return 0; }
+            "#,
+        );
+        let sums = ModuleSummaries::compute(&m);
+        let fid = m.func_by_name("host").unwrap();
+        let f = m.func(fid);
+        let res = Resolution::compute(f);
+        let refined = refined_safe_mask(&m, fid, &sums);
+        let idx = |name: &str| {
+            (0..res.slots.len())
+                .find(|&i| res.slots.get(i).name == name)
+                .unwrap()
+        };
+        assert!(refined[idx("a")], "bounded callee should stay prunable");
+        assert!(!refined[idx("b")], "unbounded callee must disqualify");
+    }
+
+    #[test]
+    fn ret_taint_propagates_through_calls() {
+        let m = compile(
+            r#"
+            long fetch() { long n = 0; get_input(&n, 8); return n; }
+            long relay() { return fetch(); }
+            long pure() { return 7; }
+            int main() { return relay() + pure(); }
+            "#,
+        );
+        let sums = ModuleSummaries::compute(&m);
+        assert!(facts(&m, &sums, "fetch").ret_tainted);
+        assert!(facts(&m, &sums, "relay").ret_tainted);
+        assert!(!facts(&m, &sums, "pure").ret_tainted);
+    }
+}

@@ -47,23 +47,31 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+pub mod callgraph;
+pub mod chain;
 pub mod dataflow;
 pub mod diag;
 pub mod escape;
 pub mod gadget;
 pub mod init;
+pub mod interproc;
 pub mod liveness;
 pub mod provenance;
+pub mod synth;
 
 use smokestack_ir::cfg::Cfg;
 use smokestack_ir::{Function, Module};
 use smokestack_telemetry::MetricsRegistry;
 
+pub use callgraph::{Ancestor, CallGraph, CallSite};
+pub use chain::{Chain, ChainGadget, ChainReport, EnablingCond, EntrySite, Mechanic, SteeredSlot};
 pub use dataflow::{solve, BlockStates, DataflowAnalysis, Direction};
 pub use diag::{rules, Diagnostic, Severity, SrcPos};
 pub use escape::{EscapeSummary, SlotFlags};
 pub use gadget::{GadgetKind, GadgetSite, GadgetSurfaceReport};
+pub use interproc::{Extent, FnSummary, ModuleSummaries, ParamFacts};
 pub use provenance::{AbsVal, Base, Resolution, SlotTable, Taint};
+pub use synth::{synthesize, Goal, GoalCheck, PayloadPlan, PlanWrite, SymValue};
 
 /// Findings and surface for one function.
 #[derive(Debug, Clone)]
@@ -255,6 +263,32 @@ pub fn prunable_slots(f: &Function) -> Vec<usize> {
         }
     }
     out
+}
+
+/// Per-function [`prunable_slots`] with interprocedural escape
+/// summaries: a slot whose address escapes only into provably-safe
+/// direct callees (non-escaping, writes bounded within the slot) stays
+/// prunable. Returns one entry-block index list per function, in module
+/// order, under the same all-or-nothing-per-frame contract as
+/// [`prunable_slots`].
+pub fn prunable_slots_module(m: &Module) -> Vec<Vec<usize>> {
+    let sums = interproc::ModuleSummaries::compute(m);
+    m.iter_funcs()
+        .map(|(fid, f)| {
+            let res = Resolution::compute(f);
+            let refined = interproc::refined_safe_mask(m, fid, &sums);
+            let mut out = Vec::new();
+            for (i, s) in res.slots.slots.iter().enumerate() {
+                if s.is_vla || !refined[i] {
+                    return Vec::new();
+                }
+                if s.randomizable && s.block == Function::ENTRY {
+                    out.push(s.index);
+                }
+            }
+            out
+        })
+        .collect()
 }
 
 #[cfg(test)]

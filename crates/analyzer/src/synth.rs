@@ -1,0 +1,1088 @@
+//! Automated DOP payload synthesis (the STEROIDS loop, defender-side).
+//!
+//! [`crate::chain`] reports *what* an overflow entry can reach; this
+//! module turns a chain report plus an attacker **goal** into concrete
+//! [`PayloadPlan`]s: which steered slots must receive which values
+//! (offset / width / value schedule) for the program's own gadgets to
+//! carry out the goal. Plans are purely static — they name functions,
+//! slots and globals symbolically; the runtime adapter (the attacks
+//! crate's `SynthesizedAttack`) resolves them against a disclosed
+//! baseline layout and validates each candidate in the VM. The VM is
+//! the ground truth: the planner is allowed to emit candidates that a
+//! validation run rejects, but everything it emits is deterministic.
+//!
+//! Three goal shapes cover the paper's case studies:
+//!
+//! * `leak <global>` — make program output contain the global's bytes
+//!   (the librelp/ProFTPD key exfiltrations);
+//! * `flip <global> = <v>` / `flip <global> += <v>` — force a write of
+//!   `v` into a global, directly or through an accumulate gadget (the
+//!   Wireshark `bot_commands` escalation);
+//! * `redirect <func>:<slot> -> <global> = <v>` — corrupt a data
+//!   pointer held in a stack slot so the program's own `*p = v` store
+//!   lands on the global (the RIPE indirect shapes).
+
+use std::collections::HashSet;
+
+use smokestack_telemetry::json::push_json_str;
+
+use smokestack_ir::{BinOp, BlockId, Callee, FuncId, Function, Inst, Intrinsic, Module, Value};
+
+use crate::chain::{find_def, slot_load, strip_casts, Chain, ChainReport, Mechanic};
+use crate::provenance::{Base, Resolution};
+
+/// What the synthesized payload must make the program do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Goal {
+    /// Program output must contain the global's (NUL-terminated) bytes.
+    Leak {
+        /// Name of the global holding the secret.
+        global: String,
+    },
+    /// A global must end up holding (or having accumulated) `value`.
+    Flip {
+        /// Name of the written global.
+        global: String,
+        /// The value to plant.
+        value: i64,
+        /// `true` for `+=` accumulate gadgets (`g = g + x`), `false`
+        /// for a direct `g = x` store.
+        accumulate: bool,
+    },
+    /// A data pointer held in a stack slot must be redirected at a
+    /// global, and the program's indirect store must write `value`.
+    Redirect {
+        /// Function owning the pointer slot.
+        func: String,
+        /// Name of the pointer slot.
+        slot: String,
+        /// Global the pointer is aimed at.
+        global: String,
+        /// Value the indirect store must deliver.
+        value: i64,
+    },
+}
+
+impl Goal {
+    /// Parse the goal language used by the `synth` CLI:
+    ///
+    /// * `leak <global>`
+    /// * `flip <global> = <value>` / `flip <global> += <value>`
+    /// * `redirect <func>:<slot> -> <global> = <value>`
+    pub fn parse(s: &str) -> Option<Goal> {
+        let s = s.trim();
+        if let Some(rest) = s.strip_prefix("leak ") {
+            let g = rest.trim();
+            if g.is_empty() || g.contains(' ') {
+                return None;
+            }
+            return Some(Goal::Leak {
+                global: g.to_string(),
+            });
+        }
+        if let Some(rest) = s.strip_prefix("flip ") {
+            let (lhs, rhs, accumulate) = match rest.split_once("+=") {
+                Some((l, r)) => (l, r, true),
+                None => {
+                    let (l, r) = rest.split_once('=')?;
+                    (l, r, false)
+                }
+            };
+            return Some(Goal::Flip {
+                global: lhs.trim().to_string(),
+                value: rhs.trim().parse().ok()?,
+                accumulate,
+            });
+        }
+        if let Some(rest) = s.strip_prefix("redirect ") {
+            let (ptr, target) = rest.split_once("->")?;
+            let (func, slot) = ptr.trim().split_once(':')?;
+            let (global, value) = target.split_once('=')?;
+            return Some(Goal::Redirect {
+                func: func.trim().to_string(),
+                slot: slot.trim().to_string(),
+                global: global.trim().to_string(),
+                value: value.trim().parse().ok()?,
+            });
+        }
+        None
+    }
+
+    /// Render in the same syntax [`Goal::parse`] accepts.
+    pub fn render(&self) -> String {
+        match self {
+            Goal::Leak { global } => format!("leak {global}"),
+            Goal::Flip {
+                global,
+                value,
+                accumulate,
+            } => {
+                if *accumulate {
+                    format!("flip {global} += {value}")
+                } else {
+                    format!("flip {global} = {value}")
+                }
+            }
+            Goal::Redirect {
+                func,
+                slot,
+                global,
+                value,
+            } => format!("redirect {func}:{slot} -> {global} = {value}"),
+        }
+    }
+}
+
+/// A value the payload plants; addresses are symbolic until the runtime
+/// resolves them against a concrete deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymValue {
+    /// A concrete integer, stamped little-endian at the write's width.
+    Int(i64),
+    /// The runtime address of a named global.
+    GlobalAddr(String),
+}
+
+/// One word the overflow must plant in a steered slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanWrite {
+    /// Function owning the slot.
+    pub func: String,
+    /// Slot name.
+    pub slot: String,
+    /// Byte offset within the slot.
+    pub offset: i64,
+    /// Width of the write, in bytes.
+    pub width: u64,
+    /// The planted value.
+    pub value: SymValue,
+}
+
+/// How the runtime adapter verifies the goal after the victim run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoalCheck {
+    /// The global's 8-byte word equals `value`.
+    GlobalEquals {
+        /// Checked global.
+        global: String,
+        /// Expected value.
+        value: i64,
+    },
+    /// The global's 8-byte word is at least `value` (accumulate
+    /// gadgets may fire more than once).
+    GlobalAtLeast {
+        /// Checked global.
+        global: String,
+        /// Minimum value.
+        value: i64,
+    },
+    /// Program output contains the global's NUL-terminated bytes.
+    OutputContainsGlobal {
+        /// Leaked global.
+        global: String,
+    },
+}
+
+/// A complete static payload: entry, mechanic, and write schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PayloadPlan {
+    /// The goal this plan serves, in [`Goal::parse`] syntax.
+    pub goal: String,
+    /// Function whose frame the overflow enters through.
+    pub entry_func: String,
+    /// The entry slot (sweep origin / cursor base).
+    pub entry_slot: String,
+    /// Write mechanic of the entry.
+    pub mechanic: Mechanic,
+    /// Slot feeding the dynamic length, when the entry has the
+    /// length-header shape.
+    pub feed: Option<String>,
+    /// Whether the entry was lifted from a callee's unbounded write.
+    pub lifted: bool,
+    /// The write schedule, sorted by (function, slot, offset).
+    pub writes: Vec<PlanWrite>,
+    /// Post-run goal verification.
+    pub check: GoalCheck,
+}
+
+impl PayloadPlan {
+    /// Render as one deterministic JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"goal\":");
+        push_json_str(&mut out, &self.goal);
+        out.push_str(",\"entry_func\":");
+        push_json_str(&mut out, &self.entry_func);
+        out.push_str(",\"entry_slot\":");
+        push_json_str(&mut out, &self.entry_slot);
+        out.push_str(&format!(
+            ",\"mechanic\":\"{}\",\"lifted\":{}",
+            match self.mechanic {
+                Mechanic::LinearSweep => "linear-sweep",
+                Mechanic::CursorJump => "cursor-jump",
+            },
+            self.lifted
+        ));
+        if let Some(feed) = &self.feed {
+            out.push_str(",\"feed\":");
+            push_json_str(&mut out, feed);
+        }
+        out.push_str(",\"writes\":[");
+        for (i, w) in self.writes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"func\":");
+            push_json_str(&mut out, &w.func);
+            out.push_str(",\"slot\":");
+            push_json_str(&mut out, &w.slot);
+            out.push_str(&format!(",\"offset\":{},\"width\":{}", w.offset, w.width));
+            match &w.value {
+                SymValue::Int(v) => out.push_str(&format!(",\"value\":{v}}}")),
+                SymValue::GlobalAddr(g) => {
+                    out.push_str(",\"global_addr\":");
+                    push_json_str(&mut out, g);
+                    out.push('}');
+                }
+            }
+        }
+        out.push_str("],\"check\":");
+        match &self.check {
+            GoalCheck::GlobalEquals { global, value } => {
+                out.push_str("{\"kind\":\"global-equals\",\"global\":");
+                push_json_str(&mut out, global);
+                out.push_str(&format!(",\"value\":{value}}}"));
+            }
+            GoalCheck::GlobalAtLeast { global, value } => {
+                out.push_str("{\"kind\":\"global-at-least\",\"global\":");
+                push_json_str(&mut out, global);
+                out.push_str(&format!(",\"value\":{value}}}"));
+            }
+            GoalCheck::OutputContainsGlobal { global } => {
+                out.push_str("{\"kind\":\"output-contains-global\",\"global\":");
+                push_json_str(&mut out, global);
+                out.push('}');
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// An internal (unnamed-slot) write: (func, slot index, offset, width,
+/// value).
+type RawWrite = (FuncId, usize, i64, u64, SymValue);
+
+/// How a pointer operand is materialized at a gadget: directly from a
+/// slot word, or selected out of a pointer table.
+enum PtrShape {
+    /// The pointer is the content of `slot` at byte `offset`.
+    Direct { slot: usize, offset: i64 },
+    /// The pointer is loaded from table slot `table` (entries start at
+    /// byte `base`, `scale` bytes apart) at the index held in
+    /// `sel_slot[sel_off..sel_off+sel_width]`.
+    Table {
+        table: usize,
+        base: i64,
+        scale: i64,
+        sel_slot: usize,
+        sel_off: i64,
+        sel_width: u64,
+    },
+}
+
+/// One statically-known pointer-table entry.
+#[derive(PartialEq, Eq)]
+enum TableEntry {
+    /// Entry holds the address of a global.
+    GlobalRef(String),
+    /// Entry holds the address of a stack slot of the same function.
+    SlotRef(usize),
+}
+
+/// Search `report` for payload plans achieving `goal`. Deterministic:
+/// plans come out ordered by chain/gadget position, deduplicated by
+/// content.
+pub fn synthesize(m: &Module, report: &ChainReport, goal: &Goal) -> Vec<PayloadPlan> {
+    let resolutions: Vec<Resolution> = m
+        .iter_funcs()
+        .map(|(_, f)| Resolution::compute(f))
+        .collect();
+    let mut plans = Vec::new();
+    let mut seen = HashSet::new();
+    for chain in &report.chains {
+        let steered: HashSet<(u32, usize)> = chain
+            .steered
+            .iter()
+            .map(|s| (s.func_id.0, s.slot_idx))
+            .collect();
+        for g in &chain.gadgets {
+            let f = m.func(g.func_id);
+            let res = &resolutions[g.func_id.0 as usize];
+            let bid = BlockId(g.block);
+            let inst = &f.block(bid).insts[g.inst];
+            let Some((mut writes, check)) =
+                plan_gadget(m, f, res, g.func_id, bid, g.inst, inst, goal)
+            else {
+                continue;
+            };
+            // Schedule the gadget's enabling conditions, unless a goal
+            // write already covers the compared word (then the VM run
+            // decides whether the goal value satisfies the condition).
+            let mut ok = true;
+            for c in &g.conds {
+                let covered = writes.iter().any(|(wf, ws, wo, ww, _)| {
+                    *wf == g.func_id && *ws == c.slot_idx && overlaps(*wo, *ww, c.offset, c.width)
+                });
+                if covered {
+                    continue;
+                }
+                if !fits(c.satisfy, c.width) {
+                    ok = false;
+                    break;
+                }
+                writes.push((
+                    g.func_id,
+                    c.slot_idx,
+                    c.offset,
+                    c.width,
+                    SymValue::Int(c.satisfy),
+                ));
+            }
+            if !ok {
+                continue;
+            }
+            // Every write must land in a steered slot, fit its width,
+            // and not conflict with a sibling write.
+            writes.sort_by_key(|w| (w.0 .0, w.1, w.2));
+            writes.dedup();
+            if !validate_writes(&writes, &steered) {
+                continue;
+            }
+            let plan = render_plan(m, &resolutions, chain, goal, writes, check);
+            let key = plan.to_json();
+            if seen.insert(key) {
+                plans.push(plan);
+            }
+        }
+    }
+    plans
+}
+
+/// Whether `v` is representable in `width` bytes as stamped (LE,
+/// unsigned for narrow writes).
+fn fits(v: i64, width: u64) -> bool {
+    if width >= 8 {
+        return true;
+    }
+    (0..1i64 << (8 * width)).contains(&v)
+}
+
+fn overlaps(ao: i64, aw: u64, bo: i64, bw: u64) -> bool {
+    ao < bo + bw as i64 && bo < ao + aw as i64
+}
+
+/// All writes steered, widths respected, no conflicting overlaps.
+fn validate_writes(writes: &[RawWrite], steered: &HashSet<(u32, usize)>) -> bool {
+    for (i, (wf, ws, wo, ww, wv)) in writes.iter().enumerate() {
+        if !steered.contains(&(wf.0, *ws)) {
+            return false;
+        }
+        if let SymValue::Int(v) = wv {
+            if !fits(*v, *ww) {
+                return false;
+            }
+        } else if *ww != 8 {
+            return false; // addresses are always full words
+        }
+        for (xf, xs, xo, xw, xv) in writes.iter().skip(i + 1) {
+            if wf == xf && ws == xs && overlaps(*wo, *ww, *xo, *xw) && (wo, ww, wv) != (xo, xw, xv)
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn render_plan(
+    m: &Module,
+    resolutions: &[Resolution],
+    chain: &Chain,
+    goal: &Goal,
+    writes: Vec<RawWrite>,
+    check: GoalCheck,
+) -> PayloadPlan {
+    let writes = writes
+        .into_iter()
+        .map(|(wf, ws, wo, ww, wv)| PlanWrite {
+            func: m.func(wf).name.clone(),
+            slot: resolutions[wf.0 as usize].slots.get(ws).name.clone(),
+            offset: wo,
+            width: ww,
+            value: wv,
+        })
+        .collect();
+    PayloadPlan {
+        goal: goal.render(),
+        entry_func: chain.entry.func.clone(),
+        entry_slot: chain.entry.slot.clone(),
+        mechanic: chain.entry.mechanic,
+        feed: chain.entry.feed.clone(),
+        lifted: chain.entry.lifted_from.is_some(),
+        writes,
+        check,
+    }
+}
+
+/// Plan the goal against one reached gadget: which steered words must
+/// hold which values for THIS instruction to carry out the goal.
+#[allow(clippy::too_many_arguments)]
+fn plan_gadget(
+    m: &Module,
+    f: &Function,
+    res: &Resolution,
+    fid: FuncId,
+    bid: BlockId,
+    idx: usize,
+    inst: &Inst,
+    goal: &Goal,
+) -> Option<(Vec<RawWrite>, GoalCheck)> {
+    match goal {
+        Goal::Flip {
+            global,
+            value,
+            accumulate,
+        } => {
+            let Inst::Store { ptr, val, .. } = inst else {
+                return None;
+            };
+            let Base::Global(gid) = res.value(*ptr).base else {
+                return None;
+            };
+            if &m.global(gid).name != global {
+                return None;
+            }
+            if *accumulate {
+                if *value < 1 {
+                    return None; // GlobalAtLeast needs a positive floor
+                }
+                let v = strip_casts(f, *val);
+                let Inst::Bin {
+                    op: BinOp::Add,
+                    lhs,
+                    rhs,
+                    ..
+                } = find_def(f, v.as_reg()?)?
+                else {
+                    return None;
+                };
+                let reloads = |side: Value| -> bool {
+                    let s = strip_casts(f, side);
+                    matches!(
+                        s.as_reg().and_then(|r| find_def(f, r)),
+                        Some(Inst::Load { ptr, .. })
+                            if matches!(res.value(ptr).base, Base::Global(g2) if g2 == gid)
+                    )
+                };
+                let other = if reloads(lhs) {
+                    rhs
+                } else if reloads(rhs) {
+                    lhs
+                } else {
+                    return None;
+                };
+                let (slot, off, width) = slot_load(f, res, other)?;
+                Some((
+                    vec![(fid, slot, off, width, SymValue::Int(*value))],
+                    GoalCheck::GlobalAtLeast {
+                        global: global.clone(),
+                        value: *value,
+                    },
+                ))
+            } else {
+                let (slot, off, width) = slot_load(f, res, *val)?;
+                Some((
+                    vec![(fid, slot, off, width, SymValue::Int(*value))],
+                    GoalCheck::GlobalEquals {
+                        global: global.clone(),
+                        value: *value,
+                    },
+                ))
+            }
+        }
+        Goal::Redirect {
+            func,
+            slot,
+            global,
+            value,
+        } => {
+            if &f.name != func {
+                return None;
+            }
+            m.globals.iter().find(|g| &g.name == global)?;
+            let Inst::Store { ptr, val, .. } = inst else {
+                return None;
+            };
+            let PtrShape::Direct {
+                slot: ps,
+                offset: po,
+            } = effective_ptr(f, res, bid, idx, *ptr, 6)?
+            else {
+                return None;
+            };
+            if &res.slots.get(ps).name != slot {
+                return None;
+            }
+            let mut writes = vec![(fid, ps, po, 8, SymValue::GlobalAddr(global.clone()))];
+            match slot_load(f, res, *val) {
+                Some((vs, vo, vw)) => {
+                    writes.push((fid, vs, vo, vw, SymValue::Int(*value)));
+                }
+                None => {
+                    // The stored value is fixed; only a matching goal
+                    // value is plannable.
+                    if res.const_of(*val) != Some(*value) {
+                        return None;
+                    }
+                }
+            }
+            Some((
+                writes,
+                GoalCheck::GlobalEquals {
+                    global: global.clone(),
+                    value: *value,
+                },
+            ))
+        }
+        Goal::Leak { global } => {
+            m.globals.iter().find(|g| &g.name == global)?;
+            let printed = printed_slots(f, res);
+            let check = GoalCheck::OutputContainsGlobal {
+                global: global.clone(),
+            };
+            match inst {
+                // memcpy(printed_buf, p, n): aim p at the secret.
+                Inst::Call {
+                    callee: Callee::Intrinsic(Intrinsic::Memcpy),
+                    args,
+                    ..
+                } => {
+                    let Base::Slot { slot: d, .. } = res.value(args[0]).base else {
+                        return None;
+                    };
+                    if !printed.contains(&d) {
+                        return None;
+                    }
+                    let writes = point_at_global(m, f, res, fid, bid, idx, args[1], global)?;
+                    Some((writes, check))
+                }
+                // *d = *s copy block: aim d at a printed slot (via its
+                // table selector) and s at the secret.
+                Inst::Store { ptr, val, .. } => {
+                    let PtrShape::Table {
+                        table,
+                        base,
+                        scale,
+                        sel_slot,
+                        sel_off,
+                        sel_width,
+                    } = effective_ptr(f, res, bid, idx, *ptr, 6)?
+                    else {
+                        return None;
+                    };
+                    let entries = table_entries(m, f, res, table, base, scale);
+                    let j = unique_index(
+                        &entries,
+                        |e| matches!(e, TableEntry::SlotRef(s) if printed.contains(s)),
+                    )?;
+                    let mut writes = vec![(fid, sel_slot, sel_off, sel_width, SymValue::Int(j))];
+                    let v = strip_casts(f, *val);
+                    let Inst::Load { ptr: vp, .. } = find_def(f, v.as_reg()?)? else {
+                        return None;
+                    };
+                    writes.extend(point_at_global(m, f, res, fid, bid, idx, vp, global)?);
+                    Some((writes, check))
+                }
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Writes making the pointer value `pv` (as used at `bid`/`idx`) point
+/// at `global`: plant the address directly, or select the right table
+/// entry.
+#[allow(clippy::too_many_arguments)]
+fn point_at_global(
+    m: &Module,
+    f: &Function,
+    res: &Resolution,
+    fid: FuncId,
+    bid: BlockId,
+    idx: usize,
+    pv: Value,
+    global: &str,
+) -> Option<Vec<RawWrite>> {
+    match effective_ptr(f, res, bid, idx, pv, 6)? {
+        PtrShape::Direct { slot, offset } => Some(vec![(
+            fid,
+            slot,
+            offset,
+            8,
+            SymValue::GlobalAddr(global.to_string()),
+        )]),
+        PtrShape::Table {
+            table,
+            base,
+            scale,
+            sel_slot,
+            sel_off,
+            sel_width,
+        } => {
+            let entries = table_entries(m, f, res, table, base, scale);
+            let k = unique_index(
+                &entries,
+                |e| matches!(e, TableEntry::GlobalRef(g) if g == global),
+            )?;
+            Some(vec![(fid, sel_slot, sel_off, sel_width, SymValue::Int(k))])
+        }
+    }
+}
+
+/// The single table index matching `pred`; `None` when absent or
+/// ambiguous.
+fn unique_index(entries: &[(i64, TableEntry)], pred: impl Fn(&TableEntry) -> bool) -> Option<i64> {
+    let mut hits = entries.iter().filter(|(_, e)| pred(e)).map(|(i, _)| *i);
+    let first = hits.next()?;
+    if hits.next().is_some() {
+        return None;
+    }
+    Some(first)
+}
+
+/// Resolve how the pointer value `v`, used at (`bid`, `idx`), is
+/// materialized: follow casts and constant geps, follow loads back to
+/// the slot word holding the pointer (with same-block store-to-load
+/// forwarding, so `long *d = tbl[i]; d[0] = ..` resolves to the table),
+/// and decode `table[selector]` accesses.
+fn effective_ptr(
+    f: &Function,
+    res: &Resolution,
+    bid: BlockId,
+    idx: usize,
+    v: Value,
+    depth: u32,
+) -> Option<PtrShape> {
+    if depth == 0 {
+        return None;
+    }
+    let v = strip_casts(f, v);
+    let r = v.as_reg()?;
+    match find_def(f, r)? {
+        Inst::Load { ptr, .. } => {
+            if let Base::Slot {
+                slot,
+                offset: Some(off),
+            } = res.value(ptr).base
+            {
+                // A store to the same word earlier in the SAME block
+                // supersedes the slot: the load observes that value.
+                // Cross-block stores stay opaque (they may be
+                // conditional), leaving the slot word — which is what
+                // the payload then overwrites.
+                let b = f.block(bid);
+                for (i, inst) in b.insts.iter().enumerate().take(idx).rev() {
+                    if let Inst::Store { ptr: p2, val, .. } = inst {
+                        if matches!(res.value(*p2).base,
+                            Base::Slot { slot: s2, offset: Some(o2) } if s2 == slot && o2 == off)
+                        {
+                            return effective_ptr(f, res, bid, i, *val, depth - 1);
+                        }
+                    }
+                }
+                return Some(PtrShape::Direct { slot, offset: off });
+            }
+            table_access(f, res, ptr)
+        }
+        Inst::Gep { base, offset, .. } => {
+            // Constant extra offsets (field accesses off the same
+            // pointer) do not change which word must be corrupted.
+            res.const_of(offset)?;
+            effective_ptr(f, res, bid, idx, base, depth - 1)
+        }
+        _ => None,
+    }
+}
+
+/// Decode a `table[selector]` pointer load: gep of a constant-offset
+/// slot base with a `selector * scale` (or bare selector) offset, where
+/// the selector is itself a constant-offset slot load.
+fn table_access(f: &Function, res: &Resolution, ptr: Value) -> Option<PtrShape> {
+    let p = strip_casts(f, ptr);
+    let Inst::Gep { base, offset, .. } = find_def(f, p.as_reg()?)? else {
+        return None;
+    };
+    let Base::Slot {
+        slot: table,
+        offset: Some(tbase),
+    } = res.value(base).base
+    else {
+        return None;
+    };
+    let off = strip_casts(f, offset);
+    let (sel, scale) = match off.as_reg().and_then(|r| find_def(f, r)) {
+        Some(Inst::Bin {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+            ..
+        }) => {
+            if let Some(c) = res.const_of(rhs) {
+                (lhs, c)
+            } else if let Some(c) = res.const_of(lhs) {
+                (rhs, c)
+            } else {
+                return None;
+            }
+        }
+        _ => (off, 1),
+    };
+    if scale <= 0 {
+        return None;
+    }
+    let (sel_slot, sel_off, sel_width) = slot_load(f, res, sel)?;
+    Some(PtrShape::Table {
+        table,
+        base: tbase,
+        scale,
+        sel_slot,
+        sel_off,
+        sel_width,
+    })
+}
+
+/// Statically-known entries of pointer table `table`: constant-offset
+/// stores of global or slot addresses, keyed by entry index.
+fn table_entries(
+    m: &Module,
+    f: &Function,
+    res: &Resolution,
+    table: usize,
+    base: i64,
+    scale: i64,
+) -> Vec<(i64, TableEntry)> {
+    let mut out = Vec::new();
+    for (_, b) in f.iter_blocks() {
+        for inst in &b.insts {
+            let Inst::Store { ptr, val, .. } = inst else {
+                continue;
+            };
+            let Base::Slot {
+                slot,
+                offset: Some(off),
+            } = res.value(*ptr).base
+            else {
+                continue;
+            };
+            if slot != table || off < base || (off - base) % scale != 0 {
+                continue;
+            }
+            let idx = (off - base) / scale;
+            // Globals resolve by name; slot addresses by index.
+            let entry = match res.value(*val).base {
+                Base::Global(g) => TableEntry::GlobalRef(m.global(g).name.clone()),
+                Base::Slot {
+                    slot: s,
+                    offset: Some(0),
+                } => TableEntry::SlotRef(s),
+                _ => continue,
+            };
+            out.push((idx, entry));
+        }
+    }
+    out.sort_by_key(|(i, _)| *i);
+    out
+}
+
+/// Slots whose contents reach program output through `print_str`.
+fn printed_slots(f: &Function, res: &Resolution) -> HashSet<usize> {
+    let mut out = HashSet::new();
+    for (_, b) in f.iter_blocks() {
+        for inst in &b.insts {
+            if let Inst::Call {
+                callee: Callee::Intrinsic(Intrinsic::PrintStr),
+                args,
+                ..
+            } = inst
+            {
+                if let Some(a) = args.first() {
+                    if let Base::Slot { slot, .. } = res.value(*a).base {
+                        out.insert(slot);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plans_for(src: &str, goal: &str) -> Vec<PayloadPlan> {
+        let m = smokestack_minic::compile(src).expect("compiles");
+        let rep = ChainReport::analyze(&m);
+        let goal = Goal::parse(goal).expect("goal parses");
+        synthesize(&m, &rep, &goal)
+    }
+
+    #[test]
+    fn goal_language_roundtrips() {
+        for s in [
+            "leak private_key",
+            "flip bot_commands += 777",
+            "flip granted = 4242",
+            "redirect handle:p -> granted = 7",
+        ] {
+            let g = Goal::parse(s).expect(s);
+            assert_eq!(g.render(), s);
+            assert_eq!(Goal::parse(&g.render()), Some(g));
+        }
+        assert_eq!(Goal::parse("leak"), None);
+        assert_eq!(Goal::parse("flip x"), None);
+        assert_eq!(Goal::parse("redirect f:p granted = 1"), None);
+    }
+
+    /// Wireshark shape: accumulate gadget guarded by a command compare,
+    /// reached from a callee length-header overflow.
+    const ACCUMULATE: &str = r#"
+        long bot_commands = 0;
+        void dissect(long tag) {
+            long reqlen = 0;
+            char pd[64];
+            get_input(&reqlen, 8);
+            get_input(pd, reqlen);
+        }
+        void render(long tag) {
+            long cell = 3;
+            long cmd = 0;
+            long arg = 0;
+            while (cell > 0) {
+                dissect(tag + 1);
+                if (cmd == 777) { bot_commands = bot_commands + arg; }
+                cmd = 0;
+                cell = cell - 1;
+            }
+        }
+        int main() { render(1); return 0; }
+    "#;
+
+    #[test]
+    fn flip_accumulate_schedules_cond_and_value() {
+        let plans = plans_for(ACCUMULATE, "flip bot_commands += 5");
+        assert_eq!(plans.len(), 1, "{plans:#?}");
+        let p = &plans[0];
+        assert_eq!(p.entry_func, "dissect");
+        assert_eq!(p.entry_slot, "pd");
+        assert_eq!(p.feed.as_deref(), Some("reqlen"));
+        assert_eq!(p.mechanic, Mechanic::LinearSweep);
+        let w = |slot: &str| {
+            p.writes
+                .iter()
+                .find(|w| w.slot == slot)
+                .unwrap_or_else(|| panic!("write to {slot}: {:#?}", p.writes))
+        };
+        assert_eq!(w("arg").value, SymValue::Int(5));
+        assert_eq!(w("cmd").value, SymValue::Int(777));
+        assert_eq!(w("cell").value, SymValue::Int(1)); // loop stays alive
+        assert_eq!(
+            p.check,
+            GoalCheck::GlobalAtLeast {
+                global: "bot_commands".into(),
+                value: 5
+            }
+        );
+    }
+
+    #[test]
+    fn flip_unknown_global_yields_nothing() {
+        assert!(plans_for(ACCUMULATE, "flip other += 5").is_empty());
+    }
+
+    /// RIPE indirect shape: overflow corrupts a data pointer + value.
+    const INDIRECT: &str = r#"
+        long granted = 0;
+        void handle(long tag) {
+            long v = 0;
+            long *p = 0;
+            char buf[32];
+            get_input(buf, 256);
+            if (p != 0) { *p = v; }
+        }
+        int main() { handle(9); return 0; }
+    "#;
+
+    #[test]
+    fn redirect_plants_pointer_and_value() {
+        let plans = plans_for(INDIRECT, "redirect handle:p -> granted = 4242");
+        assert_eq!(plans.len(), 1, "{plans:#?}");
+        let p = &plans[0];
+        assert_eq!(p.entry_slot, "buf");
+        assert!(!p.lifted);
+        assert!(p.feed.is_none());
+        let ptr = p.writes.iter().find(|w| w.slot == "p").expect("p write");
+        assert_eq!(ptr.value, SymValue::GlobalAddr("granted".into()));
+        assert_eq!(ptr.width, 8);
+        let val = p.writes.iter().find(|w| w.slot == "v").expect("v write");
+        assert_eq!(val.value, SymValue::Int(4242));
+        // The `p != 0` guard is covered by the pointer write itself:
+        // no third write is scheduled for it.
+        assert_eq!(p.writes.len(), 2, "{:#?}", p.writes);
+    }
+
+    /// ProFTPD shape: leak through a pointer-walk + memcpy-to-printed
+    /// buffer.
+    const DIRECT_LEAK: &str = r#"
+        char secret_key[40] = "KEY-0123456789";
+        long c1 = 0;
+        void sreplace(long tag) {
+            long n = 0;
+            char fmt[128];
+            get_input(&n, 8);
+            get_input(fmt, n);
+        }
+        void cmd_loop(long tag) {
+            long cur = 0;
+            char out[48];
+            long nreq = 2;
+            long emit = 0;
+            cur = &c1;
+            while (nreq > 0) {
+                sreplace(tag + 1);
+                if (emit != 0) {
+                    memcpy(out, cur, 40);
+                    print_str(out);
+                }
+                emit = 0;
+                nreq = nreq - 1;
+            }
+        }
+        int main() { c1 = &secret_key; cmd_loop(3); return 0; }
+    "#;
+
+    #[test]
+    fn leak_direct_pointer_redirects_cursor() {
+        let plans = plans_for(DIRECT_LEAK, "leak secret_key");
+        assert_eq!(plans.len(), 1, "{plans:#?}");
+        let p = &plans[0];
+        assert_eq!(p.entry_func, "sreplace");
+        let cur = p.writes.iter().find(|w| w.slot == "cur").expect("cur");
+        assert_eq!(cur.value, SymValue::GlobalAddr("secret_key".into()));
+        assert!(p
+            .writes
+            .iter()
+            .any(|w| w.slot == "emit" && w.value == SymValue::Int(1)));
+        assert!(p
+            .writes
+            .iter()
+            .any(|w| w.slot == "nreq" && w.value == SymValue::Int(1)));
+        assert_eq!(
+            p.check,
+            GoalCheck::OutputContainsGlobal {
+                global: "secret_key".into()
+            }
+        );
+    }
+
+    /// librelp shape: copy block through a pointer table, selectors in a
+    /// control buffer, cursor-jump entry.
+    const TABLE_LEAK: &str = r#"
+        char private_key[32] = "SK-SECRET";
+        long dummy = 0;
+        void chk_peer(long tag) {
+            char allNames[256];
+            char szAltName[4096];
+            long iAllNames = 0;
+            long bFound = 0;
+            while (bFound == 0) {
+                long len = get_input(szAltName, 4095);
+                if (len == 0) {
+                    bFound = 1;
+                } else {
+                    szAltName[len] = 0;
+                    iAllNames = iAllNames + snprintf_cat(
+                        allNames + iAllNames,
+                        256 - iAllNames,
+                        "DNSname: %s; ",
+                        szAltName);
+                }
+            }
+        }
+        void lstn_init(long tag) {
+            char ctl[8];
+            long tbl[4];
+            char out[64];
+            ctl[0] = 1;
+            ctl[1] = 0;
+            ctl[2] = 0;
+            ctl[3] = 0;
+            tbl[0] = &dummy;
+            tbl[1] = &private_key;
+            tbl[2] = &out;
+            tbl[3] = 0;
+            while (ctl[0] > 0) {
+                chk_peer(tag + 1);
+                if (ctl[1] == 1) {
+                    long *d = tbl[ctl[2]];
+                    long *s = tbl[ctl[3]];
+                    d[0] = s[0];
+                    d[1] = s[1];
+                    d[2] = s[2];
+                    d[3] = s[3];
+                }
+                ctl[1] = 0;
+                ctl[0] = ctl[0] - 1;
+            }
+            print_str(out);
+        }
+        int main() { lstn_init(5); return 0; }
+    "#;
+
+    #[test]
+    fn leak_table_selectors_cursor_jump() {
+        let plans = plans_for(TABLE_LEAK, "leak private_key");
+        // The four copy stores collapse into one deduplicated plan.
+        assert_eq!(plans.len(), 1, "{plans:#?}");
+        let p = &plans[0];
+        assert_eq!(p.mechanic, Mechanic::CursorJump);
+        assert_eq!(p.entry_slot, "allNames");
+        let at = |off: i64| {
+            p.writes
+                .iter()
+                .find(|w| w.slot == "ctl" && w.offset == off)
+                .unwrap_or_else(|| panic!("ctl+{off}: {:#?}", p.writes))
+        };
+        assert_eq!(at(0).value, SymValue::Int(1)); // while (ctl[0] > 0)
+        assert_eq!(at(1).value, SymValue::Int(1)); // if (ctl[1] == 1)
+        assert_eq!(at(2).value, SymValue::Int(2)); // dst selector -> out
+        assert_eq!(at(3).value, SymValue::Int(1)); // src selector -> key
+        assert!(p.writes.iter().all(|w| w.slot == "ctl" && w.width == 1));
+    }
+
+    #[test]
+    fn plans_are_deterministic_json() {
+        let m = smokestack_minic::compile(TABLE_LEAK).unwrap();
+        let goal = Goal::parse("leak private_key").unwrap();
+        let a: Vec<String> = synthesize(&m, &ChainReport::analyze(&m), &goal)
+            .iter()
+            .map(|p| p.to_json())
+            .collect();
+        let b: Vec<String> = synthesize(&m, &ChainReport::analyze(&m), &goal)
+            .iter()
+            .map(|p| p.to_json())
+            .collect();
+        assert_eq!(a, b);
+        assert!(a[0].starts_with("{\"goal\":"));
+    }
+}

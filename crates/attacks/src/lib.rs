@@ -25,6 +25,7 @@ pub mod intel;
 pub mod librelp;
 pub mod listing1;
 pub mod proftpd;
+pub mod synth;
 pub mod synthetic;
 pub mod wireshark;
 
@@ -600,11 +601,15 @@ pub fn standard_suite() -> Vec<Box<dyn Attack>> {
 }
 
 /// Look up an attack by its report-row name (the `name()` of every
-/// member of [`standard_suite`] plus the adaptive extension). Campaign
-/// plans reference attacks by these names.
+/// member of [`standard_suite`], the adaptive extension, and the
+/// `synth-*` synthesized catalog). Campaign plans reference attacks by
+/// these names.
 pub fn by_name(name: &str) -> Option<Box<dyn Attack>> {
     if name == "adaptive-same-invocation" || name == "adaptive" {
         return Some(Box::new(adaptive::AdaptiveAttack));
+    }
+    if name.starts_with("synth-") {
+        return synth::by_name(name).map(|a| Box::new(a) as Box<dyn Attack>);
     }
     standard_suite().into_iter().find(|a| a.name() == name)
 }

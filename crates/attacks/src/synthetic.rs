@@ -265,7 +265,10 @@ impl Attack for DirectStack {
 /// store writes the attacker's value to the attacker's address.
 pub struct IndirectStack;
 
-const INDIRECT_STACK_SRC: &str = r#"
+/// The indirect-stack victim: the overflow corrupts a data pointer
+/// and a value; the program's own `*p = v` store finishes the job.
+/// Shared with the payload synthesizer as a redirect-goal target.
+pub const INDIRECT_STACK_SRC: &str = r#"
     long granted = 0;
 
     void handle(long tag) {

@@ -6,6 +6,7 @@
 //! worker count or scheduling, so campaign aggregates are bit-stable
 //! across `--jobs` settings and across checkpoint/resume boundaries.
 
+use smokestack_attacks::Attack;
 use smokestack_defenses::DefenseKind;
 use smokestack_srng::SchemeKind;
 
@@ -158,11 +159,45 @@ impl CampaignPlan {
         }
     }
 
+    /// The synthesized-payload evaluation plan: every `synth-*` catalog
+    /// attack against the unprotected baseline (does the planner's
+    /// payload still work?) and against Smokestack/AES-10 (is it
+    /// contained?). Baseline cells are small because the unprotected
+    /// layout is deterministic; AES-10 cells carry enough trials for
+    /// the Wilson bounds in [`crate::matrix::synth_bounds`], with extra
+    /// budget for the librelp cursor jump's brute-force residual.
+    pub fn matrix_synth() -> CampaignPlan {
+        let mut cells = Vec::new();
+        for attack in smokestack_attacks::synth::catalog() {
+            cells.push(PlanCell {
+                attack: attack.name().into(),
+                defense: DefenseKind::None,
+                trials: 8,
+            });
+            // The librelp cursor jump and the small-frame chain corpus
+            // both retain a brute-force residual under randomization,
+            // so their caps need the tighter interval of more trials.
+            let residual = attack.name().contains("librelp") || attack.name().contains("chains");
+            let trials = if residual { 120 } else { 40 };
+            cells.push(PlanCell {
+                attack: attack.name().into(),
+                defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+                trials,
+            });
+        }
+        CampaignPlan {
+            name: "matrix-synth".into(),
+            master_seed: 0x5d0_7e51,
+            cells,
+        }
+    }
+
     /// Look up a built-in plan by name.
     pub fn builtin(name: &str) -> Option<CampaignPlan> {
         match name {
             "smoke" => Some(CampaignPlan::smoke()),
             "matrix" => Some(CampaignPlan::matrix()),
+            "matrix-synth" => Some(CampaignPlan::matrix_synth()),
             "full" => Some(CampaignPlan::full()),
             _ => None,
         }
@@ -308,7 +343,7 @@ mod tests {
 
     #[test]
     fn builtin_plans_resolve_and_are_runnable() {
-        for name in ["smoke", "matrix", "full"] {
+        for name in ["smoke", "matrix", "matrix-synth", "full"] {
             let plan = CampaignPlan::builtin(name).unwrap();
             assert_eq!(plan.name, name);
             assert!(plan.total_trials() > 0);

@@ -130,26 +130,34 @@ impl HardenReport {
     }
 }
 
-/// Mark the slots of an analyzer-proven all-safe frame non-randomizable,
-/// so discovery skips the function entirely. Returns the pruned slot
-/// names in entry-block order (empty when any slot is unsafe — pruning
-/// is all-or-nothing per function, see
-/// [`smokestack_analyzer::prunable_slots`]).
-fn prune_safe(f: &mut Function) -> Vec<String> {
-    let prunable = smokestack_analyzer::prunable_slots(f);
-    let mut names = Vec::new();
-    for idx in prunable {
-        if let Inst::Alloca {
-            name, randomizable, ..
-        } = &mut f.block_mut(Function::ENTRY).insts[idx]
-        {
-            if *randomizable {
-                *randomizable = false;
-                names.push(name.clone());
+/// Mark the slots of analyzer-proven all-safe frames non-randomizable,
+/// so discovery skips those functions entirely. Safety is judged with
+/// the interprocedural escape summaries
+/// ([`smokestack_analyzer::prunable_slots_module`]): a slot whose
+/// address escapes only into provably-safe direct callees stays
+/// prunable. Returns pruned slot names in entry-block order, keyed by
+/// function name (pruning is all-or-nothing per frame).
+fn prune_safe(module: &mut Module) -> HashMap<String, Vec<String>> {
+    let prunable = smokestack_analyzer::prunable_slots_module(module);
+    let mut pruned = HashMap::new();
+    for (f, idxs) in module.funcs.iter_mut().zip(prunable) {
+        let mut names = Vec::new();
+        for idx in idxs {
+            if let Inst::Alloca {
+                name, randomizable, ..
+            } = &mut f.block_mut(Function::ENTRY).insts[idx]
+            {
+                if *randomizable {
+                    *randomizable = false;
+                    names.push(name.clone());
+                }
             }
         }
+        if !names.is_empty() {
+            pruned.insert(f.name.clone(), names);
+        }
     }
-    names
+    pruned
 }
 
 /// Harden every function of `module` in place.
@@ -165,15 +173,11 @@ pub fn harden(
 ) -> Result<HardenReport, InstrumentError> {
     // Phase 0 (optional): analysis-driven pruning of provably
     // non-attacker-reachable slots.
-    let mut pruned = HashMap::new();
-    if cfg.prune_safe_slots {
-        for f in &mut module.funcs {
-            let names = prune_safe(f);
-            if !names.is_empty() {
-                pruned.insert(f.name.clone(), names);
-            }
-        }
-    }
+    let pruned = if cfg.prune_safe_slots {
+        prune_safe(module)
+    } else {
+        HashMap::new()
+    };
 
     // Phase 1: discovery (paper's analysis passes).
     let mut frames = Vec::new(); // (func index, FrameInfo, builder key)

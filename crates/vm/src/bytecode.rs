@@ -18,7 +18,7 @@
 //! * every instruction's cost-model row is interned into the
 //!   instruction itself, so the dispatcher never consults the
 //!   [`CostModel`] at runtime;
-//! * module-level prescans the interpreter performs per `Vm::new`
+//! * module-level prescans the interpreter performs per VM construction
 //!   (global layout, slab classification, P-BOX draw recovery) are
 //!   captured in the [`CompiledModule`] and shared by every VM spawned
 //!   from it.
@@ -193,7 +193,7 @@ pub(crate) struct BcFunc {
     pub(crate) param_count: u32,
 }
 
-/// Module-level layout the interpreter computes in `Vm::new`: global
+/// Module-level layout the interpreter computes per VM: global
 /// addresses, initializer blits, and segment high-water marks. The
 /// layout depends only on the module (never on `VmConfig`), so it is
 /// computed once here and reused by both backends.
@@ -205,7 +205,7 @@ pub(crate) struct GlobalLayout {
     pub(crate) data_used: u64,
 }
 
-/// Lay out the module's globals exactly as `Vm::new` historically did:
+/// Lay out the module's globals exactly as the interpreter historically did:
 /// read-only globals pack from `RODATA_BASE`, mutable globals from
 /// `DATA_BASE + 8` (the first eight data bytes hold the pseudo-PRNG
 /// state), each aligned to its type.

@@ -333,23 +333,6 @@ pub struct Vm {
 }
 
 impl Vm {
-    /// Load `module` into a fresh address space. Accepts either an owned
-    /// [`Module`] or an [`Arc<Module>`]; passing a shared `Arc` makes VM
-    /// construction O(1) in module size.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the globals do not fit the configured segments.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `vm::Executor::for_module(..)` — it owns compiled-module \
-                caching and VM reuse across runs; `Vm::new` recompiles the \
-                bytecode image on every call for unshared modules"
-    )]
-    pub fn new(module: impl Into<Arc<Module>>, cfg: VmConfig) -> Vm {
-        Vm::new_internal(module.into(), cfg, None)
-    }
-
     /// The real constructor. `compiled` (if provided by an
     /// [`crate::Executor`]) must have been lowered from this exact
     /// module; it is revalidated against the config's cost model and

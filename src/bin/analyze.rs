@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! analyze [--json] [--deny-warnings] [--workloads] [--attacks]
-//!         [--prune-compare] [paths...]
+//!         [--prune-compare] [--chains] [paths...]
 //! ```
 //!
 //! * `paths` — `.mc`/`.c` files are compiled as MiniC (with source
@@ -18,6 +18,11 @@
 //! * `--prune-compare` — additionally report, per workload, what
 //!   `prune_safe_slots` would save (P-BOX entries and bytes) and the
 //!   entropy floor before/after.
+//! * `--chains` — additionally run the interprocedural gadget-chain
+//!   pass on every input and report the chains (text, or one
+//!   `{"input":..,"chains":..}` line per input with `--json`; the
+//!   chain record schema is `smokestack-chains/1`). Chains count as
+//!   warnings for `--deny-warnings` purposes.
 //!
 //! Exit status: 0 when clean, 1 on findings at or above the threshold,
 //! 2 on usage or input errors.
@@ -36,11 +41,12 @@ struct Options {
     workloads: bool,
     attacks: bool,
     prune_compare: bool,
+    chains: bool,
     paths: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: analyze [--json] [--deny-warnings] [--workloads] [--attacks] [--prune-compare] [paths...]"
+    "usage: analyze [--json] [--deny-warnings] [--workloads] [--attacks] [--prune-compare] [--chains] [paths...]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -50,6 +56,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         workloads: false,
         attacks: false,
         prune_compare: false,
+        chains: false,
         paths: Vec::new(),
     };
     for a in args {
@@ -59,6 +66,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--workloads" => opts.workloads = true,
             "--attacks" => opts.attacks = true,
             "--prune-compare" => opts.prune_compare = true,
+            "--chains" => opts.chains = true,
             "--help" | "-h" => return Err(usage().to_string()),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag `{flag}`\n{}", usage()))
@@ -230,6 +238,19 @@ fn main() -> ExitCode {
         } else {
             println!("== {} ==", input.name);
             print!("{}", report.render_text());
+        }
+        if opts.chains {
+            let chains = smokestack_analyzer::ChainReport::analyze(&input.module);
+            warnings += chains.chains.len();
+            if opts.json {
+                println!(
+                    "{{\"input\":\"{}\",\"chains\":{}}}",
+                    input.name,
+                    chains.to_json()
+                );
+            } else {
+                print!("{}", chains.render_text());
+            }
         }
     }
     if !inputs.is_empty() && !opts.json {

@@ -1,0 +1,277 @@
+//! `synth` — automated DOP payload synthesis from gadget-chain reports.
+//!
+//! ```text
+//! synth --all [--json]
+//! synth (--target <name> | <file.mc>) --goal "<goal>" [--goal ...]
+//!       [--json] [--no-validate] [--seed S]
+//! ```
+//!
+//! * `--all` — synthesize the built-in catalog (the same population the
+//!   `matrix-synth` campaign plan runs): leak payloads for the librelp
+//!   and ProFTPD analogs plus flip/redirect families over the
+//!   Wireshark, RIPE-indirect and chain-corpus targets. Every payload
+//!   is validated against the unprotected baseline; the run fails
+//!   unless each real-CVE target has at least one validated payload and
+//!   at least 25 payloads validate in total.
+//! * `--target <name>` — synthesize against a built-in victim
+//!   (`librelp`, `proftpd`, `wireshark`, `indirect`, `chains`).
+//! * `<file.mc>` — synthesize against a MiniC source file.
+//! * `--goal` — a goal in the planner's goal language (repeatable):
+//!   `leak <global>`, `flip <global> = <v>`, `flip <global> += <v>`,
+//!   `redirect <func>:<slot> -> <global> = <v>`.
+//! * `--no-validate` — print the static plans without running the VM.
+//! * `--json` — one JSON object per payload:
+//!   `{"name":..,"goal":..,"validated":..,"outcome":..,"plan":{..}}`.
+//!
+//! Exit status: 0 when every requested payload validated (or plans were
+//! produced with `--no-validate`), 1 when synthesis found nothing or a
+//! validation floor was missed, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use smokestack_analyzer::{synthesize, ChainReport, Goal};
+use smokestack_attacks::synth::{catalog, SynthesizedAttack};
+use smokestack_attacks::{Attack, Build};
+use smokestack_defenses::DefenseKind;
+
+struct Options {
+    json: bool,
+    all: bool,
+    validate: bool,
+    seed: u64,
+    target: Option<String>,
+    file: Option<String>,
+    goals: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: synth --all [--json]\n       \
+     synth (--target <name> | <file.mc>) --goal \"<goal>\" [--goal ...] \
+     [--json] [--no-validate] [--seed S]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        all: false,
+        validate: true,
+        seed: 11,
+        target: None,
+        file: None,
+        goals: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--all" => opts.all = true,
+            "--no-validate" => opts.validate = false,
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--seed needs a value\n{}", usage()))?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| format!("bad seed `{v}`\n{}", usage()))?;
+            }
+            "--target" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--target needs a name\n{}", usage()))?;
+                opts.target = Some(v.clone());
+            }
+            "--goal" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--goal needs a value\n{}", usage()))?;
+                opts.goals.push(v.clone());
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{}", usage()))
+            }
+            path => opts.file = Some(path.to_string()),
+        }
+    }
+    if opts.all == (opts.target.is_some() || opts.file.is_some()) {
+        return Err(format!(
+            "pass exactly one of --all, --target, or a source file\n{}",
+            usage()
+        ));
+    }
+    if !opts.all && opts.goals.is_empty() {
+        return Err(format!("at least one --goal is required\n{}", usage()));
+    }
+    Ok(opts)
+}
+
+fn builtin_source(name: &str) -> Option<&'static str> {
+    match name {
+        "librelp" => Some(smokestack_attacks::librelp::SOURCE),
+        "proftpd" => Some(smokestack_attacks::proftpd::SOURCE),
+        "wireshark" => Some(smokestack_attacks::wireshark::SOURCE),
+        "indirect" => Some(smokestack_attacks::synthetic::INDIRECT_STACK_SRC),
+        "chains" => Some(smokestack_attacks::synth::CHAINS_SOURCE),
+        _ => None,
+    }
+}
+
+/// Validate one synthesized attack against the unprotected baseline.
+fn validated(attack: &SynthesizedAttack, seed: u64) -> (bool, String) {
+    let build = Build::new(attack.source(), DefenseKind::None, seed);
+    let out = attack.attempt(&build, seed.wrapping_mul(2) + 1);
+    (out.is_success(), out.to_string())
+}
+
+fn report(attack: &SynthesizedAttack, opts: &Options, ok: Option<(bool, String)>) {
+    if opts.json {
+        let (validated, outcome) = match &ok {
+            Some((v, o)) => (if *v { "true" } else { "false" }.to_string(), o.clone()),
+            None => ("null".to_string(), "not validated".to_string()),
+        };
+        println!(
+            "{{\"name\":\"{}\",\"goal\":\"{}\",\"validated\":{},\"outcome\":\"{}\",\"plan\":{}}}",
+            attack.name(),
+            attack.plan().goal,
+            validated,
+            outcome.replace('"', "'"),
+            attack.plan().to_json()
+        );
+    } else {
+        let verdict = match &ok {
+            Some((true, o)) => format!("validated: {o}"),
+            Some((false, o)) => format!("REJECTED: {o}"),
+            None => "planned (not validated)".to_string(),
+        };
+        println!(
+            "{:<24} {:<40} {}",
+            attack.name(),
+            attack.plan().goal,
+            verdict
+        );
+    }
+}
+
+fn run_all(opts: &Options) -> ExitCode {
+    let mut total_validated = 0usize;
+    let mut failures = 0usize;
+    let mut cve_validated = [0usize; 3];
+    const CVE_TARGETS: [&str; 3] = ["librelp", "proftpd", "wireshark"];
+    for attack in catalog() {
+        let v = if opts.validate {
+            Some(validated(attack, opts.seed))
+        } else {
+            None
+        };
+        if let Some((ok, _)) = &v {
+            if *ok {
+                total_validated += 1;
+                for (i, t) in CVE_TARGETS.iter().enumerate() {
+                    if attack.name().contains(t) {
+                        cve_validated[i] += 1;
+                    }
+                }
+            } else {
+                failures += 1;
+            }
+        }
+        report(attack, opts, v);
+    }
+    if !opts.validate {
+        return ExitCode::SUCCESS;
+    }
+    let mut bad = failures > 0;
+    for (i, t) in CVE_TARGETS.iter().enumerate() {
+        if cve_validated[i] == 0 {
+            eprintln!("synth: no validated payload for real-CVE target `{t}`");
+            bad = true;
+        }
+    }
+    if total_validated < 25 {
+        eprintln!("synth: only {total_validated} validated payloads (floor: 25)");
+        bad = true;
+    }
+    if !opts.json {
+        println!(
+            "total: {total_validated} validated, {failures} rejected, {} planned",
+            catalog().len()
+        );
+    }
+    if bad {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_goals(opts: &Options) -> Result<ExitCode, String> {
+    let source: &'static str = if let Some(t) = &opts.target {
+        builtin_source(t).ok_or_else(|| {
+            format!("unknown target `{t}` (librelp, proftpd, wireshark, indirect, chains)")
+        })?
+    } else {
+        let path = opts.file.as_ref().expect("checked in parse_args");
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        // The attack adapter keeps a `&'static str` source (the built-in
+        // corpus is all literals); a one-shot CLI can afford to leak the
+        // file's text to match.
+        Box::leak(text.into_boxed_str())
+    };
+    let module = smokestack_minic::compile(source).map_err(|e| e.message)?;
+    let chains = ChainReport::analyze(&module);
+    let mut goals = Vec::new();
+    for g in &opts.goals {
+        goals.push(Goal::parse(g).ok_or_else(|| format!("bad goal `{g}`\n{}", usage()))?);
+    }
+
+    let mut planned = 0usize;
+    let mut ok_count = 0usize;
+    for goal in &goals {
+        for (i, plan) in synthesize(&module, &chains, goal).into_iter().enumerate() {
+            planned += 1;
+            let attack = SynthesizedAttack::new(format!("synth-goal-{:02}", i), source, plan);
+            let v = if opts.validate {
+                let r = validated(&attack, opts.seed);
+                if r.0 {
+                    ok_count += 1;
+                }
+                Some(r)
+            } else {
+                ok_count += 1;
+                None
+            };
+            report(&attack, opts, v);
+        }
+    }
+    if planned == 0 {
+        eprintln!("synth: no payload plan found for the requested goal(s)");
+        return Ok(ExitCode::from(1));
+    }
+    Ok(if ok_count > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.all {
+        run_all(&opts)
+    } else {
+        match run_goals(&opts) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("synth: {msg}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

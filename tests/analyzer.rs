@@ -3,9 +3,13 @@
 //! sites, and analysis-driven slot pruning must actually shrink P-BOX
 //! tables without dropping instrumentation where it matters.
 
-use smokestack_repro::analyzer::{analyze_module, GadgetKind};
+use smokestack_repro::analyzer::{analyze_module, ChainReport, GadgetKind};
 use smokestack_repro::core::{harden, EntropyDelta, SmokestackConfig};
 use smokestack_repro::{attacks, workloads};
+
+/// The multi-function chain corpus (also shipped to the synthesizer as
+/// `attacks::synth::CHAINS_SOURCE`).
+const CHAINS_MC: &str = include_str!("../examples/minic/chains.mc");
 
 #[test]
 fn workload_corpus_analyzes_clean() {
@@ -135,4 +139,94 @@ fn pruning_reduces_pbox_entries_on_workloads() {
         "pruning should shrink P-BOX logical entries on at least one workload"
     );
     assert_eq!(grew, 0);
+}
+
+#[test]
+fn chain_corpus_golden_report() {
+    let module = smokestack_repro::minic::compile(CHAINS_MC).unwrap();
+    let report = ChainReport::analyze(&module);
+    // Exactly one chain: the lifted entry through read_packet's
+    // unbounded write into session's inbox.
+    assert_eq!(report.chains.len(), 1, "{}", report.render_text());
+    let chain = &report.chains[0];
+    assert_eq!(chain.entry.func, "session");
+    assert_eq!(chain.entry.slot, "inbox");
+    assert_eq!(chain.entry.lifted_from.as_deref(), Some("read_packet"));
+    assert_eq!(chain.path, ["main", "session"]);
+    // The sweep steers the accumulate gadget's operand and its enabling
+    // condition.
+    let steered: Vec<&str> = chain.steered.iter().map(|s| s.slot.as_str()).collect();
+    assert!(steered.contains(&"amount"), "{steered:?}");
+    assert!(steered.contains(&"mode"), "{steered:?}");
+    // One value-flow gadget (`g_total = g_total + amount`), gated on
+    // `mode == 9`.
+    assert_eq!(chain.gadgets.len(), 1, "{}", report.render_text());
+    let conds = &chain.gadgets[0].conds;
+    assert!(
+        conds.iter().any(|c| c.slot == "mode" && c.satisfy == 9),
+        "{conds:?}"
+    );
+}
+
+#[test]
+fn chain_corpus_rejects_bounded_callee_trap() {
+    // read_header also writes through a passed slot address, but its
+    // extent is bounded (8 bytes into an 8-byte buffer): the
+    // interprocedural summary must keep it out of the entry list.
+    let module = smokestack_repro::minic::compile(CHAINS_MC).unwrap();
+    let report = ChainReport::analyze(&module);
+    assert!(
+        report
+            .chains
+            .iter()
+            .all(|c| c.entry.lifted_from.as_deref() != Some("read_header")
+                && c.entry.slot != "hdr"),
+        "bounded read_header misreported as a chain entry:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn chain_reports_are_bit_identical_across_runs() {
+    let m1 = smokestack_repro::minic::compile(CHAINS_MC).unwrap();
+    let m2 = smokestack_repro::minic::compile(CHAINS_MC).unwrap();
+    let j1 = ChainReport::analyze(&m1).to_json();
+    let j2 = ChainReport::analyze(&m2).to_json();
+    assert_eq!(j1, j2, "chain JSON must be deterministic");
+    assert!(j1.contains("\"schema\":\"smokestack-chains/1\""), "{j1}");
+}
+
+#[test]
+fn workload_corpus_has_no_chains() {
+    for w in workloads::all() {
+        let module = w.compile().expect("workload compiles");
+        let report = ChainReport::analyze(&module);
+        assert_eq!(
+            report.chains.len(),
+            0,
+            "workload {} has spurious gadget chains:\n{}",
+            w.name,
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn interprocedural_pruning_forgives_safe_escapes() {
+    // chains.mc's session() passes hdr's address to the provably
+    // bounded read_header — a per-function escape analysis would mark
+    // hdr unsafe and refuse to prune the whole function, but the
+    // interprocedural summary proves the callee stays in bounds. The
+    // module-level pruner must therefore still emit prunable slots for
+    // main (whose seed never escapes anywhere dangerous).
+    let module = smokestack_repro::minic::compile(CHAINS_MC).unwrap();
+    let prunable = smokestack_repro::analyzer::prunable_slots_module(&module);
+    let main_idx = module
+        .iter_funcs()
+        .position(|(_, f)| f.name == "main")
+        .expect("main present");
+    assert!(
+        !prunable[main_idx].is_empty(),
+        "main's seed slot should be prunable: {prunable:?}"
+    );
 }

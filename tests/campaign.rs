@@ -180,13 +180,13 @@ fn interval_checked_matrix_over_real_trials() {
     let stats = aggregate(&result.records);
     let bounds = vec![
         MatrixBound {
-            attack: "listing1-dop",
+            attack: "listing1-dop".into(),
             defense: DefenseKind::None,
             max_success_upper: None,
             min_success_rate: Some(0.99),
         },
         MatrixBound {
-            attack: "listing1-dop",
+            attack: "listing1-dop".into(),
             defense: DefenseKind::Smokestack(SchemeKind::Aes10),
             // 0/6 successes → Wilson 95% upper ≈ 0.39.
             max_success_upper: Some(wilson_interval(0, 6, Z95).1 + 1e-9),
