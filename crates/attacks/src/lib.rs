@@ -196,8 +196,10 @@ impl Build {
     }
 
     /// Per-run ASLR offset: only `DefenseKind::StackBase` re-draws the
-    /// stack base each service restart.
-    fn run_offset(&self, run_seed: u64) -> u64 {
+    /// stack base each service restart. Public so resident-session
+    /// servers can respawn a long-lived VM with exactly the offset a
+    /// fresh [`Build::vm`] would have drawn.
+    pub fn run_offset(&self, run_seed: u64) -> u64 {
         match self.defense {
             DefenseKind::StackBase => smokestack_defenses::stack_base_offset(run_seed, 1 << 20),
             _ => 0,

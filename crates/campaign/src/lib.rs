@@ -44,7 +44,7 @@ pub use matrix::{
     bounds_for_plan, check, security_matrix_v2, smoke_bounds, MatrixBound, Violation,
 };
 pub use plan::{CampaignPlan, PlanCell};
-pub use pool::{run_pool, PoolRun};
+pub use pool::{run_pool, run_pool_draining, DrainGate, PoolRun};
 pub use queue::WorkQueue;
 pub use record::{
     is_incident_line, journal_header, parse_journal, Journal, OutcomeKind, TrialRecord,

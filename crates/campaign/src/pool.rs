@@ -17,7 +17,7 @@
 //! shard-determinism test rest on this.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::queue::WorkQueue;
 
@@ -26,10 +26,37 @@ use crate::queue::WorkQueue;
 pub struct PoolRun<R> {
     /// One result per *completed* task, sorted by task index (the order
     /// tasks were supplied in). Shorter than the task list only when
-    /// `stop_after` tripped.
+    /// `stop_after` tripped or a [`DrainGate`] closed.
     pub results: Vec<R>,
     /// Whether `stop_after` tripped before the task list was drained.
     pub stopped_early: bool,
+    /// Whether a [`DrainGate`] closed before the task list was drained.
+    pub drained: bool,
+}
+
+/// A graceful-shutdown handle for [`run_pool_draining`]: once closed,
+/// workers finish the task they are on and then stop pulling new ones —
+/// no task is ever torn mid-step. Clone freely; all clones share one
+/// flag, so a timer thread (or a signal handler) can close the gate
+/// while the pool runs.
+#[derive(Clone, Default)]
+pub struct DrainGate(Arc<AtomicBool>);
+
+impl DrainGate {
+    /// A fresh, open gate.
+    pub fn new() -> DrainGate {
+        DrainGate::default()
+    }
+
+    /// Close the gate: refuse new tasks, let in-flight tasks finish.
+    pub fn close(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the gate has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
 }
 
 /// Fan `tasks` across `jobs` scoped worker threads.
@@ -56,12 +83,36 @@ where
     T: Send,
     R: Send,
 {
+    run_pool_draining(jobs, tasks, stop_after, None, init, step, drain)
+}
+
+/// [`run_pool`] with an optional [`DrainGate`]: when the gate closes,
+/// workers finish their in-flight task and stop dispatching — the
+/// graceful-shutdown path serve fleets use for duration-bounded runs.
+/// Everything else (result ordering, the determinism contract, the
+/// `stop_after` cap) is identical to [`run_pool`].
+pub fn run_pool_draining<T, S, R>(
+    jobs: usize,
+    tasks: impl IntoIterator<Item = T>,
+    stop_after: Option<u64>,
+    gate: Option<&DrainGate>,
+    init: impl Fn(usize) -> S + Sync,
+    step: impl Fn(&mut S, &T) -> R + Sync,
+    drain: impl Fn(S) + Sync,
+) -> PoolRun<R>
+where
+    T: Send,
+    R: Send,
+{
     let jobs = jobs.max(1);
     let tasks: Vec<(usize, T)> = tasks.into_iter().enumerate().collect();
+    let total = tasks.len();
     let queue = WorkQueue::new(jobs, tasks);
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::new());
     let completed = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
+
+    let drained = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
         for w in 0..jobs {
@@ -69,6 +120,7 @@ where
             let results = &results;
             let completed = &completed;
             let stop = &stop;
+            let drained = &drained;
             let init = &init;
             let step = &step;
             let drain = &drain;
@@ -76,6 +128,10 @@ where
                 let mut state = init(w);
                 loop {
                     if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if gate.is_some_and(DrainGate::is_closed) {
+                        drained.store(true, Ordering::Relaxed);
                         break;
                     }
                     let Some((idx, task)) = queue.pop(w) else {
@@ -95,9 +151,14 @@ where
 
     let mut indexed = results.into_inner().unwrap();
     indexed.sort_unstable_by_key(|(i, _)| *i);
+    let results: Vec<R> = indexed.into_iter().map(|(_, r)| r).collect();
+    // A gate that closed after the last task completed did not actually
+    // cut the run short; only report a drain that left tasks behind.
+    let drained = drained.into_inner() && results.len() < total;
     PoolRun {
-        results: indexed.into_iter().map(|(_, r)| r).collect(),
+        results,
         stopped_early: stop.into_inner(),
+        drained,
     }
 }
 
@@ -144,7 +205,60 @@ mod tests {
     fn stop_after_halts_dispatch() {
         let run = run_pool(2, 0..100u64, Some(10), |_| (), |_, t| *t, |_| {});
         assert!(run.stopped_early);
+        assert!(!run.drained);
         let n = run.results.len();
         assert!((10..=11).contains(&n), "completed {n}");
+    }
+
+    #[test]
+    fn closed_gate_refuses_every_task() {
+        let gate = DrainGate::new();
+        gate.close();
+        let run = run_pool_draining(4, 0..100u64, None, Some(&gate), |_| (), |_, t| *t, |_| {});
+        assert!(run.drained);
+        assert!(run.results.is_empty());
+    }
+
+    #[test]
+    fn gate_closing_mid_run_finishes_in_flight_tasks_only() {
+        let gate = DrainGate::new();
+        // Close the gate from inside task #10: tasks already popped may
+        // finish, but dispatch stops shortly after.
+        let closer = gate.clone();
+        let run = run_pool_draining(
+            2,
+            0..10_000u64,
+            None,
+            Some(&gate),
+            |_| (),
+            move |_, t| {
+                if *t == 10 {
+                    closer.close();
+                }
+                *t
+            },
+            |_| {},
+        );
+        assert!(run.drained);
+        assert!(!run.results.is_empty());
+        assert!(run.results.len() < 10_000, "{}", run.results.len());
+    }
+
+    #[test]
+    fn open_gate_changes_nothing() {
+        let gate = DrainGate::new();
+        let gated = run_pool_draining(4, 0..64u64, None, Some(&gate), |_| (), |_, t| t * 7, |_| {});
+        let plain = run_pool(4, 0..64u64, None, |_| (), |_, t| t * 7, |_| {});
+        assert_eq!(gated.results, plain.results);
+        assert!(!gated.drained && !plain.drained);
+    }
+
+    #[test]
+    fn gate_closed_after_completion_is_not_a_drain() {
+        let gate = DrainGate::new();
+        let run = run_pool_draining(2, 0..8u64, None, Some(&gate), |_| (), |_, t| *t, |_| {});
+        gate.close();
+        assert!(!run.drained);
+        assert_eq!(run.results.len(), 8);
     }
 }

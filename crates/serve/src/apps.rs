@@ -1,0 +1,124 @@
+//! The tenant application catalog: which vulnerable programs the server
+//! hosts, what their benign request traffic looks like, and which
+//! attacks target them.
+//!
+//! Every app reuses a MiniC source from `smokestack-attacks`, so the
+//! very builds the security campaigns exploit are the ones serving
+//! traffic here — poisoned requests fire the CVE exploit and the
+//! planner-synthesized `synth-*` payloads against the same image that
+//! benign requests exercise.
+
+use smokestack_attacks::synth;
+
+/// One hosted application.
+pub struct ServeApp {
+    /// Catalog name (also the `synth-*` family infix).
+    pub name: &'static str,
+    /// The vulnerable MiniC source, shared with the attack corpus.
+    pub source: &'static str,
+    /// Scripted benign request input: one chunk per `get_input` call.
+    /// Benign traffic must run to a clean `return 0` under every
+    /// defense (pinned by the serve test suite).
+    pub benign: &'static [&'static [u8]],
+    /// The real-CVE attack that targets this program.
+    pub cve: &'static str,
+}
+
+/// The eight zero bytes a benign ProFTPD-analog request sends: a
+/// zero-length command, which the dispatch loop treats as a no-op.
+const PROFTPD_BENIGN: &[&[u8]] = &[&[0, 0, 0, 0, 0, 0, 0, 0]];
+
+/// The hosted application catalog.
+pub fn catalog() -> &'static [ServeApp] {
+    &[
+        ServeApp {
+            name: "librelp",
+            source: smokestack_attacks::librelp::SOURCE,
+            benign: &[],
+            cve: "librelp-cve-2018-1000140",
+        },
+        ServeApp {
+            name: "proftpd",
+            source: smokestack_attacks::proftpd::SOURCE,
+            benign: PROFTPD_BENIGN,
+            cve: "proftpd-cve-2006-5815",
+        },
+        ServeApp {
+            name: "wireshark",
+            source: smokestack_attacks::wireshark::SOURCE,
+            benign: &[],
+            cve: "wireshark-cve-2014-2299",
+        },
+    ]
+}
+
+/// Names of every hosted app, in catalog order.
+pub fn app_names() -> Vec<&'static str> {
+    catalog().iter().map(|a| a.name).collect()
+}
+
+/// Look up an app by name.
+pub fn by_name(name: &str) -> Option<&'static ServeApp> {
+    catalog().iter().find(|a| a.name == name)
+}
+
+impl ServeApp {
+    /// Every attack that targets this app: the CVE exploit plus the
+    /// planner-synthesized `synth-<name>-NN` family (which shares the
+    /// app's source by construction).
+    pub fn attack_names(&self) -> Vec<String> {
+        let infix = format!("synth-{}-", self.name);
+        std::iter::once(self.cve.to_string())
+            .chain(
+                synth::catalog()
+                    .iter()
+                    .map(|a| {
+                        use smokestack_attacks::Attack;
+                        a.name().to_string()
+                    })
+                    .filter(|n| n.starts_with(&infix)),
+            )
+            .collect()
+    }
+
+    /// The benign input chunks as owned vectors (what a
+    /// `ScriptedInput` wants).
+    pub fn benign_chunks(&self) -> Vec<Vec<u8>> {
+        self.benign.iter().map(|c| c.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_app_has_its_cve_and_a_synth_family() {
+        for app in catalog() {
+            let attacks = app.attack_names();
+            assert!(attacks.contains(&app.cve.to_string()), "{}", app.name);
+            assert!(
+                attacks.iter().any(|n| n.starts_with("synth-")),
+                "{} has no synth attacks: {attacks:?}",
+                app.name
+            );
+            for name in &attacks {
+                let attack = smokestack_attacks::by_name(name)
+                    .unwrap_or_else(|| panic!("unresolvable attack {name}"));
+                assert_eq!(
+                    attack.source(),
+                    app.source,
+                    "{name} does not target {}'s source",
+                    app.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("librelp").is_some());
+        assert!(by_name("nope").is_none());
+        assert_eq!(app_names(), vec!["librelp", "proftpd", "wireshark"]);
+    }
+}

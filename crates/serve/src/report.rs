@@ -1,0 +1,641 @@
+//! Serve-run aggregation: per-fleet SLO percentiles, compromise
+//! accounting, time-to-first-compromise curves, Prometheus exposition,
+//! and the drift-gated `BENCH_serve.json` row format.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use smokestack_telemetry::{MetricsRegistry, StreamingHistogram};
+
+/// Request budgets the time-to-first-compromise curve is sampled at
+/// (clipped to the plan's scheduled request count).
+pub const TTFC_BUDGETS: [u64; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Aggregate evidence for one defense fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Fleet label (see [`crate::plan::Fleet::label`]).
+    pub label: String,
+    /// Tenants assigned to this fleet.
+    pub tenants: u32,
+    /// Benign requests served.
+    pub benign: u64,
+    /// Exploit attempts fired.
+    pub attacks: u64,
+    /// Benign requests that did not exit cleanly (expected 0; a
+    /// non-zero count means a hardened build broke legitimate traffic).
+    pub benign_anomalies: u64,
+    /// Attack outcomes in `OutcomeKind::ALL` order:
+    /// success / detected / crashed / failed / aborted.
+    pub outcomes: [u64; 5],
+    /// Benign-request latency in deterministic decicycles.
+    pub deci: StreamingHistogram,
+    /// Benign-request latency in measured wall nanoseconds (machine
+    /// dependent; never part of determinism guarantees or `--check`).
+    pub wall_ns: StreamingHistogram,
+    /// Per compromised tenant: the request index of its first
+    /// successful exploit.
+    pub first_compromise: BTreeMap<u32, u64>,
+}
+
+impl FleetReport {
+    /// An empty report for `label` with `tenants` residents.
+    pub fn new(label: String, tenants: u32) -> FleetReport {
+        FleetReport {
+            label,
+            tenants,
+            benign: 0,
+            attacks: 0,
+            benign_anomalies: 0,
+            outcomes: [0; 5],
+            deci: StreamingHistogram::new(),
+            wall_ns: StreamingHistogram::new(),
+            first_compromise: BTreeMap::new(),
+        }
+    }
+
+    /// Successful exploit attempts.
+    pub fn successes(&self) -> u64 {
+        self.outcomes[0]
+    }
+
+    /// Tenants compromised at least once.
+    pub fn compromised_tenants(&self) -> u64 {
+        self.first_compromise.len() as u64
+    }
+
+    /// Fraction of this fleet's tenants still uncompromised after the
+    /// first `budget` scheduled requests.
+    pub fn survival(&self, budget: u64) -> f64 {
+        if self.tenants == 0 {
+            return 1.0;
+        }
+        let hit = self
+            .first_compromise
+            .values()
+            .filter(|&&idx| idx < budget)
+            .count();
+        1.0 - hit as f64 / f64::from(self.tenants)
+    }
+
+    /// The time-to-first-compromise survival curve: `(budget,
+    /// survival)` at every [`TTFC_BUDGETS`] point within `total`, plus
+    /// the endpoint itself.
+    pub fn ttfc_curve(&self, total: u64) -> Vec<(u64, f64)> {
+        let mut budgets: Vec<u64> = TTFC_BUDGETS
+            .iter()
+            .copied()
+            .filter(|&b| b < total)
+            .collect();
+        budgets.push(total);
+        budgets.into_iter().map(|b| (b, self.survival(b))).collect()
+    }
+
+    /// Fold another fleet report (a batch's worth) into this one.
+    /// Histogram merges are bucket-wise adds and the first-compromise
+    /// fold takes the minimum request index per tenant, so the result
+    /// is identical for any fold order — the jobs-invariance property.
+    pub fn merge(&mut self, other: &FleetReport) {
+        self.benign += other.benign;
+        self.attacks += other.attacks;
+        self.benign_anomalies += other.benign_anomalies;
+        for (a, b) in self.outcomes.iter_mut().zip(other.outcomes.iter()) {
+            *a += b;
+        }
+        self.deci.merge(&other.deci);
+        self.wall_ns.merge(&other.wall_ns);
+        for (&tenant, &idx) in &other.first_compromise {
+            self.first_compromise
+                .entry(tenant)
+                .and_modify(|cur| *cur = (*cur).min(idx))
+                .or_insert(idx);
+        }
+    }
+}
+
+/// What a serve run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Plan name.
+    pub plan: String,
+    /// Master seed the schedule derived from.
+    pub master_seed: u64,
+    /// Total resident tenants.
+    pub tenants: u32,
+    /// Requests the plan scheduled.
+    pub scheduled: u64,
+    /// Requests actually served (less than `scheduled` only when a
+    /// drain cut the run short).
+    pub served: u64,
+    /// Whether a duration drain stopped the run before the schedule
+    /// finished (partial runs are excluded from `--check`).
+    pub drained: bool,
+    /// Measured wall-clock for the whole run in seconds.
+    pub wall_secs: f64,
+    /// Resident VM sessions held at drain time, summed across workers.
+    pub resident_sessions: u64,
+    /// Per-fleet evidence, in plan fleet order.
+    pub fleets: Vec<FleetReport>,
+}
+
+impl ServeReport {
+    /// Measured throughput over the whole run.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.served as f64 / self.wall_secs
+    }
+
+    /// Render every machine-independent aggregate as one string: the
+    /// jobs-invariance tests compare this across `--jobs` settings.
+    /// Wall-clock latency, throughput, and worker-dependent session
+    /// counts are deliberately excluded.
+    pub fn deterministic_digest(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "plan {} seed {:#x} scheduled {} served {}",
+            self.plan, self.master_seed, self.scheduled, self.served
+        );
+        for f in &self.fleets {
+            let _ = writeln!(
+                s,
+                "fleet {} tenants {} benign {} attacks {} anomalies {} outcomes {:?}",
+                f.label, f.tenants, f.benign, f.attacks, f.benign_anomalies, f.outcomes
+            );
+            let _ = writeln!(s, "  deci {}", f.deci.to_json());
+            for (tenant, idx) in &f.first_compromise {
+                let _ = writeln!(s, "  compromised tenant {tenant} at request {idx}");
+            }
+        }
+        s
+    }
+}
+
+/// Fold a serve report into a metrics registry for Prometheus
+/// exposition (`serve --stats`).
+pub fn serve_registry(report: &ServeReport) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    reg.gauge_set("serve.sessions.resident", report.resident_sessions);
+    reg.gauge_set("serve.tenants", u64::from(report.tenants));
+    reg.inc("serve.requests.served", report.served);
+    for f in &report.fleets {
+        reg.inc(&format!("serve.benign.{}", f.label), f.benign);
+        reg.inc(&format!("serve.attacks.{}", f.label), f.attacks);
+        reg.inc(&format!("serve.compromises.{}", f.label), f.successes());
+        reg.inc(&format!("serve.detected.{}", f.label), f.outcomes[1]);
+        if f.deci.count() > 0 {
+            reg.merge_stream(&format!("serve.latency.deci.{}", f.label), &f.deci);
+        }
+        if f.wall_ns.count() > 0 {
+            reg.merge_stream(&format!("serve.latency.wall_ns.{}", f.label), &f.wall_ns);
+        }
+    }
+    reg
+}
+
+/// One `BENCH_serve.json` row: everything pinned for a (plan, fleet)
+/// pair. The `deci_*` columns and the attack/outcome counts are
+/// deterministic (drift-gated by `--check`); the `wall_*` and
+/// throughput columns are measured on the writing machine and never
+/// checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRow {
+    /// Plan name.
+    pub plan: String,
+    /// Fleet label.
+    pub fleet: String,
+    /// Master seed of the run.
+    pub master_seed: u64,
+    /// Tenants in this fleet.
+    pub tenants: u32,
+    /// Requests served across the whole run.
+    pub served: u64,
+    /// Benign requests this fleet served.
+    pub benign: u64,
+    /// Exploit attempts this fleet absorbed.
+    pub attacks: u64,
+    /// Attack outcome counts.
+    pub success: u64,
+    /// Attempts a defense terminated.
+    pub detected: u64,
+    /// Attempts that crashed the service.
+    pub crashed: u64,
+    /// Attempts that ran clean without the goal.
+    pub failed: u64,
+    /// Attempts aborted pre-commit.
+    pub aborted: u64,
+    /// Tenants compromised at least once.
+    pub compromised_tenants: u64,
+    /// Benign latency percentiles in deterministic decicycles.
+    pub deci_p50: u64,
+    /// 95th percentile.
+    pub deci_p95: u64,
+    /// 99th percentile.
+    pub deci_p99: u64,
+    /// 99.9th percentile.
+    pub deci_p999: u64,
+    /// Mean (rounded).
+    pub deci_mean: u64,
+    /// Benign latency percentiles in wall nanoseconds (unchecked).
+    pub wall_p50_ns: u64,
+    /// 95th percentile wall ns (unchecked).
+    pub wall_p95_ns: u64,
+    /// 99th percentile wall ns (unchecked).
+    pub wall_p99_ns: u64,
+    /// 99.9th percentile wall ns (unchecked).
+    pub wall_p999_ns: u64,
+    /// Whole-run throughput on the writing machine (unchecked).
+    pub requests_per_sec: u64,
+    /// Time-to-first-compromise survival curve as
+    /// `budget:survival_ppm` pairs.
+    pub ttfc: String,
+}
+
+/// Reduce a finished run to its bench rows (one per fleet).
+pub fn report_rows(report: &ServeReport) -> Vec<BenchRow> {
+    report
+        .fleets
+        .iter()
+        .map(|f| {
+            let ttfc = f
+                .ttfc_curve(report.scheduled)
+                .into_iter()
+                .map(|(b, s)| format!("{b}:{}", (s * 1_000_000.0).round() as u64))
+                .collect::<Vec<_>>()
+                .join(" ");
+            BenchRow {
+                plan: report.plan.clone(),
+                fleet: f.label.clone(),
+                master_seed: report.master_seed,
+                tenants: f.tenants,
+                served: report.served,
+                benign: f.benign,
+                attacks: f.attacks,
+                success: f.outcomes[0],
+                detected: f.outcomes[1],
+                crashed: f.outcomes[2],
+                failed: f.outcomes[3],
+                aborted: f.outcomes[4],
+                compromised_tenants: f.compromised_tenants(),
+                deci_p50: f.deci.p50(),
+                deci_p95: f.deci.p95(),
+                deci_p99: f.deci.p99(),
+                deci_p999: f.deci.p999(),
+                deci_mean: f.deci.mean().round() as u64,
+                wall_p50_ns: f.wall_ns.p50(),
+                wall_p95_ns: f.wall_ns.p95(),
+                wall_p99_ns: f.wall_ns.p99(),
+                wall_p999_ns: f.wall_ns.p999(),
+                requests_per_sec: report.requests_per_sec().round() as u64,
+                ttfc,
+            }
+        })
+        .collect()
+}
+
+/// Serialize rows as the `BENCH_serve.json` file body.
+pub fn rows_to_json(rows: &[BenchRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": \"smokestack-serve/1\",");
+    s.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"plan\": \"{}\",", r.plan);
+        let _ = writeln!(s, "      \"fleet\": \"{}\",", r.fleet);
+        let _ = writeln!(s, "      \"master_seed\": {},", r.master_seed);
+        let _ = writeln!(s, "      \"tenants\": {},", r.tenants);
+        let _ = writeln!(s, "      \"served\": {},", r.served);
+        let _ = writeln!(s, "      \"benign\": {},", r.benign);
+        let _ = writeln!(s, "      \"attacks\": {},", r.attacks);
+        let _ = writeln!(s, "      \"success\": {},", r.success);
+        let _ = writeln!(s, "      \"detected\": {},", r.detected);
+        let _ = writeln!(s, "      \"crashed\": {},", r.crashed);
+        let _ = writeln!(s, "      \"failed\": {},", r.failed);
+        let _ = writeln!(s, "      \"aborted\": {},", r.aborted);
+        let _ = writeln!(
+            s,
+            "      \"compromised_tenants\": {},",
+            r.compromised_tenants
+        );
+        let _ = writeln!(s, "      \"deci_p50\": {},", r.deci_p50);
+        let _ = writeln!(s, "      \"deci_p95\": {},", r.deci_p95);
+        let _ = writeln!(s, "      \"deci_p99\": {},", r.deci_p99);
+        let _ = writeln!(s, "      \"deci_p999\": {},", r.deci_p999);
+        let _ = writeln!(s, "      \"deci_mean\": {},", r.deci_mean);
+        let _ = writeln!(s, "      \"wall_p50_ns\": {},", r.wall_p50_ns);
+        let _ = writeln!(s, "      \"wall_p95_ns\": {},", r.wall_p95_ns);
+        let _ = writeln!(s, "      \"wall_p99_ns\": {},", r.wall_p99_ns);
+        let _ = writeln!(s, "      \"wall_p999_ns\": {},", r.wall_p999_ns);
+        let _ = writeln!(s, "      \"requests_per_sec\": {},", r.requests_per_sec);
+        let _ = writeln!(s, "      \"ttfc\": \"{}\"", r.ttfc);
+        let _ = writeln!(s, "    }}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Parse rows from a file previously written by [`rows_to_json`]. Not
+/// a general JSON parser — it reads the line-per-field layout this
+/// crate emits, which is all `--check` ever compares.
+pub fn parse_rows(text: &str) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+    let mut fields: BTreeMap<String, String> = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line == "{" || line == "{{" {
+            fields.clear();
+            continue;
+        }
+        if line.starts_with('}') {
+            if let Some(row) = row_from_fields(&fields) {
+                rows.push(row);
+            }
+            fields.clear();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('"') {
+            if let Some((key, value)) = rest.split_once("\": ") {
+                fields.insert(key.to_string(), value.trim_matches('"').to_string());
+            }
+        }
+    }
+    rows
+}
+
+fn row_from_fields(f: &BTreeMap<String, String>) -> Option<BenchRow> {
+    let s = |k: &str| f.get(k).cloned();
+    let n = |k: &str| f.get(k).and_then(|v| v.parse::<u64>().ok());
+    Some(BenchRow {
+        plan: s("plan")?,
+        fleet: s("fleet")?,
+        master_seed: n("master_seed")?,
+        tenants: n("tenants")? as u32,
+        served: n("served")?,
+        benign: n("benign")?,
+        attacks: n("attacks")?,
+        success: n("success")?,
+        detected: n("detected")?,
+        crashed: n("crashed")?,
+        failed: n("failed")?,
+        aborted: n("aborted")?,
+        compromised_tenants: n("compromised_tenants")?,
+        deci_p50: n("deci_p50")?,
+        deci_p95: n("deci_p95")?,
+        deci_p99: n("deci_p99")?,
+        deci_p999: n("deci_p999")?,
+        deci_mean: n("deci_mean")?,
+        wall_p50_ns: n("wall_p50_ns")?,
+        wall_p95_ns: n("wall_p95_ns")?,
+        wall_p99_ns: n("wall_p99_ns")?,
+        wall_p999_ns: n("wall_p999_ns")?,
+        requests_per_sec: n("requests_per_sec")?,
+        ttfc: s("ttfc")?,
+    })
+}
+
+/// Compare freshly measured rows against a pinned baseline:
+///
+/// * `deci_*` percentile columns must stay within `tolerance_pct` of
+///   the baseline (they are deterministic; the tolerance absorbs
+///   intentional cost-model evolution, mirroring `BENCH_baseline.json`);
+/// * benign/attack counts must match exactly (the schedule is pinned);
+/// * the per-fleet success count must not *exceed* the baseline — a
+///   compromise-rate regression fails regardless of tolerance.
+///
+/// Wall-clock and throughput columns are never compared.
+pub fn check_rows(
+    current: &[BenchRow],
+    baseline: &[BenchRow],
+    tolerance_pct: f64,
+) -> Result<usize, String> {
+    let mut compared = 0;
+    for row in current {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.plan == row.plan && b.fleet == row.fleet)
+        else {
+            continue;
+        };
+        compared += 1;
+        for (what, now, then) in [
+            ("served", row.served, base.served),
+            ("benign", row.benign, base.benign),
+            ("attacks", row.attacks, base.attacks),
+        ] {
+            if now != then {
+                return Err(format!(
+                    "{}/{}: {what} changed {then} -> {now} (schedule no longer pinned)",
+                    row.plan, row.fleet
+                ));
+            }
+        }
+        if row.success > base.success {
+            return Err(format!(
+                "{}/{}: compromise-rate regression: {} successes vs {} pinned",
+                row.plan, row.fleet, row.success, base.success
+            ));
+        }
+        for (what, now, then) in [
+            ("deci_p50", row.deci_p50, base.deci_p50),
+            ("deci_p95", row.deci_p95, base.deci_p95),
+            ("deci_p99", row.deci_p99, base.deci_p99),
+            ("deci_p999", row.deci_p999, base.deci_p999),
+            ("deci_mean", row.deci_mean, base.deci_mean),
+        ] {
+            if then == 0 && now == 0 {
+                continue;
+            }
+            let drift = (now as f64 - then as f64).abs() / (then.max(1)) as f64 * 100.0;
+            if drift > tolerance_pct {
+                return Err(format!(
+                    "{}/{}: {what} drifted {drift:.2}% (baseline {then}, now {now}, \
+                     tolerance {tolerance_pct}%)",
+                    row.plan, row.fleet
+                ));
+            }
+        }
+    }
+    if compared == 0 {
+        return Err(
+            "no measured (plan, fleet) row appears in the baseline — nothing compared".into(),
+        );
+    }
+    Ok(compared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ServeReport {
+        let mut none = FleetReport::new("none".into(), 4);
+        none.benign = 90;
+        none.attacks = 10;
+        none.outcomes = [6, 0, 1, 2, 1];
+        for v in [40, 50, 60, 70, 80] {
+            none.deci.observe(v);
+        }
+        for v in [1000, 1100, 1200, 1300, 1400] {
+            none.wall_ns.observe(v);
+        }
+        none.first_compromise.insert(1, 12);
+        none.first_compromise.insert(3, 500);
+        let mut aes = FleetReport::new("smokestack/AES-10".into(), 4);
+        aes.benign = 95;
+        aes.attacks = 5;
+        aes.outcomes = [0, 4, 1, 0, 0];
+        for v in [55, 65, 75, 85, 95] {
+            aes.deci.observe(v);
+        }
+        ServeReport {
+            plan: "sample".into(),
+            master_seed: 0xabc,
+            tenants: 8,
+            scheduled: 200,
+            served: 200,
+            drained: false,
+            wall_secs: 2.0,
+            resident_sessions: 8,
+            fleets: vec![none, aes],
+        }
+    }
+
+    #[test]
+    fn survival_curve_steps_at_first_compromise() {
+        let report = sample_report();
+        let none = &report.fleets[0];
+        assert_eq!(none.survival(1), 1.0);
+        assert_eq!(none.survival(100), 0.75); // tenant 1 hit at 12
+        assert_eq!(none.survival(501), 0.5); // tenant 3 hit at 500
+        let curve = none.ttfc_curve(200);
+        assert_eq!(curve, vec![(100, 0.75), (200, 0.75)]);
+        // The hardened fleet never loses a tenant.
+        assert_eq!(report.fleets[1].survival(u64::MAX), 1.0);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let report = sample_report();
+        let a = &report.fleets[0];
+        let b = {
+            let mut b = FleetReport::new("none".into(), 4);
+            b.benign = 10;
+            b.outcomes = [1, 0, 0, 0, 0];
+            b.deci.observe(33);
+            b.first_compromise.insert(1, 3); // earlier than a's 12
+            b
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.first_compromise[&1], 3);
+        assert_eq!(ab.benign, 100);
+    }
+
+    #[test]
+    fn bench_rows_roundtrip_through_json() {
+        let report = sample_report();
+        let rows = report_rows(&report);
+        assert_eq!(rows.len(), 2);
+        let text = rows_to_json(&rows);
+        let parsed = parse_rows(&text);
+        assert_eq!(parsed, rows);
+    }
+
+    #[test]
+    fn check_rows_gates_drift_and_compromise_regressions() {
+        let rows = report_rows(&sample_report());
+        // Identical rows pass.
+        assert_eq!(check_rows(&rows, &rows, 5.0), Ok(2));
+        // A compromise regression fails even inside tolerance.
+        let mut worse = rows.clone();
+        worse[1].success += 1;
+        let err = check_rows(&worse, &rows, 5.0).unwrap_err();
+        assert!(err.contains("compromise-rate regression"), "{err}");
+        // Latency drift beyond tolerance fails.
+        let mut slow = rows.clone();
+        slow[0].deci_p99 = slow[0].deci_p99 * 2 + 100;
+        assert!(check_rows(&slow, &rows, 5.0).is_err());
+        // A changed schedule fails exactly.
+        let mut resched = rows.clone();
+        resched[0].benign += 1;
+        assert!(check_rows(&resched, &rows, 5.0).is_err());
+        // Nothing in common -> error, not a silent pass.
+        assert!(check_rows(&rows[..1], &rows[1..], 5.0).is_err());
+    }
+
+    #[test]
+    fn registry_carries_serve_gauges_counters_and_streams() {
+        let reg = serve_registry(&sample_report());
+        assert_eq!(reg.gauge("serve.sessions.resident"), Some(8));
+        assert_eq!(reg.counter("serve.requests.served"), 200);
+        assert_eq!(reg.counter("serve.compromises.none"), 6);
+        assert_eq!(reg.counter("serve.compromises.smokestack/AES-10"), 0);
+        assert!(reg.stream("serve.latency.deci.none").is_some());
+        assert!(reg
+            .stream("serve.latency.wall_ns.smokestack/AES-10")
+            .is_none());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_pinned() {
+        // Golden text for a minimal single-fleet report: pins metric
+        // naming, sanitization, and ordering of the serve exposition.
+        let mut fleet = FleetReport::new("smokestack/AES-10".into(), 2);
+        fleet.benign = 3;
+        fleet.attacks = 1;
+        fleet.outcomes = [0, 1, 0, 0, 0];
+        for v in [10, 20, 30] {
+            fleet.deci.observe(v);
+        }
+        let report = ServeReport {
+            plan: "golden".into(),
+            master_seed: 1,
+            tenants: 2,
+            scheduled: 4,
+            served: 4,
+            drained: false,
+            wall_secs: 1.0,
+            resident_sessions: 2,
+            fleets: vec![fleet],
+        };
+        let text = smokestack_telemetry::render_prometheus(&serve_registry(&report));
+        let expected = "\
+# HELP serve_attacks_smokestack_AES_10_total smokestack metric `serve.attacks.smokestack/AES-10`
+# TYPE serve_attacks_smokestack_AES_10_total counter
+serve_attacks_smokestack_AES_10_total 1
+# HELP serve_benign_smokestack_AES_10_total smokestack metric `serve.benign.smokestack/AES-10`
+# TYPE serve_benign_smokestack_AES_10_total counter
+serve_benign_smokestack_AES_10_total 3
+# HELP serve_compromises_smokestack_AES_10_total smokestack metric `serve.compromises.smokestack/AES-10`
+# TYPE serve_compromises_smokestack_AES_10_total counter
+serve_compromises_smokestack_AES_10_total 0
+# HELP serve_detected_smokestack_AES_10_total smokestack metric `serve.detected.smokestack/AES-10`
+# TYPE serve_detected_smokestack_AES_10_total counter
+serve_detected_smokestack_AES_10_total 1
+# HELP serve_requests_served_total smokestack metric `serve.requests.served`
+# TYPE serve_requests_served_total counter
+serve_requests_served_total 4
+# HELP serve_sessions_resident smokestack metric `serve.sessions.resident`
+# TYPE serve_sessions_resident gauge
+serve_sessions_resident 2
+# HELP serve_tenants smokestack metric `serve.tenants`
+# TYPE serve_tenants gauge
+serve_tenants 2
+# HELP serve_latency_deci_smokestack_AES_10 smokestack metric `serve.latency.deci.smokestack/AES-10`
+# TYPE serve_latency_deci_smokestack_AES_10 summary
+serve_latency_deci_smokestack_AES_10{quantile=\"0.5\"} 20
+serve_latency_deci_smokestack_AES_10{quantile=\"0.95\"} 30
+serve_latency_deci_smokestack_AES_10{quantile=\"0.99\"} 30
+serve_latency_deci_smokestack_AES_10{quantile=\"0.999\"} 30
+serve_latency_deci_smokestack_AES_10_sum 60
+serve_latency_deci_smokestack_AES_10_count 3
+";
+        assert_eq!(text, expected);
+    }
+}

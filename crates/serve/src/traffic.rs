@@ -1,0 +1,152 @@
+//! The deterministic open-loop traffic model.
+//!
+//! Request `i` of a plan is a *positional* function of
+//! `(master_seed, i)`: its tenant, its per-request TRNG seed, whether
+//! it is poisoned, and which attack a poisoned request fires are each
+//! drawn from a distinct [`SeedStream`] domain indexed by `i`. Nothing
+//! depends on worker count, scheduling order, or wall-clock time, so
+//! the schedule is byte-identical across `--jobs` settings and re-runs
+//! — the property the serve determinism tests pin.
+
+use smokestack_rand::SeedStream;
+
+use crate::plan::ServePlan;
+
+/// Seed-stream domain for tenant assignment.
+const TENANT_DOMAIN: u64 = 0x7e4a;
+/// Seed-stream domain for the poison coin.
+const POISON_DOMAIN: u64 = 0x90150;
+/// Seed-stream domain for per-request TRNG seeds.
+const SEED_DOMAIN: u64 = 0x5eed5;
+/// Seed-stream domain for attack selection on poisoned requests.
+const ATTACK_DOMAIN: u64 = 0xa77ac;
+/// Seed-stream domain for per-cell build seeds.
+const BUILD_DOMAIN: u64 = 0xb11d5;
+
+/// One scheduled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Position in the arrival sequence.
+    pub index: u64,
+    /// The tenant session this request lands on.
+    pub tenant: u32,
+    /// Whether this request carries an exploit attempt.
+    pub poisoned: bool,
+    /// Per-request TRNG seed (service randomness for benign requests,
+    /// trial entropy for attacks).
+    pub seed: u64,
+    /// Raw attack-selection draw; reduce modulo the target app's attack
+    /// count (only meaningful when `poisoned`).
+    pub attack_pick: u64,
+}
+
+impl Request {
+    /// The `index`-th request of `plan`'s schedule.
+    pub fn at(plan: &ServePlan, index: u64) -> Request {
+        let tenant = (SeedStream::new(plan.master_seed, TENANT_DOMAIN).seed(index)
+            % u64::from(plan.tenants)) as u32;
+        let poisoned = SeedStream::new(plan.master_seed, POISON_DOMAIN).seed(index) % 1_000_000
+            < u64::from(plan.poison_ppm);
+        Request {
+            index,
+            tenant,
+            poisoned,
+            seed: SeedStream::new(plan.master_seed, SEED_DOMAIN).seed(index),
+            attack_pick: SeedStream::new(plan.master_seed, ATTACK_DOMAIN).seed(index),
+        }
+    }
+
+    /// Stable one-line rendering (schedule digests, JSONL records).
+    pub fn line(&self) -> String {
+        format!(
+            "req {} tenant {} poisoned {} seed {:#x} pick {:#x}",
+            self.index, self.tenant, self.poisoned, self.seed, self.attack_pick
+        )
+    }
+}
+
+/// Which (fleet, app) cell a tenant belongs to: tenants are striped
+/// across fleets first, then apps, so every fleet hosts every app for
+/// any tenant count ≥ `fleets × apps`.
+pub fn tenant_cell(plan: &ServePlan, tenant: u32) -> (usize, usize) {
+    let fleets = plan.fleets.len() as u32;
+    let apps = plan.apps.len() as u32;
+    let fleet = tenant % fleets;
+    let app = (tenant / fleets) % apps;
+    (fleet as usize, app as usize)
+}
+
+/// The deterministic build seed for cell `(fleet, app)`.
+pub fn cell_build_seed(plan: &ServePlan, fleet: usize, app: usize) -> u64 {
+    SeedStream::new(plan.master_seed, BUILD_DOMAIN).seed((fleet * plan.apps.len() + app) as u64)
+}
+
+/// Render the first `n` scheduled requests as one newline-separated
+/// string — the byte-comparable schedule digest the determinism tests
+/// (and `--dump-schedule`) use.
+pub fn schedule_digest(plan: &ServePlan, n: u64) -> String {
+    let mut out = String::new();
+    for i in 0..n.min(plan.requests) {
+        out.push_str(&Request::at(plan, i).line());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ServePlan;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_the_plan() {
+        let plan = ServePlan::smoke();
+        assert_eq!(schedule_digest(&plan, 500), schedule_digest(&plan, 500));
+        let mut reseeded = plan.clone();
+        reseeded.master_seed ^= 1;
+        assert_ne!(schedule_digest(&plan, 500), schedule_digest(&reseeded, 500));
+    }
+
+    #[test]
+    fn poison_rate_lands_near_the_configured_ppm() {
+        let mut plan = ServePlan::smoke();
+        plan.poison_ppm = 100_000; // 10%
+        let n = 20_000u64;
+        let poisoned = (0..n).filter(|&i| Request::at(&plan, i).poisoned).count();
+        let rate = poisoned as f64 / n as f64;
+        assert!((0.08..=0.12).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn tenants_cover_every_cell() {
+        let plan = ServePlan::smoke();
+        let cells = plan.fleets.len() * plan.apps.len();
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..plan.tenants {
+            seen.insert(tenant_cell(&plan, t));
+        }
+        assert_eq!(seen.len(), cells);
+    }
+
+    #[test]
+    fn requests_spread_across_tenants() {
+        let plan = ServePlan::smoke();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5_000u64 {
+            seen.insert(Request::at(&plan, i).tenant);
+        }
+        // With 5000 draws over 60 tenants, every tenant sees traffic.
+        assert_eq!(seen.len() as u32, plan.tenants);
+    }
+
+    #[test]
+    fn cell_build_seeds_are_distinct() {
+        let plan = ServePlan::smoke();
+        let mut seen = std::collections::HashSet::new();
+        for f in 0..plan.fleets.len() {
+            for a in 0..plan.apps.len() {
+                assert!(seen.insert(cell_build_seed(&plan, f, a)));
+            }
+        }
+    }
+}

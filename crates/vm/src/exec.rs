@@ -298,6 +298,10 @@ pub struct Vm {
     pub(crate) fuel: u64,
     pub(crate) record_allocas: bool,
     pub(crate) global_addrs: Vec<u64>,
+    /// The full global layout (addresses + initializer blits), retained
+    /// so [`Vm::respawn`] can re-install the loader image without
+    /// touching the module or the compiled cache.
+    pub(crate) globals: GlobalLayout,
     pub(crate) slab_funcs: Vec<crate::cycles::SlabClass>,
     pub(crate) tracer: Option<Box<dyn Tracer>>,
     /// Cached [`Tracer::wants_cycles`] answer, sampled once at
@@ -376,7 +380,7 @@ impl Vm {
         // First 8 bytes of data hold the memory-resident pseudo-PRNG state.
         mem.write_init(layout::DATA_BASE, &pseudo_seed.to_le_bytes())
             .expect("pseudo state slot");
-        let global_addrs = gl.addrs;
+        let global_addrs = gl.addrs.clone();
 
         let slab_funcs = match &compiled {
             Some(c) => c.slab_classes.clone(),
@@ -406,6 +410,7 @@ impl Vm {
             fuel: cfg.fuel,
             record_allocas: cfg.record_allocas,
             global_addrs,
+            globals: gl,
             slab_funcs,
             tracer,
             tracer_wants_cycles,
@@ -427,6 +432,57 @@ impl Vm {
             max_depth: 0,
             sp: 0,
         }
+    }
+
+    /// Re-arm this VM for a fresh run under a new TRNG seed, reusing
+    /// every allocation the previous runs paid for: the memory segments
+    /// (only dirty spans are re-zeroed), the bytecode register file and
+    /// call stack, the compiled image, and the precomputed slab/P-BOX
+    /// tables. After `respawn` the VM is observationally identical to a
+    /// freshly-constructed one with the same config — the TRNG draw
+    /// order below mirrors `new_internal` exactly, which the backends
+    /// bit-identity tests pin.
+    pub fn respawn(&mut self, trng_seed: u64) {
+        let offset = self.stack_base_offset;
+        self.respawn_configured(trng_seed, offset);
+    }
+
+    /// [`Vm::respawn`] with a per-run stack base offset (the resident
+    /// analog of [`crate::Executor::vm_configured`]).
+    pub fn respawn_configured(&mut self, trng_seed: u64, stack_base_offset: u64) {
+        let mut trng = SeededTrng::new(trng_seed);
+        use smokestack_srng::TrueRandom;
+        self.guard_key = trng.next_u64();
+        self.canary = trng.next_u64() | 0xff; // never zero
+        let pseudo_seed = trng.next_u64();
+        self.rng = build_source(self.scheme, trng);
+        self.stack_base_offset = stack_base_offset;
+
+        self.mem.reset();
+        for (addr, bytes) in &self.globals.blits {
+            self.mem
+                .write_init(*addr, bytes)
+                .expect("global fits segment");
+        }
+        self.mem.set_rodata_used(self.globals.rodata_used);
+        self.mem.set_data_used(self.globals.data_used);
+        self.mem
+            .write_init(layout::DATA_BASE, &pseudo_seed.to_le_bytes())
+            .expect("pseudo state slot");
+
+        self.heap_next = 0;
+        self.free_lists.clear();
+        self.block_sizes.clear();
+        self.pending_exit = None;
+        self.decicycles = 0;
+        self.breakdown = CycleBreakdown::default();
+        self.insts = 0;
+        self.input_requests = 0;
+        self.rng_invocations = 0;
+        self.output.clear();
+        self.alloca_trace.clear();
+        self.max_depth = 0;
+        self.sp = 0;
     }
 
     /// Charge `c` cost units in category `cat` (single choke point for

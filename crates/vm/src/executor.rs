@@ -313,6 +313,51 @@ impl Executor {
     pub fn report_main(&self, input: &mut dyn InputSource) -> RunReport {
         RunReport::from(self.run_main_with(input))
     }
+
+    /// Open a resident [`Session`]: one long-lived VM that is respawned
+    /// (not rebuilt) before every run, reusing its memory segments,
+    /// register file, and call stack across requests. The cheap path for
+    /// servers that keep thousands of tenant sessions alive.
+    pub fn session(&self) -> Session {
+        Session { vm: self.vm() }
+    }
+}
+
+/// A resident VM session spawned by [`Executor::session`].
+///
+/// Each `run_main_*` call respawns the underlying VM under the given
+/// per-request seed before executing, so every request observes exactly
+/// the state a freshly-spawned VM would — the backends test suite pins
+/// reused-session outcomes bit-identical to fresh-VM outcomes — while
+/// the segment buffers, bytecode register file, and call-stack
+/// allocations persist across requests.
+pub struct Session {
+    vm: Vm,
+}
+
+impl Session {
+    /// Run `main` under a per-request TRNG seed.
+    pub fn run_main_seeded(&mut self, trng_seed: u64, input: &mut dyn InputSource) -> RunOutcome {
+        self.vm.respawn(trng_seed);
+        self.vm.run_main_with(input)
+    }
+
+    /// Run `main` under a per-request TRNG seed and stack-base offset
+    /// (defenses that re-draw the base offset per run need both knobs).
+    pub fn run_main_configured(
+        &mut self,
+        trng_seed: u64,
+        stack_base_offset: u64,
+        input: &mut dyn InputSource,
+    ) -> RunOutcome {
+        self.vm.respawn_configured(trng_seed, stack_base_offset);
+        self.vm.run_main_with(input)
+    }
+
+    /// The resident VM (post-mortem memory inspection between runs).
+    pub fn vm(&self) -> &Vm {
+        &self.vm
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +394,22 @@ mod tests {
         let two = exec.run_main_with(&mut input);
         assert_eq!(one.decicycles, two.decicycles);
         assert_eq!(exec.report_main(&mut input).exit_class, "return:9");
+    }
+
+    #[test]
+    fn resident_session_matches_fresh_vms() {
+        let exec = Executor::for_module(sample()).build();
+        let mut session = exec.session();
+        for seed in [3u64, 99, 3, 0xdead] {
+            let mut input = ScriptedInput::empty();
+            let resident = session.run_main_seeded(seed, &mut input);
+            let mut input = ScriptedInput::empty();
+            let fresh = exec.run_main_seeded(seed, &mut input);
+            assert_eq!(resident.exit, fresh.exit);
+            assert_eq!(resident.decicycles, fresh.decicycles);
+            assert_eq!(resident.insts, fresh.insts);
+            assert_eq!(resident.peak_rss, fresh.peak_rss);
+        }
     }
 
     #[test]

@@ -67,7 +67,7 @@ mod report;
 pub use bytecode::{compile_module, compiled_for, CompiledModule, ExecBackend};
 pub use cycles::{CostModel, CycleBreakdown, SlabClass, DECI};
 pub use exec::{AllocaRecord, Exit, FaultKind, RunOutcome, Vm, VmConfig};
-pub use executor::{Executor, ExecutorBuilder};
+pub use executor::{Executor, ExecutorBuilder, Session};
 pub use io::{FnInput, InputSource, OutputEvent, ScriptedInput};
 pub use mem::{layout, FaultLocus, MemConfig, MemFault, Memory};
 pub use report::{canonical_event, escape_bytes, exit_class, FaultClass, RunReport};

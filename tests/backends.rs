@@ -255,6 +255,70 @@ fn recorder_never_perturbs_either_backend() {
     }
 }
 
+/// A resident [`smokestack_vm::Session`] — one long-lived VM respawned
+/// per request — must be observably identical to freshly spawned VMs,
+/// across workloads, schemes, and both backends. This is the property
+/// the serve fleet's thousands of resident tenant sessions rest on: no
+/// state from one request (memory, heap allocator, RNG, telemetry
+/// counters) may leak into the next.
+#[test]
+fn resident_sessions_identical_to_fresh_vms() {
+    for (i, w) in all().iter().enumerate().take(6) {
+        let mut m = w.compile().expect("workload compiles");
+        harden(&mut m, &SmokestackConfig::default()).expect("workload hardens");
+        let module = Arc::new(m);
+        for backend in [ExecBackend::Interp, ExecBackend::Bytecode] {
+            for scheme in [SchemeKind::Pseudo, SchemeKind::Aes10] {
+                let exec = Executor::for_module(Arc::clone(&module))
+                    .scheme(scheme)
+                    .backend(backend)
+                    .build();
+                let mut session = exec.session();
+                // Interleaved seeds including a repeat, so state leaking
+                // from one request into the next would be caught.
+                for (j, seed) in [3u64, 0xbeef + i as u64, 3, 77].into_iter().enumerate() {
+                    let mut input = ScriptedInput::empty();
+                    let resident = session.run_main_seeded(seed, &mut input);
+                    let mut input = ScriptedInput::empty();
+                    let fresh = exec.run_main_seeded(seed, &mut input);
+                    assert_identical(
+                        &format!("{} ({backend:?}, {scheme:?}, request {j})", w.name),
+                        &fresh,
+                        &resident,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Resident sessions under per-request stack-base offsets (the ASLR
+/// baseline re-draws the base each service restart) must match fresh
+/// VMs configured the same way.
+#[test]
+fn resident_sessions_respect_per_request_stack_offsets() {
+    let w = &all()[1];
+    let mut m = w.compile().expect("workload compiles");
+    harden(&mut m, &SmokestackConfig::default()).expect("workload hardens");
+    let module = Arc::new(m);
+    let exec = Executor::for_module(Arc::clone(&module))
+        .scheme(SchemeKind::Aes10)
+        .build();
+    let mut session = exec.session();
+    for seed in [1u64, 9, 1] {
+        let offset = smokestack_defenses::stack_base_offset(seed, 1 << 20);
+        let mut input = ScriptedInput::empty();
+        let resident = session.run_main_configured(seed, offset, &mut input);
+        let mut input = ScriptedInput::empty();
+        let fresh = exec.vm_configured(seed, offset).run_main_with(&mut input);
+        assert_identical(
+            &format!("{} (offset {offset:#x})", w.name),
+            &fresh,
+            &resident,
+        );
+    }
+}
+
 /// The process-wide compiled-module cache must return the *same* image
 /// for identical (module, cost-model) pairs and distinct images when
 /// the cost fingerprint differs.
