@@ -62,6 +62,25 @@ pub fn intrinsic_ranges(callee: &Callee, args: &[Value]) -> Vec<IntrinsicRange> 
             len: None,
             writes: false,
         }],
+        // The concurrency word primitives always touch exactly 8 bytes;
+        // the count is implicit in the operation, so a synthesized
+        // constant stands in for the missing length argument.
+        Intrinsic::AtomicLoad => vec![IntrinsicRange {
+            ptr: args[0],
+            len: Some(Value::i64(8)),
+            writes: false,
+        }],
+        Intrinsic::AtomicStore | Intrinsic::AtomicRmw => vec![IntrinsicRange {
+            ptr: args[0],
+            len: Some(Value::i64(8)),
+            writes: true,
+        }],
+        // Lock/unlock both read and update the mutex word.
+        Intrinsic::MutexLock | Intrinsic::MutexUnlock => vec![IntrinsicRange {
+            ptr: args[0],
+            len: Some(Value::i64(8)),
+            writes: true,
+        }],
         _ => Vec::new(),
     }
 }
@@ -155,7 +174,14 @@ pub fn check(f: &Function, res: &Resolution) -> Vec<Diagnostic> {
                                 // of a constant length always do.
                                 let definite = matches!(
                                     callee,
-                                    Callee::Intrinsic(Intrinsic::Memcpy | Intrinsic::Memset)
+                                    Callee::Intrinsic(
+                                        Intrinsic::Memcpy
+                                            | Intrinsic::Memset
+                                            | Intrinsic::AtomicStore
+                                            | Intrinsic::AtomicRmw
+                                            | Intrinsic::MutexLock
+                                            | Intrinsic::MutexUnlock
+                                    )
                                 );
                                 if definite {
                                     diag(

@@ -29,6 +29,12 @@ pub struct SlotFlags {
     pub dynamic_access: bool,
     /// Some constant-offset access is statically out of bounds.
     pub oob_access: bool,
+    /// Address crosses a thread boundary: passed as a `spawn` argument
+    /// or used as an atomic/mutex word, so another thread may access
+    /// the slot concurrently. A strictly stronger escape than
+    /// `passed_to_call` — the slot is reachable even while this frame
+    /// is live, which matters for TOCTOU-style cross-thread DOP.
+    pub crosses_threads: bool,
 }
 
 impl SlotFlags {
@@ -101,9 +107,23 @@ impl EscapeSummary {
                         }
                     }
                     Inst::Call { callee, args, .. } => {
+                        let crosses = matches!(
+                            callee,
+                            smokestack_ir::Callee::Intrinsic(
+                                smokestack_ir::Intrinsic::Spawn
+                                    | smokestack_ir::Intrinsic::AtomicLoad
+                                    | smokestack_ir::Intrinsic::AtomicStore
+                                    | smokestack_ir::Intrinsic::AtomicRmw
+                                    | smokestack_ir::Intrinsic::MutexLock
+                                    | smokestack_ir::Intrinsic::MutexUnlock
+                            )
+                        );
                         for v in args {
                             if let Some((s, _)) = slot_of(*v) {
                                 flags[s].passed_to_call = true;
+                                if crosses {
+                                    flags[s].crosses_threads = true;
+                                }
                             }
                         }
                         if let smokestack_ir::Callee::Indirect(v) = callee {
@@ -204,6 +224,33 @@ mod tests {
         let (res, esc) = analyze(&f);
         assert!(esc.flags[0].passed_to_call);
         assert_eq!(esc.safe_mask(&res), vec![false]);
+    }
+
+    #[test]
+    fn cross_thread_escapes_are_classified() {
+        let mut f = Function::new("f", vec![], Type::Void);
+        let mut b = Builder::new(&mut f);
+        let word = b.alloca(Type::I64, "word");
+        let payload = b.alloca(Type::I64, "payload");
+        let local = b.alloca(Type::array(Type::I8, 8), "local");
+        b.call_intrinsic(
+            Intrinsic::AtomicStore,
+            vec![word.into(), Value::i64(1), Value::i64(0)],
+        );
+        b.call_intrinsic(
+            Intrinsic::Spawn,
+            vec![Value::Func(smokestack_ir::FuncId(0)), payload.into()],
+        );
+        b.call_intrinsic(Intrinsic::Strlen, vec![local.into()]);
+        b.ret(None);
+        let (res, esc) = analyze(&f);
+        // The atomic word and the spawn payload are reachable from the
+        // other thread; the strlen argument escapes but stays
+        // thread-local.
+        assert!(esc.flags[0].crosses_threads);
+        assert!(esc.flags[1].crosses_threads);
+        assert!(esc.flags[2].passed_to_call && !esc.flags[2].crosses_threads);
+        assert_eq!(esc.safe_mask(&res), vec![false, false, false]);
     }
 
     #[test]

@@ -19,7 +19,8 @@
 use std::collections::HashMap;
 
 use smokestack_ir::{
-    BinOp, BlockId, CastKind, Function, Inst, IntWidth, Module, RegId, Type, Value,
+    BinOp, BlockId, Callee, CastKind, Function, Inst, IntWidth, Intrinsic, Module, RegId, Type,
+    Value,
 };
 
 /// One stack slot: an `alloca` instruction and its static facts.
@@ -403,6 +404,40 @@ impl Taint {
                         Inst::Store { val, ptr, .. } => {
                             if t.value(*val) {
                                 if let Base::Slot { slot, .. } = res.value(*ptr).base {
+                                    if !t.slot_content[slot] {
+                                        t.slot_content[slot] = true;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                        }
+                        // Atomic word ops are memory accesses dressed as
+                        // calls: a load forwards the pointee's taint to
+                        // its result, a store forwards the stored
+                        // value's taint into the slot content, and RMW
+                        // does both.
+                        Inst::Call {
+                            result,
+                            callee: Callee::Intrinsic(which),
+                            args,
+                        } if matches!(
+                            which,
+                            Intrinsic::AtomicLoad | Intrinsic::AtomicStore | Intrinsic::AtomicRmw
+                        ) =>
+                        {
+                            if matches!(which, Intrinsic::AtomicLoad | Intrinsic::AtomicRmw) {
+                                if let Some(r) = result {
+                                    let lt = t.load_tainted(m, res, args[0]);
+                                    if lt && !t.reg[r.0 as usize] {
+                                        t.reg[r.0 as usize] = true;
+                                        changed = true;
+                                    }
+                                }
+                            }
+                            if matches!(which, Intrinsic::AtomicStore | Intrinsic::AtomicRmw)
+                                && t.value(args[1])
+                            {
+                                if let Base::Slot { slot, .. } = res.value(args[0]).base {
                                     if !t.slot_content[slot] {
                                         t.slot_content[slot] = true;
                                         changed = true;

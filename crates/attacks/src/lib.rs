@@ -28,6 +28,7 @@ pub mod proftpd;
 pub mod synth;
 pub mod synthetic;
 pub mod wireshark;
+pub mod xthread;
 
 use std::cell::Cell;
 use std::fmt;
@@ -613,6 +614,14 @@ pub fn by_name(name: &str) -> Option<Box<dyn Attack>> {
     if name.starts_with("synth-") {
         return synth::by_name(name).map(|a| Box::new(a) as Box<dyn Attack>);
     }
+    // The cross-thread pair extends the catalog without growing the
+    // pinned standard suite.
+    if name == "xthread-shared-overflow" {
+        return Some(Box::new(xthread::SharedOverflowAttack));
+    }
+    if name == "xthread-toctou-race" {
+        return Some(Box::new(xthread::ToctouRaceAttack));
+    }
     standard_suite().into_iter().find(|a| a.name() == name)
 }
 
@@ -703,6 +712,7 @@ mod tests {
             breakdown: Default::default(),
             alloca_trace: vec![],
             per_function: vec![],
+            sched_digest: 0,
         };
         // Goal met always wins, even over faults.
         let mut faulted = clean.clone();

@@ -112,7 +112,7 @@ struct FrameKnowledge {
     forbidden: Vec<(u64, u64)>,
 }
 
-fn oracle_map(report: &HardenReport, func: &str, draw: u64) -> Vec<(String, i64)> {
+pub(crate) fn oracle_map(report: &HardenReport, func: &str, draw: u64) -> Vec<(String, i64)> {
     let oracle = PseudoOracle::new(report);
     let offs = oracle.offsets_for_draw(func, draw);
     report.placements[func]
@@ -123,7 +123,7 @@ fn oracle_map(report: &HardenReport, func: &str, draw: u64) -> Vec<(String, i64)
         .collect()
 }
 
-fn get(map: &[(String, i64)], name: &str) -> Option<i64> {
+pub(crate) fn get(map: &[(String, i64)], name: &str) -> Option<i64> {
     map.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
 }
 

@@ -37,6 +37,9 @@ struct Row {
     name: &'static str,
     class: &'static str,
     decicycles: u64,
+    /// Deterministic cost of the *unhardened* build under the same
+    /// seed — denominator of the hardening-overhead gate.
+    base_decicycles: u64,
     insts: u64,
     interp_ns: f64,
     bytecode_ns: f64,
@@ -52,6 +55,11 @@ struct Row {
 impl Row {
     fn speedup(&self) -> f64 {
         self.interp_ns / self.bytecode_ns
+    }
+
+    /// Hardened-over-baseline cycle ratio (deterministic, both sides).
+    fn overhead(&self) -> f64 {
+        self.decicycles as f64 / self.base_decicycles as f64
     }
 
     fn tracer_ratio(&self) -> f64 {
@@ -117,6 +125,13 @@ fn measure(filter: &[String]) -> (Vec<Row>, SharedRecorder) {
         if !filter.is_empty() && !filter.iter().any(|f| f == w.name) {
             continue;
         }
+        // Unhardened reference run: same scheme/seed knobs (inert
+        // without instrumentation) so only the hardening differs.
+        let base = Executor::for_module(w.compile().expect("workload compiles"))
+            .scheme(SchemeKind::Aes10)
+            .trng_seed(TRNG_SEED)
+            .build()
+            .run_main(ScriptedInput::empty());
         let mut m = w.compile().expect("workload compiles");
         harden(&mut m, &SmokestackConfig::default()).expect("workload hardens");
         let make = |backend| {
@@ -179,8 +194,10 @@ fn measure(filter: &[String]) -> (Vec<Row>, SharedRecorder) {
             class: match w.class {
                 WorkloadClass::Cpu => "cpu",
                 WorkloadClass::Io => "io",
+                WorkloadClass::Threaded => "threaded",
             },
             decicycles: a.decicycles,
+            base_decicycles: base.decicycles,
             insts: a.insts,
             interp_ns: mi.ns_per_iter,
             bytecode_ns: mb.ns_per_iter,
@@ -203,6 +220,8 @@ fn to_json(rows: &[Row]) -> String {
         let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
         let _ = writeln!(s, "      \"class\": \"{}\",", r.class);
         let _ = writeln!(s, "      \"decicycles\": {},", r.decicycles);
+        let _ = writeln!(s, "      \"base_decicycles\": {},", r.base_decicycles);
+        let _ = writeln!(s, "      \"overhead\": {:.3},", r.overhead());
         let _ = writeln!(s, "      \"insts\": {},", r.insts);
         let _ = writeln!(s, "      \"interp_ns\": {:.1},", r.interp_ns);
         let _ = writeln!(s, "      \"bytecode_ns\": {:.1},", r.bytecode_ns);
@@ -299,12 +318,40 @@ fn tracer_gate(rows: &[Row], max_ratio: f64) -> Result<(), String> {
     Ok(())
 }
 
+/// The hardening-overhead gate: every measured workload's hardened
+/// (AES-10) over unhardened cycle ratio must stay at or below
+/// `max_ratio`. Both sides are deterministic simulated costs, so the
+/// gate is machine-independent. Its teeth are the threaded trio — the
+/// paper's argument needs per-thread randomization (independent P-BOX
+/// draws plus TRNG contention) to stay cheap even under contention.
+fn overhead_gate(rows: &[Row], max_ratio: f64) -> Result<(), String> {
+    for r in rows {
+        let ratio = r.overhead();
+        println!(
+            "overhead {:<14} {:>6} baseline {:>14} hardened {:>14}  {ratio:.3}x",
+            r.name, r.class, r.base_decicycles, r.decicycles
+        );
+        if ratio > max_ratio {
+            return Err(format!(
+                "{}: hardened/baseline cycle ratio {ratio:.3}x exceeds the {max_ratio:.2}x budget",
+                r.name
+            ));
+        }
+    }
+    println!(
+        "overhead gate passed: {} workload(s) at <= {max_ratio:.2}x hardened",
+        rows.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_out: Option<String> = None;
     let mut check_against: Option<String> = None;
     let mut tolerance = 10.0f64;
     let mut tracer_max: Option<f64> = None;
+    let mut overhead_max: Option<f64> = None;
     let mut stats = false;
     let mut filter: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -330,6 +377,15 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--overhead-max" => {
+                overhead_max = match it.next().and_then(|v| v.parse().ok()) {
+                    Some(t) => Some(t),
+                    None => {
+                        eprintln!("--overhead-max needs a ratio (e.g. 1.5)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--stats" => stats = true,
             "--workloads" => {
                 if let Some(list) = it.next() {
@@ -340,7 +396,7 @@ fn main() -> ExitCode {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: bench [--workloads a,b] [--json OUT] [--check BASELINE] \
-                     [--tolerance PCT] [--tracer-max RATIO] [--stats]"
+                     [--tolerance PCT] [--tracer-max RATIO] [--overhead-max RATIO] [--stats]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -399,6 +455,12 @@ fn main() -> ExitCode {
     if let Some(max) = tracer_max {
         if let Err(e) = tracer_gate(&rows, max) {
             eprintln!("TRACER GATE FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(max) = overhead_max {
+        if let Err(e) = overhead_gate(&rows, max) {
+            eprintln!("OVERHEAD GATE FAILED: {e}");
             return ExitCode::FAILURE;
         }
     }

@@ -57,6 +57,11 @@ pub const REAL_CVE_ATTACKS: [&str; 3] = [
     "proftpd-cve-2006-5815",
 ];
 
+/// The cross-thread DOP attacks (concurrency subsystem): one thread
+/// corrupting a sibling thread's frame through a shared pointer or a
+/// raced length check.
+pub const XTHREAD_ATTACKS: [&str; 2] = ["xthread-shared-overflow", "xthread-toctou-race"];
+
 /// The pinned bounds of security matrix v2, matching the cells of
 /// [`crate::plan::CampaignPlan::matrix`] (120 trials per cell):
 ///
@@ -92,6 +97,35 @@ pub fn security_matrix_v2() -> Vec<MatrixBound> {
                 attack: attack.into(),
                 defense: DefenseKind::Smokestack(scheme),
                 max_success_upper: Some(cap),
+                min_success_rate: None,
+            });
+        }
+    }
+    bounds
+}
+
+/// Pinned bounds for the cross-thread rows of the `matrix` plan (120
+/// trials per cell): both attacks fully compromise the unprotected
+/// baseline (the in-frame distances are static and disclosed by one
+/// probe), while per-thread Smokestack draws reduce them to a blind
+/// P-BOX row guess whose double-gate target (two exact 8-byte tokens in
+/// independently permuted slots) leaves only a small brute-force
+/// residual — capped at the same 15% upper bound as the librelp
+/// residual.
+pub fn xthread_bounds() -> Vec<MatrixBound> {
+    let mut bounds = Vec::new();
+    for attack in XTHREAD_ATTACKS {
+        bounds.push(MatrixBound {
+            attack: attack.into(),
+            defense: DefenseKind::None,
+            max_success_upper: None,
+            min_success_rate: Some(0.99),
+        });
+        for scheme in [SchemeKind::Aes10, SchemeKind::Rdrand] {
+            bounds.push(MatrixBound {
+                attack: attack.into(),
+                defense: DefenseKind::Smokestack(scheme),
+                max_success_upper: Some(0.15),
                 min_success_rate: None,
             });
         }
@@ -168,11 +202,17 @@ pub fn synth_bounds() -> Vec<MatrixBound> {
 }
 
 /// The pinned bound set for a built-in plan, if it has one. The
-/// `matrix` and `full` plans carry the full v2 bounds; `smoke` has its
-/// own scaled-down set.
+/// `matrix` plan carries the full v2 bounds plus the cross-thread rows;
+/// `full` (which iterates the pinned standard suite, not the extended
+/// catalog) carries v2 only; `smoke` has its own scaled-down set.
 pub fn bounds_for_plan(name: &str) -> Option<Vec<MatrixBound>> {
     match name {
-        "matrix" | "full" => Some(security_matrix_v2()),
+        "matrix" => {
+            let mut bounds = security_matrix_v2();
+            bounds.extend(xthread_bounds());
+            Some(bounds)
+        }
+        "full" => Some(security_matrix_v2()),
         "matrix-synth" => Some(synth_bounds()),
         "smoke" => Some(smoke_bounds()),
         _ => None,

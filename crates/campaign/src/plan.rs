@@ -127,6 +127,22 @@ impl CampaignPlan {
                 });
             }
         }
+        // Cross-thread DOP rows: one thread corrupting a sibling
+        // thread's frame, against the baseline and both secure schemes
+        // with per-thread layout draws.
+        for attack in ["xthread-shared-overflow", "xthread-toctou-race"] {
+            for defense in [
+                DefenseKind::None,
+                DefenseKind::Smokestack(SchemeKind::Aes10),
+                DefenseKind::Smokestack(SchemeKind::Rdrand),
+            ] {
+                cells.push(PlanCell {
+                    attack: attack.into(),
+                    defense,
+                    trials: 120,
+                });
+            }
+        }
         CampaignPlan {
             name: "matrix".into(),
             master_seed: 0xcafe_f00d,

@@ -19,6 +19,7 @@ struct Args {
     seed_end: u64,
     jobs: usize,
     runs: u32,
+    sched_seeds: u32,
     out: Option<String>,
     json: bool,
     minimize: bool,
@@ -27,12 +28,15 @@ struct Args {
     max_repro_stmts: usize,
 }
 
-const USAGE: &str = "usage: fuzz [--seeds A:B] [--jobs N] [--runs R] [--out DIR] [--json] \
-[--no-minimize] [--deny-divergences] [--expect-divergence] [--max-repro-stmts N]
+const USAGE: &str = "usage: fuzz [--seeds A:B] [--jobs N] [--runs R] [--sched-seeds K] \
+[--out DIR] [--json] [--no-minimize] [--deny-divergences] [--expect-divergence] \
+[--max-repro-stmts N]
 
   --seeds A:B          half-open case-seed window (default 0:64)
   --jobs N             worker threads (default 1)
   --runs R             layout draws per variant per case (default 2)
+  --sched-seeds K      scheduler interleavings swept per threaded case
+                       (default 4; single-threaded cases run one schedule)
   --out DIR            write repro-<seed>.mc / .json triage files to DIR
   --json               print the summary and triage records as JSON lines
   --no-minimize        skip AST minimization of diverging cases
@@ -56,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         seed_end: 64,
         jobs: 1,
         runs: 2,
+        sched_seeds: 4,
         out: None,
         json: false,
         minimize: true,
@@ -87,6 +92,11 @@ fn parse_args() -> Result<Args, String> {
                 args.runs = value("--runs")?
                     .parse()
                     .map_err(|_| "bad --runs value".to_string())?;
+            }
+            "--sched-seeds" => {
+                args.sched_seeds = value("--sched-seeds")?
+                    .parse()
+                    .map_err(|_| "bad --sched-seeds value".to_string())?;
             }
             "--out" => args.out = Some(value("--out")?),
             "--json" => args.json = true,
@@ -122,6 +132,7 @@ fn main() -> ExitCode {
         seed_end: args.seed_end,
         jobs: args.jobs,
         runs_per_variant: args.runs,
+        sched_seeds: args.sched_seeds,
         minimize: args.minimize,
         max_triage: 8,
     });

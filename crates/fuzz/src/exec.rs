@@ -39,6 +39,10 @@ use crate::gen::FuzzCase;
 /// generator's domain on the same case seed).
 const TRNG_DOMAIN: u64 = 0x7269;
 
+/// Seed-stream domain for scheduler seeds of threaded cases (disjoint
+/// from both the generator's and the TRNG domains).
+const SCHED_DOMAIN: u64 = 0x5c4d;
+
 /// One hardened configuration under test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Variant {
@@ -95,6 +99,14 @@ pub struct DiffConfig {
     /// is simply rejected — instead of grinding through the default
     /// budget on every predicate check.
     pub fuel: Option<u64>,
+    /// Scheduler seeds (distinct interleavings) swept per variant run
+    /// of a *threaded* case — one that can reach `spawn`. Threaded
+    /// programs are interleaving-invariant by construction, so every
+    /// schedule must still match the baseline observation; sweeping
+    /// several catches generator or scheduler bugs that only one
+    /// interleaving exposes. Single-threaded cases always run once,
+    /// under the default seed.
+    pub sched_seeds: u32,
 }
 
 impl Default for DiffConfig {
@@ -105,6 +117,7 @@ impl Default for DiffConfig {
             pinned_seeds: Vec::new(),
             stop_at_first: false,
             fuel: None,
+            sched_seeds: 4,
         }
     }
 }
@@ -168,6 +181,9 @@ pub struct Divergence {
     pub run: u32,
     /// TRNG seed of the diverging run (replays the exact layout draws).
     pub trng_seed: u64,
+    /// Scheduler seed of the diverging run (replays the exact
+    /// interleaving; always 0 for single-threaded cases).
+    pub sched_seed: u64,
     /// What differed first.
     pub kind: DivergenceKind,
     /// The baseline observation.
@@ -216,16 +232,47 @@ pub fn trng_seed(case_seed: u64, vi: usize, run: u32) -> u64 {
     SeedStream::new(case_seed, TRNG_DOMAIN).seed((vi as u64) << 32 | u64::from(run))
 }
 
+/// Deterministic scheduler seed `k` for `case_seed`. Seed 0 is always
+/// the VM default schedule (what the baseline runs under); later seeds
+/// explore distinct interleavings.
+pub fn sched_seed_for(case_seed: u64, k: u32) -> u64 {
+    if k == 0 {
+        0
+    } else {
+        SeedStream::new(case_seed, SCHED_DOMAIN).seed(u64::from(k))
+    }
+}
+
+/// Whether the module can reach a `spawn` — only then do scheduler
+/// seeds change anything worth sweeping.
+fn module_is_threaded(module: &smokestack_ir::Module) -> bool {
+    module.iter_funcs().any(|(_, f)| {
+        f.iter_blocks().any(|(_, b)| {
+            b.insts.iter().any(|inst| {
+                matches!(
+                    inst,
+                    smokestack_ir::Inst::Call {
+                        callee: smokestack_ir::Callee::Intrinsic(smokestack_ir::Intrinsic::Spawn),
+                        ..
+                    }
+                )
+            })
+        })
+    })
+}
+
 /// One VM session per (module, scheme): the module is lowered to
 /// bytecode once and every seeded run replays the cached image.
 fn exec_for(
     module: &Arc<smokestack_ir::Module>,
     scheme: SchemeKind,
     fuel: Option<u64>,
+    sched_seed: u64,
 ) -> Executor {
     Executor::for_module(Arc::clone(module))
         .scheme(scheme)
         .fuel(fuel.unwrap_or(VmConfig::default().fuel))
+        .sched_seed(sched_seed)
         .build()
 }
 
@@ -254,11 +301,15 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> CaseResult {
     };
     result.analyzer_errors = analyze_module(&module).error_count();
 
-    // Baseline: the raw module, no instrumentation. Its behavior must
-    // not depend on the scheme (stack_rng never runs); one run suffices.
+    // Baseline: the raw module, no instrumentation, default schedule.
+    // Its behavior must not depend on the scheme (stack_rng never
+    // runs); one run suffices. Threaded cases are
+    // interleaving-invariant by construction, so the default schedule
+    // is as good a reference as any — the variant sweep below exercises
+    // the other interleavings against it.
     let base_module = Arc::new(module.clone());
     let base_out = run_vm(
-        &exec_for(&base_module, SchemeKind::Aes10, cfg.fuel),
+        &exec_for(&base_module, SchemeKind::Aes10, cfg.fuel, 0),
         0,
         case,
     );
@@ -274,6 +325,16 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> CaseResult {
         // is the whole report.
         return result;
     }
+
+    // Threaded cases sweep several scheduler seeds per variant;
+    // single-threaded cases run once under the default schedule.
+    let sched_seeds: Vec<u64> = if module_is_threaded(&module) {
+        (0..cfg.sched_seeds.max(1))
+            .map(|k| sched_seed_for(case.seed, k))
+            .collect()
+    } else {
+        vec![0]
+    };
 
     let matrix: Vec<Variant> = match cfg.only {
         Some(v) => vec![v],
@@ -291,32 +352,38 @@ pub fn run_case(case: &FuzzCase, cfg: &DiffConfig) -> CaseResult {
                 .push(format!("{}: {e:?}", variant.label()));
             continue;
         }
-        let hardened_exec = exec_for(&Arc::new(hardened), variant.scheme, cfg.fuel);
+        let hardened_module = Arc::new(hardened);
         let seeds: Vec<u64> = cfg
             .pinned_seeds
             .iter()
             .copied()
             .chain((0..cfg.runs_per_variant).map(|run| trng_seed(case.seed, vi, run)))
             .collect();
-        for (run, seed) in seeds.into_iter().enumerate() {
-            let out = run_vm(&hardened_exec, seed, case);
-            let obs = observe(&out);
-            if obs != baseline {
-                let kind = if obs.output != baseline.output {
-                    DivergenceKind::Output
-                } else {
-                    DivergenceKind::Exit
-                };
-                result.divergences.push(Divergence {
-                    variant: *variant,
-                    run: run as u32,
-                    trng_seed: seed,
-                    kind,
-                    baseline: baseline.clone(),
-                    observed: obs,
-                });
-                if cfg.stop_at_first {
-                    return result;
+        for &sched_seed in &sched_seeds {
+            // One executor per schedule: the bytecode image is cached
+            // process-wide, so this only re-seeds the scheduler.
+            let hardened_exec = exec_for(&hardened_module, variant.scheme, cfg.fuel, sched_seed);
+            for (run, seed) in seeds.iter().copied().enumerate() {
+                let out = run_vm(&hardened_exec, seed, case);
+                let obs = observe(&out);
+                if obs != baseline {
+                    let kind = if obs.output != baseline.output {
+                        DivergenceKind::Output
+                    } else {
+                        DivergenceKind::Exit
+                    };
+                    result.divergences.push(Divergence {
+                        variant: *variant,
+                        run: run as u32,
+                        trng_seed: seed,
+                        sched_seed,
+                        kind,
+                        baseline: baseline.clone(),
+                        observed: obs,
+                    });
+                    if cfg.stop_at_first {
+                        return result;
+                    }
                 }
             }
         }
@@ -343,6 +410,7 @@ pub fn capture_divergence_incident(case: &FuzzCase, div: &Divergence) -> Option<
     let recorder = SharedRecorder::default();
     let exec = Executor::for_module(Arc::new(hardened))
         .scheme(div.variant.scheme)
+        .sched_seed(div.sched_seed)
         .recorder(recorder.clone())
         .build();
     let out = run_vm(&exec, div.trng_seed, case);
@@ -462,6 +530,38 @@ mod tests {
         }
     }
 
+    #[cfg(not(feature = "planted-bugs"))]
+    #[test]
+    fn threaded_case_matches_baseline_across_sched_seeds() {
+        let src = r#"
+            long tacc = 0;
+            long w(long base) {
+                long acc = 0;
+                long i = 0;
+                while (i < 9) { acc = acc + ((base * 3) ^ (i + 5)); i = i + 1; }
+                atomic_add(&tacc, acc);
+                return acc & 255;
+            }
+            int main() {
+                long h0 = spawn(w, 4);
+                long h1 = spawn(w, 11);
+                long j0 = join(h0);
+                long j1 = join(h1);
+                print_int(atomic_load(&tacc) + j0 + j1);
+                return 0;
+            }
+        "#;
+        let case = case_from_source(src, vec![]);
+        let r = run_case(&case, &DiffConfig::default());
+        assert!(r.compile_error.is_none(), "{:?}", r.compile_error);
+        assert_eq!(r.analyzer_errors, 0, "threaded case must be analyzer-clean");
+        assert!(r.harden_errors.is_empty(), "{:?}", r.harden_errors);
+        assert!(r.divergences.is_empty(), "{:#?}", r.divergences[0]);
+        // The sweep actually explores distinct schedules.
+        assert_ne!(sched_seed_for(case.seed, 1), 0);
+        assert_ne!(sched_seed_for(case.seed, 1), sched_seed_for(case.seed, 2));
+    }
+
     #[test]
     fn faulting_replays_yield_replayable_schema_valid_incidents() {
         // A gross overflow that must fault under the hardened variant
@@ -476,6 +576,7 @@ mod tests {
             },
             run: 0,
             trng_seed: 7,
+            sched_seed: 0,
             kind: DivergenceKind::Exit,
             baseline: Observation {
                 exit: "return:0".into(),
@@ -512,7 +613,7 @@ mod tests {
         let case = case_from_source(src, vec![b"hi".to_vec()]);
         let module = compile(&case.source).unwrap();
         let out = run_vm(
-            &exec_for(&Arc::new(module), SchemeKind::Aes10, None),
+            &exec_for(&Arc::new(module), SchemeKind::Aes10, None, 0),
             0,
             &case,
         );

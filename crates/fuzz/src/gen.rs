@@ -103,7 +103,22 @@ struct Gen {
     globals: Vec<String>,
     /// Struct defs available for local declarations.
     structs: Vec<StructDef>,
+    /// Spawnable worker functions (threaded fragment). Workers touch
+    /// shared state only through one commutative `atomic_add`, so every
+    /// interleaving computes the same totals — which the differential
+    /// oracle requires, since baseline and hardened builds execute
+    /// different instruction streams and therefore different schedules.
+    workers: Vec<String>,
 }
+
+/// Percent of cases that carry the threaded fragment (spawn/join plus
+/// an atomic accumulator).
+const THREADED_CHANCE: u64 = 30;
+
+/// The shared accumulator global of the threaded fragment. Kept out of
+/// `Gen::globals` so generic statements never race on it: only the
+/// workers' `atomic_add` and main's post-join `atomic_load` touch it.
+const TACC: &str = "tacc";
 
 /// Generate the program for `seed`.
 pub fn generate(seed: u64) -> FuzzCase {
@@ -115,6 +130,7 @@ pub fn generate(seed: u64) -> FuzzCase {
         helpers: Vec::new(),
         globals: Vec::new(),
         structs: Vec::new(),
+        workers: Vec::new(),
     };
     let program = g.program();
     let source = print_program(&program);
@@ -187,8 +203,23 @@ impl Gen {
             self.globals.push(name);
         }
 
-        // Helpers first (callable from main and from later helpers).
+        // Threaded fragment: a shared accumulator plus 1–2 spawnable
+        // workers that main will spawn/join around its generic body.
         let mut funcs = Vec::new();
+        if self.chance(THREADED_CHANCE) {
+            globals.push(GlobalDef {
+                ty: TypeExpr::Long,
+                name: TACC.into(),
+                array: None,
+                init: Some(GlobalInitAst::Int(0)),
+                pos: P,
+            });
+            for _ in 0..self.rng.gen_range(1, 3) {
+                funcs.push(self.worker_fn());
+            }
+        }
+
+        // Helpers next (callable from main and from later helpers).
         for _ in 0..self.rng.gen_range(0, 4) {
             funcs.push(self.function(false));
         }
@@ -198,6 +229,77 @@ impl Gen {
             structs: self.structs.clone(),
             globals,
             funcs,
+        }
+    }
+
+    /// A spawnable worker: one `long` parameter, private locals, a
+    /// bounded accumulation loop, and exactly one commutative
+    /// `atomic_add` into [`TACC`]. Workers never print, never touch the
+    /// generator's generic globals, and never call helpers (helpers
+    /// print): baseline and hardened builds execute different
+    /// instruction streams and therefore schedule differently, so any
+    /// interleaving-dependent observable would legitimately diverge and
+    /// poison the oracle.
+    fn worker_fn(&mut self) -> FuncDef {
+        let name = self.fresh("t");
+        let p = self.fresh("p");
+        let acc = self.fresh("v");
+        let ctr = self.fresh("c");
+        let mut body = vec![
+            Stmt::Decl(LocalDecl {
+                ty: TypeExpr::Long,
+                name: acc.clone(),
+                array: None,
+                init: Some(self.small_lit()),
+                pos: P,
+            }),
+            Stmt::Decl(LocalDecl {
+                ty: TypeExpr::Long,
+                name: ctr.clone(),
+                array: None,
+                init: Some(Expr::Int(0, P)),
+                pos: P,
+            }),
+        ];
+        let bound = self.rng.gen_range(3, 12) as i64;
+        let mul = self.rng.gen_range(1, 7) as i64;
+        let xor = self.rng.gen_range(0, 64) as i64;
+        body.push(Stmt::While(
+            bin(BinOpKind::Lt, var(&ctr), Expr::Int(bound, P)),
+            vec![
+                assign(
+                    var(&acc),
+                    bin(
+                        BinOpKind::Add,
+                        var(&acc),
+                        bin(
+                            BinOpKind::Xor,
+                            bin(BinOpKind::Mul, var(&p), Expr::Int(mul, P)),
+                            bin(BinOpKind::Add, var(&ctr), Expr::Int(xor, P)),
+                        ),
+                    ),
+                ),
+                assign(var(&ctr), bin(BinOpKind::Add, var(&ctr), Expr::Int(1, P))),
+            ],
+        ));
+        body.push(call_stmt(
+            "atomic_add",
+            vec![Expr::Un(UnOpKind::Addr, Box::new(var(TACC)), P), var(&acc)],
+        ));
+        body.push(Stmt::Return(
+            Some(bin(BinOpKind::And, var(&acc), Expr::Int(255, P))),
+            P,
+        ));
+        self.workers.push(name.clone());
+        FuncDef {
+            ret: TypeExpr::Long,
+            name,
+            params: vec![Param {
+                ty: TypeExpr::Long,
+                name: p,
+            }],
+            body,
+            pos: P,
         }
     }
 
@@ -256,10 +358,61 @@ impl Gen {
             self.gen_decl(&mut scope, &mut body);
         }
 
+        // Spawn the threaded fragment's workers before the generic
+        // statements run; the handles stay out of `scope` so no generic
+        // assignment can clobber one before its join.
+        let mut handles = Vec::new();
+        if is_main {
+            for wname in self.workers.clone() {
+                let h = self.fresh("h");
+                let arg = self.rng.gen_range(0, 50) as i64;
+                body.push(Stmt::Decl(LocalDecl {
+                    ty: TypeExpr::Long,
+                    name: h.clone(),
+                    array: None,
+                    init: Some(Expr::Call(
+                        "spawn".into(),
+                        vec![var(&wname), Expr::Int(arg, P)],
+                        P,
+                    )),
+                    pos: P,
+                }));
+                handles.push(h);
+            }
+        }
+
         // Statements over the declared state.
         let n_stmts = self.rng.gen_range(2, 9);
         for _ in 0..n_stmts {
             self.gen_stmt(&mut scope, &mut body, is_main, 0);
+        }
+
+        // Join every worker, then observe the shared total: main reads
+        // `tacc` only after all writers have finished, so the printed
+        // value is the same under every interleaving.
+        if !handles.is_empty() {
+            let mut total = Expr::Call(
+                "atomic_load".into(),
+                vec![Expr::Un(UnOpKind::Addr, Box::new(var(TACC)), P)],
+                P,
+            );
+            for h in &handles {
+                let j = self.fresh("j");
+                body.push(Stmt::Decl(LocalDecl {
+                    ty: TypeExpr::Long,
+                    name: j.clone(),
+                    array: None,
+                    init: Some(Expr::Call("join".into(), vec![var(h)], P)),
+                    pos: P,
+                }));
+                total = bin(BinOpKind::Add, total, var(&j));
+                scope.scalars.push(ScalarVar {
+                    name: j,
+                    ty: TypeExpr::Long,
+                    writable: false,
+                });
+            }
+            body.push(call_stmt("print_int", vec![total]));
         }
 
         // Observe the state so slot corruption cannot hide: print one
@@ -967,6 +1120,29 @@ mod tests {
                 )
             });
         }
+    }
+
+    #[test]
+    fn threaded_fragment_appears_with_spawn_join_and_atomics() {
+        let mut threaded = 0;
+        for seed in 0..64 {
+            let case = generate(seed);
+            if case.source.contains("spawn(") {
+                threaded += 1;
+                assert!(
+                    case.source.contains("atomic_add((&tacc)"),
+                    "seed {seed}: spawned workers must publish through the atomic accumulator"
+                );
+                assert!(
+                    case.source.contains("join("),
+                    "seed {seed}: every spawn is joined before main observes tacc"
+                );
+            }
+        }
+        assert!(
+            threaded >= 8,
+            "expected roughly {THREADED_CHANCE}% threaded cases, got {threaded}/64"
+        );
     }
 
     #[test]

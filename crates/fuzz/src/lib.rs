@@ -60,6 +60,10 @@ pub struct FuzzConfig {
     pub jobs: usize,
     /// Independent layout draws per variant per case.
     pub runs_per_variant: u32,
+    /// Scheduler interleavings swept per threaded case (single-threaded
+    /// cases always run exactly one schedule). See
+    /// [`DiffConfig::sched_seeds`].
+    pub sched_seeds: u32,
     /// Minimize diverging cases and attach triage records.
     pub minimize: bool,
     /// Keep at most this many triage records (minimization cost is per
@@ -74,6 +78,7 @@ impl Default for FuzzConfig {
             seed_end: 64,
             jobs: 1,
             runs_per_variant: 2,
+            sched_seeds: DiffConfig::default().sched_seeds,
             minimize: true,
             max_triage: 8,
         }
@@ -137,6 +142,7 @@ impl FuzzReport {
 pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let diff = DiffConfig {
         runs_per_variant: cfg.runs_per_variant,
+        sched_seeds: cfg.sched_seeds,
         ..DiffConfig::default()
     };
     let seeds: Vec<u64> = (cfg.seed_start..cfg.seed_end).collect();
@@ -226,6 +232,7 @@ mod tests {
             seed_end: 208,
             jobs: 1,
             runs_per_variant: 1,
+            sched_seeds: 2,
             minimize: true,
             max_triage: 4,
         };

@@ -100,6 +100,10 @@ pub fn minimize_case(case: &FuzzCase, cfg: &MinimizeConfig) -> FuzzCase {
             pinned_seeds: cfg.pinned_seed.into_iter().collect(),
             stop_at_first: true,
             fuel: Some(cfg.fuel),
+            // Keep the full interleaving sweep while shrinking threaded
+            // cases: a divergence seen under one schedule must stay
+            // reproducible under *some* swept schedule after each edit.
+            sched_seeds: DiffConfig::default().sched_seeds,
         },
         checks_left: cfg.max_checks,
     };

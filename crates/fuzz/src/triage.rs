@@ -26,6 +26,9 @@ pub struct TriageRecord {
     pub variant: String,
     /// TRNG seed of the diverging run.
     pub trng_seed: u64,
+    /// Scheduler seed of the diverging run (0 for single-threaded
+    /// cases; replays the exact interleaving otherwise).
+    pub sched_seed: u64,
     /// Divergence kind label (`output` / `exit`).
     pub kind: String,
     /// Canonical baseline exit.
@@ -58,6 +61,7 @@ impl TriageRecord {
             seed: original.seed,
             variant: div.variant.label(),
             trng_seed: div.trng_seed,
+            sched_seed: div.sched_seed,
             kind: div.kind.label().to_string(),
             baseline_exit: div.baseline.exit.clone(),
             observed_exit: div.observed.exit.clone(),
@@ -85,6 +89,7 @@ impl TriageRecord {
         s.push_str(",\"variant\":");
         push_json_str(&mut s, &self.variant);
         s.push_str(&format!(",\"trng_seed\":{}", self.trng_seed));
+        s.push_str(&format!(",\"sched_seed\":{}", self.sched_seed));
         s.push_str(",\"kind\":");
         push_json_str(&mut s, &self.kind);
         s.push_str(",\"baseline_exit\":");
@@ -182,6 +187,7 @@ mod tests {
             },
             run: 1,
             trng_seed: 77,
+            sched_seed: 9,
             kind: DivergenceKind::Output,
             baseline: Observation {
                 exit: "return:0".into(),
@@ -198,6 +204,7 @@ mod tests {
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"seed\":42"));
         assert!(line.contains("\"variant\":\"smokestack/AES-10\""));
+        assert!(line.contains("\"sched_seed\":9"));
         assert!(line.contains("\"kind\":\"output\""));
         // The multi-line source must arrive escaped, never raw.
         assert!(line.contains("\\n") || !rec.source.contains('\n'));
@@ -215,6 +222,7 @@ mod tests {
             },
             run: 0,
             trng_seed: 5,
+            sched_seed: 0,
             kind: DivergenceKind::Exit,
             baseline: Observation {
                 exit: "return:3".into(),

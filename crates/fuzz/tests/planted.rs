@@ -23,6 +23,7 @@ fn fuzzer_finds_and_minimizes_the_planted_pbox_bug() {
         seed_end: 64,
         jobs: 4,
         runs_per_variant: 4,
+        sched_seeds: 2,
         minimize: true,
         max_triage: 2,
     });

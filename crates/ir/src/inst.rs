@@ -175,6 +175,31 @@ pub enum Intrinsic {
     CanaryFail,
     /// `exit(code)`: terminate the program normally.
     Exit,
+    /// `spawn(fn_addr, arg) -> i64`: start a new thread running the
+    /// function at `fn_addr` (a `Value::Func` code address) with a
+    /// single `i64` argument. Returns the new thread id (>= 1).
+    Spawn,
+    /// `join(tid) -> i64`: block until thread `tid` finishes, then
+    /// return its result value (0 for a `void` return).
+    Join,
+    /// `atomic_load(ptr, ord) -> i64`: 8-byte atomic read. `ord` is
+    /// 0 = relaxed, 1 = acquire.
+    AtomicLoad,
+    /// `atomic_store(ptr, val, ord)`: 8-byte atomic write. `ord` is
+    /// 0 = relaxed, 2 = release.
+    AtomicStore,
+    /// `atomic_rmw(ptr, val, op, ord) -> i64`: 8-byte atomic
+    /// read-modify-write returning the *old* value. `op` is 0 = add,
+    /// 1 = exchange; `ord` is 0 = relaxed, 3 = acq-rel.
+    AtomicRmw,
+    /// `mutex_lock(ptr)`: acquire the mutex identified by address
+    /// `ptr`, blocking (deterministically) while another thread holds
+    /// it. Establishes an acquire edge.
+    MutexLock,
+    /// `mutex_unlock(ptr)`: release the mutex identified by `ptr`.
+    /// Establishes a release edge. Unlocking an unheld mutex is a
+    /// no-op.
+    MutexUnlock,
 }
 
 impl Intrinsic {
@@ -198,6 +223,13 @@ impl Intrinsic {
             Intrinsic::Canary => "canary",
             Intrinsic::CanaryFail => "canary_fail",
             Intrinsic::Exit => "exit",
+            Intrinsic::Spawn => "spawn",
+            Intrinsic::Join => "join",
+            Intrinsic::AtomicLoad => "atomic_load",
+            Intrinsic::AtomicStore => "atomic_store",
+            Intrinsic::AtomicRmw => "atomic_rmw",
+            Intrinsic::MutexLock => "mutex_lock",
+            Intrinsic::MutexUnlock => "mutex_unlock",
         }
     }
 
@@ -222,6 +254,13 @@ impl Intrinsic {
             "canary" => Canary,
             "canary_fail" => CanaryFail,
             "exit" => Exit,
+            "spawn" => Spawn,
+            "join" => Join,
+            "atomic_load" => AtomicLoad,
+            "atomic_store" => AtomicStore,
+            "atomic_rmw" => AtomicRmw,
+            "mutex_lock" => MutexLock,
+            "mutex_unlock" => MutexUnlock,
             _ => return None,
         })
     }
@@ -242,6 +281,13 @@ impl Intrinsic {
             GuardFail => (1, false),
             CanaryFail => (0, false),
             Exit => (1, false),
+            Spawn => (2, true),
+            Join => (1, true),
+            AtomicLoad => (2, true),
+            AtomicStore => (3, false),
+            AtomicRmw => (4, true),
+            MutexLock => (1, false),
+            MutexUnlock => (1, false),
         }
     }
 }
@@ -453,6 +499,13 @@ mod tests {
             Intrinsic::Exit,
             Intrinsic::Malloc,
             Intrinsic::GuardFail,
+            Intrinsic::Spawn,
+            Intrinsic::Join,
+            Intrinsic::AtomicLoad,
+            Intrinsic::AtomicStore,
+            Intrinsic::AtomicRmw,
+            Intrinsic::MutexLock,
+            Intrinsic::MutexUnlock,
         ] {
             assert_eq!(Intrinsic::from_name(i.name()), Some(i));
         }

@@ -1245,6 +1245,93 @@ impl Lowering {
         args: &[Expr],
         pos: Pos,
     ) -> Result<(Value, CTy), CompileError> {
+        // `spawn(worker, arg)`: the first argument names a function, which
+        // lowers to a code-address constant the scheduler decodes.
+        if name == "spawn" {
+            if args.len() != 2 {
+                return err(
+                    format!("`spawn` takes 2 arguments, got {}", args.len()),
+                    pos,
+                );
+            }
+            let fname = match &args[0] {
+                Expr::Var(n, _) => n.clone(),
+                _ => return err("`spawn` needs a function name as its first argument", pos),
+            };
+            let (fid, params) = match self.funcs.get(&fname) {
+                Some(s) => (s.id, s.params.clone()),
+                None => return err(format!("unknown function `{fname}`"), pos),
+            };
+            if params.len() != 1 || !matches!(params[0], CTy::Int(IntWidth::W64) | CTy::Ptr(_)) {
+                return err(
+                    format!("spawned function `{fname}` must take one long or pointer argument"),
+                    pos,
+                );
+            }
+            let (v, t) = self.rvalue(cx, &args[1])?;
+            let arg = match t {
+                CTy::Ptr(_) => v,
+                CTy::Int(_) => self.coerce(cx, v, &t, &CTy::LONG, pos)?,
+                other => return err(format!("bad argument type {other:?}"), pos),
+            };
+            let result = cx.f.new_reg(Type::I64);
+            self.emit(
+                cx,
+                ir::Inst::Call {
+                    result: Some(result),
+                    callee: ir::Callee::Intrinsic(Intrinsic::Spawn),
+                    args: vec![Value::Func(fid), arg],
+                },
+            );
+            return Ok((Value::Reg(result), CTy::LONG));
+        }
+
+        // Atomic sugar: the source-level helpers expand to the canonical
+        // atomic intrinsics with ordering (and RMW op) injected as
+        // trailing constant arguments. Orderings: 0 relaxed, 1 acquire,
+        // 2 release, 3 acq-rel; RMW ops: 0 add, 1 exchange.
+        let sugar: Option<(Intrinsic, &[i64])> = match (name, args.len()) {
+            ("atomic_load", 1) => Some((Intrinsic::AtomicLoad, &[1])),
+            ("atomic_load_rlx", 1) => Some((Intrinsic::AtomicLoad, &[0])),
+            ("atomic_store", 2) => Some((Intrinsic::AtomicStore, &[2])),
+            ("atomic_store_rlx", 2) => Some((Intrinsic::AtomicStore, &[0])),
+            ("atomic_add", 2) => Some((Intrinsic::AtomicRmw, &[0, 3])),
+            ("atomic_add_rlx", 2) => Some((Intrinsic::AtomicRmw, &[0, 0])),
+            ("atomic_xchg", 2) => Some((Intrinsic::AtomicRmw, &[1, 3])),
+            _ => None,
+        };
+        if let Some((intr, extra)) = sugar {
+            let mut argv = Vec::new();
+            for a in args {
+                let (v, t) = self.rvalue(cx, a)?;
+                let v = match t {
+                    CTy::Ptr(_) => v,
+                    CTy::Int(_) => self.coerce(cx, v, &t, &CTy::LONG, pos)?,
+                    other => return err(format!("bad argument type {other:?}"), pos),
+                };
+                argv.push(v);
+            }
+            argv.extend(extra.iter().map(|&k| Value::i64(k)));
+            let (_, returns) = intr.signature();
+            let result = if returns {
+                Some(cx.f.new_reg(Type::I64))
+            } else {
+                None
+            };
+            self.emit(
+                cx,
+                ir::Inst::Call {
+                    result,
+                    callee: ir::Callee::Intrinsic(intr),
+                    args: argv,
+                },
+            );
+            return Ok(match result {
+                Some(r) => (Value::Reg(r), CTy::LONG),
+                None => (Value::ConstInt(0, IntWidth::W32), CTy::Void),
+            });
+        }
+
         // Intrinsics (the libc-like builtins); instrumentation-only
         // intrinsics are not callable from source.
         if let Some(intr) = Intrinsic::from_name(name) {

@@ -306,6 +306,9 @@ pub fn run_serve(
                     let wall = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     fr.benign += 1;
                     fr.deci.observe(out.decicycles);
+                    if traffic::in_attack_wake(plan, i, fleet) {
+                        fr.deci_attack.observe(out.decicycles);
+                    }
                     fr.wall_ns.observe(wall);
                     if out.exit != Exit::Return(0) {
                         fr.benign_anomalies += 1;
@@ -387,7 +390,16 @@ mod tests {
         for fleet in &report.fleets {
             assert_eq!(fleet.benign_anomalies, 0, "{}", fleet.label);
             assert_eq!(fleet.deci.count(), fleet.benign);
+            assert!(
+                fleet.deci_attack.count() <= fleet.benign,
+                "the under-attack split is a subset of benign traffic"
+            );
         }
+        let under_attack: u64 = report.fleets.iter().map(|f| f.deci_attack.count()).sum();
+        assert!(
+            under_attack > 0,
+            "5% poison must leave some benign requests in an attack wake"
+        );
         // Residency: every tenant that saw benign traffic stayed alive.
         assert!(report.resident_sessions > 0);
     }

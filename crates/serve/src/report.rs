@@ -30,6 +30,11 @@ pub struct FleetReport {
     pub outcomes: [u64; 5],
     /// Benign-request latency in deterministic decicycles.
     pub deci: StreamingHistogram,
+    /// The latency-under-attack split: decicycle latency of the subset
+    /// of benign requests served in the wake of an exploit attempt on
+    /// this fleet (see [`crate::traffic::ATTACK_WAKE_WINDOW`]). A
+    /// sub-histogram of `deci`, not a partition of it.
+    pub deci_attack: StreamingHistogram,
     /// Benign-request latency in measured wall nanoseconds (machine
     /// dependent; never part of determinism guarantees or `--check`).
     pub wall_ns: StreamingHistogram,
@@ -49,6 +54,7 @@ impl FleetReport {
             benign_anomalies: 0,
             outcomes: [0; 5],
             deci: StreamingHistogram::new(),
+            deci_attack: StreamingHistogram::new(),
             wall_ns: StreamingHistogram::new(),
             first_compromise: BTreeMap::new(),
         }
@@ -103,6 +109,7 @@ impl FleetReport {
             *a += b;
         }
         self.deci.merge(&other.deci);
+        self.deci_attack.merge(&other.deci_attack);
         self.wall_ns.merge(&other.wall_ns);
         for (&tenant, &idx) in &other.first_compromise {
             self.first_compromise
@@ -165,6 +172,7 @@ impl ServeReport {
                 f.label, f.tenants, f.benign, f.attacks, f.benign_anomalies, f.outcomes
             );
             let _ = writeln!(s, "  deci {}", f.deci.to_json());
+            let _ = writeln!(s, "  deci_attack {}", f.deci_attack.to_json());
             for (tenant, idx) in &f.first_compromise {
                 let _ = writeln!(s, "  compromised tenant {tenant} at request {idx}");
             }
@@ -238,6 +246,18 @@ pub struct BenchRow {
     pub deci_p999: u64,
     /// Mean (rounded).
     pub deci_mean: u64,
+    /// Benign requests served in the wake of an exploit attempt on
+    /// this fleet (the population of the `deci_attack_*` columns;
+    /// schedule-pinned, so compared exactly).
+    pub benign_under_attack: u64,
+    /// Latency-under-attack percentiles in deterministic decicycles.
+    pub deci_attack_p50: u64,
+    /// 95th percentile under attack.
+    pub deci_attack_p95: u64,
+    /// 99th percentile under attack.
+    pub deci_attack_p99: u64,
+    /// Mean under attack (rounded).
+    pub deci_attack_mean: u64,
     /// Benign latency percentiles in wall nanoseconds (unchecked).
     pub wall_p50_ns: u64,
     /// 95th percentile wall ns (unchecked).
@@ -284,6 +304,11 @@ pub fn report_rows(report: &ServeReport) -> Vec<BenchRow> {
                 deci_p99: f.deci.p99(),
                 deci_p999: f.deci.p999(),
                 deci_mean: f.deci.mean().round() as u64,
+                benign_under_attack: f.deci_attack.count(),
+                deci_attack_p50: f.deci_attack.p50(),
+                deci_attack_p95: f.deci_attack.p95(),
+                deci_attack_p99: f.deci_attack.p99(),
+                deci_attack_mean: f.deci_attack.mean().round() as u64,
                 wall_p50_ns: f.wall_ns.p50(),
                 wall_p95_ns: f.wall_ns.p95(),
                 wall_p99_ns: f.wall_ns.p99(),
@@ -325,6 +350,15 @@ pub fn rows_to_json(rows: &[BenchRow]) -> String {
         let _ = writeln!(s, "      \"deci_p99\": {},", r.deci_p99);
         let _ = writeln!(s, "      \"deci_p999\": {},", r.deci_p999);
         let _ = writeln!(s, "      \"deci_mean\": {},", r.deci_mean);
+        let _ = writeln!(
+            s,
+            "      \"benign_under_attack\": {},",
+            r.benign_under_attack
+        );
+        let _ = writeln!(s, "      \"deci_attack_p50\": {},", r.deci_attack_p50);
+        let _ = writeln!(s, "      \"deci_attack_p95\": {},", r.deci_attack_p95);
+        let _ = writeln!(s, "      \"deci_attack_p99\": {},", r.deci_attack_p99);
+        let _ = writeln!(s, "      \"deci_attack_mean\": {},", r.deci_attack_mean);
         let _ = writeln!(s, "      \"wall_p50_ns\": {},", r.wall_p50_ns);
         let _ = writeln!(s, "      \"wall_p95_ns\": {},", r.wall_p95_ns);
         let _ = writeln!(s, "      \"wall_p99_ns\": {},", r.wall_p99_ns);
@@ -387,6 +421,11 @@ fn row_from_fields(f: &BTreeMap<String, String>) -> Option<BenchRow> {
         deci_p99: n("deci_p99")?,
         deci_p999: n("deci_p999")?,
         deci_mean: n("deci_mean")?,
+        benign_under_attack: n("benign_under_attack")?,
+        deci_attack_p50: n("deci_attack_p50")?,
+        deci_attack_p95: n("deci_attack_p95")?,
+        deci_attack_p99: n("deci_attack_p99")?,
+        deci_attack_mean: n("deci_attack_mean")?,
         wall_p50_ns: n("wall_p50_ns")?,
         wall_p95_ns: n("wall_p95_ns")?,
         wall_p99_ns: n("wall_p99_ns")?,
@@ -424,6 +463,11 @@ pub fn check_rows(
             ("served", row.served, base.served),
             ("benign", row.benign, base.benign),
             ("attacks", row.attacks, base.attacks),
+            (
+                "benign_under_attack",
+                row.benign_under_attack,
+                base.benign_under_attack,
+            ),
         ] {
             if now != then {
                 return Err(format!(
@@ -444,6 +488,14 @@ pub fn check_rows(
             ("deci_p99", row.deci_p99, base.deci_p99),
             ("deci_p999", row.deci_p999, base.deci_p999),
             ("deci_mean", row.deci_mean, base.deci_mean),
+            ("deci_attack_p50", row.deci_attack_p50, base.deci_attack_p50),
+            ("deci_attack_p95", row.deci_attack_p95, base.deci_attack_p95),
+            ("deci_attack_p99", row.deci_attack_p99, base.deci_attack_p99),
+            (
+                "deci_attack_mean",
+                row.deci_attack_mean,
+                base.deci_attack_mean,
+            ),
         ] {
             if then == 0 && now == 0 {
                 continue;
@@ -477,6 +529,9 @@ mod tests {
         none.outcomes = [6, 0, 1, 2, 1];
         for v in [40, 50, 60, 70, 80] {
             none.deci.observe(v);
+        }
+        for v in [70, 80] {
+            none.deci_attack.observe(v);
         }
         for v in [1000, 1100, 1200, 1300, 1400] {
             none.wall_ns.observe(v);

@@ -65,6 +65,24 @@ impl Request {
     }
 }
 
+/// How many schedule slots an exploit attempt's "wake" covers: a benign
+/// request whose fleet absorbed an attack within the previous
+/// `ATTACK_WAKE_WINDOW` scheduled requests lands in the
+/// latency-under-attack split. The wake is defined on the schedule
+/// alone — not on which worker happened to serve the attack — so the
+/// split is invariant across `--jobs` and batch settings like every
+/// other aggregate.
+pub const ATTACK_WAKE_WINDOW: u64 = 8;
+
+/// Whether request `index` is served in the wake of an in-flight
+/// exploit attempt against fleet `fleet`.
+pub fn in_attack_wake(plan: &ServePlan, index: u64, fleet: usize) -> bool {
+    (index.saturating_sub(ATTACK_WAKE_WINDOW)..index).any(|j| {
+        let r = Request::at(plan, j);
+        r.poisoned && tenant_cell(plan, r.tenant).0 == fleet
+    })
+}
+
 /// Which (fleet, app) cell a tenant belongs to: tenants are striped
 /// across fleets first, then apps, so every fleet hosts every app for
 /// any tenant count ≥ `fleets × apps`.

@@ -160,6 +160,15 @@ pub struct CostModel {
     pub compact_slab_limit: u64,
     /// Slab size above which the huge-frame penalty applies.
     pub huge_slab_limit: u64,
+    /// Synchronization step: join, mutex lock/unlock, and the atomic
+    /// surcharge over a plain access (fence + lock-prefix analog).
+    pub sync_op: u64,
+    /// `spawn` — thread bookkeeping plus slab carving.
+    pub thread_spawn: u64,
+    /// Per-competitor TRNG port contention: each `stack_rng` draw pays
+    /// this once per *other* live thread (the shared-entropy-port model
+    /// for per-thread P-BOX epochs).
+    pub rng_contention: u64,
 }
 
 impl Default for CostModel {
@@ -181,6 +190,9 @@ impl Default for CostModel {
             heap_op: 60,
             compact_slab_limit: 2048,
             huge_slab_limit: 6144,
+            sync_op: 30,
+            thread_spawn: 400,
+            rng_contention: 12,
         }
     }
 }
@@ -266,6 +278,9 @@ impl CostModel {
             self.heap_op,
             self.compact_slab_limit,
             self.huge_slab_limit,
+            self.sync_op,
+            self.thread_spawn,
+            self.rng_contention,
         ];
         fields.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, v| {
             (h ^ v).wrapping_mul(0x0000_0100_0000_01b3)

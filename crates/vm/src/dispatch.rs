@@ -23,6 +23,7 @@ use crate::bytecode::{BcCast, BcInst, CompiledModule, Opnd};
 use crate::exec::{AllocaRecord, Exit, FaultKind, Vm};
 use crate::io::InputSource;
 use crate::mem::layout;
+use crate::sched::SliceEnd;
 
 /// One live activation record. `base` is the frame's window origin in
 /// the shared register file; `pc` is only current when the frame is not
@@ -91,7 +92,7 @@ fn alloca(
     name: u32,
 ) -> Result<(), FaultKind> {
     let new_sp = vm.sp.checked_sub(size).ok_or(FaultKind::StackOverflow)? & !(align - 1);
-    if new_sp < vm.mem.stack_base() {
+    if new_sp < vm.stack_limit {
         return Err(FaultKind::StackOverflow);
     }
     vm.sp = new_sp;
@@ -161,6 +162,10 @@ fn push_frame(
     Ok(new_base)
 }
 
+/// Top-level bytecode driver, mirroring the interpreter's `exec_loop`:
+/// runs slices of the current thread and rotates through the scheduler
+/// between them. Each spawned thread gets its own [`Scratch`] (register
+/// file + call stack); memory is shared through the `Vm`.
 fn exec(
     vm: &mut Vm,
     cm: &CompiledModule,
@@ -186,15 +191,89 @@ fn exec(
         canary_calls: 0,
     });
 
+    let mut extra: Vec<Scratch> = Vec::new();
+    loop {
+        let cur = vm.sched.as_deref().map_or(0, |s| s.cur);
+        if cur != 0 && extra.len() < cur {
+            extra.resize_with(cur, Scratch::default);
+        }
+        let stack: &mut Scratch = if cur == 0 {
+            &mut *scratch
+        } else {
+            &mut extra[cur - 1]
+        };
+        if stack.frames.is_empty() {
+            // First time this thread runs: materialize its entry frame
+            // at the slab top (`sched_pick_next` already restored
+            // `vm.sp`).
+            let (tentry, arg) = {
+                let s = vm.sched.as_deref().expect("worker implies sched");
+                (s.threads[cur].entry, s.threads[cur].arg)
+            };
+            stack.regs.clear();
+            stack
+                .regs
+                .resize(cm.funcs[tentry.0 as usize].reg_count as usize, 0);
+            stack.regs[0] = arg;
+            stack.frames.push(BcFrame {
+                func: tentry.0,
+                pc: 0,
+                base: 0,
+                entry_sp: vm.sp,
+                low_sp: vm.sp,
+                ret_reg: None,
+                guard_calls: 0,
+                canary_calls: 0,
+            });
+            vm.emit(Event::FuncEnter {
+                func: tentry.0,
+                depth: 1,
+            });
+        }
+        match run_thread(vm, cm, stack, input) {
+            SliceEnd::Exit(exit) => {
+                if cur == 0 {
+                    // Main returning (or any exit/fault) ends the whole
+                    // run — process semantics.
+                    return exit;
+                }
+                if let Some(fatal) = vm.sched_thread_finished(cur, exit) {
+                    return fatal;
+                }
+            }
+            SliceEnd::Preempt | SliceEnd::Block => {}
+        }
+        if let Err(fault) = vm.sched_pick_next() {
+            return Exit::Fault(fault);
+        }
+    }
+}
+
+/// Run the current thread until its quantum expires, it blocks, or it
+/// finishes. The loop protocol (fuel check → preempt check →
+/// `insts += 1` → fetch → charge → execute) mirrors the interpreter's
+/// `exec_slice` exactly — bit-identity depends on it.
+fn run_thread(
+    vm: &mut Vm,
+    cm: &CompiledModule,
+    scratch: &mut Scratch,
+    input: &mut dyn InputSource,
+) -> SliceEnd {
     // The running frame's position is cached in locals; frames[top].pc
-    // is written back on call and reloaded on return.
-    let mut fidx = entry.0;
-    let mut base = 0usize;
-    let mut pc = 0u32;
+    // is written back on call, yield, and block, and reloaded on return
+    // and resume.
+    let top = scratch.frames.last().expect("nonempty call stack");
+    let mut fidx = top.func;
+    let mut base = top.base;
+    let mut pc = top.pc;
 
     loop {
         if vm.insts >= vm.fuel {
-            return Exit::Fault(FaultKind::OutOfFuel);
+            return SliceEnd::Exit(Exit::Fault(FaultKind::OutOfFuel));
+        }
+        if vm.insts >= vm.next_preempt {
+            scratch.frames.last_mut().expect("frame").pc = pc;
+            return SliceEnd::Preempt;
         }
         vm.insts += 1;
 
@@ -211,7 +290,7 @@ fn exec(
             } => {
                 vm.charge(CycleCategory::Alu, *cost);
                 if let Err(f) = alloca(vm, cm, scratch, fidx, base, *result, *size, *align, *name) {
-                    return Exit::Fault(f);
+                    return SliceEnd::Exit(Exit::Fault(f));
                 }
             }
             BcInst::AllocaVla {
@@ -226,28 +305,34 @@ fn exec(
                 let n = ev(&scratch.regs, base, *count);
                 let size = match elem_size.checked_mul(n) {
                     Some(s) => s,
-                    None => return Exit::Fault(FaultKind::StackOverflow),
+                    None => return SliceEnd::Exit(Exit::Fault(FaultKind::StackOverflow)),
                 };
                 if let Err(f) = alloca(vm, cm, scratch, fidx, base, *result, size, *align, *name) {
-                    return Exit::Fault(f);
+                    return SliceEnd::Exit(Exit::Fault(f));
                 }
             }
             BcInst::Load { result, size, ptr } => {
                 vm.charge(CycleCategory::Alu, 0);
                 let addr = ev(&scratch.regs, base, *ptr);
                 vm.charge_mem_for(FuncId(fidx), addr);
+                if let Err(f) = vm.race_plain(addr, *size, false) {
+                    return SliceEnd::Exit(Exit::Fault(f));
+                }
                 match vm.mem.read_uint(addr, *size) {
                     Ok(v) => scratch.regs[base + *result as usize] = v,
-                    Err(m) => return Exit::Fault(FaultKind::Mem(m)),
+                    Err(m) => return SliceEnd::Exit(Exit::Fault(FaultKind::Mem(m))),
                 }
             }
             BcInst::Store { size, val, ptr } => {
                 vm.charge(CycleCategory::Alu, 0);
                 let addr = ev(&scratch.regs, base, *ptr);
                 vm.charge_mem_for(FuncId(fidx), addr);
+                if let Err(f) = vm.race_plain(addr, *size, true) {
+                    return SliceEnd::Exit(Exit::Fault(f));
+                }
                 let v = ev(&scratch.regs, base, *val);
                 if let Err(m) = vm.mem.write_uint(addr, v, *size) {
-                    return Exit::Fault(FaultKind::Mem(m));
+                    return SliceEnd::Exit(Exit::Fault(FaultKind::Mem(m)));
                 }
             }
             BcInst::Gep {
@@ -274,7 +359,7 @@ fn exec(
                 let b = ev(&scratch.regs, base, *rhs);
                 match Vm::binop(*op, *width, a, b) {
                     Ok(v) => scratch.regs[base + *result as usize] = v,
-                    Err(f) => return Exit::Fault(f),
+                    Err(f) => return SliceEnd::Exit(Exit::Fault(f)),
                 }
             }
             BcInst::Icmp {
@@ -324,7 +409,7 @@ fn exec(
                         base = new_base;
                         pc = 0;
                     }
-                    Err(f) => return Exit::Fault(f),
+                    Err(f) => return SliceEnd::Exit(Exit::Fault(f)),
                 }
             }
             BcInst::CallIndirect {
@@ -337,11 +422,11 @@ fn exec(
                 let addr = ev(&scratch.regs, base, *target);
                 let off = addr.wrapping_sub(layout::CODE_BASE);
                 if !off.is_multiple_of(16) || (off / 16) as usize >= cm.funcs.len() {
-                    return Exit::Fault(FaultKind::BadIndirectCall(addr));
+                    return SliceEnd::Exit(Exit::Fault(FaultKind::BadIndirectCall(addr)));
                 }
                 let callee = (off / 16) as u32;
                 if cm.funcs[callee as usize].param_count as usize != args.len() {
-                    return Exit::Fault(FaultKind::BadIndirectCall(addr));
+                    return SliceEnd::Exit(Exit::Fault(FaultKind::BadIndirectCall(addr)));
                 }
                 match push_frame(vm, cm, scratch, callee, args, *result, base, pc) {
                     Ok(new_base) => {
@@ -349,7 +434,7 @@ fn exec(
                         base = new_base;
                         pc = 0;
                     }
-                    Err(f) => return Exit::Fault(f),
+                    Err(f) => return SliceEnd::Exit(Exit::Fault(f)),
                 }
             }
             BcInst::CallIntrinsic {
@@ -385,10 +470,19 @@ fn exec(
                             scratch.regs[base + *r as usize] = v;
                         }
                     }
-                    Err(f) => return Exit::Fault(f),
+                    Err(f) => return SliceEnd::Exit(Exit::Fault(f)),
+                }
+                if vm.pending_block {
+                    // A blocking intrinsic yielded: rewind so the call
+                    // re-executes (and re-charges, deterministically on
+                    // both backends) when the thread wakes.
+                    vm.pending_block = false;
+                    pc -= 1;
+                    scratch.frames.last_mut().expect("frame").pc = pc;
+                    return SliceEnd::Block;
                 }
                 if let Some(code) = vm.pending_exit.take() {
-                    return Exit::Exited(code);
+                    return SliceEnd::Exit(Exit::Exited(code));
                 }
             }
             BcInst::Br { target, cost } => {
@@ -437,10 +531,10 @@ fn exec(
                 scratch.regs.truncate(base);
                 match scratch.frames.last() {
                     None => {
-                        return match v {
+                        return SliceEnd::Exit(match v {
                             Some(v) => Exit::Return(v),
                             None => Exit::ReturnVoid,
-                        };
+                        });
                     }
                     Some(caller) => {
                         let (cf, cb, cp) = (caller.func, caller.base, caller.pc);
@@ -455,7 +549,7 @@ fn exec(
             }
             BcInst::Unreachable => {
                 vm.charge(CycleCategory::Control, 0);
-                return Exit::Fault(FaultKind::UnreachableExecuted);
+                return SliceEnd::Exit(Exit::Fault(FaultKind::UnreachableExecuted));
             }
         }
     }

@@ -44,6 +44,15 @@ pub enum FaultKind {
     },
     /// An `unreachable` terminator was executed.
     UnreachableExecuted,
+    /// The race detector observed two unsynchronized conflicting
+    /// accesses to the same word (the address is the later access).
+    DataRace {
+        /// Address of the racing access.
+        addr: u64,
+    },
+    /// Every thread is blocked (joins or mutexes that can never
+    /// resolve) — the scheduler has nothing to run.
+    Deadlock,
 }
 
 impl FaultKind {
@@ -85,6 +94,8 @@ impl std::fmt::Display for FaultKind {
             }
             FaultKind::CanarySmashed { func } => write!(f, "stack canary smashed in `{func}`"),
             FaultKind::UnreachableExecuted => write!(f, "unreachable executed"),
+            FaultKind::DataRace { addr } => write!(f, "data race at {addr:#x}"),
+            FaultKind::Deadlock => write!(f, "deadlock: no runnable thread"),
         }
     }
 }
@@ -160,6 +171,11 @@ pub struct RunOutcome {
     /// profiling [`Tracer`] was configured). Totals sum to
     /// [`RunOutcome::decicycles`].
     pub per_function: Vec<FunctionCycles>,
+    /// FNV digest over every scheduling decision of the run: 0 when the
+    /// program never used the scheduler, otherwise a replayable
+    /// fingerprint of the interleaving (same `sched_seed` ⇒ same
+    /// digest on both backends).
+    pub sched_digest: u64,
 }
 
 impl RunOutcome {
@@ -202,6 +218,15 @@ pub struct VmConfig {
     /// [`ExecBackend::Interp`] is retained as the semantic reference.
     /// Both produce bit-identical [`RunOutcome`]s.
     pub backend: ExecBackend,
+    /// Seed for the deterministic thread scheduler's preemption-quantum
+    /// draws: one seed fully determines the interleaving. Ignored by
+    /// programs that never spawn.
+    pub sched_seed: u64,
+    /// Enable the (FastTrack-style) data-race detector: two
+    /// unsynchronized conflicting plain accesses fault with
+    /// [`FaultKind::DataRace`]. Off by default — detection roughly
+    /// doubles per-access cost in threaded code.
+    pub detect_races: bool,
 }
 
 impl Default for VmConfig {
@@ -216,6 +241,8 @@ impl Default for VmConfig {
             record_allocas: false,
             tracer: None,
             backend: ExecBackend::default(),
+            sched_seed: 0,
+            detect_races: false,
         }
     }
 }
@@ -334,6 +361,21 @@ pub struct Vm {
     pub(crate) alloca_trace: Vec<AllocaRecord>,
     pub(crate) max_depth: usize,
     pub(crate) sp: u64,
+    // Scheduler state (see `crate::sched`). `sched` is `None` until the
+    // first concurrency intrinsic; `next_preempt` stays `u64::MAX` (the
+    // compare never fires) for single-threaded programs.
+    pub(crate) trng_seed: u64,
+    pub(crate) sched_seed: u64,
+    pub(crate) detect_races: bool,
+    /// Lowest address the running thread's allocas may reach (the
+    /// segment base for the main thread, the slab base for workers).
+    pub(crate) stack_limit: u64,
+    /// Instruction count at which the running thread's quantum expires.
+    pub(crate) next_preempt: u64,
+    /// Set by a blocking intrinsic: the current slice must rewind the
+    /// call and yield.
+    pub(crate) pending_block: bool,
+    pub(crate) sched: Option<Box<crate::sched::SchedState>>,
 }
 
 impl Vm {
@@ -431,6 +473,13 @@ impl Vm {
             alloca_trace: Vec::new(),
             max_depth: 0,
             sp: 0,
+            trng_seed: cfg.trng_seed,
+            sched_seed: cfg.sched_seed,
+            detect_races: cfg.detect_races,
+            stack_limit: 0,
+            next_preempt: u64::MAX,
+            pending_block: false,
+            sched: None,
         }
     }
 
@@ -456,6 +505,7 @@ impl Vm {
         self.canary = trng.next_u64() | 0xff; // never zero
         let pseudo_seed = trng.next_u64();
         self.rng = build_source(self.scheme, trng);
+        self.trng_seed = trng_seed;
         self.stack_base_offset = stack_base_offset;
 
         self.mem.reset();
@@ -483,6 +533,20 @@ impl Vm {
         self.alloca_trace.clear();
         self.max_depth = 0;
         self.sp = 0;
+        self.next_preempt = u64::MAX;
+        self.pending_block = false;
+        self.sched = None;
+    }
+
+    /// Re-seed the scheduler for the next run (the interleaving knob;
+    /// orthogonal to the TRNG seed, which re-keys the defenses).
+    pub fn set_sched_seed(&mut self, seed: u64) {
+        self.sched_seed = seed;
+    }
+
+    /// Toggle the data-race detector for the next run.
+    pub fn set_detect_races(&mut self, on: bool) {
+        self.detect_races = on;
     }
 
     /// Charge `c` cost units in category `cat` (single choke point for
@@ -582,6 +646,10 @@ impl Vm {
         let entry_reg_count = f.reg_count();
         self.sp = layout::STACK_TOP - layout::STACK_START_GAP - self.stack_base_offset;
         self.sp &= !0xf;
+        self.stack_limit = self.mem.stack_base();
+        self.next_preempt = u64::MAX;
+        self.pending_block = false;
+        self.sched = None;
         self.max_depth = 1;
         self.emit(Event::FuncEnter {
             func: fid.0,
@@ -632,13 +700,90 @@ impl Vm {
             breakdown: self.breakdown,
             alloca_trace: std::mem::take(&mut self.alloca_trace),
             per_function,
+            sched_digest: self.sched_digest(),
         }
     }
 
+    /// Top-level interpreter driver: runs slices of the current thread
+    /// and rotates through the scheduler between them. Single-threaded
+    /// programs take exactly one `exec_slice` call (the preemption
+    /// compare is disarmed at `u64::MAX`, and `sched_pick_next` is a
+    /// no-op while `sched` is `None`).
     fn exec_loop(&mut self, frames: &mut Vec<Frame>, input: &mut dyn InputSource) -> Exit {
+        // Call stacks for spawned threads (tid >= 1), created on first
+        // schedule; `frames` stays the main thread's stack.
+        let mut extra: Vec<Vec<Frame>> = Vec::new();
+        loop {
+            let cur = self.sched.as_deref().map_or(0, |s| s.cur);
+            if cur != 0 && extra.len() < cur {
+                extra.resize_with(cur, Vec::new);
+            }
+            let stack: &mut Vec<Frame> = if cur == 0 {
+                frames
+            } else {
+                &mut extra[cur - 1]
+            };
+            if stack.is_empty() {
+                // First time this thread runs: materialize its entry
+                // frame at the top of its slab (`sched_pick_next`
+                // already restored `self.sp` to the slab top).
+                let (entry, arg) = {
+                    let s = self.sched.as_deref().expect("worker implies sched");
+                    (s.threads[cur].entry, s.threads[cur].arg)
+                };
+                let mut regs = vec![0u64; self.module.func(entry).reg_count()];
+                regs[0] = arg;
+                stack.push(Frame {
+                    func: entry,
+                    regs,
+                    block: Function::ENTRY,
+                    idx: 0,
+                    entry_sp: self.sp,
+                    ret_reg: None,
+                    low_sp: self.sp,
+                    guard_calls: 0,
+                    canary_calls: 0,
+                });
+                self.emit(Event::FuncEnter {
+                    func: entry.0,
+                    depth: 1,
+                });
+            }
+            match self.exec_slice(stack, input) {
+                crate::sched::SliceEnd::Exit(exit) => {
+                    if cur == 0 {
+                        // Main returning (or any exit/fault) ends the
+                        // whole run — process semantics.
+                        return exit;
+                    }
+                    if let Some(fatal) = self.sched_thread_finished(cur, exit) {
+                        return fatal;
+                    }
+                }
+                crate::sched::SliceEnd::Preempt | crate::sched::SliceEnd::Block => {}
+            }
+            if let Err(fault) = self.sched_pick_next() {
+                return Exit::Fault(fault);
+            }
+        }
+    }
+
+    /// Run the current thread until its quantum expires, it blocks, or
+    /// it finishes. The loop protocol (fuel check → preempt check →
+    /// `insts += 1` → charge → execute) is mirrored exactly by the
+    /// bytecode dispatcher — bit-identity depends on it.
+    fn exec_slice(
+        &mut self,
+        frames: &mut Vec<Frame>,
+        input: &mut dyn InputSource,
+    ) -> crate::sched::SliceEnd {
+        use crate::sched::SliceEnd;
         loop {
             if self.insts >= self.fuel {
-                return Exit::Fault(FaultKind::OutOfFuel);
+                return SliceEnd::Exit(Exit::Fault(FaultKind::OutOfFuel));
+            }
+            if self.insts >= self.next_preempt {
+                return SliceEnd::Preempt;
             }
             self.insts += 1;
 
@@ -698,10 +843,10 @@ impl Vm {
                         frames.pop();
                         match frames.last_mut() {
                             None => {
-                                return match val {
+                                return SliceEnd::Exit(match val {
                                     Some(v) => Exit::Return(v),
                                     None => Exit::ReturnVoid,
-                                };
+                                });
                             }
                             Some(caller) => {
                                 if let (Some(r), Some(v)) = (ret_reg, val) {
@@ -711,7 +856,7 @@ impl Vm {
                         }
                     }
                     Terminator::Unreachable => {
-                        return Exit::Fault(FaultKind::UnreachableExecuted);
+                        return SliceEnd::Exit(Exit::Fault(FaultKind::UnreachableExecuted));
                     }
                 }
                 continue;
@@ -729,10 +874,18 @@ impl Vm {
             frames.last_mut().expect("frame").idx += 1;
 
             if let Err(fault) = self.exec_inst(&inst, frames, input) {
-                return Exit::Fault(fault);
+                return SliceEnd::Exit(Exit::Fault(fault));
+            }
+            if self.pending_block {
+                // A blocking intrinsic yielded: rewind so the call
+                // re-executes (and re-charges, deterministically on both
+                // backends) when the thread wakes.
+                self.pending_block = false;
+                frames.last_mut().expect("frame").idx -= 1;
+                return SliceEnd::Block;
             }
             if let Some(code) = self.pending_exit.take() {
-                return Exit::Exited(code);
+                return SliceEnd::Exit(Exit::Exited(code));
             }
         }
     }
@@ -786,7 +939,7 @@ impl Vm {
                 let align = (*align).max(1);
                 let new_sp =
                     self.sp.checked_sub(size).ok_or(FaultKind::StackOverflow)? & !(align - 1);
-                if new_sp < self.mem.stack_base() {
+                if new_sp < self.stack_limit {
                     return Err(FaultKind::StackOverflow);
                 }
                 self.sp = new_sp;
@@ -815,6 +968,7 @@ impl Vm {
             Inst::Load { result, ty, ptr } => {
                 let addr = self.eval(fr, ptr);
                 self.charge_mem(fr, addr);
+                self.race_plain(addr, ty.size(), false)?;
                 let v = self
                     .mem
                     .read_uint(addr, ty.size())
@@ -824,6 +978,7 @@ impl Vm {
             Inst::Store { ty, val, ptr } => {
                 let addr = self.eval(fr, ptr);
                 self.charge_mem(fr, addr);
+                self.race_plain(addr, ty.size(), true)?;
                 let v = self.eval(fr, val);
                 self.mem
                     .write_uint(addr, v, ty.size())
@@ -1187,12 +1342,19 @@ impl Vm {
             Intrinsic::StackRng => {
                 self.rng_invocations += 1;
                 // Table I costs are in deci-cycles; the VM accounts in
-                // twentieths of a cycle.
-                let c = self.scheme.cost_decicycles() * (crate::cycles::DECI / 10);
+                // twentieths of a cycle. With live sibling threads the
+                // TRNG port is contended: each competitor adds a
+                // surcharge (§ per-thread draws).
+                let contention = match self.sched.as_deref() {
+                    Some(s) => self.cost.rng_contention * s.live_threads().saturating_sub(1),
+                    None => 0,
+                };
+                let c = self.scheme.cost_decicycles() * (crate::cycles::DECI / 10) + contention;
                 self.charge(CycleCategory::Rng, c);
                 let v = if self.scheme == SchemeKind::Pseudo {
                     // The insecure scheme's state lives in data memory,
-                    // where the attacker can read *and overwrite* it.
+                    // where the attacker can read *and overwrite* it
+                    // (shared by all threads).
                     let state = self
                         .mem
                         .read_uint(layout::DATA_BASE, 8)
@@ -1203,7 +1365,15 @@ impl Vm {
                         .map_err(FaultKind::Mem)?;
                     out
                 } else {
-                    self.rng.next_u64()
+                    // Worker threads draw from their own independently
+                    // seeded source — each spawn is its own P-BOX epoch.
+                    match self.sched.as_deref_mut() {
+                        Some(s) if s.cur != 0 => {
+                            let cur = s.cur;
+                            s.threads[cur].rng.as_mut().expect("worker rng").next_u64()
+                        }
+                        _ => self.rng.next_u64(),
+                    }
                 };
                 if self.tracer.is_some() {
                     self.emit(Event::RngDraw {
@@ -1255,6 +1425,58 @@ impl Vm {
             }
             Intrinsic::Exit => {
                 self.pending_exit = Some(argv[0] as i64);
+                Ok(None)
+            }
+            Intrinsic::Spawn => {
+                let tid = self.sched_spawn(argv[0], argv[1])?;
+                Ok(Some(tid))
+            }
+            Intrinsic::Join => self.sched_join(argv[0]),
+            Intrinsic::AtomicLoad => {
+                let addr = argv[0];
+                self.charge_mem_for(cur_func, addr);
+                let sync = self.cost.sync_op;
+                self.charge(CycleCategory::Mem, sync);
+                let v = self.mem.read_uint(addr, 8).map_err(FaultKind::Mem)?;
+                if argv[1] == 1 {
+                    self.atomic_acquire(addr);
+                }
+                Ok(Some(v))
+            }
+            Intrinsic::AtomicStore => {
+                let (addr, val) = (argv[0], argv[1]);
+                self.charge_mem_for(cur_func, addr);
+                let sync = self.cost.sync_op;
+                self.charge(CycleCategory::Mem, sync);
+                self.mem.write_uint(addr, val, 8).map_err(FaultKind::Mem)?;
+                if argv[2] == 2 {
+                    self.atomic_release(addr);
+                }
+                Ok(None)
+            }
+            Intrinsic::AtomicRmw => {
+                let (addr, val, op, ord) = (argv[0], argv[1], argv[2], argv[3]);
+                self.charge_mem_for(cur_func, addr);
+                let sync = self.cost.sync_op;
+                self.charge(CycleCategory::Mem, sync);
+                let old = self.mem.read_uint(addr, 8).map_err(FaultKind::Mem)?;
+                let new = match op {
+                    0 => old.wrapping_add(val),
+                    _ => val, // exchange
+                };
+                self.mem.write_uint(addr, new, 8).map_err(FaultKind::Mem)?;
+                if ord == 3 {
+                    self.atomic_acquire(addr);
+                    self.atomic_release(addr);
+                }
+                Ok(Some(old))
+            }
+            Intrinsic::MutexLock => {
+                self.sched_mutex_lock(argv[0]);
+                Ok(None)
+            }
+            Intrinsic::MutexUnlock => {
+                self.sched_mutex_unlock(argv[0]);
                 Ok(None)
             }
         }

@@ -53,6 +53,8 @@ pub struct Executor {
     cost: CostModel,
     record_allocas: bool,
     backend: ExecBackend,
+    sched_seed: u64,
+    detect_races: bool,
     tracer: Option<SharedCollector>,
     recorder: Option<SharedRecorder>,
     /// Lazily-resolved compiled image (interior so `&self` spawning
@@ -116,6 +118,19 @@ impl ExecutorBuilder {
         self
     }
 
+    /// Scheduler seed for threaded programs: one seed fully determines
+    /// the preemption schedule (and so the interleaving).
+    pub fn sched_seed(mut self, seed: u64) -> Self {
+        self.inner.sched_seed = seed;
+        self
+    }
+
+    /// Enable the data-race detector (off by default).
+    pub fn detect_races(mut self, on: bool) -> Self {
+        self.inner.detect_races = on;
+        self
+    }
+
     /// Telemetry collector, cloned into every spawned VM.
     pub fn tracer(mut self, tracer: SharedCollector) -> Self {
         self.inner.tracer = Some(tracer);
@@ -153,6 +168,8 @@ impl Executor {
                 cost: CostModel::default(),
                 record_allocas: false,
                 backend: ExecBackend::default(),
+                sched_seed: 0,
+                detect_races: false,
                 tracer: None,
                 recorder: None,
                 compiled: OnceCell::new(),
@@ -216,6 +233,20 @@ impl Executor {
         self
     }
 
+    /// Fork the session with a different scheduler seed (the
+    /// interleaving knob for threaded programs); the compiled image
+    /// carries over.
+    pub fn with_sched_seed(mut self, seed: u64) -> Executor {
+        self.sched_seed = seed;
+        self
+    }
+
+    /// Fork the session with the data-race detector toggled.
+    pub fn with_detect_races(mut self, on: bool) -> Executor {
+        self.detect_races = on;
+        self
+    }
+
     /// The session's compiled bytecode image, lowering on first use.
     /// Identical `(module, cost-model)` sessions — clones, or sessions
     /// over the same `Arc<Module>` — return the same `Arc`.
@@ -244,6 +275,8 @@ impl Executor {
                 (None, None) => None,
             },
             backend: self.backend,
+            sched_seed: self.sched_seed,
+            detect_races: self.detect_races,
         }
     }
 
@@ -351,6 +384,19 @@ impl Session {
         input: &mut dyn InputSource,
     ) -> RunOutcome {
         self.vm.respawn_configured(trng_seed, stack_base_offset);
+        self.vm.run_main_with(input)
+    }
+
+    /// Run `main` under a per-request TRNG seed *and* scheduler seed
+    /// (threaded replay: the pair fully determines the run).
+    pub fn run_main_interleaved(
+        &mut self,
+        trng_seed: u64,
+        sched_seed: u64,
+        input: &mut dyn InputSource,
+    ) -> RunOutcome {
+        self.vm.respawn(trng_seed);
+        self.vm.set_sched_seed(sched_seed);
         self.vm.run_main_with(input)
     }
 

@@ -63,6 +63,7 @@ mod executor;
 mod io;
 mod mem;
 mod report;
+mod sched;
 
 pub use bytecode::{compile_module, compiled_for, CompiledModule, ExecBackend};
 pub use cycles::{CostModel, CycleBreakdown, SlabClass, DECI};
@@ -71,6 +72,7 @@ pub use executor::{Executor, ExecutorBuilder, Session};
 pub use io::{FnInput, InputSource, OutputEvent, ScriptedInput};
 pub use mem::{layout, FaultLocus, MemConfig, MemFault, Memory};
 pub use report::{canonical_event, escape_bytes, exit_class, FaultClass, RunReport};
+pub use sched::{MAX_THREADS, THREAD_SLAB};
 // Telemetry surface, re-exported so VM users configure tracing without
 // naming the telemetry crate directly.
 pub use smokestack_telemetry::{

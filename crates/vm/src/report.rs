@@ -36,6 +36,10 @@ pub enum FaultClass {
     Canary,
     /// `unreachable` executed.
     Unreachable,
+    /// The race detector observed unsynchronized conflicting accesses.
+    DataRace,
+    /// Every thread blocked — the scheduler had nothing to run.
+    Deadlock,
 }
 
 impl FaultClass {
@@ -51,6 +55,8 @@ impl FaultClass {
             FaultClass::Guard => "guard",
             FaultClass::Canary => "canary",
             FaultClass::Unreachable => "unreachable",
+            FaultClass::DataRace => "data-race",
+            FaultClass::Deadlock => "deadlock",
         }
     }
 
@@ -73,6 +79,8 @@ impl FaultKind {
             FaultKind::GuardViolation { .. } => FaultClass::Guard,
             FaultKind::CanarySmashed { .. } => FaultClass::Canary,
             FaultKind::UnreachableExecuted => FaultClass::Unreachable,
+            FaultKind::DataRace { .. } => FaultClass::DataRace,
+            FaultKind::Deadlock => FaultClass::Deadlock,
         }
     }
 }
@@ -192,6 +200,7 @@ mod tests {
             breakdown: Default::default(),
             alloca_trace: vec![],
             per_function: vec![],
+            sched_digest: 0,
         }
     }
 

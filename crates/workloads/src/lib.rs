@@ -5,7 +5,12 @@
 //! the paper measures, each calibrated to the corresponding benchmark's
 //! *stack behaviour* (call frequency, call depth, frame size, allocation
 //! mix), plus two I/O-bound applications (ProFTPD- and Wireshark-style)
-//! whose runtime is dominated by simulated device waits.
+//! whose runtime is dominated by simulated device waits, plus three
+//! PARSEC-style multi-threaded programs (spawn/join, atomics, mutexes)
+//! exercising the deterministic scheduler. The threaded programs are
+//! data-race-free and commutative, so their results are independent of
+//! the seeded interleaving — a requirement for the corpus determinism
+//! and hardening-preservation tests below.
 //!
 //! The absolute numbers are not meant to match the paper's testbed —
 //! the *shape* is: which benchmarks pay the most for per-invocation
@@ -37,6 +42,9 @@ pub enum WorkloadClass {
     Cpu,
     /// I/O-bound real-world application analog.
     Io,
+    /// Multi-threaded PARSEC-style benchmark: spawn/join workers with
+    /// atomics or mutexes under the deterministic seeded scheduler.
+    Threaded,
 }
 
 /// One benchmark program.
@@ -66,7 +74,7 @@ impl Workload {
 /// The full corpus in Figure 3 order.
 pub fn all() -> Vec<Workload> {
     use programs::*;
-    use WorkloadClass::{Cpu, Io};
+    use WorkloadClass::{Cpu, Io, Threaded};
     vec![
         Workload {
             name: "perlbench",
@@ -176,6 +184,24 @@ pub fn all() -> Vec<Workload> {
             class: Io,
             profile: "capture/dissect loop: device waits dominate",
         },
+        Workload {
+            name: "swaptions",
+            source: SWAPTIONS,
+            class: Threaded,
+            profile: "parallel Monte Carlo pricing: 4 workers, atomic reduction",
+        },
+        Workload {
+            name: "dedup",
+            source: DEDUP,
+            class: Threaded,
+            profile: "two-stage pipeline: producer/consumer over an atomic ring",
+        },
+        Workload {
+            name: "streamcluster",
+            source: STREAMCLUSTER,
+            class: Threaded,
+            profile: "clustering round: 4 workers convoying on one mutex",
+        },
     ]
 }
 
@@ -192,6 +218,14 @@ pub fn io_apps() -> Vec<Workload> {
     all()
         .into_iter()
         .filter(|w| w.class == WorkloadClass::Io)
+        .collect()
+}
+
+/// Multi-threaded subset (the PARSEC-style trio).
+pub fn threaded_apps() -> Vec<Workload> {
+    all()
+        .into_iter()
+        .filter(|w| w.class == WorkloadClass::Threaded)
         .collect()
 }
 
@@ -238,6 +272,7 @@ mod tests {
             let min_insts = match w.class {
                 WorkloadClass::Cpu => 20_000,
                 WorkloadClass::Io => 2_000, // compute is deliberately thin
+                WorkloadClass::Threaded => 10_000,
             };
             assert!(
                 a.insts > min_insts,
@@ -302,6 +337,49 @@ mod tests {
                 .build()
                 .run_main(ScriptedInput::empty());
             assert_eq!(base.exit, hard.exit, "{} changed under hardening", w.name);
+        }
+    }
+
+    #[test]
+    fn threaded_apps_are_interleaving_invariant() {
+        // The trio really schedules (nonzero digest), covers distinct
+        // interleavings across seeds, and — being DRF and commutative —
+        // returns the same value under every one of them.
+        for w in threaded_apps() {
+            let run = |sched_seed: u64| {
+                let m = w.compile().unwrap();
+                Executor::for_module(m)
+                    .sched_seed(sched_seed)
+                    .detect_races(true)
+                    .build()
+                    .run_main(ScriptedInput::empty())
+            };
+            let baseline = run(0);
+            assert!(
+                matches!(baseline.exit, Exit::Return(_)),
+                "{}: {:?}",
+                w.name,
+                baseline.exit
+            );
+            assert_ne!(baseline.sched_digest, 0, "{} never scheduled", w.name);
+            let mut digests = vec![baseline.sched_digest];
+            for seed in 1..5u64 {
+                let out = run(seed);
+                assert_eq!(
+                    out.exit, baseline.exit,
+                    "{} result depends on the interleaving",
+                    w.name
+                );
+                digests.push(out.sched_digest);
+            }
+            digests.sort_unstable();
+            digests.dedup();
+            assert!(
+                digests.len() >= 2,
+                "{}: 5 seeds produced only {} interleaving(s)",
+                w.name,
+                digests.len()
+            );
         }
     }
 

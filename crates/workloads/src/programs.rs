@@ -896,3 +896,158 @@ pub const WIRESHARK_APP: &str = r#"
         return sum & 0xffff;
     }
 "#;
+
+/// SWAPTIONS (threaded): PARSEC-style embarrassingly parallel Monte
+/// Carlo pricing — four workers price disjoint lanes of paths and fold
+/// their partial sums into a shared accumulator with acq-rel atomics.
+/// Commutative reduction, so the result is interleaving-independent.
+pub const SWAPTIONS: &str = r#"
+    long total = 0;
+
+    long price_path(long seed) {
+        long acc = 0;
+        long i = 0;
+        long rate = seed;
+        char scratch[32];
+        scratch[0] = seed & 7;
+        for (i = 0; i < 90; i++) {
+            rate = rate * 1103515245 + 12345;
+            acc = acc + ((rate >> 16) & 1023);
+            scratch[i & 31] = acc & 127;
+        }
+        return acc + scratch[5];
+    }
+
+    int worker(long lane) {
+        long sum = 0;
+        long s = 0;
+        for (s = 0; s < 40; s++) {
+            sum = sum + price_path(lane * 1000 + s);
+        }
+        atomic_add(&total, sum);
+        return 0;
+    }
+
+    int main() {
+        long t0 = spawn(worker, 1);
+        long t1 = spawn(worker, 2);
+        long t2 = spawn(worker, 3);
+        long t3 = spawn(worker, 4);
+        join(t0);
+        join(t1);
+        join(t2);
+        join(t3);
+        return atomic_load(&total) & 0xffff;
+    }
+"#;
+
+/// DEDUP (threaded): PARSEC-style two-stage pipeline — a producer
+/// chunks and fingerprints a stream into a bounded ring while the main
+/// thread consumes and folds. Every ring access (head, tail, slots) is
+/// an acq-rel atomic, so the program is data-race-free by construction
+/// and the folded checksum is interleaving-independent.
+pub const DEDUP: &str = r#"
+    long chunk_fp(long i) {
+        long fp = i * 2654435761;
+        long k = 0;
+        char window[16];
+        window[0] = i & 15;
+        for (k = 0; k < 24; k++) {
+            fp = (fp >> 3) ^ (fp * 131) + window[0];
+            window[k & 15] = fp & 127;
+        }
+        return fp & 1048575;
+    }
+
+    int producer(long buf) {
+        char *b = buf;
+        char *slot = buf;
+        long i = 0;
+        long v = 0;
+        for (i = 0; i < 96; i++) {
+            /* bounded ring of 8: wait until the consumer frees a slot */
+            while (atomic_load(b + 8) + 8 <= i) {
+                v = v + 0;
+            }
+            slot = b + 16 + ((i & 7) * 8);
+            atomic_store(slot, chunk_fp(i));
+            atomic_store(b, i + 1);
+        }
+        return 0;
+    }
+
+    int main() {
+        char *ring = malloc(128);
+        char *slot = ring;
+        long sum = 0;
+        long i = 0;
+        long v = 0;
+        long t = 0;
+        atomic_store(ring, 0);
+        atomic_store(ring + 8, 0);
+        t = spawn(producer, ring);
+        for (i = 0; i < 96; i++) {
+            while (atomic_load(ring) <= i) {
+                v = v + 0;
+            }
+            slot = ring + 16 + ((i & 7) * 8);
+            v = atomic_load(slot);
+            sum = sum + (v ^ (i * 3));
+            atomic_store(ring + 8, i + 1);
+        }
+        join(t);
+        return sum & 0xffff;
+    }
+"#;
+
+/// STREAMCLUSTER (threaded): PARSEC-style clustering round — four
+/// workers compute point-to-center distances privately, then convoy on
+/// one mutex to publish into the shared totals. The sums are
+/// commutative and the counts fixed, so every interleaving agrees.
+pub const STREAMCLUSTER: &str = r#"
+    long m = 0;
+    long centers = 0;
+    long assigned = 0;
+
+    long dist(long p, long c) {
+        long d = 0;
+        long k = 0;
+        long coords[24];
+        for (k = 0; k < 24; k++) {
+            coords[k] = (p * (k + 3)) ^ (c * 17 + k);
+            d = d + (coords[k] & 255);
+        }
+        for (k = 0; k < 24; k++) {
+            d = d + ((coords[k] * coords[23 - k]) & 63);
+        }
+        return d;
+    }
+
+    int clusterer(long lane) {
+        long i = 0;
+        long best = 0;
+        for (i = 0; i < 70; i++) {
+            best = dist(lane * 31 + i, i & 15);
+            mutex_lock(&m);
+            centers = centers + best;
+            assigned = assigned + 1;
+            mutex_unlock(&m);
+        }
+        return 0;
+    }
+
+    int main() {
+        long t0 = spawn(clusterer, 0);
+        long t1 = spawn(clusterer, 1);
+        long t2 = spawn(clusterer, 2);
+        long t3 = spawn(clusterer, 3);
+        join(t0);
+        join(t1);
+        join(t2);
+        join(t3);
+        if (assigned == 280) {
+            return centers & 0xffff;
+        }
+        return 1;
+    }
+"#;

@@ -124,6 +124,47 @@ fn workloads_identical_across_backends_shard3() {
     check_workload_shard(3, 4);
 }
 
+/// Threaded differential rows: the PARSEC-style trio × {unhardened
+/// baseline, AES-10, RDRAND} × four scheduler seeds. The scheduler is
+/// part of the deterministic machine, so each row must be bit-identical
+/// between backends — output, decicycles, instruction counts, *and* the
+/// schedule digest (the replay token for a threaded run).
+#[test]
+fn threaded_workloads_identical_across_backends_and_sched_seeds() {
+    for w in smokestack_workloads::threaded_apps() {
+        let base = Arc::new(w.compile().expect("workload compiles"));
+        let mut hardened = (*base).clone();
+        harden(&mut hardened, &SmokestackConfig::default()).expect("workload hardens");
+        let hardened = Arc::new(hardened);
+        let rows: [(&str, &Arc<Module>, SchemeKind); 3] = [
+            ("baseline", &base, SchemeKind::Aes10),
+            ("aes10", &hardened, SchemeKind::Aes10),
+            ("rdrand", &hardened, SchemeKind::Rdrand),
+        ];
+        for (label, module, scheme) in rows {
+            for sched_seed in [0u64, 1, 7, 0xfeed] {
+                let run = |backend| {
+                    Executor::for_module(Arc::clone(module))
+                        .scheme(scheme)
+                        .backend(backend)
+                        .sched_seed(sched_seed)
+                        .build()
+                        .run_main_seeded(0x7d ^ sched_seed, &mut ScriptedInput::empty())
+                };
+                let interp = run(ExecBackend::Interp);
+                let bytecode = run(ExecBackend::Bytecode);
+                let tag = format!("{} ({label}, sched seed {sched_seed})", w.name);
+                assert_identical(&tag, &interp, &bytecode);
+                assert_eq!(
+                    interp.sched_digest, bytecode.sched_digest,
+                    "{tag}: schedule digest diverged"
+                );
+                assert_ne!(interp.sched_digest, 0, "{tag}: no schedule recorded");
+            }
+        }
+    }
+}
+
 /// Every attack in the suite, against every defense row, must produce
 /// the *same trial history* (outcome and restart count) whichever
 /// engine runs the victim. Campaign seeds fan out deterministically

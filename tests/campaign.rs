@@ -156,6 +156,66 @@ fn aggregates_match_across_jobs_1_and_8() {
 }
 
 #[test]
+fn threaded_campaign_aggregates_are_jobs_invariant() {
+    // The cross-thread attacks run multi-threaded *guest* programs
+    // (spawn/join inside the VM). Guest interleavings are derived from
+    // per-trial seeds, never from host scheduling, so campaign records
+    // and aggregates must stay bit-identical across worker counts.
+    let plan = CampaignPlan {
+        name: "xthread-jobs".into(),
+        master_seed: 0xd00d_feed,
+        cells: vec![
+            PlanCell {
+                attack: "xthread-shared-overflow".into(),
+                defense: DefenseKind::None,
+                trials: 3,
+            },
+            PlanCell {
+                attack: "xthread-shared-overflow".into(),
+                defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+                trials: 2,
+            },
+            PlanCell {
+                attack: "xthread-toctou-race".into(),
+                defense: DefenseKind::None,
+                trials: 3,
+            },
+            PlanCell {
+                attack: "xthread-toctou-race".into(),
+                defense: DefenseKind::Smokestack(SchemeKind::Aes10),
+                trials: 2,
+            },
+        ],
+    };
+    let run = |jobs| {
+        run_campaign(
+            &plan,
+            &EngineConfig {
+                jobs,
+                ..EngineConfig::default()
+            },
+            &HashSet::new(),
+            None,
+        )
+        .unwrap()
+        .records
+    };
+    let serial = run(1);
+    let wide = run(6);
+    assert_eq!(serial, wide, "threaded trials must not depend on jobs");
+    // Both baseline cells fully compromised, positionally seeded.
+    let stats = aggregate(&serial);
+    for cell in stats.iter().filter(|s| s.defense == "none") {
+        assert_eq!(cell.successes(), cell.trials, "{}: {cell:?}", cell.attack);
+    }
+    let (a, b) = (aggregate(&serial), aggregate(&wide));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.counts, y.counts);
+        assert_eq!(x.ci, y.ci);
+    }
+}
+
+#[test]
 fn interval_checked_matrix_over_real_trials() {
     // A miniature of the pinned matrix v2, on real trials at test-size
     // counts: listing1 compromises the unprotected baseline while

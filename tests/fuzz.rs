@@ -101,6 +101,7 @@ fn smoke_window_is_clean() {
         seed_end: 312,
         jobs: 2,
         runs_per_variant: 1,
+        sched_seeds: 2,
         minimize: true,
         max_triage: 2,
     });
@@ -122,6 +123,7 @@ fn reports_are_identical_across_job_counts() {
         seed_end: 408,
         jobs: 1,
         runs_per_variant: 1,
+        sched_seeds: 2,
         minimize: true,
         max_triage: 2,
     };
